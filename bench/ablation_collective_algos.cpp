@@ -1,0 +1,98 @@
+// Ablation: collective algorithm choice (DESIGN.md items 2-3).
+// Measures the virtual-time latency of each Allreduce / Allgather / Bcast
+// algorithm across message sizes, exposing the latency/bandwidth
+// crossovers the auto-selection heuristics rely on.
+#include <benchmark/benchmark.h>
+
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+
+using namespace ombx;
+
+namespace {
+
+core::SuiteConfig coll_cfg() {
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::frontera();
+  cfg.tuning = net::MpiTuning::mvapich2();
+  cfg.nranks = 16;
+  cfg.ppn = 1;
+  cfg.mode = core::Mode::kNativeC;
+  cfg.opts.iterations = 2;
+  cfg.opts.warmup = 1;
+  cfg.opts.iterations_large = 2;
+  cfg.opts.warmup_large = 1;
+  return cfg;
+}
+
+double coll_latency_us(core::SuiteConfig cfg, bench_suite::CollBench which,
+                       std::size_t size) {
+  cfg.opts.min_size = size;
+  cfg.opts.max_size = size;
+  return bench_suite::run_collective(cfg, which).front().stats.avg;
+}
+
+void BM_AllreduceAlgo(benchmark::State& state) {
+  const auto algo = static_cast<net::AllreduceAlgo>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  core::SuiteConfig cfg = coll_cfg();
+  cfg.tuning.allreduce = algo;
+  double lat = 0.0;
+  for (auto _ : state) {
+    lat = coll_latency_us(cfg, bench_suite::CollBench::kAllreduce, size);
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["virtual_us"] = lat;
+}
+
+void BM_AllgatherAlgo(benchmark::State& state) {
+  const auto algo = static_cast<net::AllgatherAlgo>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  core::SuiteConfig cfg = coll_cfg();
+  cfg.tuning.allgather = algo;
+  double lat = 0.0;
+  for (auto _ : state) {
+    lat = coll_latency_us(cfg, bench_suite::CollBench::kAllgather, size);
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["virtual_us"] = lat;
+}
+
+void BM_BcastAlgo(benchmark::State& state) {
+  const auto algo = static_cast<net::BcastAlgo>(state.range(0));
+  const auto size = static_cast<std::size_t>(state.range(1));
+  core::SuiteConfig cfg = coll_cfg();
+  cfg.tuning.bcast = algo;
+  double lat = 0.0;
+  for (auto _ : state) {
+    lat = coll_latency_us(cfg, bench_suite::CollBench::kBcast, size);
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["virtual_us"] = lat;
+}
+
+}  // namespace
+
+BENCHMARK(BM_AllreduceAlgo)
+    ->Iterations(30)
+    ->ArgsProduct({{static_cast<long>(net::AllreduceAlgo::kRecursiveDoubling),
+                    static_cast<long>(net::AllreduceAlgo::kRing),
+                    static_cast<long>(net::AllreduceAlgo::kReduceBcast)},
+                   {64, 65536, 1 << 20}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_AllgatherAlgo)
+    ->Iterations(30)
+    ->ArgsProduct({{static_cast<long>(net::AllgatherAlgo::kRing),
+                    static_cast<long>(net::AllgatherAlgo::kBruck),
+                    static_cast<long>(net::AllgatherAlgo::kRecursiveDoubling)},
+                   {64, 65536}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_BcastAlgo)
+    ->Iterations(30)
+    ->ArgsProduct({{static_cast<long>(net::BcastAlgo::kBinomial),
+                    static_cast<long>(net::BcastAlgo::kScatterAllgather),
+                    static_cast<long>(net::BcastAlgo::kLinear)},
+                   {64, 1 << 20}})
+    ->Unit(benchmark::kMillisecond);

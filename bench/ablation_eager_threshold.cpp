@@ -1,0 +1,46 @@
+// Ablation: eager -> rendezvous protocol threshold (DESIGN.md item 1).
+// Sweeps the inter-node threshold and reports ping-pong latency around the
+// switch point: too low forces handshakes on mid-size messages, too high
+// keeps copying through the eager path.
+#include <benchmark/benchmark.h>
+
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+
+using namespace ombx;
+
+namespace {
+
+void BM_EagerThreshold(benchmark::State& state) {
+  const auto threshold = static_cast<std::size_t>(state.range(0));
+  const auto msg = static_cast<std::size_t>(state.range(1));
+
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::frontera();
+  cfg.tuning = net::MpiTuning::mvapich2();
+  cfg.tuning.eager_threshold_inter = threshold;
+  cfg.nranks = 2;
+  cfg.ppn = 1;
+  cfg.mode = core::Mode::kNativeC;
+  cfg.opts.min_size = msg;
+  cfg.opts.max_size = msg;
+  cfg.opts.iterations = 3;
+  cfg.opts.warmup = 1;
+  cfg.opts.iterations_large = 3;
+  cfg.opts.warmup_large = 1;
+
+  double lat = 0.0;
+  for (auto _ : state) {
+    lat = bench_suite::run_latency(cfg).front().stats.avg;
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["virtual_us"] = lat;
+}
+
+}  // namespace
+
+BENCHMARK(BM_EagerThreshold)
+    ->Iterations(30)
+    ->ArgsProduct({{4 * 1024, 16 * 1024, 64 * 1024, 256 * 1024},
+                   {8 * 1024, 32 * 1024, 128 * 1024}})
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,84 @@
+// Ablation: CUDA-aware (GPUDirect) transfers vs host staging.
+// MVAPICH2-GDR sends device buffers straight through the NIC; a
+// non-GPU-aware MPI must stage D2H, send host memory, and copy H2D on the
+// receiver.  This quantifies what "built against CUDA" buys the paper's
+// GPU figures.
+#include <benchmark/benchmark.h>
+
+#include "gpu/device.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+
+namespace {
+
+double gpu_pingpong_us(std::size_t bytes, bool staged) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::ri2_gpu();
+  wc.tuning = net::MpiTuning::mvapich2_gdr();
+  wc.nranks = 2;
+  wc.ppn = 1;
+  mpi::World w(wc);
+  double lat = 0.0;
+  w.run([&](mpi::Comm& c) {
+    gpu::Device dev(c.rank(), *wc.cluster.gpu);
+    auto dbuf = dev.allocate(bytes);
+    std::vector<std::byte> hbuf(staged ? bytes : 0);
+    const int peer = 1 - c.rank();
+    constexpr int kIters = 4;
+
+    mpi::barrier(c);
+    const double t0 = c.now();
+    for (int i = 0; i < kIters; ++i) {
+      const auto one_way_send = [&] {
+        if (staged) {
+          c.clock().advance(dev.d2h_time(bytes));  // device -> host
+          c.send(mpi::ConstView{hbuf.data(), bytes}, peer, 1);
+        } else {
+          c.send(mpi::ConstView{dbuf.data(), bytes,
+                                net::MemSpace::kDevice},
+                 peer, 1);
+        }
+      };
+      const auto one_way_recv = [&] {
+        if (staged) {
+          (void)c.recv(mpi::MutView{hbuf.data(), bytes}, peer, 1);
+          c.clock().advance(dev.h2d_time(bytes));  // host -> device
+        } else {
+          (void)c.recv(mpi::MutView{dbuf.data(), bytes,
+                                    net::MemSpace::kDevice},
+                       peer, 1);
+        }
+      };
+      if (c.rank() == 0) {
+        one_way_send();
+        one_way_recv();
+      } else {
+        one_way_recv();
+        one_way_send();
+      }
+    }
+    if (c.rank() == 0) lat = (c.now() - t0) / (2.0 * kIters);
+  });
+  return lat;
+}
+
+void BM_GpuDirectVsStaged(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const bool staged = state.range(1) != 0;
+  double lat = 0.0;
+  for (auto _ : state) {
+    lat = gpu_pingpong_us(bytes, staged);
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["virtual_us"] = lat;
+  state.SetLabel(staged ? "host-staged" : "gpudirect");
+}
+
+}  // namespace
+
+BENCHMARK(BM_GpuDirectVsStaged)
+    ->Iterations(30)
+    ->ArgsProduct({{1024, 65536, 1 << 20}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);

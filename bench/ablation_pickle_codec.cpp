@@ -1,0 +1,62 @@
+// Ablation: real host-side throughput of the pickle codec (DESIGN.md item
+// 4).  Unlike the figure benches (virtual time), this measures the actual
+// encode/decode work the simulator executes.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "pylayer/pickle.hpp"
+
+using namespace ombx;
+
+namespace {
+
+void BM_PickleEncode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(n, std::byte{0x5A});
+  for (auto _ : state) {
+    auto s = pylayer::encode(mpi::ConstView{payload.data(), n},
+                             mpi::Datatype::kByte);
+    benchmark::DoNotOptimize(s.bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_PickleDecode(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(n, std::byte{0x5A});
+  const auto s = pylayer::encode(mpi::ConstView{payload.data(), n},
+                                 mpi::Datatype::kByte);
+  std::vector<std::byte> out(n);
+  for (auto _ : state) {
+    const std::size_t got =
+        pylayer::decode(s.bytes, s.logical_bytes,
+                        mpi::MutView{out.data(), n}, mpi::Datatype::kByte);
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+void BM_PickleRoundTrip(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<std::byte> payload(n, std::byte{0x33});
+  std::vector<std::byte> out(n);
+  for (auto _ : state) {
+    const auto s = pylayer::encode(mpi::ConstView{payload.data(), n},
+                                   mpi::Datatype::kFloat);
+    const std::size_t got =
+        pylayer::decode(s.bytes, s.logical_bytes,
+                        mpi::MutView{out.data(), n}, mpi::Datatype::kFloat);
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n) * 2);
+}
+
+}  // namespace
+
+BENCHMARK(BM_PickleEncode)->Range(64, 1 << 22);
+BENCHMARK(BM_PickleDecode)->Range(64, 1 << 22);
+BENCHMARK(BM_PickleRoundTrip)->Range(64, 1 << 20);

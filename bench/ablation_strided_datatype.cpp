@@ -1,0 +1,71 @@
+// Ablation: contiguous vs strided (derived-datatype) transfers.
+// Non-contiguous layouts pay a pack on the sender and an unpack on the
+// receiver; small blocks also waste cache lines.  This measures the
+// penalty across block sizes at fixed payload.
+#include <benchmark/benchmark.h>
+
+#include "mpi/layout.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+
+namespace {
+
+double strided_pingpong_us(std::size_t payload, std::size_t block,
+                           bool strided) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = 2;
+  wc.ppn = 2;
+  mpi::World w(wc);
+  double lat = 0.0;
+  w.run([&](mpi::Comm& c) {
+    const mpi::VectorLayout layout{payload / block, block,
+                                   strided ? 2 * block : block};
+    std::vector<std::byte> buf(layout.extent_bytes());
+    const int peer = 1 - c.rank();
+    constexpr int kIters = 4;
+
+    mpi::barrier(c);
+    const double t0 = c.now();
+    for (int i = 0; i < kIters; ++i) {
+      if (c.rank() == 0) {
+        mpi::send_strided(c, layout,
+                          mpi::ConstView{buf.data(), buf.size()}, peer, 1);
+        (void)mpi::recv_strided(c, layout,
+                                mpi::MutView{buf.data(), buf.size()}, peer,
+                                1);
+      } else {
+        (void)mpi::recv_strided(c, layout,
+                                mpi::MutView{buf.data(), buf.size()}, peer,
+                                1);
+        mpi::send_strided(c, layout,
+                          mpi::ConstView{buf.data(), buf.size()}, peer, 1);
+      }
+    }
+    if (c.rank() == 0) lat = (c.now() - t0) / (2.0 * kIters);
+  });
+  return lat;
+}
+
+void BM_StridedVsContiguous(benchmark::State& state) {
+  const auto block = static_cast<std::size_t>(state.range(0));
+  const bool strided = state.range(1) != 0;
+  constexpr std::size_t kPayload = 1 << 20;
+  double lat = 0.0;
+  for (auto _ : state) {
+    lat = strided_pingpong_us(kPayload, block, strided);
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["virtual_us"] = lat;
+  state.SetLabel(strided ? "strided" : "contiguous");
+}
+
+}  // namespace
+
+BENCHMARK(BM_StridedVsContiguous)
+    ->Iterations(30)
+    ->ArgsProduct({{16, 256, 4096, 65536}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);

@@ -1,0 +1,101 @@
+// Ablation: host-side cost of the simulation substrate itself — mailbox
+// matching throughput, p2p message rate through the engine, contention
+// factor sweep (DESIGN.md item 5).  These bound how large a virtual job
+// the simulator can run per wall-second.
+#include <benchmark/benchmark.h>
+
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "mpi/mailbox.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+
+namespace {
+
+void BM_MailboxEnqueueDequeue(benchmark::State& state) {
+  mpi::Mailbox box;
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    mpi::Message m;
+    m.context = 0;
+    m.src = 0;
+    m.tag = 1;
+    box.enqueue(std::move(m));
+    auto got = box.try_dequeue_match(0, 0, 1);
+    benchmark::DoNotOptimize(got.has_value());
+    ++n;
+  }
+  state.SetItemsProcessed(n);
+}
+
+void BM_MailboxDeepScan(benchmark::State& state) {
+  // Worst-case matching: the wanted message sits behind `depth` strangers.
+  const auto depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    mpi::Mailbox box;
+    for (int i = 0; i < depth; ++i) {
+      mpi::Message m;
+      m.context = 0;
+      m.src = 1;
+      m.tag = 99;  // non-matching
+      box.enqueue(std::move(m));
+    }
+    mpi::Message wanted;
+    wanted.context = 0;
+    wanted.src = 0;
+    wanted.tag = 1;
+    box.enqueue(std::move(wanted));
+    state.ResumeTiming();
+    auto got = box.try_dequeue_match(0, 0, 1);
+    benchmark::DoNotOptimize(got.has_value());
+  }
+}
+
+void BM_EnginePingPongRate(benchmark::State& state) {
+  // Wall-clock rate of simulated messages (2 ranks, threads + condvars).
+  const auto iters = static_cast<int>(state.range(0));
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = 2;
+  wc.ppn = 2;
+  for (auto _ : state) {
+    mpi::World w(wc);
+    w.run([iters](mpi::Comm& c) {
+      std::vector<std::byte> buf(8);
+      for (int i = 0; i < iters; ++i) {
+        if (c.rank() == 0) {
+          c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 1);
+          (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 1, 1);
+        } else {
+          (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 1);
+          c.send(mpi::ConstView{buf.data(), buf.size()}, 0, 1);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          iters * 2);
+}
+
+void BM_ContentionFactorSweep(benchmark::State& state) {
+  // Virtual-time effect of node subscription on a fabric transfer.
+  const auto ppn = static_cast<int>(state.range(0));
+  const net::NetworkModel nm(net::ClusterSpec::frontera(),
+                             net::MpiTuning::mvapich2(), ppn);
+  double t = 0.0;
+  for (auto _ : state) {
+    t = nm.transfer_us(0, ppn, 1 << 20, net::MemSpace::kHost);
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["virtual_us_1MB"] = t;
+}
+
+}  // namespace
+
+BENCHMARK(BM_MailboxEnqueueDequeue);
+BENCHMARK(BM_MailboxDeepScan)->Iterations(2000)->Arg(1)->Arg(64)->Arg(1024);
+BENCHMARK(BM_EnginePingPongRate)->Iterations(10)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ContentionFactorSweep)->Arg(1)->Arg(8)->Arg(28)->Arg(56);

@@ -1,0 +1,70 @@
+// OMB-X extension / DESIGN.md ablation 5: flat vs two-level
+// (leader-based) collectives at high ppn.  The two-level scheme keeps the
+// fabric traffic to one rank per node — the optimization MVAPICH2 applies
+// on exactly the full-subscription geometries of Figs 16-21.
+#include "fig_common.hpp"
+#include "mpi/hierarchical.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+
+namespace {
+
+struct Point {
+  double flat_us;
+  double two_level_us;
+};
+
+Point measure(int nodes, int ppn, std::size_t bytes) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = nodes * ppn;
+  wc.ppn = ppn;
+  wc.payload = mpi::PayloadMode::kSynthetic;
+
+  Point out{0.0, 0.0};
+  constexpr int kIters = 3;
+
+  mpi::World w(wc);
+  w.run([&](mpi::Comm& c) {
+    mpi::HierarchicalComm hier(c);
+    const mpi::ConstView send{nullptr, bytes};
+    const mpi::MutView recv{nullptr, bytes};
+
+    mpi::barrier(c);
+    double t0 = c.now();
+    for (int i = 0; i < kIters; ++i) {
+      mpi::allreduce(c, send, recv, mpi::Datatype::kFloat, mpi::Op::kSum);
+    }
+    const double flat = (c.now() - t0) / kIters;
+
+    mpi::barrier(c);
+    t0 = c.now();
+    for (int i = 0; i < kIters; ++i) {
+      hier.allreduce(send, recv, mpi::Datatype::kFloat, mpi::Op::kSum);
+    }
+    const double two = (c.now() - t0) / kIters;
+    if (c.rank() == 0) out = Point{flat, two};
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  core::Table t("Flat vs two-level Allreduce, frontera, 8 nodes",
+                {"ppn", "Size", "Flat (us)", "Two-level (us)", "Speedup"});
+  for (const int ppn : {4, 16, 56}) {
+    for (const std::size_t bytes : {4096UL, 262144UL, 1048576UL}) {
+      const Point p = measure(8, ppn, bytes);
+      t.add_row({std::to_string(ppn), std::to_string(bytes),
+                 std::to_string(p.flat_us), std::to_string(p.two_level_us),
+                 std::to_string(p.flat_us / p.two_level_us)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nThe leader-based scheme pulls ahead as ppn grows: only\n"
+               "one rank per node touches the contended NIC.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figures 4-9: intra-node CPU latency, small and large message ranges,
+// OMB (C) vs OMB-Py, on Frontera, Stampede2 and RI2.
+#include "fig_common.hpp"
+
+using namespace ombx;
+
+namespace {
+
+// Paper-reported mean OMB-Py overheads per (cluster, range).
+struct PaperNumbers {
+  double small_us;
+  double large_us;
+};
+
+void run_cluster(const net::ClusterSpec& cluster, PaperNumbers paper) {
+  core::SuiteConfig cfg;
+  cfg.cluster = cluster;
+  cfg.tuning = net::MpiTuning::mvapich2();
+  cfg.nranks = 2;
+  cfg.ppn = 2;  // same node
+
+  for (const auto& range : {fig::kSmall, fig::kLarge}) {
+    cfg.mode = core::Mode::kNativeC;
+    const auto c_rows = fig::sweep(cfg, range, bench_suite::run_latency);
+    cfg.mode = core::Mode::kPythonDirect;
+    const auto py_rows = fig::sweep(cfg, range, bench_suite::run_latency);
+
+    fig::print_figure("Intra-node CPU latency, " + cluster.name + ", " +
+                          range.label,
+                      {{"OMB", c_rows}, {"OMB-Py", py_rows}});
+    const bool small = range.min == fig::kSmall.min;
+    fig::report_vs_paper(
+        cluster.name + " intra-node overhead, " + range.label,
+        small ? paper.small_us : paper.large_us,
+        fig::mean_gap(c_rows, py_rows));
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Figures 4-5: Frontera ==\n";
+  run_cluster(net::ClusterSpec::frontera(), {0.44, 2.31});
+  std::cout << "== Figures 6-7: Stampede2 ==\n";
+  run_cluster(net::ClusterSpec::stampede2(), {0.41, 4.13});
+  std::cout << "== Figures 8-9: RI2 ==\n";
+  run_cluster(net::ClusterSpec::ri2(), {0.41, 1.76});
+  return 0;
+}

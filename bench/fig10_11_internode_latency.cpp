@@ -1,0 +1,30 @@
+// Figures 10-11: inter-node CPU latency on Frontera, OMB vs OMB-Py.
+#include "fig_common.hpp"
+
+using namespace ombx;
+
+int main() {
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::frontera();
+  cfg.tuning = net::MpiTuning::mvapich2();
+  cfg.nranks = 2;
+  cfg.ppn = 1;  // one rank per node -> the HDR fabric
+
+  const double paper[] = {0.43, 0.63};
+  int i = 0;
+  for (const auto& range : {fig::kSmall, fig::kLarge}) {
+    cfg.mode = core::Mode::kNativeC;
+    const auto c_rows = fig::sweep(cfg, range, bench_suite::run_latency);
+    cfg.mode = core::Mode::kPythonDirect;
+    const auto py_rows = fig::sweep(cfg, range, bench_suite::run_latency);
+
+    fig::print_figure(
+        std::string("Inter-node CPU latency, frontera, ") + range.label,
+        {{"OMB", c_rows}, {"OMB-Py", py_rows}});
+    fig::report_vs_paper(std::string("frontera inter-node overhead, ") +
+                             range.label,
+                         paper[i++], fig::mean_gap(c_rows, py_rows));
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figures 12-13: inter-node CPU bandwidth on Frontera, OMB vs OMB-Py.
+// The paper reports OMB-Py trailing by ~1.05 GB/s in the 512B-8KB band and
+// only ~331 MB/s on average for large messages (~6% overall).
+#include "fig_common.hpp"
+
+using namespace ombx;
+
+int main() {
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::frontera();
+  cfg.tuning = net::MpiTuning::mvapich2();
+  cfg.nranks = 2;
+  cfg.ppn = 1;
+  cfg.opts.window_size = 64;
+
+  // Cap the sweep at 1 MB: the bandwidth window keeps 64 messages in
+  // flight, so larger payloads only replay the saturated plateau.
+  const fig::SizeRange small{1, 8 * 1024, "small (1B-8KB)"};
+  const fig::SizeRange large{16 * 1024, 1024 * 1024, "large (16KB-1MB)"};
+
+  for (const auto& range : {small, large}) {
+    cfg.mode = core::Mode::kNativeC;
+    const auto c_rows = fig::sweep(cfg, range, bench_suite::run_bandwidth);
+    cfg.mode = core::Mode::kPythonDirect;
+    const auto py_rows = fig::sweep(cfg, range, bench_suite::run_bandwidth);
+
+    fig::print_figure(
+        std::string("Inter-node CPU bandwidth, frontera, ") + range.label,
+        {{"OMB", c_rows}, {"OMB-Py", py_rows}}, "MB/s");
+    const double gap = -fig::mean_gap(c_rows, py_rows);  // OMB minus OMB-Py
+    if (range.min == small.min) {
+      fig::report_vs_paper("bandwidth deficit, 512B-8KB band (paper ~1.05 "
+                           "GB/s on its mid band)",
+                           1050.0, gap, "MB/s");
+    } else {
+      fig::report_vs_paper("bandwidth deficit, large band", 331.0, gap,
+                           "MB/s");
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figures 22-23: GPU point-to-point latency on RI2, OMB (CUDA-aware C)
+// vs OMB-Py with CuPy / PyCUDA / Numba device buffers.
+#include "fig_common.hpp"
+
+using namespace ombx;
+
+int main() {
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::ri2_gpu();
+  cfg.tuning = net::MpiTuning::mvapich2_gdr();
+  cfg.nranks = 2;
+  cfg.ppn = 1;  // 1 GPU per node -> GPUDirect inter-node path
+
+  // Paper means per range: {CuPy, PyCUDA, Numba}.
+  const double paper_small[] = {3.54, 3.44, 5.85};
+  const double paper_large[] = {8.35, 7.92, 11.4};
+
+  for (const auto& range : {fig::kSmall, fig::kLarge}) {
+    const auto run_as = [&](core::Mode mode, buffers::BufferKind kind) {
+      core::SuiteConfig c = cfg;
+      c.mode = mode;
+      c.buffer = kind;
+      return fig::sweep(c, range, bench_suite::run_latency);
+    };
+    const auto base = run_as(core::Mode::kNativeC,
+                             buffers::BufferKind::kCupy);
+    const auto cupy = run_as(core::Mode::kPythonDirect,
+                             buffers::BufferKind::kCupy);
+    const auto pycuda = run_as(core::Mode::kPythonDirect,
+                               buffers::BufferKind::kPycuda);
+    const auto numba = run_as(core::Mode::kPythonDirect,
+                              buffers::BufferKind::kNumba);
+
+    fig::print_figure(std::string("GPU latency, ri2, ") + range.label,
+                      {{"OMB", base},
+                       {"OMB-Py CuPy", cupy},
+                       {"OMB-Py PyCUDA", pycuda},
+                       {"OMB-Py Numba", numba}});
+    const bool small = range.min == fig::kSmall.min;
+    const double* paper = small ? paper_small : paper_large;
+    fig::report_vs_paper("CuPy overhead, " + std::string(range.label),
+                         paper[0], fig::mean_gap(base, cupy));
+    fig::report_vs_paper("PyCUDA overhead, " + std::string(range.label),
+                         paper[1], fig::mean_gap(base, pycuda));
+    fig::report_vs_paper("Numba overhead, " + std::string(range.label),
+                         paper[2], fig::mean_gap(base, numba));
+    std::cout << "\n";
+  }
+  return 0;
+}

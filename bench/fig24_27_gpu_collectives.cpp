@@ -1,0 +1,69 @@
+// Figures 24-27: GPU Allreduce (24-25) and Allgather (26-27) on 8 RI2
+// nodes (1 V100 each), OMB vs the three OMB-Py device buffer libraries.
+#include "fig_common.hpp"
+
+using namespace ombx;
+
+namespace {
+
+void run_collective(bench_suite::CollBench which, const double* paper_small,
+                    const double* paper_large) {
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::ri2_gpu();
+  cfg.tuning = net::MpiTuning::mvapich2_gdr();
+  cfg.nranks = 8;
+  cfg.ppn = 1;
+
+  const fig::SizeRange small{4, 8 * 1024, "small (4B-8KB)"};
+  const fig::SizeRange large{16 * 1024, 1024 * 1024, "large (16KB-1MB)"};
+
+  for (const auto& range : {small, large}) {
+    const auto run_as = [&](core::Mode mode, buffers::BufferKind kind) {
+      core::SuiteConfig c = cfg;
+      c.mode = mode;
+      c.buffer = kind;
+      return fig::sweep(c, range, [which](const auto& sc) {
+        return bench_suite::run_collective(sc, which);
+      });
+    };
+    const auto base = run_as(core::Mode::kNativeC,
+                             buffers::BufferKind::kCupy);
+    const auto cupy = run_as(core::Mode::kPythonDirect,
+                             buffers::BufferKind::kCupy);
+    const auto pycuda = run_as(core::Mode::kPythonDirect,
+                               buffers::BufferKind::kPycuda);
+    const auto numba = run_as(core::Mode::kPythonDirect,
+                              buffers::BufferKind::kNumba);
+
+    fig::print_figure("GPU " + bench_suite::to_string(which) +
+                          " latency, ri2, 8 nodes, " + range.label,
+                      {{"OMB", base},
+                       {"OMB-Py CuPy", cupy},
+                       {"OMB-Py PyCUDA", pycuda},
+                       {"OMB-Py Numba", numba}});
+    const bool is_small = range.min == small.min;
+    const double* paper = is_small ? paper_small : paper_large;
+    fig::report_vs_paper("CuPy overhead, " + std::string(range.label),
+                         paper[0], fig::mean_gap(base, cupy));
+    fig::report_vs_paper("PyCUDA overhead, " + std::string(range.label),
+                         paper[1], fig::mean_gap(base, pycuda));
+    fig::report_vs_paper("Numba overhead, " + std::string(range.label),
+                         paper[2], fig::mean_gap(base, numba));
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Figures 24-25: GPU Allreduce ==\n";
+  const double ar_small[] = {18.64, 17.63, 23.10};
+  const double ar_large[] = {20.67, 21.74, 25.01};
+  run_collective(bench_suite::CollBench::kAllreduce, ar_small, ar_large);
+
+  std::cout << "== Figures 26-27: GPU Allgather ==\n";
+  const double ag_small[] = {12.139, 11.94, 17.24};
+  const double ag_large[] = {15.28, 16.54, 19.72};
+  run_collective(bench_suite::CollBench::kAllgather, ag_small, ag_large);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figures 28-31: OMB-Py generality across MPI libraries — inter-node
+// latency (28-29) and bandwidth (30-31) on Frontera under MVAPICH2 vs
+// Intel MPI, both through the Python binding.
+#include "fig_common.hpp"
+
+using namespace ombx;
+
+int main() {
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::frontera();
+  cfg.nranks = 2;
+  cfg.ppn = 1;
+  cfg.mode = core::Mode::kPythonDirect;
+
+  std::cout << "== Figures 28-29: latency ==\n";
+  std::vector<double> lat_gaps;
+  for (const auto& range : {fig::kSmall, fig::kLarge}) {
+    cfg.tuning = net::MpiTuning::mvapich2();
+    const auto mv = fig::sweep(cfg, range, bench_suite::run_latency);
+    cfg.tuning = net::MpiTuning::intelmpi();
+    const auto im = fig::sweep(cfg, range, bench_suite::run_latency);
+    fig::print_figure(
+        std::string("OMB-Py inter-node latency, frontera, ") + range.label,
+        {{"MVAPICH2", mv}, {"Intel MPI", im}});
+    lat_gaps.push_back(fig::mean_gap(mv, im));
+  }
+  fig::report_vs_paper("mean |MVAPICH2 - IntelMPI| latency gap", 0.36,
+                       (lat_gaps[0] + lat_gaps[1]) / 2.0);
+  std::cout << "\n== Figures 30-31: bandwidth ==\n";
+
+  const fig::SizeRange bw_small{1, 8 * 1024, "small (1B-8KB)"};
+  const fig::SizeRange bw_large{16 * 1024, 1024 * 1024, "large (16KB-1MB)"};
+  std::vector<double> bw_gaps;
+  for (const auto& range : {bw_small, bw_large}) {
+    cfg.tuning = net::MpiTuning::mvapich2();
+    const auto mv = fig::sweep(cfg, range, bench_suite::run_bandwidth);
+    cfg.tuning = net::MpiTuning::intelmpi();
+    const auto im = fig::sweep(cfg, range, bench_suite::run_bandwidth);
+    fig::print_figure(
+        std::string("OMB-Py inter-node bandwidth, frontera, ") + range.label,
+        {{"MVAPICH2", mv}, {"Intel MPI", im}}, "MB/s");
+    bw_gaps.push_back(-fig::mean_gap(mv, im));  // MVAPICH2 lead
+  }
+  fig::report_vs_paper("mean bandwidth gap", 856.0,
+                       (bw_gaps[0] + bw_gaps[1]) / 2.0, "MB/s");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figures 32-35: mpi4py's pickle (lowercase) API vs direct buffers on
+// Frontera — latency (32-33) and bandwidth (34-35).  The curves diverge
+// hard past 64 KB because pickling adds full serialize/deserialize passes
+// over the payload.
+#include "fig_common.hpp"
+
+using namespace ombx;
+
+int main() {
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::frontera();
+  cfg.tuning = net::MpiTuning::mvapich2();
+  cfg.nranks = 2;
+  cfg.ppn = 1;
+
+  std::cout << "== Figures 32-33: latency ==\n";
+  for (const auto& range : {fig::kSmall, fig::kLarge}) {
+    cfg.mode = core::Mode::kPythonDirect;
+    const auto direct = fig::sweep(cfg, range, bench_suite::run_latency);
+    cfg.mode = core::Mode::kPythonPickle;
+    const auto pickle = fig::sweep(cfg, range, bench_suite::run_latency);
+    fig::print_figure(
+        std::string("Pickle vs direct buffer latency, frontera, ") +
+            range.label,
+        {{"direct", direct}, {"pickle", pickle}});
+    if (range.min == fig::kSmall.min) {
+      fig::report_vs_paper("pickle overhead, small", 1.07,
+                           fig::mean_gap(direct, pickle));
+    } else {
+      fig::report_vs_paper(
+          "pickle overhead at the top size (paper: up to 1510 us)", 1510.0,
+          pickle.back().stats.avg - direct.back().stats.avg);
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "== Figures 34-35: bandwidth ==\n";
+  const fig::SizeRange bw_small{1, 8 * 1024, "small (1B-8KB)"};
+  const fig::SizeRange bw_large{16 * 1024, 1024 * 1024, "large (16KB-1MB)"};
+  for (const auto& range : {bw_small, bw_large}) {
+    cfg.mode = core::Mode::kPythonDirect;
+    const auto direct = fig::sweep(cfg, range, bench_suite::run_bandwidth);
+    cfg.mode = core::Mode::kPythonPickle;
+    const auto pickle = fig::sweep(cfg, range, bench_suite::run_bandwidth);
+    fig::print_figure(
+        std::string("Pickle vs direct buffer bandwidth, frontera, ") +
+            range.label,
+        {{"direct", direct}, {"pickle", pickle}}, "MB/s");
+    if (range.min == bw_small.min) {
+      fig::report_vs_paper("pickle bandwidth deficit at 8KB", 2400.0,
+                           direct.back().stats.avg - pickle.back().stats.avg,
+                           "MB/s");
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 36: distributed k-NN execution time and speedup, 1-224 processes
+// on RI2 (Dota2-shaped dataset: 102,944 instances x 116 features).
+#include "fig_common.hpp"
+#include "ml/distributed.hpp"
+
+using namespace ombx;
+
+int main() {
+  const auto curve = ml::knn_scaling(
+      net::ClusterSpec::ri2(), net::MpiTuning::mvapich2(),
+      ml::KnnBenchConfig{}, ml::MlTimingModel{}, ml::paper_proc_counts());
+
+  core::Table t("Distributed k-NN, RI2, Dota2-shaped dataset",
+                {"Procs", "Time (s)", "Speedup"});
+  for (const auto& p : curve.points) {
+    t.add_row(static_cast<std::size_t>(p.procs), {p.time_s, p.speedup});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  fig::report_vs_paper("sequential time", 112.9, curve.sequential_s, "s");
+  fig::report_vs_paper("time at 224 procs", 1.07, curve.points.back().time_s,
+                       "s");
+  fig::report_vs_paper("speedup at 224 procs", 105.6,
+                       curve.points.back().speedup, "x");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 37: distributed hyper-parameter optimization for k-means,
+// 1-224 processes on RI2 (7,000-point 2-D synthetic set, k = 1..200
+// balanced with the paper's small+large-k scheduling).
+#include "fig_common.hpp"
+#include "ml/distributed.hpp"
+
+using namespace ombx;
+
+int main() {
+  const auto curve = ml::kmeans_scaling(
+      net::ClusterSpec::ri2(), net::MpiTuning::mvapich2(),
+      ml::KmeansBenchConfig{}, ml::MlTimingModel{}, ml::paper_proc_counts());
+
+  core::Table t("Distributed k-means hyperparameter sweep, RI2",
+                {"Procs", "Time (s)", "Speedup"});
+  for (const auto& p : curve.points) {
+    t.add_row(static_cast<std::size_t>(p.procs), {p.time_s, p.speedup});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  fig::report_vs_paper("sequential time", 1059.45, curve.sequential_s, "s");
+  fig::report_vs_paper("time at 224 procs", 11.15,
+                       curve.points.back().time_s, "s");
+  fig::report_vs_paper("speedup at 224 procs", 95.0,
+                       curve.points.back().speedup, "x");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 38: distributed matrix multiplication (4704 x 4704), 1-224
+// processes on RI2.
+#include "fig_common.hpp"
+#include "ml/distributed.hpp"
+
+using namespace ombx;
+
+int main() {
+  const auto curve = ml::matmul_scaling(
+      net::ClusterSpec::ri2(), net::MpiTuning::mvapich2(),
+      ml::MatmulBenchConfig{}, ml::MlTimingModel{}, ml::paper_proc_counts());
+
+  core::Table t("Distributed matmul (4704x4704), RI2",
+                {"Procs", "Time (s)", "Speedup"});
+  for (const auto& p : curve.points) {
+    t.add_row(static_cast<std::size_t>(p.procs), {p.time_s, p.speedup});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  fig::report_vs_paper("sequential time", 79.63, curve.sequential_s, "s");
+  fig::report_vs_paper("time at 224 procs", 0.614,
+                       curve.points.back().time_s, "s");
+  fig::report_vs_paper("speedup at 224 procs", 129.8,
+                       curve.points.back().speedup, "x");
+  return 0;
+}

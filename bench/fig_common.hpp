@@ -1,0 +1,108 @@
+// Shared scaffolding for the paper-figure benches: standard size ranges,
+// sweep runners, comparison tables and paper-vs-measured summaries.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/plot.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+
+namespace ombx::fig {
+
+/// The paper's "small" and "large" message-size ranges.
+struct SizeRange {
+  std::size_t min;
+  std::size_t max;
+  const char* label;
+};
+
+inline constexpr SizeRange kSmall{1, 8 * 1024, "small (1B-8KB)"};
+inline constexpr SizeRange kLarge{16 * 1024, 4 * 1024 * 1024,
+                                  "large (16KB-4MB)"};
+inline constexpr SizeRange kLargeCollective{16 * 1024, 1024 * 1024,
+                                            "large (16KB-1MB)"};
+
+/// One labelled latency/bandwidth series (one curve of a figure).
+struct Series {
+  std::string label;
+  std::vector<core::Row> rows;
+};
+
+/// Run `fn` for a size range with the shared quick-iteration schedule.
+inline std::vector<core::Row> sweep(
+    core::SuiteConfig cfg, const SizeRange& range,
+    const std::function<std::vector<core::Row>(const core::SuiteConfig&)>&
+        fn) {
+  cfg.opts.min_size = range.min;
+  cfg.opts.max_size = range.max;
+  cfg.opts.iterations = 5;
+  cfg.opts.warmup = 1;
+  cfg.opts.iterations_large = 2;
+  cfg.opts.warmup_large = 1;
+  return fn(cfg);
+}
+
+/// Print one figure: the data table plus an ASCII rendering of the curves
+/// (log-x, log-y when the values span decades — the paper's axes).
+inline void print_figure(const std::string& title,
+                         const std::vector<Series>& series,
+                         const char* metric = "us") {
+  std::vector<std::string> headers{"Size"};
+  for (const auto& s : series) {
+    headers.push_back(s.label + " (" + metric + ")");
+  }
+  core::Table t(title, headers);
+  double vmin = 1e300;
+  double vmax = 0.0;
+  for (std::size_t i = 0; i < series.front().rows.size(); ++i) {
+    std::vector<double> vals;
+    for (const auto& s : series) {
+      vals.push_back(s.rows[i].stats.avg);
+      vmin = std::min(vmin, s.rows[i].stats.avg);
+      vmax = std::max(vmax, s.rows[i].stats.avg);
+    }
+    t.add_row(series.front().rows[i].size, vals, 3);
+  }
+  t.print(std::cout);
+
+  core::AsciiPlot plot(title, metric);
+  plot.log_y(vmin > 0.0 && vmax / std::max(vmin, 1e-12) > 50.0);
+  constexpr char kGlyphs[] = {'*', 'o', 'x', '#', '@', '%'};
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    core::PlotSeries ps;
+    ps.label = series[si].label;
+    ps.glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (const auto& row : series[si].rows) {
+      ps.points.emplace_back(static_cast<double>(row.size),
+                             row.stats.avg);
+    }
+    plot.add(std::move(ps));
+  }
+  plot.render(std::cout);
+  std::cout << "\n";
+}
+
+/// Mean difference between two series (curve B minus curve A).
+inline double mean_gap(const std::vector<core::Row>& a,
+                       const std::vector<core::Row>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += b[i].stats.avg - a[i].stats.avg;
+  }
+  return acc / static_cast<double>(a.size());
+}
+
+/// Paper-vs-measured summary line (collected into EXPERIMENTS.md).
+inline void report_vs_paper(const std::string& what, double paper,
+                            double measured, const char* unit = "us") {
+  std::cout << "  [paper-check] " << what << ": paper " << paper << " "
+            << unit << ", measured " << measured << " " << unit << "\n";
+}
+
+}  // namespace ombx::fig

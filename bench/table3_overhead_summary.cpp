@@ -1,0 +1,99 @@
+// Table III: the paper's summary of average OMB-Py overheads —
+// point-to-point (intra/inter) and Allreduce on CPU, and point-to-point
+// per GPU buffer library — for small and large message ranges.
+#include "fig_common.hpp"
+
+using namespace ombx;
+
+namespace {
+
+double latency_overhead(core::SuiteConfig cfg, const fig::SizeRange& range) {
+  cfg.mode = core::Mode::kNativeC;
+  const auto base = fig::sweep(cfg, range, bench_suite::run_latency);
+  cfg.mode = core::Mode::kPythonDirect;
+  const auto py = fig::sweep(cfg, range, bench_suite::run_latency);
+  return fig::mean_gap(base, py);
+}
+
+double allreduce_overhead(core::SuiteConfig cfg,
+                          const fig::SizeRange& range) {
+  const auto run = [](const core::SuiteConfig& c) {
+    return bench_suite::run_collective(c,
+                                       bench_suite::CollBench::kAllreduce);
+  };
+  cfg.mode = core::Mode::kNativeC;
+  const auto base = fig::sweep(cfg, range, run);
+  cfg.mode = core::Mode::kPythonDirect;
+  const auto py = fig::sweep(cfg, range, run);
+  return fig::mean_gap(base, py);
+}
+
+}  // namespace
+
+int main() {
+  const fig::SizeRange small{4, 8 * 1024, "small"};
+  const fig::SizeRange large{16 * 1024, 1024 * 1024, "large"};
+  const fig::SizeRange p2p_large{16 * 1024, 4 * 1024 * 1024, "large"};
+
+  core::SuiteConfig intra;
+  intra.cluster = net::ClusterSpec::frontera();
+  intra.nranks = 2;
+  intra.ppn = 2;
+
+  core::SuiteConfig inter = intra;
+  inter.ppn = 1;
+
+  core::SuiteConfig ar;
+  ar.cluster = net::ClusterSpec::frontera();
+  ar.nranks = 16;
+  ar.ppn = 1;
+
+  core::SuiteConfig gpu;
+  gpu.cluster = net::ClusterSpec::ri2_gpu();
+  gpu.tuning = net::MpiTuning::mvapich2_gdr();
+  gpu.nranks = 2;
+  gpu.ppn = 1;
+
+  const auto gpu_overhead = [&](buffers::BufferKind k,
+                                const fig::SizeRange& r) {
+    core::SuiteConfig c = gpu;
+    c.buffer = k;
+    return latency_overhead(c, r);
+  };
+
+  const std::vector<double> small_row{
+      latency_overhead(intra, {1, 8192, "s"}),
+      latency_overhead(inter, {1, 8192, "s"}),
+      allreduce_overhead(ar, small),
+      gpu_overhead(buffers::BufferKind::kCupy, {1, 8192, "s"}),
+      gpu_overhead(buffers::BufferKind::kPycuda, {1, 8192, "s"}),
+      gpu_overhead(buffers::BufferKind::kNumba, {1, 8192, "s"})};
+  const std::vector<double> large_row{
+      latency_overhead(intra, p2p_large),
+      latency_overhead(inter, p2p_large),
+      allreduce_overhead(ar, large),
+      gpu_overhead(buffers::BufferKind::kCupy, p2p_large),
+      gpu_overhead(buffers::BufferKind::kPycuda, p2p_large),
+      gpu_overhead(buffers::BufferKind::kNumba, p2p_large)};
+
+  // Print measured vs paper side by side.
+  const double paper_small[] = {0.44, 0.43, 0.93, 3.54, 3.44, 5.85};
+  const double paper_large[] = {2.31, 0.63, 14.13, 8.35, 7.92, 11.40};
+  const char* cols[] = {"Intra", "Inter", "Allreduce", "CuPy", "PyCUDA",
+                        "Numba"};
+
+  core::Table cmp("Table III reproduction: paper vs measured (us)",
+                  {"Cell", "Paper", "Measured"});
+  for (int i = 0; i < 6; ++i) {
+    cmp.add_row({std::string(cols[i]) + " / small",
+                 std::to_string(paper_small[i]),
+                 std::to_string(small_row[static_cast<std::size_t>(i)])});
+  }
+  for (int i = 0; i < 6; ++i) {
+    cmp.add_row({std::string(cols[i]) + " / large",
+                 std::to_string(paper_large[i]),
+                 std::to_string(large_row[static_cast<std::size_t>(i)])});
+  }
+  cmp.print(std::cout);
+  return 0;
+}

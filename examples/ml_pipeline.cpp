@@ -1,0 +1,57 @@
+// Distributed ML end-to-end: train/evaluate the three ML benchmarks of the
+// paper (k-NN, k-means elbow sweep, matmul) sequentially and distributed,
+// and print the speedup curves (Figs 36-38 in miniature).
+//
+//   $ ./ml_pipeline
+#include <iomanip>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "ml/dataset.hpp"
+#include "ml/distributed.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/knn.hpp"
+
+int main() {
+  using namespace ombx;
+  using namespace ombx::ml;
+
+  // --- A real, local taste of the algorithms first. ------------------------
+  const Dataset mini = make_dota2_like(1500, 16, 42);
+  const TrainTestSplit s = split(mini, 0.2, 42);
+  KnnClassifier knn(5);
+  knn.fit(s.train);
+  std::cout << "k-NN accuracy on a planted Dota2-like set: " << std::fixed
+            << std::setprecision(3) << knn.score(s.test) << "\n";
+
+  const Dataset blobs = make_blobs(800, 2, 6, 0.4, 42);
+  const auto inertia = inertia_sweep(blobs, 8, 30, 42);
+  std::cout << "k-means inertia elbow (k=1..8):";
+  for (const double v : inertia) std::cout << " " << std::setprecision(0) << v;
+  std::cout << "\n\n";
+
+  // --- The paper-scale distributed runs (virtual time). --------------------
+  const auto cluster = net::ClusterSpec::ri2();
+  const auto tuning = net::MpiTuning::mvapich2();
+  const MlTimingModel model;
+  const std::vector<int> procs = paper_proc_counts();
+
+  const auto print_curve = [](const char* name, const ScalingCurve& c) {
+    core::Table t(std::string(name) + " scaling on RI2 (28 ppn)",
+                  {"Procs", "Time (s)", "Speedup"});
+    for (const auto& p : c.points) {
+      t.add_row(static_cast<std::size_t>(p.procs), {p.time_s, p.speedup});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  };
+
+  print_curve("k-NN",
+              knn_scaling(cluster, tuning, KnnBenchConfig{}, model, procs));
+  print_curve("k-means hyperparameter sweep",
+              kmeans_scaling(cluster, tuning, KmeansBenchConfig{}, model,
+                             procs));
+  print_curve("matmul", matmul_scaling(cluster, tuning, MatmulBenchConfig{},
+                                       model, procs));
+  return 0;
+}

@@ -1,0 +1,167 @@
+// omb_run: the OMB-Py-style command-line driver.  Runs any benchmark from
+// the registry with user options (the paper's Sec. IV-F flag set).
+//
+//   $ ./omb_run --list
+//   $ ./omb_run latency --cluster frontera --ppn 2 --mode omb-py
+//   $ ./omb_run allreduce --nranks 16 --min 4 --max 1048576 --mode omb-c
+//   $ ./omb_run latency --buffer cupy --cluster ri2-gpu --mode omb-py
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "bench_suite/suite.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+
+namespace {
+
+using namespace ombx;
+
+void usage() {
+  std::cout <<
+      "usage: omb_run <benchmark> [options]\n"
+      "       omb_run --list\n\n"
+      "options:\n"
+      "  --cluster <frontera|stampede2|ri2|ri2-gpu>   (default frontera)\n"
+      "  --mpi <mvapich2|intelmpi|mvapich2-gdr>       (default mvapich2)\n"
+      "  --mode <omb-c|omb-py|omb-py-pickle>          (default omb-py)\n"
+      "  --buffer <bytearray|numpy|cupy|pycuda|numba> (default numpy)\n"
+      "  --nranks <n>      (default 2)\n"
+      "  --ppn <n>         (default 1)\n"
+      "  --min <bytes>     (default 1)\n"
+      "  --max <bytes>     (default 4194304)\n"
+      "  --iters <n>       (default 10)\n"
+      "  --warmup <n>      (default 2)\n"
+      "  --window <n>      (default 64, bandwidth tests)\n"
+      "  --validate        (verify payload patterns)\n"
+      "  --synthetic       (logical payloads only; for large scale)\n"
+      "  --csv             (machine-readable output)\n";
+}
+
+net::ClusterSpec cluster_by_name(const std::string& s) {
+  if (s == "frontera") return net::ClusterSpec::frontera();
+  if (s == "stampede2") return net::ClusterSpec::stampede2();
+  if (s == "ri2") return net::ClusterSpec::ri2();
+  if (s == "ri2-gpu") return net::ClusterSpec::ri2_gpu();
+  throw std::invalid_argument("unknown cluster: " + s);
+}
+
+net::MpiTuning tuning_by_name(const std::string& s) {
+  if (s == "mvapich2") return net::MpiTuning::mvapich2();
+  if (s == "intelmpi") return net::MpiTuning::intelmpi();
+  if (s == "mvapich2-gdr") return net::MpiTuning::mvapich2_gdr();
+  throw std::invalid_argument("unknown MPI library: " + s);
+}
+
+core::Mode mode_by_name(const std::string& s) {
+  if (s == "omb-c") return core::Mode::kNativeC;
+  if (s == "omb-py") return core::Mode::kPythonDirect;
+  if (s == "omb-py-pickle") return core::Mode::kPythonPickle;
+  throw std::invalid_argument("unknown mode: " + s);
+}
+
+buffers::BufferKind buffer_by_name(const std::string& s) {
+  if (s == "bytearray") return buffers::BufferKind::kByteArray;
+  if (s == "numpy") return buffers::BufferKind::kNumpy;
+  if (s == "cupy") return buffers::BufferKind::kCupy;
+  if (s == "pycuda") return buffers::BufferKind::kPycuda;
+  if (s == "numba") return buffers::BufferKind::kNumba;
+  throw std::invalid_argument("unknown buffer: " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::register_suite();
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  if (std::strcmp(argv[1], "--list") == 0) {
+    for (const auto cat :
+         {core::Category::kPointToPoint, core::Category::kBlockingCollective,
+          core::Category::kVectorCollective}) {
+      std::cout << core::to_string(cat) << ":\n";
+      for (const auto* b : core::Registry::instance().by_category(cat)) {
+        std::cout << "  " << b->name << " — " << b->description << "\n";
+      }
+    }
+    return 0;
+  }
+
+  const std::string bench_name = argv[1];
+  const auto* info = core::Registry::instance().find(bench_name);
+  if (info == nullptr) {
+    std::cerr << "unknown benchmark '" << bench_name << "'; try --list\n";
+    return 1;
+  }
+
+  core::SuiteConfig cfg;
+  cfg.ppn = 1;
+  bool csv = false;
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--cluster") {
+        cfg.cluster = cluster_by_name(next());
+      } else if (arg == "--mpi") {
+        cfg.tuning = tuning_by_name(next());
+      } else if (arg == "--mode") {
+        cfg.mode = mode_by_name(next());
+      } else if (arg == "--buffer") {
+        cfg.buffer = buffer_by_name(next());
+      } else if (arg == "--nranks") {
+        cfg.nranks = std::stoi(next());
+      } else if (arg == "--ppn") {
+        cfg.ppn = std::stoi(next());
+      } else if (arg == "--min") {
+        cfg.opts.min_size = std::stoul(next());
+      } else if (arg == "--max") {
+        cfg.opts.max_size = std::stoul(next());
+      } else if (arg == "--iters") {
+        cfg.opts.iterations = std::stoi(next());
+      } else if (arg == "--warmup") {
+        cfg.opts.warmup = std::stoi(next());
+      } else if (arg == "--window") {
+        cfg.opts.window_size = std::stoi(next());
+      } else if (arg == "--validate") {
+        cfg.opts.validate = true;
+      } else if (arg == "--synthetic") {
+        cfg.payload = mpi::PayloadMode::kSynthetic;
+      } else if (arg == "--csv") {
+        csv = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        throw std::invalid_argument("unknown option: " + arg);
+      }
+    }
+
+    const auto rows = info->fn(cfg);
+    const bool is_bw = info->metric == "bandwidth_mbps";
+    core::Table table(
+        "OMB-X " + bench_name + " (" + cfg.cluster.name + ", " +
+            cfg.tuning.name + ", " + core::to_string(cfg.mode) + ", " +
+            buffers::to_string(cfg.buffer) + ")",
+        {"Size", is_bw ? "Bandwidth (MB/s)" : "Avg Latency (us)",
+         "Min", "Max"});
+    for (const auto& r : rows) {
+      table.add_row(r.size, {r.stats.avg, r.stats.min, r.stats.max});
+    }
+    if (csv) {
+      table.write_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "core/stats.hpp"
+#include "mpi/error.hpp"
+
+namespace ombx::bench_suite {
+
+std::string to_string(CollBench b) {
+  switch (b) {
+    case CollBench::kAllgather: return "allgather";
+    case CollBench::kAllreduce: return "allreduce";
+    case CollBench::kAlltoall: return "alltoall";
+    case CollBench::kBarrier: return "barrier";
+    case CollBench::kBcast: return "bcast";
+    case CollBench::kGather: return "gather";
+    case CollBench::kReduce: return "reduce";
+    case CollBench::kReduceScatter: return "reduce_scatter";
+    case CollBench::kScatter: return "scatter";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Buffer sizes each collective needs, as multiples of the max message
+/// size (n = comm size).
+struct BufPlan {
+  std::size_t send_factor = 1;  ///< 0 means "no send buffer"
+  std::size_t recv_factor = 1;
+};
+
+BufPlan plan_for(CollBench b, int n) {
+  const auto un = static_cast<std::size_t>(n);
+  switch (b) {
+    case CollBench::kAllgather: return {1, un};
+    case CollBench::kAllreduce: return {1, 1};
+    case CollBench::kAlltoall: return {un, un};
+    case CollBench::kBarrier: return {0, 0};
+    case CollBench::kBcast: return {1, 0};
+    case CollBench::kGather: return {1, un};
+    case CollBench::kReduce: return {1, 1};
+    case CollBench::kReduceScatter: return {un, 1};
+    case CollBench::kScatter: return {un, 1};
+  }
+  return {1, 1};
+}
+
+}  // namespace
+
+std::vector<core::Row> run_collective(const core::SuiteConfig& cfg,
+                                      CollBench which) {
+  OMBX_REQUIRE(cfg.nranks >= 2, "collectives need at least 2 ranks");
+  OMBX_REQUIRE(cfg.mode != core::Mode::kPythonPickle,
+               "collective pickle benchmarking is not part of OMB-Py v1");
+  mpi::World world(core::make_world_config(cfg));
+  core::DevicePool pool(cfg);
+  std::vector<core::Row> rows;
+  core::StatsBoard board(cfg.nranks);
+
+  world.run([&](mpi::Comm& comm) {
+    core::RankEnv env(comm, cfg, pool);
+    pylayer::PyComm& py = env.py();
+    const BufPlan plan = plan_for(which, comm.size());
+    auto sbuf = env.make(plan.send_factor * cfg.opts.max_size);
+    auto rbuf = env.make(plan.recv_factor * cfg.opts.max_size);
+    sbuf->fill(0x55);
+
+    const mpi::Op op = mpi::Op::kSum;
+    constexpr int kRoot = 0;
+
+    const auto sizes = which == CollBench::kBarrier
+                           ? std::vector<std::size_t>{0}
+                           : cfg.opts.sizes();
+    for (const std::size_t size : sizes) {
+      const int iters = cfg.opts.iters_for(size);
+      const int warmup = cfg.opts.warmup_for(size);
+      // OSU runs the reducing collectives on MPI_FLOAT buffers; sizes below
+      // one float element fall back to byte arithmetic.
+      const mpi::Datatype dt =
+          size % 4 == 0 ? mpi::Datatype::kFloat : mpi::Datatype::kByte;
+      mpi::barrier(comm);
+
+      simtime::usec_t t0 = 0.0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) {
+          mpi::barrier(comm);
+          t0 = comm.now();
+        }
+        switch (which) {
+          case CollBench::kAllgather:
+            py.Allgather(*sbuf, *rbuf, size);
+            break;
+          case CollBench::kAllreduce:
+            py.Allreduce(*sbuf, *rbuf, size, dt, op);
+            break;
+          case CollBench::kAlltoall:
+            py.Alltoall(*sbuf, *rbuf, size);
+            break;
+          case CollBench::kBarrier:
+            py.Barrier();
+            break;
+          case CollBench::kBcast:
+            py.Bcast(*sbuf, size, kRoot);
+            break;
+          case CollBench::kGather:
+            py.Gather(*sbuf, comm.rank() == kRoot ? rbuf.get() : nullptr,
+                      size, kRoot);
+            break;
+          case CollBench::kReduce:
+            py.Reduce(*sbuf, comm.rank() == kRoot ? rbuf.get() : nullptr,
+                      size, dt, op, kRoot);
+            break;
+          case CollBench::kReduceScatter:
+            py.ReduceScatter(*sbuf, *rbuf, size, dt, op);
+            break;
+          case CollBench::kScatter:
+            py.Scatter(comm.rank() == kRoot ? sbuf.get() : nullptr, *rbuf,
+                       size, kRoot);
+            break;
+        }
+      }
+      const double lat = (comm.now() - t0) / static_cast<double>(iters);
+      board.deposit(comm.rank(), lat);
+      mpi::barrier(comm);  // physical rendezvous: all deposits visible
+      if (comm.rank() == 0) {
+        rows.push_back(core::Row{size, board.compute()});
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace ombx::bench_suite

@@ -1,0 +1,124 @@
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "mpi/error.hpp"
+#include "mpi/nbc.hpp"
+
+namespace ombx::bench_suite {
+
+std::string to_string(NbcBench b) {
+  switch (b) {
+    case NbcBench::kIallreduce: return "iallreduce";
+    case NbcBench::kIallgather: return "iallgather";
+    case NbcBench::kIbcast: return "ibcast";
+    case NbcBench::kIalltoall: return "ialltoall";
+    case NbcBench::kIbarrier: return "ibarrier";
+  }
+  return "unknown";
+}
+
+namespace {
+
+mpi::CollRequest post(NbcBench which, pylayer::PyComm& py,
+                      mpi::Comm& comm, buffers::Buffer& sbuf,
+                      buffers::Buffer& rbuf, std::size_t size,
+                      mpi::Datatype dt) {
+  (void)py;  // NBC is exercised at the substrate level (no mpi4py path yet)
+  switch (which) {
+    case NbcBench::kIallreduce:
+      return mpi::iallreduce(comm, mpi::ConstView{sbuf.data(), size},
+                             mpi::MutView{rbuf.data(), size}, dt,
+                             mpi::Op::kSum);
+    case NbcBench::kIallgather:
+      return mpi::iallgather(
+          comm, mpi::ConstView{sbuf.data(), size},
+          mpi::MutView{rbuf.data(),
+                       size * static_cast<std::size_t>(comm.size())});
+    case NbcBench::kIbcast:
+      return mpi::ibcast(comm, mpi::MutView{sbuf.data(), size}, 0);
+    case NbcBench::kIalltoall:
+      return mpi::ialltoall(
+          comm,
+          mpi::ConstView{sbuf.data(),
+                         size * static_cast<std::size_t>(comm.size())},
+          mpi::MutView{rbuf.data(),
+                       size * static_cast<std::size_t>(comm.size())});
+    case NbcBench::kIbarrier:
+      return mpi::ibarrier(comm);
+  }
+  throw mpi::Error("unknown NBC benchmark");
+}
+
+}  // namespace
+
+std::vector<NbcRow> run_nbc(const core::SuiteConfig& cfg, NbcBench which) {
+  OMBX_REQUIRE(cfg.nranks >= 2, "NBC benchmarks need at least 2 ranks");
+  mpi::World world(core::make_world_config(cfg));
+  core::DevicePool pool(cfg);
+  std::vector<NbcRow> rows;
+  core::StatsBoard pure_board(cfg.nranks);
+  core::StatsBoard total_board(cfg.nranks);
+
+  world.run([&](mpi::Comm& comm) {
+    core::RankEnv env(comm, cfg, pool);
+    const auto n = static_cast<std::size_t>(comm.size());
+    auto sbuf = env.make(n * cfg.opts.max_size);
+    auto rbuf = env.make(n * cfg.opts.max_size);
+    sbuf->fill(0x42);
+
+    const auto sizes = which == NbcBench::kIbarrier
+                           ? std::vector<std::size_t>{0}
+                           : cfg.opts.sizes();
+    for (const std::size_t size : sizes) {
+      const int iters = cfg.opts.iters_for(size);
+      const int warmup = cfg.opts.warmup_for(size);
+      const mpi::Datatype dt =
+          size % 4 == 0 ? mpi::Datatype::kFloat : mpi::Datatype::kByte;
+
+      // Phase 1: pure (post + immediate wait) latency.
+      mpi::barrier(comm);
+      simtime::usec_t t0 = 0.0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) {
+          mpi::barrier(comm);
+          t0 = comm.now();
+        }
+        post(which, env.py(), comm, *sbuf, *rbuf, size, dt).wait();
+      }
+      const double t_pure = (comm.now() - t0) / iters;
+      pure_board.deposit(comm.rank(), t_pure);
+      mpi::barrier(comm);
+
+      // Phase 2: post, overlap-candidate compute of ~t_pure, then wait —
+      // OSU's osu_i<coll> overlap methodology.
+      const double flops_for_pure =
+          t_pure * comm.net().cluster().compute.flops_per_us;
+      mpi::barrier(comm);
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) {
+          mpi::barrier(comm);
+          t0 = comm.now();
+        }
+        mpi::CollRequest req =
+            post(which, env.py(), comm, *sbuf, *rbuf, size, dt);
+        comm.charge_flops(flops_for_pure);  // "application compute"
+        req.wait();
+      }
+      const double t_total = (comm.now() - t0) / iters;
+      total_board.deposit(comm.rank(), t_total);
+      mpi::barrier(comm);
+
+      if (comm.rank() == 0) {
+        const double pure = pure_board.compute().avg;
+        const double total = total_board.compute().avg;
+        const double t_cpu = flops_for_pure /
+                             comm.net().cluster().compute.flops_per_us;
+        const double overlap =
+            std::max(0.0, 100.0 * (1.0 - (total - t_cpu) / pure));
+        rows.push_back(NbcRow{size, pure, total, overlap});
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace ombx::bench_suite

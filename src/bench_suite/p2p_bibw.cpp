@@ -1,0 +1,72 @@
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "mpi/error.hpp"
+#include "mpi/request.hpp"
+
+namespace ombx::bench_suite {
+
+std::vector<core::Row> run_bibw(const core::SuiteConfig& cfg) {
+  OMBX_REQUIRE(cfg.nranks == 2, "osu_bibw runs on exactly 2 ranks");
+  OMBX_REQUIRE(cfg.mode != core::Mode::kPythonPickle,
+               "osu_bibw has no pickle variant (matches OMB-Py)");
+  mpi::World world(core::make_world_config(cfg));
+  core::DevicePool pool(cfg);
+  std::vector<core::Row> rows;
+
+  world.run([&](mpi::Comm& comm) {
+    core::RankEnv env(comm, cfg, pool);
+    pylayer::PyComm& py = env.py();
+    auto sbuf = env.make(cfg.opts.max_size);
+    auto rbuf = env.make(cfg.opts.max_size);
+    auto ack = env.make(4);
+    sbuf->fill(0x33);
+
+    const int me = comm.rank();
+    const int peer = 1 - me;
+    const int window = cfg.opts.window_size;
+    constexpr int kTag = 4;
+    constexpr int kAckTag = 5;
+
+    for (const std::size_t size : cfg.opts.sizes()) {
+      const int iters = cfg.opts.iters_for(size);
+      const int warmup = cfg.opts.warmup_for(size);
+      mpi::barrier(comm);
+
+      simtime::usec_t t0 = 0.0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) {
+          mpi::barrier(comm);
+          t0 = comm.now();
+        }
+        std::vector<mpi::Request> reqs;
+        reqs.reserve(static_cast<std::size_t>(2 * window));
+        // Post receives first (as osu_bibw does), then stream the sends.
+        for (int w = 0; w < window; ++w) {
+          reqs.push_back(py.Irecv(*rbuf, size, peer, kTag));
+        }
+        for (int w = 0; w < window; ++w) {
+          reqs.push_back(py.Isend(*sbuf, size, peer, kTag));
+        }
+        (void)mpi::Request::wait_all(reqs);
+        // Window handshake in both directions.
+        if (me == 0) {
+          py.Send(*ack, 4, peer, kAckTag);
+          (void)py.Recv(*ack, 4, peer, kAckTag);
+        } else {
+          (void)py.Recv(*ack, 4, peer, kAckTag);
+          py.Send(*ack, 4, peer, kAckTag);
+        }
+      }
+      const double elapsed = comm.now() - t0;
+      const double bw = 2.0 * static_cast<double>(size) *
+                        static_cast<double>(window) *
+                        static_cast<double>(iters) / elapsed;
+      if (me == 0) {
+        rows.push_back(core::Row{size, core::Stats{bw, bw, bw}});
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace ombx::bench_suite

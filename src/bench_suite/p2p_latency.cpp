@@ -1,0 +1,67 @@
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "mpi/error.hpp"
+
+namespace ombx::bench_suite {
+
+std::vector<core::Row> run_latency(const core::SuiteConfig& cfg) {
+  OMBX_REQUIRE(cfg.nranks == 2, "osu_latency runs on exactly 2 ranks");
+  mpi::World world(core::make_world_config(cfg));
+  core::DevicePool pool(cfg);
+  std::vector<core::Row> rows;
+
+  world.run([&](mpi::Comm& comm) {
+    core::RankEnv env(comm, cfg, pool);
+    pylayer::PyComm& py = env.py();
+    auto sbuf = env.make(cfg.opts.max_size);
+    auto rbuf = env.make(cfg.opts.max_size);
+    sbuf->fill(0x11);
+
+    const bool pickle = cfg.mode == core::Mode::kPythonPickle;
+    const int me = comm.rank();
+    const int peer = 1 - me;
+    constexpr int kTag = 1;
+
+    for (const std::size_t size : cfg.opts.sizes()) {
+      const int iters = cfg.opts.iters_for(size);
+      const int warmup = cfg.opts.warmup_for(size);
+      mpi::barrier(comm);
+
+      simtime::usec_t t0 = 0.0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) {
+          mpi::barrier(comm);
+          t0 = comm.now();
+        }
+        if (me == 0) {
+          if (pickle) {
+            py.send_pickled(*sbuf, size, peer, kTag);
+            (void)py.recv_pickled(*rbuf, peer, kTag);
+          } else {
+            py.Send(*sbuf, size, peer, kTag);
+            (void)py.Recv(*rbuf, size, peer, kTag);
+          }
+        } else {
+          if (pickle) {
+            (void)py.recv_pickled(*rbuf, peer, kTag);
+            py.send_pickled(*sbuf, size, peer, kTag);
+          } else {
+            (void)py.Recv(*rbuf, size, peer, kTag);
+            py.Send(*sbuf, size, peer, kTag);
+          }
+        }
+      }
+      // Half round-trip, as osu_latency reports.
+      const double lat = (comm.now() - t0) / (2.0 * iters);
+      if (cfg.opts.validate) {
+        OMBX_REQUIRE(rbuf->verify(0x11, size), "latency payload corrupted");
+      }
+      if (me == 0) {
+        rows.push_back(core::Row{size, core::Stats{lat, lat, lat}});
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace ombx::bench_suite

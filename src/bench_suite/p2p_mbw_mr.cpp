@@ -1,0 +1,81 @@
+// osu_mbw_mr: multiple concurrent pairs stream windows of messages; the
+// reported number is the aggregate bandwidth (and, implicitly, message
+// rate = bandwidth / size).  Exercises NIC serialization & contention in a
+// way single-pair osu_bw cannot.
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "mpi/error.hpp"
+#include "mpi/request.hpp"
+
+namespace ombx::bench_suite {
+
+std::vector<core::Row> run_mbw_mr(const core::SuiteConfig& cfg) {
+  OMBX_REQUIRE(cfg.nranks >= 2 && cfg.nranks % 2 == 0,
+               "osu_mbw_mr needs an even rank count");
+  mpi::World world(core::make_world_config(cfg));
+  core::DevicePool pool(cfg);
+  std::vector<core::Row> rows;
+  core::StatsBoard board(cfg.nranks);
+  const int pairs = cfg.nranks / 2;
+
+  world.run([&](mpi::Comm& comm) {
+    core::RankEnv env(comm, cfg, pool);
+    pylayer::PyComm& py = env.py();
+    auto sbuf = env.make(cfg.opts.max_size);
+    auto rbuf = env.make(cfg.opts.max_size);
+    auto ack = env.make(4);
+    sbuf->fill(0x77);
+
+    // Senders are the lower half (as in osu_mbw_mr's default layout).
+    const int half = comm.size() / 2;
+    const int me = comm.rank();
+    const bool sender = me < half;
+    const int peer = sender ? me + half : me - half;
+    const int window = cfg.opts.window_size;
+    constexpr int kTag = 12;
+    constexpr int kAckTag = 13;
+
+    for (const std::size_t size : cfg.opts.sizes()) {
+      const int iters = cfg.opts.iters_for(size);
+      const int warmup = cfg.opts.warmup_for(size);
+      mpi::barrier(comm);
+
+      simtime::usec_t t0 = 0.0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) {
+          mpi::barrier(comm);
+          t0 = comm.now();
+        }
+        std::vector<mpi::Request> reqs;
+        reqs.reserve(static_cast<std::size_t>(window));
+        if (sender) {
+          for (int w = 0; w < window; ++w) {
+            reqs.push_back(py.Isend(*sbuf, size, peer, kTag));
+          }
+          (void)mpi::Request::wait_all(reqs);
+          (void)py.Recv(*ack, 4, peer, kAckTag);
+        } else {
+          for (int w = 0; w < window; ++w) {
+            reqs.push_back(py.Irecv(*rbuf, size, peer, kTag));
+          }
+          (void)mpi::Request::wait_all(reqs);
+          py.Send(*ack, 4, peer, kAckTag);
+        }
+      }
+      // Aggregate: every pair moved size*window*iters bytes in parallel;
+      // the slowest pair's elapsed time bounds the aggregate rate.
+      board.deposit(me, comm.now() - t0);
+      mpi::barrier(comm);  // physical rendezvous: all deposits visible
+      if (me == 0) {
+        const core::Stats elapsed = board.compute();
+        const double bytes_total = static_cast<double>(size) * window *
+                                   iters * pairs;
+        const double bw = bytes_total / elapsed.max;
+        rows.push_back(core::Row{size, core::Stats{bw, bw, bw}});
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace ombx::bench_suite

@@ -1,0 +1,61 @@
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "core/stats.hpp"
+#include "mpi/error.hpp"
+
+namespace ombx::bench_suite {
+
+std::vector<core::Row> run_multi_lat(const core::SuiteConfig& cfg) {
+  OMBX_REQUIRE(cfg.nranks >= 2 && cfg.nranks % 2 == 0,
+               "osu_multi_lat needs an even rank count");
+  mpi::World world(core::make_world_config(cfg));
+  core::DevicePool pool(cfg);
+  std::vector<core::Row> rows;
+  core::StatsBoard board(cfg.nranks);
+
+  world.run([&](mpi::Comm& comm) {
+    core::RankEnv env(comm, cfg, pool);
+    pylayer::PyComm& py = env.py();
+    auto sbuf = env.make(cfg.opts.max_size);
+    auto rbuf = env.make(cfg.opts.max_size);
+    sbuf->fill(0x44);
+
+    // Pair layout as in osu_multi_lat: rank r of the lower half talks to
+    // r + nranks/2.
+    const int half = comm.size() / 2;
+    const int me = comm.rank();
+    const bool lower = me < half;
+    const int peer = lower ? me + half : me - half;
+    constexpr int kTag = 6;
+
+    for (const std::size_t size : cfg.opts.sizes()) {
+      const int iters = cfg.opts.iters_for(size);
+      const int warmup = cfg.opts.warmup_for(size);
+      mpi::barrier(comm);
+
+      simtime::usec_t t0 = 0.0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) {
+          mpi::barrier(comm);
+          t0 = comm.now();
+        }
+        if (lower) {
+          py.Send(*sbuf, size, peer, kTag);
+          (void)py.Recv(*rbuf, size, peer, kTag);
+        } else {
+          (void)py.Recv(*rbuf, size, peer, kTag);
+          py.Send(*sbuf, size, peer, kTag);
+        }
+      }
+      const double lat = (comm.now() - t0) / (2.0 * iters);
+      board.deposit(me, lat);
+      mpi::barrier(comm);  // physical rendezvous: all deposits visible
+      if (me == 0) {
+        rows.push_back(core::Row{size, board.compute()});
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace ombx::bench_suite

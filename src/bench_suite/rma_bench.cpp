@@ -1,0 +1,94 @@
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "mpi/error.hpp"
+#include "mpi/rma.hpp"
+
+namespace ombx::bench_suite {
+
+std::string to_string(RmaBench b) {
+  switch (b) {
+    case RmaBench::kPutLatency: return "put_latency";
+    case RmaBench::kGetLatency: return "get_latency";
+    case RmaBench::kPutBw: return "put_bw";
+  }
+  return "unknown";
+}
+
+std::vector<core::Row> run_rma(const core::SuiteConfig& cfg, RmaBench which) {
+  OMBX_REQUIRE(cfg.nranks == 2, "RMA benchmarks run on exactly 2 ranks");
+  OMBX_REQUIRE(cfg.payload == mpi::PayloadMode::kReal,
+               "RMA requires real payloads");
+  mpi::World world(core::make_world_config(cfg));
+  core::DevicePool pool(cfg);
+  std::vector<core::Row> rows;
+
+  world.run([&](mpi::Comm& comm) {
+    core::RankEnv env(comm, cfg, pool);
+    auto local = env.make(cfg.opts.max_size);   // origin-side buffer
+    auto window = env.make(cfg.opts.max_size);  // exposed memory
+    local->fill(0x5A);
+    mpi::Win win(comm, window->mview());
+
+    const int me = comm.rank();
+    const int peer = 1 - me;
+    const int bw_window = cfg.opts.window_size;
+
+    for (const std::size_t size : cfg.opts.sizes()) {
+      const int iters = cfg.opts.iters_for(size);
+      const int warmup = cfg.opts.warmup_for(size);
+      mpi::barrier(comm);
+
+      simtime::usec_t t0 = 0.0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) {
+          mpi::barrier(comm);
+          t0 = comm.now();
+        }
+        switch (which) {
+          case RmaBench::kPutLatency:
+            // osu_put_latency: origin puts, both fence (one epoch per op).
+            if (me == 0) {
+              win.put(mpi::ConstView{local->data(), size, local->space()},
+                      peer, 0);
+            }
+            win.fence();
+            break;
+          case RmaBench::kGetLatency:
+            if (me == 0) {
+              win.get(mpi::MutView{local->data(), size, local->space()},
+                      peer, 0);
+            }
+            win.fence();
+            break;
+          case RmaBench::kPutBw:
+            // osu_put_bw: a window of puts per fence epoch.
+            if (me == 0) {
+              for (int w = 0; w < bw_window; ++w) {
+                win.put(mpi::ConstView{local->data(), size, local->space()},
+                        peer, 0);
+              }
+            }
+            win.fence();
+            break;
+        }
+      }
+      const double elapsed = comm.now() - t0;
+      double value = 0.0;
+      if (which == RmaBench::kPutBw) {
+        value = static_cast<double>(size) * bw_window * iters / elapsed;
+      } else {
+        value = elapsed / static_cast<double>(iters);
+      }
+      if (cfg.opts.validate && which == RmaBench::kPutLatency && me == 1) {
+        OMBX_REQUIRE(window->verify(0x5A, size),
+                     "put payload corrupted in the window");
+      }
+      if (me == 0) {
+        rows.push_back(core::Row{size, core::Stats{value, value, value}});
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace ombx::bench_suite

@@ -1,0 +1,94 @@
+// Registers the full OMB-X suite (the paper's Table II) in the registry.
+#include "bench_suite/suite.hpp"
+
+#include <mutex>
+
+#include "core/registry.hpp"
+
+namespace ombx::core {
+
+namespace {
+
+void add_p2p(Registry& r, const std::string& name,
+             const std::string& metric, const std::string& desc,
+             BenchFn fn) {
+  r.add(BenchmarkInfo{name, Category::kPointToPoint, metric, desc,
+                      std::move(fn)});
+}
+
+void add_coll(Registry& r, bench_suite::CollBench which,
+              const std::string& desc) {
+  r.add(BenchmarkInfo{
+      bench_suite::to_string(which), Category::kBlockingCollective,
+      "latency_us", desc, [which](const SuiteConfig& cfg) {
+        return bench_suite::run_collective(cfg, which);
+      }});
+}
+
+void add_vector(Registry& r, bench_suite::VecBench which,
+                const std::string& desc) {
+  r.add(BenchmarkInfo{
+      bench_suite::to_string(which), Category::kVectorCollective,
+      "latency_us", desc, [which](const SuiteConfig& cfg) {
+        return bench_suite::run_vector(cfg, which);
+      }});
+}
+
+void add_rma(Registry& r, bench_suite::RmaBench which,
+             const std::string& metric, const std::string& desc) {
+  r.add(BenchmarkInfo{bench_suite::to_string(which), Category::kOneSided,
+                      metric, desc, [which](const SuiteConfig& cfg) {
+                        return bench_suite::run_rma(cfg, which);
+                      }});
+}
+
+}  // namespace
+
+void register_suite() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Registry& r = Registry::instance();
+
+    add_p2p(r, "latency", "latency_us",
+            "blocking send/recv ping-pong latency",
+            bench_suite::run_latency);
+    add_p2p(r, "bw", "bandwidth_mbps",
+            "uni-directional windowed bandwidth",
+            bench_suite::run_bandwidth);
+    add_p2p(r, "bibw", "bandwidth_mbps",
+            "bi-directional windowed bandwidth", bench_suite::run_bibw);
+    add_p2p(r, "multi_lat", "latency_us",
+            "concurrent multi-pair ping-pong latency",
+            bench_suite::run_multi_lat);
+    add_p2p(r, "mbw_mr", "bandwidth_mbps",
+            "multi-pair aggregate bandwidth / message rate",
+            bench_suite::run_mbw_mr);
+
+    add_coll(r, bench_suite::CollBench::kAllgather, "MPI_Allgather latency");
+    add_coll(r, bench_suite::CollBench::kAllreduce, "MPI_Allreduce latency");
+    add_coll(r, bench_suite::CollBench::kAlltoall, "MPI_Alltoall latency");
+    add_coll(r, bench_suite::CollBench::kBarrier, "MPI_Barrier latency");
+    add_coll(r, bench_suite::CollBench::kBcast, "MPI_Bcast latency");
+    add_coll(r, bench_suite::CollBench::kGather, "MPI_Gather latency");
+    add_coll(r, bench_suite::CollBench::kReduce, "MPI_Reduce latency");
+    add_coll(r, bench_suite::CollBench::kReduceScatter,
+             "MPI_Reduce_scatter latency");
+    add_coll(r, bench_suite::CollBench::kScatter, "MPI_Scatter latency");
+
+    add_vector(r, bench_suite::VecBench::kAllgatherv,
+               "MPI_Allgatherv latency");
+    add_vector(r, bench_suite::VecBench::kAlltoallv,
+               "MPI_Alltoallv latency");
+    add_vector(r, bench_suite::VecBench::kGatherv, "MPI_Gatherv latency");
+    add_vector(r, bench_suite::VecBench::kScatterv, "MPI_Scatterv latency");
+
+    add_rma(r, bench_suite::RmaBench::kPutLatency, "latency_us",
+            "MPI_Put latency (fence epochs)");
+    add_rma(r, bench_suite::RmaBench::kGetLatency, "latency_us",
+            "MPI_Get latency (fence epochs)");
+    add_rma(r, bench_suite::RmaBench::kPutBw, "bandwidth_mbps",
+            "MPI_Put windowed bandwidth");
+  });
+}
+
+}  // namespace ombx::core

@@ -1,0 +1,105 @@
+// The OMB-X benchmark suite: every test from the paper's Table II.
+//
+//   Point-to-point:        latency, bandwidth, bi-directional bandwidth,
+//                          multi-latency
+//   Blocking collectives:  allgather, allreduce, alltoall, barrier, bcast,
+//                          gather, reduce, reduce_scatter, scatter
+//   Vector variants:       allgatherv, alltoallv, gatherv, scatterv
+//
+// Each function runs one benchmark under a SuiteConfig (cluster, MPI
+// library, job geometry, software mode, buffer kind) and returns one Row
+// per message size.  Latency rows are in microseconds; bandwidth rows in
+// MB/s (OSU convention, 1 MB = 1e6 bytes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/registry.hpp"
+
+namespace ombx::bench_suite {
+
+/// osu_latency: blocking ping-pong between ranks 0 and 1; reports the
+/// half-round-trip time measured at rank 0.
+[[nodiscard]] std::vector<core::Row> run_latency(
+    const core::SuiteConfig& cfg);
+
+/// osu_bw: rank 0 streams a window of non-blocking sends per iteration;
+/// rank 1 acknowledges each window.
+[[nodiscard]] std::vector<core::Row> run_bandwidth(
+    const core::SuiteConfig& cfg);
+
+/// osu_bibw: both ranks stream windows simultaneously.
+[[nodiscard]] std::vector<core::Row> run_bibw(const core::SuiteConfig& cfg);
+
+/// osu_multi_lat: nranks/2 concurrent ping-pong pairs; reports the average
+/// pair latency.
+[[nodiscard]] std::vector<core::Row> run_multi_lat(
+    const core::SuiteConfig& cfg);
+
+enum class CollBench {
+  kAllgather,
+  kAllreduce,
+  kAlltoall,
+  kBarrier,
+  kBcast,
+  kGather,
+  kReduce,
+  kReduceScatter,
+  kScatter,
+};
+
+[[nodiscard]] std::string to_string(CollBench b);
+
+/// osu_<collective>: per-iteration latency averaged over iterations, then
+/// avg/min/max across ranks via Reduce (as the paper describes).
+[[nodiscard]] std::vector<core::Row> run_collective(
+    const core::SuiteConfig& cfg, CollBench which);
+
+enum class VecBench { kAllgatherv, kAlltoallv, kGatherv, kScatterv };
+
+[[nodiscard]] std::string to_string(VecBench b);
+
+/// osu_<collective>v with uniform counts (the OSU vector tests' shape).
+[[nodiscard]] std::vector<core::Row> run_vector(const core::SuiteConfig& cfg,
+                                                VecBench which);
+
+/// One-sided benchmarks (OMB's osu_put_latency / osu_get_latency /
+/// osu_put_bw) — an OMB-X extension beyond the paper's v1 scope.
+enum class RmaBench { kPutLatency, kGetLatency, kPutBw };
+
+[[nodiscard]] std::string to_string(RmaBench b);
+
+[[nodiscard]] std::vector<core::Row> run_rma(const core::SuiteConfig& cfg,
+                                             RmaBench which);
+
+/// osu_mbw_mr: multi-pair aggregate bandwidth and message rate.  Returns
+/// bandwidth rows (MB/s, summed over pairs); message rate is bandwidth
+/// divided by message size.
+[[nodiscard]] std::vector<core::Row> run_mbw_mr(const core::SuiteConfig& cfg);
+
+/// Non-blocking collective benchmarks (OMB's osu_i<coll> suite, an OMB-X
+/// extension): pure latency, total time with overlap-candidate compute,
+/// and the achieved communication/computation overlap percentage.
+enum class NbcBench {
+  kIallreduce,
+  kIallgather,
+  kIbcast,
+  kIalltoall,
+  kIbarrier,
+};
+
+[[nodiscard]] std::string to_string(NbcBench b);
+
+struct NbcRow {
+  std::size_t size = 0;
+  double t_pure_us = 0.0;     ///< post + immediate wait
+  double t_total_us = 0.0;    ///< post + compute + wait
+  double overlap_pct = 0.0;   ///< OSU overlap formula
+};
+
+[[nodiscard]] std::vector<NbcRow> run_nbc(const core::SuiteConfig& cfg,
+                                          NbcBench which);
+
+}  // namespace ombx::bench_suite

@@ -1,0 +1,81 @@
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "core/stats.hpp"
+#include "mpi/error.hpp"
+
+namespace ombx::bench_suite {
+
+std::string to_string(VecBench b) {
+  switch (b) {
+    case VecBench::kAllgatherv: return "allgatherv";
+    case VecBench::kAlltoallv: return "alltoallv";
+    case VecBench::kGatherv: return "gatherv";
+    case VecBench::kScatterv: return "scatterv";
+  }
+  return "unknown";
+}
+
+std::vector<core::Row> run_vector(const core::SuiteConfig& cfg,
+                                  VecBench which) {
+  OMBX_REQUIRE(cfg.nranks >= 2, "vector collectives need at least 2 ranks");
+  OMBX_REQUIRE(cfg.mode != core::Mode::kPythonPickle,
+               "vector pickle benchmarking is not part of OMB-Py v1");
+  mpi::World world(core::make_world_config(cfg));
+  core::DevicePool pool(cfg);
+  std::vector<core::Row> rows;
+  core::StatsBoard board(cfg.nranks);
+
+  world.run([&](mpi::Comm& comm) {
+    core::RankEnv env(comm, cfg, pool);
+    pylayer::PyComm& py = env.py();
+    const auto n = static_cast<std::size_t>(comm.size());
+    auto sbuf = env.make(n * cfg.opts.max_size);
+    auto rbuf = env.make(n * cfg.opts.max_size);
+    sbuf->fill(0x66);
+    constexpr int kRoot = 0;
+
+    for (const std::size_t size : cfg.opts.sizes()) {
+      const int iters = cfg.opts.iters_for(size);
+      const int warmup = cfg.opts.warmup_for(size);
+      // Uniform tables, the shape the OSU v-benchmarks use.
+      std::vector<std::size_t> counts(n, size);
+      std::vector<std::size_t> displs(n);
+      for (std::size_t r = 0; r < n; ++r) displs[r] = r * size;
+      mpi::barrier(comm);
+
+      simtime::usec_t t0 = 0.0;
+      for (int i = 0; i < warmup + iters; ++i) {
+        if (i == warmup) {
+          mpi::barrier(comm);
+          t0 = comm.now();
+        }
+        switch (which) {
+          case VecBench::kAllgatherv:
+            py.Allgatherv(*sbuf, *rbuf, counts, displs);
+            break;
+          case VecBench::kAlltoallv:
+            py.Alltoallv(*sbuf, counts, displs, *rbuf, counts, displs);
+            break;
+          case VecBench::kGatherv:
+            py.Gatherv(*sbuf, size,
+                       comm.rank() == kRoot ? rbuf.get() : nullptr, counts,
+                       displs, kRoot);
+            break;
+          case VecBench::kScatterv:
+            py.Scatterv(comm.rank() == kRoot ? sbuf.get() : nullptr, counts,
+                        displs, *rbuf, size, kRoot);
+            break;
+        }
+      }
+      const double lat = (comm.now() - t0) / static_cast<double>(iters);
+      board.deposit(comm.rank(), lat);
+      mpi::barrier(comm);  // physical rendezvous: all deposits visible
+      if (comm.rank() == 0) {
+        rows.push_back(core::Row{size, board.compute()});
+      }
+    }
+  });
+  return rows;
+}
+
+}  // namespace ombx::bench_suite

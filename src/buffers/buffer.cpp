@@ -1,0 +1,107 @@
+#include "buffers/buffer.hpp"
+
+#include <algorithm>
+
+namespace ombx::buffers {
+
+std::string to_string(BufferKind k) {
+  switch (k) {
+    case BufferKind::kByteArray: return "bytearray";
+    case BufferKind::kNumpy: return "numpy";
+    case BufferKind::kCupy: return "cupy";
+    case BufferKind::kPycuda: return "pycuda";
+    case BufferKind::kNumba: return "numba";
+  }
+  return "unknown";
+}
+
+bool is_gpu(BufferKind k) noexcept {
+  switch (k) {
+    case BufferKind::kCupy:
+    case BufferKind::kPycuda:
+    case BufferKind::kNumba:
+      return true;
+    case BufferKind::kByteArray:
+    case BufferKind::kNumpy:
+      return false;
+  }
+  return false;
+}
+
+std::optional<gpu::GpuLib> gpu_lib_of(BufferKind k) noexcept {
+  switch (k) {
+    case BufferKind::kCupy: return gpu::GpuLib::kCupy;
+    case BufferKind::kPycuda: return gpu::GpuLib::kPycuda;
+    case BufferKind::kNumba: return gpu::GpuLib::kNumba;
+    default: return std::nullopt;
+  }
+}
+
+void Buffer::fill(std::uint8_t seed) noexcept {
+  std::byte* p = data();
+  if (p == nullptr) return;
+  const std::size_t n = bytes();
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::byte>((seed + i) & 0xffU);
+  }
+}
+
+bool Buffer::verify(std::uint8_t seed, std::size_t nbytes) const noexcept {
+  const std::byte* p = data();
+  if (p == nullptr) return true;  // synthetic: nothing to check
+  const std::size_t n = std::min(nbytes, bytes());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p[i] != static_cast<std::byte>((seed + i) & 0xffU)) return false;
+  }
+  return true;
+}
+
+ByteArrayBuffer::ByteArrayBuffer(std::size_t bytes, bool synthetic)
+    : bytes_(bytes) {
+  if (!synthetic && bytes > 0) storage_.resize(bytes);
+}
+
+NumpyBuffer::NumpyBuffer(std::size_t bytes, bool synthetic,
+                         mpi::Datatype dtype)
+    : bytes_(bytes), dtype_(dtype) {
+  if (!synthetic && bytes > 0) storage_.resize(bytes);
+}
+
+namespace {
+gpu::GpuArray make_array(BufferKind kind, gpu::Device& dev,
+                         std::size_t bytes, bool synthetic) {
+  switch (kind) {
+    case BufferKind::kCupy: return gpu::cupy_empty(dev, bytes, synthetic);
+    case BufferKind::kPycuda: return gpu::pycuda_empty(dev, bytes, synthetic);
+    case BufferKind::kNumba:
+      return gpu::numba_device_array(dev, bytes, synthetic);
+    default:
+      throw std::logic_error("GpuLibBuffer with a host buffer kind");
+  }
+}
+}  // namespace
+
+GpuLibBuffer::GpuLibBuffer(BufferKind kind, gpu::Device& dev,
+                           std::size_t bytes, bool synthetic)
+    : kind_(kind), arr_(make_array(kind, dev, bytes, synthetic)) {}
+
+std::unique_ptr<Buffer> make_buffer(BufferKind kind, std::size_t bytes,
+                                    gpu::Device* dev, bool synthetic) {
+  switch (kind) {
+    case BufferKind::kByteArray:
+      return std::make_unique<ByteArrayBuffer>(bytes, synthetic);
+    case BufferKind::kNumpy:
+      return std::make_unique<NumpyBuffer>(bytes, synthetic);
+    case BufferKind::kCupy:
+    case BufferKind::kPycuda:
+    case BufferKind::kNumba:
+      if (dev == nullptr) {
+        throw std::invalid_argument(
+            "GPU buffer kinds require a gpu::Device");
+      }
+      return std::make_unique<GpuLibBuffer>(kind, *dev, bytes, synthetic);
+  }
+  throw std::invalid_argument("unknown buffer kind");
+}
+
+}  // namespace ombx::buffers

@@ -1,0 +1,137 @@
+// Unified communication-buffer abstraction over the five buffer types
+// OMB-Py supports: Python bytearray, NumPy ndarray (host), and CuPy /
+// PyCUDA / Numba device arrays (GPU).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gpu/libs.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/message.hpp"
+#include "net/network.hpp"
+
+namespace ombx::buffers {
+
+enum class BufferKind { kByteArray, kNumpy, kCupy, kPycuda, kNumba };
+
+[[nodiscard]] std::string to_string(BufferKind k);
+[[nodiscard]] bool is_gpu(BufferKind k) noexcept;
+[[nodiscard]] std::optional<gpu::GpuLib> gpu_lib_of(BufferKind k) noexcept;
+
+/// Abstract communication buffer.  data() may be nullptr for synthetic
+/// buffers (logical size without backing store); all views propagate that.
+class Buffer {
+ public:
+  virtual ~Buffer() = default;
+
+  [[nodiscard]] virtual BufferKind kind() const noexcept = 0;
+  [[nodiscard]] virtual std::byte* data() noexcept = 0;
+  [[nodiscard]] virtual const std::byte* data() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t bytes() const noexcept = 0;
+
+  /// Element type carried by the buffer (kByte for raw bytearrays).
+  [[nodiscard]] virtual mpi::Datatype dtype() const noexcept {
+    return mpi::Datatype::kByte;
+  }
+
+  [[nodiscard]] net::MemSpace space() const noexcept {
+    return is_gpu(kind()) ? net::MemSpace::kDevice : net::MemSpace::kHost;
+  }
+
+  [[nodiscard]] mpi::ConstView cview() const noexcept {
+    return mpi::ConstView{data(), bytes(), space()};
+  }
+  [[nodiscard]] mpi::MutView mview() noexcept {
+    return mpi::MutView{data(), bytes(), space()};
+  }
+
+  /// Deterministic fill pattern (no-op on synthetic buffers).
+  void fill(std::uint8_t seed) noexcept;
+  /// Verify the first `nbytes` of the pattern written by fill(seed)
+  /// (clamped to the buffer size); synthetic buffers verify trivially.
+  [[nodiscard]] bool verify(std::uint8_t seed,
+                            std::size_t nbytes = SIZE_MAX) const noexcept;
+};
+
+/// Python built-in bytearray.
+class ByteArrayBuffer final : public Buffer {
+ public:
+  ByteArrayBuffer(std::size_t bytes, bool synthetic);
+
+  [[nodiscard]] BufferKind kind() const noexcept override {
+    return BufferKind::kByteArray;
+  }
+  [[nodiscard]] std::byte* data() noexcept override {
+    return storage_.empty() ? nullptr : storage_.data();
+  }
+  [[nodiscard]] const std::byte* data() const noexcept override {
+    return storage_.empty() ? nullptr : storage_.data();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept override { return bytes_; }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::size_t bytes_;
+};
+
+/// NumPy ndarray (1-D, contiguous).  Carries a dtype so reducing
+/// collectives can do real arithmetic on it.
+class NumpyBuffer final : public Buffer {
+ public:
+  NumpyBuffer(std::size_t bytes, bool synthetic,
+              mpi::Datatype dtype = mpi::Datatype::kByte);
+
+  [[nodiscard]] BufferKind kind() const noexcept override {
+    return BufferKind::kNumpy;
+  }
+  [[nodiscard]] std::byte* data() noexcept override {
+    return storage_.empty() ? nullptr : storage_.data();
+  }
+  [[nodiscard]] const std::byte* data() const noexcept override {
+    return storage_.empty() ? nullptr : storage_.data();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept override { return bytes_; }
+  [[nodiscard]] mpi::Datatype dtype() const noexcept override {
+    return dtype_;
+  }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::size_t bytes_;
+  mpi::Datatype dtype_;
+};
+
+/// A device array owned by one of the simulated GPU libraries.
+class GpuLibBuffer final : public Buffer {
+ public:
+  GpuLibBuffer(BufferKind kind, gpu::Device& dev, std::size_t bytes,
+               bool synthetic);
+
+  [[nodiscard]] BufferKind kind() const noexcept override { return kind_; }
+  [[nodiscard]] std::byte* data() noexcept override { return arr_.data(); }
+  [[nodiscard]] const std::byte* data() const noexcept override {
+    return arr_.data();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept override {
+    return arr_.bytes();
+  }
+
+  [[nodiscard]] const gpu::GpuArray& array() const noexcept { return arr_; }
+
+ private:
+  BufferKind kind_;
+  gpu::GpuArray arr_;
+};
+
+/// Create a buffer of the given kind.  GPU kinds require `dev`.
+/// `synthetic` buffers report `bytes` but own no storage.
+[[nodiscard]] std::unique_ptr<Buffer> make_buffer(BufferKind kind,
+                                                  std::size_t bytes,
+                                                  gpu::Device* dev = nullptr,
+                                                  bool synthetic = false);
+
+}  // namespace ombx::buffers

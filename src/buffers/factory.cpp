@@ -1,0 +1,5 @@
+// Reserved for future buffer registries (pooling, pinned-memory variants).
+// make_buffer lives in buffer.cpp; this TU anchors the library target.
+#include "buffers/buffer.hpp"
+
+namespace ombx::buffers {}

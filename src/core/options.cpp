@@ -1,0 +1,24 @@
+#include "core/options.hpp"
+
+namespace ombx::core {
+
+std::string to_string(Mode m) {
+  switch (m) {
+    case Mode::kNativeC: return "omb-c";
+    case Mode::kPythonDirect: return "omb-py";
+    case Mode::kPythonPickle: return "omb-py-pickle";
+  }
+  return "unknown";
+}
+
+std::vector<std::size_t> Options::sizes() const {
+  std::vector<std::size_t> out;
+  for (std::size_t s = std::max<std::size_t>(1, min_size); s <= max_size;
+       s *= 2) {
+    out.push_back(s);
+    if (s > max_size / 2) break;  // avoid overflow on huge max_size
+  }
+  return out;
+}
+
+}  // namespace ombx::core

@@ -1,0 +1,68 @@
+// Benchmark options — the user-visible knobs OMB-Py documents:
+// device, buffer type, message-size range, iteration/warm-up counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "buffers/buffer.hpp"
+#include "mpi/engine.hpp"
+#include "net/cluster.hpp"
+#include "net/tuning.hpp"
+
+namespace ombx::core {
+
+/// Which software stack issues the MPI calls.
+enum class Mode {
+  kNativeC,       ///< OMB baseline: C calls straight into MPI
+  kPythonDirect,  ///< OMB-Py uppercase API (buffer protocol / CAI)
+  kPythonPickle,  ///< OMB-Py lowercase API (pickle serialization)
+};
+
+[[nodiscard]] std::string to_string(Mode m);
+
+/// Per-benchmark options (OMB flag equivalents).
+struct Options {
+  std::size_t min_size = 1;
+  std::size_t max_size = 1 << 22;  // 4 MiB, OSU default for p2p
+
+  /// Iteration counts.  The virtual-time engine is deterministic, so small
+  /// counts already give exact numbers; OSU-scale defaults remain available
+  /// for the real-transport paths.
+  int iterations = 10;
+  int warmup = 2;
+  int iterations_large = 4;
+  int warmup_large = 1;
+  std::size_t large_threshold = 8192;  ///< switch to the *_large counts
+
+  int window_size = 64;  ///< outstanding messages in the bandwidth tests
+  int pairs = 1;         ///< communicating pairs in multi-latency
+
+  bool validate = false;  ///< verify payload patterns after each size
+
+  [[nodiscard]] int iters_for(std::size_t size) const noexcept {
+    return size > large_threshold ? iterations_large : iterations;
+  }
+  [[nodiscard]] int warmup_for(std::size_t size) const noexcept {
+    return size > large_threshold ? warmup_large : warmup;
+  }
+
+  /// Power-of-two sweep [min_size, max_size] (OSU convention; 0 excluded).
+  [[nodiscard]] std::vector<std::size_t> sizes() const;
+};
+
+/// Everything a benchmark needs to run: machine, library, job geometry,
+/// software mode, buffer type and options.
+struct SuiteConfig {
+  net::ClusterSpec cluster = net::ClusterSpec::frontera();
+  net::MpiTuning tuning = net::MpiTuning::mvapich2();
+  int nranks = 2;
+  int ppn = 1;
+  Mode mode = Mode::kPythonDirect;
+  buffers::BufferKind buffer = buffers::BufferKind::kNumpy;
+  mpi::PayloadMode payload = mpi::PayloadMode::kReal;
+  Options opts;
+};
+
+}  // namespace ombx::core

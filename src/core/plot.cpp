@@ -1,0 +1,94 @@
+#include "core/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace ombx::core {
+
+AsciiPlot::AsciiPlot(std::string title, std::string y_label, int width,
+                     int height)
+    : title_(std::move(title)),
+      y_label_(std::move(y_label)),
+      width_(std::max(16, width)),
+      height_(std::max(4, height)) {}
+
+void AsciiPlot::add(PlotSeries series) {
+  series_.push_back(std::move(series));
+}
+
+void AsciiPlot::render(std::ostream& os) const {
+  os << "# " << title_ << "\n";
+  if (series_.empty()) {
+    os << "  (no data)\n";
+    return;
+  }
+
+  const auto xform = [&](double v, bool log_axis) {
+    return log_axis ? std::log2(std::max(v, 1e-12)) : v;
+  };
+
+  double xmin = std::numeric_limits<double>::max();
+  double xmax = std::numeric_limits<double>::lowest();
+  double ymin = std::numeric_limits<double>::max();
+  double ymax = std::numeric_limits<double>::lowest();
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      xmin = std::min(xmin, xform(x, log_x_));
+      xmax = std::max(xmax, xform(x, log_x_));
+      ymin = std::min(ymin, xform(y, log_y_));
+      ymax = std::max(ymax, xform(y, log_y_));
+    }
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), ' '));
+
+  for (const auto& s : series_) {
+    for (const auto& [x, y] : s.points) {
+      const double fx = (xform(x, log_x_) - xmin) / (xmax - xmin);
+      const double fy = (xform(y, log_y_) - ymin) / (ymax - ymin);
+      const int col = static_cast<int>(std::lround(fx * (width_ - 1)));
+      const int row =
+          height_ - 1 - static_cast<int>(std::lround(fy * (height_ - 1)));
+      char& cell = grid[static_cast<std::size_t>(row)]
+                       [static_cast<std::size_t>(col)];
+      // Overlapping series show as '+' so collisions stay visible.
+      cell = (cell == ' ' || cell == s.glyph) ? s.glyph : '+';
+    }
+  }
+
+  const auto unform = [&](double v, bool log_axis) {
+    return log_axis ? std::exp2(v) : v;
+  };
+  for (int r = 0; r < height_; ++r) {
+    const double fy = 1.0 - static_cast<double>(r) / (height_ - 1);
+    const double y = unform(ymin + fy * (ymax - ymin), log_y_);
+    os << std::setw(11) << std::setprecision(4) << std::defaultfloat << y
+       << " |" << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(12, ' ') << '+' << std::string(
+        static_cast<std::size_t>(width_), '-') << "\n";
+  os << std::string(12, ' ') << std::left << std::setw(width_ / 2)
+     << unform(xmin, log_x_) << std::right
+     << std::setw(width_ / 2) << unform(xmax, log_x_) << "\n";
+  os << "  y: " << y_label_ << ";  x: message size (bytes"
+     << (log_x_ ? ", log scale" : "") << ")\n";
+  for (const auto& s : series_) {
+    os << "  '" << s.glyph << "' " << s.label << "\n";
+  }
+}
+
+std::string AsciiPlot::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace ombx::core

@@ -1,0 +1,45 @@
+// ASCII line plots for the figure benches: log-x (message size), linear or
+// log y, multiple series distinguished by glyphs — so `build/bench/fig*`
+// binaries render the paper's figures directly in the terminal.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ombx::core {
+
+struct PlotSeries {
+  std::string label;
+  char glyph = '*';
+  /// (x, y) points; x is typically the message size in bytes.
+  std::vector<std::pair<double, double>> points;
+};
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string y_label, int width = 72,
+            int height = 18);
+
+  void add(PlotSeries series);
+
+  /// Log-scale the x axis (message sizes) — default on.
+  void log_x(bool on) noexcept { log_x_ = on; }
+  /// Log-scale the y axis (latency spanning decades).
+  void log_y(bool on) noexcept { log_y_ = on; }
+
+  void render(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  bool log_x_ = true;
+  bool log_y_ = false;
+  std::vector<PlotSeries> series_;
+};
+
+}  // namespace ombx::core

@@ -1,0 +1,47 @@
+#include "core/registry.hpp"
+
+#include "mpi/error.hpp"
+
+namespace ombx::core {
+
+std::string to_string(Category c) {
+  switch (c) {
+    case Category::kPointToPoint: return "point-to-point";
+    case Category::kBlockingCollective: return "blocking-collective";
+    case Category::kVectorCollective: return "vector-collective";
+    case Category::kOneSided: return "one-sided";
+  }
+  return "unknown";
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(BenchmarkInfo info) {
+  OMBX_REQUIRE(!info.name.empty(), "benchmark must have a name");
+  by_name_[info.name] = std::move(info);
+}
+
+const BenchmarkInfo* Registry::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, info] : by_name_) out.push_back(name);
+  return out;
+}
+
+std::vector<const BenchmarkInfo*> Registry::by_category(Category c) const {
+  std::vector<const BenchmarkInfo*> out;
+  for (const auto& [name, info] : by_name_) {
+    if (info.category == c) out.push_back(&info);
+  }
+  return out;
+}
+
+}  // namespace ombx::core

@@ -1,0 +1,61 @@
+// Benchmark registry: every test OMB-X supports, addressable by name
+// (latency, bw, bibw, multi_lat, allgather, ..., alltoallv).  Mirrors the
+// paper's Table II and powers the omb_run example CLI.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/stats.hpp"
+
+namespace ombx::core {
+
+enum class Category {
+  kPointToPoint,
+  kBlockingCollective,
+  kVectorCollective,
+  kOneSided,  ///< OMB-X extension beyond the paper's v1 scope
+};
+
+[[nodiscard]] std::string to_string(Category c);
+
+/// One sweep row: message size plus the metric statistics across ranks.
+struct Row {
+  std::size_t size = 0;
+  Stats stats;  ///< latency in us, or bandwidth in MB/s for the bw tests
+};
+
+using BenchFn = std::function<std::vector<Row>(const SuiteConfig&)>;
+
+struct BenchmarkInfo {
+  std::string name;
+  Category category = Category::kPointToPoint;
+  std::string metric;  ///< "latency_us" or "bandwidth_mbps"
+  std::string description;
+  BenchFn fn;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  void add(BenchmarkInfo info);
+
+  [[nodiscard]] const BenchmarkInfo* find(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::vector<const BenchmarkInfo*> by_category(
+      Category c) const;
+  [[nodiscard]] std::size_t count() const noexcept { return by_name_.size(); }
+
+ private:
+  std::map<std::string, BenchmarkInfo> by_name_;
+};
+
+/// Registers the full OMB-X suite into the registry (idempotent).
+/// Implemented in bench_suite/suite.cpp.
+void register_suite();
+
+}  // namespace ombx::core

@@ -1,0 +1,104 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+
+namespace ombx::core {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(std::size_t size, const std::vector<double>& values,
+                    int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(format_size(size));
+  for (double v : values) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    cells.push_back(os.str());
+  }
+  add_row(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  os << "# " << title_ << "\n";
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  os << "# ";
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << std::left << std::setw(static_cast<int>(widths[i]) + 4)
+       << headers_[i];
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    os << "  ";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::size_t w = i < widths.size() ? widths[i] : row[i].size();
+      os << std::left << std::setw(static_cast<int>(w) + 4) << row[i];
+    }
+    os << "\n";
+  }
+}
+
+namespace {
+void csv_field(std::ostream& os, const std::string& s) {
+  if (s.find(',') == std::string::npos &&
+      s.find('"') == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (const char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    if (i > 0) os << ',';
+    csv_field(os, headers_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << ',';
+      csv_field(os, row[i]);
+    }
+    os << '\n';
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string format_size(std::size_t bytes) {
+  return std::to_string(bytes);
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+}  // namespace ombx::core

@@ -1,0 +1,45 @@
+// OSU-style fixed-width report tables plus comparison helpers used by the
+// paper-figure benches ("size, OMB, OMB-Py, overhead" rows).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ombx::core {
+
+/// A simple fixed-width text table, printed in the OSU banner style:
+///   # OMB-X Latency Test
+///   # Size       Latency (us)
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void add_row(std::size_t size, const std::vector<double>& values,
+               int precision = 2);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  void print(std::ostream& os) const;
+
+  /// Machine-readable dump: a header row then one line per row, fields
+  /// quoted only when they contain commas.
+  void write_csv(std::ostream& os) const;
+
+  /// Render to a string (handy in tests).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a byte count the way OSU prints sizes (plain integer).
+[[nodiscard]] std::string format_size(std::size_t bytes);
+
+/// Mean of a vector (0 for empty).
+[[nodiscard]] double mean(const std::vector<double>& v);
+
+}  // namespace ombx::core

@@ -1,0 +1,54 @@
+#include "core/runner.hpp"
+
+#include "mpi/error.hpp"
+
+namespace ombx::core {
+
+mpi::WorldConfig make_world_config(const SuiteConfig& cfg) {
+  mpi::WorldConfig wc;
+  wc.cluster = cfg.cluster;
+  wc.tuning = cfg.tuning;
+  wc.nranks = cfg.nranks;
+  wc.ppn = cfg.ppn;
+  wc.payload = cfg.payload;
+  wc.thread_level = cfg.mode == Mode::kNativeC
+                        ? net::ThreadLevel::kSingle
+                        : net::ThreadLevel::kMultiple;
+  return wc;
+}
+
+DevicePool::DevicePool(const SuiteConfig& cfg)
+    : mapper_(cfg.cluster.topo, cfg.ppn) {
+  if (cfg.cluster.gpu.has_value()) {
+    devices_.reserve(static_cast<std::size_t>(cfg.cluster.topo.nodes));
+    for (int n = 0; n < cfg.cluster.topo.nodes; ++n) {
+      devices_.push_back(
+          std::make_unique<gpu::Device>(n, *cfg.cluster.gpu));
+    }
+  }
+}
+
+gpu::Device* DevicePool::for_rank(int world_rank) {
+  if (devices_.empty()) return nullptr;
+  const int node = mapper_.place(world_rank).node;
+  return devices_[static_cast<std::size_t>(node)].get();
+}
+
+RankEnv::RankEnv(mpi::Comm& comm, const SuiteConfig& cfg, DevicePool& pool)
+    : comm_(&comm),
+      cfg_(&cfg),
+      device_(pool.for_rank(comm.world_rank(comm.rank()))),
+      py_(comm, pylayer::PyCosts::for_cluster(cfg.cluster.name),
+          cfg.mode != Mode::kNativeC) {
+  if (buffers::is_gpu(cfg.buffer)) {
+    OMBX_REQUIRE(device_ != nullptr,
+                 "GPU buffer kind on a cluster without GPUs");
+  }
+}
+
+std::unique_ptr<buffers::Buffer> RankEnv::make(std::size_t bytes) {
+  const bool synthetic = cfg_->payload == mpi::PayloadMode::kSynthetic;
+  return buffers::make_buffer(cfg_->buffer, bytes, device_, synthetic);
+}
+
+}  // namespace ombx::core

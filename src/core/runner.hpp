@@ -1,0 +1,58 @@
+// Glue between SuiteConfig and the substrate: world construction (with the
+// right thread level per mode), per-node simulated GPUs, and the buffer +
+// PyComm environment each rank program needs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/options.hpp"
+#include "gpu/device.hpp"
+#include "mpi/world.hpp"
+#include "pylayer/pycomm.hpp"
+
+namespace ombx::core {
+
+/// Build a WorldConfig for a benchmark run.  mpi4py initializes MPI with
+/// THREAD_MULTIPLE (OMB's C binaries use THREAD_SINGLE), which is the
+/// paper's explanation for the full-subscription Allreduce degradation.
+[[nodiscard]] mpi::WorldConfig make_world_config(const SuiteConfig& cfg);
+
+/// One simulated GPU per node (the RI2 GPU partition layout).  Ranks map
+/// to their node's device.  Empty when the cluster has no GPUs.
+class DevicePool {
+ public:
+  explicit DevicePool(const SuiteConfig& cfg);
+
+  /// Device for a world rank; nullptr on CPU-only clusters.
+  [[nodiscard]] gpu::Device* for_rank(int world_rank);
+
+  [[nodiscard]] bool empty() const noexcept { return devices_.empty(); }
+
+ private:
+  net::RankMapper mapper_;
+  std::vector<std::unique_ptr<gpu::Device>> devices_;
+};
+
+/// Per-rank benchmark environment: buffers of the configured kind plus a
+/// PyComm in the configured mode.  Construct inside rank_main.
+class RankEnv {
+ public:
+  RankEnv(mpi::Comm& comm, const SuiteConfig& cfg, DevicePool& pool);
+
+  [[nodiscard]] pylayer::PyComm& py() noexcept { return py_; }
+  [[nodiscard]] mpi::Comm& comm() noexcept { return *comm_; }
+  [[nodiscard]] const SuiteConfig& cfg() const noexcept { return *cfg_; }
+
+  /// Allocate a buffer of the configured kind.  Respects the payload mode
+  /// (synthetic buffers at scale).
+  [[nodiscard]] std::unique_ptr<buffers::Buffer> make(std::size_t bytes);
+
+ private:
+  mpi::Comm* comm_;
+  const SuiteConfig* cfg_;
+  gpu::Device* device_;
+  pylayer::PyComm py_;
+};
+
+}  // namespace ombx::core

@@ -1,0 +1,53 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+
+namespace ombx::core {
+
+namespace {
+mpi::ConstView dview(const double& d) {
+  return mpi::ConstView{reinterpret_cast<const std::byte*>(&d),
+                        sizeof(double), net::MemSpace::kHost};
+}
+mpi::MutView dview(double& d) {
+  return mpi::MutView{reinterpret_cast<std::byte*>(&d), sizeof(double),
+                      net::MemSpace::kHost};
+}
+}  // namespace
+
+Stats StatsBoard::compute() const {
+  Stats s;
+  if (values_.empty()) return s;
+  s.min = values_.front();
+  s.max = values_.front();
+  double sum = 0.0;
+  for (const double v : values_) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.avg = sum / static_cast<double>(values_.size());
+  return s;
+}
+
+Stats reduce_stats(mpi::Comm& c, double local, int root) {
+  const double& loc = local;
+  double sum = 0.0;
+  double mn = 0.0;
+  double mx = 0.0;
+  mpi::reduce(c, dview(loc), dview(sum), mpi::Datatype::kDouble,
+              mpi::Op::kSum, root);
+  mpi::reduce(c, dview(loc), dview(mn), mpi::Datatype::kDouble,
+              mpi::Op::kMin, root);
+  mpi::reduce(c, dview(loc), dview(mx), mpi::Datatype::kDouble,
+              mpi::Op::kMax, root);
+  Stats s;
+  if (c.rank() == root) {
+    s.avg = sum / static_cast<double>(c.size());
+    s.min = mn;
+    s.max = mx;
+  }
+  return s;
+}
+
+}  // namespace ombx::core

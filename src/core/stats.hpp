@@ -1,0 +1,45 @@
+// Cross-rank latency statistics, computed the way the paper describes:
+// per-rank values are combined with MPI_Reduce (avg via SUM, plus MIN and
+// MAX) at the root.
+#pragma once
+
+#include <vector>
+
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+
+namespace ombx::core {
+
+struct Stats {
+  double avg = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Combine one double per rank into avg/min/max at `root`.
+/// Collective: every rank must call it.  Non-root ranks receive zeros.
+/// Note: requires real payloads — in PayloadMode::kSynthetic no data rides
+/// the simulated wire, so use StatsBoard instead.
+[[nodiscard]] Stats reduce_stats(mpi::Comm& c, double local, int root = 0);
+
+/// Host-side cross-rank statistics for simulation benches: every rank
+/// deposits its value, then (after a barrier, which the engine's physical
+/// synchronization makes a true rendezvous) any rank may compute.  Works
+/// in synthetic payload mode, where reduce_stats cannot.
+class StatsBoard {
+ public:
+  explicit StatsBoard(int nranks)
+      : values_(static_cast<std::size_t>(nranks), 0.0) {}
+
+  void deposit(int rank, double v) {
+    values_[static_cast<std::size_t>(rank)] = v;
+  }
+
+  /// Call only after a barrier following the deposits of interest.
+  [[nodiscard]] Stats compute() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace ombx::core

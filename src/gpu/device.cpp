@@ -1,0 +1,41 @@
+#include "gpu/device.hpp"
+
+#include <utility>
+
+namespace ombx::gpu {
+
+DeviceBuffer::DeviceBuffer(Device* d, std::size_t bytes, bool synthetic)
+    : device_(d), bytes_(bytes) {
+  if (!synthetic && bytes > 0) backing_.resize(bytes);
+}
+
+DeviceBuffer::~DeviceBuffer() {
+  if (device_ != nullptr) device_->release(bytes_);
+}
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
+    : device_(std::exchange(other.device_, nullptr)),
+      bytes_(std::exchange(other.bytes_, 0)),
+      backing_(std::move(other.backing_)) {}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    if (device_ != nullptr) device_->release(bytes_);
+    device_ = std::exchange(other.device_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+    backing_ = std::move(other.backing_);
+  }
+  return *this;
+}
+
+DeviceBuffer Device::allocate(std::size_t bytes, bool synthetic) {
+  // Reserve capacity first; roll back on overflow.
+  const std::size_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+  if (prev + bytes > capacity_bytes()) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw OutOfDeviceMemory();
+  }
+  return DeviceBuffer(this, bytes, synthetic);
+}
+
+}  // namespace ombx::gpu

@@ -1,0 +1,113 @@
+// Simulated CUDA device.
+//
+// The paper's GPU experiments need V100s; this machine has none.  We model
+// the device as (a) a bounded memory allocator whose buffers are backed by
+// host memory (so payloads remain real and verifiable), and (b) a cost
+// model for kernel launches, stream synchronization and PCIe copies.  The
+// CUDA-aware MPI wire path itself (GPUDirect) is priced by the cluster's
+// gpu_inter_node link model in ombx::net.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "simtime/clock.hpp"
+
+namespace ombx::gpu {
+
+using simtime::usec_t;
+
+class Device;
+
+/// RAII device allocation.  Backed by host memory; data() is the simulated
+/// device pointer (it participates in the CUDA Array Interface).
+/// A synthetic DeviceBuffer (see Device::allocate) reserves logical device
+/// memory but no host backing — used for at-scale runs.
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+  ~DeviceBuffer();
+
+  DeviceBuffer(DeviceBuffer&&) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&&) noexcept;
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  [[nodiscard]] std::byte* data() noexcept {
+    return backing_.empty() ? nullptr : backing_.data();
+  }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return backing_.empty() ? nullptr : backing_.data();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] bool valid() const noexcept { return device_ != nullptr; }
+
+ private:
+  friend class Device;
+  DeviceBuffer(Device* d, std::size_t bytes, bool synthetic);
+
+  Device* device_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::vector<std::byte> backing_;
+};
+
+/// Out-of-device-memory condition (the V100 has 32 GB).
+class OutOfDeviceMemory : public std::bad_alloc {
+ public:
+  const char* what() const noexcept override {
+    return "simulated GPU out of device memory";
+  }
+};
+
+class Device {
+ public:
+  Device(int id, net::GpuModel model) : id_(id), model_(std::move(model)) {}
+
+  [[nodiscard]] int id() const noexcept { return id_; }
+  [[nodiscard]] const net::GpuModel& model() const noexcept { return model_; }
+
+  /// Allocate device memory; throws OutOfDeviceMemory beyond capacity.
+  /// `synthetic` buffers consume logical capacity but no host RAM.
+  [[nodiscard]] DeviceBuffer allocate(std::size_t bytes,
+                                      bool synthetic = false);
+
+  [[nodiscard]] std::size_t used_bytes() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity_bytes() const noexcept {
+    return model_.device_memory_bytes;
+  }
+
+  // ---- Cost model ----------------------------------------------------------
+
+  [[nodiscard]] usec_t h2d_time(std::size_t bytes) const {
+    return model_.h2d.transfer_us(bytes);
+  }
+  [[nodiscard]] usec_t d2h_time(std::size_t bytes) const {
+    return model_.d2h.transfer_us(bytes);
+  }
+  [[nodiscard]] usec_t d2d_time(std::size_t bytes) const {
+    return model_.d2d.transfer_us(bytes);
+  }
+  [[nodiscard]] usec_t kernel_launch_time() const noexcept {
+    return model_.kernel_launch_us;
+  }
+  [[nodiscard]] usec_t event_sync_time() const noexcept {
+    return model_.event_sync_us;
+  }
+
+ private:
+  friend class DeviceBuffer;
+  void release(std::size_t bytes) noexcept {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  int id_;
+  net::GpuModel model_;
+  std::atomic<std::size_t> used_{0};
+};
+
+}  // namespace ombx::gpu

@@ -1,0 +1,36 @@
+#include "gpu/libs.hpp"
+
+namespace ombx::gpu {
+
+std::string to_string(GpuLib lib) {
+  switch (lib) {
+    case GpuLib::kCupy: return "cupy";
+    case GpuLib::kPycuda: return "pycuda";
+    case GpuLib::kNumba: return "numba";
+  }
+  return "unknown";
+}
+
+CudaArrayInterface GpuArray::cuda_array_interface() const {
+  CudaArrayInterface cai;
+  cai.ptr = static_cast<const void*>(data());
+  cai.read_only = false;
+  cai.shape = {bytes()};
+  cai.typestr = typestr_;
+  cai.version = 3;
+  return cai;
+}
+
+GpuArray cupy_empty(Device& dev, std::size_t bytes, bool synthetic) {
+  return GpuArray(GpuLib::kCupy, dev, bytes, "|u1", synthetic);
+}
+
+GpuArray pycuda_empty(Device& dev, std::size_t bytes, bool synthetic) {
+  return GpuArray(GpuLib::kPycuda, dev, bytes, "|u1", synthetic);
+}
+
+GpuArray numba_device_array(Device& dev, std::size_t bytes, bool synthetic) {
+  return GpuArray(GpuLib::kNumba, dev, bytes, "|u1", synthetic);
+}
+
+}  // namespace ombx::gpu

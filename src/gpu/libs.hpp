@@ -1,0 +1,66 @@
+// Simulated GPU array libraries: CuPy, PyCUDA, Numba.
+//
+// All three expose the CUDA Array Interface (CAI) — the protocol mpi4py
+// uses to discover device pointers.  The libraries differ in how much
+// Python-side work the CAI export costs (attribute lookup depth, dict
+// construction, stream handling); the paper measures Numba at roughly 2x
+// the overhead of CuPy/PyCUDA.  Per-call cost *values* live with the other
+// calibrated constants in pylayer::PyCosts; here we model the structure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpu/device.hpp"
+
+namespace ombx::gpu {
+
+/// Which simulated Python GPU library owns an array.
+enum class GpuLib { kCupy, kPycuda, kNumba };
+
+[[nodiscard]] std::string to_string(GpuLib lib);
+
+/// The __cuda_array_interface__ dict, as defined by Numba's CAI v3.
+struct CudaArrayInterface {
+  const void* ptr = nullptr;
+  bool read_only = false;
+  std::vector<std::size_t> shape;
+  std::string typestr;  ///< e.g. "|u1", "<f4", "<f8"
+  int version = 3;
+};
+
+/// A device array owned by one of the simulated libraries.
+/// Mirrors the small API surface OMB-Py touches: allocation, fill,
+/// element access for validation, and the CAI export.
+class GpuArray {
+ public:
+  GpuArray(GpuLib lib, Device& dev, std::size_t bytes, std::string typestr,
+           bool synthetic = false)
+      : lib_(lib),
+        buf_(dev.allocate(bytes, synthetic)),
+        typestr_(std::move(typestr)) {}
+
+  [[nodiscard]] GpuLib lib() const noexcept { return lib_; }
+  [[nodiscard]] std::byte* data() noexcept { return buf_.data(); }
+  [[nodiscard]] const std::byte* data() const noexcept { return buf_.data(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return buf_.bytes(); }
+
+  /// Export the CUDA Array Interface (what mpi4py reads on every call).
+  [[nodiscard]] CudaArrayInterface cuda_array_interface() const;
+
+ private:
+  GpuLib lib_;
+  DeviceBuffer buf_;
+  std::string typestr_;
+};
+
+/// Factory helpers mirroring each library's allocation idiom.
+[[nodiscard]] GpuArray cupy_empty(Device& dev, std::size_t bytes,
+                                  bool synthetic = false);
+[[nodiscard]] GpuArray pycuda_empty(Device& dev, std::size_t bytes,
+                                    bool synthetic = false);
+[[nodiscard]] GpuArray numba_device_array(Device& dev, std::size_t bytes,
+                                          bool synthetic = false);
+
+}  // namespace ombx::gpu

@@ -1,0 +1,116 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "simtime/rng.hpp"
+
+namespace ombx::ml {
+
+Dataset make_dota2_like(int n, int d, std::uint64_t seed) {
+  if (n <= 0 || d <= 0) throw std::invalid_argument("dataset must be non-empty");
+  simtime::Xoshiro256 rng(seed);
+  Dataset ds;
+  ds.n = n;
+  ds.d = d;
+  ds.x.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  ds.y.resize(static_cast<std::size_t>(n));
+
+  // A fixed random hyperplane provides the planted signal.
+  std::vector<double> w(static_cast<std::size_t>(d));
+  for (auto& wi : w) wi = rng.normal();
+
+  for (int i = 0; i < n; ++i) {
+    double score = 0.0;
+    for (int j = 0; j < d; ++j) {
+      // Sparse categorical features: most are 0, some are +/-1 (hero
+      // picked by team 1 / team 2), like the Dota2 encoding.
+      const double u = rng.uniform();
+      float v = 0.0F;
+      if (u < 0.045) {
+        v = 1.0F;
+      } else if (u < 0.09) {
+        v = -1.0F;
+      }
+      ds.x[static_cast<std::size_t>(i) * static_cast<std::size_t>(d) +
+           static_cast<std::size_t>(j)] = v;
+      score += v * w[static_cast<std::size_t>(j)];
+    }
+    // Noisy threshold keeps the task non-trivial but learnable.
+    ds.y[static_cast<std::size_t>(i)] =
+        (score + 0.25 * rng.normal()) > 0.0 ? 1 : 0;
+  }
+  return ds;
+}
+
+Dataset make_blobs(int n, int d, int centers, double spread,
+                   std::uint64_t seed) {
+  if (n <= 0 || d <= 0 || centers <= 0) {
+    throw std::invalid_argument("blobs must be non-empty");
+  }
+  simtime::Xoshiro256 rng(seed);
+  Dataset ds;
+  ds.n = n;
+  ds.d = d;
+  ds.x.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  ds.y.resize(static_cast<std::size_t>(n));
+
+  std::vector<double> centroids(static_cast<std::size_t>(centers) *
+                                static_cast<std::size_t>(d));
+  for (auto& c : centroids) c = rng.uniform(-10.0, 10.0);
+
+  for (int i = 0; i < n; ++i) {
+    const int c = static_cast<int>(rng.below(static_cast<std::uint64_t>(centers)));
+    ds.y[static_cast<std::size_t>(i)] = c;
+    for (int j = 0; j < d; ++j) {
+      const double mu = centroids[static_cast<std::size_t>(c) *
+                                      static_cast<std::size_t>(d) +
+                                  static_cast<std::size_t>(j)];
+      ds.x[static_cast<std::size_t>(i) * static_cast<std::size_t>(d) +
+           static_cast<std::size_t>(j)] =
+          static_cast<float>(mu + spread * rng.normal());
+    }
+  }
+  return ds;
+}
+
+TrainTestSplit split(const Dataset& ds, double test_fraction,
+                     std::uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("test_fraction must be in (0, 1)");
+  }
+  simtime::Xoshiro256 rng(seed);
+  std::vector<int> order(static_cast<std::size_t>(ds.n));
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates with the deterministic generator.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+
+  const int n_test = std::max(1, static_cast<int>(std::lround(
+                                     test_fraction * ds.n)));
+  const int n_train = ds.n - n_test;
+
+  const auto take = [&](int from, int count) {
+    Dataset out;
+    out.n = count;
+    out.d = ds.d;
+    out.x.resize(static_cast<std::size_t>(count) *
+                 static_cast<std::size_t>(ds.d));
+    out.y.resize(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      const int src = order[static_cast<std::size_t>(from + i)];
+      std::copy_n(ds.row(src), ds.d,
+                  out.x.data() + static_cast<std::size_t>(i) *
+                                     static_cast<std::size_t>(ds.d));
+      out.y[static_cast<std::size_t>(i)] = ds.y[static_cast<std::size_t>(src)];
+    }
+    return out;
+  };
+
+  return TrainTestSplit{take(0, n_train), take(n_train, n_test)};
+}
+
+}  // namespace ombx::ml

@@ -1,0 +1,109 @@
+// Distributed ML benchmarks (paper Sec. IV-G / V-J): k-NN classification,
+// hyper-parameter optimization for k-means, and matrix multiplication —
+// sequential baselines plus MPI-distributed versions.
+//
+// Execution model: the algorithms run *for real* on a miniature problem on
+// every rank (validating partitioning, voting, and numerics), while the
+// virtual clock is charged the analytic cost of the paper-scale problem
+// through a calibrated per-benchmark throughput.  Communication (bcast of
+// the model/matrix, scatter of the work, gather/reduce of the results)
+// goes through the same simulated MPI the micro-benchmarks use, with
+// synthetic payloads at paper scale.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/cluster.hpp"
+#include "net/tuning.hpp"
+
+namespace ombx::ml {
+
+/// Effective per-core throughputs, calibrated so the *sequential* times
+/// match the paper's RI2 measurements (112.9 s / 1059.45 s / 79.63 s).
+struct MlTimingModel {
+  double knn_predict_gflops = 3.52;  ///< sklearn brute k-NN distance rate
+  double knn_fit_seconds = 0.50;     ///< sklearn fit+validation (replicated
+                                     ///< on every rank, per the paper's design)
+  double kmeans_passes = 5700.0;     ///< effective Lloyd passes (n_init x
+                                     ///< iterations, sklearn defaults)
+  double kmeans_gflops = 3.8;
+  double matmul_gflops = 2.615;      ///< single-threaded BLAS dgemm rate
+};
+
+struct KnnBenchConfig {
+  // Paper scale: the Dota2 dataset.
+  int n = 102944;
+  int d = 116;
+  int k = 5;
+  double test_fraction = 0.2;
+  // Physically executed miniature (validates the distributed pipeline).
+  int exec_n = 1200;
+  int exec_d = 16;
+  std::uint64_t seed = 0x00d07a2;
+};
+
+struct KmeansBenchConfig {
+  // Paper scale: 7,000 2-D points, elbow sweep over k = 1..k_max.
+  int n = 7000;
+  int d = 2;
+  int k_max = 200;
+  // Miniature really executed per rank.
+  int exec_n = 500;
+  int exec_k = 4;
+  int exec_iters = 25;
+  std::uint64_t seed = 0x0736b1;
+};
+
+struct MatmulBenchConfig {
+  int n = 4704;      ///< paper-scale square size
+  int exec_n = 96;   ///< really-multiplied square size
+  std::uint64_t seed = 0x3a7b11;
+};
+
+struct ScalingPoint {
+  int procs = 1;
+  double time_s = 0.0;
+  double speedup = 1.0;
+};
+
+struct ScalingCurve {
+  double sequential_s = 0.0;
+  std::vector<ScalingPoint> points;
+};
+
+/// Sequential-baseline projections (what Figs 36-38 plot at p = 1).
+[[nodiscard]] double knn_sequential_s(const KnnBenchConfig& cfg,
+                                      const MlTimingModel& m);
+[[nodiscard]] double kmeans_sequential_s(const KmeansBenchConfig& cfg,
+                                         const MlTimingModel& m);
+[[nodiscard]] double matmul_sequential_s(const MatmulBenchConfig& cfg,
+                                         const MlTimingModel& m);
+
+/// Distributed scaling sweeps.  `proc_counts` mirrors the paper's x-axis
+/// (1..28 on one node, then 56/112/224); ppn caps ranks per node.
+[[nodiscard]] ScalingCurve knn_scaling(const net::ClusterSpec& cluster,
+                                       const net::MpiTuning& tuning,
+                                       const KnnBenchConfig& cfg,
+                                       const MlTimingModel& m,
+                                       std::span<const int> proc_counts,
+                                       int ppn = 28);
+
+[[nodiscard]] ScalingCurve kmeans_scaling(const net::ClusterSpec& cluster,
+                                          const net::MpiTuning& tuning,
+                                          const KmeansBenchConfig& cfg,
+                                          const MlTimingModel& m,
+                                          std::span<const int> proc_counts,
+                                          int ppn = 28);
+
+[[nodiscard]] ScalingCurve matmul_scaling(const net::ClusterSpec& cluster,
+                                          const net::MpiTuning& tuning,
+                                          const MatmulBenchConfig& cfg,
+                                          const MlTimingModel& m,
+                                          std::span<const int> proc_counts,
+                                          int ppn = 28);
+
+/// The paper's standard x-axis: 1..28 on one node, then 2/4/8 nodes full.
+[[nodiscard]] std::vector<int> paper_proc_counts();
+
+}  // namespace ombx::ml

@@ -1,0 +1,161 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "simtime/rng.hpp"
+
+namespace ombx::ml {
+
+namespace {
+
+double sq_dist(const float* a, const float* b, int d) {
+  double acc = 0.0;
+  for (int j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - static_cast<double>(b[j]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+}  // namespace
+
+KmeansResult kmeans_fit(const Dataset& ds, int k, int max_iters,
+                        std::uint64_t seed) {
+  if (k <= 0 || k > ds.n) throw std::invalid_argument("bad k for k-means");
+  if (max_iters <= 0) throw std::invalid_argument("max_iters must be > 0");
+  const int d = ds.d;
+  simtime::Xoshiro256 rng(seed + static_cast<std::uint64_t>(k));
+
+  // k-means++-style seeding: first centroid uniform, the rest biased
+  // toward far points (one candidate per step keeps it deterministic and
+  // cheap while avoiding degenerate all-same seeds).
+  std::vector<float> c(static_cast<std::size_t>(k) *
+                       static_cast<std::size_t>(d));
+  std::vector<double> min_d(static_cast<std::size_t>(ds.n),
+                            std::numeric_limits<double>::max());
+  {
+    const int first = static_cast<int>(rng.below(static_cast<std::uint64_t>(ds.n)));
+    std::copy_n(ds.row(first), d, c.data());
+    for (int ki = 1; ki < k; ++ki) {
+      // Update distances to the nearest chosen centroid.
+      const float* last = c.data() + static_cast<std::size_t>(ki - 1) *
+                                         static_cast<std::size_t>(d);
+      int far_idx = 0;
+      double far_val = -1.0;
+      for (int i = 0; i < ds.n; ++i) {
+        min_d[static_cast<std::size_t>(i)] =
+            std::min(min_d[static_cast<std::size_t>(i)],
+                     sq_dist(ds.row(i), last, d));
+        // Mix distance with a deterministic jitter so duplicates split.
+        const double v =
+            min_d[static_cast<std::size_t>(i)] * (0.75 + 0.5 * rng.uniform());
+        if (v > far_val) {
+          far_val = v;
+          far_idx = i;
+        }
+      }
+      std::copy_n(ds.row(far_idx), d,
+                  c.data() + static_cast<std::size_t>(ki) *
+                                 static_cast<std::size_t>(d));
+    }
+  }
+
+  std::vector<int> assign(static_cast<std::size_t>(ds.n), -1);
+  std::vector<double> sums(static_cast<std::size_t>(k) *
+                           static_cast<std::size_t>(d));
+  std::vector<int> counts(static_cast<std::size_t>(k));
+
+  KmeansResult res;
+  res.inertia = 0.0;
+  int iter = 0;
+  for (; iter < max_iters; ++iter) {
+    bool changed = false;
+    res.inertia = 0.0;
+    for (int i = 0; i < ds.n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int ki = 0; ki < k; ++ki) {
+        const double dist = sq_dist(
+            ds.row(i),
+            c.data() + static_cast<std::size_t>(ki) *
+                           static_cast<std::size_t>(d),
+            d);
+        if (dist < best_d) {
+          best_d = dist;
+          best = ki;
+        }
+      }
+      res.inertia += best_d;
+      if (assign[static_cast<std::size_t>(i)] != best) {
+        assign[static_cast<std::size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int i = 0; i < ds.n; ++i) {
+      const int a = assign[static_cast<std::size_t>(i)];
+      ++counts[static_cast<std::size_t>(a)];
+      const float* row = ds.row(i);
+      for (int j = 0; j < d; ++j) {
+        sums[static_cast<std::size_t>(a) * static_cast<std::size_t>(d) +
+             static_cast<std::size_t>(j)] += row[j];
+      }
+    }
+    for (int ki = 0; ki < k; ++ki) {
+      if (counts[static_cast<std::size_t>(ki)] == 0) continue;  // keep old
+      for (int j = 0; j < d; ++j) {
+        c[static_cast<std::size_t>(ki) * static_cast<std::size_t>(d) +
+          static_cast<std::size_t>(j)] =
+            static_cast<float>(sums[static_cast<std::size_t>(ki) *
+                                        static_cast<std::size_t>(d) +
+                                    static_cast<std::size_t>(j)] /
+                               counts[static_cast<std::size_t>(ki)]);
+      }
+    }
+  }
+  res.centroids = std::move(c);
+  res.iterations = iter;
+  return res;
+}
+
+std::vector<double> inertia_sweep(const Dataset& ds, int k_max,
+                                  int max_iters, std::uint64_t seed) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(k_max));
+  for (int k = 1; k <= k_max; ++k) {
+    out.push_back(kmeans_fit(ds, k, max_iters, seed).inertia);
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> balance_k_values(int k_max, int workers) {
+  if (k_max <= 0 || workers <= 0) {
+    throw std::invalid_argument("k_max and workers must be positive");
+  }
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(workers));
+  std::vector<double> load(static_cast<std::size_t>(workers), 0.0);
+  // LPT: place the most expensive k first, always on the least-loaded
+  // worker (cost model: fitting k centroids costs ~k units).
+  for (int k = k_max; k >= 1; --k) {
+    const auto it = std::min_element(load.begin(), load.end());
+    const auto w = static_cast<std::size_t>(it - load.begin());
+    out[w].push_back(k);
+    load[w] += static_cast<double>(k);
+  }
+  return out;
+}
+
+double kmeans_flops(double n, double d, double k, double passes) noexcept {
+  // Per pass: n*k distance evaluations at (2d+1) flops plus the centroid
+  // update at ~n*d.
+  return passes * (n * k * (2.0 * d + 1.0) + n * d);
+}
+
+}  // namespace ombx::ml

@@ -1,0 +1,40 @@
+// Lloyd's k-means with k-means++-style seeding, plus the hyper-parameter
+// ("elbow") sweep machinery the paper's second ML benchmark distributes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace ombx::ml {
+
+struct KmeansResult {
+  std::vector<float> centroids;  ///< k*d, row-major
+  double inertia = 0.0;          ///< sum of squared distances to centroids
+  int iterations = 0;            ///< Lloyd iterations actually run
+};
+
+/// Fit k-means on `ds` (labels ignored).  Deterministic given `seed`.
+[[nodiscard]] KmeansResult kmeans_fit(const Dataset& ds, int k,
+                                      int max_iters, std::uint64_t seed);
+
+/// Inertia for each k in [1, k_max]: the sequential elbow sweep.
+[[nodiscard]] std::vector<double> inertia_sweep(const Dataset& ds, int k_max,
+                                                int max_iters,
+                                                std::uint64_t seed);
+
+/// The paper's "intelligent" work partition: the cost of fitting k
+/// centroids grows with k, so a block split of [1, K] over p workers would
+/// leave the high-k worker dominating.  This LPT (longest-processing-time)
+/// assignment gives every worker a mix of small and large k so all finish
+/// at roughly the same time.  Returns one k-list per worker.
+[[nodiscard]] std::vector<std::vector<int>> balance_k_values(int k_max,
+                                                             int workers);
+
+/// Analytic flop count of one full fit at a given k (distances + updates,
+/// times the effective number of Lloyd passes).
+[[nodiscard]] double kmeans_flops(double n, double d, double k,
+                                  double passes) noexcept;
+
+}  // namespace ombx::ml

@@ -1,0 +1,75 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace ombx::ml {
+
+KnnClassifier::KnnClassifier(int k) : k_(k) {
+  if (k <= 0) throw std::invalid_argument("k must be positive");
+}
+
+void KnnClassifier::fit(const Dataset& train) {
+  if (train.n < k_) throw std::invalid_argument("k exceeds training size");
+  train_ = train;
+}
+
+std::vector<int> KnnClassifier::predict(std::span<const float> x,
+                                        int rows) const {
+  if (train_.n == 0) throw std::logic_error("predict before fit");
+  const int d = train_.d;
+  if (static_cast<std::size_t>(rows) * static_cast<std::size_t>(d) !=
+      x.size()) {
+    throw std::invalid_argument("test matrix shape mismatch");
+  }
+
+  std::vector<int> out(static_cast<std::size_t>(rows));
+  std::vector<std::pair<float, int>> dist(
+      static_cast<std::size_t>(train_.n));
+
+  for (int i = 0; i < rows; ++i) {
+    const float* q = x.data() + static_cast<std::size_t>(i) *
+                                    static_cast<std::size_t>(d);
+    for (int t = 0; t < train_.n; ++t) {
+      const float* r = train_.row(t);
+      float acc = 0.0F;
+      for (int j = 0; j < d; ++j) {
+        const float diff = q[j] - r[j];
+        acc += diff * diff;
+      }
+      dist[static_cast<std::size_t>(t)] = {acc, t};
+    }
+    std::partial_sort(dist.begin(), dist.begin() + k_, dist.end());
+    // Majority vote among the k nearest (ties break toward the smaller
+    // label, as sklearn's mode does).
+    std::map<int, int> votes;
+    for (int v = 0; v < k_; ++v) {
+      ++votes[train_.y[static_cast<std::size_t>(dist[static_cast<std::size_t>(v)].second)]];
+    }
+    int best_label = votes.begin()->first;
+    int best_count = votes.begin()->second;
+    for (const auto& [label, count] : votes) {
+      if (count > best_count) {
+        best_label = label;
+        best_count = count;
+      }
+    }
+    out[static_cast<std::size_t>(i)] = best_label;
+  }
+  return out;
+}
+
+double KnnClassifier::score(const Dataset& test) const {
+  const std::vector<int> pred =
+      predict(std::span<const float>(test.x.data(), test.x.size()), test.n);
+  int correct = 0;
+  for (int i = 0; i < test.n; ++i) {
+    if (pred[static_cast<std::size_t>(i)] == test.y[static_cast<std::size_t>(i)]) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.n);
+}
+
+}  // namespace ombx::ml

@@ -1,0 +1,43 @@
+// Brute-force k-nearest-neighbours classifier (sklearn
+// KNeighborsClassifier(algorithm='brute') equivalent — what the paper's
+// benchmark exercises, where nearly all time is spent in predict()).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace ombx::ml {
+
+class KnnClassifier {
+ public:
+  explicit KnnClassifier(int k);
+
+  /// Store the training set (sklearn's fit for the brute algorithm).
+  void fit(const Dataset& train);
+
+  /// Predict labels for `rows` test rows laid out row-major with the
+  /// training dimensionality.
+  [[nodiscard]] std::vector<int> predict(std::span<const float> x,
+                                         int rows) const;
+
+  /// Fraction of correct predictions on a labelled set.
+  [[nodiscard]] double score(const Dataset& test) const;
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int n_train() const noexcept { return train_.n; }
+
+  /// Analytic flop count of predict(): squared-distance accumulation plus
+  /// selection, per test row.
+  [[nodiscard]] static double predict_flops(double n_test, double n_train,
+                                            double d) noexcept {
+    return n_test * n_train * (2.0 * d + 1.0);
+  }
+
+ private:
+  int k_;
+  Dataset train_;
+};
+
+}  // namespace ombx::ml

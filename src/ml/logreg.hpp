@@ -1,0 +1,81 @@
+// Logistic regression trained by synchronous data-parallel gradient
+// descent — the communication pattern (gradient Allreduce per step) behind
+// distributed deep learning, which the paper's introduction motivates.
+// An OMB-X extension beyond the paper's three ML benchmarks.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/distributed.hpp"
+#include "net/cluster.hpp"
+#include "net/tuning.hpp"
+
+namespace ombx::ml {
+
+class LogisticRegression {
+ public:
+  /// d features + intercept; weights start at zero.
+  explicit LogisticRegression(int d);
+
+  [[nodiscard]] int dim() const noexcept { return d_; }
+  [[nodiscard]] std::span<const double> weights() const noexcept {
+    return w_;
+  }
+
+  /// Mean negative-log-likelihood gradient over rows [begin, end) of `ds`
+  /// (labels must be 0/1).  Returns a (d+1)-vector (bias last), scaled by
+  /// the *local* row count so shards can be summed then normalized.
+  [[nodiscard]] std::vector<double> gradient_sum(const Dataset& ds,
+                                                 int begin, int end) const;
+
+  /// w -= lr * grad_sum / total_rows.
+  void apply(std::span<const double> grad_sum, int total_rows, double lr);
+
+  /// Mean negative log-likelihood.
+  [[nodiscard]] double loss(const Dataset& ds) const;
+  /// Classification accuracy at threshold 0.5.
+  [[nodiscard]] double accuracy(const Dataset& ds) const;
+
+  /// Analytic flop count of gradient_sum over n rows.
+  [[nodiscard]] static double gradient_flops(double n, double d) noexcept {
+    // dot product + sigmoid + scatter-add per row.
+    return n * (4.0 * d + 12.0);
+  }
+
+ private:
+  [[nodiscard]] double margin(const float* row) const;
+
+  int d_;
+  std::vector<double> w_;  ///< d weights + bias
+};
+
+/// Configuration of the synchronous-SGD scaling benchmark.
+struct SgdBenchConfig {
+  // Paper-style scale (synthetic; the pattern is what matters).
+  int n = 100000;
+  int d = 64;
+  int epochs = 50;
+  double lr = 0.8;
+  // Physically executed miniature.
+  int exec_n = 1200;
+  int exec_d = 16;
+  int exec_epochs = 30;
+  std::uint64_t seed = 0x56d5eed;
+  /// Effective per-core gradient throughput (GFLOP/s).
+  double gflops = 3.0;
+};
+
+[[nodiscard]] double sgd_sequential_s(const SgdBenchConfig& cfg);
+
+/// Synchronous data-parallel scaling: each rank computes the gradient of
+/// its shard (charged at paper scale, executed in miniature), gradients
+/// are combined with a real Allreduce, every rank applies the step.
+[[nodiscard]] ScalingCurve sgd_scaling(const net::ClusterSpec& cluster,
+                                       const net::MpiTuning& tuning,
+                                       const SgdBenchConfig& cfg,
+                                       std::span<const int> proc_counts,
+                                       int ppn = 28);
+
+}  // namespace ombx::ml

@@ -1,0 +1,43 @@
+#include "ml/matmul.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace ombx::ml {
+
+void matmul(std::span<const double> a, std::span<const double> b,
+            std::span<double> c, int m, int k, int n) {
+  if (a.size() != static_cast<std::size_t>(m) * static_cast<std::size_t>(k) ||
+      b.size() != static_cast<std::size_t>(k) * static_cast<std::size_t>(n) ||
+      c.size() != static_cast<std::size_t>(m) * static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("matmul shape mismatch");
+  }
+  std::fill(c.begin(), c.end(), 0.0);
+
+  // i-k-j loop order with modest blocking: streams B rows, keeps C rows
+  // hot, vectorizes the inner j loop.
+  constexpr int kBlock = 64;
+  for (int i0 = 0; i0 < m; i0 += kBlock) {
+    const int i1 = std::min(m, i0 + kBlock);
+    for (int k0 = 0; k0 < k; k0 += kBlock) {
+      const int k1 = std::min(k, k0 + kBlock);
+      for (int i = i0; i < i1; ++i) {
+        double* crow = c.data() + static_cast<std::size_t>(i) *
+                                      static_cast<std::size_t>(n);
+        for (int kk = k0; kk < k1; ++kk) {
+          const double aik = a[static_cast<std::size_t>(i) *
+                                   static_cast<std::size_t>(k) +
+                               static_cast<std::size_t>(kk)];
+          const double* brow = b.data() + static_cast<std::size_t>(kk) *
+                                              static_cast<std::size_t>(n);
+          for (int j = 0; j < n; ++j) {
+            crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ombx::ml

@@ -1,0 +1,20 @@
+// Dense row-major matrix multiplication (numpy.dot equivalent), cache
+// blocked — the primitive the paper's third ML benchmark distributes by
+// row blocks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ombx::ml {
+
+/// C(m x n) = A(m x k) * B(k x n), all row-major.  C is overwritten.
+void matmul(std::span<const double> a, std::span<const double> b,
+            std::span<double> c, int m, int k, int n);
+
+[[nodiscard]] constexpr double matmul_flops(double m, double k,
+                                            double n) noexcept {
+  return 2.0 * m * k * n;
+}
+
+}  // namespace ombx::ml

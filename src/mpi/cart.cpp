@@ -1,0 +1,102 @@
+#include "mpi/cart.hpp"
+
+#include <algorithm>
+
+#include "mpi/error.hpp"
+#include "mpi/request.hpp"
+
+namespace ombx::mpi {
+
+std::vector<int> dims_create(int nranks, int ndims) {
+  OMBX_REQUIRE(nranks > 0 && ndims > 0, "dims_create needs positive sizes");
+  // Factorize, then assign primes largest-first onto the currently
+  // smallest dimension — keeps the grid as square as possible
+  // (MPI_Dims_create intent).
+  std::vector<int> factors;
+  int remaining = nranks;
+  for (int f = 2; f * f <= remaining;) {
+    if (remaining % f == 0) {
+      factors.push_back(f);
+      remaining /= f;
+    } else {
+      ++f;
+    }
+  }
+  if (remaining > 1) factors.push_back(remaining);
+  std::sort(factors.begin(), factors.end(), std::greater<>());
+
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  for (const int f : factors) {
+    auto it = std::min_element(dims.begin(), dims.end());
+    *it *= f;
+  }
+  std::sort(dims.begin(), dims.end(), std::greater<>());
+  return dims;
+}
+
+CartComm::CartComm(const Comm& comm, std::vector<int> dims,
+                   std::vector<bool> periodic)
+    : comm_(std::make_unique<Comm>(comm.dup())),
+      dims_(std::move(dims)),
+      periodic_(std::move(periodic)) {
+  OMBX_REQUIRE(!dims_.empty(), "cartesian grid needs at least one dim");
+  OMBX_REQUIRE(periodic_.size() == dims_.size(),
+               "periodicity table must match the dims");
+  long total = 1;
+  for (const int d : dims_) {
+    OMBX_REQUIRE(d > 0, "grid dims must be positive");
+    total *= d;
+  }
+  OMBX_REQUIRE(total == comm.size(),
+               "grid volume must equal the communicator size");
+  strides_.assign(dims_.size(), 1);
+  for (int d = static_cast<int>(dims_.size()) - 2; d >= 0; --d) {
+    strides_[static_cast<std::size_t>(d)] =
+        strides_[static_cast<std::size_t>(d) + 1] *
+        dims_[static_cast<std::size_t>(d) + 1];
+  }
+}
+
+std::vector<int> CartComm::coords(int rank) const {
+  OMBX_REQUIRE(rank >= 0 && rank < comm_->size(), "rank outside the grid");
+  std::vector<int> out(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    out[d] = (rank / strides_[d]) % dims_[d];
+  }
+  return out;
+}
+
+int CartComm::rank_at(const std::vector<int>& coords) const {
+  OMBX_REQUIRE(coords.size() == dims_.size(), "coordinate arity mismatch");
+  int rank = 0;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    int c = coords[d];
+    if (c < 0 || c >= dims_[d]) {
+      if (!periodic_[d]) return kNull;
+      c = ((c % dims_[d]) + dims_[d]) % dims_[d];
+    }
+    rank += c * strides_[d];
+  }
+  return rank;
+}
+
+CartComm::Shift CartComm::shift(int dim, int disp) const {
+  OMBX_REQUIRE(dim >= 0 && dim < ndims(), "shift dim out of range");
+  const std::vector<int> me = coords(comm_->rank());
+  std::vector<int> up = me;
+  std::vector<int> down = me;
+  up[static_cast<std::size_t>(dim)] += disp;
+  down[static_cast<std::size_t>(dim)] -= disp;
+  return Shift{rank_at(down), rank_at(up)};
+}
+
+void CartComm::neighbor_sendrecv(ConstView send, int dest, MutView recv,
+                                 int source, int tag) const {
+  // MPI_PROC_NULL semantics: a null endpoint silently skips that side.
+  Request sreq;
+  if (dest != kNull) sreq = comm_->isend(send, dest, tag);
+  if (source != kNull) (void)comm_->recv(recv, source, tag);
+  sreq.wait();
+}
+
+}  // namespace ombx::mpi

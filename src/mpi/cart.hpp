@@ -1,0 +1,60 @@
+// Cartesian process topologies (MPI_Cart_create / MPI_Dims_create /
+// MPI_Cart_shift analogues) — what stencil codes use to find their halo
+// neighbours.  See examples/stencil_halo.cpp for the canonical use.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "mpi/comm.hpp"
+
+namespace ombx::mpi {
+
+/// Factor `nranks` into `ndims` balanced dimensions (MPI_Dims_create).
+[[nodiscard]] std::vector<int> dims_create(int nranks, int ndims);
+
+class CartComm {
+ public:
+  /// Collective over `comm`: lay its size() ranks onto the given grid
+  /// (row-major, as MPI does).  The product of dims must equal size().
+  CartComm(const Comm& comm, std::vector<int> dims,
+           std::vector<bool> periodic);
+
+  [[nodiscard]] int ndims() const noexcept {
+    return static_cast<int>(dims_.size());
+  }
+  [[nodiscard]] const std::vector<int>& dims() const noexcept {
+    return dims_;
+  }
+  [[nodiscard]] const Comm& comm() const noexcept { return *comm_; }
+  [[nodiscard]] int rank() const noexcept { return comm_->rank(); }
+
+  /// Grid coordinates of a rank (MPI_Cart_coords).
+  [[nodiscard]] std::vector<int> coords(int rank) const;
+  /// Rank at grid coordinates (MPI_Cart_rank); periodic dims wrap,
+  /// non-periodic out-of-range coordinates return kNull.
+  [[nodiscard]] int rank_at(const std::vector<int>& coords) const;
+
+  /// Neighbour pair along `dim` displaced by `disp`
+  /// (MPI_Cart_shift): {source, destination}; kNull at open boundaries.
+  struct Shift {
+    int source = kNull;
+    int dest = kNull;
+  };
+  [[nodiscard]] Shift shift(int dim, int disp) const;
+
+  static constexpr int kNull = -1;  ///< MPI_PROC_NULL
+
+  /// Sendrecv that treats kNull like MPI_PROC_NULL (no-op on that side).
+  void neighbor_sendrecv(ConstView send, int dest, MutView recv, int source,
+                         int tag) const;
+
+ private:
+  std::unique_ptr<Comm> comm_;
+  std::vector<int> dims_;
+  std::vector<bool> periodic_;
+  std::vector<int> strides_;  ///< row-major strides
+};
+
+}  // namespace ombx::mpi

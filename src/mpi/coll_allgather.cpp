@@ -1,0 +1,131 @@
+#include <algorithm>
+
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+
+using detail::kTagAllgather;
+using detail::Scratch;
+using detail::slice;
+
+void allgather_ring(Comm& c, ConstView send, MutView recv) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const std::size_t b = send.bytes;
+  const int right = (rank + 1) % n;
+  const int left = (rank - 1 + n) % n;
+
+  detail::copy_bytes(slice(recv, static_cast<std::size_t>(rank) * b, b),
+                     send, b);
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_idx = (rank - s + n) % n;
+    const int recv_idx = (rank - s - 1 + n) % n;
+    (void)c.sendrecv(
+        slice(detail::as_const(recv), static_cast<std::size_t>(send_idx) * b,
+              b),
+        right, kTagAllgather,
+        slice(recv, static_cast<std::size_t>(recv_idx) * b, b), left,
+        kTagAllgather);
+  }
+}
+
+/// Recursive doubling (power-of-two sizes): at step k each rank exchanges
+/// its current 2^k-block range with its partner, doubling coverage.
+void allgather_recursive_doubling(Comm& c, ConstView send, MutView recv) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const std::size_t b = send.bytes;
+
+  detail::copy_bytes(slice(recv, static_cast<std::size_t>(rank) * b, b),
+                     send, b);
+  for (int mask = 1; mask < n; mask <<= 1) {
+    const int partner = rank ^ mask;
+    const int my_base = rank & ~(mask - 1);
+    const int partner_base = partner & ~(mask - 1);
+    (void)c.sendrecv(
+        slice(detail::as_const(recv),
+              static_cast<std::size_t>(my_base) * b,
+              static_cast<std::size_t>(mask) * b),
+        partner, kTagAllgather,
+        slice(recv, static_cast<std::size_t>(partner_base) * b,
+              static_cast<std::size_t>(mask) * b),
+        partner, kTagAllgather);
+  }
+}
+
+/// Bruck: works for any communicator size in ceil(log2 n) steps; blocks are
+/// assembled in rotated order in a scratch buffer and un-rotated at the end.
+void allgather_bruck(Comm& c, ConstView send, MutView recv) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const std::size_t b = send.bytes;
+  const bool real = detail::real_payload(c, send);
+
+  // tmp block i will hold the contribution of rank (rank + i) % n.
+  Scratch tmp(static_cast<std::size_t>(n) * b, real, send.space);
+  detail::copy_bytes(tmp.mview(0, b), send, b);
+
+  int have = 1;
+  for (int k = 1; k < n; k <<= 1) {
+    const int count = std::min(k, n - k);
+    const int to = (rank - k + n) % n;
+    const int from = (rank + k) % n;
+    (void)c.sendrecv(tmp.cview(0, static_cast<std::size_t>(count) * b), to,
+                     kTagAllgather,
+                     tmp.mview(static_cast<std::size_t>(k) * b,
+                               static_cast<std::size_t>(count) * b),
+                     from, kTagAllgather);
+    have = std::min(n, have + count);
+  }
+  OMBX_REQUIRE(have == n, "bruck accounting broke");
+
+  for (int i = 0; i < n; ++i) {
+    const int r = (rank + i) % n;
+    detail::copy_bytes(slice(recv, static_cast<std::size_t>(r) * b, b),
+                       tmp.cview(static_cast<std::size_t>(i) * b, b), b);
+  }
+}
+
+}  // namespace
+
+void allgather(Comm& c, ConstView send, MutView recv,
+               net::AllgatherAlgo algo) {
+  OMBX_REQUIRE(recv.bytes >= static_cast<std::size_t>(c.size()) * send.bytes,
+               "allgather recv buffer too small");
+  if (c.size() == 1) {
+    detail::copy_bytes(recv, send, send.bytes);
+    return;
+  }
+  if (algo == net::AllgatherAlgo::kAuto) algo = c.net().tuning().allgather;
+  if (algo == net::AllgatherAlgo::kAuto) {
+    const std::size_t total = static_cast<std::size_t>(c.size()) * send.bytes;
+    if (total <= 512 * 1024 && detail::is_pow2(c.size())) {
+      algo = net::AllgatherAlgo::kRecursiveDoubling;
+    } else if (total <= 512 * 1024 || c.size() > 64) {
+      // The ring's n-1 steps dominate for big communicators; Bruck keeps
+      // the step count logarithmic.
+      algo = net::AllgatherAlgo::kBruck;
+    } else {
+      algo = net::AllgatherAlgo::kRing;
+    }
+  }
+  switch (algo) {
+    case net::AllgatherAlgo::kRecursiveDoubling:
+      OMBX_REQUIRE(detail::is_pow2(c.size()),
+                   "recursive-doubling allgather needs a power-of-two comm");
+      allgather_recursive_doubling(c, send, recv);
+      break;
+    case net::AllgatherAlgo::kBruck:
+      allgather_bruck(c, send, recv);
+      break;
+    case net::AllgatherAlgo::kAuto:
+    case net::AllgatherAlgo::kRing:
+      allgather_ring(c, send, recv);
+      break;
+  }
+}
+
+}  // namespace ombx::mpi

@@ -1,0 +1,175 @@
+#include <algorithm>
+
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+
+using detail::kTagAllreduce;
+using detail::Scratch;
+using detail::slice;
+
+/// Recursive doubling with the MPICH fold for non-power-of-two sizes.
+/// Requires a commutative op (all built-in ops are).
+void allreduce_recursive_doubling(Comm& c, ConstView send, MutView recv,
+                                  Datatype dt, Op op) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const bool real = detail::real_payload(c, send);
+  const std::size_t bytes = send.bytes;
+
+  MutView acc = slice(recv, 0, bytes);
+  detail::copy_bytes(acc, send, bytes);
+  Scratch tmp(bytes, real, send.space);
+
+  const int p2 = detail::pow2_below(n);
+  const int rem = n - p2;
+
+  // Phase 1: the first 2*rem ranks fold pairwise so p2 ranks remain.
+  int newrank;
+  if (rank < 2 * rem) {
+    if (rank % 2 != 0) {
+      c.send(detail::as_const(acc), rank - 1, kTagAllreduce);
+      newrank = -1;
+    } else {
+      (void)c.recv(tmp.mview(), rank + 1, kTagAllreduce);
+      detail::combine(c, dt, op, acc, tmp.cview(), bytes);
+      newrank = rank / 2;
+    }
+  } else {
+    newrank = rank - rem;
+  }
+
+  // Phase 2: recursive doubling among the p2 survivors.
+  if (newrank >= 0) {
+    for (int mask = 1; mask < p2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner =
+          partner_new < rem ? partner_new * 2 : partner_new + rem;
+      (void)c.sendrecv(detail::as_const(acc), partner, kTagAllreduce,
+                       tmp.mview(), partner, kTagAllreduce);
+      detail::combine(c, dt, op, acc, tmp.cview(), bytes);
+    }
+  }
+
+  // Phase 3: survivors hand the result back to the folded ranks.
+  if (rank < 2 * rem) {
+    if (rank % 2 != 0) {
+      (void)c.recv(acc, rank - 1, kTagAllreduce);
+    } else {
+      c.send(detail::as_const(acc), rank + 1, kTagAllreduce);
+    }
+  }
+}
+
+/// Chunk helpers shared with the ring algorithm.
+struct Chunk {
+  std::size_t off;
+  std::size_t len;
+};
+
+Chunk chunk_of(std::size_t total, int n, int i) {
+  const std::size_t base = total / static_cast<std::size_t>(n);
+  const std::size_t rem = total % static_cast<std::size_t>(n);
+  const auto ui = static_cast<std::size_t>(i);
+  return {base * ui + std::min(ui, rem), base + (ui < rem ? 1 : 0)};
+}
+
+/// Ring allreduce (Rabenseifner-style reduce-scatter + allgather): two
+/// passes of n-1 steps each, bandwidth-optimal for long vectors.
+/// Chunk boundaries are element-aligned so partial reductions never split
+/// a datatype element.
+void allreduce_ring(Comm& c, ConstView send, MutView recv, Datatype dt,
+                    Op op) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const bool real = detail::real_payload(c, send);
+  const std::size_t bytes = send.bytes;
+  const std::size_t esz = size_of(dt);
+  OMBX_REQUIRE(bytes % esz == 0,
+               "allreduce byte count not a multiple of the datatype size");
+  const std::size_t elems = bytes / esz;
+
+  MutView acc = slice(recv, 0, bytes);
+  detail::copy_bytes(acc, send, bytes);
+
+  const auto chunk_b = [&](int i) {
+    const Chunk e = chunk_of(elems, n, i);
+    return Chunk{e.off * esz, e.len * esz};
+  };
+
+  const Chunk largest = chunk_b(0);
+  Scratch tmp(largest.len, real, send.space);
+
+  const int right = (rank + 1) % n;
+  const int left = (rank - 1 + n) % n;
+
+  // Reduce-scatter pass: after step s, this rank holds the partial sum of
+  // chunk (rank - s - 1); after n-1 steps it owns the fully reduced chunk
+  // (rank + 1) % n.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_idx = (rank - s + n) % n;
+    const int recv_idx = (rank - s - 1 + n) % n;
+    const Chunk sc = chunk_b(send_idx);
+    const Chunk rc = chunk_b(recv_idx);
+    (void)c.sendrecv(slice(detail::as_const(acc), sc.off, sc.len), right,
+                     kTagAllreduce, tmp.mview(0, rc.len), left,
+                     kTagAllreduce);
+    detail::combine(c, dt, op, slice(acc, rc.off, rc.len),
+                    tmp.cview(0, rc.len), rc.len);
+  }
+
+  // Allgather pass: circulate the reduced chunks.
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_idx = (rank + 1 - s + n) % n;
+    const int recv_idx = (rank - s + n) % n;
+    const Chunk sc = chunk_b(send_idx);
+    const Chunk rc = chunk_b(recv_idx);
+    (void)c.sendrecv(slice(detail::as_const(acc), sc.off, sc.len), right,
+                     kTagAllreduce, slice(acc, rc.off, rc.len), left,
+                     kTagAllreduce);
+  }
+}
+
+void allreduce_reduce_bcast(Comm& c, ConstView send, MutView recv,
+                            Datatype dt, Op op) {
+  reduce(c, send, recv, dt, op, /*root=*/0);
+  bcast(c, slice(recv, 0, send.bytes), /*root=*/0);
+}
+
+}  // namespace
+
+void allreduce(Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
+               net::AllreduceAlgo algo) {
+  OMBX_REQUIRE(recv.bytes >= send.bytes,
+               "allreduce recv buffer smaller than contribution");
+  if (c.size() == 1) {
+    detail::copy_bytes(recv, send, send.bytes);
+    return;
+  }
+  if (algo == net::AllreduceAlgo::kAuto) algo = c.net().tuning().allreduce;
+  if (algo == net::AllreduceAlgo::kAuto) {
+    // Recursive doubling is latency-optimal (short messages); the ring is
+    // bandwidth-optimal but costs 2*(n-1) steps, so it only pays off for
+    // long vectors on modest communicator sizes.
+    const bool long_vector = send.bytes > 32768 && c.size() <= 64;
+    algo = long_vector ? net::AllreduceAlgo::kRing
+                       : net::AllreduceAlgo::kRecursiveDoubling;
+  }
+  switch (algo) {
+    case net::AllreduceAlgo::kRing:
+      allreduce_ring(c, send, recv, dt, op);
+      break;
+    case net::AllreduceAlgo::kReduceBcast:
+      allreduce_reduce_bcast(c, send, recv, dt, op);
+      break;
+    case net::AllreduceAlgo::kAuto:
+    case net::AllreduceAlgo::kRecursiveDoubling:
+      allreduce_recursive_doubling(c, send, recv, dt, op);
+      break;
+  }
+}
+
+}  // namespace ombx::mpi

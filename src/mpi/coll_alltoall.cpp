@@ -1,0 +1,95 @@
+#include <vector>
+
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/request.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+
+using detail::kTagAlltoall;
+using detail::slice;
+
+/// Scattered non-blocking exchange: post every irecv, then isend to peers
+/// in (rank + i) order to avoid hot-spotting a single destination.
+void alltoall_linear(Comm& c, ConstView send, MutView recv) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const std::size_t b = send.bytes / static_cast<std::size_t>(n);
+
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(2 * (n - 1)));
+  for (int i = 1; i < n; ++i) {
+    const int src = (rank - i + n) % n;
+    reqs.push_back(c.irecv(
+        slice(recv, static_cast<std::size_t>(src) * b, b), src,
+        kTagAlltoall));
+  }
+  for (int i = 1; i < n; ++i) {
+    const int dst = (rank + i) % n;
+    reqs.push_back(c.isend(
+        slice(send, static_cast<std::size_t>(dst) * b, b), dst,
+        kTagAlltoall));
+  }
+  detail::copy_bytes(slice(recv, static_cast<std::size_t>(rank) * b, b),
+                     slice(send, static_cast<std::size_t>(rank) * b, b), b);
+  (void)Request::wait_all(reqs);
+}
+
+/// Pairwise exchange: n-1 synchronized steps; XOR pairing on power-of-two
+/// communicators, shifted pairing otherwise.
+void alltoall_pairwise(Comm& c, ConstView send, MutView recv) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const std::size_t b = send.bytes / static_cast<std::size_t>(n);
+
+  detail::copy_bytes(slice(recv, static_cast<std::size_t>(rank) * b, b),
+                     slice(send, static_cast<std::size_t>(rank) * b, b), b);
+  for (int s = 1; s < n; ++s) {
+    int to;
+    int from;
+    if (detail::is_pow2(n)) {
+      to = from = rank ^ s;
+    } else {
+      to = (rank + s) % n;
+      from = (rank - s + n) % n;
+    }
+    (void)c.sendrecv(slice(send, static_cast<std::size_t>(to) * b, b), to,
+                     kTagAlltoall,
+                     slice(recv, static_cast<std::size_t>(from) * b, b),
+                     from, kTagAlltoall);
+  }
+}
+
+}  // namespace
+
+void alltoall(Comm& c, ConstView send, MutView recv,
+              net::AlltoallAlgo algo) {
+  const std::size_t n = static_cast<std::size_t>(c.size());
+  OMBX_REQUIRE(send.bytes % n == 0,
+               "alltoall send buffer not divisible into equal blocks");
+  OMBX_REQUIRE(recv.bytes >= send.bytes, "alltoall recv buffer too small");
+  if (c.size() == 1) {
+    detail::copy_bytes(recv, send, send.bytes);
+    return;
+  }
+  if (algo == net::AlltoallAlgo::kAuto) algo = c.net().tuning().alltoall;
+  if (algo == net::AlltoallAlgo::kAuto) {
+    // The scattered non-blocking exchange overlaps everything but posts
+    // O(n) requests; pairwise bounds memory and self-throttles.
+    algo = c.size() <= 32 ? net::AlltoallAlgo::kLinear
+                          : net::AlltoallAlgo::kPairwise;
+  }
+  switch (algo) {
+    case net::AlltoallAlgo::kLinear:
+      alltoall_linear(c, send, recv);
+      break;
+    case net::AlltoallAlgo::kAuto:
+    case net::AlltoallAlgo::kPairwise:
+      alltoall_pairwise(c, send, recv);
+      break;
+  }
+}
+
+}  // namespace ombx::mpi

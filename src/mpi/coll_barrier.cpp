@@ -1,0 +1,69 @@
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/request.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+
+using detail::kTagBarrier;
+
+void barrier_dissemination(Comm& c) {
+  const int n = c.size();
+  const int r = c.rank();
+  const ConstView empty_s{};
+  MutView empty_r{};
+  for (int k = 1; k < n; k <<= 1) {
+    const int to = (r + k) % n;
+    const int from = (r - k + n) % n;
+    (void)c.sendrecv(empty_s, to, kTagBarrier, empty_r, from, kTagBarrier);
+  }
+}
+
+void barrier_binomial(Comm& c) {
+  // Fan-in to rank 0 over a binomial tree, then fan-out.
+  const int n = c.size();
+  const int r = c.rank();
+  const ConstView empty_s{};
+  MutView empty_r{};
+
+  int mask = 1;
+  while (mask < n) {
+    if (r & mask) {
+      c.send(empty_s, r - mask, kTagBarrier);
+      break;
+    }
+    if (r + mask < n) (void)c.recv(empty_r, r + mask, kTagBarrier);
+    mask <<= 1;
+  }
+  // Fan-out: receive the release from the parent, then forward it down.
+  if (r != 0) {
+    int parent_mask = 1;
+    while (!(r & parent_mask)) parent_mask <<= 1;
+    (void)c.recv(empty_r, r - parent_mask, kTagBarrier);
+    mask = parent_mask >> 1;
+  } else {
+    mask = detail::pow2_below(n);
+  }
+  for (; mask > 0; mask >>= 1) {
+    if (r + mask < n && !(r & mask)) c.send(empty_s, r + mask, kTagBarrier);
+  }
+}
+
+}  // namespace
+
+void barrier(Comm& c, net::BarrierAlgo algo) {
+  if (c.size() == 1) return;
+  if (algo == net::BarrierAlgo::kAuto) algo = c.net().tuning().barrier;
+  switch (algo) {
+    case net::BarrierAlgo::kBinomial:
+      barrier_binomial(c);
+      break;
+    case net::BarrierAlgo::kAuto:
+    case net::BarrierAlgo::kDissemination:
+      barrier_dissemination(c);
+      break;
+  }
+}
+
+}  // namespace ombx::mpi

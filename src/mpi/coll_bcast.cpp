@@ -1,0 +1,150 @@
+#include <algorithm>
+
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/request.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+
+using detail::kTagBcast;
+using detail::slice;
+
+void bcast_linear(Comm& c, MutView buf, int root) {
+  if (c.rank() == root) {
+    for (int r = 0; r < c.size(); ++r) {
+      if (r != root) c.send(detail::as_const(buf), r, kTagBcast);
+    }
+  } else {
+    (void)c.recv(buf, root, kTagBcast);
+  }
+}
+
+void bcast_binomial(Comm& c, MutView buf, int root) {
+  const int n = c.size();
+  const int vrank = (c.rank() - root + n) % n;
+
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int src = (vrank - mask + root) % n;
+      (void)c.recv(buf, src, kTagBcast);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  for (; mask > 0; mask >>= 1) {
+    if (vrank + mask < n) {
+      const int dst = (vrank + mask + root) % n;
+      c.send(detail::as_const(buf), dst, kTagBcast);
+    }
+  }
+}
+
+/// Block extent [offset, offset+len) of chunk `i` when `total` bytes are
+/// split into `n` chunks with the remainder spread over the first chunks.
+struct Chunk {
+  std::size_t off;
+  std::size_t len;
+};
+
+Chunk chunk_of(std::size_t total, int n, int i) {
+  const std::size_t base = total / static_cast<std::size_t>(n);
+  const std::size_t rem = total % static_cast<std::size_t>(n);
+  const auto ui = static_cast<std::size_t>(i);
+  const std::size_t off = base * ui + std::min(ui, rem);
+  const std::size_t len = base + (ui < rem ? 1 : 0);
+  return {off, len};
+}
+
+/// Extent covering chunks [first, last).
+Chunk chunk_range(std::size_t total, int n, int first, int last) {
+  const Chunk a = chunk_of(total, n, first);
+  const Chunk b = chunk_of(total, n, last - 1);
+  return {a.off, b.off + b.len - a.off};
+}
+
+/// Van de Geijn large-message broadcast: binomial scatter of n chunks, then
+/// a ring allgather.  Bandwidth-optimal for large payloads.
+void bcast_scatter_allgather(Comm& c, MutView buf, int root) {
+  const int n = c.size();
+  const int r = c.rank();
+  const int vrank = (r - root + n) % n;
+  const std::size_t total = buf.bytes;
+
+  // --- Binomial scatter: node vrank ends up owning chunk vrank, and during
+  // the descent holds the contiguous chunk range [vrank, vrank + held).
+  int held;  // number of chunks this node currently holds
+  if (vrank == 0) {
+    held = n;
+  } else {
+    int lsb = 1;
+    while (!(vrank & lsb)) lsb <<= 1;
+    held = std::min(lsb, n - vrank);
+    const int parent = ((vrank - lsb) + root) % n;
+    const Chunk mine = chunk_range(total, n, vrank, vrank + held);
+    (void)c.recv(slice(buf, mine.off, mine.len), parent, kTagBcast);
+  }
+  {
+    int lsb = vrank == 0 ? detail::pow2_below(std::max(n, 1)) * 2 : 0;
+    if (vrank != 0) {
+      lsb = 1;
+      while (!(vrank & lsb)) lsb <<= 1;
+    }
+    for (int mask = lsb >> 1; mask > 0; mask >>= 1) {
+      const int child_v = vrank + mask;
+      if (child_v < n) {
+        const int child_held = std::min(mask, n - child_v);
+        const Chunk theirs = chunk_range(total, n, child_v,
+                                         child_v + child_held);
+        const int dst = (child_v + root) % n;
+        c.send(detail::slice(detail::as_const(buf), theirs.off, theirs.len),
+               dst, kTagBcast);
+      }
+    }
+  }
+
+  // --- Ring allgather over the chunks (indexed by vrank).
+  const int right = (r + 1) % n;
+  const int left = (r - 1 + n) % n;
+  for (int s = 0; s < n - 1; ++s) {
+    const int send_chunk = (vrank - s + n) % n;
+    const int recv_chunk = (vrank - s - 1 + n) % n;
+    const Chunk sc = chunk_of(total, n, send_chunk);
+    const Chunk rc = chunk_of(total, n, recv_chunk);
+    (void)c.sendrecv(
+        detail::slice(detail::as_const(buf), sc.off, sc.len), right,
+        kTagBcast, slice(buf, rc.off, rc.len), left, kTagBcast);
+  }
+}
+
+}  // namespace
+
+void bcast(Comm& c, MutView buf, int root, net::BcastAlgo algo) {
+  OMBX_REQUIRE(root >= 0 && root < c.size(), "bcast root out of range");
+  if (c.size() == 1) return;
+  if (algo == net::BcastAlgo::kAuto) algo = c.net().tuning().bcast;
+  if (algo == net::BcastAlgo::kAuto) {
+    // MPICH-like heuristic: binomial for short messages or small comms,
+    // scatter-allgather for long messages.
+    const bool large = buf.bytes > 12288 && c.size() >= 8;
+    algo = large ? net::BcastAlgo::kScatterAllgather
+                 : net::BcastAlgo::kBinomial;
+  }
+  switch (algo) {
+    case net::BcastAlgo::kLinear:
+      bcast_linear(c, buf, root);
+      break;
+    case net::BcastAlgo::kScatterAllgather:
+      bcast_scatter_allgather(c, buf, root);
+      break;
+    case net::BcastAlgo::kAuto:
+    case net::BcastAlgo::kBinomial:
+      bcast_binomial(c, buf, root);
+      break;
+  }
+}
+
+}  // namespace ombx::mpi

@@ -1,0 +1,105 @@
+#include <algorithm>
+
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+
+using detail::kTagGather;
+using detail::Scratch;
+using detail::slice;
+
+void gather_linear(Comm& c, ConstView send, MutView recv, int root) {
+  const int n = c.size();
+  const std::size_t b = send.bytes;
+  if (c.rank() != root) {
+    c.send(send, root, kTagGather);
+    return;
+  }
+  detail::copy_bytes(slice(recv, static_cast<std::size_t>(root) * b, b),
+                     send, b);
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    (void)c.recv(slice(recv, static_cast<std::size_t>(r) * b, b), r,
+                 kTagGather);
+  }
+}
+
+/// Binomial gather: node vrank accumulates the contiguous (in vrank space)
+/// block range [vrank, vrank + held) and forwards it to its parent in one
+/// message.  The root un-rotates from vrank order into rank order.
+void gather_binomial(Comm& c, ConstView send, MutView recv, int root) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const int vrank = (rank - root + n) % n;
+  const std::size_t b = send.bytes;
+  const bool real = detail::real_payload(c, send);
+
+  // Scratch sized for the largest range this node can hold.  The root
+  // needs all n blocks; an interior node at most its subtree.
+  const int max_held = vrank == 0 ? n : std::min(detail::pow2_below(n) * 2,
+                                                 n - vrank);
+  Scratch acc(static_cast<std::size_t>(max_held) * b, real, send.space);
+  detail::copy_bytes(acc.mview(0, b), send, b);
+
+  int held = 1;
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int parent = ((vrank - mask) + root) % n;
+      c.send(acc.cview(0, static_cast<std::size_t>(held) * b), parent,
+             kTagGather);
+      break;
+    }
+    const int child_v = vrank + mask;
+    if (child_v < n) {
+      const int child_held = std::min(mask, n - child_v);
+      const int child = (child_v + root) % n;
+      (void)c.recv(acc.mview(static_cast<std::size_t>(held) * b,
+                             static_cast<std::size_t>(child_held) * b),
+                   child, kTagGather);
+      held += child_held;
+    }
+    mask <<= 1;
+  }
+
+  if (vrank == 0) {
+    // acc holds block of vrank v at offset v*b; user layout wants block of
+    // rank r at offset r*b, where r = (v + root) % n.
+    for (int v = 0; v < n; ++v) {
+      const int r = (v + root) % n;
+      detail::copy_bytes(slice(recv, static_cast<std::size_t>(r) * b, b),
+                         acc.cview(static_cast<std::size_t>(v) * b, b), b);
+    }
+  }
+}
+
+}  // namespace
+
+void gather(Comm& c, ConstView send, MutView recv, int root,
+            net::GatherAlgo algo) {
+  OMBX_REQUIRE(root >= 0 && root < c.size(), "gather root out of range");
+  if (c.rank() == root) {
+    OMBX_REQUIRE(recv.bytes >=
+                     static_cast<std::size_t>(c.size()) * send.bytes,
+                 "gather recv buffer too small");
+  }
+  if (c.size() == 1) {
+    detail::copy_bytes(recv, send, send.bytes);
+    return;
+  }
+  if (algo == net::GatherAlgo::kAuto) algo = c.net().tuning().gather;
+  switch (algo) {
+    case net::GatherAlgo::kLinear:
+      gather_linear(c, send, recv, root);
+      break;
+    case net::GatherAlgo::kAuto:
+    case net::GatherAlgo::kBinomial:
+      gather_binomial(c, send, recv, root);
+      break;
+  }
+}
+
+}  // namespace ombx::mpi

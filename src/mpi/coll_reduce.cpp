@@ -1,0 +1,83 @@
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+
+using detail::kTagReduce;
+using detail::Scratch;
+
+void reduce_linear(Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
+                   int root) {
+  const int n = c.size();
+  if (c.rank() != root) {
+    c.send(send, root, kTagReduce);
+    return;
+  }
+  const bool real = detail::real_payload(c, send);
+  detail::copy_bytes(recv, send, send.bytes);
+  Scratch tmp(send.bytes, real, send.space);
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    (void)c.recv(tmp.mview(), r, kTagReduce);
+    detail::combine(c, dt, op, recv, tmp.cview(), send.bytes);
+  }
+}
+
+void reduce_binomial(Comm& c, ConstView send, MutView recv, Datatype dt,
+                     Op op, int root) {
+  const int n = c.size();
+  const int vrank = (c.rank() - root + n) % n;
+  const bool real = detail::real_payload(c, send);
+
+  // Accumulator: at the root this is the user's recv buffer, elsewhere a
+  // scratch of the same size.
+  Scratch acc_store(c.rank() == root ? 0 : send.bytes, real, send.space);
+  MutView acc = c.rank() == root ? detail::slice(recv, 0, send.bytes)
+                                 : acc_store.mview();
+  detail::copy_bytes(acc, send, send.bytes);
+
+  Scratch tmp(send.bytes, real, send.space);
+  int mask = 1;
+  while (mask < n) {
+    if (vrank & mask) {
+      const int parent = ((vrank - mask) + root) % n;
+      c.send(detail::as_const(acc), parent, kTagReduce);
+      break;
+    }
+    if (vrank + mask < n) {
+      const int child = ((vrank + mask) + root) % n;
+      (void)c.recv(tmp.mview(), child, kTagReduce);
+      detail::combine(c, dt, op, acc, tmp.cview(), send.bytes);
+    }
+    mask <<= 1;
+  }
+}
+
+}  // namespace
+
+void reduce(Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
+            int root, net::ReduceAlgo algo) {
+  OMBX_REQUIRE(root >= 0 && root < c.size(), "reduce root out of range");
+  if (c.rank() == root) {
+    OMBX_REQUIRE(recv.bytes >= send.bytes,
+                 "reduce recv buffer smaller than contribution");
+  }
+  if (c.size() == 1) {
+    detail::copy_bytes(recv, send, send.bytes);
+    return;
+  }
+  if (algo == net::ReduceAlgo::kAuto) algo = c.net().tuning().reduce;
+  switch (algo) {
+    case net::ReduceAlgo::kLinear:
+      reduce_linear(c, send, recv, dt, op, root);
+      break;
+    case net::ReduceAlgo::kAuto:
+    case net::ReduceAlgo::kBinomial:
+      reduce_binomial(c, send, recv, dt, op, root);
+      break;
+  }
+}
+
+}  // namespace ombx::mpi

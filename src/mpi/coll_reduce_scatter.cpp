@@ -1,0 +1,124 @@
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+
+using detail::kTagReduceScatter;
+using detail::Scratch;
+using detail::slice;
+
+/// Pairwise exchange (any communicator size, commutative op): rank r sends
+/// each peer p its contribution to p's block and folds what it receives
+/// into its own block.  n-1 steps, each moving one block.
+void reduce_scatter_pairwise(Comm& c, ConstView send, MutView recv,
+                             Datatype dt, Op op) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const std::size_t b = recv.bytes;
+  const bool real = detail::real_payload(c, send);
+
+  detail::copy_bytes(recv, slice(send, static_cast<std::size_t>(rank) * b, b),
+                     b);
+  Scratch tmp(b, real, send.space);
+  for (int s = 1; s < n; ++s) {
+    const int dst = (rank + s) % n;
+    const int src = (rank - s + n) % n;
+    (void)c.sendrecv(slice(send, static_cast<std::size_t>(dst) * b, b), dst,
+                     kTagReduceScatter, tmp.mview(), src,
+                     kTagReduceScatter);
+    detail::combine(c, dt, op, recv, tmp.cview(), b);
+  }
+}
+
+/// Recursive halving (power-of-two sizes, commutative op): each step
+/// exchanges the half of the active window the partner owns, folding the
+/// received half locally.  log2(n) steps, bandwidth-optimal.
+void reduce_scatter_recursive_halving(Comm& c, ConstView send, MutView recv,
+                                      Datatype dt, Op op) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const std::size_t b = recv.bytes;
+  const bool real = detail::real_payload(c, send);
+
+  // Working copy of all n blocks.
+  Scratch acc(static_cast<std::size_t>(n) * b, real, send.space);
+  detail::copy_bytes(acc.mview(), send,
+                     static_cast<std::size_t>(n) * b);
+  Scratch tmp(static_cast<std::size_t>(n / 2) * b, real, send.space);
+
+  int lo = 0;
+  int hi = n;  // active block window [lo, hi)
+  for (int mask = n / 2; mask >= 1; mask >>= 1) {
+    const int partner = rank ^ mask;
+    const int mid = lo + (hi - lo) / 2;
+    // The half of the window that the partner's side owns gets sent.
+    int keep_lo;
+    int keep_hi;
+    int send_lo;
+    int send_hi;
+    if (rank < partner) {
+      keep_lo = lo;
+      keep_hi = mid;
+      send_lo = mid;
+      send_hi = hi;
+    } else {
+      keep_lo = mid;
+      keep_hi = hi;
+      send_lo = lo;
+      send_hi = mid;
+    }
+    const std::size_t send_off = static_cast<std::size_t>(send_lo) * b;
+    const std::size_t send_len =
+        static_cast<std::size_t>(send_hi - send_lo) * b;
+    const std::size_t keep_off = static_cast<std::size_t>(keep_lo) * b;
+    const std::size_t keep_len =
+        static_cast<std::size_t>(keep_hi - keep_lo) * b;
+    (void)c.sendrecv(acc.cview(send_off, send_len), partner,
+                     kTagReduceScatter, tmp.mview(0, keep_len), partner,
+                     kTagReduceScatter);
+    detail::combine(c, dt, op, acc.mview(keep_off, keep_len),
+                    tmp.cview(0, keep_len), keep_len);
+    lo = keep_lo;
+    hi = keep_hi;
+  }
+  OMBX_REQUIRE(hi - lo == 1 && lo == rank,
+               "recursive halving did not converge on the owner block");
+  detail::copy_bytes(recv, acc.cview(static_cast<std::size_t>(lo) * b, b),
+                     b);
+}
+
+}  // namespace
+
+void reduce_scatter(Comm& c, ConstView send, MutView recv, Datatype dt,
+                    Op op, net::ReduceScatterAlgo algo) {
+  const std::size_t n = static_cast<std::size_t>(c.size());
+  OMBX_REQUIRE(send.bytes >= n * recv.bytes,
+               "reduce_scatter send buffer too small");
+  if (c.size() == 1) {
+    detail::copy_bytes(recv, send, recv.bytes);
+    return;
+  }
+  if (algo == net::ReduceScatterAlgo::kAuto) {
+    algo = c.net().tuning().reduce_scatter;
+  }
+  if (algo == net::ReduceScatterAlgo::kAuto) {
+    algo = detail::is_pow2(c.size())
+               ? net::ReduceScatterAlgo::kRecursiveHalving
+               : net::ReduceScatterAlgo::kPairwise;
+  }
+  switch (algo) {
+    case net::ReduceScatterAlgo::kRecursiveHalving:
+      OMBX_REQUIRE(detail::is_pow2(c.size()),
+                   "recursive halving needs a power-of-two comm");
+      reduce_scatter_recursive_halving(c, send, recv, dt, op);
+      break;
+    case net::ReduceScatterAlgo::kAuto:
+    case net::ReduceScatterAlgo::kPairwise:
+      reduce_scatter_pairwise(c, send, recv, dt, op);
+      break;
+  }
+}
+
+}  // namespace ombx::mpi

@@ -1,0 +1,107 @@
+#include <algorithm>
+
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+
+using detail::kTagScatter;
+using detail::Scratch;
+using detail::slice;
+
+void scatter_linear(Comm& c, ConstView send, MutView recv, int root) {
+  const int n = c.size();
+  const std::size_t b = recv.bytes;
+  if (c.rank() == root) {
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      c.send(slice(send, static_cast<std::size_t>(r) * b, b), r,
+             kTagScatter);
+    }
+    detail::copy_bytes(recv,
+                       slice(send, static_cast<std::size_t>(root) * b, b),
+                       b);
+  } else {
+    (void)c.recv(recv, root, kTagScatter);
+  }
+}
+
+/// Binomial scatter: the root arranges blocks in vrank order, then each
+/// node forwards the halves of its block range down the tree.
+void scatter_binomial(Comm& c, ConstView send, MutView recv, int root) {
+  const int n = c.size();
+  const int rank = c.rank();
+  const int vrank = (rank - root + n) % n;
+  const std::size_t b = recv.bytes;
+  const bool real =
+      c.engine().payload_mode() == PayloadMode::kReal && recv.data != nullptr;
+
+  int held;       // blocks this node is responsible for: [vrank, vrank+held)
+  int top_mask;   // first mask to forward from
+  Scratch store(0, false, recv.space);
+
+  if (vrank == 0) {
+    held = n;
+    top_mask = detail::pow2_below(n);
+    // Re-order the user's rank-ordered send buffer into vrank order.
+    store = Scratch(static_cast<std::size_t>(n) * b, real, recv.space);
+    for (int v = 0; v < n; ++v) {
+      const int r = (v + root) % n;
+      detail::copy_bytes(store.mview(static_cast<std::size_t>(v) * b, b),
+                         slice(send, static_cast<std::size_t>(r) * b, b), b);
+    }
+  } else {
+    int lsb = 1;
+    while (!(vrank & lsb)) lsb <<= 1;
+    held = std::min(lsb, n - vrank);
+    top_mask = lsb >> 1;
+    store = Scratch(static_cast<std::size_t>(held) * b, real, recv.space);
+    const int parent = ((vrank - lsb) + root) % n;
+    (void)c.recv(store.mview(), parent, kTagScatter);
+  }
+
+  for (int mask = top_mask; mask > 0; mask >>= 1) {
+    const int child_v = vrank + mask;
+    if (child_v < n) {
+      const int child_held = std::min(mask, n - child_v);
+      const int child = (child_v + root) % n;
+      // Child's blocks sit at offset (child_v - vrank) within our range.
+      c.send(store.cview(static_cast<std::size_t>(child_v - vrank) * b,
+                         static_cast<std::size_t>(child_held) * b),
+             child, kTagScatter);
+      held -= child_held;
+    }
+  }
+  OMBX_REQUIRE(held == 1, "scatter tree accounting broke");
+  detail::copy_bytes(recv, store.cview(0, b), b);
+}
+
+}  // namespace
+
+void scatter(Comm& c, ConstView send, MutView recv, int root,
+             net::GatherAlgo algo) {
+  OMBX_REQUIRE(root >= 0 && root < c.size(), "scatter root out of range");
+  if (c.rank() == root) {
+    OMBX_REQUIRE(send.bytes >=
+                     static_cast<std::size_t>(c.size()) * recv.bytes,
+                 "scatter send buffer too small");
+  }
+  if (c.size() == 1) {
+    detail::copy_bytes(recv, send, recv.bytes);
+    return;
+  }
+  if (algo == net::GatherAlgo::kAuto) algo = c.net().tuning().gather;
+  switch (algo) {
+    case net::GatherAlgo::kLinear:
+      scatter_linear(c, send, recv, root);
+      break;
+    case net::GatherAlgo::kAuto:
+    case net::GatherAlgo::kBinomial:
+      scatter_binomial(c, send, recv, root);
+      break;
+  }
+}
+
+}  // namespace ombx::mpi

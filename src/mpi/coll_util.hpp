@@ -1,0 +1,121 @@
+// Internal helpers shared by the collective algorithm implementations.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/error.hpp"
+#include "mpi/message.hpp"
+#include "mpi/op.hpp"
+
+namespace ombx::mpi::detail {
+
+// Reserved tag band for collective traffic (separate per collective kind
+// for debuggability; correctness only needs per-(ctx,src,tag) FIFO order).
+inline constexpr int kTagBarrier = 0x7e000001;
+inline constexpr int kTagBcast = 0x7e000002;
+inline constexpr int kTagReduce = 0x7e000003;
+inline constexpr int kTagAllreduce = 0x7e000004;
+inline constexpr int kTagGather = 0x7e000005;
+inline constexpr int kTagScatter = 0x7e000006;
+inline constexpr int kTagAllgather = 0x7e000007;
+inline constexpr int kTagAlltoall = 0x7e000008;
+inline constexpr int kTagReduceScatter = 0x7e000009;
+inline constexpr int kTagVector = 0x7e00000a;
+
+/// Largest power of two <= n (n >= 1).
+[[nodiscard]] constexpr int pow2_below(int n) noexcept {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+[[nodiscard]] constexpr bool is_pow2(int n) noexcept {
+  return n > 0 && (n & (n - 1)) == 0;
+}
+
+/// Scratch buffer that respects synthetic payloads: when the parent views
+/// carry no data, the scratch carries none either (data() == nullptr) but
+/// still reports its logical size.
+class Scratch {
+ public:
+  Scratch(std::size_t bytes, bool real, net::MemSpace space)
+      : bytes_(bytes), space_(space) {
+    if (real && bytes > 0) storage_.resize(bytes);
+  }
+
+  [[nodiscard]] std::byte* data() noexcept {
+    return storage_.empty() ? nullptr : storage_.data();
+  }
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return storage_.empty() ? nullptr : storage_.data();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+
+  [[nodiscard]] ConstView cview(std::size_t off, std::size_t len) const {
+    OMBX_REQUIRE(off + len <= bytes_, "scratch read out of range");
+    return ConstView{data() ? data() + off : nullptr, len, space_};
+  }
+  [[nodiscard]] MutView mview(std::size_t off, std::size_t len) {
+    OMBX_REQUIRE(off + len <= bytes_, "scratch write out of range");
+    return MutView{data() ? data() + off : nullptr, len, space_};
+  }
+  [[nodiscard]] ConstView cview() const { return cview(0, bytes_); }
+  [[nodiscard]] MutView mview() { return mview(0, bytes_); }
+
+ private:
+  std::vector<std::byte> storage_;
+  std::size_t bytes_;
+  net::MemSpace space_;
+};
+
+/// Sub-views that stay null for synthetic payloads.
+[[nodiscard]] inline ConstView slice(ConstView v, std::size_t off,
+                                     std::size_t len) {
+  OMBX_REQUIRE(off + len <= v.bytes, "const view slice out of range");
+  return ConstView{v.data ? v.data + off : nullptr, len, v.space};
+}
+
+[[nodiscard]] inline MutView slice(MutView v, std::size_t off,
+                                   std::size_t len) {
+  OMBX_REQUIRE(off + len <= v.bytes, "mut view slice out of range");
+  return MutView{v.data ? v.data + off : nullptr, len, v.space};
+}
+
+[[nodiscard]] inline ConstView as_const(MutView v) {
+  return ConstView{v.data, v.bytes, v.space};
+}
+
+/// memcpy that tolerates synthetic (null) endpoints.
+inline void copy_bytes(MutView dst, ConstView src, std::size_t len) {
+  OMBX_REQUIRE(len <= dst.bytes && len <= src.bytes,
+               "copy length exceeds a view");
+  if (dst.data != nullptr && src.data != nullptr && len > 0) {
+    std::memcpy(dst.data, src.data, len);
+  }
+}
+
+/// True when this communicator should physically move payload bytes.
+[[nodiscard]] inline bool real_payload(const Comm& c, ConstView v) {
+  return c.engine().payload_mode() == PayloadMode::kReal && v.data != nullptr;
+}
+[[nodiscard]] inline bool real_payload(const Comm& c, MutView v) {
+  return c.engine().payload_mode() == PayloadMode::kReal && v.data != nullptr;
+}
+
+/// Reduce helper: inout[0..count_bytes) op= in, with flop charging.
+inline void combine(Comm& c, Datatype dt, Op op, MutView inout, ConstView in,
+                    std::size_t count_bytes) {
+  OMBX_REQUIRE(count_bytes <= inout.bytes && count_bytes <= in.bytes,
+               "reduction length exceeds a buffer view");
+  const std::size_t elems = count_bytes / size_of(dt);
+  OMBX_REQUIRE(elems * size_of(dt) == count_bytes,
+               "reduction byte count not a multiple of the datatype size");
+  const std::size_t flops = apply(
+      op, dt, inout.data, in.data, elems);
+  c.charge_flops(static_cast<double>(flops));
+}
+
+}  // namespace ombx::mpi::detail

@@ -1,0 +1,91 @@
+// Blocking collective operations over a Comm.
+//
+// Conventions (byte-oriented substrate):
+//  * All counts and displacements are in BYTES.  A Datatype/Op pair is only
+//    required by reducing collectives, where real arithmetic is performed.
+//  * `allgather(send, recv)`: send holds this rank's n bytes; recv holds
+//    size()*n bytes, block r at offset r*n — exactly MPI's layout.
+//  * Synthetic payloads (ConstView/MutView with data == nullptr, or a World
+//    in PayloadMode::kSynthetic) run the identical algorithm and charge the
+//    identical virtual time, but move no bytes.
+//  * Every collective is implemented on top of the same point-to-point
+//    layer the p2p benchmarks use (as in MPICH/MVAPICH), so collective
+//    latency curves emerge from the algorithms rather than closed forms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/op.hpp"
+#include "net/tuning.hpp"
+
+namespace ombx::mpi {
+
+void barrier(Comm& c, net::BarrierAlgo algo = net::BarrierAlgo::kAuto);
+
+/// In/out at root; out at every other rank.
+void bcast(Comm& c, MutView buf, int root,
+           net::BcastAlgo algo = net::BcastAlgo::kAuto);
+
+/// send: n bytes everywhere; recv: n bytes, significant at root only (other
+/// ranks may pass an empty view).
+void reduce(Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
+            int root, net::ReduceAlgo algo = net::ReduceAlgo::kAuto);
+
+void allreduce(Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
+               net::AllreduceAlgo algo = net::AllreduceAlgo::kAuto);
+
+/// send: n bytes everywhere; recv: size()*n bytes at root.
+void gather(Comm& c, ConstView send, MutView recv, int root,
+            net::GatherAlgo algo = net::GatherAlgo::kAuto);
+
+/// send: size()*n bytes at root; recv: n bytes everywhere.
+void scatter(Comm& c, ConstView send, MutView recv, int root,
+             net::GatherAlgo algo = net::GatherAlgo::kAuto);
+
+/// send: n bytes everywhere; recv: size()*n bytes everywhere.
+void allgather(Comm& c, ConstView send, MutView recv,
+               net::AllgatherAlgo algo = net::AllgatherAlgo::kAuto);
+
+/// send/recv: size()*n bytes; block j of send goes to rank j.
+void alltoall(Comm& c, ConstView send, MutView recv,
+              net::AlltoallAlgo algo = net::AlltoallAlgo::kAuto);
+
+/// Equal-block reduce-scatter (MPI_Reduce_scatter_block): send holds
+/// size()*n bytes; recv holds the n-byte reduced block this rank owns.
+void reduce_scatter(
+    Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
+    net::ReduceScatterAlgo algo = net::ReduceScatterAlgo::kAuto);
+
+/// Inclusive prefix reduction: recv at rank r = send_0 OP ... OP send_r.
+void scan(Comm& c, ConstView send, MutView recv, Datatype dt, Op op);
+
+/// Exclusive prefix reduction: recv at rank r = send_0 OP ... OP
+/// send_{r-1}; rank 0's recv is left untouched (as MPI specifies).
+void exscan(Comm& c, ConstView send, MutView recv, Datatype dt, Op op);
+
+// ---- Vector variants (per-rank byte counts + displacements) ---------------
+
+/// counts/displs indexed by comm rank, significant at root; recv at root
+/// must cover max(displs[r] + counts[r]).
+void gatherv(Comm& c, ConstView send, MutView recv,
+             std::span<const std::size_t> counts,
+             std::span<const std::size_t> displs, int root);
+
+void scatterv(Comm& c, ConstView send, std::span<const std::size_t> counts,
+              std::span<const std::size_t> displs, MutView recv, int root);
+
+/// counts/displs significant at every rank (they must agree).
+void allgatherv(Comm& c, ConstView send, MutView recv,
+                std::span<const std::size_t> counts,
+                std::span<const std::size_t> displs);
+
+void alltoallv(Comm& c, ConstView send,
+               std::span<const std::size_t> scounts,
+               std::span<const std::size_t> sdispls, MutView recv,
+               std::span<const std::size_t> rcounts,
+               std::span<const std::size_t> rdispls);
+
+}  // namespace ombx::mpi

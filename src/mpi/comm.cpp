@@ -1,0 +1,179 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <map>
+
+#include "mpi/error.hpp"
+#include "mpi/request.hpp"
+
+namespace ombx::mpi {
+
+namespace {
+// Tags reserved for communicator-management traffic; user tags must be
+// non-negative and below this band (checked in send/recv).
+constexpr int kSplitGatherTag = 0x7ff00001;
+constexpr int kSplitReplyTag = 0x7ff00002;
+
+ConstView bytes_of(const std::vector<std::int32_t>& v) {
+  return ConstView{reinterpret_cast<const std::byte*>(v.data()),
+                   v.size() * sizeof(std::int32_t), net::MemSpace::kHost};
+}
+}  // namespace
+
+Comm::Comm(Engine& engine, int context, std::vector<int> world_ranks,
+           int my_comm_rank)
+    : engine_(&engine),
+      context_(context),
+      world_ranks_(std::move(world_ranks)),
+      my_rank_(my_comm_rank) {
+  OMBX_REQUIRE(!world_ranks_.empty(), "communicator must not be empty");
+  OMBX_REQUIRE(my_rank_ >= 0 && my_rank_ < size(),
+               "comm rank out of range");
+  my_world_ = world_ranks_[static_cast<std::size_t>(my_rank_)];
+}
+
+int Comm::world_rank(int comm_rank) const {
+  OMBX_REQUIRE(comm_rank >= 0 && comm_rank < size(),
+               "comm rank out of range");
+  return world_ranks_[static_cast<std::size_t>(comm_rank)];
+}
+
+simtime::SimClock& Comm::clock() const {
+  return engine_->state(my_world_).clock;
+}
+
+void Comm::send(ConstView v, int dst, int tag) const {
+  OMBX_REQUIRE(tag >= 0, "user tags must be non-negative");
+  auto cell = engine_->post_send(my_world_, world_rank(dst), context_,
+                                 my_rank_, tag, v);
+  if (cell) clock().advance_to(cell->await());
+}
+
+Status Comm::recv(MutView v, int src, int tag) const {
+  const int src_world_filter = src;  // comm-local; engine matches on it
+  return engine_->recv(my_world_, context_, src_world_filter, tag, v);
+}
+
+Status Comm::sendrecv(ConstView s, int dst, int stag, MutView r, int src,
+                      int rtag) const {
+  Request sreq = isend(s, dst, stag);
+  Status st = recv(r, src, rtag);
+  sreq.wait();
+  return st;
+}
+
+Request Comm::isend(ConstView v, int dst, int tag) const {
+  OMBX_REQUIRE(tag >= 0, "user tags must be non-negative");
+  auto cell = engine_->post_send(my_world_, world_rank(dst), context_,
+                                 my_rank_, tag, v);
+  return Request::make_send(*this, std::move(cell));
+}
+
+Request Comm::irecv(MutView v, int src, int tag) const {
+  return Request::make_recv(*this, v, src, tag);
+}
+
+Status Comm::probe(int src, int tag) const {
+  return engine_->probe(my_world_, context_, src, tag);
+}
+
+std::optional<Status> Comm::iprobe(int src, int tag) const {
+  return engine_->iprobe(my_world_, context_, src, tag);
+}
+
+std::optional<Comm> Comm::split(int color, int key) const {
+  // Linear gather of (color, key) at comm rank 0, which partitions, asks
+  // the engine for one fresh context per group, and replies to each member
+  // with [context, new_rank, group_size, world_ranks...].
+  const int n = size();
+  std::vector<std::int32_t> reply;
+
+  if (my_rank_ == 0) {
+    std::vector<std::pair<std::int32_t, std::int32_t>> entries(
+        static_cast<std::size_t>(n));
+    entries[0] = {color, key};
+    for (int r = 1; r < n; ++r) {
+      std::vector<std::int32_t> buf(2);
+      MutView mv{reinterpret_cast<std::byte*>(buf.data()),
+                 buf.size() * sizeof(std::int32_t), net::MemSpace::kHost};
+      (void)engine_->recv(my_world_, context_, r, kSplitGatherTag, mv);
+      entries[static_cast<std::size_t>(r)] = {buf[0], buf[1]};
+    }
+
+    // Group members by color; order inside a group by (key, parent rank).
+    std::map<std::int32_t, std::vector<int>> groups;
+    for (int r = 0; r < n; ++r) {
+      if (entries[static_cast<std::size_t>(r)].first >= 0) {
+        groups[entries[static_cast<std::size_t>(r)].first].push_back(r);
+      }
+    }
+    std::map<std::int32_t, std::int32_t> contexts;
+    for (auto& [c, members] : groups) {
+      std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+        return entries[static_cast<std::size_t>(a)].second <
+               entries[static_cast<std::size_t>(b)].second;
+      });
+      contexts[c] = engine_->allocate_context();
+    }
+
+    for (int r = n - 1; r >= 0; --r) {
+      const std::int32_t c = entries[static_cast<std::size_t>(r)].first;
+      std::vector<std::int32_t> out;
+      if (c < 0) {
+        out = {-1, -1, 0};
+      } else {
+        const auto& members = groups.at(c);
+        const auto pos = std::find(members.begin(), members.end(), r);
+        out.push_back(contexts.at(c));
+        out.push_back(
+            static_cast<std::int32_t>(pos - members.begin()));
+        out.push_back(static_cast<std::int32_t>(members.size()));
+        for (int m : members) {
+          out.push_back(static_cast<std::int32_t>(world_rank(m)));
+        }
+      }
+      if (r == 0) {
+        reply = std::move(out);
+      } else {
+        auto cell = engine_->post_send(my_world_, world_rank(r), context_,
+                                       my_rank_, kSplitReplyTag,
+                                       bytes_of(out),
+                                       /*force_payload=*/true);
+        if (cell) clock().advance_to(cell->await());
+      }
+    }
+  } else {
+    const std::vector<std::int32_t> mine = {color, key};
+    auto cell = engine_->post_send(my_world_, world_rank(0), context_,
+                                   my_rank_, kSplitGatherTag,
+                                   bytes_of(mine),
+                                   /*force_payload=*/true);
+    if (cell) clock().advance_to(cell->await());
+
+    const Status st = engine_->probe(my_world_, context_, 0, kSplitReplyTag);
+    reply.resize(st.bytes / sizeof(std::int32_t));
+    MutView mv{reinterpret_cast<std::byte*>(reply.data()), st.bytes,
+               net::MemSpace::kHost};
+    (void)engine_->recv(my_world_, context_, 0, kSplitReplyTag, mv);
+  }
+
+  OMBX_REQUIRE(reply.size() >= 3, "malformed split reply");
+  if (reply[0] < 0) return std::nullopt;
+  const int new_ctx = reply[0];
+  const int new_rank = reply[1];
+  const int new_size = reply[2];
+  OMBX_REQUIRE(reply.size() == 3 + static_cast<std::size_t>(new_size),
+               "malformed split reply length");
+  std::vector<int> worlds(reply.begin() + 3, reply.end());
+  return Comm(*engine_, new_ctx, std::move(worlds), new_rank);
+}
+
+Comm Comm::dup() const {
+  auto out = split(0, my_rank_);
+  OMBX_REQUIRE(out.has_value(), "dup must produce a communicator");
+  return *std::move(out);
+}
+
+}  // namespace ombx::mpi

@@ -1,0 +1,89 @@
+// Communicator: the user-facing handle for point-to-point communication.
+//
+// A Comm is a lightweight view (engine pointer + context id + rank table);
+// collectives are free functions in collectives.hpp.  The API mirrors the
+// MPI operations OMB exercises: Send/Recv/Isend/Irecv/Sendrecv/Probe plus
+// communicator management (dup/split).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mpi/engine.hpp"
+#include "mpi/message.hpp"
+
+namespace ombx::mpi {
+
+class Request;
+
+class Comm {
+ public:
+  /// COMM_WORLD constructor (used by World): identity rank mapping.
+  Comm(Engine& engine, int context, std::vector<int> world_ranks,
+       int my_comm_rank);
+
+  [[nodiscard]] int rank() const noexcept { return my_rank_; }
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(world_ranks_.size());
+  }
+  [[nodiscard]] int context() const noexcept { return context_; }
+
+  /// Physical (world) rank of a communicator rank.
+  [[nodiscard]] int world_rank(int comm_rank) const;
+
+  [[nodiscard]] Engine& engine() const noexcept { return *engine_; }
+  [[nodiscard]] const net::NetworkModel& net() const noexcept {
+    return engine_->net();
+  }
+  [[nodiscard]] simtime::SimClock& clock() const;
+  [[nodiscard]] usec_t now() const { return clock().now(); }
+
+  // ---- Blocking point-to-point -------------------------------------------
+
+  void send(ConstView v, int dst, int tag) const;
+  Status recv(MutView v, int src, int tag) const;
+  Status sendrecv(ConstView s, int dst, int stag, MutView r, int src,
+                  int rtag) const;
+
+  // ---- Non-blocking point-to-point ---------------------------------------
+
+  [[nodiscard]] Request isend(ConstView v, int dst, int tag) const;
+  [[nodiscard]] Request irecv(MutView v, int src, int tag) const;
+
+  // ---- Probes --------------------------------------------------------------
+
+  [[nodiscard]] Status probe(int src, int tag) const;
+  [[nodiscard]] std::optional<Status> iprobe(int src, int tag) const;
+
+  // ---- Communicator management ---------------------------------------------
+
+  /// Collective over all members: partition by `color`, order by (key,
+  /// rank).  Every member must call it.  Negative color = do not join any
+  /// new communicator (returns an empty optional).
+  [[nodiscard]] std::optional<Comm> split(int color, int key) const;
+
+  /// Collective: duplicate this communicator with a fresh context.
+  [[nodiscard]] Comm dup() const;
+
+  // ---- Local compute charging ----------------------------------------------
+
+  /// Charge priced floating-point work to this rank's virtual clock.
+  void charge_flops(double flops) const {
+    engine_->charge_flops(my_world_, flops);
+  }
+  /// Charge priced streaming-byte work to this rank's virtual clock.
+  void charge_bytes(double bytes) const {
+    engine_->charge_bytes(my_world_, bytes);
+  }
+
+ private:
+  Engine* engine_;
+  int context_;
+  std::vector<int> world_ranks_;  ///< comm rank -> world rank
+  int my_rank_;
+  int my_world_;
+};
+
+}  // namespace ombx::mpi

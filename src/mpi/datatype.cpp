@@ -1,0 +1,34 @@
+#include "mpi/datatype.hpp"
+
+namespace ombx::mpi {
+
+std::size_t size_of(Datatype dt) noexcept {
+  switch (dt) {
+    case Datatype::kByte:
+    case Datatype::kChar:
+      return 1;
+    case Datatype::kInt32:
+    case Datatype::kFloat:
+      return 4;
+    case Datatype::kInt64:
+    case Datatype::kUint64:
+    case Datatype::kDouble:
+      return 8;
+  }
+  return 1;
+}
+
+std::string to_string(Datatype dt) {
+  switch (dt) {
+    case Datatype::kByte: return "MPI_BYTE";
+    case Datatype::kChar: return "MPI_CHAR";
+    case Datatype::kInt32: return "MPI_INT";
+    case Datatype::kInt64: return "MPI_LONG_LONG";
+    case Datatype::kUint64: return "MPI_UNSIGNED_LONG_LONG";
+    case Datatype::kFloat: return "MPI_FLOAT";
+    case Datatype::kDouble: return "MPI_DOUBLE";
+  }
+  return "unknown";
+}
+
+}  // namespace ombx::mpi

@@ -1,0 +1,24 @@
+// Predefined datatypes, mirroring the MPI basic types OMB exercises.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ombx::mpi {
+
+enum class Datatype {
+  kByte,
+  kChar,
+  kInt32,
+  kInt64,
+  kUint64,
+  kFloat,
+  kDouble,
+};
+
+/// Size in bytes of one element of `dt`.
+[[nodiscard]] std::size_t size_of(Datatype dt) noexcept;
+
+[[nodiscard]] std::string to_string(Datatype dt);
+
+}  // namespace ombx::mpi

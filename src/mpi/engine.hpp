@@ -1,0 +1,137 @@
+// The message-passing engine: per-rank virtual clocks + mailboxes + the
+// eager/rendezvous protocol state machine.
+//
+// Timing model (LogGP-flavoured, priced by net::NetworkModel):
+//
+//   eager send:    inject = max(clock, nic_free)
+//                  sender clock   -> inject + sender_busy(bytes)
+//                  sender nic_free-> inject + nic_gap(bytes)
+//                  arrival at dst  = inject + transfer(bytes)
+//                  recv completes  = max(recv clock, arrival)
+//
+//   rendezvous:    sender records send_time and blocks on a SyncCell;
+//                  when the receiver matches:
+//                  start    = max(send_time, recv clock) + handshake
+//                  complete = start + transfer(bytes)
+//                  both clocks advance to `complete` (synchronous send).
+//
+// All quantities are virtual microseconds; host thread scheduling cannot
+// change any of them, which is what makes benchmark output deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mpi/mailbox.hpp"
+#include "mpi/message.hpp"
+#include "mpi/trace.hpp"
+#include "net/network.hpp"
+#include "simtime/clock.hpp"
+#include "simtime/work.hpp"
+
+namespace ombx::mpi {
+
+/// Whether messages physically carry their payload.  kSynthetic keeps all
+/// virtual-time math identical but moves no bytes — required for at-scale
+/// runs (e.g. 896-rank Allgather) whose aggregate buffers exceed host RAM.
+enum class PayloadMode { kReal, kSynthetic };
+
+/// Mutable per-rank simulation state.  Only the owning rank thread touches
+/// its own state; cross-thread communication goes through mailboxes.
+struct RankState {
+  simtime::SimClock clock;
+  usec_t nic_free = 0.0;  ///< when this rank's NIC can inject the next msg
+  simtime::WorkCounter work;
+};
+
+class Engine {
+ public:
+  Engine(net::NetworkModel model, int nranks, PayloadMode payload,
+         net::ThreadLevel thread_level);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+  [[nodiscard]] PayloadMode payload_mode() const noexcept { return payload_; }
+  [[nodiscard]] const net::NetworkModel& net() const noexcept {
+    return model_;
+  }
+  [[nodiscard]] net::ThreadLevel thread_level() const noexcept {
+    return thread_level_;
+  }
+
+  /// Full-subscription THREAD_MULTIPLE slowdown multiplier for local work.
+  [[nodiscard]] double oversub() const noexcept { return oversub_; }
+
+  /// Slowdown applied to CPU-driven (shared-memory) transfers between this
+  /// pair: under THREAD_MULTIPLE on a saturated node the library's progress
+  /// threads steal cycles from the memcpy loops (the paper's explanation
+  /// for the full-subscription degradation).  1.0 on fabric links and in
+  /// THREAD_SINGLE mode.
+  [[nodiscard]] double shm_slowdown(int src_world, int dst_world,
+                                    net::MemSpace space) const;
+
+  [[nodiscard]] RankState& state(int world_rank);
+
+  /// Post a message.  Returns the rendezvous SyncCell when the protocol is
+  /// rendezvous (caller decides whether to block now — blocking send — or
+  /// at MPI_Wait — isend); returns nullptr for eager sends.
+  ///
+  /// `src_comm_rank` is the sender's rank *within the communicator* (the
+  /// matching key receivers use); `src_world`/`dst_world` address physical
+  /// ranks for routing and cost lookup.
+  ///
+  /// `force_payload` makes the bytes travel even in PayloadMode::kSynthetic
+  /// — used by control-plane traffic (communicator management) whose
+  /// *content* the receiver genuinely needs.
+  std::shared_ptr<SyncCell> post_send(int src_world, int dst_world, int ctx,
+                                      int src_comm_rank, int tag,
+                                      ConstView v,
+                                      bool force_payload = false);
+
+  /// Blocking receive into `v`; returns completion Status.
+  Status recv(int self_world, int ctx, int src_comm_rank, int tag, MutView v);
+
+  /// Blocking probe (does not dequeue).  Charges no virtual time.
+  [[nodiscard]] Status probe(int self_world, int ctx, int src, int tag);
+
+  /// Non-blocking probe.
+  [[nodiscard]] std::optional<Status> iprobe(int self_world, int ctx, int src,
+                                             int tag);
+
+  /// Allocate a fresh communicator context id (globally unique).
+  [[nodiscard]] int allocate_context() noexcept {
+    return next_context_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Reset all clocks/NIC state between benchmark repetitions.
+  void reset_clocks();
+
+  /// Charge local compute to a rank's clock (priced flops, with the
+  /// THREAD_MULTIPLE oversubscription factor applied).
+  void charge_flops(int world_rank, double flops);
+  /// Charge streaming byte work (copies, serialization) likewise.
+  void charge_bytes(int world_rank, double bytes);
+
+  /// Turn on event tracing (records every send/recv/compute with virtual
+  /// timestamps; see trace.hpp).  Traces are cleared by reset_clocks().
+  void enable_tracing();
+  [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
+
+ private:
+  net::NetworkModel model_;
+  PayloadMode payload_;
+  net::ThreadLevel thread_level_;
+  double oversub_ = 1.0;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mail_;
+  std::atomic<int> next_context_{1};  // 0 is COMM_WORLD
+  std::unique_ptr<Tracer> tracer_;    // null unless tracing is enabled
+};
+
+}  // namespace ombx::mpi

@@ -1,0 +1,36 @@
+// Error type and precondition checks for the MPI substrate.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ombx::mpi {
+
+/// Thrown for all substrate usage errors (bad ranks, mismatched buffers,
+/// truncated receives, invalid communicators, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "ombx::mpi check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ombx::mpi
+
+/// Precondition check that throws ombx::mpi::Error (never compiled out:
+/// these guard API misuse, not internal invariants).
+#define OMBX_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::ombx::mpi::detail::fail(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,57 @@
+#include "mpi/hierarchical.hpp"
+
+#include "mpi/coll_util.hpp"
+#include "mpi/error.hpp"
+
+namespace ombx::mpi {
+
+HierarchicalComm::HierarchicalComm(const Comm& comm)
+    : world_(std::make_unique<Comm>(comm)) {
+  const auto& mapper = comm.net().mapper();
+  const int my_node =
+      mapper.place(comm.world_rank(comm.rank())).node;
+
+  auto node = comm.split(my_node, comm.rank());
+  OMBX_REQUIRE(node.has_value(), "node split must produce a communicator");
+  node_ = std::make_unique<Comm>(*std::move(node));
+
+  // Leaders: node-local rank 0.  Everyone participates in the split; the
+  // non-leaders opt out with a negative color.
+  leaders_ = comm.split(node_->rank() == 0 ? 0 : -1, comm.rank());
+
+  // Node count follows from the block placement — no traffic needed
+  // (and therefore valid in synthetic-payload worlds too).
+  n_nodes_ = mapper.place(comm.world_rank(comm.size() - 1)).node + 1;
+}
+
+void HierarchicalComm::allreduce(ConstView send, MutView recv, Datatype dt,
+                                 Op op) {
+  // Phase 1: node-level reduce to the local leader over shared memory.
+  reduce(*node_, send, recv, dt, op, /*root=*/0);
+
+  // Phase 2: leaders combine across the fabric.
+  if (leaders_.has_value()) {
+    detail::Scratch tmp(send.bytes, detail::real_payload(*world_, send),
+                        send.space);
+    detail::copy_bytes(tmp.mview(), detail::as_const(recv), send.bytes);
+    mpi::allreduce(*leaders_, tmp.cview(), recv, dt, op);
+  }
+
+  // Phase 3: leaders fan the result back out within their node.
+  mpi::bcast(*node_, detail::slice(recv, 0, send.bytes), /*root=*/0);
+}
+
+void HierarchicalComm::bcast(MutView buf) {
+  if (leaders_.has_value()) {
+    mpi::bcast(*leaders_, buf, /*root=*/0);
+  }
+  mpi::bcast(*node_, buf, /*root=*/0);
+}
+
+void HierarchicalComm::barrier() {
+  mpi::barrier(*node_);
+  if (leaders_.has_value()) mpi::barrier(*leaders_);
+  mpi::bcast(*node_, MutView{}, /*root=*/0);  // release
+}
+
+}  // namespace ombx::mpi

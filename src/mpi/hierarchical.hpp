@@ -1,0 +1,49 @@
+// Topology-aware two-level collectives (MVAPICH2 / "leader-based" style).
+//
+// On multi-core nodes, flat algorithms push every rank onto the fabric.
+// The two-level scheme reduces within each node over shared memory first,
+// lets one leader per node run the inter-node phase, and fans results back
+// out locally — usually a large win at high ppn.  This is the design
+// choice behind DESIGN.md ablation item 5; `bench/extension_hierarchical`
+// quantifies it against the flat algorithms.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+
+namespace ombx::mpi {
+
+class HierarchicalComm {
+ public:
+  /// Collective over `comm`: derives a per-node communicator and a
+  /// node-leader communicator (local rank 0 of each node).
+  explicit HierarchicalComm(const Comm& comm);
+
+  [[nodiscard]] const Comm& world() const noexcept { return *world_; }
+  [[nodiscard]] const Comm& node() const noexcept { return *node_; }
+  [[nodiscard]] bool is_leader() const noexcept {
+    return leaders_.has_value();
+  }
+  [[nodiscard]] int nodes() const noexcept { return n_nodes_; }
+
+  /// Two-level allreduce: shm reduce to the node leader, leader-level
+  /// allreduce across the fabric, shm bcast back.
+  void allreduce(ConstView send, MutView recv, Datatype dt, Op op);
+
+  /// Two-level bcast from world rank 0 (leader of node 0).
+  void bcast(MutView buf);
+
+  /// Two-level barrier: node barrier, leader barrier, node barrier.
+  void barrier();
+
+ private:
+  std::unique_ptr<Comm> world_;
+  std::unique_ptr<Comm> node_;          ///< ranks sharing my node
+  std::optional<Comm> leaders_;         ///< only on node-local rank 0
+  int n_nodes_ = 1;
+};
+
+}  // namespace ombx::mpi

@@ -1,0 +1,65 @@
+#include "mpi/mailbox.hpp"
+
+namespace ombx::mpi {
+
+void Mailbox::enqueue(Message&& msg) {
+  std::unique_lock<std::mutex> lk(m_);
+  drained_.wait(lk, [&] { return q_.size() < capacity_; });
+  q_.push_back(std::move(msg));
+  arrived_.notify_all();
+}
+
+std::deque<Message>::iterator Mailbox::find_locked(int ctx, int src,
+                                                   int tag) {
+  for (auto it = q_.begin(); it != q_.end(); ++it) {
+    if (it->matches(ctx, src, tag)) return it;
+  }
+  return q_.end();
+}
+
+Message Mailbox::dequeue_match(int ctx, int src, int tag) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto it = q_.end();
+  arrived_.wait(lk, [&] {
+    it = find_locked(ctx, src, tag);
+    return it != q_.end();
+  });
+  Message msg = std::move(*it);
+  q_.erase(it);
+  drained_.notify_all();
+  return msg;
+}
+
+std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = find_locked(ctx, src, tag);
+  if (it == q_.end()) return std::nullopt;
+  Message msg = std::move(*it);
+  q_.erase(it);
+  drained_.notify_all();
+  return msg;
+}
+
+Status Mailbox::probe(int ctx, int src, int tag) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto it = q_.end();
+  arrived_.wait(lk, [&] {
+    it = find_locked(ctx, src, tag);
+    return it != q_.end();
+  });
+  return Status{.source = it->src, .tag = it->tag, .bytes = it->bytes};
+}
+
+std::optional<Status> Mailbox::try_probe(int ctx, int src, int tag) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = find_locked(ctx, src, tag);
+  if (it == q_.end()) return std::nullopt;
+  return Status{.source = it->src, .tag = it->tag, .bytes = it->bytes};
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lk(m_);
+  return q_.size();
+}
+
+}  // namespace ombx::mpi

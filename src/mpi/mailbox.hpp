@@ -1,0 +1,60 @@
+// Per-rank mailbox with MPI matching semantics.
+//
+// Senders enqueue under the destination's lock; receivers block until a
+// message matching (context, source, tag) exists.  Per-(context,src,tag)
+// FIFO ordering is inherited from the sender's program order, which is what
+// makes virtual timestamps deterministic regardless of host scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "mpi/message.hpp"
+
+namespace ombx::mpi {
+
+class Mailbox {
+ public:
+  /// Upper bound on queued messages; enqueue blocks beyond it (models MPI
+  /// eager flow control and bounds host memory at scale).
+  explicit Mailbox(std::size_t capacity = 8192) : capacity_(capacity) {}
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// Deposit a message; blocks while the box is at capacity.
+  void enqueue(Message&& msg);
+
+  /// Remove and return the first message matching (ctx, src, tag); blocks
+  /// until one arrives.
+  [[nodiscard]] Message dequeue_match(int ctx, int src, int tag);
+
+  /// Like dequeue_match but does not block: returns nullopt if no match is
+  /// currently queued.
+  [[nodiscard]] std::optional<Message> try_dequeue_match(int ctx, int src,
+                                                         int tag);
+
+  /// Blocking probe: waits for a match and returns its envelope without
+  /// removing it (MPI_Probe).
+  [[nodiscard]] Status probe(int ctx, int src, int tag);
+
+  /// Non-blocking probe (MPI_Iprobe).
+  [[nodiscard]] std::optional<Status> try_probe(int ctx, int src, int tag);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  [[nodiscard]] std::deque<Message>::iterator find_locked(int ctx, int src,
+                                                          int tag);
+
+  mutable std::mutex m_;
+  std::condition_variable arrived_;  ///< signalled on enqueue
+  std::condition_variable drained_;  ///< signalled on dequeue
+  std::deque<Message> q_;
+  std::size_t capacity_;
+};
+
+}  // namespace ombx::mpi

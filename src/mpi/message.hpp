@@ -1,0 +1,92 @@
+// In-flight message representation and buffer views.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/network.hpp"
+#include "simtime/clock.hpp"
+
+namespace ombx::mpi {
+
+using simtime::usec_t;
+
+/// Wildcards, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Non-owning read view of a send buffer.  `data == nullptr` marks a
+/// synthetic payload: the engine charges full virtual-time costs but moves
+/// no bytes (used for at-scale runs whose aggregate buffers would not fit
+/// in host memory).
+struct ConstView {
+  const std::byte* data = nullptr;
+  std::size_t bytes = 0;
+  net::MemSpace space = net::MemSpace::kHost;
+};
+
+/// Non-owning write view of a receive buffer.
+struct MutView {
+  std::byte* data = nullptr;
+  std::size_t bytes = 0;
+  net::MemSpace space = net::MemSpace::kHost;
+};
+
+/// Completion info, mirroring MPI_Status.
+struct Status {
+  int source = kAnySource;  ///< comm-local rank of the sender
+  int tag = kAnyTag;
+  std::size_t bytes = 0;
+};
+
+/// Rendezvous synchronization cell shared between sender and receiver: the
+/// receiver fills in the transfer-completion time and signals; the sender
+/// advances its clock to it.
+struct SyncCell {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  usec_t release_time = 0.0;
+
+  void complete(usec_t t) {
+    {
+      std::lock_guard<std::mutex> lk(m);
+      release_time = t;
+      done = true;
+    }
+    cv.notify_all();
+  }
+
+  usec_t await() {
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return done; });
+    return release_time;
+  }
+};
+
+/// One message in a mailbox.
+struct Message {
+  int context = 0;    ///< communicator context id (match key)
+  int src = 0;        ///< comm-local source rank (match key)
+  int tag = 0;        ///< (match key)
+  int src_world = 0;  ///< physical source rank (cost-model lookups)
+  std::size_t bytes = 0;
+  std::vector<std::byte> payload;  ///< empty when synthetic
+  net::MemSpace space = net::MemSpace::kHost;
+  net::Protocol protocol = net::Protocol::kEager;
+  usec_t send_time = 0.0;     ///< sender's virtual time at injection
+  usec_t arrival_time = 0.0;  ///< eager: full-arrival time at receiver
+  std::shared_ptr<SyncCell> sync;  ///< rendezvous only
+
+  [[nodiscard]] bool matches(int want_ctx, int want_src,
+                             int want_tag) const noexcept {
+    return context == want_ctx &&
+           (want_src == kAnySource || src == want_src) &&
+           (want_tag == kAnyTag || tag == want_tag);
+  }
+};
+
+}  // namespace ombx::mpi

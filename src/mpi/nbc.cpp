@@ -1,0 +1,61 @@
+#include "mpi/nbc.hpp"
+
+namespace ombx::mpi {
+
+CollRequest ibarrier(Comm& c, net::BarrierAlgo algo) {
+  return CollRequest([&c, algo] { barrier(c, algo); });
+}
+
+CollRequest ibcast(Comm& c, MutView buf, int root, net::BcastAlgo algo) {
+  return CollRequest([&c, buf, root, algo] { bcast(c, buf, root, algo); });
+}
+
+CollRequest ireduce(Comm& c, ConstView send, MutView recv, Datatype dt,
+                    Op op, int root, net::ReduceAlgo algo) {
+  return CollRequest([&c, send, recv, dt, op, root, algo] {
+    reduce(c, send, recv, dt, op, root, algo);
+  });
+}
+
+CollRequest iallreduce(Comm& c, ConstView send, MutView recv, Datatype dt,
+                       Op op, net::AllreduceAlgo algo) {
+  return CollRequest([&c, send, recv, dt, op, algo] {
+    allreduce(c, send, recv, dt, op, algo);
+  });
+}
+
+CollRequest igather(Comm& c, ConstView send, MutView recv, int root,
+                    net::GatherAlgo algo) {
+  return CollRequest([&c, send, recv, root, algo] {
+    gather(c, send, recv, root, algo);
+  });
+}
+
+CollRequest iscatter(Comm& c, ConstView send, MutView recv, int root,
+                     net::GatherAlgo algo) {
+  return CollRequest([&c, send, recv, root, algo] {
+    scatter(c, send, recv, root, algo);
+  });
+}
+
+CollRequest iallgather(Comm& c, ConstView send, MutView recv,
+                       net::AllgatherAlgo algo) {
+  return CollRequest(
+      [&c, send, recv, algo] { allgather(c, send, recv, algo); });
+}
+
+CollRequest ialltoall(Comm& c, ConstView send, MutView recv,
+                      net::AlltoallAlgo algo) {
+  return CollRequest(
+      [&c, send, recv, algo] { alltoall(c, send, recv, algo); });
+}
+
+CollRequest ireduce_scatter(Comm& c, ConstView send, MutView recv,
+                            Datatype dt, Op op,
+                            net::ReduceScatterAlgo algo) {
+  return CollRequest([&c, send, recv, dt, op, algo] {
+    reduce_scatter(c, send, recv, dt, op, algo);
+  });
+}
+
+}  // namespace ombx::mpi

@@ -1,0 +1,95 @@
+// Non-blocking collectives (MPI_Ibcast / Iallreduce / ... + Wait).
+//
+// Progress model: LibNBC-without-an-async-thread.  Posting records the
+// operation; the communication schedule executes when the caller enters
+// wait()/test().  This is a faithful model of MPI implementations that
+// only progress non-blocking collectives inside MPI calls — which is why
+// the overlap ratio OMB's osu_i<coll> benchmarks report is near zero for
+// such libraries, and why OMB-X's nbc benches report the same.
+//
+// Buffer views must stay valid until wait() returns.  Every rank must
+// eventually wait (a posted-but-never-waited collective would leave peers
+// stuck, exactly like real MPI).
+#pragma once
+
+#include <functional>
+
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+
+namespace ombx::mpi {
+
+/// Handle for an in-flight non-blocking collective.
+class CollRequest {
+ public:
+  CollRequest() = default;
+
+  /// Execute the remaining schedule and complete the operation.
+  /// Idempotent.
+  void wait() {
+    if (body_) {
+      body_();
+      body_ = nullptr;
+    }
+  }
+
+  /// Without an async progress engine a collective only completes inside
+  /// an MPI call, so test() simply runs the schedule (and returns true).
+  bool test() {
+    wait();
+    return true;
+  }
+
+  [[nodiscard]] bool done() const noexcept { return body_ == nullptr; }
+
+ private:
+  friend CollRequest ibarrier(Comm&, net::BarrierAlgo);
+  friend CollRequest ibcast(Comm&, MutView, int, net::BcastAlgo);
+  friend CollRequest ireduce(Comm&, ConstView, MutView, Datatype, Op, int,
+                             net::ReduceAlgo);
+  friend CollRequest iallreduce(Comm&, ConstView, MutView, Datatype, Op,
+                                net::AllreduceAlgo);
+  friend CollRequest igather(Comm&, ConstView, MutView, int,
+                             net::GatherAlgo);
+  friend CollRequest iscatter(Comm&, ConstView, MutView, int,
+                              net::GatherAlgo);
+  friend CollRequest iallgather(Comm&, ConstView, MutView,
+                                net::AllgatherAlgo);
+  friend CollRequest ialltoall(Comm&, ConstView, MutView,
+                               net::AlltoallAlgo);
+  friend CollRequest ireduce_scatter(Comm&, ConstView, MutView, Datatype,
+                                     Op, net::ReduceScatterAlgo);
+
+  explicit CollRequest(std::function<void()> body)
+      : body_(std::move(body)) {}
+
+  std::function<void()> body_;
+};
+
+[[nodiscard]] CollRequest ibarrier(
+    Comm& c, net::BarrierAlgo algo = net::BarrierAlgo::kAuto);
+[[nodiscard]] CollRequest ibcast(Comm& c, MutView buf, int root,
+                                 net::BcastAlgo algo = net::BcastAlgo::kAuto);
+[[nodiscard]] CollRequest ireduce(
+    Comm& c, ConstView send, MutView recv, Datatype dt, Op op, int root,
+    net::ReduceAlgo algo = net::ReduceAlgo::kAuto);
+[[nodiscard]] CollRequest iallreduce(
+    Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
+    net::AllreduceAlgo algo = net::AllreduceAlgo::kAuto);
+[[nodiscard]] CollRequest igather(
+    Comm& c, ConstView send, MutView recv, int root,
+    net::GatherAlgo algo = net::GatherAlgo::kAuto);
+[[nodiscard]] CollRequest iscatter(
+    Comm& c, ConstView send, MutView recv, int root,
+    net::GatherAlgo algo = net::GatherAlgo::kAuto);
+[[nodiscard]] CollRequest iallgather(
+    Comm& c, ConstView send, MutView recv,
+    net::AllgatherAlgo algo = net::AllgatherAlgo::kAuto);
+[[nodiscard]] CollRequest ialltoall(
+    Comm& c, ConstView send, MutView recv,
+    net::AlltoallAlgo algo = net::AlltoallAlgo::kAuto);
+[[nodiscard]] CollRequest ireduce_scatter(
+    Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
+    net::ReduceScatterAlgo algo = net::ReduceScatterAlgo::kAuto);
+
+}  // namespace ombx::mpi

@@ -1,0 +1,119 @@
+#include "mpi/op.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "mpi/error.hpp"
+
+namespace ombx::mpi {
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kSum: return "MPI_SUM";
+    case Op::kProd: return "MPI_PROD";
+    case Op::kMin: return "MPI_MIN";
+    case Op::kMax: return "MPI_MAX";
+    case Op::kLand: return "MPI_LAND";
+    case Op::kLor: return "MPI_LOR";
+    case Op::kBand: return "MPI_BAND";
+    case Op::kBor: return "MPI_BOR";
+  }
+  return "unknown";
+}
+
+bool valid_for(Op op, Datatype dt) noexcept {
+  const bool is_float = dt == Datatype::kFloat || dt == Datatype::kDouble;
+  switch (op) {
+    case Op::kBand:
+    case Op::kBor:
+      return !is_float;
+    default:
+      return true;
+  }
+}
+
+namespace {
+
+template <typename T>
+void combine_arith(Op op, T* inout, const T* in, std::size_t count) {
+  switch (op) {
+    case Op::kSum:
+      for (std::size_t i = 0; i < count; ++i) inout[i] += in[i];
+      break;
+    case Op::kProd:
+      for (std::size_t i = 0; i < count; ++i) inout[i] *= in[i];
+      break;
+    case Op::kMin:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::min(inout[i], in[i]);
+      break;
+    case Op::kMax:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = std::max(inout[i], in[i]);
+      break;
+    case Op::kLand:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = static_cast<T>((inout[i] != T{}) && (in[i] != T{}));
+      break;
+    case Op::kLor:
+      for (std::size_t i = 0; i < count; ++i)
+        inout[i] = static_cast<T>((inout[i] != T{}) || (in[i] != T{}));
+      break;
+    default:
+      throw Error("bitwise op applied to non-integer combine path");
+  }
+}
+
+template <typename T>
+void combine_bitwise(Op op, T* inout, const T* in, std::size_t count) {
+  switch (op) {
+    case Op::kBand:
+      for (std::size_t i = 0; i < count; ++i) inout[i] &= in[i];
+      break;
+    case Op::kBor:
+      for (std::size_t i = 0; i < count; ++i) inout[i] |= in[i];
+      break;
+    default:
+      combine_arith(op, inout, in, count);
+      break;
+  }
+}
+
+}  // namespace
+
+std::size_t apply(Op op, Datatype dt, void* inout, const void* in,
+                  std::size_t count) {
+  OMBX_REQUIRE(valid_for(op, dt),
+               to_string(op) + " is not valid for " + to_string(dt));
+  if (inout == nullptr || in == nullptr) return count;  // synthetic payloads
+  switch (dt) {
+    case Datatype::kByte:
+    case Datatype::kChar:
+      combine_bitwise(op, static_cast<std::uint8_t*>(inout),
+                      static_cast<const std::uint8_t*>(in), count);
+      break;
+    case Datatype::kInt32:
+      combine_bitwise(op, static_cast<std::int32_t*>(inout),
+                      static_cast<const std::int32_t*>(in), count);
+      break;
+    case Datatype::kInt64:
+      combine_bitwise(op, static_cast<std::int64_t*>(inout),
+                      static_cast<const std::int64_t*>(in), count);
+      break;
+    case Datatype::kUint64:
+      combine_bitwise(op, static_cast<std::uint64_t*>(inout),
+                      static_cast<const std::uint64_t*>(in), count);
+      break;
+    case Datatype::kFloat:
+      combine_arith(op, static_cast<float*>(inout),
+                    static_cast<const float*>(in), count);
+      break;
+    case Datatype::kDouble:
+      combine_arith(op, static_cast<double*>(inout),
+                    static_cast<const double*>(in), count);
+      break;
+  }
+  return count;
+}
+
+}  // namespace ombx::mpi

@@ -1,0 +1,38 @@
+// Reduction operations.
+//
+// apply() performs the real arithmetic (so tests can validate collective
+// results bit-exactly) and returns the number of scalar operations, which
+// the caller prices into virtual time via the cluster's ComputeModel.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "mpi/datatype.hpp"
+
+namespace ombx::mpi {
+
+enum class Op {
+  kSum,
+  kProd,
+  kMin,
+  kMax,
+  kLand,  ///< logical and
+  kLor,   ///< logical or
+  kBand,  ///< bitwise and
+  kBor,   ///< bitwise or
+};
+
+[[nodiscard]] std::string to_string(Op op);
+
+/// inout[i] = inout[i] OP in[i] for i in [0, count).
+/// `inout`/`in` may be null (synthetic payload mode): no arithmetic is done
+/// but the returned op count is identical, so virtual time is unaffected.
+/// Returns the number of scalar combine operations performed (== count).
+std::size_t apply(Op op, Datatype dt, void* inout, const void* in,
+                  std::size_t count);
+
+/// True for ops that are defined on floating-point types.
+[[nodiscard]] bool valid_for(Op op, Datatype dt) noexcept;
+
+}  // namespace ombx::mpi

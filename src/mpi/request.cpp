@@ -1,0 +1,77 @@
+#include "mpi/request.hpp"
+
+#include "mpi/error.hpp"
+
+namespace ombx::mpi {
+
+Request Request::make_send(const Comm& c, std::shared_ptr<SyncCell> cell) {
+  Request r;
+  r.kind_ = Kind::kSend;
+  r.comm_ = &c;
+  r.cell_ = std::move(cell);
+  return r;
+}
+
+Request Request::make_recv(const Comm& c, MutView v, int src, int tag) {
+  Request r;
+  r.kind_ = Kind::kRecv;
+  r.comm_ = &c;
+  r.view_ = v;
+  r.src_ = src;
+  r.tag_ = tag;
+  return r;
+}
+
+Status Request::wait() {
+  switch (kind_) {
+    case Kind::kDone:
+      return status_;
+    case Kind::kSend:
+      if (cell_) {
+        comm_->clock().advance_to(cell_->await());
+        cell_.reset();
+      }
+      kind_ = Kind::kDone;
+      return status_;
+    case Kind::kRecv:
+      status_ = comm_->recv(view_, src_, tag_);
+      kind_ = Kind::kDone;
+      return status_;
+  }
+  throw Error("corrupt request state");
+}
+
+bool Request::test() {
+  switch (kind_) {
+    case Kind::kDone:
+      return true;
+    case Kind::kSend:
+      if (!cell_) {
+        kind_ = Kind::kDone;
+        return true;
+      }
+      {
+        std::unique_lock<std::mutex> lk(cell_->m);
+        if (!cell_->done) return false;
+      }
+      comm_->clock().advance_to(cell_->await());
+      cell_.reset();
+      kind_ = Kind::kDone;
+      return true;
+    case Kind::kRecv:
+      if (!comm_->iprobe(src_, tag_).has_value()) return false;
+      status_ = comm_->recv(view_, src_, tag_);
+      kind_ = Kind::kDone;
+      return true;
+  }
+  throw Error("corrupt request state");
+}
+
+std::vector<Status> Request::wait_all(std::span<Request> reqs) {
+  std::vector<Status> out;
+  out.reserve(reqs.size());
+  for (Request& r : reqs) out.push_back(r.wait());
+  return out;
+}
+
+}  // namespace ombx::mpi

@@ -1,0 +1,52 @@
+// Non-blocking operation handles (MPI_Request analogue).
+//
+// Semantics: an isend is injected immediately (eager) or left pending on
+// its rendezvous SyncCell (completed at wait); an irecv records its
+// parameters and performs the matched receive at wait/test time.  Because
+// completion *times* are computed from message timestamps, deferring the
+// physical dequeue to wait() yields the same virtual time as an eagerly
+// progressed receive would.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/message.hpp"
+
+namespace ombx::mpi {
+
+class Request {
+ public:
+  Request() = default;
+
+  /// True once wait() has run (or for default-constructed requests).
+  [[nodiscard]] bool done() const noexcept { return kind_ == Kind::kDone; }
+
+  /// Block until the operation completes; returns its Status (empty status
+  /// for sends).  Idempotent: a second wait returns the cached status.
+  Status wait();
+
+  /// Non-blocking completion check; completes the op when possible.
+  bool test();
+
+  /// Wait for every request, in order.  Returns one Status per request.
+  static std::vector<Status> wait_all(std::span<Request> reqs);
+
+ private:
+  friend class Comm;
+  enum class Kind { kDone, kSend, kRecv };
+
+  static Request make_send(const Comm& c, std::shared_ptr<SyncCell> cell);
+  static Request make_recv(const Comm& c, MutView v, int src, int tag);
+
+  Kind kind_ = Kind::kDone;
+  const Comm* comm_ = nullptr;
+  std::shared_ptr<SyncCell> cell_;  // send only (rendezvous)
+  MutView view_{};                  // recv only
+  int src_ = kAnySource;
+  int tag_ = kAnyTag;
+  Status status_{};
+};
+
+}  // namespace ombx::mpi

@@ -1,0 +1,77 @@
+// One-sided communication (RMA): MPI_Win_create / Put / Get / Accumulate
+// with active-target fence synchronization — the operations behind OMB's
+// osu_put_latency / osu_get_latency / osu_put_bw benchmarks.
+//
+// Implementation follows the classic MPICH fence scheme over two-sided
+// messaging: operations issued during an epoch are buffered as non-blocking
+// sends; fence() runs a reduce-scatter of per-target operation counts so
+// every rank knows how many incoming operations to drain, services them
+// (applying puts/accumulates to its window, answering get requests), then
+// barriers.  All virtual-time costs emerge from the same engine the
+// two-sided path uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/request.hpp"
+
+namespace ombx::mpi {
+
+class Win {
+ public:
+  /// Collective over `comm`: every rank exposes `window` (its size may
+  /// differ per rank).  The window's MemSpace is honoured for transfer
+  /// pricing (device windows ride the GPU links).
+  Win(const Comm& comm, MutView window);
+
+  Win(const Win&) = delete;
+  Win& operator=(const Win&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return comm_->rank(); }
+  [[nodiscard]] int size() const noexcept { return comm_->size(); }
+  [[nodiscard]] std::size_t window_bytes() const noexcept {
+    return window_.bytes;
+  }
+
+  /// Write `src` into `target`'s window at byte offset `target_disp`.
+  /// Completes (both sides) at the next fence().
+  void put(ConstView src, int target, std::size_t target_disp);
+
+  /// Read `dst.bytes` from `target`'s window at `target_disp` into `dst`.
+  /// The data is valid after the next fence().
+  void get(MutView dst, int target, std::size_t target_disp);
+
+  /// Atomic (per-epoch) inout combine into the target window:
+  /// window[disp ...] = window[...] OP src.
+  void accumulate(ConstView src, int target, std::size_t target_disp,
+                  Datatype dt, Op op);
+
+  /// Close the current epoch and open the next one.  Collective.
+  void fence();
+
+ private:
+  enum class OpKind : std::uint8_t { kPut = 1, kGet = 2, kAccumulate = 3 };
+
+  struct PendingGet {
+    MutView dst;
+    int target;
+  };
+
+  void issue(OpKind kind, ConstView payload, int target,
+             std::size_t target_disp, std::size_t len, Datatype dt, Op op);
+  void service_incoming(int incoming_ops);
+
+  // The window gets its own duplicated communicator so RMA traffic can
+  // never be confused with user point-to-point messages on `comm`.
+  std::unique_ptr<Comm> comm_;
+  MutView window_;
+  std::vector<std::int64_t> ops_to_target_;  ///< per-target counts, epoch
+  std::vector<Request> pending_sends_;
+  std::vector<PendingGet> pending_gets_;  ///< responses we still expect
+};
+
+}  // namespace ombx::mpi

@@ -1,0 +1,48 @@
+#include "mpi/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ombx::mpi {
+
+std::string to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSend: return "send";
+    case TraceKind::kRecv: return "recv";
+    case TraceKind::kCompute: return "compute";
+  }
+  return "unknown";
+}
+
+std::size_t Tracer::total_events() const {
+  std::size_t n = 0;
+  for (const auto& v : per_rank_) n += v.size();
+  return n;
+}
+
+std::vector<TraceEvent> Tracer::merged() const {
+  std::vector<TraceEvent> out;
+  out.reserve(total_events());
+  for (const auto& v : per_rank_) out.insert(out.end(), v.begin(), v.end());
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.t_start != b.t_start) return a.t_start < b.t_start;
+                     return a.rank < b.rank;
+                   });
+  return out;
+}
+
+void Tracer::write_csv(std::ostream& os) const {
+  os << "rank,kind,t_start_us,t_end_us,peer,bytes,tag\n";
+  for (const TraceEvent& e : merged()) {
+    os << e.rank << ',' << to_string(e.kind) << ',' << e.t_start << ','
+       << e.t_end << ',' << e.peer << ',' << e.bytes << ',' << e.tag
+       << '\n';
+  }
+}
+
+void Tracer::clear() {
+  for (auto& v : per_rank_) v.clear();
+}
+
+}  // namespace ombx::mpi

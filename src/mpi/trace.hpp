@@ -1,0 +1,61 @@
+// Virtual-time event tracing.
+//
+// When enabled on a World, every send, receive and compute charge is
+// recorded with its virtual start/end time.  Per-rank buffers are owned by
+// their rank thread (no locking on the hot path); merge() interleaves them
+// into one global timeline for analysis or CSV export — the simulator's
+// equivalent of an MPI tracing tool's OTF dump.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "simtime/clock.hpp"
+
+namespace ombx::mpi {
+
+enum class TraceKind { kSend, kRecv, kCompute };
+
+[[nodiscard]] std::string to_string(TraceKind k);
+
+struct TraceEvent {
+  int rank = 0;
+  TraceKind kind = TraceKind::kSend;
+  simtime::usec_t t_start = 0.0;
+  simtime::usec_t t_end = 0.0;
+  int peer = -1;  ///< other side of a transfer; -1 for compute
+  std::size_t bytes = 0;
+  int tag = -1;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(int nranks) : per_rank_(static_cast<std::size_t>(nranks)) {}
+
+  /// Record an event for `ev.rank`.  Only that rank's thread may call this
+  /// (per-rank buffers are unsynchronized by design).
+  void record(const TraceEvent& ev) {
+    per_rank_[static_cast<std::size_t>(ev.rank)].push_back(ev);
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events_of(int rank) const {
+    return per_rank_[static_cast<std::size_t>(rank)];
+  }
+
+  [[nodiscard]] std::size_t total_events() const;
+
+  /// All ranks' events interleaved, ordered by (t_start, rank).
+  [[nodiscard]] std::vector<TraceEvent> merged() const;
+
+  /// CSV dump: rank,kind,t_start_us,t_end_us,peer,bytes,tag
+  void write_csv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::vector<std::vector<TraceEvent>> per_rank_;
+};
+
+}  // namespace ombx::mpi

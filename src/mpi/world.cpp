@@ -1,0 +1,54 @@
+#include "mpi/world.hpp"
+
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "mpi/error.hpp"
+
+namespace ombx::mpi {
+
+World::World(const WorldConfig& cfg)
+    : cfg_(cfg),
+      engine_(std::make_unique<Engine>(
+          net::NetworkModel(cfg.cluster, cfg.tuning, cfg.ppn), cfg.nranks,
+          cfg.payload, cfg.thread_level)) {
+  if (cfg.enable_trace) engine_->enable_tracing();
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Comm&)>& rank_main) {
+  engine_->reset_clocks();
+
+  const int n = cfg_.nranks;
+  std::vector<int> identity(static_cast<std::size_t>(n));
+  std::iota(identity.begin(), identity.end(), 0);
+
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(*engine_, /*context=*/0, identity, r);
+        rank_main(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+usec_t World::finish_time(int world_rank) const {
+  return engine_->state(world_rank).clock.now();
+}
+
+}  // namespace ombx::mpi

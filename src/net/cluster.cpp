@@ -1,0 +1,101 @@
+#include "net/cluster.hpp"
+
+namespace ombx::net {
+
+namespace {
+
+// Inverse bandwidths expressed as us/byte for readability: gbps(x) is the
+// beta of an x-GB/s channel (1 GB/s == 1000 bytes/us).
+constexpr double gbps(double x) { return 1.0 / (x * 1000.0); }
+
+constexpr std::size_t kKiB = 1024;
+constexpr std::size_t kMax = ~std::size_t{0};
+
+}  // namespace
+
+ClusterSpec ClusterSpec::frontera() {
+  ClusterSpec c;
+  c.name = "frontera";
+  c.topo = {.nodes = 16, .sockets_per_node = 2, .cores_per_socket = 28,
+            .gpus_per_node = 0};
+  c.self_copy = LinkModel{{64 * kKiB, 0.05, gbps(40.0)},
+                          {kMax, 0.30, gbps(14.0)}};
+  // Cascade Lake shared-memory path: sub-us small-message latency,
+  // ~10 GB/s sustained copy bandwidth for large messages.
+  c.intra_socket = LinkModel{{8 * kKiB, 0.22, gbps(18.0)},
+                             {64 * kKiB, 0.80, gbps(14.0)},
+                             {kMax, 2.60, gbps(10.0)}};
+  c.inter_socket = LinkModel{{8 * kKiB, 0.38, gbps(14.0)},
+                             {64 * kKiB, 1.10, gbps(11.0)},
+                             {kMax, 3.20, gbps(8.5)}};
+  // InfiniBand HDR-100: ~1.9 us small-message latency, ~12 GB/s peak.
+  c.inter_node = LinkModel{{8 * kKiB, 1.90, gbps(9.5)},
+                           {64 * kKiB, 3.20, gbps(11.0)},
+                           {kMax, 5.50, gbps(12.2)}};
+  c.compute = {.flops_per_us = 5200.0, .bytes_per_us = 11000.0};
+  return c;
+}
+
+ClusterSpec ClusterSpec::stampede2() {
+  ClusterSpec c;
+  c.name = "stampede2";
+  c.topo = {.nodes = 16, .sockets_per_node = 2, .cores_per_socket = 24,
+            .gpus_per_node = 0};
+  c.self_copy = LinkModel{{64 * kKiB, 0.05, gbps(36.0)},
+                          {kMax, 0.32, gbps(12.0)}};
+  c.intra_socket = LinkModel{{8 * kKiB, 0.26, gbps(16.0)},
+                             {64 * kKiB, 0.90, gbps(12.0)},
+                             {kMax, 2.90, gbps(8.8)}};
+  c.inter_socket = LinkModel{{8 * kKiB, 0.44, gbps(12.0)},
+                             {64 * kKiB, 1.30, gbps(9.5)},
+                             {kMax, 3.60, gbps(7.6)}};
+  // Intel Omni-Path: ~2.3 us small-message latency, ~11 GB/s peak.
+  c.inter_node = LinkModel{{8 * kKiB, 2.30, gbps(8.4)},
+                           {64 * kKiB, 3.80, gbps(9.8)},
+                           {kMax, 6.20, gbps(11.0)}};
+  c.compute = {.flops_per_us = 4600.0, .bytes_per_us = 9500.0};
+  return c;
+}
+
+ClusterSpec ClusterSpec::ri2() {
+  ClusterSpec c;
+  c.name = "ri2";
+  c.topo = {.nodes = 8, .sockets_per_node = 2, .cores_per_socket = 14,
+            .gpus_per_node = 0};
+  c.self_copy = LinkModel{{64 * kKiB, 0.06, gbps(32.0)},
+                          {kMax, 0.36, gbps(11.0)}};
+  c.intra_socket = LinkModel{{8 * kKiB, 0.28, gbps(15.0)},
+                             {64 * kKiB, 1.00, gbps(11.5)},
+                             {kMax, 3.10, gbps(8.2)}};
+  c.inter_socket = LinkModel{{8 * kKiB, 0.48, gbps(11.0)},
+                             {64 * kKiB, 1.40, gbps(9.0)},
+                             {kMax, 3.90, gbps(7.0)}};
+  // Mellanox EDR (SB7790/SB7800): ~1.8 us small, ~10.5 GB/s peak.
+  c.inter_node = LinkModel{{8 * kKiB, 1.80, gbps(8.8)},
+                           {64 * kKiB, 3.10, gbps(9.6)},
+                           {kMax, 5.20, gbps(10.5)}};
+  c.compute = {.flops_per_us = 3800.0, .bytes_per_us = 8500.0};
+  return c;
+}
+
+ClusterSpec ClusterSpec::ri2_gpu() {
+  ClusterSpec c = ri2();
+  c.name = "ri2-gpu";
+  c.topo = {.nodes = 8, .sockets_per_node = 2, .cores_per_socket = 14,
+            .gpus_per_node = 1};
+  // MVAPICH2-GDR GPUDirect path between V100s on different nodes:
+  // higher startup than host (GPU doorbell + GDR setup), ~8.5 GB/s peak.
+  c.gpu_inter_node = LinkModel{{8 * kKiB, 4.40, gbps(5.2)},
+                               {64 * kKiB, 7.00, gbps(7.0)},
+                               {kMax, 10.50, gbps(8.5)}};
+  GpuModel g;
+  g.kernel_launch_us = 3.2;
+  g.event_sync_us = 1.4;
+  g.h2d = LinkModel{{64 * kKiB, 7.0, gbps(9.0)}, {kMax, 10.0, gbps(11.5)}};
+  g.d2h = LinkModel{{64 * kKiB, 6.5, gbps(9.5)}, {kMax, 9.5, gbps(12.0)}};
+  g.d2d = LinkModel{{64 * kKiB, 4.0, gbps(250.0)}, {kMax, 5.5, gbps(700.0)}};
+  c.gpu = g;
+  return c;
+}
+
+}  // namespace ombx::net

@@ -1,0 +1,62 @@
+// Calibrated cluster descriptions.
+//
+// Each preset models one of the paper's testbeds with piecewise Hockney
+// links.  The *baseline* (OMB-in-C) curves come from these models; the
+// Python-binding overhead is layered on top by ombx::pylayer.  Calibration
+// targets are the paper's reported averages (see EXPERIMENTS.md); the
+// constants below were tuned against those targets by
+// tests/test_calibration.cpp.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/link_model.hpp"
+#include "net/topology.hpp"
+#include "simtime/work.hpp"
+
+namespace ombx::net {
+
+/// GPU-side cost model for clusters with accelerators.
+struct GpuModel {
+  usec_t kernel_launch_us = 3.0;  ///< CUDA kernel launch latency
+  usec_t event_sync_us = 1.5;     ///< stream/event synchronization cost
+  LinkModel h2d;                  ///< host-to-device copies over PCIe
+  LinkModel d2h;                  ///< device-to-host copies over PCIe
+  LinkModel d2d;                  ///< device-to-device within one GPU
+  std::size_t device_memory_bytes = 32ULL << 30;  ///< V100: 32 GB
+};
+
+/// A complete machine description: topology, link models, compute speed.
+struct ClusterSpec {
+  std::string name;
+  Topology topo;
+
+  LinkModel self_copy;     ///< rank-to-itself memcpy
+  LinkModel intra_socket;  ///< shm within a socket
+  LinkModel inter_socket;  ///< shm across sockets
+  LinkModel inter_node;    ///< the fabric (IB HDR / Omni-Path / EDR)
+  LinkModel gpu_inter_node;///< GPUDirect-RDMA path (empty if no GPUs)
+
+  simtime::ComputeModel compute;
+  std::optional<GpuModel> gpu;
+
+  /// Per-extra-rank scaling of inter-node beta when several ranks on one
+  /// node share the NIC (full-subscription figures).  Sub-linear because
+  /// collective schedules rarely put every rank on the wire at once.
+  double nic_share_per_rank = 0.15;
+  /// Per-extra-rank scaling of shm beta from memory-channel contention.
+  double mem_share_per_rank = 0.02;
+
+  /// TACC Frontera: 2 x Xeon Platinum 8280 (28c), IB HDR/HDR-100.
+  static ClusterSpec frontera();
+  /// TACC Stampede2: 2 x Xeon Platinum 8160 (24c), Omni-Path.
+  static ClusterSpec stampede2();
+  /// OSU RI2 CPU partition: 2 x Xeon Gold 6132 (14c), IB EDR.
+  static ClusterSpec ri2();
+  /// OSU RI2 GPU partition: 1 x V100 per node, Xeon E5-2680 v4, IB EDR,
+  /// MVAPICH2-GDR-like GPU path.
+  static ClusterSpec ri2_gpu();
+};
+
+}  // namespace ombx::net

@@ -1,0 +1,63 @@
+#include "net/link_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ombx::net {
+
+LinkModel::LinkModel(std::initializer_list<LinkSegment> segs)
+    : segments_(segs) {
+  assert(std::is_sorted(segments_.begin(), segments_.end(),
+                        [](const LinkSegment& a, const LinkSegment& b) {
+                          return a.limit_bytes < b.limit_bytes;
+                        }));
+  assert(!segments_.empty());
+  // The final segment must cover every message size.
+  segments_.back().limit_bytes = std::numeric_limits<std::size_t>::max();
+}
+
+usec_t LinkModel::transfer_us(std::size_t bytes) const noexcept {
+  assert(!segments_.empty());
+  for (const LinkSegment& s : segments_) {
+    if (bytes <= s.limit_bytes) {
+      return s.alpha_us + static_cast<double>(bytes) * s.us_per_byte;
+    }
+  }
+  // Unreachable: constructor forces the last segment to cover SIZE_MAX.
+  const LinkSegment& s = segments_.back();
+  return s.alpha_us + static_cast<double>(bytes) * s.us_per_byte;
+}
+
+double LinkModel::bandwidth_mbps(std::size_t bytes) const noexcept {
+  const usec_t t = transfer_us(bytes);
+  if (t <= 0.0) return 0.0;
+  return static_cast<double>(bytes) / t;  // B/us == MB/s (1 MB = 1e6 B)
+}
+
+LinkModel LinkModel::scaled_beta(double factor) const {
+  LinkModel out = *this;
+  for (LinkSegment& s : out.segments_) s.us_per_byte *= factor;
+  return out;
+}
+
+LinkModel LinkModel::shifted_alpha(usec_t delta_us) const {
+  LinkModel out = *this;
+  for (LinkSegment& s : out.segments_) {
+    s.alpha_us = std::max(0.0, s.alpha_us + delta_us);
+  }
+  return out;
+}
+
+std::string to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kSelf: return "self";
+    case LinkClass::kIntraSocket: return "intra-socket";
+    case LinkClass::kInterSocket: return "inter-socket";
+    case LinkClass::kInterNode: return "inter-node";
+    case LinkClass::kGpuIntraNode: return "gpu-intra-node";
+    case LinkClass::kGpuInterNode: return "gpu-inter-node";
+  }
+  return "unknown";
+}
+
+}  // namespace ombx::net

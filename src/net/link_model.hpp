@@ -1,0 +1,72 @@
+// Piecewise-linear Hockney link cost models.
+//
+// A message of n bytes on a link costs alpha + n * beta, where (alpha, beta)
+// depend on the size segment n falls in.  Real MPI latency curves are
+// piecewise (eager vs rendezvous protocol, cache-size plateaus), which is
+// why a single (alpha, beta) pair cannot reproduce the paper's figures; a
+// small number of calibrated segments can.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "simtime/clock.hpp"
+
+namespace ombx::net {
+
+using simtime::usec_t;
+
+/// One segment of a piecewise Hockney model, valid for message sizes up to
+/// and including `limit_bytes`.
+struct LinkSegment {
+  std::size_t limit_bytes;  ///< inclusive upper bound of this segment
+  usec_t alpha_us;          ///< startup latency
+  double us_per_byte;       ///< inverse bandwidth (beta)
+};
+
+/// Piecewise-linear transfer-time model for one link class.
+class LinkModel {
+ public:
+  LinkModel() = default;
+  LinkModel(std::initializer_list<LinkSegment> segs);
+
+  /// Time for a single n-byte message to traverse the link.
+  [[nodiscard]] usec_t transfer_us(std::size_t bytes) const noexcept;
+
+  /// Effective bandwidth in MB/s for an n-byte message (OSU convention:
+  /// 1 MB = 1e6 bytes).
+  [[nodiscard]] double bandwidth_mbps(std::size_t bytes) const noexcept;
+
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+  [[nodiscard]] const std::vector<LinkSegment>& segments() const noexcept {
+    return segments_;
+  }
+
+  /// Returns a copy with every beta multiplied by `factor` (contention
+  /// scaling under full subscription) and alphas left intact.
+  [[nodiscard]] LinkModel scaled_beta(double factor) const;
+
+  /// Returns a copy with every alpha shifted by `delta_us` (library tuning
+  /// differences, e.g. Intel MPI vs MVAPICH2).
+  [[nodiscard]] LinkModel shifted_alpha(usec_t delta_us) const;
+
+ private:
+  std::vector<LinkSegment> segments_;  // sorted ascending by limit_bytes
+};
+
+/// Classes of communication channels inside a cluster.
+enum class LinkClass {
+  kSelf,         ///< rank to itself (memcpy)
+  kIntraSocket,  ///< shared memory, same socket
+  kInterSocket,  ///< shared memory, across sockets (UPI/QPI hop)
+  kInterNode,    ///< network fabric (IB HDR, Omni-Path, ...)
+  kGpuIntraNode, ///< GPU-GPU within a node (not exercised: 1 GPU/node)
+  kGpuInterNode, ///< GPU-GPU across nodes (GPUDirect RDMA path)
+};
+
+[[nodiscard]] std::string to_string(LinkClass c);
+
+}  // namespace ombx::net

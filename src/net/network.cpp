@@ -1,0 +1,145 @@
+#include "net/network.hpp"
+
+#include <stdexcept>
+
+namespace ombx::net {
+
+NetworkModel::NetworkModel(const ClusterSpec& spec, const MpiTuning& tuning,
+                           int ppn)
+    : spec_(spec), tuning_(tuning), mapper_(spec_.topo, ppn) {
+  // Several ranks on one node sharing the NIC divide its bandwidth; memory
+  // channels degrade more gently.  Both factors are per-extra-rank linear.
+  nic_contention_ = 1.0 + spec_.nic_share_per_rank * (ppn - 1);
+  mem_contention_ = 1.0 + spec_.mem_share_per_rank * (ppn - 1);
+}
+
+LinkClass NetworkModel::link_class(int rank_a, int rank_b,
+                                   MemSpace space) const {
+  const Placement a = mapper_.place(rank_a);
+  const Placement b = mapper_.place(rank_b);
+  if (space == MemSpace::kDevice) {
+    if (!spec_.gpu.has_value()) {
+      throw std::logic_error("device buffers on a cluster without GPUs");
+    }
+    return a.node == b.node ? LinkClass::kGpuIntraNode
+                            : LinkClass::kGpuInterNode;
+  }
+  if (rank_a == rank_b) return LinkClass::kSelf;
+  if (a.node != b.node) return LinkClass::kInterNode;
+  return a.socket == b.socket ? LinkClass::kIntraSocket
+                              : LinkClass::kInterSocket;
+}
+
+const LinkModel& NetworkModel::model_for(LinkClass c) const {
+  switch (c) {
+    case LinkClass::kSelf: return spec_.self_copy;
+    case LinkClass::kIntraSocket: return spec_.intra_socket;
+    case LinkClass::kInterSocket: return spec_.inter_socket;
+    case LinkClass::kInterNode: return spec_.inter_node;
+    case LinkClass::kGpuIntraNode:
+      if (spec_.gpu.has_value()) return spec_.gpu->d2d;
+      break;
+    case LinkClass::kGpuInterNode:
+      if (!spec_.gpu_inter_node.empty()) return spec_.gpu_inter_node;
+      break;
+  }
+  throw std::logic_error("no link model for class " + to_string(c));
+}
+
+double NetworkModel::contention_for(LinkClass c) const noexcept {
+  switch (c) {
+    case LinkClass::kInterNode:
+    case LinkClass::kGpuInterNode:
+      return nic_contention_;
+    case LinkClass::kIntraSocket:
+    case LinkClass::kInterSocket:
+      return mem_contention_;
+    case LinkClass::kSelf:
+    case LinkClass::kGpuIntraNode:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+usec_t NetworkModel::transfer_us(int src, int dst, std::size_t bytes,
+                                 MemSpace space) const {
+  const LinkClass c = link_class(src, dst, space);
+  const LinkModel& m = model_for(c);
+  const usec_t base = m.transfer_us(bytes);
+  const usec_t alpha = m.transfer_us(0);
+  // Contention and library beta_scale stretch the bandwidth term only;
+  // alpha_delta shifts the startup term.
+  const usec_t stretched =
+      alpha + (base - alpha) * contention_for(c) * tuning_.beta_scale;
+  return stretched + tuning_.alpha_delta_us;
+}
+
+usec_t NetworkModel::alpha_us(int src, int dst, MemSpace space) const {
+  const LinkModel& m = model_for(link_class(src, dst, space));
+  return m.transfer_us(0) + tuning_.alpha_delta_us;
+}
+
+usec_t NetworkModel::sender_busy_us(int src, int dst, std::size_t bytes,
+                                    MemSpace space) const {
+  const LinkClass c = link_class(src, dst, space);
+  switch (c) {
+    case LinkClass::kSelf:
+    case LinkClass::kIntraSocket:
+    case LinkClass::kInterSocket:
+      // Shared-memory transports are CPU-driven: the sender's core performs
+      // the copy, so it is busy for the whole transfer.
+      return transfer_us(src, dst, bytes, space);
+    case LinkClass::kInterNode:
+    case LinkClass::kGpuIntraNode:
+    case LinkClass::kGpuInterNode:
+      // DMA engines move the data; the sender only pays injection overhead.
+      return tuning_.send_overhead_us;
+  }
+  return tuning_.send_overhead_us;
+}
+
+usec_t NetworkModel::nic_gap_us(int src, int dst, std::size_t bytes,
+                                MemSpace space) const {
+  const LinkClass c = link_class(src, dst, space);
+  switch (c) {
+    case LinkClass::kInterNode:
+    case LinkClass::kGpuInterNode: {
+      const LinkModel& m = model_for(c);
+      const usec_t serialization = m.transfer_us(bytes) - m.transfer_us(0);
+      return serialization * contention_for(c) * tuning_.beta_scale *
+             tuning_.gap_scale;
+    }
+    default:
+      return 0.0;  // covered by sender_busy for CPU-driven links
+  }
+}
+
+Protocol NetworkModel::protocol(int src, int dst, std::size_t bytes,
+                                MemSpace space) const {
+  const LinkClass c = link_class(src, dst, space);
+  std::size_t threshold = tuning_.eager_threshold_intra;
+  switch (c) {
+    case LinkClass::kInterNode:
+      threshold = tuning_.eager_threshold_inter;
+      break;
+    case LinkClass::kGpuIntraNode:
+    case LinkClass::kGpuInterNode:
+      threshold = tuning_.eager_threshold_gpu;
+      break;
+    default:
+      break;
+  }
+  return bytes <= threshold ? Protocol::kEager : Protocol::kRendezvous;
+}
+
+double NetworkModel::oversubscription_factor(ThreadLevel level) const {
+  if (level != ThreadLevel::kMultiple) return 1.0;
+  if (mapper_.ppn() < mapper_.topology().cores_per_node()) return 1.0;
+  return tuning_.thread_multiple_oversub_factor;
+}
+
+usec_t NetworkModel::local_copy_us(std::size_t bytes) const {
+  return spec_.self_copy.transfer_us(bytes);
+}
+
+}  // namespace ombx::net

@@ -1,0 +1,85 @@
+// NetworkModel: resolves rank pairs to link classes and prices transfers.
+//
+// This is the single authority the MPI engine consults for "how long does
+// an n-byte message from rank a to rank b take".  It folds together the
+// cluster's link models, the MPI library tuning (thresholds, deltas) and
+// the job geometry (ppn -> contention).
+#pragma once
+
+#include <cstddef>
+
+#include "net/cluster.hpp"
+#include "net/topology.hpp"
+#include "net/tuning.hpp"
+
+namespace ombx::net {
+
+/// Which address space a communication buffer lives in.
+enum class MemSpace { kHost, kDevice };
+
+/// The protocol the engine must use for a given message.
+enum class Protocol { kEager, kRendezvous };
+
+class NetworkModel {
+ public:
+  /// `ppn` is processes-per-node for the job; contention factors derive
+  /// from it.  Throws if the geometry does not fit the cluster.
+  NetworkModel(const ClusterSpec& spec, const MpiTuning& tuning, int ppn);
+
+  [[nodiscard]] const ClusterSpec& cluster() const noexcept { return spec_; }
+  [[nodiscard]] const MpiTuning& tuning() const noexcept { return tuning_; }
+  [[nodiscard]] const RankMapper& mapper() const noexcept { return mapper_; }
+  [[nodiscard]] int ppn() const noexcept { return mapper_.ppn(); }
+
+  [[nodiscard]] LinkClass link_class(int rank_a, int rank_b,
+                                     MemSpace space) const;
+
+  /// Wire time of one n-byte message between two ranks (startup + n/bw),
+  /// with library deltas and job contention applied.
+  [[nodiscard]] usec_t transfer_us(int src, int dst, std::size_t bytes,
+                                   MemSpace space) const;
+
+  /// Startup-only component (used for handshakes and zero-byte probes).
+  [[nodiscard]] usec_t alpha_us(int src, int dst, MemSpace space) const;
+
+  /// Time the *sender* is occupied injecting the message (full transfer
+  /// for CPU-driven shm copies; injection overhead only when a NIC DMAs).
+  [[nodiscard]] usec_t sender_busy_us(int src, int dst, std::size_t bytes,
+                                      MemSpace space) const;
+
+  /// NIC serialization time: the gap before the sender's NIC can start the
+  /// next message (bytes * beta on fabric links, 0 on CPU-driven links
+  /// where sender_busy already covers it).
+  [[nodiscard]] usec_t nic_gap_us(int src, int dst, std::size_t bytes,
+                                  MemSpace space) const;
+
+  [[nodiscard]] Protocol protocol(int src, int dst, std::size_t bytes,
+                                  MemSpace space) const;
+
+  [[nodiscard]] usec_t rendezvous_handshake_us() const noexcept {
+    return tuning_.rendezvous_handshake_us;
+  }
+  [[nodiscard]] usec_t send_overhead_us() const noexcept {
+    return tuning_.send_overhead_us;
+  }
+
+  /// Full-subscription slowdown on local compute/copy work when the job
+  /// runs THREAD_MULTIPLE (mpi4py default) on saturated nodes; 1.0 when
+  /// the condition does not apply.
+  [[nodiscard]] double oversubscription_factor(ThreadLevel level) const;
+
+  /// Memcpy-style local copy cost on this cluster (pack/unpack, self-send).
+  [[nodiscard]] usec_t local_copy_us(std::size_t bytes) const;
+
+ private:
+  [[nodiscard]] const LinkModel& model_for(LinkClass c) const;
+  [[nodiscard]] double contention_for(LinkClass c) const noexcept;
+
+  ClusterSpec spec_;
+  MpiTuning tuning_;
+  RankMapper mapper_;
+  double nic_contention_ = 1.0;
+  double mem_contention_ = 1.0;
+};
+
+}  // namespace ombx::net

@@ -1,0 +1,3 @@
+#include "net/topology.hpp"
+
+namespace ombx::net {}

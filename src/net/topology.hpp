@@ -1,0 +1,68 @@
+// Cluster topology and rank placement.
+//
+// Ranks are placed block-wise: ranks [0, ppn) on node 0, [ppn, 2*ppn) on
+// node 1, and so on — matching how the paper launches its jobs (mpirun with
+// consecutive ranks filling each node).  Within a node, ranks fill socket 0
+// first, then socket 1 (compact pinning).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace ombx::net {
+
+/// Static description of a cluster's node layout.
+struct Topology {
+  int nodes = 1;
+  int sockets_per_node = 2;
+  int cores_per_socket = 28;
+  int gpus_per_node = 0;
+
+  [[nodiscard]] int cores_per_node() const noexcept {
+    return sockets_per_node * cores_per_socket;
+  }
+  [[nodiscard]] int total_cores() const noexcept {
+    return nodes * cores_per_node();
+  }
+};
+
+/// Where one rank lives.
+struct Placement {
+  int node = 0;
+  int socket = 0;
+  int core = 0;  ///< core index within the socket
+};
+
+/// Maps ranks to placements for a given processes-per-node count.
+class RankMapper {
+ public:
+  RankMapper(const Topology& topo, int ppn) : topo_(topo), ppn_(ppn) {
+    if (ppn <= 0) throw std::invalid_argument("ppn must be positive");
+    if (ppn > topo.cores_per_node()) {
+      throw std::invalid_argument("ppn exceeds cores per node");
+    }
+  }
+
+  [[nodiscard]] Placement place(int rank) const {
+    if (rank < 0) throw std::invalid_argument("negative rank");
+    Placement p;
+    p.node = rank / ppn_;
+    const int local = rank % ppn_;
+    p.socket = local / topo_.cores_per_socket;
+    p.core = local % topo_.cores_per_socket;
+    if (p.node >= topo_.nodes) {
+      throw std::invalid_argument("rank does not fit on the cluster");
+    }
+    return p;
+  }
+
+  [[nodiscard]] int ppn() const noexcept { return ppn_; }
+  [[nodiscard]] int max_ranks() const noexcept { return topo_.nodes * ppn_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+
+ private:
+  Topology topo_;
+  int ppn_;
+};
+
+}  // namespace ombx::net

@@ -1,0 +1,104 @@
+#include "pylayer/costs.hpp"
+
+#include <stdexcept>
+
+namespace ombx::pylayer {
+
+usec_t PyCosts::export_cost(buffers::BufferKind k) const noexcept {
+  switch (k) {
+    case buffers::BufferKind::kCupy: return cupy_export_us;
+    case buffers::BufferKind::kPycuda: return pycuda_export_us;
+    case buffers::BufferKind::kNumba: return numba_export_us;
+    case buffers::BufferKind::kByteArray:
+    case buffers::BufferKind::kNumpy:
+      return export_us;
+  }
+  return export_us;
+}
+
+usec_t PyCosts::dispatch_cost(buffers::BufferKind k) const noexcept {
+  return buffers::is_gpu(k) ? gpu_dispatch_us : dispatch_us;
+}
+
+double PyCosts::per_byte_cost(buffers::BufferKind k) const noexcept {
+  switch (k) {
+    case buffers::BufferKind::kCupy: return cupy_per_byte_us;
+    case buffers::BufferKind::kPycuda: return pycuda_per_byte_us;
+    case buffers::BufferKind::kNumba: return numba_per_byte_us;
+    case buffers::BufferKind::kByteArray:
+    case buffers::BufferKind::kNumpy:
+      return per_byte_us;
+  }
+  return per_byte_us;
+}
+
+usec_t PyCosts::coll_cost(CollKind coll, buffers::BufferKind k,
+                          std::size_t msg_bytes) const noexcept {
+  const bool gpu = buffers::is_gpu(k);
+  CollCost c = gpu ? gpu_other : cpu_other;
+  if (!gpu) {
+    switch (coll) {
+      case CollKind::kAllreduce: c = cpu_allreduce; break;
+      case CollKind::kAllgather: c = cpu_allgather; break;
+      case CollKind::kBarrier: c = cpu_barrier; break;
+      default: c = cpu_other; break;
+    }
+  } else {
+    switch (coll) {
+      case CollKind::kAllreduce:
+        c = k == buffers::BufferKind::kCupy     ? gpu_allreduce_cupy
+            : k == buffers::BufferKind::kPycuda ? gpu_allreduce_pycuda
+                                                : gpu_allreduce_numba;
+        break;
+      case CollKind::kAllgather:
+        c = k == buffers::BufferKind::kCupy     ? gpu_allgather_cupy
+            : k == buffers::BufferKind::kPycuda ? gpu_allgather_pycuda
+                                                : gpu_allgather_numba;
+        break;
+      default:
+        c = gpu_other;
+        break;
+    }
+  }
+  return c.fixed_us + static_cast<double>(msg_bytes) * c.per_byte_us;
+}
+
+PyCosts PyCosts::frontera() {
+  PyCosts p;
+  p.dispatch_us = 0.15;
+  p.export_us = 0.07;
+  p.per_byte_us = 2.06e-6;
+  return p;
+}
+
+PyCosts PyCosts::stampede2() {
+  PyCosts p;
+  p.dispatch_us = 0.135;
+  p.export_us = 0.07;
+  p.per_byte_us = 4.10e-6;
+  return p;
+}
+
+PyCosts PyCosts::ri2() {
+  PyCosts p;
+  p.dispatch_us = 0.135;
+  p.export_us = 0.07;
+  p.per_byte_us = 1.49e-6;
+  return p;
+}
+
+PyCosts PyCosts::ri2_gpu() {
+  PyCosts p = ri2();
+  return p;
+}
+
+PyCosts PyCosts::for_cluster(const std::string& cluster_name) {
+  if (cluster_name == "frontera") return frontera();
+  if (cluster_name == "stampede2") return stampede2();
+  if (cluster_name == "ri2") return ri2();
+  if (cluster_name == "ri2-gpu") return ri2_gpu();
+  throw std::invalid_argument("no PyCosts preset for cluster '" +
+                              cluster_name + "'");
+}
+
+}  // namespace ombx::pylayer

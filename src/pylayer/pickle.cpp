@@ -1,0 +1,139 @@
+#include "pylayer/pickle.hpp"
+
+#include <cstring>
+
+#include "mpi/error.hpp"
+
+namespace ombx::pylayer {
+
+namespace {
+
+// Header: PROTO 2, dtype tag byte, shape tuple stand-in, then the payload
+// frame opcode + length field, then payload, then STOP.
+constexpr std::size_t kFixedHeader = 2 /*PROTO,ver*/ + 1 /*dtype*/ +
+                                     1 /*tuple meta*/;
+
+std::size_t length_field_size(std::size_t n) noexcept {
+  if (n < 256) return 1 + 1;        // SHORT_BINBYTES + u8
+  if (n < (1ULL << 32)) return 1 + 4;  // BINBYTES + u32
+  return 1 + 8;                     // BINBYTES8 + u64
+}
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffU));
+  }
+}
+
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffU));
+  }
+}
+
+}  // namespace
+
+std::size_t encoded_size(std::size_t payload_bytes,
+                         mpi::Datatype /*dt*/) noexcept {
+  return kFixedHeader + length_field_size(payload_bytes) + payload_bytes +
+         1 /*STOP*/;
+}
+
+PickleStream encode(mpi::ConstView v, mpi::Datatype dt) {
+  PickleStream s;
+  s.payload_bytes = v.bytes;
+  s.logical_bytes = encoded_size(v.bytes, dt);
+  if (v.data == nullptr) return s;  // synthetic: header math only
+
+  s.bytes.reserve(s.logical_bytes);
+  s.bytes.push_back(static_cast<std::byte>(kOpProto));
+  s.bytes.push_back(static_cast<std::byte>(2));  // protocol version
+  s.bytes.push_back(static_cast<std::byte>(static_cast<int>(dt)));
+  s.bytes.push_back(static_cast<std::byte>(kOpTupleMeta));
+
+  if (v.bytes < 256) {
+    s.bytes.push_back(static_cast<std::byte>(kOpShortBinBytes));
+    s.bytes.push_back(static_cast<std::byte>(v.bytes));
+  } else if (v.bytes < (1ULL << 32)) {
+    s.bytes.push_back(static_cast<std::byte>(kOpBinBytes));
+    put_u32(s.bytes, static_cast<std::uint32_t>(v.bytes));
+  } else {
+    s.bytes.push_back(static_cast<std::byte>(kOpBinBytes8));
+    put_u64(s.bytes, static_cast<std::uint64_t>(v.bytes));
+  }
+  s.bytes.insert(s.bytes.end(), v.data, v.data + v.bytes);
+  s.bytes.push_back(static_cast<std::byte>(kOpStop));
+  OMBX_REQUIRE(s.bytes.size() == s.logical_bytes,
+               "pickle encoder produced a mis-sized stream");
+  return s;
+}
+
+std::size_t decode(std::span<const std::byte> stream,
+                   std::size_t logical_bytes, mpi::MutView out,
+                   mpi::Datatype dt) {
+  if (stream.empty()) {
+    // Synthetic stream: check the length arithmetic is consistent with the
+    // receiver's expectation and return the implied payload size.
+    OMBX_REQUIRE(logical_bytes >= kFixedHeader + 2,
+                 "synthetic pickle stream too short");
+    // Invert encoded_size(): try each length-field width.
+    for (const std::size_t lf : {2UL, 5UL, 9UL}) {
+      if (logical_bytes < kFixedHeader + lf + 1) continue;
+      const std::size_t payload = logical_bytes - kFixedHeader - lf - 1;
+      if (encoded_size(payload, dt) == logical_bytes) return payload;
+    }
+    throw mpi::Error("synthetic pickle stream length is inconsistent");
+  }
+
+  std::size_t pos = 0;
+  const auto need = [&](std::size_t n) {
+    OMBX_REQUIRE(pos + n <= stream.size(), "truncated pickle stream");
+  };
+  const auto u8 = [&]() -> std::uint8_t {
+    need(1);
+    return static_cast<std::uint8_t>(stream[pos++]);
+  };
+
+  OMBX_REQUIRE(u8() == kOpProto, "pickle: missing PROTO opcode");
+  OMBX_REQUIRE(u8() == 2, "pickle: unsupported protocol version");
+  const auto dt_tag = static_cast<mpi::Datatype>(u8());
+  OMBX_REQUIRE(dt_tag == dt, "pickle: datatype mismatch");
+  OMBX_REQUIRE(u8() == kOpTupleMeta, "pickle: missing shape tuple");
+
+  const std::uint8_t frame = u8();
+  std::size_t payload = 0;
+  if (frame == kOpShortBinBytes) {
+    payload = u8();
+  } else if (frame == kOpBinBytes) {
+    need(4);
+    for (int i = 0; i < 4; ++i) {
+      payload |= static_cast<std::size_t>(
+                     static_cast<std::uint8_t>(stream[pos + static_cast<std::size_t>(i)]))
+                 << (8 * i);
+    }
+    pos += 4;
+  } else if (frame == kOpBinBytes8) {
+    need(8);
+    for (int i = 0; i < 8; ++i) {
+      payload |= static_cast<std::size_t>(
+                     static_cast<std::uint8_t>(stream[pos + static_cast<std::size_t>(i)]))
+                 << (8 * i);
+    }
+    pos += 8;
+  } else {
+    throw mpi::Error("pickle: unknown frame opcode");
+  }
+
+  need(payload);
+  OMBX_REQUIRE(payload <= out.bytes,
+               "pickle: decoded payload larger than the output buffer");
+  if (out.data != nullptr && payload > 0) {
+    std::memcpy(out.data, stream.data() + pos, payload);
+  }
+  pos += payload;
+  OMBX_REQUIRE(u8() == kOpStop, "pickle: missing STOP opcode");
+  OMBX_REQUIRE(pos == stream.size(), "pickle: trailing bytes in stream");
+  return payload;
+}
+
+}  // namespace ombx::pylayer

@@ -1,0 +1,54 @@
+// A real serialization codec modelled on CPython pickle protocol 2.
+//
+// mpi4py's lowercase API (send/recv/reduce/...) pickles the Python object
+// into a byte stream, ships the stream, and unpickles on the receiver.
+// OMB-X executes that code path for real: encode() produces an opcode
+// stream (PROTO, SHORT_BINBYTES/BINBYTES framing, STOP) wrapping the
+// payload, and decode() parses and copies it back out.  The extra memory
+// passes this costs are what make the paper's pickle-vs-direct curves
+// diverge past the rendezvous threshold.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mpi/datatype.hpp"
+#include "mpi/message.hpp"
+
+namespace ombx::pylayer {
+
+/// Pickle opcodes we emit (subset of protocol 2).
+enum : std::uint8_t {
+  kOpProto = 0x80,
+  kOpShortBinBytes = 0x43,  ///< 'C' + 1-byte length
+  kOpBinBytes = 0x42,       ///< 'B' + 4-byte little-endian length
+  kOpBinBytes8 = 0x8e,      ///< 8-byte length (protocol 4; for >4 GiB)
+  kOpTupleMeta = 0x85,      ///< stand-in for the dtype/shape tuple
+  kOpStop = 0x2e,           ///< '.'
+};
+
+/// Encoded stream plus bookkeeping for cost accounting.
+struct PickleStream {
+  std::vector<std::byte> bytes;   ///< empty when the source was synthetic
+  std::size_t logical_bytes = 0;  ///< stream length even when synthetic
+  std::size_t payload_bytes = 0;  ///< raw payload portion
+};
+
+/// Serialize a buffer view (the ndarray payload plus a small dtype/shape
+/// header).  Synthetic views produce a header-only stream with the correct
+/// logical length.
+[[nodiscard]] PickleStream encode(mpi::ConstView v, mpi::Datatype dt);
+
+/// Size in bytes the encoded stream will have for an n-byte payload.
+[[nodiscard]] std::size_t encoded_size(std::size_t payload_bytes,
+                                       mpi::Datatype dt) noexcept;
+
+/// Deserialize into `out`; returns the payload byte count.  Throws
+/// mpi::Error on a malformed stream.  A synthetic (empty-data) stream with
+/// a logical length only validates the length arithmetic.
+std::size_t decode(std::span<const std::byte> stream,
+                   std::size_t logical_bytes, mpi::MutView out,
+                   mpi::Datatype dt);
+
+}  // namespace ombx::pylayer

@@ -1,0 +1,372 @@
+#include "pylayer/pycomm.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "mpi/error.hpp"
+#include "pylayer/pickle.hpp"
+
+namespace ombx::pylayer {
+
+void PyComm::charge(simtime::usec_t us) const {
+  if (!enabled_ || us <= 0.0) return;
+  const double factor =
+      comm_->engine().oversub() > 1.0 ? costs_.tm_dispatch_factor : 1.0;
+  comm_->clock().advance(us * factor);
+}
+
+simtime::usec_t PyComm::byte_cost(const buffers::Buffer& b,
+                                  std::size_t nbytes, int dst) const {
+  const double pb = costs_.per_byte_cost(b.kind());
+  double overlap = 1.0;
+  if (b.space() == net::MemSpace::kHost) {
+    const net::LinkClass lc = comm_->net().link_class(
+        comm_->world_rank(comm_->rank()), comm_->world_rank(dst),
+        b.space());
+    if (lc == net::LinkClass::kInterNode) overlap = costs_.inter_overlap;
+  }
+  return static_cast<double>(nbytes) * pb * overlap;
+}
+
+void PyComm::charge_coll(CollKind kind, buffers::BufferKind k,
+                         std::size_t msg_bytes) const {
+  charge(costs_.coll_cost(kind, k, msg_bytes));
+}
+
+mpi::ConstView PyComm::chead(const buffers::Buffer& b,
+                             std::size_t nbytes) const {
+  OMBX_REQUIRE(nbytes <= b.bytes(), "count exceeds buffer size");
+  return mpi::ConstView{b.data(), nbytes, b.space()};
+}
+
+mpi::MutView PyComm::mhead(buffers::Buffer& b, std::size_t nbytes) const {
+  OMBX_REQUIRE(nbytes <= b.bytes(), "count exceeds buffer size");
+  return mpi::MutView{b.data(), nbytes, b.space()};
+}
+
+// ---- Uppercase API ----------------------------------------------------------
+
+void PyComm::Send(const buffers::Buffer& b, std::size_t nbytes, int dst,
+                  int tag) const {
+  charge(costs_.dispatch_cost(b.kind()) + costs_.export_cost(b.kind()) +
+         byte_cost(b, nbytes, dst));
+  comm_->send(chead(b, nbytes), dst, tag);
+}
+
+mpi::Status PyComm::Recv(buffers::Buffer& b, std::size_t nbytes, int src,
+                         int tag) const {
+  // The receive-side binding work (status construction, buffer release,
+  // refcounting) happens after the message has arrived, so it sits on the
+  // critical path rather than overlapping the wait.
+  const mpi::Status st = comm_->recv(mhead(b, nbytes), src, tag);
+  charge(costs_.dispatch_cost(b.kind()) + costs_.export_cost(b.kind()));
+  return st;
+}
+
+mpi::Request PyComm::Isend(const buffers::Buffer& b, std::size_t nbytes,
+                           int dst, int tag) const {
+  charge(costs_.dispatch_cost(b.kind()) + costs_.export_cost(b.kind()) +
+         byte_cost(b, nbytes, dst));
+  return comm_->isend(chead(b, nbytes), dst, tag);
+}
+
+mpi::Request PyComm::Irecv(buffers::Buffer& b, std::size_t nbytes, int src,
+                           int tag) const {
+  charge(costs_.dispatch_cost(b.kind()) + costs_.export_cost(b.kind()));
+  return comm_->irecv(mhead(b, nbytes), src, tag);
+}
+
+void PyComm::Barrier() const {
+  charge_coll(CollKind::kBarrier, buffers::BufferKind::kByteArray, 0);
+  mpi::barrier(*comm_);
+}
+
+void PyComm::Bcast(buffers::Buffer& b, std::size_t nbytes, int root) const {
+  charge_coll(CollKind::kBcast, b.kind(), nbytes);
+  mpi::bcast(*comm_, mhead(b, nbytes), root);
+}
+
+void PyComm::Reduce(const buffers::Buffer& send, buffers::Buffer* recv,
+                    std::size_t nbytes, mpi::Datatype dt, mpi::Op op,
+                    int root) const {
+  charge_coll(CollKind::kReduce, send.kind(), nbytes);
+  mpi::MutView rv =
+      recv != nullptr ? mhead(*recv, nbytes) : mpi::MutView{};
+  mpi::reduce(*comm_, chead(send, nbytes), rv, dt, op, root);
+}
+
+void PyComm::Allreduce(const buffers::Buffer& send, buffers::Buffer& recv,
+                       std::size_t nbytes, mpi::Datatype dt,
+                       mpi::Op op) const {
+  charge_coll(CollKind::kAllreduce, send.kind(), nbytes);
+  mpi::allreduce(*comm_, chead(send, nbytes), mhead(recv, nbytes), dt, op);
+}
+
+void PyComm::Gather(const buffers::Buffer& send, buffers::Buffer* recv,
+                    std::size_t nbytes, int root) const {
+  charge_coll(CollKind::kGather, send.kind(), nbytes);
+  const std::size_t total = nbytes * static_cast<std::size_t>(size());
+  mpi::MutView rv = recv != nullptr ? mhead(*recv, total) : mpi::MutView{};
+  mpi::gather(*comm_, chead(send, nbytes), rv, root);
+}
+
+void PyComm::Scatter(const buffers::Buffer* send, buffers::Buffer& recv,
+                     std::size_t nbytes, int root) const {
+  charge_coll(CollKind::kScatter, recv.kind(), nbytes);
+  const std::size_t total = nbytes * static_cast<std::size_t>(size());
+  mpi::ConstView sv =
+      send != nullptr ? chead(*send, total) : mpi::ConstView{};
+  mpi::scatter(*comm_, sv, mhead(recv, nbytes), root);
+}
+
+void PyComm::Allgather(const buffers::Buffer& send, buffers::Buffer& recv,
+                       std::size_t nbytes) const {
+  charge_coll(CollKind::kAllgather, send.kind(), nbytes);
+  const std::size_t total = nbytes * static_cast<std::size_t>(size());
+  mpi::allgather(*comm_, chead(send, nbytes), mhead(recv, total));
+}
+
+void PyComm::Alltoall(const buffers::Buffer& send, buffers::Buffer& recv,
+                      std::size_t nbytes) const {
+  charge_coll(CollKind::kAlltoall, send.kind(), nbytes);
+  const std::size_t total = nbytes * static_cast<std::size_t>(size());
+  mpi::alltoall(*comm_, chead(send, total), mhead(recv, total));
+}
+
+void PyComm::ReduceScatter(const buffers::Buffer& send,
+                           buffers::Buffer& recv, std::size_t nbytes,
+                           mpi::Datatype dt, mpi::Op op) const {
+  charge_coll(CollKind::kReduceScatter, recv.kind(), nbytes);
+  const std::size_t total = nbytes * static_cast<std::size_t>(size());
+  mpi::reduce_scatter(*comm_, chead(send, total), mhead(recv, nbytes), dt,
+                      op);
+}
+
+void PyComm::Allgatherv(const buffers::Buffer& send, buffers::Buffer& recv,
+                        std::span<const std::size_t> counts,
+                        std::span<const std::size_t> displs) const {
+  const std::size_t mine =
+      counts[static_cast<std::size_t>(comm_->rank())];
+  charge_coll(CollKind::kVector, send.kind(), mine);
+  mpi::allgatherv(*comm_, chead(send, mine), recv.mview(), counts, displs);
+}
+
+void PyComm::Gatherv(const buffers::Buffer& send, std::size_t nbytes,
+                     buffers::Buffer* recv,
+                     std::span<const std::size_t> counts,
+                     std::span<const std::size_t> displs, int root) const {
+  charge_coll(CollKind::kVector, send.kind(), nbytes);
+  mpi::MutView rv = recv != nullptr ? recv->mview() : mpi::MutView{};
+  mpi::gatherv(*comm_, chead(send, nbytes), rv, counts, displs, root);
+}
+
+void PyComm::Scatterv(const buffers::Buffer* send,
+                      std::span<const std::size_t> counts,
+                      std::span<const std::size_t> displs,
+                      buffers::Buffer& recv, std::size_t nbytes,
+                      int root) const {
+  charge_coll(CollKind::kVector, recv.kind(), nbytes);
+  mpi::ConstView sv = send != nullptr ? send->cview() : mpi::ConstView{};
+  mpi::scatterv(*comm_, sv, counts, displs, mhead(recv, nbytes), root);
+}
+
+void PyComm::Alltoallv(const buffers::Buffer& send,
+                       std::span<const std::size_t> scounts,
+                       std::span<const std::size_t> sdispls,
+                       buffers::Buffer& recv,
+                       std::span<const std::size_t> rcounts,
+                       std::span<const std::size_t> rdispls) const {
+  charge_coll(CollKind::kVector, send.kind(),
+              send.bytes() / static_cast<std::size_t>(comm_->size()));
+  mpi::alltoallv(*comm_, send.cview(), scounts, sdispls, recv.mview(),
+                 rcounts, rdispls);
+}
+
+// ---- lowercase (pickle) API -------------------------------------------------
+
+void PyComm::send_pickled(const buffers::Buffer& b, std::size_t nbytes,
+                          int dst, int tag) const {
+  charge(costs_.dispatch_cost(b.kind()) + costs_.pickle_fixed_us);
+
+  const PickleStream stream = encode(chead(b, nbytes), b.dtype());
+  // Serialization really happened above; its time is priced through the
+  // cluster's streaming throughput (dumps + stream assembly passes).
+  if (enabled_) {
+    comm_->charge_bytes(static_cast<double>(stream.logical_bytes) *
+                        costs_.pickle_send_passes);
+  }
+
+  const mpi::ConstView sv{
+      stream.bytes.empty() ? nullptr : stream.bytes.data(),
+      stream.logical_bytes, net::MemSpace::kHost};
+  comm_->send(sv, dst, tag);
+}
+
+mpi::Status PyComm::recv_pickled(buffers::Buffer& b, int src,
+                                 int tag) const {
+  const mpi::Status probed = comm_->probe(src, tag);
+  std::vector<std::byte> stream;
+  const bool real =
+      comm_->engine().payload_mode() == mpi::PayloadMode::kReal &&
+      b.data() != nullptr;
+  if (real) stream.resize(probed.bytes);
+  mpi::MutView rv{real ? stream.data() : nullptr, probed.bytes,
+                  net::MemSpace::kHost};
+  mpi::Status st = comm_->recv(rv, probed.source, probed.tag);
+
+  // Unpickling (loads + object construction) runs after arrival.
+  charge(costs_.dispatch_cost(b.kind()) + costs_.pickle_fixed_us);
+  if (enabled_) {
+    comm_->charge_bytes(static_cast<double>(st.bytes) *
+                        costs_.pickle_recv_passes);
+  }
+  const std::size_t payload =
+      decode(std::span<const std::byte>(stream.data(), stream.size()),
+             st.bytes, b.mview(), b.dtype());
+  st.bytes = payload;
+  return st;
+}
+
+// ---- lowercase (pickle) collectives ------------------------------------------
+
+void PyComm::bcast_pickled(buffers::Buffer& b, std::size_t nbytes,
+                           int root) const {
+  OMBX_REQUIRE(comm_->engine().payload_mode() == mpi::PayloadMode::kReal,
+               "pickled collectives require real payloads");
+  charge(costs_.dispatch_cost(b.kind()) + costs_.pickle_fixed_us);
+
+  // Root serializes once; the stream length travels first (mpi4py sends
+  // the pickled object as an opaque byte message of unknown size).
+  std::vector<std::byte> stream;
+  std::uint64_t len = 0;
+  if (rank() == root) {
+    PickleStream s = encode(chead(b, nbytes), b.dtype());
+    if (enabled_) {
+      comm_->charge_bytes(static_cast<double>(s.logical_bytes) *
+                          costs_.pickle_send_passes);
+    }
+    stream = std::move(s.bytes);
+    len = stream.size();
+  }
+  mpi::bcast(*comm_,
+             mpi::MutView{reinterpret_cast<std::byte*>(&len), sizeof(len)},
+             root);
+  if (rank() != root) stream.resize(len);
+  mpi::bcast(*comm_, mpi::MutView{stream.data(), stream.size()}, root);
+
+  if (rank() != root) {
+    if (enabled_) {
+      comm_->charge_bytes(static_cast<double>(len) *
+                          costs_.pickle_recv_passes);
+    }
+    (void)decode(stream, stream.size(), mhead(b, nbytes), b.dtype());
+  }
+}
+
+std::vector<std::vector<std::byte>> PyComm::gather_pickled(
+    const buffers::Buffer& b, std::size_t nbytes, int root) const {
+  OMBX_REQUIRE(comm_->engine().payload_mode() == mpi::PayloadMode::kReal,
+               "pickled collectives require real payloads");
+  charge(costs_.dispatch_cost(b.kind()) + costs_.pickle_fixed_us);
+
+  const PickleStream mine = encode(chead(b, nbytes), b.dtype());
+  if (enabled_) {
+    comm_->charge_bytes(static_cast<double>(mine.logical_bytes) *
+                        costs_.pickle_send_passes);
+  }
+
+  // Phase 1: fixed-size gather of stream lengths.
+  const int n = size();
+  const std::uint64_t my_len = mine.bytes.size();
+  std::vector<std::uint64_t> lens(static_cast<std::size_t>(n), 0);
+  mpi::gather(
+      *comm_,
+      mpi::ConstView{reinterpret_cast<const std::byte*>(&my_len),
+                     sizeof(my_len)},
+      rank() == root
+          ? mpi::MutView{reinterpret_cast<std::byte*>(lens.data()),
+                         lens.size() * sizeof(std::uint64_t)}
+          : mpi::MutView{},
+      root);
+
+  // Phase 2: ragged gather of the streams themselves.
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n), 0);
+  std::vector<std::size_t> displs(static_cast<std::size_t>(n), 0);
+  std::vector<std::byte> flat;
+  if (rank() == root) {
+    std::size_t off = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(lens[static_cast<std::size_t>(r)]);
+      displs[static_cast<std::size_t>(r)] = off;
+      off += counts[static_cast<std::size_t>(r)];
+    }
+    flat.resize(off);
+  }
+  mpi::gatherv(*comm_,
+               mpi::ConstView{mine.bytes.data(), mine.bytes.size()},
+               mpi::MutView{flat.data(), flat.size()}, counts, displs,
+               root);
+
+  // Phase 3: the root unpickles every contribution.
+  std::vector<std::vector<std::byte>> out;
+  if (rank() == root) {
+    out.resize(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      const auto ur = static_cast<std::size_t>(r);
+      if (enabled_) {
+        comm_->charge_bytes(static_cast<double>(counts[ur]) *
+                            costs_.pickle_recv_passes);
+      }
+      std::vector<std::byte>& payload = out[ur];
+      payload.resize(nbytes);
+      const std::size_t got = decode(
+          std::span<const std::byte>(flat.data() + displs[ur], counts[ur]),
+          counts[ur], mpi::MutView{payload.data(), payload.size()},
+          b.dtype());
+      payload.resize(got);
+    }
+  }
+  return out;
+}
+
+void PyComm::allreduce_pickled(const buffers::Buffer& send,
+                               buffers::Buffer& recv, std::size_t nbytes,
+                               mpi::Datatype dt, mpi::Op op) const {
+  // mpi4py's lowercase allreduce combines the *objects* in the interpreter
+  // rather than letting MPI reduce raw buffers: gather at the root,
+  // fold in Python, broadcast the pickled result.
+  const auto contributions = gather_pickled(send, nbytes, /*root=*/0);
+
+  OMBX_REQUIRE(nbytes <= recv.bytes(), "count exceeds buffer size");
+  if (rank() == 0) {
+    detail_copy_into(recv, contributions.front());
+    const std::size_t elems = nbytes / mpi::size_of(dt);
+    for (int r = 1; r < size(); ++r) {
+      const auto& c = contributions[static_cast<std::size_t>(r)];
+      OMBX_REQUIRE(c.size() == nbytes,
+                   "pickled allreduce contribution size mismatch");
+      const std::size_t flops =
+          mpi::apply(op, dt, recv.data(), c.data(), elems);
+      // Interpreter-rate arithmetic: Python folds are byte-bound, not
+      // vectorized — price the touched bytes, not just the flops.
+      if (enabled_) {
+        comm_->charge_bytes(static_cast<double>(2 * nbytes));
+      }
+      comm_->charge_flops(static_cast<double>(flops));
+    }
+  }
+  bcast_pickled(recv, nbytes, /*root=*/0);
+}
+
+void PyComm::detail_copy_into(buffers::Buffer& dst,
+                              const std::vector<std::byte>& src) {
+  OMBX_REQUIRE(src.size() <= dst.bytes(),
+               "pickled payload larger than the destination buffer");
+  if (dst.data() != nullptr && !src.empty()) {
+    std::memcpy(dst.data(), src.data(), src.size());
+  }
+}
+
+}  // namespace ombx::pylayer

@@ -1,0 +1,136 @@
+// PyComm: an mpi4py-shaped facade over the MPI substrate.
+//
+// mpi4py exposes two API families:
+//   * Uppercase (Send/Recv/Allreduce/...): direct buffer-protocol path —
+//     near-native speed plus binding overhead.
+//   * lowercase (send/recv/...): pickle path — the object is serialized to
+//     a byte stream first (see pickle.hpp).
+//
+// A PyComm wraps a Comm and charges the calibrated binding costs to the
+// rank's virtual clock before forwarding each call.  Constructing it with
+// `overhead_enabled = false` turns it into a transparent passthrough — that
+// is the "OMB in C" baseline mode every figure compares against.
+//
+// Like MPI itself, every operation takes an explicit byte count `nbytes`
+// (the benchmark sweeps message sizes over one max-size buffer); the count
+// must not exceed the buffer (checked).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "buffers/buffer.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/request.hpp"
+#include "pylayer/costs.hpp"
+
+namespace ombx::pylayer {
+
+class PyComm {
+ public:
+  PyComm(mpi::Comm& comm, PyCosts costs, bool overhead_enabled = true)
+      : comm_(&comm), costs_(costs), enabled_(overhead_enabled) {}
+
+  [[nodiscard]] int rank() const noexcept { return comm_->rank(); }
+  [[nodiscard]] int size() const noexcept { return comm_->size(); }
+  [[nodiscard]] mpi::Comm& raw() const noexcept { return *comm_; }
+  [[nodiscard]] bool overhead_enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const PyCosts& costs() const noexcept { return costs_; }
+  [[nodiscard]] simtime::usec_t now() const { return comm_->now(); }
+
+  // ---- Uppercase API: direct buffers --------------------------------------
+
+  void Send(const buffers::Buffer& b, std::size_t nbytes, int dst,
+            int tag) const;
+  mpi::Status Recv(buffers::Buffer& b, std::size_t nbytes, int src,
+                   int tag) const;
+  [[nodiscard]] mpi::Request Isend(const buffers::Buffer& b,
+                                   std::size_t nbytes, int dst,
+                                   int tag) const;
+  [[nodiscard]] mpi::Request Irecv(buffers::Buffer& b, std::size_t nbytes,
+                                   int src, int tag) const;
+
+  void Barrier() const;
+  /// nbytes at every rank.
+  void Bcast(buffers::Buffer& b, std::size_t nbytes, int root) const;
+  /// nbytes contributed per rank; recv significant at root.
+  void Reduce(const buffers::Buffer& send, buffers::Buffer* recv,
+              std::size_t nbytes, mpi::Datatype dt, mpi::Op op,
+              int root) const;
+  void Allreduce(const buffers::Buffer& send, buffers::Buffer& recv,
+                 std::size_t nbytes, mpi::Datatype dt, mpi::Op op) const;
+  /// nbytes per rank; recv (root) must hold size()*nbytes.
+  void Gather(const buffers::Buffer& send, buffers::Buffer* recv,
+              std::size_t nbytes, int root) const;
+  /// nbytes per rank; send (root) must hold size()*nbytes.
+  void Scatter(const buffers::Buffer* send, buffers::Buffer& recv,
+               std::size_t nbytes, int root) const;
+  void Allgather(const buffers::Buffer& send, buffers::Buffer& recv,
+                 std::size_t nbytes) const;
+  /// send/recv hold size()*nbytes (nbytes per destination).
+  void Alltoall(const buffers::Buffer& send, buffers::Buffer& recv,
+                std::size_t nbytes) const;
+  /// send holds size()*nbytes; recv gets the reduced nbytes block.
+  void ReduceScatter(const buffers::Buffer& send, buffers::Buffer& recv,
+                     std::size_t nbytes, mpi::Datatype dt, mpi::Op op) const;
+
+  void Allgatherv(const buffers::Buffer& send, buffers::Buffer& recv,
+                  std::span<const std::size_t> counts,
+                  std::span<const std::size_t> displs) const;
+  void Gatherv(const buffers::Buffer& send, std::size_t nbytes,
+               buffers::Buffer* recv, std::span<const std::size_t> counts,
+               std::span<const std::size_t> displs, int root) const;
+  void Scatterv(const buffers::Buffer* send,
+                std::span<const std::size_t> counts,
+                std::span<const std::size_t> displs, buffers::Buffer& recv,
+                std::size_t nbytes, int root) const;
+  void Alltoallv(const buffers::Buffer& send,
+                 std::span<const std::size_t> scounts,
+                 std::span<const std::size_t> sdispls,
+                 buffers::Buffer& recv,
+                 std::span<const std::size_t> rcounts,
+                 std::span<const std::size_t> rdispls) const;
+
+  // ---- lowercase API: pickle path ------------------------------------------
+
+  /// Pickle the first nbytes of `b` and ship the stream (mpi4py comm.send).
+  void send_pickled(const buffers::Buffer& b, std::size_t nbytes, int dst,
+                    int tag) const;
+  /// Probe for the stream, unpickle into `b` (mpi4py comm.recv).
+  mpi::Status recv_pickled(buffers::Buffer& b, int src, int tag) const;
+
+  /// mpi4py comm.bcast: root pickles `b[0:nbytes]`, everyone unpickles the
+  /// stream into `b`.  Requires real payloads (the stream rides the wire).
+  void bcast_pickled(buffers::Buffer& b, std::size_t nbytes, int root) const;
+
+  /// mpi4py comm.gather: every rank contributes its pickled object; the
+  /// root returns one decoded payload per rank (empty elsewhere).
+  [[nodiscard]] std::vector<std::vector<std::byte>> gather_pickled(
+      const buffers::Buffer& b, std::size_t nbytes, int root) const;
+
+  /// mpi4py comm.allreduce: objects are pickled, combined element-wise in
+  /// the interpreter (charged at interpreter rates), and redistributed.
+  void allreduce_pickled(const buffers::Buffer& send, buffers::Buffer& recv,
+                         std::size_t nbytes, mpi::Datatype dt,
+                         mpi::Op op) const;
+
+ private:
+  static void detail_copy_into(buffers::Buffer& dst,
+                               const std::vector<std::byte>& src);
+  void charge(simtime::usec_t us) const;
+  [[nodiscard]] simtime::usec_t byte_cost(const buffers::Buffer& b,
+                                          std::size_t nbytes, int dst) const;
+  void charge_coll(CollKind kind, buffers::BufferKind k,
+                   std::size_t msg_bytes) const;
+  [[nodiscard]] mpi::ConstView chead(const buffers::Buffer& b,
+                                     std::size_t nbytes) const;
+  [[nodiscard]] mpi::MutView mhead(buffers::Buffer& b,
+                                   std::size_t nbytes) const;
+
+  mpi::Comm* comm_;
+  PyCosts costs_;
+  bool enabled_;
+};
+
+}  // namespace ombx::pylayer

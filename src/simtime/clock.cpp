@@ -1,0 +1,6 @@
+#include "simtime/clock.hpp"
+
+// Header-only today; the TU anchors the library target and keeps room for
+// future out-of-line additions (e.g. tracing hooks) without touching every
+// includer.
+namespace ombx::simtime {}

@@ -1,0 +1,72 @@
+// Virtual-time clock used by every simulated MPI rank.
+//
+// All of OMB-X runs in *virtual time*: each rank owns a SimClock whose unit
+// is microseconds (double).  Communication and compute charge deterministic
+// costs to the clock, so a benchmark's reported latency is a pure function
+// of the cost models and the algorithm — independent of host scheduling.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstdint>
+
+namespace ombx::simtime {
+
+/// Canonical time unit across the project: microseconds.
+using usec_t = double;
+
+/// Per-rank virtual clock.  Monotone non-decreasing by construction.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(usec_t start) noexcept : now_(start) {}
+
+  /// Current virtual time in microseconds since rank start.
+  [[nodiscard]] usec_t now() const noexcept { return now_; }
+
+  /// Charge a non-negative duration to this clock.
+  void advance(usec_t delta) noexcept {
+    assert(delta >= 0.0);
+    now_ += delta;
+  }
+
+  /// Move the clock forward to `t` if `t` is in the future; otherwise no-op.
+  /// Returns the wait time charged (0 if `t` was already in the past).
+  usec_t advance_to(usec_t t) noexcept {
+    const usec_t wait = std::max(0.0, t - now_);
+    now_ += wait;
+    return wait;
+  }
+
+  void reset(usec_t t = 0.0) noexcept { now_ = t; }
+
+ private:
+  usec_t now_ = 0.0;
+};
+
+/// Wall-clock stopwatch (host time).  Used by the ML drivers to report the
+/// real execution time of the physically executed (scaled-down) kernels
+/// alongside the virtual-time projection, and by tests that exercise the
+/// real shared-memory transport path.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock_t::now()) {}
+
+  void restart() { start_ = clock_t::now(); }
+
+  [[nodiscard]] usec_t elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(clock_t::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock_t = std::chrono::steady_clock;
+  clock_t::time_point start_;
+};
+
+/// Convenience conversions for printing.
+[[nodiscard]] constexpr double us_to_ms(usec_t us) noexcept { return us / 1e3; }
+[[nodiscard]] constexpr double us_to_s(usec_t us) noexcept { return us / 1e6; }
+
+}  // namespace ombx::simtime

@@ -1,0 +1,25 @@
+#include "simtime/rng.hpp"
+
+#include <cmath>
+
+namespace ombx::simtime {
+
+double Xoshiro256::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      const double scale = std::sqrt(-2.0 * std::log(s) / s);
+      cached_normal_ = v * scale;
+      has_cached_normal_ = true;
+      return u * scale;
+    }
+  }
+}
+
+}  // namespace ombx::simtime

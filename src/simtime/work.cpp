@@ -1,0 +1,3 @@
+#include "simtime/work.hpp"
+
+namespace ombx::simtime {}

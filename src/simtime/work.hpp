@@ -1,0 +1,60 @@
+// Deterministic compute-cost accounting.
+//
+// ML kernels *execute* their arithmetic for correctness, but the virtual
+// time they charge comes from analytic work counters (flops, bytes moved,
+// comparisons) priced by a per-cluster ComputeModel.  This is what lets a
+// 1-core host reproduce a 224-core speedup curve: the partitioning and the
+// communication are real, only the per-core throughput is modelled.
+#pragma once
+
+#include <cstdint>
+
+#include "simtime/clock.hpp"
+
+namespace ombx::simtime {
+
+/// Prices abstract work units in virtual microseconds.
+/// Throughputs are per *core* (one MPI rank pinned per core, as in the
+/// paper's experiments).
+struct ComputeModel {
+  /// Sustained scalar/SIMD floating-point throughput, flops per microsecond.
+  double flops_per_us = 4000.0;  // 4 GFLOP/s per core: conservative scalar
+
+  /// Sustained memory-touch throughput for streaming byte operations
+  /// (serialization, buffer fills), bytes per microsecond.
+  double bytes_per_us = 8000.0;  // 8 GB/s per core
+
+  /// Fixed cost of entering a modelled foreign-runtime call (used by the
+  /// pylayer on top of this; kept here so the GPU layer can share it).
+  usec_t call_overhead_us = 0.0;
+
+  [[nodiscard]] usec_t flop_time(double flops) const noexcept {
+    return flops / flops_per_us;
+  }
+  [[nodiscard]] usec_t byte_time(double bytes) const noexcept {
+    return bytes / bytes_per_us;
+  }
+};
+
+/// Accumulates work performed by one rank; converted to virtual time by a
+/// ComputeModel.  Separating "count" from "price" lets ablation benches
+/// re-price identical executions under different machine models.
+class WorkCounter {
+ public:
+  void add_flops(double n) noexcept { flops_ += n; }
+  void add_bytes(double n) noexcept { bytes_ += n; }
+  void reset() noexcept { flops_ = bytes_ = 0.0; }
+
+  [[nodiscard]] double flops() const noexcept { return flops_; }
+  [[nodiscard]] double bytes() const noexcept { return bytes_; }
+
+  [[nodiscard]] usec_t priced(const ComputeModel& m) const noexcept {
+    return m.flop_time(flops_) + m.byte_time(bytes_);
+  }
+
+ private:
+  double flops_ = 0.0;
+  double bytes_ = 0.0;
+};
+
+}  // namespace ombx::simtime

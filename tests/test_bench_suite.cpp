@@ -1,0 +1,241 @@
+// Behavioural tests for the benchmark suite: every benchmark runs, the
+// numbers satisfy the physical invariants the paper leans on (Python
+// overhead positive, visible at small sizes, relatively negligible at
+// large; pickle worse than direct; Numba worse than CuPy/PyCUDA).
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "mpi/error.hpp"
+
+using namespace ombx;
+using bench_suite::CollBench;
+using bench_suite::VecBench;
+using core::Mode;
+using core::SuiteConfig;
+
+namespace {
+
+SuiteConfig quick_cfg() {
+  SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::frontera();
+  cfg.nranks = 2;
+  cfg.ppn = 2;
+  cfg.opts.max_size = 4096;
+  cfg.opts.iterations = 3;
+  cfg.opts.warmup = 1;
+  cfg.opts.window_size = 8;
+  return cfg;
+}
+
+double mean_metric(const std::vector<core::Row>& rows) {
+  double s = 0.0;
+  for (const auto& r : rows) s += r.stats.avg;
+  return s / static_cast<double>(rows.size());
+}
+
+}  // namespace
+
+TEST(Latency, ProducesOneRowPerSize) {
+  SuiteConfig cfg = quick_cfg();
+  const auto rows = bench_suite::run_latency(cfg);
+  EXPECT_EQ(rows.size(), cfg.opts.sizes().size());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].stats.avg, rows[i - 1].stats.avg * 0.99)
+        << "latency should be (weakly) monotone in size";
+  }
+}
+
+TEST(Latency, PythonOverheadPositiveAndSmallAtLargeSizes) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.opts.max_size = 1 << 20;
+  cfg.mode = Mode::kNativeC;
+  const auto c_rows = bench_suite::run_latency(cfg);
+  cfg.mode = Mode::kPythonDirect;
+  const auto py_rows = bench_suite::run_latency(cfg);
+  ASSERT_EQ(c_rows.size(), py_rows.size());
+
+  for (std::size_t i = 0; i < c_rows.size(); ++i) {
+    EXPECT_GT(py_rows[i].stats.avg, c_rows[i].stats.avg)
+        << "size " << c_rows[i].size;
+  }
+  // Relative overhead shrinks with message size (paper insight #1).
+  const double rel_small =
+      py_rows.front().stats.avg / c_rows.front().stats.avg;
+  const double rel_large =
+      py_rows.back().stats.avg / c_rows.back().stats.avg;
+  EXPECT_GT(rel_small, rel_large);
+  EXPECT_LT(rel_large, 1.10);  // "relatively negligible" at 1 MB
+}
+
+TEST(Latency, ValidatePayloads) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.opts.validate = true;
+  EXPECT_NO_THROW((void)bench_suite::run_latency(cfg));
+}
+
+TEST(Latency, PickleSlowerThanDirect) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.opts.max_size = 1 << 18;
+  cfg.mode = Mode::kPythonDirect;
+  const auto direct = bench_suite::run_latency(cfg);
+  cfg.mode = Mode::kPythonPickle;
+  const auto pickle = bench_suite::run_latency(cfg);
+  ASSERT_EQ(direct.size(), pickle.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_GT(pickle[i].stats.avg, direct[i].stats.avg);
+  }
+  // Divergence grows with size (paper Fig. 33).
+  EXPECT_GT(pickle.back().stats.avg - direct.back().stats.avg,
+            pickle.front().stats.avg - direct.front().stats.avg);
+}
+
+TEST(Latency, RequiresTwoRanks) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.nranks = 4;
+  cfg.ppn = 4;
+  EXPECT_THROW((void)bench_suite::run_latency(cfg), mpi::Error);
+}
+
+TEST(Bandwidth, IncreasesWithMessageSize) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.ppn = 1;  // inter-node
+  cfg.opts.max_size = 1 << 18;
+  const auto rows = bench_suite::run_bandwidth(cfg);
+  EXPECT_GT(rows.back().stats.avg, rows.front().stats.avg * 10);
+}
+
+TEST(Bandwidth, ApproachesLinkRateAtLargeSizes) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.ppn = 1;
+  cfg.mode = Mode::kNativeC;
+  cfg.opts.max_size = 1 << 20;
+  const auto rows = bench_suite::run_bandwidth(cfg);
+  // Frontera HDR-100 model peaks at 12.2 GB/s == 12200 MB/s.
+  EXPECT_GT(rows.back().stats.avg, 0.8 * 12200.0);
+  EXPECT_LT(rows.back().stats.avg, 1.02 * 12200.0);
+}
+
+TEST(Bandwidth, PythonOverheadIsSmall) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.ppn = 1;
+  cfg.opts.max_size = 1 << 20;
+  cfg.mode = Mode::kNativeC;
+  const double c_bw = mean_metric(bench_suite::run_bandwidth(cfg));
+  cfg.mode = Mode::kPythonDirect;
+  const double py_bw = mean_metric(bench_suite::run_bandwidth(cfg));
+  EXPECT_LT(py_bw, c_bw);
+  EXPECT_GT(py_bw, 0.80 * c_bw);  // paper: ~6% average bandwidth overhead
+}
+
+TEST(BiBandwidth, RoughlyDoublesUniBandwidth) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.ppn = 1;
+  cfg.mode = Mode::kNativeC;
+  cfg.opts.max_size = 1 << 20;
+  cfg.opts.min_size = 1 << 20;
+  const double uni = bench_suite::run_bandwidth(cfg).back().stats.avg;
+  const double bi = bench_suite::run_bibw(cfg).back().stats.avg;
+  EXPECT_GT(bi, 1.4 * uni);
+  EXPECT_LT(bi, 2.2 * uni);
+}
+
+TEST(MultiLat, ReportsCrossPairStats) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.nranks = 4;
+  cfg.ppn = 4;
+  const auto rows = bench_suite::run_multi_lat(cfg);
+  for (const auto& r : rows) {
+    EXPECT_GT(r.stats.avg, 0.0);
+    EXPECT_LE(r.stats.min, r.stats.avg);
+    EXPECT_GE(r.stats.max, r.stats.avg);
+  }
+}
+
+class CollectiveBenchTest : public ::testing::TestWithParam<CollBench> {};
+
+TEST_P(CollectiveBenchTest, RunsAndReportsPositiveLatency) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.nranks = 4;
+  cfg.ppn = 4;
+  cfg.opts.max_size = 1024;
+  const auto rows = bench_suite::run_collective(cfg, GetParam());
+  ASSERT_FALSE(rows.empty());
+  for (const auto& r : rows) {
+    EXPECT_GT(r.stats.avg, 0.0);
+    EXPECT_LE(r.stats.min, r.stats.max);
+  }
+}
+
+TEST_P(CollectiveBenchTest, PythonModeIsSlower) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.nranks = 4;
+  cfg.ppn = 4;
+  cfg.opts.max_size = 256;
+  cfg.mode = Mode::kNativeC;
+  const double c_lat = mean_metric(run_collective(cfg, GetParam()));
+  cfg.mode = Mode::kPythonDirect;
+  const double py_lat = mean_metric(run_collective(cfg, GetParam()));
+  EXPECT_GT(py_lat, c_lat);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCollectives, CollectiveBenchTest,
+    ::testing::Values(CollBench::kAllgather, CollBench::kAllreduce,
+                      CollBench::kAlltoall, CollBench::kBarrier,
+                      CollBench::kBcast, CollBench::kGather,
+                      CollBench::kReduce, CollBench::kReduceScatter,
+                      CollBench::kScatter),
+    [](const auto& info) { return bench_suite::to_string(info.param); });
+
+class VectorBenchTest : public ::testing::TestWithParam<VecBench> {};
+
+TEST_P(VectorBenchTest, RunsAndReportsPositiveLatency) {
+  SuiteConfig cfg = quick_cfg();
+  cfg.nranks = 4;
+  cfg.ppn = 4;
+  cfg.opts.max_size = 1024;
+  const auto rows = bench_suite::run_vector(cfg, GetParam());
+  ASSERT_FALSE(rows.empty());
+  for (const auto& r : rows) EXPECT_GT(r.stats.avg, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVector, VectorBenchTest,
+    ::testing::Values(VecBench::kAllgatherv, VecBench::kAlltoallv,
+                      VecBench::kGatherv, VecBench::kScatterv),
+    [](const auto& info) { return bench_suite::to_string(info.param); });
+
+TEST(GpuBenches, NumbaSlowerThanCupyAndPycuda) {
+  SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::ri2_gpu();
+  cfg.tuning = net::MpiTuning::mvapich2_gdr();
+  cfg.nranks = 2;
+  cfg.ppn = 1;
+  cfg.mode = Mode::kPythonDirect;
+  cfg.opts.max_size = 4096;
+  cfg.opts.iterations = 3;
+  cfg.opts.warmup = 1;
+
+  const auto lat_for = [&](buffers::BufferKind k) {
+    SuiteConfig c2 = cfg;
+    c2.buffer = k;
+    return mean_metric(bench_suite::run_latency(c2));
+  };
+  const double cupy = lat_for(buffers::BufferKind::kCupy);
+  const double pycuda = lat_for(buffers::BufferKind::kPycuda);
+  const double numba = lat_for(buffers::BufferKind::kNumba);
+  EXPECT_GT(numba, cupy);
+  EXPECT_GT(numba, pycuda);
+  EXPECT_NEAR(cupy, pycuda, 0.25 * cupy);  // "very similar numbers"
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalNumbers) {
+  SuiteConfig cfg = quick_cfg();
+  const auto a = bench_suite::run_latency(cfg);
+  const auto b = bench_suite::run_latency(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].stats.avg, b[i].stats.avg);
+  }
+}

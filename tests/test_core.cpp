@@ -1,0 +1,154 @@
+// Tests for the benchmark framework: options, stats, report tables,
+// runner environment and the registry (the paper's Table II inventory).
+#include <gtest/gtest.h>
+
+#include "bench_suite/suite.hpp"
+#include "core/options.hpp"
+#include "core/registry.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "core/stats.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+
+TEST(Options, PowerOfTwoSweep) {
+  core::Options o;
+  o.min_size = 1;
+  o.max_size = 16;
+  const auto s = o.sizes();
+  EXPECT_EQ(s, (std::vector<std::size_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(Options, SweepRespectsMinimum) {
+  core::Options o;
+  o.min_size = 1024;
+  o.max_size = 4096;
+  EXPECT_EQ(o.sizes(), (std::vector<std::size_t>{1024, 2048, 4096}));
+}
+
+TEST(Options, IterationScheduleSwitchesAtThreshold) {
+  core::Options o;
+  o.iterations = 100;
+  o.iterations_large = 10;
+  o.large_threshold = 8192;
+  EXPECT_EQ(o.iters_for(8192), 100);
+  EXPECT_EQ(o.iters_for(8193), 10);
+}
+
+TEST(Options, ModeNames) {
+  EXPECT_EQ(core::to_string(core::Mode::kNativeC), "omb-c");
+  EXPECT_EQ(core::to_string(core::Mode::kPythonDirect), "omb-py");
+  EXPECT_EQ(core::to_string(core::Mode::kPythonPickle), "omb-py-pickle");
+}
+
+TEST(Stats, ReduceAcrossRanks) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = 4;
+  wc.ppn = 4;
+  mpi::World w(wc);
+  w.run([](mpi::Comm& c) {
+    const double local = 10.0 * (c.rank() + 1);  // 10, 20, 30, 40
+    const core::Stats st = core::reduce_stats(c, local, 0);
+    if (c.rank() == 0) {
+      EXPECT_DOUBLE_EQ(st.avg, 25.0);
+      EXPECT_DOUBLE_EQ(st.min, 10.0);
+      EXPECT_DOUBLE_EQ(st.max, 40.0);
+    } else {
+      EXPECT_DOUBLE_EQ(st.avg, 0.0);
+    }
+  });
+}
+
+TEST(Report, TableRendersOsuBanner) {
+  core::Table t("OMB-X Latency Test", {"Size", "Latency (us)"});
+  t.add_row(8, {0.25});
+  t.add_row(1024, {1.5});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("# OMB-X Latency Test"), std::string::npos);
+  EXPECT_NE(s.find("Size"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(Report, Mean) {
+  EXPECT_DOUBLE_EQ(core::mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(core::mean({}), 0.0);
+}
+
+TEST(Runner, WorldConfigReflectsMode) {
+  core::SuiteConfig cfg;
+  cfg.mode = core::Mode::kNativeC;
+  EXPECT_EQ(core::make_world_config(cfg).thread_level,
+            net::ThreadLevel::kSingle);
+  cfg.mode = core::Mode::kPythonDirect;
+  EXPECT_EQ(core::make_world_config(cfg).thread_level,
+            net::ThreadLevel::kMultiple);
+}
+
+TEST(Runner, DevicePoolMapsRanksToNodeDevices) {
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::ri2_gpu();
+  cfg.nranks = 4;
+  cfg.ppn = 2;
+  core::DevicePool pool(cfg);
+  EXPECT_FALSE(pool.empty());
+  EXPECT_EQ(pool.for_rank(0), pool.for_rank(1));   // same node
+  EXPECT_NE(pool.for_rank(0), pool.for_rank(2));   // next node
+}
+
+TEST(Runner, DevicePoolEmptyOnCpuCluster) {
+  core::SuiteConfig cfg;
+  cfg.cluster = net::ClusterSpec::frontera();
+  core::DevicePool pool(cfg);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_EQ(pool.for_rank(0), nullptr);
+}
+
+TEST(Registry, SuiteMatchesPaperTableII) {
+  core::register_suite();
+  core::Registry& r = core::Registry::instance();
+
+  // Paper Table II: 4 point-to-point + 9 blocking collectives + 4 vector
+  // variants.  OMB-X adds mbw_mr (p2p) and three one-sided tests.
+  EXPECT_EQ(r.by_category(core::Category::kPointToPoint).size(), 5U);
+  EXPECT_EQ(r.by_category(core::Category::kBlockingCollective).size(), 9U);
+  EXPECT_EQ(r.by_category(core::Category::kVectorCollective).size(), 4U);
+  EXPECT_EQ(r.by_category(core::Category::kOneSided).size(), 3U);
+  EXPECT_EQ(r.count(), 21U);
+
+  for (const char* name :
+       {"latency", "bw", "bibw", "multi_lat", "allgather", "allreduce",
+        "alltoall", "barrier", "bcast", "gather", "reduce",
+        "reduce_scatter", "scatter", "allgatherv", "alltoallv", "gatherv",
+        "scatterv", "mbw_mr", "put_latency", "get_latency", "put_bw"}) {
+    EXPECT_NE(r.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(r.find("nonexistent"), nullptr);
+}
+
+TEST(Registry, RegistrationIsIdempotent) {
+  core::register_suite();
+  const std::size_t before = core::Registry::instance().count();
+  core::register_suite();
+  EXPECT_EQ(core::Registry::instance().count(), before);
+}
+
+TEST(Registry, EntriesAreRunnable) {
+  core::register_suite();
+  const core::BenchmarkInfo* info =
+      core::Registry::instance().find("latency");
+  ASSERT_NE(info, nullptr);
+  core::SuiteConfig cfg;
+  cfg.opts.max_size = 64;
+  cfg.opts.iterations = 2;
+  cfg.opts.warmup = 1;
+  const auto rows = info->fn(cfg);
+  EXPECT_EQ(rows.size(), cfg.opts.sizes().size());
+  for (const auto& row : rows) {
+    EXPECT_GT(row.stats.avg, 0.0);
+  }
+}

@@ -1,0 +1,257 @@
+// Tests for the OMB-X extensions beyond the paper's v1 scope:
+// non-blocking collectives, hierarchical (two-level) collectives, and the
+// distributed synchronous-SGD workload.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bench_suite/suite.hpp"
+#include "mpi/error.hpp"
+#include "mpi/hierarchical.hpp"
+#include "mpi/nbc.hpp"
+#include "mpi/world.hpp"
+#include "ml/logreg.hpp"
+
+using namespace ombx;
+using mpi::Comm;
+using mpi::ConstView;
+using mpi::MutView;
+
+namespace {
+
+mpi::WorldConfig world_cfg(int nranks, int ppn) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = nranks;
+  wc.ppn = ppn;
+  return wc;
+}
+
+template <typename T>
+ConstView cv(const std::vector<T>& v) {
+  return ConstView{reinterpret_cast<const std::byte*>(v.data()),
+                   v.size() * sizeof(T)};
+}
+template <typename T>
+MutView mv(std::vector<T>& v) {
+  return MutView{reinterpret_cast<std::byte*>(v.data()),
+                 v.size() * sizeof(T)};
+}
+
+}  // namespace
+
+// ---- Non-blocking collectives ---------------------------------------------------
+
+TEST(Nbc, IallreduceProducesTheSameResultAsBlocking) {
+  mpi::World w(world_cfg(4, 4));
+  w.run([](Comm& c) {
+    std::vector<std::int64_t> send(16);
+    std::iota(send.begin(), send.end(), c.rank());
+    std::vector<std::int64_t> nb(16, 0);
+    std::vector<std::int64_t> bl(16, 0);
+    mpi::CollRequest req = mpi::iallreduce(c, cv(send), mv(nb),
+                                           mpi::Datatype::kInt64,
+                                           mpi::Op::kSum);
+    EXPECT_FALSE(req.done());
+    req.wait();
+    EXPECT_TRUE(req.done());
+    req.wait();  // idempotent
+    mpi::allreduce(c, cv(send), mv(bl), mpi::Datatype::kInt64,
+                   mpi::Op::kSum);
+    EXPECT_EQ(nb, bl);
+  });
+}
+
+TEST(Nbc, ComputeBetweenPostAndWaitDoesNotOverlap) {
+  // Without async progress, t_total ~= t_compute + t_pure.
+  mpi::World w(world_cfg(4, 1));
+  w.run([](Comm& c) {
+    std::vector<float> a(256, 1.0F);
+    std::vector<float> b(256, 0.0F);
+
+    mpi::barrier(c);
+    double t0 = c.now();
+    mpi::iallreduce(c, cv(a), mv(b), mpi::Datatype::kFloat, mpi::Op::kSum)
+        .wait();
+    const double t_pure = c.now() - t0;
+
+    mpi::barrier(c);
+    t0 = c.now();
+    mpi::CollRequest req =
+        mpi::iallreduce(c, cv(a), mv(b), mpi::Datatype::kFloat,
+                        mpi::Op::kSum);
+    const double flops = 100000.0;
+    c.charge_flops(flops);
+    req.wait();
+    const double t_total = c.now() - t0;
+    const double t_cpu =
+        flops / c.net().cluster().compute.flops_per_us;
+    EXPECT_GE(t_total, 0.95 * (t_pure + t_cpu));
+  });
+}
+
+TEST(Nbc, EveryOperationRoundTrips) {
+  mpi::World w(world_cfg(4, 4));
+  w.run([](Comm& c) {
+    const auto n = static_cast<std::size_t>(c.size());
+    std::vector<std::int32_t> one(8, c.rank());
+    std::vector<std::int32_t> red(8, 0);
+    std::vector<std::int32_t> all(8 * n, 0);
+    std::vector<std::int32_t> a2a(8 * n, 0);
+    std::vector<std::int32_t> a2a_out(8 * n, 0);
+
+    mpi::ibarrier(c).wait();
+    mpi::ibcast(c, mv(one), 0).wait();
+    mpi::ireduce(c, cv(one), mv(red), mpi::Datatype::kInt32, mpi::Op::kMax,
+                 0)
+        .wait();
+    mpi::igather(c, cv(one), c.rank() == 0 ? mv(all) : MutView{}, 0).wait();
+    mpi::iscatter(c, c.rank() == 0 ? cv(all) : ConstView{}, mv(red), 0)
+        .wait();
+    mpi::iallgather(c, cv(one), mv(all)).wait();
+    mpi::ialltoall(c, cv(a2a), mv(a2a_out)).wait();
+    mpi::ireduce_scatter(c, cv(a2a), mv(red), mpi::Datatype::kInt32,
+                         mpi::Op::kSum)
+        .wait();
+  });
+}
+
+TEST(NbcBench, OverlapIsNearZero) {
+  core::SuiteConfig cfg;
+  cfg.nranks = 4;
+  cfg.ppn = 1;
+  cfg.mode = core::Mode::kNativeC;
+  cfg.opts.min_size = 1024;
+  cfg.opts.max_size = 1024;
+  cfg.opts.iterations = 3;
+  cfg.opts.warmup = 1;
+  const auto rows =
+      bench_suite::run_nbc(cfg, bench_suite::NbcBench::kIallreduce);
+  ASSERT_EQ(rows.size(), 1U);
+  EXPECT_GT(rows[0].t_pure_us, 0.0);
+  EXPECT_GE(rows[0].t_total_us, rows[0].t_pure_us);
+  EXPECT_LT(rows[0].overlap_pct, 15.0);
+}
+
+// ---- Hierarchical collectives ------------------------------------------------------
+
+TEST(Hierarchical, SplitsByNode) {
+  mpi::World w(world_cfg(8, 2));  // 4 nodes x 2 ranks
+  w.run([](Comm& c) {
+    mpi::HierarchicalComm hier(c);
+    EXPECT_EQ(hier.node().size(), 2);
+    EXPECT_EQ(hier.nodes(), 4);
+    EXPECT_EQ(hier.is_leader(), hier.node().rank() == 0);
+  });
+}
+
+TEST(Hierarchical, AllreduceMatchesFlat) {
+  mpi::World w(world_cfg(12, 4));  // 3 nodes x 4 ranks
+  w.run([](Comm& c) {
+    mpi::HierarchicalComm hier(c);
+    std::vector<std::int64_t> send(10);
+    std::iota(send.begin(), send.end(), 7 * c.rank());
+    std::vector<std::int64_t> flat(10, 0);
+    std::vector<std::int64_t> two(10, 0);
+    mpi::allreduce(c, cv(send), mv(flat), mpi::Datatype::kInt64,
+                   mpi::Op::kSum);
+    hier.allreduce(cv(send), mv(two), mpi::Datatype::kInt64, mpi::Op::kSum);
+    EXPECT_EQ(two, flat);
+  });
+}
+
+TEST(Hierarchical, BcastDeliversFromWorldRoot) {
+  mpi::World w(world_cfg(8, 2));
+  w.run([](Comm& c) {
+    mpi::HierarchicalComm hier(c);
+    std::vector<std::int32_t> buf(6, c.rank() == 0 ? 99 : 0);
+    hier.bcast(mv(buf));
+    for (const auto v : buf) EXPECT_EQ(v, 99);
+  });
+}
+
+TEST(Hierarchical, BarrierSynchronizes) {
+  mpi::World w(world_cfg(8, 2));
+  w.run([](Comm& c) {
+    mpi::HierarchicalComm hier(c);
+    c.clock().advance(3.0 * c.rank());
+    hier.barrier();
+    EXPECT_GE(c.now(), 21.0);
+  });
+}
+
+TEST(Hierarchical, WinsAtFullSubscription) {
+  // The ablation claim: at high ppn the two-level allreduce beats flat.
+  mpi::WorldConfig wc = world_cfg(112, 56);  // 2 nodes, full
+  wc.payload = mpi::PayloadMode::kSynthetic;
+  mpi::World w(wc);
+  std::vector<double> flat(1), two(1);
+  w.run([&](Comm& c) {
+    mpi::HierarchicalComm hier(c);
+    const ConstView s{nullptr, 262144};
+    const MutView r{nullptr, 262144};
+    mpi::barrier(c);
+    double t0 = c.now();
+    mpi::allreduce(c, s, r, mpi::Datatype::kFloat, mpi::Op::kSum);
+    if (c.rank() == 0) flat[0] = c.now() - t0;
+    mpi::barrier(c);
+    t0 = c.now();
+    hier.allreduce(s, r, mpi::Datatype::kFloat, mpi::Op::kSum);
+    if (c.rank() == 0) two[0] = c.now() - t0;
+  });
+  EXPECT_LT(two[0], flat[0]);
+}
+
+// ---- Distributed SGD -----------------------------------------------------------------
+
+TEST(LogReg, LearnsAPlantedHyperplane) {
+  const ml::Dataset ds = ml::make_dota2_like(1500, 16, 77);
+  ml::LogisticRegression model(ds.d);
+  const double loss0 = model.loss(ds);
+  for (int e = 0; e < 40; ++e) {
+    const auto g = model.gradient_sum(ds, 0, ds.n);
+    model.apply(g, ds.n, 0.8);
+  }
+  EXPECT_LT(model.loss(ds), loss0);
+  EXPECT_GT(model.accuracy(ds), 0.75);
+}
+
+TEST(LogReg, RejectsMisuse) {
+  EXPECT_THROW(ml::LogisticRegression(0), std::invalid_argument);
+  ml::LogisticRegression model(4);
+  const ml::Dataset ds = ml::make_dota2_like(10, 8, 1);
+  EXPECT_THROW((void)model.gradient_sum(ds, 0, 10), std::invalid_argument);
+  const ml::Dataset ok = ml::make_dota2_like(10, 4, 1);
+  EXPECT_THROW((void)model.gradient_sum(ok, 5, 2), std::invalid_argument);
+  EXPECT_THROW(model.apply(std::vector<double>(3), 10, 0.1),
+               std::invalid_argument);
+}
+
+TEST(Sgd, ShardedGradientsEqualFullBatch) {
+  const ml::Dataset ds = ml::make_dota2_like(200, 8, 5);
+  ml::LogisticRegression model(ds.d);
+  const auto full = model.gradient_sum(ds, 0, ds.n);
+  auto a = model.gradient_sum(ds, 0, 120);
+  const auto b = model.gradient_sum(ds, 120, ds.n);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], full[i], 1e-9 * std::max(1.0, std::abs(full[i])));
+  }
+}
+
+TEST(Sgd, ScalingCurveIsSaneAndDeterministic) {
+  const std::vector<int> procs{1, 8, 28};
+  const auto a =
+      ml::sgd_scaling(net::ClusterSpec::ri2(), net::MpiTuning::mvapich2(),
+                      ml::SgdBenchConfig{}, procs);
+  EXPECT_GT(a.points[1].speedup, a.points[0].speedup);
+  EXPECT_GT(a.points[2].speedup, a.points[1].speedup);
+  EXPECT_LE(a.points[2].speedup, 28.5);
+  const auto b =
+      ml::sgd_scaling(net::ClusterSpec::ri2(), net::MpiTuning::mvapich2(),
+                      ml::SgdBenchConfig{}, procs);
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].time_s, b.points[i].time_s);
+  }
+}

@@ -1,0 +1,157 @@
+// Tests for the simulated GPU device, the CUDA Array Interface adapters,
+// and the unified buffer abstraction.
+#include <gtest/gtest.h>
+
+#include "buffers/buffer.hpp"
+#include "gpu/device.hpp"
+#include "gpu/libs.hpp"
+#include "net/cluster.hpp"
+
+using namespace ombx;
+
+namespace {
+gpu::Device make_device() {
+  return gpu::Device(0, *net::ClusterSpec::ri2_gpu().gpu);
+}
+}  // namespace
+
+TEST(Device, AllocationAccounting) {
+  gpu::Device dev = make_device();
+  EXPECT_EQ(dev.used_bytes(), 0U);
+  {
+    auto a = dev.allocate(1024);
+    auto b = dev.allocate(2048);
+    EXPECT_EQ(dev.used_bytes(), 3072U);
+    EXPECT_NE(a.data(), nullptr);
+    EXPECT_EQ(a.bytes(), 1024U);
+  }
+  EXPECT_EQ(dev.used_bytes(), 0U);  // RAII released
+}
+
+TEST(Device, OutOfMemoryThrowsAndRollsBack) {
+  gpu::Device dev = make_device();
+  auto big = dev.allocate(dev.capacity_bytes() - 16, /*synthetic=*/true);
+  EXPECT_THROW((void)dev.allocate(1024, true), gpu::OutOfDeviceMemory);
+  // The failed allocation must not leak reserved capacity.
+  EXPECT_EQ(dev.used_bytes(), dev.capacity_bytes() - 16);
+}
+
+TEST(Device, SyntheticAllocationsHaveNoBacking) {
+  gpu::Device dev = make_device();
+  auto buf = dev.allocate(1 << 20, /*synthetic=*/true);
+  EXPECT_EQ(buf.data(), nullptr);
+  EXPECT_EQ(buf.bytes(), 1U << 20);
+  EXPECT_EQ(dev.used_bytes(), 1U << 20);  // capacity still accounted
+}
+
+TEST(Device, MoveTransfersOwnership) {
+  gpu::Device dev = make_device();
+  auto a = dev.allocate(512);
+  const gpu::DeviceBuffer b = std::move(a);
+  EXPECT_EQ(b.bytes(), 512U);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_EQ(dev.used_bytes(), 512U);
+}
+
+TEST(Device, CopyCostsAreOrdered) {
+  gpu::Device dev = make_device();
+  const std::size_t n = 1 << 20;
+  // On-device copies are far faster than PCIe transfers.
+  EXPECT_LT(dev.d2d_time(n), dev.h2d_time(n));
+  EXPECT_LT(dev.d2d_time(n), dev.d2h_time(n));
+  EXPECT_GT(dev.kernel_launch_time(), 0.0);
+  EXPECT_GT(dev.event_sync_time(), 0.0);
+}
+
+TEST(GpuArray, ExportsCudaArrayInterface) {
+  gpu::Device dev = make_device();
+  const gpu::GpuArray arr = gpu::cupy_empty(dev, 4096);
+  const gpu::CudaArrayInterface cai = arr.cuda_array_interface();
+  EXPECT_EQ(cai.ptr, static_cast<const void*>(arr.data()));
+  EXPECT_EQ(cai.version, 3);
+  ASSERT_EQ(cai.shape.size(), 1U);
+  EXPECT_EQ(cai.shape[0], 4096U);
+  EXPECT_EQ(cai.typestr, "|u1");
+}
+
+TEST(GpuArray, FactoriesTagTheOwningLibrary) {
+  gpu::Device dev = make_device();
+  EXPECT_EQ(gpu::cupy_empty(dev, 8).lib(), gpu::GpuLib::kCupy);
+  EXPECT_EQ(gpu::pycuda_empty(dev, 8).lib(), gpu::GpuLib::kPycuda);
+  EXPECT_EQ(gpu::numba_device_array(dev, 8).lib(), gpu::GpuLib::kNumba);
+  EXPECT_EQ(gpu::to_string(gpu::GpuLib::kNumba), "numba");
+}
+
+TEST(Buffers, KindPredicates) {
+  using buffers::BufferKind;
+  EXPECT_FALSE(buffers::is_gpu(BufferKind::kByteArray));
+  EXPECT_FALSE(buffers::is_gpu(BufferKind::kNumpy));
+  EXPECT_TRUE(buffers::is_gpu(BufferKind::kCupy));
+  EXPECT_TRUE(buffers::is_gpu(BufferKind::kPycuda));
+  EXPECT_TRUE(buffers::is_gpu(BufferKind::kNumba));
+  EXPECT_EQ(buffers::gpu_lib_of(BufferKind::kNumba), gpu::GpuLib::kNumba);
+  EXPECT_FALSE(buffers::gpu_lib_of(BufferKind::kNumpy).has_value());
+}
+
+TEST(Buffers, FactoryBuildsEveryHostKind) {
+  for (const auto kind :
+       {buffers::BufferKind::kByteArray, buffers::BufferKind::kNumpy}) {
+    const auto b = buffers::make_buffer(kind, 128);
+    EXPECT_EQ(b->kind(), kind);
+    EXPECT_EQ(b->bytes(), 128U);
+    EXPECT_NE(b->data(), nullptr);
+    EXPECT_EQ(b->space(), net::MemSpace::kHost);
+  }
+}
+
+TEST(Buffers, FactoryBuildsEveryGpuKind) {
+  gpu::Device dev = make_device();
+  for (const auto kind :
+       {buffers::BufferKind::kCupy, buffers::BufferKind::kPycuda,
+        buffers::BufferKind::kNumba}) {
+    const auto b = buffers::make_buffer(kind, 256, &dev);
+    EXPECT_EQ(b->kind(), kind);
+    EXPECT_EQ(b->space(), net::MemSpace::kDevice);
+    EXPECT_NE(b->data(), nullptr);
+  }
+  EXPECT_EQ(dev.used_bytes(), 0U);  // all released
+}
+
+TEST(Buffers, GpuKindWithoutDeviceThrows) {
+  EXPECT_THROW((void)buffers::make_buffer(buffers::BufferKind::kCupy, 64),
+               std::invalid_argument);
+}
+
+TEST(Buffers, FillVerifyRoundTrip) {
+  const auto b = buffers::make_buffer(buffers::BufferKind::kNumpy, 1000);
+  b->fill(0x42);
+  EXPECT_TRUE(b->verify(0x42));
+  EXPECT_FALSE(b->verify(0x43));
+  EXPECT_TRUE(b->verify(0x42, 10));
+}
+
+TEST(Buffers, SyntheticBuffersVerifyTrivially) {
+  const auto b = buffers::make_buffer(buffers::BufferKind::kNumpy, 1 << 20,
+                                      nullptr, /*synthetic=*/true);
+  EXPECT_EQ(b->data(), nullptr);
+  EXPECT_EQ(b->bytes(), 1U << 20);
+  b->fill(1);                   // no-op
+  EXPECT_TRUE(b->verify(99));   // nothing to check
+  const mpi::ConstView v = b->cview();
+  EXPECT_EQ(v.data, nullptr);
+  EXPECT_EQ(v.bytes, 1U << 20);
+}
+
+TEST(Buffers, ViewsReflectSpace) {
+  gpu::Device dev = make_device();
+  const auto b = buffers::make_buffer(buffers::BufferKind::kPycuda, 64, &dev);
+  EXPECT_EQ(b->cview().space, net::MemSpace::kDevice);
+  const auto h = buffers::make_buffer(buffers::BufferKind::kByteArray, 64);
+  EXPECT_EQ(h->cview().space, net::MemSpace::kHost);
+}
+
+TEST(Buffers, NamesAreStable) {
+  EXPECT_EQ(buffers::to_string(buffers::BufferKind::kByteArray),
+            "bytearray");
+  EXPECT_EQ(buffers::to_string(buffers::BufferKind::kCupy), "cupy");
+}

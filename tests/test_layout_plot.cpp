@@ -1,0 +1,247 @@
+// Tests for derived-datatype layouts (pack/unpack, strided transfers) and
+// the ASCII plot renderer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+#include "core/plot.hpp"
+#include "mpi/error.hpp"
+#include "mpi/layout.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+using mpi::ConstView;
+using mpi::MutView;
+
+namespace {
+mpi::WorldConfig pair_world() {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = 2;
+  wc.ppn = 2;
+  return wc;
+}
+}  // namespace
+
+// ---- VectorLayout ---------------------------------------------------------------
+
+TEST(VectorLayout, GeometryArithmetic) {
+  const mpi::VectorLayout l{.count = 4, .block_bytes = 8,
+                            .stride_bytes = 20};
+  EXPECT_EQ(l.packed_bytes(), 32U);
+  EXPECT_EQ(l.extent_bytes(), 3U * 20U + 8U);
+  EXPECT_FALSE(l.contiguous());
+  const mpi::VectorLayout c{.count = 4, .block_bytes = 8,
+                            .stride_bytes = 8};
+  EXPECT_TRUE(c.contiguous());
+}
+
+TEST(VectorLayout, PackUnpackRoundTrip) {
+  const mpi::VectorLayout l{.count = 5, .block_bytes = 3,
+                            .stride_bytes = 7};
+  std::vector<std::byte> src(l.extent_bytes());
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(i);
+  }
+  std::vector<std::byte> packed(l.packed_bytes());
+  EXPECT_EQ(mpi::pack(l, ConstView{src.data(), src.size()},
+                      MutView{packed.data(), packed.size()}),
+            15U);
+  // Block b starts at 7b in src and 3b in packed.
+  for (std::size_t b = 0; b < 5; ++b) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(packed[b * 3 + j], src[b * 7 + j]);
+    }
+  }
+  std::vector<std::byte> restored(l.extent_bytes(), std::byte{0xEE});
+  (void)mpi::unpack(l, ConstView{packed.data(), packed.size()},
+                    MutView{restored.data(), restored.size()});
+  for (std::size_t b = 0; b < 5; ++b) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(restored[b * 7 + j], src[b * 7 + j]);
+    }
+  }
+  // Gaps keep the sentinel (unpack writes only the blocks).
+  EXPECT_EQ(restored[3], std::byte{0xEE});
+}
+
+TEST(VectorLayout, RejectsBadGeometry) {
+  const mpi::VectorLayout bad{.count = 2, .block_bytes = 8,
+                              .stride_bytes = 4};
+  std::vector<std::byte> a(64);
+  std::vector<std::byte> b(64);
+  EXPECT_THROW((void)mpi::pack(bad, ConstView{a.data(), a.size()},
+                               MutView{b.data(), b.size()}),
+               mpi::Error);
+  const mpi::VectorLayout l{.count = 4, .block_bytes = 8,
+                            .stride_bytes = 16};
+  std::vector<std::byte> tiny(8);
+  EXPECT_THROW((void)mpi::pack(l, ConstView{tiny.data(), tiny.size()},
+                               MutView{b.data(), b.size()}),
+               mpi::Error);
+}
+
+// ---- IndexedLayout ---------------------------------------------------------------
+
+TEST(IndexedLayout, PackUnpackRoundTrip) {
+  mpi::IndexedLayout l;
+  l.offsets = {10, 0, 30};
+  l.lengths = {4, 2, 6};
+  EXPECT_EQ(l.packed_bytes(), 12U);
+  EXPECT_EQ(l.extent_bytes(), 36U);
+
+  std::vector<std::byte> src(40);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::byte>(100 + i);
+  }
+  std::vector<std::byte> packed(12);
+  (void)mpi::pack(l, ConstView{src.data(), src.size()},
+                  MutView{packed.data(), packed.size()});
+  EXPECT_EQ(packed[0], src[10]);
+  EXPECT_EQ(packed[4], src[0]);
+  EXPECT_EQ(packed[6], src[30]);
+
+  std::vector<std::byte> restored(40, std::byte{0});
+  (void)mpi::unpack(l, ConstView{packed.data(), packed.size()},
+                    MutView{restored.data(), restored.size()});
+  EXPECT_EQ(restored[10], src[10]);
+  EXPECT_EQ(restored[0], src[0]);
+  EXPECT_EQ(restored[35], src[35]);
+  EXPECT_EQ(restored[20], std::byte{0});  // gap untouched
+}
+
+TEST(IndexedLayout, MismatchedTablesThrow) {
+  mpi::IndexedLayout l;
+  l.offsets = {0, 8};
+  l.lengths = {4};
+  std::vector<std::byte> a(16);
+  std::vector<std::byte> b(16);
+  EXPECT_THROW((void)mpi::pack(l, ConstView{a.data(), a.size()},
+                               MutView{b.data(), b.size()}),
+               mpi::Error);
+}
+
+// ---- Strided transfers over the wire -----------------------------------------------
+
+TEST(StridedTransfer, PayloadSurvives) {
+  mpi::World w(pair_world());
+  w.run([](mpi::Comm& c) {
+    const mpi::VectorLayout l{.count = 16, .block_bytes = 4,
+                              .stride_bytes = 12};
+    std::vector<std::byte> buf(l.extent_bytes(), std::byte{0});
+    if (c.rank() == 0) {
+      for (std::size_t b = 0; b < l.count; ++b) {
+        for (std::size_t j = 0; j < l.block_bytes; ++j) {
+          buf[b * l.stride_bytes + j] =
+              static_cast<std::byte>(b * 16 + j);
+        }
+      }
+      mpi::send_strided(c, l, ConstView{buf.data(), buf.size()}, 1, 5);
+    } else {
+      (void)mpi::recv_strided(c, l, MutView{buf.data(), buf.size()}, 0, 5);
+      for (std::size_t b = 0; b < l.count; ++b) {
+        for (std::size_t j = 0; j < l.block_bytes; ++j) {
+          ASSERT_EQ(buf[b * l.stride_bytes + j],
+                    static_cast<std::byte>(b * 16 + j));
+        }
+      }
+    }
+  });
+}
+
+TEST(StridedTransfer, CostsMoreThanContiguous) {
+  const auto pingpong_us = [](std::size_t block, std::size_t stride) {
+    mpi::World w(pair_world());
+    double lat = 0.0;
+    w.run([&](mpi::Comm& c) {
+      const mpi::VectorLayout l{.count = 4096, .block_bytes = block,
+                                .stride_bytes = stride};
+      std::vector<std::byte> buf(l.extent_bytes());
+      const int peer = 1 - c.rank();
+      const double t0 = c.now();
+      if (c.rank() == 0) {
+        mpi::send_strided(c, l, ConstView{buf.data(), buf.size()}, peer, 1);
+        (void)mpi::recv_strided(c, l, MutView{buf.data(), buf.size()},
+                                peer, 1);
+        lat = (c.now() - t0) / 2.0;
+      } else {
+        (void)mpi::recv_strided(c, l, MutView{buf.data(), buf.size()},
+                                peer, 1);
+        mpi::send_strided(c, l, ConstView{buf.data(), buf.size()}, peer, 1);
+      }
+    });
+    return lat;
+  };
+  const double contiguous = pingpong_us(16, 16);
+  const double strided = pingpong_us(16, 64);
+  EXPECT_GT(strided, contiguous);
+}
+
+TEST(StridedTransfer, PackCostGrowsForTinyBlocks) {
+  mpi::World w(pair_world());
+  w.run([](mpi::Comm& c) {
+    if (c.rank() != 0) return;
+    const double tiny = mpi::pack_cost_us(c, 1 << 16, 8, 64);
+    const double chunky = mpi::pack_cost_us(c, 1 << 16, 8192, 16384);
+    EXPECT_GT(tiny, chunky);
+  });
+}
+
+// ---- AsciiPlot --------------------------------------------------------------------
+
+TEST(AsciiPlot, RendersTitleAxesAndGlyphs) {
+  core::AsciiPlot plot("Latency comparison", "us");
+  core::PlotSeries a;
+  a.label = "OMB";
+  a.glyph = '*';
+  core::PlotSeries b;
+  b.label = "OMB-Py";
+  b.glyph = 'o';
+  for (int i = 0; i < 10; ++i) {
+    const double x = std::pow(2.0, i);
+    a.points.emplace_back(x, 1.0 + 0.01 * x);
+    b.points.emplace_back(x, 1.5 + 0.01 * x);
+  }
+  plot.add(a);
+  plot.add(b);
+  const std::string s = plot.to_string();
+  EXPECT_NE(s.find("# Latency comparison"), std::string::npos);
+  EXPECT_NE(s.find("'*' OMB"), std::string::npos);
+  EXPECT_NE(s.find("'o' OMB-Py"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find('o'), std::string::npos);
+  EXPECT_NE(s.find("message size"), std::string::npos);
+}
+
+TEST(AsciiPlot, HandlesEmptyAndDegenerateInput) {
+  core::AsciiPlot empty("nothing", "us");
+  EXPECT_NE(empty.to_string().find("(no data)"), std::string::npos);
+
+  core::AsciiPlot flat("flat", "us");
+  core::PlotSeries s;
+  s.label = "one point";
+  s.points.emplace_back(1.0, 5.0);
+  flat.add(s);
+  EXPECT_NO_THROW((void)flat.to_string());
+}
+
+TEST(AsciiPlot, HigherSeriesRendersAboveLowerSeries) {
+  core::AsciiPlot plot("order", "us", 40, 10);
+  core::PlotSeries low;
+  low.label = "low";
+  low.glyph = 'L';
+  core::PlotSeries high;
+  high.label = "high";
+  high.glyph = 'H';
+  for (int i = 1; i <= 8; ++i) {
+    low.points.emplace_back(i, 1.0);
+    high.points.emplace_back(i, 10.0);
+  }
+  plot.add(low);
+  plot.add(high);
+  const std::string s = plot.to_string();
+  EXPECT_LT(s.find('H'), s.find('L'));  // top of the grid prints first
+}

@@ -1,0 +1,263 @@
+// Tests for the ML substrate: datasets, k-NN, k-means (+ the balanced-k
+// scheduler), matmul, and the distributed scaling drivers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/dataset.hpp"
+#include "ml/distributed.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/knn.hpp"
+#include "ml/matmul.hpp"
+
+using namespace ombx;
+using namespace ombx::ml;
+
+// ---- Datasets -----------------------------------------------------------------
+
+TEST(Dataset, Dota2ShapeAndDeterminism) {
+  const Dataset a = make_dota2_like(500, 16, 1);
+  EXPECT_EQ(a.n, 500);
+  EXPECT_EQ(a.d, 16);
+  EXPECT_EQ(a.x.size(), 500U * 16U);
+  EXPECT_EQ(a.y.size(), 500U);
+  const Dataset b = make_dota2_like(500, 16, 1);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_NE(make_dota2_like(500, 16, 2).x, a.x);
+}
+
+TEST(Dataset, Dota2FeaturesAreSparseCategorical) {
+  const Dataset ds = make_dota2_like(2000, 32, 3);
+  int zeros = 0;
+  for (const float v : ds.x) {
+    EXPECT_TRUE(v == 0.0F || v == 1.0F || v == -1.0F);
+    if (v == 0.0F) ++zeros;
+  }
+  EXPECT_GT(zeros, static_cast<int>(ds.x.size() * 0.8));
+}
+
+TEST(Dataset, Dota2LabelsAreBalancedish) {
+  const Dataset ds = make_dota2_like(4000, 32, 4);
+  const int ones = static_cast<int>(
+      std::count(ds.y.begin(), ds.y.end(), 1));
+  EXPECT_GT(ones, 1200);
+  EXPECT_LT(ones, 2800);
+}
+
+TEST(Dataset, BlobsClusterAroundCentroids) {
+  const Dataset ds = make_blobs(1000, 2, 5, 0.3, 9);
+  EXPECT_EQ(ds.n, 1000);
+  for (const int label : ds.y) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+  }
+}
+
+TEST(Dataset, SplitPartitionsExactly) {
+  const Dataset ds = make_dota2_like(1000, 8, 5);
+  const TrainTestSplit s = split(ds, 0.2, 6);
+  EXPECT_EQ(s.test.n, 200);
+  EXPECT_EQ(s.train.n, 800);
+  EXPECT_EQ(s.train.d, 8);
+  EXPECT_THROW((void)split(ds, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)split(ds, 1.0, 1), std::invalid_argument);
+}
+
+// ---- k-NN ---------------------------------------------------------------------
+
+TEST(Knn, LearnsPlantedStructure) {
+  const Dataset ds = make_dota2_like(1500, 16, 11);
+  const TrainTestSplit s = split(ds, 0.2, 11);
+  KnnClassifier knn(5);
+  knn.fit(s.train);
+  const double acc = knn.score(s.test);
+  EXPECT_GT(acc, 0.62) << "planted signal must beat chance clearly";
+}
+
+TEST(Knn, PerfectOnSeenPoints) {
+  // With k=1 every training point is its own nearest neighbour.
+  const Dataset ds = make_blobs(200, 4, 3, 0.5, 12);
+  KnnClassifier knn(1);
+  knn.fit(ds);
+  EXPECT_DOUBLE_EQ(knn.score(ds), 1.0);
+}
+
+TEST(Knn, RejectsMisuse) {
+  EXPECT_THROW(KnnClassifier(0), std::invalid_argument);
+  KnnClassifier knn(5);
+  const Dataset tiny = make_blobs(3, 2, 1, 0.1, 1);
+  EXPECT_THROW(knn.fit(tiny), std::invalid_argument);
+  const Dataset ok = make_blobs(50, 2, 1, 0.1, 1);
+  knn.fit(ok);
+  std::vector<float> bad(7);
+  EXPECT_THROW((void)knn.predict(bad, 2), std::invalid_argument);
+}
+
+TEST(Knn, FlopModelScalesLinearly) {
+  const double base = KnnClassifier::predict_flops(10, 100, 8);
+  EXPECT_DOUBLE_EQ(KnnClassifier::predict_flops(20, 100, 8), 2 * base);
+  EXPECT_DOUBLE_EQ(KnnClassifier::predict_flops(10, 200, 8), 2 * base);
+}
+
+// ---- k-means -------------------------------------------------------------------
+
+TEST(Kmeans, InertiaDecreasesWithK) {
+  const Dataset ds = make_blobs(600, 2, 6, 0.4, 21);
+  const std::vector<double> inertia = inertia_sweep(ds, 8, 30, 21);
+  ASSERT_EQ(inertia.size(), 8U);
+  // The elbow property: inertia at k=6 (true centers) far below k=1.
+  EXPECT_LT(inertia[5], 0.25 * inertia[0]);
+  for (const double v : inertia) EXPECT_GE(v, 0.0);
+}
+
+TEST(Kmeans, DeterministicGivenSeed) {
+  const Dataset ds = make_blobs(300, 2, 4, 0.4, 22);
+  const KmeansResult a = kmeans_fit(ds, 4, 25, 7);
+  const KmeansResult b = kmeans_fit(ds, 4, 25, 7);
+  EXPECT_EQ(a.inertia, b.inertia);
+  EXPECT_EQ(a.centroids, b.centroids);
+}
+
+TEST(Kmeans, RejectsMisuse) {
+  const Dataset ds = make_blobs(10, 2, 2, 0.4, 23);
+  EXPECT_THROW((void)kmeans_fit(ds, 0, 10, 1), std::invalid_argument);
+  EXPECT_THROW((void)kmeans_fit(ds, 11, 10, 1), std::invalid_argument);
+  EXPECT_THROW((void)kmeans_fit(ds, 2, 0, 1), std::invalid_argument);
+}
+
+TEST(Kmeans, BalanceCoversEveryKExactlyOnce) {
+  const auto groups = balance_k_values(200, 7);
+  ASSERT_EQ(groups.size(), 7U);
+  std::vector<int> seen;
+  for (const auto& g : groups) {
+    seen.insert(seen.end(), g.begin(), g.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  std::vector<int> expect(200);
+  std::iota(expect.begin(), expect.end(), 1);
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(Kmeans, BalanceIsActuallyBalanced) {
+  const auto groups = balance_k_values(200, 8);
+  std::vector<double> loads;
+  for (const auto& g : groups) {
+    loads.push_back(std::accumulate(g.begin(), g.end(), 0.0));
+  }
+  const double mx = *std::max_element(loads.begin(), loads.end());
+  const double mn = *std::min_element(loads.begin(), loads.end());
+  // LPT keeps the spread within the largest single item.
+  EXPECT_LE(mx - mn, 200.0);
+  EXPECT_LE(mx, 1.1 * (20100.0 / 8.0));
+}
+
+TEST(Kmeans, BalanceMoreWorkersThanK) {
+  const auto groups = balance_k_values(4, 10);
+  int nonempty = 0;
+  for (const auto& g : groups) {
+    if (!g.empty()) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 4);
+}
+
+// ---- Matmul -------------------------------------------------------------------
+
+TEST(Matmul, MatchesNaiveReference) {
+  constexpr int kM = 17;
+  constexpr int kK = 23;
+  constexpr int kN = 9;
+  std::vector<double> a(kM * kK);
+  std::vector<double> b(kK * kN);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = 0.01 * (i % 37) - 0.1;
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = 0.02 * (i % 29) - 0.2;
+  std::vector<double> c(kM * kN);
+  matmul(a, b, c, kM, kK, kN);
+  for (int i = 0; i < kM; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      double ref = 0.0;
+      for (int k = 0; k < kK; ++k) {
+        ref += a[static_cast<std::size_t>(i * kK + k)] *
+               b[static_cast<std::size_t>(k * kN + j)];
+      }
+      ASSERT_NEAR(c[static_cast<std::size_t>(i * kN + j)], ref, 1e-12);
+    }
+  }
+}
+
+TEST(Matmul, IdentityIsNeutral) {
+  constexpr int kN = 32;
+  std::vector<double> a(kN * kN);
+  std::vector<double> eye(kN * kN, 0.0);
+  for (int i = 0; i < kN; ++i) {
+    eye[static_cast<std::size_t>(i * kN + i)] = 1.0;
+    for (int j = 0; j < kN; ++j) {
+      a[static_cast<std::size_t>(i * kN + j)] = i * 100.0 + j;
+    }
+  }
+  std::vector<double> c(kN * kN);
+  matmul(a, eye, c, kN, kN, kN);
+  for (std::size_t i = 0; i < c.size(); ++i) ASSERT_EQ(c[i], a[i]);
+}
+
+TEST(Matmul, ShapeMismatchThrows) {
+  std::vector<double> a(6);
+  std::vector<double> b(6);
+  std::vector<double> c(5);
+  EXPECT_THROW(matmul(a, b, c, 2, 3, 2), std::invalid_argument);
+}
+
+// ---- Distributed scaling drivers -------------------------------------------------
+
+namespace {
+MlTimingModel model() { return MlTimingModel{}; }
+}  // namespace
+
+TEST(Scaling, SequentialBaselinesMatchPaper) {
+  // Paper (RI2): 112.9 s, 1059.45 s, 79.63 s.
+  EXPECT_NEAR(knn_sequential_s(KnnBenchConfig{}, model()), 112.9, 6.0);
+  EXPECT_NEAR(kmeans_sequential_s(KmeansBenchConfig{}, model()), 1059.45,
+              60.0);
+  EXPECT_NEAR(matmul_sequential_s(MatmulBenchConfig{}, model()), 79.63, 4.0);
+}
+
+TEST(Scaling, KnnSpeedupGrowsAndIsSubLinear) {
+  const std::vector<int> procs{1, 4, 16};
+  const ScalingCurve c =
+      knn_scaling(net::ClusterSpec::ri2(), net::MpiTuning::mvapich2(),
+                  KnnBenchConfig{}, model(), procs);
+  ASSERT_EQ(c.points.size(), 3U);
+  EXPECT_GT(c.points[1].speedup, c.points[0].speedup);
+  EXPECT_GT(c.points[2].speedup, c.points[1].speedup);
+  for (const auto& p : c.points) {
+    EXPECT_LE(p.speedup, p.procs * 1.05);
+  }
+}
+
+TEST(Scaling, KmeansBoundedByLargestK) {
+  const std::vector<int> procs{224};
+  KmeansBenchConfig cfg;
+  const ScalingCurve c =
+      kmeans_scaling(net::ClusterSpec::ri2(), net::MpiTuning::mvapich2(),
+                     cfg, model(), procs);
+  // The k_max fit alone bounds the speedup near sum(k)/k_max ~ 100.5.
+  EXPECT_LT(c.points[0].speedup, 110.0);
+  EXPECT_GT(c.points[0].speedup, 60.0);
+}
+
+TEST(Scaling, MatmulNearLinearAtModerateScale) {
+  const std::vector<int> procs{1, 8};
+  const ScalingCurve c =
+      matmul_scaling(net::ClusterSpec::ri2(), net::MpiTuning::mvapich2(),
+                     MatmulBenchConfig{}, model(), procs);
+  EXPECT_GT(c.points[1].speedup, 6.0);
+  EXPECT_LE(c.points[1].speedup, 8.4);
+}
+
+TEST(Scaling, PaperProcCountsShape) {
+  const auto p = paper_proc_counts();
+  EXPECT_EQ(p.front(), 1);
+  EXPECT_EQ(p.back(), 224);
+  EXPECT_TRUE(std::is_sorted(p.begin(), p.end()));
+}

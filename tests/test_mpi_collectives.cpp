@@ -1,0 +1,525 @@
+// Correctness tests for every collective, across algorithms, communicator
+// sizes (power-of-two and not) and message sizes — including vector
+// variants and synthetic-payload timing equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi/collectives.hpp"
+#include "mpi/error.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+using mpi::Comm;
+using mpi::ConstView;
+using mpi::MutView;
+
+namespace {
+
+mpi::WorldConfig world_cfg(int nranks) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = nranks;
+  wc.ppn = std::min(nranks, wc.cluster.topo.cores_per_node());
+  return wc;
+}
+
+template <typename T>
+ConstView cv(const std::vector<T>& v) {
+  return ConstView{reinterpret_cast<const std::byte*>(v.data()),
+                   v.size() * sizeof(T)};
+}
+template <typename T>
+MutView mv(std::vector<T>& v) {
+  return MutView{reinterpret_cast<std::byte*>(v.data()),
+                 v.size() * sizeof(T)};
+}
+
+}  // namespace
+
+// ---- Barrier -----------------------------------------------------------------
+
+class BarrierTest : public ::testing::TestWithParam<
+                        std::tuple<int, net::BarrierAlgo>> {};
+
+TEST_P(BarrierTest, SynchronizesClocks) {
+  const auto [n, algo] = GetParam();
+  mpi::World w(world_cfg(n));
+  w.run([&, algo = algo](Comm& c) {
+    // Stagger the ranks, then barrier: everyone must leave at a time >= the
+    // slowest rank's entry time.
+    c.clock().advance(10.0 * c.rank());
+    mpi::barrier(c, algo);
+    EXPECT_GE(c.now(), 10.0 * (c.size() - 1));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BarrierTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 7, 8, 16),
+                       ::testing::Values(net::BarrierAlgo::kDissemination,
+                                         net::BarrierAlgo::kBinomial)));
+
+// ---- Bcast -------------------------------------------------------------------
+
+class BcastTest
+    : public ::testing::TestWithParam<
+          std::tuple<int, std::size_t, int, net::BcastAlgo>> {};
+
+TEST_P(BcastTest, DeliversRootPayload) {
+  const auto [n, bytes, root, algo] = GetParam();
+  if (root >= n) GTEST_SKIP();
+  mpi::World w(world_cfg(n));
+  w.run([&, bytes = bytes, root = root, algo = algo](Comm& c) {
+    std::vector<std::uint8_t> buf(bytes, 0);
+    if (c.rank() == root) {
+      for (std::size_t i = 0; i < bytes; ++i) {
+        buf[i] = static_cast<std::uint8_t>((i * 13 + 5) & 0xff);
+      }
+    }
+    mpi::bcast(c, mv(buf), root, algo);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      ASSERT_EQ(buf[i], static_cast<std::uint8_t>((i * 13 + 5) & 0xff))
+          << "rank " << c.rank() << " byte " << i;
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSweep, BcastTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 16),
+                       ::testing::Values(std::size_t{1}, std::size_t{1000},
+                                         std::size_t{65536}),
+                       ::testing::Values(0, 2),
+                       ::testing::Values(net::BcastAlgo::kBinomial,
+                                         net::BcastAlgo::kScatterAllgather,
+                                         net::BcastAlgo::kLinear)));
+
+// ---- Reduce / Allreduce --------------------------------------------------------
+
+class ReduceTest : public ::testing::TestWithParam<
+                       std::tuple<int, int, net::ReduceAlgo>> {};
+
+TEST_P(ReduceTest, SumsAtRoot) {
+  const auto [n, root, algo] = GetParam();
+  if (root >= n) GTEST_SKIP();
+  mpi::World w(world_cfg(n));
+  w.run([&, n = n, root = root, algo = algo](Comm& c) {
+    std::vector<std::int64_t> send(64);
+    std::iota(send.begin(), send.end(), c.rank());
+    std::vector<std::int64_t> recv(64, -1);
+    mpi::reduce(c, cv(send), mv(recv), mpi::Datatype::kInt64, mpi::Op::kSum,
+                root, algo);
+    if (c.rank() == root) {
+      for (std::size_t i = 0; i < recv.size(); ++i) {
+        // sum over r of (r + i) = n*i + n*(n-1)/2
+        const std::int64_t expect =
+            static_cast<std::int64_t>(n) * static_cast<std::int64_t>(i) +
+            static_cast<std::int64_t>(n) * (n - 1) / 2;
+        ASSERT_EQ(recv[i], expect) << "element " << i;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSweep, ReduceTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 7, 8, 16),
+                       ::testing::Values(0, 3),
+                       ::testing::Values(net::ReduceAlgo::kBinomial,
+                                         net::ReduceAlgo::kLinear)));
+
+class AllreduceTest : public ::testing::TestWithParam<
+                          std::tuple<int, net::AllreduceAlgo>> {};
+
+TEST_P(AllreduceTest, EveryRankGetsTheSum) {
+  const auto [n, algo] = GetParam();
+  mpi::World w(world_cfg(n));
+  w.run([&, n = n, algo = algo](Comm& c) {
+    std::vector<std::int32_t> send(37);  // odd count exercises remainders
+    std::iota(send.begin(), send.end(), 3 * c.rank());
+    std::vector<std::int32_t> recv(37, -1);
+    mpi::allreduce(c, cv(send), mv(recv), mpi::Datatype::kInt32,
+                   mpi::Op::kSum, algo);
+    for (std::size_t i = 0; i < recv.size(); ++i) {
+      const std::int32_t expect =
+          static_cast<std::int32_t>(n * i) + 3 * n * (n - 1) / 2;
+      ASSERT_EQ(recv[i], expect);
+    }
+  });
+}
+
+TEST_P(AllreduceTest, MinAndMax) {
+  const auto [n, algo] = GetParam();
+  mpi::World w(world_cfg(n));
+  w.run([&, n = n, algo = algo](Comm& c) {
+    std::vector<double> send{static_cast<double>(c.rank()),
+                             static_cast<double>(-c.rank())};
+    std::vector<double> mn(2);
+    std::vector<double> mx(2);
+    mpi::allreduce(c, cv(send), mv(mn), mpi::Datatype::kDouble,
+                   mpi::Op::kMin, algo);
+    mpi::allreduce(c, cv(send), mv(mx), mpi::Datatype::kDouble,
+                   mpi::Op::kMax, algo);
+    EXPECT_DOUBLE_EQ(mn[0], 0.0);
+    EXPECT_DOUBLE_EQ(mn[1], static_cast<double>(-(n - 1)));
+    EXPECT_DOUBLE_EQ(mx[0], static_cast<double>(n - 1));
+    EXPECT_DOUBLE_EQ(mx[1], 0.0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSweep, AllreduceTest,
+    ::testing::Combine(
+        ::testing::Values(2, 3, 5, 8, 12, 16),
+        ::testing::Values(net::AllreduceAlgo::kRecursiveDoubling,
+                          net::AllreduceAlgo::kRing,
+                          net::AllreduceAlgo::kReduceBcast)));
+
+// ---- Gather / Scatter -----------------------------------------------------------
+
+class GatherTest : public ::testing::TestWithParam<
+                       std::tuple<int, int, net::GatherAlgo>> {};
+
+TEST_P(GatherTest, CollectsInRankOrder) {
+  const auto [n, root, algo] = GetParam();
+  if (root >= n) GTEST_SKIP();
+  mpi::World w(world_cfg(n));
+  w.run([&, n = n, root = root, algo = algo](Comm& c) {
+    std::vector<std::int32_t> send(5, c.rank() * 100);
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(5 * n), -1);
+    mpi::gather(c, cv(send), c.rank() == root ? mv(recv) : MutView{}, root,
+                algo);
+    if (c.rank() == root) {
+      for (int r = 0; r < n; ++r) {
+        for (int i = 0; i < 5; ++i) {
+          ASSERT_EQ(recv[static_cast<std::size_t>(r * 5 + i)], r * 100)
+              << "block " << r;
+        }
+      }
+    }
+  });
+}
+
+TEST_P(GatherTest, ScatterDistributesInRankOrder) {
+  const auto [n, root, algo] = GetParam();
+  if (root >= n) GTEST_SKIP();
+  mpi::World w(world_cfg(n));
+  w.run([&, n = n, root = root, algo = algo](Comm& c) {
+    std::vector<std::int32_t> send;
+    if (c.rank() == root) {
+      send.resize(static_cast<std::size_t>(3 * n));
+      for (int r = 0; r < n; ++r) {
+        for (int i = 0; i < 3; ++i) {
+          send[static_cast<std::size_t>(3 * r + i)] = r * 10 + i;
+        }
+      }
+    }
+    std::vector<std::int32_t> recv(3, -1);
+    mpi::scatter(c, c.rank() == root ? cv(send) : ConstView{}, mv(recv),
+                 root, algo);
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(i)], c.rank() * 10 + i);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSweep, GatherTest,
+    ::testing::Combine(::testing::Values(2, 3, 6, 8, 16),
+                       ::testing::Values(0, 2),
+                       ::testing::Values(net::GatherAlgo::kBinomial,
+                                         net::GatherAlgo::kLinear)));
+
+// ---- Allgather -------------------------------------------------------------------
+
+class AllgatherTest : public ::testing::TestWithParam<
+                          std::tuple<int, net::AllgatherAlgo>> {};
+
+TEST_P(AllgatherTest, EveryRankSeesEveryBlock) {
+  const auto [n, algo] = GetParam();
+  if (algo == net::AllgatherAlgo::kRecursiveDoubling &&
+      (n & (n - 1)) != 0) {
+    GTEST_SKIP() << "recursive doubling requires power-of-two";
+  }
+  mpi::World w(world_cfg(n));
+  w.run([&, n = n, algo = algo](Comm& c) {
+    std::vector<std::int32_t> send(7, c.rank() + 1);
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(7 * n), -1);
+    mpi::allgather(c, cv(send), mv(recv), algo);
+    for (int r = 0; r < n; ++r) {
+      for (int i = 0; i < 7; ++i) {
+        ASSERT_EQ(recv[static_cast<std::size_t>(7 * r + i)], r + 1)
+            << "rank " << c.rank() << " block " << r;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSweep, AllgatherTest,
+    ::testing::Combine(
+        ::testing::Values(2, 3, 5, 8, 12, 16),
+        ::testing::Values(net::AllgatherAlgo::kRing,
+                          net::AllgatherAlgo::kBruck,
+                          net::AllgatherAlgo::kRecursiveDoubling)));
+
+// ---- Alltoall --------------------------------------------------------------------
+
+class AlltoallTest : public ::testing::TestWithParam<
+                         std::tuple<int, net::AlltoallAlgo>> {};
+
+TEST_P(AlltoallTest, TransposesBlocks) {
+  const auto [n, algo] = GetParam();
+  mpi::World w(world_cfg(n));
+  w.run([&, n = n, algo = algo](Comm& c) {
+    // Block for destination d carries value rank*1000 + d.
+    std::vector<std::int32_t> send(static_cast<std::size_t>(n) * 2);
+    for (int d = 0; d < n; ++d) {
+      send[static_cast<std::size_t>(2 * d)] = c.rank() * 1000 + d;
+      send[static_cast<std::size_t>(2 * d + 1)] = -1;
+    }
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(n) * 2, -7);
+    mpi::alltoall(c, cv(send), mv(recv), algo);
+    for (int s = 0; s < n; ++s) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(2 * s)],
+                s * 1000 + c.rank());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSweep, AlltoallTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 7, 8, 16),
+                       ::testing::Values(net::AlltoallAlgo::kPairwise,
+                                         net::AlltoallAlgo::kLinear)));
+
+// ---- Reduce_scatter -----------------------------------------------------------------
+
+class ReduceScatterTest : public ::testing::TestWithParam<
+                              std::tuple<int, net::ReduceScatterAlgo>> {};
+
+TEST_P(ReduceScatterTest, EachRankGetsItsReducedBlock) {
+  const auto [n, algo] = GetParam();
+  if (algo == net::ReduceScatterAlgo::kRecursiveHalving &&
+      (n & (n - 1)) != 0) {
+    GTEST_SKIP() << "recursive halving requires power-of-two";
+  }
+  mpi::World w(world_cfg(n));
+  w.run([&, n = n, algo = algo](Comm& c) {
+    // send block b element i = rank + b*10 + i.
+    std::vector<std::int64_t> send(static_cast<std::size_t>(n) * 3);
+    for (int b = 0; b < n; ++b) {
+      for (int i = 0; i < 3; ++i) {
+        send[static_cast<std::size_t>(3 * b + i)] = c.rank() + b * 10 + i;
+      }
+    }
+    std::vector<std::int64_t> recv(3, -1);
+    mpi::reduce_scatter(c, cv(send), mv(recv), mpi::Datatype::kInt64,
+                        mpi::Op::kSum, algo);
+    for (int i = 0; i < 3; ++i) {
+      // sum over ranks r of (r + rank*10 + i)
+      const std::int64_t expect =
+          static_cast<std::int64_t>(n) * (c.rank() * 10 + i) +
+          static_cast<std::int64_t>(n) * (n - 1) / 2;
+      ASSERT_EQ(recv[static_cast<std::size_t>(i)], expect);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgoSweep, ReduceScatterTest,
+    ::testing::Combine(
+        ::testing::Values(2, 3, 4, 6, 8, 16),
+        ::testing::Values(net::ReduceScatterAlgo::kPairwise,
+                          net::ReduceScatterAlgo::kRecursiveHalving)));
+
+// ---- Vector variants ------------------------------------------------------------------
+
+TEST(VectorCollectives, GathervWithRaggedCounts) {
+  constexpr int kN = 5;
+  mpi::World w(world_cfg(kN));
+  w.run([](Comm& c) {
+    const int n = c.size();
+    // Rank r contributes r+1 ints.
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(n));
+    std::size_t off = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(r + 1) * sizeof(std::int32_t);
+      displs[static_cast<std::size_t>(r)] = off;
+      off += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> send(static_cast<std::size_t>(c.rank() + 1),
+                                   c.rank());
+    std::vector<std::int32_t> recv(off / sizeof(std::int32_t), -1);
+    mpi::gatherv(c, cv(send), c.rank() == 0 ? mv(recv) : MutView{}, counts,
+                 displs, 0);
+    if (c.rank() == 0) {
+      std::size_t idx = 0;
+      for (int r = 0; r < n; ++r) {
+        for (int i = 0; i <= r; ++i) {
+          ASSERT_EQ(recv[idx++], r);
+        }
+      }
+    }
+  });
+}
+
+TEST(VectorCollectives, ScattervWithRaggedCounts) {
+  constexpr int kN = 5;
+  mpi::World w(world_cfg(kN));
+  w.run([](Comm& c) {
+    const int n = c.size();
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n));
+    std::vector<std::size_t> displs(static_cast<std::size_t>(n));
+    std::size_t off = 0;
+    for (int r = 0; r < n; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(r + 1) * sizeof(std::int32_t);
+      displs[static_cast<std::size_t>(r)] = off;
+      off += counts[static_cast<std::size_t>(r)];
+    }
+    std::vector<std::int32_t> send;
+    if (c.rank() == 0) {
+      send.resize(off / sizeof(std::int32_t));
+      std::size_t idx = 0;
+      for (int r = 0; r < n; ++r) {
+        for (int i = 0; i <= r; ++i) send[idx++] = r * 7;
+      }
+    }
+    std::vector<std::int32_t> recv(static_cast<std::size_t>(c.rank() + 1),
+                                   -1);
+    mpi::scatterv(c, c.rank() == 0 ? cv(send) : ConstView{}, counts, displs,
+                  mv(recv), 0);
+    for (const std::int32_t v : recv) ASSERT_EQ(v, c.rank() * 7);
+  });
+}
+
+TEST(VectorCollectives, AllgathervMatchesAllgatherOnUniformCounts) {
+  constexpr int kN = 6;
+  mpi::World w(world_cfg(kN));
+  w.run([](Comm& c) {
+    const int n = c.size();
+    constexpr std::size_t kBytes = 24;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(n), kBytes);
+    std::vector<std::size_t> displs(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      displs[static_cast<std::size_t>(r)] =
+          static_cast<std::size_t>(r) * kBytes;
+    }
+    std::vector<std::byte> send(kBytes,
+                                static_cast<std::byte>(c.rank() + 1));
+    std::vector<std::byte> recv_v(kBytes * static_cast<std::size_t>(n));
+    std::vector<std::byte> recv_a(kBytes * static_cast<std::size_t>(n));
+    mpi::allgatherv(c, cv(send), mv(recv_v), counts, displs);
+    mpi::allgather(c, cv(send), mv(recv_a));
+    EXPECT_EQ(recv_v, recv_a);
+  });
+}
+
+TEST(VectorCollectives, AlltoallvTransposesRaggedBlocks) {
+  constexpr int kN = 4;
+  mpi::World w(world_cfg(kN));
+  w.run([](Comm& c) {
+    const int n = c.size();
+    // Rank r sends (d+1) ints of value r*100+d to destination d, so rank d
+    // receives (d+1) ints from each source.
+    std::vector<std::size_t> scounts(static_cast<std::size_t>(n));
+    std::vector<std::size_t> sdispls(static_cast<std::size_t>(n));
+    std::size_t soff = 0;
+    for (int d = 0; d < n; ++d) {
+      scounts[static_cast<std::size_t>(d)] =
+          static_cast<std::size_t>(d + 1) * sizeof(std::int32_t);
+      sdispls[static_cast<std::size_t>(d)] = soff;
+      soff += scounts[static_cast<std::size_t>(d)];
+    }
+    std::vector<std::int32_t> send(soff / sizeof(std::int32_t));
+    for (int d = 0; d < n; ++d) {
+      for (int i = 0; i <= d; ++i) {
+        send[sdispls[static_cast<std::size_t>(d)] / sizeof(std::int32_t) +
+             static_cast<std::size_t>(i)] = c.rank() * 100 + d;
+      }
+    }
+    const std::size_t mine =
+        static_cast<std::size_t>(c.rank() + 1) * sizeof(std::int32_t);
+    std::vector<std::size_t> rcounts(static_cast<std::size_t>(n), mine);
+    std::vector<std::size_t> rdispls(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      rdispls[static_cast<std::size_t>(s)] =
+          static_cast<std::size_t>(s) * mine;
+    }
+    std::vector<std::int32_t> recv(
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(c.rank() + 1),
+        -1);
+    mpi::alltoallv(c, cv(send), scounts, sdispls, mv(recv), rcounts,
+                   rdispls);
+    for (int s = 0; s < n; ++s) {
+      for (int i = 0; i <= c.rank(); ++i) {
+        ASSERT_EQ(recv[static_cast<std::size_t>(s) *
+                           static_cast<std::size_t>(c.rank() + 1) +
+                       static_cast<std::size_t>(i)],
+                  s * 100 + c.rank());
+      }
+    }
+  });
+}
+
+// ---- Ops on all datatypes ---------------------------------------------------------
+
+TEST(Ops, ApplyEveryOpOnEveryValidType) {
+  using mpi::Datatype;
+  using mpi::Op;
+  for (const Op op : {Op::kSum, Op::kProd, Op::kMin, Op::kMax, Op::kLand,
+                      Op::kLor, Op::kBand, Op::kBor}) {
+    for (const Datatype dt :
+         {Datatype::kByte, Datatype::kChar, Datatype::kInt32,
+          Datatype::kInt64, Datatype::kUint64, Datatype::kFloat,
+          Datatype::kDouble}) {
+      std::vector<std::byte> a(64, std::byte{3});
+      std::vector<std::byte> b(64, std::byte{2});
+      if (!mpi::valid_for(op, dt)) {
+        EXPECT_THROW(mpi::apply(op, dt, a.data(), b.data(), 1), mpi::Error);
+      } else {
+        const std::size_t count = 64 / mpi::size_of(dt);
+        EXPECT_EQ(mpi::apply(op, dt, a.data(), b.data(), count), count);
+      }
+    }
+  }
+}
+
+TEST(Ops, NullBuffersChargeButDoNotTouch) {
+  EXPECT_EQ(mpi::apply(mpi::Op::kSum, mpi::Datatype::kDouble, nullptr,
+                       nullptr, 1000),
+            1000U);
+}
+
+// ---- Synthetic timing equivalence ----------------------------------------------------
+
+TEST(SyntheticCollectives, TimingMatchesRealPayloads) {
+  auto real_cfg = world_cfg(6);
+  auto syn_cfg = world_cfg(6);
+  syn_cfg.payload = mpi::PayloadMode::kSynthetic;
+
+  const auto program = [](Comm& c) {
+    std::vector<double> send(128, 1.0);
+    std::vector<double> recv(128);
+    std::vector<double> all(128 * 6UL);
+    mpi::allreduce(c, cv(send), mv(recv), mpi::Datatype::kDouble,
+                   mpi::Op::kSum);
+    mpi::allgather(c, cv(send), mv(all));
+    mpi::barrier(c);
+  };
+  mpi::World wr(real_cfg);
+  wr.run(program);
+  mpi::World ws(syn_cfg);
+  ws.run(program);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_DOUBLE_EQ(wr.finish_time(r), ws.finish_time(r)) << "rank " << r;
+  }
+}

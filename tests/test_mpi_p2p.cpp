@@ -1,0 +1,406 @@
+// Point-to-point tests for the MPI substrate: matching, ordering, eager vs
+// rendezvous timing, requests, probes, communicator management.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "mpi/collectives.hpp"
+#include "mpi/error.hpp"
+#include "mpi/request.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+using mpi::Comm;
+using mpi::ConstView;
+using mpi::MutView;
+
+namespace {
+
+mpi::WorldConfig small_world(int nranks, int ppn = 2) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = nranks;
+  wc.ppn = ppn;
+  return wc;
+}
+
+ConstView cv(const std::vector<std::byte>& v) {
+  return ConstView{v.data(), v.size()};
+}
+MutView mv(std::vector<std::byte>& v) { return MutView{v.data(), v.size()}; }
+
+std::vector<std::byte> pattern(std::size_t n, int seed) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((seed + static_cast<int>(i)) & 0xff);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(P2P, PayloadRoundTrip) {
+  mpi::World w(small_world(2));
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const auto data = pattern(1024, 7);
+      c.send(cv(data), 1, 42);
+    } else {
+      std::vector<std::byte> buf(1024);
+      const mpi::Status st = c.recv(mv(buf), 0, 42);
+      EXPECT_EQ(st.bytes, 1024U);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.tag, 42);
+      EXPECT_EQ(buf, pattern(1024, 7));
+    }
+  });
+}
+
+TEST(P2P, FifoOrderingPerTag) {
+  mpi::World w(small_world(2));
+  w.run([](Comm& c) {
+    constexpr int kMsgs = 50;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kMsgs; ++i) {
+        std::vector<std::byte> one{static_cast<std::byte>(i)};
+        c.send(cv(one), 1, 5);
+      }
+    } else {
+      for (int i = 0; i < kMsgs; ++i) {
+        std::vector<std::byte> one(1);
+        (void)c.recv(mv(one), 0, 5);
+        EXPECT_EQ(static_cast<int>(one[0]), i);
+      }
+    }
+  });
+}
+
+TEST(P2P, TagSelectivity) {
+  mpi::World w(small_world(2));
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::byte> a{std::byte{1}};
+      std::vector<std::byte> b{std::byte{2}};
+      c.send(cv(a), 1, 100);
+      c.send(cv(b), 1, 200);
+    } else {
+      std::vector<std::byte> buf(1);
+      // Receive the later tag first: matching must skip tag 100.
+      (void)c.recv(mv(buf), 0, 200);
+      EXPECT_EQ(static_cast<int>(buf[0]), 2);
+      (void)c.recv(mv(buf), 0, 100);
+      EXPECT_EQ(static_cast<int>(buf[0]), 1);
+    }
+  });
+}
+
+TEST(P2P, AnySourceAndAnyTag) {
+  mpi::World w(small_world(3, 3));
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::byte> buf(8);
+      const mpi::Status st = c.recv(mv(buf), mpi::kAnySource, mpi::kAnyTag);
+      EXPECT_TRUE(st.source == 1 || st.source == 2);
+      const mpi::Status st2 = c.recv(mv(buf), mpi::kAnySource, mpi::kAnyTag);
+      EXPECT_NE(st.source, st2.source);
+    } else {
+      const auto data = pattern(8, c.rank());
+      c.send(cv(data), 0, 10 + c.rank());
+    }
+  });
+}
+
+TEST(P2P, TruncationThrows) {
+  mpi::World w(small_world(2));
+  EXPECT_THROW(
+      w.run([](Comm& c) {
+        if (c.rank() == 0) {
+          const auto data = pattern(64, 1);
+          c.send(cv(data), 1, 1);
+        } else {
+          std::vector<std::byte> tiny(8);
+          (void)c.recv(mv(tiny), 0, 1);
+        }
+      }),
+      mpi::Error);
+}
+
+TEST(P2P, PingPongLatencyMatchesLinkModel) {
+  const auto cfg = small_world(2);
+  mpi::World w(cfg);
+  const net::NetworkModel nm(cfg.cluster, cfg.tuning, cfg.ppn);
+  const std::size_t n = 256;
+  const double expected = nm.transfer_us(0, 1, n, net::MemSpace::kHost);
+  w.run([&](Comm& c) {
+    std::vector<std::byte> buf(n);
+    const double t0 = c.now();
+    if (c.rank() == 0) {
+      c.send(cv(buf), 1, 1);
+      (void)c.recv(mv(buf), 1, 1);
+      const double rtt = c.now() - t0;
+      EXPECT_NEAR(rtt / 2.0, expected, 1e-9);
+    } else {
+      (void)c.recv(mv(buf), 0, 1);
+      c.send(cv(buf), 0, 1);
+    }
+  });
+}
+
+TEST(P2P, RendezvousSynchronizesSender) {
+  // A rendezvous-sized send must block the sender until the receiver
+  // arrives: sender finish time ~ receiver post time + transfer.
+  auto cfg = small_world(2, /*ppn=*/1);  // inter-node
+  mpi::World w(cfg);
+  const std::size_t big = 1 << 20;  // >> eager threshold
+  w.run([&](Comm& c) {
+    std::vector<std::byte> buf(big);
+    if (c.rank() == 0) {
+      c.send(cv(buf), 1, 9);
+      EXPECT_GT(c.now(), 500.0);  // sender waited for the late receiver
+    } else {
+      c.clock().advance(500.0);  // receiver arrives late
+      (void)c.recv(mv(buf), 0, 9);
+    }
+  });
+}
+
+TEST(P2P, EagerSenderDoesNotBlockOnLateReceiver) {
+  auto cfg = small_world(2, /*ppn=*/1);
+  mpi::World w(cfg);
+  w.run([](Comm& c) {
+    std::vector<std::byte> buf(64);  // well under the eager threshold
+    if (c.rank() == 0) {
+      c.send(cv(buf), 1, 9);
+      EXPECT_LT(c.now(), 100.0);  // sender returned immediately
+    } else {
+      c.clock().advance(500.0);
+      (void)c.recv(mv(buf), 0, 9);
+      EXPECT_GE(c.now(), 500.0);
+    }
+  });
+}
+
+TEST(P2P, SendrecvDoesNotDeadlock) {
+  mpi::World w(small_world(2, 1));
+  const std::size_t big = 1 << 20;  // rendezvous in both directions
+  w.run([&](Comm& c) {
+    std::vector<std::byte> sb(big);
+    std::vector<std::byte> rb(big);
+    const int peer = 1 - c.rank();
+    (void)c.sendrecv(cv(sb), peer, 3, mv(rb), peer, 3);
+    EXPECT_GT(c.now(), 0.0);
+  });
+}
+
+TEST(P2P, SelfSendIsAlwaysEager) {
+  mpi::World w(small_world(2));
+  w.run([](Comm& c) {
+    if (c.rank() != 0) return;
+    std::vector<std::byte> buf(1 << 20);  // rendezvous-sized
+    c.send(cv(buf), 0, 11);  // must not deadlock
+    std::vector<std::byte> out(1 << 20);
+    (void)c.recv(mv(out), 0, 11);
+  });
+}
+
+TEST(P2P, IsendIrecvWindow) {
+  mpi::World w(small_world(2));
+  w.run([](Comm& c) {
+    constexpr int kWindow = 16;
+    std::vector<std::vector<std::byte>> bufs(kWindow);
+    std::vector<mpi::Request> reqs;
+    if (c.rank() == 0) {
+      for (int i = 0; i < kWindow; ++i) {
+        bufs[static_cast<std::size_t>(i)] = pattern(128, i);
+        reqs.push_back(
+            c.isend(cv(bufs[static_cast<std::size_t>(i)]), 1, 20 + i));
+      }
+    } else {
+      for (int i = 0; i < kWindow; ++i) {
+        bufs[static_cast<std::size_t>(i)].resize(128);
+        reqs.push_back(
+            c.irecv(mv(bufs[static_cast<std::size_t>(i)]), 0, 20 + i));
+      }
+    }
+    const auto stats = mpi::Request::wait_all(reqs);
+    EXPECT_EQ(stats.size(), static_cast<std::size_t>(kWindow));
+    if (c.rank() == 1) {
+      for (int i = 0; i < kWindow; ++i) {
+        EXPECT_EQ(bufs[static_cast<std::size_t>(i)], pattern(128, i));
+      }
+    }
+  });
+}
+
+TEST(P2P, RequestTestCompletesEventually) {
+  mpi::World w(small_world(2));
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const auto data = pattern(32, 3);
+      c.send(cv(data), 1, 7);
+    } else {
+      std::vector<std::byte> buf(32);
+      mpi::Request r = c.irecv(mv(buf), 0, 7);
+      while (!r.test()) {
+      }
+      EXPECT_TRUE(r.done());
+      EXPECT_EQ(buf, pattern(32, 3));
+    }
+  });
+}
+
+TEST(P2P, ProbeReportsEnvelopeWithoutConsuming) {
+  mpi::World w(small_world(2));
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const auto data = pattern(96, 4);
+      c.send(cv(data), 1, 33);
+    } else {
+      const mpi::Status st = c.probe(0, 33);
+      EXPECT_EQ(st.bytes, 96U);
+      std::vector<std::byte> buf(st.bytes);
+      (void)c.recv(mv(buf), 0, 33);
+      EXPECT_EQ(buf, pattern(96, 4));
+      EXPECT_FALSE(c.iprobe(0, 33).has_value());
+    }
+  });
+}
+
+TEST(Comm, SplitByParity) {
+  mpi::World w(small_world(4, 4));
+  w.run([](Comm& c) {
+    auto sub = c.split(c.rank() % 2, c.rank());
+    ASSERT_TRUE(sub.has_value());
+    EXPECT_EQ(sub->size(), 2);
+    EXPECT_EQ(sub->rank(), c.rank() / 2);
+    // Communicate within the sub-communicator.
+    std::vector<std::byte> buf(4);
+    if (sub->rank() == 0) {
+      const auto data = pattern(4, c.rank() % 2);
+      sub->send(cv(data), 1, 1);
+    } else {
+      (void)sub->recv(mv(buf), 0, 1);
+      EXPECT_EQ(buf, pattern(4, c.rank() % 2));
+    }
+  });
+}
+
+TEST(Comm, SplitWithNegativeColorOptsOut) {
+  mpi::World w(small_world(4, 4));
+  w.run([](Comm& c) {
+    const int color = c.rank() == 3 ? -1 : 0;
+    auto sub = c.split(color, c.rank());
+    if (c.rank() == 3) {
+      EXPECT_FALSE(sub.has_value());
+    } else {
+      ASSERT_TRUE(sub.has_value());
+      EXPECT_EQ(sub->size(), 3);
+    }
+  });
+}
+
+TEST(Comm, SplitKeyControlsOrdering) {
+  mpi::World w(small_world(4, 4));
+  w.run([](Comm& c) {
+    // Reverse the ordering with descending keys.
+    auto sub = c.split(0, -c.rank());
+    ASSERT_TRUE(sub.has_value());
+    EXPECT_EQ(sub->rank(), c.size() - 1 - c.rank());
+  });
+}
+
+TEST(Comm, DupIsIsolatedFromParent) {
+  mpi::World w(small_world(2));
+  w.run([](Comm& c) {
+    Comm dup = c.dup();
+    EXPECT_EQ(dup.size(), c.size());
+    EXPECT_EQ(dup.rank(), c.rank());
+    EXPECT_NE(dup.context(), c.context());
+    // A message on the parent must not match a receive on the dup.
+    if (c.rank() == 0) {
+      const auto data = pattern(8, 1);
+      c.send(cv(data), 1, 77);
+      const auto data2 = pattern(8, 2);
+      dup.send(cv(data2), 1, 77);
+    } else {
+      std::vector<std::byte> buf(8);
+      (void)dup.recv(mv(buf), 0, 77);
+      EXPECT_EQ(buf, pattern(8, 2));  // the dup message, not the parent one
+      (void)c.recv(mv(buf), 0, 77);
+      EXPECT_EQ(buf, pattern(8, 1));
+    }
+  });
+}
+
+TEST(World, RethrowsRankExceptions) {
+  mpi::World w(small_world(2));
+  EXPECT_THROW(w.run([](Comm& c) {
+                 if (c.rank() == 1) throw mpi::Error("rank 1 exploded");
+               }),
+               mpi::Error);
+}
+
+TEST(World, ClocksResetBetweenRuns) {
+  mpi::World w(small_world(2));
+  w.run([](Comm& c) { c.clock().advance(100.0); });
+  EXPECT_DOUBLE_EQ(w.finish_time(0), 100.0);
+  w.run([](Comm&) {});
+  EXPECT_DOUBLE_EQ(w.finish_time(0), 0.0);
+}
+
+TEST(World, SyntheticPayloadMovesNoBytes) {
+  auto cfg = small_world(2);
+  cfg.payload = mpi::PayloadMode::kSynthetic;
+  mpi::World w(cfg);
+  w.run([](Comm& c) {
+    std::vector<std::byte> buf(64, std::byte{0xAB});
+    if (c.rank() == 0) {
+      c.send(cv(buf), 1, 1);
+    } else {
+      std::vector<std::byte> out(64, std::byte{0xCD});
+      const mpi::Status st = c.recv(mv(out), 0, 1);
+      EXPECT_EQ(st.bytes, 64U);  // envelope is intact...
+      EXPECT_EQ(out[0], std::byte{0xCD});  // ...but no bytes moved
+    }
+  });
+}
+
+TEST(World, SyntheticTimingEqualsRealTiming) {
+  auto real_cfg = small_world(2);
+  auto syn_cfg = small_world(2);
+  syn_cfg.payload = mpi::PayloadMode::kSynthetic;
+
+  const auto pingpong = [](Comm& c) {
+    std::vector<std::byte> buf(4096);
+    for (int i = 0; i < 10; ++i) {
+      if (c.rank() == 0) {
+        c.send(ConstView{buf.data(), buf.size()}, 1, 1);
+        (void)c.recv(MutView{buf.data(), buf.size()}, 1, 1);
+      } else {
+        (void)c.recv(MutView{buf.data(), buf.size()}, 0, 1);
+        c.send(ConstView{buf.data(), buf.size()}, 0, 1);
+      }
+    }
+  };
+  mpi::World wr(real_cfg);
+  wr.run(pingpong);
+  mpi::World ws(syn_cfg);
+  ws.run(pingpong);
+  EXPECT_DOUBLE_EQ(wr.finish_time(0), ws.finish_time(0));
+  EXPECT_DOUBLE_EQ(wr.finish_time(1), ws.finish_time(1));
+}
+
+TEST(Engine, ChargeHelpersAdvanceClock) {
+  auto cfg = small_world(2);
+  mpi::World w(cfg);
+  const double per_flop = 1.0 / cfg.cluster.compute.flops_per_us;
+  w.run([&](Comm& c) {
+    if (c.rank() != 0) return;
+    const double t0 = c.now();
+    c.charge_flops(1000.0);
+    EXPECT_NEAR(c.now() - t0, 1000.0 * per_flop, 1e-12);
+  });
+}

@@ -1,0 +1,252 @@
+// Tests for one-sided communication: Put/Get/Accumulate with fence
+// synchronization, multi-epoch reuse, concurrent cross-gets, and misuse.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "mpi/error.hpp"
+#include "mpi/rma.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+using mpi::Comm;
+using mpi::ConstView;
+using mpi::MutView;
+
+namespace {
+
+mpi::WorldConfig rma_world(int nranks) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = nranks;
+  wc.ppn = std::min(nranks, wc.cluster.topo.cores_per_node());
+  return wc;
+}
+
+template <typename T>
+ConstView cv(const std::vector<T>& v) {
+  return ConstView{reinterpret_cast<const std::byte*>(v.data()),
+                   v.size() * sizeof(T)};
+}
+template <typename T>
+MutView mv(std::vector<T>& v) {
+  return MutView{reinterpret_cast<std::byte*>(v.data()),
+                 v.size() * sizeof(T)};
+}
+
+}  // namespace
+
+TEST(Rma, PutDeliversAtFence) {
+  mpi::World w(rma_world(2));
+  w.run([](Comm& c) {
+    std::vector<std::uint8_t> window(64, 0);
+    mpi::Win win(c, mv(window));
+    std::vector<std::uint8_t> data(16);
+    std::iota(data.begin(), data.end(), 100);
+    if (c.rank() == 0) {
+      win.put(cv(data), 1, 8);
+    }
+    win.fence();
+    if (c.rank() == 1) {
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(window[static_cast<std::size_t>(8 + i)], 100 + i);
+      }
+      EXPECT_EQ(window[0], 0);  // untouched region intact
+      EXPECT_EQ(window[24], 0);
+    }
+  });
+}
+
+TEST(Rma, GetReadsRemoteWindow) {
+  mpi::World w(rma_world(2));
+  w.run([](Comm& c) {
+    std::vector<std::uint8_t> window(32);
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      window[i] = static_cast<std::uint8_t>(c.rank() * 50 + i);
+    }
+    mpi::Win win(c, mv(window));
+    std::vector<std::uint8_t> got(8, 0);
+    if (c.rank() == 0) {
+      win.get(mv(got), 1, 4);
+    }
+    win.fence();
+    if (c.rank() == 0) {
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(got[static_cast<std::size_t>(i)], 50 + 4 + i);
+      }
+    }
+  });
+}
+
+TEST(Rma, AccumulateSumsContributionsFromAllRanks) {
+  constexpr int kN = 4;
+  mpi::World w(rma_world(kN));
+  w.run([](Comm& c) {
+    std::vector<std::int64_t> window(4, 0);
+    mpi::Win win(c, mv(window));
+    const std::vector<std::int64_t> mine(4, c.rank() + 1);
+    // Everyone accumulates into rank 0's window.
+    win.accumulate(cv(mine), 0, 0, mpi::Datatype::kInt64, mpi::Op::kSum);
+    win.fence();
+    if (c.rank() == 0) {
+      // 1+2+3+4 = 10 on top of the initial zeros.
+      for (const std::int64_t v : window) EXPECT_EQ(v, 10);
+    }
+  });
+}
+
+TEST(Rma, MultipleEpochsReuseTheWindow) {
+  mpi::World w(rma_world(2));
+  w.run([](Comm& c) {
+    std::vector<std::int32_t> window(1, 0);
+    mpi::Win win(c, mv(window));
+    for (int epoch = 1; epoch <= 5; ++epoch) {
+      const std::vector<std::int32_t> v(1, epoch);
+      if (c.rank() == 0) win.put(cv(v), 1, 0);
+      win.fence();
+      if (c.rank() == 1) {
+      EXPECT_EQ(window[0], epoch);
+    }
+    }
+  });
+}
+
+TEST(Rma, CrossGetsDoNotDeadlock) {
+  // Both ranks get a rendezvous-sized block from each other in the same
+  // epoch; the fence must resolve both without deadlock.
+  mpi::World w(rma_world(2));
+  const std::size_t big = 1 << 20;
+  w.run([&](Comm& c) {
+    std::vector<std::uint8_t> window(big,
+                                     static_cast<std::uint8_t>(c.rank() + 7));
+    mpi::Win win(c, mv(window));
+    std::vector<std::uint8_t> got(big, 0);
+    win.get(mv(got), 1 - c.rank(), 0);
+    win.fence();
+    EXPECT_EQ(got[0], static_cast<std::uint8_t>((1 - c.rank()) + 7));
+    EXPECT_EQ(got[big - 1], got[0]);
+  });
+}
+
+TEST(Rma, ManyPutsInOneEpoch) {
+  mpi::World w(rma_world(2));
+  w.run([](Comm& c) {
+    std::vector<std::uint8_t> window(256, 0);
+    mpi::Win win(c, mv(window));
+    if (c.rank() == 0) {
+      for (int i = 0; i < 16; ++i) {
+        const std::vector<std::uint8_t> v(16,
+                                          static_cast<std::uint8_t>(i + 1));
+        win.put(cv(v), 1, static_cast<std::size_t>(i) * 16);
+      }
+    }
+    win.fence();
+    if (c.rank() == 1) {
+      for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(window[static_cast<std::size_t>(i) * 16],
+                  static_cast<std::uint8_t>(i + 1));
+      }
+    }
+  });
+}
+
+TEST(Rma, FenceSynchronizesEvenWithoutOps) {
+  mpi::World w(rma_world(4));
+  w.run([](Comm& c) {
+    std::vector<std::uint8_t> window(8, 0);
+    mpi::Win win(c, mv(window));
+    c.clock().advance(5.0 * c.rank());
+    win.fence();
+    EXPECT_GE(c.now(), 15.0);  // slowest rank gates everyone
+  });
+}
+
+TEST(Rma, OutOfRangeOperationsThrow) {
+  mpi::World w(rma_world(2));
+  EXPECT_THROW(w.run([](Comm& c) {
+                 std::vector<std::uint8_t> window(8, 0);
+                 mpi::Win win(c, mv(window));
+                 const std::vector<std::uint8_t> v(16, 1);
+                 win.put(cv(v), 5, 0);  // no such target (every rank fails)
+                 win.fence();
+               }),
+               mpi::Error);
+}
+
+TEST(Rma, WindowOverflowDetectedAtTarget) {
+  mpi::World w(rma_world(2));
+  EXPECT_THROW(w.run([](Comm& c) {
+                 std::vector<std::uint8_t> window(8, 0);
+                 mpi::Win win(c, mv(window));
+                 const std::vector<std::uint8_t> v(16, 1);
+                 win.put(cv(v), 1 - c.rank(), 4);  // 4+16 > 8
+                 win.fence();
+               }),
+               mpi::Error);
+}
+
+TEST(Rma, RequiresRealPayloads) {
+  auto cfg = rma_world(2);
+  cfg.payload = mpi::PayloadMode::kSynthetic;
+  mpi::World w(cfg);
+  EXPECT_THROW(w.run([](Comm& c) {
+                 std::vector<std::uint8_t> window(8, 0);
+                 mpi::Win win(c, mv(window));
+               }),
+               mpi::Error);
+}
+
+TEST(RmaBench, PutLatencyRunsAndGrowsWithSize) {
+  core::SuiteConfig cfg;
+  cfg.nranks = 2;
+  cfg.ppn = 1;
+  cfg.mode = core::Mode::kNativeC;
+  cfg.opts.max_size = 1 << 16;
+  cfg.opts.iterations = 3;
+  cfg.opts.warmup = 1;
+  cfg.opts.validate = true;
+  const auto rows = bench_suite::run_rma(
+      cfg, bench_suite::RmaBench::kPutLatency);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_GT(rows.back().stats.avg, rows.front().stats.avg);
+}
+
+TEST(RmaBench, GetCostsAtLeastPut) {
+  core::SuiteConfig cfg;
+  cfg.nranks = 2;
+  cfg.ppn = 1;
+  cfg.mode = core::Mode::kNativeC;
+  cfg.opts.min_size = 4096;
+  cfg.opts.max_size = 4096;
+  cfg.opts.iterations = 3;
+  cfg.opts.warmup = 1;
+  const double put =
+      bench_suite::run_rma(cfg, bench_suite::RmaBench::kPutLatency)
+          .front()
+          .stats.avg;
+  const double get =
+      bench_suite::run_rma(cfg, bench_suite::RmaBench::kGetLatency)
+          .front()
+          .stats.avg;
+  // A get is a request/response round trip; it cannot beat a one-way put.
+  EXPECT_GE(get, put * 0.99);
+}
+
+TEST(RmaBench, PutBandwidthSaturatesTheLink) {
+  core::SuiteConfig cfg;
+  cfg.nranks = 2;
+  cfg.ppn = 1;
+  cfg.mode = core::Mode::kNativeC;
+  cfg.opts.min_size = 1 << 20;
+  cfg.opts.max_size = 1 << 20;
+  cfg.opts.iterations = 2;
+  cfg.opts.warmup = 1;
+  cfg.opts.window_size = 32;
+  const auto rows =
+      bench_suite::run_rma(cfg, bench_suite::RmaBench::kPutBw);
+  EXPECT_GT(rows.front().stats.avg, 0.5 * 12200.0);
+}

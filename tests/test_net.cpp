@@ -1,0 +1,210 @@
+// Unit tests for link models, topology/placement, cluster presets, MPI
+// tuning presets and the NetworkModel.
+#include <gtest/gtest.h>
+
+#include "net/cluster.hpp"
+#include "net/link_model.hpp"
+#include "net/network.hpp"
+#include "net/topology.hpp"
+#include "net/tuning.hpp"
+
+using namespace ombx::net;
+
+TEST(LinkModel, SingleSegmentIsAffine) {
+  LinkModel m{{1024, 2.0, 0.001}};
+  EXPECT_DOUBLE_EQ(m.transfer_us(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.transfer_us(1000), 3.0);
+}
+
+TEST(LinkModel, SegmentsSelectBySize) {
+  LinkModel m{{1024, 1.0, 0.0}, {1048576, 5.0, 0.001}};
+  EXPECT_DOUBLE_EQ(m.transfer_us(1024), 1.0);
+  EXPECT_DOUBLE_EQ(m.transfer_us(2048), 5.0 + 2.048);
+}
+
+TEST(LinkModel, LastSegmentCoversEverything) {
+  LinkModel m{{64, 1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(m.transfer_us(1 << 30), 1.0);
+}
+
+TEST(LinkModel, BandwidthConvention) {
+  // 1 B/us == 1 MB/s in the OSU convention.
+  LinkModel m{{~std::size_t{0}, 0.0, 1.0}};
+  EXPECT_NEAR(m.bandwidth_mbps(1000), 1.0, 1e-12);
+}
+
+TEST(LinkModel, ScaledBetaLeavesAlpha) {
+  LinkModel m{{~std::size_t{0}, 3.0, 0.002}};
+  const LinkModel s = m.scaled_beta(2.0);
+  EXPECT_DOUBLE_EQ(s.transfer_us(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.transfer_us(1000), 3.0 + 4.0);
+}
+
+TEST(LinkModel, ShiftedAlphaClampsAtZero) {
+  LinkModel m{{~std::size_t{0}, 1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(m.shifted_alpha(-5.0).transfer_us(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.shifted_alpha(0.5).transfer_us(0), 1.5);
+}
+
+TEST(Topology, CoreCounts) {
+  Topology t{.nodes = 4, .sockets_per_node = 2, .cores_per_socket = 14};
+  EXPECT_EQ(t.cores_per_node(), 28);
+  EXPECT_EQ(t.total_cores(), 112);
+}
+
+TEST(RankMapper, BlockPlacement) {
+  Topology t{.nodes = 4, .sockets_per_node = 2, .cores_per_socket = 2};
+  RankMapper m(t, /*ppn=*/4);
+  EXPECT_EQ(m.place(0).node, 0);
+  EXPECT_EQ(m.place(3).node, 0);
+  EXPECT_EQ(m.place(4).node, 1);
+  EXPECT_EQ(m.place(0).socket, 0);
+  EXPECT_EQ(m.place(2).socket, 1);
+  EXPECT_EQ(m.place(5).socket, 0);
+}
+
+TEST(RankMapper, RejectsBadGeometry) {
+  Topology t{.nodes = 2, .sockets_per_node = 2, .cores_per_socket = 2};
+  EXPECT_THROW(RankMapper(t, 0), std::invalid_argument);
+  EXPECT_THROW(RankMapper(t, 5), std::invalid_argument);
+  RankMapper m(t, 4);
+  EXPECT_THROW((void)m.place(8), std::invalid_argument);
+  EXPECT_THROW((void)m.place(-1), std::invalid_argument);
+}
+
+TEST(ClusterPresets, MatchPaperTopologies) {
+  const ClusterSpec f = ClusterSpec::frontera();
+  EXPECT_EQ(f.topo.cores_per_node(), 56);  // 2 x 28 Cascade Lake
+  EXPECT_EQ(f.topo.nodes, 16);
+  const ClusterSpec s = ClusterSpec::stampede2();
+  EXPECT_EQ(s.topo.cores_per_node(), 48);  // 2 x 24 Skylake
+  const ClusterSpec r = ClusterSpec::ri2();
+  EXPECT_EQ(r.topo.cores_per_node(), 28);  // 2 x 14 Xeon Gold
+  EXPECT_EQ(r.topo.nodes, 8);
+  const ClusterSpec g = ClusterSpec::ri2_gpu();
+  EXPECT_EQ(g.topo.gpus_per_node, 1);  // one V100 per node
+  ASSERT_TRUE(g.gpu.has_value());
+  EXPECT_EQ(g.gpu->device_memory_bytes, 32ULL << 30);
+}
+
+TEST(ClusterPresets, LatencyOrderingSmallMessages) {
+  // Shared memory must beat the fabric at small sizes on every cluster.
+  for (const ClusterSpec& c : {ClusterSpec::frontera(),
+                               ClusterSpec::stampede2(),
+                               ClusterSpec::ri2()}) {
+    EXPECT_LT(c.intra_socket.transfer_us(8), c.inter_node.transfer_us(8))
+        << c.name;
+    EXPECT_LT(c.intra_socket.transfer_us(8), c.inter_socket.transfer_us(64))
+        << c.name;
+  }
+}
+
+TEST(Tuning, PresetsDiffer) {
+  const MpiTuning mv = MpiTuning::mvapich2();
+  const MpiTuning im = MpiTuning::intelmpi();
+  EXPECT_NE(mv.name, im.name);
+  EXPECT_GT(im.alpha_delta_us, mv.alpha_delta_us);
+  EXPECT_GT(im.gap_scale, mv.gap_scale);
+  EXPECT_LT(im.eager_threshold_inter, mv.eager_threshold_inter);
+}
+
+TEST(NetworkModel, LinkClassResolution) {
+  NetworkModel nm(ClusterSpec::frontera(), MpiTuning::mvapich2(), /*ppn=*/2);
+  EXPECT_EQ(nm.link_class(0, 0, MemSpace::kHost), LinkClass::kSelf);
+  EXPECT_EQ(nm.link_class(0, 1, MemSpace::kHost), LinkClass::kIntraSocket);
+  EXPECT_EQ(nm.link_class(0, 2, MemSpace::kHost), LinkClass::kInterNode);
+}
+
+TEST(NetworkModel, InterSocketDetection) {
+  // ppn = 56 fills both sockets: ranks 0 and 28 share a node, not a socket.
+  NetworkModel nm(ClusterSpec::frontera(), MpiTuning::mvapich2(),
+                  /*ppn=*/56);
+  EXPECT_EQ(nm.link_class(0, 27, MemSpace::kHost), LinkClass::kIntraSocket);
+  EXPECT_EQ(nm.link_class(0, 28, MemSpace::kHost), LinkClass::kInterSocket);
+  EXPECT_EQ(nm.link_class(0, 56, MemSpace::kHost), LinkClass::kInterNode);
+}
+
+TEST(NetworkModel, GpuLinkClasses) {
+  NetworkModel nm(ClusterSpec::ri2_gpu(), MpiTuning::mvapich2_gdr(),
+                  /*ppn=*/1);
+  EXPECT_EQ(nm.link_class(0, 1, MemSpace::kDevice),
+            LinkClass::kGpuInterNode);
+  EXPECT_EQ(nm.link_class(0, 0, MemSpace::kDevice),
+            LinkClass::kGpuIntraNode);
+}
+
+TEST(NetworkModel, DeviceSpaceOnCpuClusterThrows) {
+  NetworkModel nm(ClusterSpec::frontera(), MpiTuning::mvapich2(), 1);
+  EXPECT_THROW((void)nm.link_class(0, 1, MemSpace::kDevice),
+               std::logic_error);
+}
+
+TEST(NetworkModel, TransferMonotoneInSize) {
+  NetworkModel nm(ClusterSpec::frontera(), MpiTuning::mvapich2(), 1);
+  double prev = 0.0;
+  for (std::size_t s = 1; s <= (1U << 22); s *= 4) {
+    const double t = nm.transfer_us(0, 1, s, MemSpace::kHost);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(NetworkModel, ContentionStretchesInterNodeBandwidthOnly) {
+  NetworkModel one(ClusterSpec::frontera(), MpiTuning::mvapich2(), 1);
+  NetworkModel full(ClusterSpec::frontera(), MpiTuning::mvapich2(), 56);
+  const std::size_t big = 1 << 20;
+  EXPECT_GT(full.transfer_us(0, 56, big, MemSpace::kHost),
+            one.transfer_us(0, 1, big, MemSpace::kHost));
+  // Startup cost is contention-free.
+  EXPECT_NEAR(full.alpha_us(0, 56, MemSpace::kHost),
+              one.alpha_us(0, 1, MemSpace::kHost), 1e-9);
+}
+
+TEST(NetworkModel, IntelMpiSlowerThanMvapich) {
+  NetworkModel mv(ClusterSpec::frontera(), MpiTuning::mvapich2(), 1);
+  NetworkModel im(ClusterSpec::frontera(), MpiTuning::intelmpi(), 1);
+  for (std::size_t s : {1UL, 1024UL, 1UL << 20}) {
+    EXPECT_GT(im.transfer_us(0, 1, s, MemSpace::kHost),
+              mv.transfer_us(0, 1, s, MemSpace::kHost));
+  }
+}
+
+TEST(NetworkModel, ProtocolSwitchesAtEagerThreshold) {
+  const MpiTuning t = MpiTuning::mvapich2();
+  NetworkModel nm(ClusterSpec::frontera(), t, 1);
+  EXPECT_EQ(nm.protocol(0, 1, t.eager_threshold_inter, MemSpace::kHost),
+            Protocol::kEager);
+  EXPECT_EQ(nm.protocol(0, 1, t.eager_threshold_inter + 1, MemSpace::kHost),
+            Protocol::kRendezvous);
+}
+
+TEST(NetworkModel, SenderBusyShmVsFabric) {
+  NetworkModel nm(ClusterSpec::frontera(), MpiTuning::mvapich2(), 2);
+  const std::size_t n = 1 << 16;
+  // CPU-driven shm copy occupies the sender for the whole transfer...
+  EXPECT_DOUBLE_EQ(nm.sender_busy_us(0, 1, n, MemSpace::kHost),
+                   nm.transfer_us(0, 1, n, MemSpace::kHost));
+  // ...while the NIC DMA only charges injection overhead.
+  NetworkModel inter(ClusterSpec::frontera(), MpiTuning::mvapich2(), 1);
+  EXPECT_LT(inter.sender_busy_us(0, 1, n, MemSpace::kHost), 1.0);
+  EXPECT_GT(inter.nic_gap_us(0, 1, n, MemSpace::kHost), 0.0);
+}
+
+TEST(NetworkModel, OversubscriptionRequiresFullNodeAndThreadMultiple) {
+  NetworkModel half(ClusterSpec::frontera(), MpiTuning::mvapich2(), 28);
+  EXPECT_DOUBLE_EQ(half.oversubscription_factor(ThreadLevel::kMultiple),
+                   1.0);
+  NetworkModel full(ClusterSpec::frontera(), MpiTuning::mvapich2(), 56);
+  EXPECT_DOUBLE_EQ(full.oversubscription_factor(ThreadLevel::kSingle), 1.0);
+  EXPECT_GT(full.oversubscription_factor(ThreadLevel::kMultiple), 1.0);
+}
+
+TEST(NetworkModel, RejectsOversizedJob) {
+  EXPECT_THROW(NetworkModel(ClusterSpec::ri2(), MpiTuning::mvapich2(), 64),
+               std::invalid_argument);
+}
+
+TEST(LinkClassNames, AreHumanReadable) {
+  EXPECT_EQ(to_string(LinkClass::kIntraSocket), "intra-socket");
+  EXPECT_EQ(to_string(LinkClass::kGpuInterNode), "gpu-inter-node");
+}

@@ -1,0 +1,277 @@
+// Tests for the binding-overhead model: cost presets, the pickle codec,
+// and PyComm's charging behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "buffers/buffer.hpp"
+#include "mpi/error.hpp"
+#include "mpi/world.hpp"
+#include "pylayer/costs.hpp"
+#include "pylayer/pickle.hpp"
+#include "pylayer/pycomm.hpp"
+
+using namespace ombx;
+using buffers::BufferKind;
+using pylayer::PyCosts;
+
+namespace {
+
+mpi::WorldConfig pair_world() {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = 2;
+  wc.ppn = 2;
+  return wc;
+}
+
+}  // namespace
+
+// ---- PyCosts ------------------------------------------------------------------
+
+TEST(PyCosts, PresetsExistForEveryCluster) {
+  for (const char* name : {"frontera", "stampede2", "ri2", "ri2-gpu"}) {
+    EXPECT_NO_THROW((void)PyCosts::for_cluster(name)) << name;
+  }
+  EXPECT_THROW((void)PyCosts::for_cluster("summit"), std::invalid_argument);
+}
+
+TEST(PyCosts, NumbaExportIsRoughlyTwiceCupy) {
+  const PyCosts p = PyCosts::ri2_gpu();
+  EXPECT_GT(p.export_cost(BufferKind::kNumba),
+            1.6 * p.export_cost(BufferKind::kCupy));
+  EXPECT_NEAR(p.export_cost(BufferKind::kCupy),
+              p.export_cost(BufferKind::kPycuda), 0.2);
+}
+
+TEST(PyCosts, HostExportIsCheap) {
+  const PyCosts p = PyCosts::frontera();
+  EXPECT_LT(p.export_cost(BufferKind::kNumpy), 0.5);
+  EXPECT_LT(p.dispatch_cost(BufferKind::kNumpy),
+            p.dispatch_cost(BufferKind::kCupy));
+}
+
+TEST(PyCosts, CollCostGrowsWithSize) {
+  const PyCosts p = PyCosts::frontera();
+  const double small =
+      p.coll_cost(pylayer::CollKind::kAllreduce, BufferKind::kNumpy, 8);
+  const double large = p.coll_cost(pylayer::CollKind::kAllreduce,
+                                   BufferKind::kNumpy, 1 << 20);
+  EXPECT_GT(large, small);
+  EXPECT_NEAR(small, 0.93, 0.05);  // the paper's small-size average
+}
+
+TEST(PyCosts, GpuCollectiveOrdering) {
+  const PyCosts p = PyCosts::ri2_gpu();
+  using pylayer::CollKind;
+  // Paper: CuPy ~ PyCUDA < Numba for both collectives.
+  EXPECT_LT(p.coll_cost(CollKind::kAllreduce, BufferKind::kPycuda, 0),
+            p.coll_cost(CollKind::kAllreduce, BufferKind::kNumba, 0));
+  EXPECT_LT(p.coll_cost(CollKind::kAllgather, BufferKind::kCupy, 0),
+            p.coll_cost(CollKind::kAllgather, BufferKind::kNumba, 0));
+}
+
+// ---- Pickle codec ----------------------------------------------------------------
+
+TEST(Pickle, RoundTripSmall) {
+  std::vector<std::byte> payload(100);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i);
+  }
+  const auto s = pylayer::encode(
+      mpi::ConstView{payload.data(), payload.size()}, mpi::Datatype::kByte);
+  EXPECT_EQ(s.bytes.size(), s.logical_bytes);
+  EXPECT_EQ(s.payload_bytes, payload.size());
+
+  std::vector<std::byte> out(payload.size());
+  const std::size_t n = pylayer::decode(
+      s.bytes, s.logical_bytes, mpi::MutView{out.data(), out.size()},
+      mpi::Datatype::kByte);
+  EXPECT_EQ(n, payload.size());
+  EXPECT_EQ(out, payload);
+}
+
+TEST(Pickle, RoundTripEveryFrameWidth) {
+  for (const std::size_t n : {1UL, 255UL, 256UL, 70000UL}) {
+    std::vector<std::byte> payload(n, std::byte{0x5A});
+    const auto s =
+        pylayer::encode(mpi::ConstView{payload.data(), n},
+                        mpi::Datatype::kFloat);
+    std::vector<std::byte> out(n);
+    EXPECT_EQ(pylayer::decode(s.bytes, s.logical_bytes,
+                              mpi::MutView{out.data(), n},
+                              mpi::Datatype::kFloat),
+              n);
+    EXPECT_EQ(out, payload);
+  }
+}
+
+TEST(Pickle, EncodedSizeIsExact) {
+  for (const std::size_t n : {0UL, 1UL, 255UL, 256UL, 65536UL}) {
+    // Keep data() non-null even for n == 0 (a null pointer means
+    // "synthetic" and legitimately produces an empty stream).
+    std::vector<std::byte> payload(std::max<std::size_t>(n, 1));
+    const auto s = pylayer::encode(mpi::ConstView{payload.data(), n},
+                                   mpi::Datatype::kByte);
+    EXPECT_EQ(s.logical_bytes, pylayer::encoded_size(n, mpi::Datatype::kByte));
+    EXPECT_EQ(s.bytes.size(), s.logical_bytes);
+  }
+}
+
+TEST(Pickle, SyntheticStreamRoundTripsLengthOnly) {
+  const auto s = pylayer::encode(mpi::ConstView{nullptr, 5000},
+                                 mpi::Datatype::kByte);
+  EXPECT_TRUE(s.bytes.empty());
+  EXPECT_EQ(s.logical_bytes, pylayer::encoded_size(5000, mpi::Datatype::kByte));
+  const std::size_t n = pylayer::decode({}, s.logical_bytes,
+                                        mpi::MutView{nullptr, 5000},
+                                        mpi::Datatype::kByte);
+  EXPECT_EQ(n, 5000U);
+}
+
+TEST(Pickle, RejectsCorruptStreams) {
+  std::vector<std::byte> payload(32);
+  auto s = pylayer::encode(mpi::ConstView{payload.data(), payload.size()},
+                           mpi::Datatype::kByte);
+  std::vector<std::byte> out(payload.size());
+
+  auto broken = s.bytes;
+  broken[0] = std::byte{0x00};  // not PROTO
+  EXPECT_THROW(pylayer::decode(broken, broken.size(),
+                               mpi::MutView{out.data(), out.size()},
+                               mpi::Datatype::kByte),
+               mpi::Error);
+
+  auto truncated = s.bytes;
+  truncated.pop_back();  // lost STOP
+  EXPECT_THROW(pylayer::decode(truncated, truncated.size(),
+                               mpi::MutView{out.data(), out.size()},
+                               mpi::Datatype::kByte),
+               mpi::Error);
+
+  // Wrong datatype tag.
+  EXPECT_THROW(pylayer::decode(s.bytes, s.bytes.size(),
+                               mpi::MutView{out.data(), out.size()},
+                               mpi::Datatype::kDouble),
+               mpi::Error);
+}
+
+// ---- PyComm charging ----------------------------------------------------------------
+
+TEST(PyComm, DisabledModeIsTransparent) {
+  mpi::World w(pair_world());
+  w.run([](mpi::Comm& c) {
+    pylayer::PyComm py(c, PyCosts::frontera(), /*overhead_enabled=*/false);
+    buffers::NumpyBuffer buf(256, false);
+    const double t0 = c.now();
+    if (c.rank() == 0) {
+      py.Send(buf, 256, 1, 1);
+    } else {
+      (void)py.Recv(buf, 256, 0, 1);
+    }
+    // Rank 0's eager shm send time must equal the raw link cost exactly.
+    if (c.rank() == 0) {
+      const double raw = c.net().transfer_us(0, 1, 256, net::MemSpace::kHost);
+      EXPECT_DOUBLE_EQ(c.now() - t0, raw);
+    }
+  });
+}
+
+TEST(PyComm, EnabledModeChargesBindingOverhead) {
+  mpi::World w(pair_world());
+  w.run([](mpi::Comm& c) {
+    const PyCosts costs = PyCosts::frontera();
+    pylayer::PyComm py(c, costs, true);
+    buffers::NumpyBuffer buf(256, false);
+    const double t0 = c.now();
+    if (c.rank() == 0) {
+      py.Send(buf, 256, 1, 1);
+      const double raw = c.net().transfer_us(0, 1, 256, net::MemSpace::kHost);
+      const double overhead = (c.now() - t0) - raw;
+      EXPECT_NEAR(overhead,
+                  costs.dispatch_us + costs.export_us +
+                      256 * costs.per_byte_us,
+                  1e-9);
+    } else {
+      (void)py.Recv(buf, 256, 0, 1);
+    }
+  });
+}
+
+TEST(PyComm, PicklePathCostsMoreThanDirect) {
+  const auto run_mode = [](bool pickle) {
+    mpi::World w(pair_world());
+    double t = 0.0;
+    w.run([&](mpi::Comm& c) {
+      pylayer::PyComm py(c, PyCosts::frontera(), true);
+      buffers::NumpyBuffer buf(1 << 16, false);
+      for (int i = 0; i < 4; ++i) {
+        if (c.rank() == 0) {
+          if (pickle) {
+            py.send_pickled(buf, 1 << 16, 1, 1);
+            (void)py.recv_pickled(buf, 1, 1);
+          } else {
+            py.Send(buf, 1 << 16, 1, 1);
+            (void)py.Recv(buf, 1 << 16, 1, 1);
+          }
+        } else {
+          if (pickle) {
+            (void)py.recv_pickled(buf, 0, 1);
+            py.send_pickled(buf, 1 << 16, 0, 1);
+          } else {
+            (void)py.Recv(buf, 1 << 16, 0, 1);
+            py.Send(buf, 1 << 16, 0, 1);
+          }
+        }
+      }
+      if (c.rank() == 0) t = c.now();
+    });
+    return t;
+  };
+  EXPECT_GT(run_mode(true), run_mode(false));
+}
+
+TEST(PyComm, PicklePayloadSurvivesTheWire) {
+  mpi::World w(pair_world());
+  w.run([](mpi::Comm& c) {
+    pylayer::PyComm py(c, PyCosts::frontera(), true);
+    buffers::NumpyBuffer buf(512, false);
+    if (c.rank() == 0) {
+      buf.fill(0x77);
+      py.send_pickled(buf, 512, 1, 9);
+    } else {
+      const mpi::Status st = py.recv_pickled(buf, 0, 9);
+      EXPECT_EQ(st.bytes, 512U);
+      EXPECT_TRUE(buf.verify(0x77, 512));
+    }
+  });
+}
+
+TEST(PyComm, CollectiveChargesAppearOnEveryRank) {
+  mpi::WorldConfig wc = pair_world();
+  wc.nranks = 4;
+  wc.ppn = 4;
+  mpi::World w_py(wc);
+  mpi::World w_c(wc);
+  std::vector<double> t_py(4);
+  std::vector<double> t_c(4);
+
+  const auto program = [&](bool enabled, std::vector<double>& out) {
+    return [&out, enabled](mpi::Comm& c) {
+      pylayer::PyComm py(c, PyCosts::frontera(), enabled);
+      buffers::NumpyBuffer s(1024, false);
+      buffers::NumpyBuffer r(1024, false);
+      py.Allreduce(s, r, 1024, mpi::Datatype::kFloat, mpi::Op::kSum);
+      out[static_cast<std::size_t>(c.rank())] = c.now();
+    };
+  };
+  w_py.run(program(true, t_py));
+  w_c.run(program(false, t_c));
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_GT(t_py[static_cast<std::size_t>(r)],
+              t_c[static_cast<std::size_t>(r)])
+        << "rank " << r;
+  }
+}

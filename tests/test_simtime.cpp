@@ -1,0 +1,145 @@
+// Unit tests for the virtual clock, deterministic RNG and work pricing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "simtime/clock.hpp"
+#include "simtime/rng.hpp"
+#include "simtime/work.hpp"
+
+namespace st = ombx::simtime;
+
+TEST(SimClock, StartsAtZero) {
+  st::SimClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  st::SimClock c;
+  c.advance(1.5);
+  c.advance(2.5);
+  EXPECT_DOUBLE_EQ(c.now(), 4.0);
+}
+
+TEST(SimClock, AdvanceToFuture) {
+  st::SimClock c;
+  const double waited = c.advance_to(10.0);
+  EXPECT_DOUBLE_EQ(waited, 10.0);
+  EXPECT_DOUBLE_EQ(c.now(), 10.0);
+}
+
+TEST(SimClock, AdvanceToPastIsNoOp) {
+  st::SimClock c(20.0);
+  const double waited = c.advance_to(10.0);
+  EXPECT_DOUBLE_EQ(waited, 0.0);
+  EXPECT_DOUBLE_EQ(c.now(), 20.0);
+}
+
+TEST(SimClock, ResetRestoresOrigin) {
+  st::SimClock c;
+  c.advance(99.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(SimClock, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(st::us_to_ms(1500.0), 1.5);
+  EXPECT_DOUBLE_EQ(st::us_to_s(2e6), 2.0);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  st::WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(t.elapsed_us(), 0.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  st::Xoshiro256 a(42);
+  st::Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  st::Xoshiro256 a(1);
+  st::Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  st::Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  st::Xoshiro256 rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowCoversRangeUniformly) {
+  st::Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    EXPECT_LT(v, 10U);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10U);
+}
+
+TEST(Rng, NormalHasSaneMoments) {
+  st::Xoshiro256 rng(10);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(SplitMix, ExpandsSeedsDeterministically) {
+  st::SplitMix64 a(123);
+  st::SplitMix64 b(123);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), st::SplitMix64(124).next());
+}
+
+TEST(ComputeModel, FlopPricing) {
+  st::ComputeModel m{.flops_per_us = 1000.0, .bytes_per_us = 500.0};
+  EXPECT_DOUBLE_EQ(m.flop_time(2000.0), 2.0);
+  EXPECT_DOUBLE_EQ(m.byte_time(1000.0), 2.0);
+}
+
+TEST(WorkCounter, AccumulatesAndPrices) {
+  st::WorkCounter w;
+  w.add_flops(100.0);
+  w.add_flops(300.0);
+  w.add_bytes(50.0);
+  EXPECT_DOUBLE_EQ(w.flops(), 400.0);
+  EXPECT_DOUBLE_EQ(w.bytes(), 50.0);
+  st::ComputeModel m{.flops_per_us = 100.0, .bytes_per_us = 50.0};
+  EXPECT_DOUBLE_EQ(w.priced(m), 4.0 + 1.0);
+  w.reset();
+  EXPECT_DOUBLE_EQ(w.priced(m), 0.0);
+}

@@ -1,0 +1,237 @@
+// Tests for the event tracer, the pickled lowercase collectives, and the
+// CSV exports.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "buffers/buffer.hpp"
+#include "core/report.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/error.hpp"
+#include "mpi/world.hpp"
+#include "pylayer/pycomm.hpp"
+
+using namespace ombx;
+
+namespace {
+
+mpi::WorldConfig traced_world(int nranks) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = nranks;
+  wc.ppn = std::min(nranks, wc.cluster.topo.cores_per_node());
+  wc.enable_trace = true;
+  return wc;
+}
+
+}  // namespace
+
+// ---- Tracer -------------------------------------------------------------------
+
+TEST(Trace, DisabledByDefault) {
+  auto wc = traced_world(2);
+  wc.enable_trace = false;
+  mpi::World w(wc);
+  EXPECT_EQ(w.engine().tracer(), nullptr);
+}
+
+TEST(Trace, RecordsSendRecvPairs) {
+  mpi::World w(traced_world(2));
+  w.run([](mpi::Comm& c) {
+    std::vector<std::byte> buf(64);
+    if (c.rank() == 0) {
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 7);
+    } else {
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 7);
+    }
+  });
+  const mpi::Tracer* t = w.engine().tracer();
+  ASSERT_NE(t, nullptr);
+  ASSERT_EQ(t->events_of(0).size(), 1U);
+  ASSERT_EQ(t->events_of(1).size(), 1U);
+  const mpi::TraceEvent& s = t->events_of(0).front();
+  const mpi::TraceEvent& r = t->events_of(1).front();
+  EXPECT_EQ(s.kind, mpi::TraceKind::kSend);
+  EXPECT_EQ(r.kind, mpi::TraceKind::kRecv);
+  EXPECT_EQ(s.peer, 1);
+  EXPECT_EQ(r.peer, 0);
+  EXPECT_EQ(s.bytes, 64U);
+  EXPECT_EQ(s.tag, 7);
+  // The receive cannot complete before the send started.
+  EXPECT_GE(r.t_end, s.t_start);
+}
+
+TEST(Trace, ComputeChargesAppear) {
+  mpi::World w(traced_world(2));
+  w.run([](mpi::Comm& c) {
+    if (c.rank() == 0) c.charge_flops(100000.0);
+  });
+  const auto& evs = w.engine().tracer()->events_of(0);
+  ASSERT_EQ(evs.size(), 1U);
+  EXPECT_EQ(evs.front().kind, mpi::TraceKind::kCompute);
+  EXPECT_GT(evs.front().t_end, evs.front().t_start);
+}
+
+TEST(Trace, MergedIsSortedByStartTime) {
+  mpi::World w(traced_world(4));
+  w.run([](mpi::Comm& c) {
+    std::vector<float> a(64, 1.0F);
+    std::vector<float> b(64);
+    mpi::allreduce(c,
+                   mpi::ConstView{reinterpret_cast<std::byte*>(a.data()),
+                                  a.size() * 4},
+                   mpi::MutView{reinterpret_cast<std::byte*>(b.data()),
+                                b.size() * 4},
+                   mpi::Datatype::kFloat, mpi::Op::kSum);
+  });
+  const auto merged = w.engine().tracer()->merged();
+  EXPECT_GT(merged.size(), 8U);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_GE(merged[i].t_start, merged[i - 1].t_start);
+  }
+}
+
+TEST(Trace, ClearedBetweenRuns) {
+  mpi::World w(traced_world(2));
+  w.run([](mpi::Comm& c) {
+    std::vector<std::byte> buf(8);
+    if (c.rank() == 0) {
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 1);
+    } else {
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 1);
+    }
+  });
+  EXPECT_GT(w.engine().tracer()->total_events(), 0U);
+  w.run([](mpi::Comm&) {});
+  EXPECT_EQ(w.engine().tracer()->total_events(), 0U);
+}
+
+TEST(Trace, CsvHasHeaderAndOneLinePerEvent) {
+  mpi::World w(traced_world(2));
+  w.run([](mpi::Comm& c) {
+    std::vector<std::byte> buf(16);
+    if (c.rank() == 0) {
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 3);
+    } else {
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 3);
+    }
+  });
+  std::ostringstream os;
+  w.engine().tracer()->write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("rank,kind,t_start_us"), std::string::npos);
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            1U + w.engine().tracer()->total_events());
+}
+
+// ---- Pickled lowercase collectives ----------------------------------------------
+
+TEST(PickledCollectives, BcastDeliversTheObject) {
+  mpi::World w(traced_world(3));
+  w.run([](mpi::Comm& c) {
+    pylayer::PyComm py(c, pylayer::PyCosts::frontera(), true);
+    buffers::NumpyBuffer buf(128, false);
+    if (c.rank() == 1) buf.fill(0x3C);
+    py.bcast_pickled(buf, 128, /*root=*/1);
+    EXPECT_TRUE(buf.verify(0x3C, 128)) << "rank " << c.rank();
+  });
+}
+
+TEST(PickledCollectives, BcastCostsMoreThanDirect) {
+  const auto run_mode = [](bool pickled) {
+    mpi::World w(traced_world(4));
+    double t = 0.0;
+    w.run([&](mpi::Comm& c) {
+      pylayer::PyComm py(c, pylayer::PyCosts::frontera(), true);
+      buffers::NumpyBuffer buf(1 << 16, false);
+      if (pickled) {
+        py.bcast_pickled(buf, 1 << 16, 0);
+      } else {
+        py.Bcast(buf, 1 << 16, 0);
+      }
+      mpi::barrier(c);
+      if (c.rank() == 0) t = c.now();
+    });
+    return t;
+  };
+  EXPECT_GT(run_mode(true), run_mode(false));
+}
+
+TEST(PickledCollectives, GatherReturnsEveryContribution) {
+  constexpr int kN = 4;
+  mpi::World w(traced_world(kN));
+  w.run([](mpi::Comm& c) {
+    pylayer::PyComm py(c, pylayer::PyCosts::frontera(), true);
+    buffers::NumpyBuffer buf(32, false);
+    buf.fill(static_cast<std::uint8_t>(10 + c.rank()));
+    const auto gathered = py.gather_pickled(buf, 32, /*root=*/0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(gathered.size(), static_cast<std::size_t>(kN));
+      for (int r = 0; r < kN; ++r) {
+        const auto& payload = gathered[static_cast<std::size_t>(r)];
+        ASSERT_EQ(payload.size(), 32U);
+        EXPECT_EQ(payload[0],
+                  static_cast<std::byte>((10 + r) & 0xff));
+      }
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+}
+
+TEST(PickledCollectives, AllreduceMatchesBufferAllreduce) {
+  constexpr int kN = 5;
+  mpi::World w(traced_world(kN));
+  w.run([](mpi::Comm& c) {
+    pylayer::PyComm py(c, pylayer::PyCosts::frontera(), true);
+    buffers::NumpyBuffer send(64, false, mpi::Datatype::kInt32);
+    buffers::NumpyBuffer out_obj(64, false, mpi::Datatype::kInt32);
+    buffers::NumpyBuffer out_buf(64, false, mpi::Datatype::kInt32);
+    auto* vals = reinterpret_cast<std::int32_t*>(send.data());
+    for (int i = 0; i < 16; ++i) vals[i] = c.rank() * 100 + i;
+
+    py.allreduce_pickled(send, out_obj, 64, mpi::Datatype::kInt32,
+                         mpi::Op::kSum);
+    py.Allreduce(send, out_buf, 64, mpi::Datatype::kInt32, mpi::Op::kSum);
+
+    const auto* a = reinterpret_cast<const std::int32_t*>(out_obj.data());
+    const auto* b = reinterpret_cast<const std::int32_t*>(out_buf.data());
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(a[i], b[i]) << "element " << i;
+    }
+  });
+}
+
+TEST(PickledCollectives, RejectSyntheticPayloads) {
+  auto wc = traced_world(2);
+  wc.payload = mpi::PayloadMode::kSynthetic;
+  mpi::World w(wc);
+  EXPECT_THROW(w.run([](mpi::Comm& c) {
+                 pylayer::PyComm py(c, pylayer::PyCosts::frontera(), true);
+                 buffers::NumpyBuffer buf(8, true);
+                 py.bcast_pickled(buf, 8, 0);
+               }),
+               mpi::Error);
+}
+
+// ---- Table CSV --------------------------------------------------------------------
+
+TEST(ReportCsv, RoundTripsHeaderAndRows) {
+  core::Table t("x", {"Size", "Latency (us)"});
+  t.add_row(16, {1.25});
+  t.add_row(32, {2.5});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "Size,Latency (us)\n16,1.25\n32,2.50\n");
+}
+
+TEST(ReportCsv, QuotesFieldsWithCommas) {
+  core::Table t("x", {"a,b", "c"});
+  t.add_row({"v,1", "plain"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "\"a,b\",c\n\"v,1\",plain\n");
+}
