@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_collective_algos"
+  "../bench/ablation_collective_algos.pdb"
+  "CMakeFiles/ablation_collective_algos.dir/ablation_collective_algos.cpp.o"
+  "CMakeFiles/ablation_collective_algos.dir/ablation_collective_algos.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collective_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_eager_threshold"
+  "../bench/ablation_eager_threshold.pdb"
+  "CMakeFiles/ablation_eager_threshold.dir/ablation_eager_threshold.cpp.o"
+  "CMakeFiles/ablation_eager_threshold.dir/ablation_eager_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eager_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

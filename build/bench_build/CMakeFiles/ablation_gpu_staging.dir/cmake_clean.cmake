@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gpu_staging"
+  "../bench/ablation_gpu_staging.pdb"
+  "CMakeFiles/ablation_gpu_staging.dir/ablation_gpu_staging.cpp.o"
+  "CMakeFiles/ablation_gpu_staging.dir/ablation_gpu_staging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pickle_codec"
+  "../bench/ablation_pickle_codec.pdb"
+  "CMakeFiles/ablation_pickle_codec.dir/ablation_pickle_codec.cpp.o"
+  "CMakeFiles/ablation_pickle_codec.dir/ablation_pickle_codec.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pickle_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

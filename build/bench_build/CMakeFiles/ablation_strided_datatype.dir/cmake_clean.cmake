@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_strided_datatype"
+  "../bench/ablation_strided_datatype.pdb"
+  "CMakeFiles/ablation_strided_datatype.dir/ablation_strided_datatype.cpp.o"
+  "CMakeFiles/ablation_strided_datatype.dir/ablation_strided_datatype.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strided_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

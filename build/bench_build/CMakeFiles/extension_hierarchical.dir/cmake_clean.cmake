@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_hierarchical"
+  "../bench/extension_hierarchical.pdb"
+  "CMakeFiles/extension_hierarchical.dir/extension_hierarchical.cpp.o"
+  "CMakeFiles/extension_hierarchical.dir/extension_hierarchical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_nbc"
+  "../bench/extension_nbc.pdb"
+  "CMakeFiles/extension_nbc.dir/extension_nbc.cpp.o"
+  "CMakeFiles/extension_nbc.dir/extension_nbc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_nbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extension_sgd"
+  "../bench/extension_sgd.pdb"
+  "CMakeFiles/extension_sgd.dir/extension_sgd.cpp.o"
+  "CMakeFiles/extension_sgd.dir/extension_sgd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_sgd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_09_intranode_latency.
+# This may be replaced when dependencies are built.

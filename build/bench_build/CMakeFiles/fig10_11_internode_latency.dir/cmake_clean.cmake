@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_11_internode_latency"
+  "../bench/fig10_11_internode_latency.pdb"
+  "CMakeFiles/fig10_11_internode_latency.dir/fig10_11_internode_latency.cpp.o"
+  "CMakeFiles/fig10_11_internode_latency.dir/fig10_11_internode_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_11_internode_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

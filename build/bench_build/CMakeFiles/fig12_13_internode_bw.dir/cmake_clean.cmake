@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_13_internode_bw"
+  "../bench/fig12_13_internode_bw.pdb"
+  "CMakeFiles/fig12_13_internode_bw.dir/fig12_13_internode_bw.cpp.o"
+  "CMakeFiles/fig12_13_internode_bw.dir/fig12_13_internode_bw.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_13_internode_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

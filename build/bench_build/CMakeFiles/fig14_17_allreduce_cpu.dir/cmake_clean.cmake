@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_17_allreduce_cpu"
+  "../bench/fig14_17_allreduce_cpu.pdb"
+  "CMakeFiles/fig14_17_allreduce_cpu.dir/fig14_17_allreduce_cpu.cpp.o"
+  "CMakeFiles/fig14_17_allreduce_cpu.dir/fig14_17_allreduce_cpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_17_allreduce_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

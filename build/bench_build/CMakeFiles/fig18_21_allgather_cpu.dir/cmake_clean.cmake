@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_21_allgather_cpu"
+  "../bench/fig18_21_allgather_cpu.pdb"
+  "CMakeFiles/fig18_21_allgather_cpu.dir/fig18_21_allgather_cpu.cpp.o"
+  "CMakeFiles/fig18_21_allgather_cpu.dir/fig18_21_allgather_cpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_21_allgather_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_23_gpu_latency"
+  "../bench/fig22_23_gpu_latency.pdb"
+  "CMakeFiles/fig22_23_gpu_latency.dir/fig22_23_gpu_latency.cpp.o"
+  "CMakeFiles/fig22_23_gpu_latency.dir/fig22_23_gpu_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_23_gpu_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

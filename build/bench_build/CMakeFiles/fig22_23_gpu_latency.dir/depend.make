@@ -1,0 +1,2 @@
+# Empty dependencies file for fig22_23_gpu_latency.
+# This may be replaced when dependencies are built.

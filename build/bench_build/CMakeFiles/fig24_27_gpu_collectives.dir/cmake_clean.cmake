@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig24_27_gpu_collectives"
+  "../bench/fig24_27_gpu_collectives.pdb"
+  "CMakeFiles/fig24_27_gpu_collectives.dir/fig24_27_gpu_collectives.cpp.o"
+  "CMakeFiles/fig24_27_gpu_collectives.dir/fig24_27_gpu_collectives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_27_gpu_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

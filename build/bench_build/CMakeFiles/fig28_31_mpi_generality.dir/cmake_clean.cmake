@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig28_31_mpi_generality"
+  "../bench/fig28_31_mpi_generality.pdb"
+  "CMakeFiles/fig28_31_mpi_generality.dir/fig28_31_mpi_generality.cpp.o"
+  "CMakeFiles/fig28_31_mpi_generality.dir/fig28_31_mpi_generality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig28_31_mpi_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig28_31_mpi_generality.
+# This may be replaced when dependencies are built.

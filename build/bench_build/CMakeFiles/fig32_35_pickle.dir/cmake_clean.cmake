@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig32_35_pickle"
+  "../bench/fig32_35_pickle.pdb"
+  "CMakeFiles/fig32_35_pickle.dir/fig32_35_pickle.cpp.o"
+  "CMakeFiles/fig32_35_pickle.dir/fig32_35_pickle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig32_35_pickle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig32_35_pickle.
+# This may be replaced when dependencies are built.

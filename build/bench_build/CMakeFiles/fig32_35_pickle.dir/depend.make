@@ -1,0 +1,2 @@
+# Empty dependencies file for fig32_35_pickle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig36_knn"
+  "../bench/fig36_knn.pdb"
+  "CMakeFiles/fig36_knn.dir/fig36_knn.cpp.o"
+  "CMakeFiles/fig36_knn.dir/fig36_knn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig36_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig37_kmeans"
+  "../bench/fig37_kmeans.pdb"
+  "CMakeFiles/fig37_kmeans.dir/fig37_kmeans.cpp.o"
+  "CMakeFiles/fig37_kmeans.dir/fig37_kmeans.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig37_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

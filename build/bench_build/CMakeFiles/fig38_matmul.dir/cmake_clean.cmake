@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig38_matmul"
+  "../bench/fig38_matmul.pdb"
+  "CMakeFiles/fig38_matmul.dir/fig38_matmul.cpp.o"
+  "CMakeFiles/fig38_matmul.dir/fig38_matmul.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig38_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_cluster.cpp" "examples/CMakeFiles/custom_cluster.dir/custom_cluster.cpp.o" "gcc" "examples/CMakeFiles/custom_cluster.dir/custom_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ombx_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_pylayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_pingpong.dir/gpu_pingpong.cpp.o"
+  "CMakeFiles/gpu_pingpong.dir/gpu_pingpong.cpp.o.d"
+  "gpu_pingpong"
+  "gpu_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

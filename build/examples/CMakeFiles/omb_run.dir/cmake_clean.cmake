@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omb_run.dir/omb_run.cpp.o"
+  "CMakeFiles/omb_run.dir/omb_run.cpp.o.d"
+  "omb_run"
+  "omb_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omb_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

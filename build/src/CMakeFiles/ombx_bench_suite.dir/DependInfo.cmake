@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_suite/coll_bench.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/coll_bench.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/coll_bench.cpp.o.d"
+  "/root/repo/src/bench_suite/nbc_bench.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/nbc_bench.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/nbc_bench.cpp.o.d"
+  "/root/repo/src/bench_suite/p2p_bandwidth.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_bandwidth.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_bandwidth.cpp.o.d"
+  "/root/repo/src/bench_suite/p2p_bibw.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_bibw.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_bibw.cpp.o.d"
+  "/root/repo/src/bench_suite/p2p_latency.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_latency.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_latency.cpp.o.d"
+  "/root/repo/src/bench_suite/p2p_mbw_mr.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_mbw_mr.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_mbw_mr.cpp.o.d"
+  "/root/repo/src/bench_suite/p2p_multi_lat.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_multi_lat.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_multi_lat.cpp.o.d"
+  "/root/repo/src/bench_suite/rma_bench.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/rma_bench.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/rma_bench.cpp.o.d"
+  "/root/repo/src/bench_suite/suite.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/suite.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/suite.cpp.o.d"
+  "/root/repo/src/bench_suite/vector_bench.cpp" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/vector_bench.cpp.o" "gcc" "src/CMakeFiles/ombx_bench_suite.dir/bench_suite/vector_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ombx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_pylayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/coll_bench.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/coll_bench.cpp.o.d"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/nbc_bench.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/nbc_bench.cpp.o.d"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_bandwidth.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_bandwidth.cpp.o.d"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_bibw.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_bibw.cpp.o.d"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_latency.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_latency.cpp.o.d"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_mbw_mr.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_mbw_mr.cpp.o.d"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_multi_lat.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/p2p_multi_lat.cpp.o.d"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/rma_bench.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/rma_bench.cpp.o.d"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/suite.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/suite.cpp.o.d"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/vector_bench.cpp.o"
+  "CMakeFiles/ombx_bench_suite.dir/bench_suite/vector_bench.cpp.o.d"
+  "libombx_bench_suite.a"
+  "libombx_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombx_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

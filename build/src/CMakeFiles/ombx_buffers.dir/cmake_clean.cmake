@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombx_buffers.dir/buffers/buffer.cpp.o"
+  "CMakeFiles/ombx_buffers.dir/buffers/buffer.cpp.o.d"
+  "CMakeFiles/ombx_buffers.dir/buffers/factory.cpp.o"
+  "CMakeFiles/ombx_buffers.dir/buffers/factory.cpp.o.d"
+  "libombx_buffers.a"
+  "libombx_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombx_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

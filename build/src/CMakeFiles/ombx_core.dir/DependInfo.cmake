@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/options.cpp" "src/CMakeFiles/ombx_core.dir/core/options.cpp.o" "gcc" "src/CMakeFiles/ombx_core.dir/core/options.cpp.o.d"
+  "/root/repo/src/core/plot.cpp" "src/CMakeFiles/ombx_core.dir/core/plot.cpp.o" "gcc" "src/CMakeFiles/ombx_core.dir/core/plot.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/ombx_core.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/ombx_core.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/ombx_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/ombx_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/ombx_core.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/ombx_core.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/ombx_core.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/ombx_core.dir/core/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ombx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_pylayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

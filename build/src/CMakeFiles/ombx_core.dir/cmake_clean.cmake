@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombx_core.dir/core/options.cpp.o"
+  "CMakeFiles/ombx_core.dir/core/options.cpp.o.d"
+  "CMakeFiles/ombx_core.dir/core/plot.cpp.o"
+  "CMakeFiles/ombx_core.dir/core/plot.cpp.o.d"
+  "CMakeFiles/ombx_core.dir/core/registry.cpp.o"
+  "CMakeFiles/ombx_core.dir/core/registry.cpp.o.d"
+  "CMakeFiles/ombx_core.dir/core/report.cpp.o"
+  "CMakeFiles/ombx_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/ombx_core.dir/core/runner.cpp.o"
+  "CMakeFiles/ombx_core.dir/core/runner.cpp.o.d"
+  "CMakeFiles/ombx_core.dir/core/stats.cpp.o"
+  "CMakeFiles/ombx_core.dir/core/stats.cpp.o.d"
+  "libombx_core.a"
+  "libombx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

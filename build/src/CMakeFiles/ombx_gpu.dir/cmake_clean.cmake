@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombx_gpu.dir/gpu/device.cpp.o"
+  "CMakeFiles/ombx_gpu.dir/gpu/device.cpp.o.d"
+  "CMakeFiles/ombx_gpu.dir/gpu/libs.cpp.o"
+  "CMakeFiles/ombx_gpu.dir/gpu/libs.cpp.o.d"
+  "libombx_gpu.a"
+  "libombx_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombx_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

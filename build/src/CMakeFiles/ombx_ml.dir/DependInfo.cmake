@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/ombx_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/ombx_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/distributed.cpp" "src/CMakeFiles/ombx_ml.dir/ml/distributed.cpp.o" "gcc" "src/CMakeFiles/ombx_ml.dir/ml/distributed.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/CMakeFiles/ombx_ml.dir/ml/kmeans.cpp.o" "gcc" "src/CMakeFiles/ombx_ml.dir/ml/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/CMakeFiles/ombx_ml.dir/ml/knn.cpp.o" "gcc" "src/CMakeFiles/ombx_ml.dir/ml/knn.cpp.o.d"
+  "/root/repo/src/ml/logreg.cpp" "src/CMakeFiles/ombx_ml.dir/ml/logreg.cpp.o" "gcc" "src/CMakeFiles/ombx_ml.dir/ml/logreg.cpp.o.d"
+  "/root/repo/src/ml/matmul.cpp" "src/CMakeFiles/ombx_ml.dir/ml/matmul.cpp.o" "gcc" "src/CMakeFiles/ombx_ml.dir/ml/matmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ombx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_pylayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

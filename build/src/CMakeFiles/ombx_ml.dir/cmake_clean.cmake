@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombx_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/ombx_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/ombx_ml.dir/ml/distributed.cpp.o"
+  "CMakeFiles/ombx_ml.dir/ml/distributed.cpp.o.d"
+  "CMakeFiles/ombx_ml.dir/ml/kmeans.cpp.o"
+  "CMakeFiles/ombx_ml.dir/ml/kmeans.cpp.o.d"
+  "CMakeFiles/ombx_ml.dir/ml/knn.cpp.o"
+  "CMakeFiles/ombx_ml.dir/ml/knn.cpp.o.d"
+  "CMakeFiles/ombx_ml.dir/ml/logreg.cpp.o"
+  "CMakeFiles/ombx_ml.dir/ml/logreg.cpp.o.d"
+  "CMakeFiles/ombx_ml.dir/ml/matmul.cpp.o"
+  "CMakeFiles/ombx_ml.dir/ml/matmul.cpp.o.d"
+  "libombx_ml.a"
+  "libombx_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombx_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

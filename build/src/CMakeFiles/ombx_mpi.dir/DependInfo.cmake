@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/cart.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/cart.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/cart.cpp.o.d"
+  "/root/repo/src/mpi/coll_allgather.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_allgather.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_allgather.cpp.o.d"
+  "/root/repo/src/mpi/coll_allreduce.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_allreduce.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_allreduce.cpp.o.d"
+  "/root/repo/src/mpi/coll_alltoall.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_alltoall.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_alltoall.cpp.o.d"
+  "/root/repo/src/mpi/coll_barrier.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_barrier.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_barrier.cpp.o.d"
+  "/root/repo/src/mpi/coll_bcast.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_bcast.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_bcast.cpp.o.d"
+  "/root/repo/src/mpi/coll_gather.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_gather.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_gather.cpp.o.d"
+  "/root/repo/src/mpi/coll_reduce.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_reduce.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_reduce.cpp.o.d"
+  "/root/repo/src/mpi/coll_reduce_scatter.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_reduce_scatter.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_reduce_scatter.cpp.o.d"
+  "/root/repo/src/mpi/coll_scan.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_scan.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_scan.cpp.o.d"
+  "/root/repo/src/mpi/coll_scatter.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_scatter.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_scatter.cpp.o.d"
+  "/root/repo/src/mpi/coll_vector.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_vector.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/coll_vector.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/comm.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/datatype.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/datatype.cpp.o.d"
+  "/root/repo/src/mpi/engine.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/engine.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/engine.cpp.o.d"
+  "/root/repo/src/mpi/hierarchical.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/hierarchical.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/hierarchical.cpp.o.d"
+  "/root/repo/src/mpi/layout.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/layout.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/layout.cpp.o.d"
+  "/root/repo/src/mpi/mailbox.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/mailbox.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/mailbox.cpp.o.d"
+  "/root/repo/src/mpi/nbc.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/nbc.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/nbc.cpp.o.d"
+  "/root/repo/src/mpi/op.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/op.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/op.cpp.o.d"
+  "/root/repo/src/mpi/request.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/request.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/request.cpp.o.d"
+  "/root/repo/src/mpi/rma.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/rma.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/rma.cpp.o.d"
+  "/root/repo/src/mpi/trace.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/trace.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/trace.cpp.o.d"
+  "/root/repo/src/mpi/world.cpp" "src/CMakeFiles/ombx_mpi.dir/mpi/world.cpp.o" "gcc" "src/CMakeFiles/ombx_mpi.dir/mpi/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ombx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombx_net.dir/net/cluster.cpp.o"
+  "CMakeFiles/ombx_net.dir/net/cluster.cpp.o.d"
+  "CMakeFiles/ombx_net.dir/net/link_model.cpp.o"
+  "CMakeFiles/ombx_net.dir/net/link_model.cpp.o.d"
+  "CMakeFiles/ombx_net.dir/net/network.cpp.o"
+  "CMakeFiles/ombx_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/ombx_net.dir/net/topology.cpp.o"
+  "CMakeFiles/ombx_net.dir/net/topology.cpp.o.d"
+  "CMakeFiles/ombx_net.dir/net/tuning.cpp.o"
+  "CMakeFiles/ombx_net.dir/net/tuning.cpp.o.d"
+  "libombx_net.a"
+  "libombx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pylayer/costs.cpp" "src/CMakeFiles/ombx_pylayer.dir/pylayer/costs.cpp.o" "gcc" "src/CMakeFiles/ombx_pylayer.dir/pylayer/costs.cpp.o.d"
+  "/root/repo/src/pylayer/pickle.cpp" "src/CMakeFiles/ombx_pylayer.dir/pylayer/pickle.cpp.o" "gcc" "src/CMakeFiles/ombx_pylayer.dir/pylayer/pickle.cpp.o.d"
+  "/root/repo/src/pylayer/pycomm.cpp" "src/CMakeFiles/ombx_pylayer.dir/pylayer/pycomm.cpp.o" "gcc" "src/CMakeFiles/ombx_pylayer.dir/pylayer/pycomm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ombx_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_buffers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ombx_simtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombx_pylayer.dir/pylayer/costs.cpp.o"
+  "CMakeFiles/ombx_pylayer.dir/pylayer/costs.cpp.o.d"
+  "CMakeFiles/ombx_pylayer.dir/pylayer/pickle.cpp.o"
+  "CMakeFiles/ombx_pylayer.dir/pylayer/pickle.cpp.o.d"
+  "CMakeFiles/ombx_pylayer.dir/pylayer/pycomm.cpp.o"
+  "CMakeFiles/ombx_pylayer.dir/pylayer/pycomm.cpp.o.d"
+  "libombx_pylayer.a"
+  "libombx_pylayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombx_pylayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ombx_pylayer.
+# This may be replaced when dependencies are built.

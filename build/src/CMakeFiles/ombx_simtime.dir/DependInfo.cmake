@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simtime/clock.cpp" "src/CMakeFiles/ombx_simtime.dir/simtime/clock.cpp.o" "gcc" "src/CMakeFiles/ombx_simtime.dir/simtime/clock.cpp.o.d"
+  "/root/repo/src/simtime/rng.cpp" "src/CMakeFiles/ombx_simtime.dir/simtime/rng.cpp.o" "gcc" "src/CMakeFiles/ombx_simtime.dir/simtime/rng.cpp.o.d"
+  "/root/repo/src/simtime/work.cpp" "src/CMakeFiles/ombx_simtime.dir/simtime/work.cpp.o" "gcc" "src/CMakeFiles/ombx_simtime.dir/simtime/work.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ombx_simtime.dir/simtime/clock.cpp.o"
+  "CMakeFiles/ombx_simtime.dir/simtime/clock.cpp.o.d"
+  "CMakeFiles/ombx_simtime.dir/simtime/rng.cpp.o"
+  "CMakeFiles/ombx_simtime.dir/simtime/rng.cpp.o.d"
+  "CMakeFiles/ombx_simtime.dir/simtime/work.cpp.o"
+  "CMakeFiles/ombx_simtime.dir/simtime/work.cpp.o.d"
+  "libombx_simtime.a"
+  "libombx_simtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ombx_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

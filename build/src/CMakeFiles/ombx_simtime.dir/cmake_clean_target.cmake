@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libombx_simtime.a"
+)

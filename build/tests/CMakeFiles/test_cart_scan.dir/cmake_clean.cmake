@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cart_scan.dir/test_cart_scan.cpp.o"
+  "CMakeFiles/test_cart_scan.dir/test_cart_scan.cpp.o.d"
+  "test_cart_scan"
+  "test_cart_scan.pdb"
+  "test_cart_scan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cart_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

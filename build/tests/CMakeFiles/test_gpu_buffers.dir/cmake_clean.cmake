@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_buffers.dir/test_gpu_buffers.cpp.o"
+  "CMakeFiles/test_gpu_buffers.dir/test_gpu_buffers.cpp.o.d"
+  "test_gpu_buffers"
+  "test_gpu_buffers.pdb"
+  "test_gpu_buffers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_plot.dir/test_layout_plot.cpp.o"
+  "CMakeFiles/test_layout_plot.dir/test_layout_plot.cpp.o.d"
+  "test_layout_plot"
+  "test_layout_plot.pdb"
+  "test_layout_plot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pylayer.dir/test_pylayer.cpp.o"
+  "CMakeFiles/test_pylayer.dir/test_pylayer.cpp.o.d"
+  "test_pylayer"
+  "test_pylayer.pdb"
+  "test_pylayer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pylayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

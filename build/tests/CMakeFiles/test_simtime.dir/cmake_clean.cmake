@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simtime.dir/test_simtime.cpp.o"
+  "CMakeFiles/test_simtime.dir/test_simtime.cpp.o.d"
+  "test_simtime"
+  "test_simtime.pdb"
+  "test_simtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
