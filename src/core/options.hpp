@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "buffers/buffer.hpp"
+#include "fault/fault.hpp"
 #include "mpi/engine.hpp"
 #include "net/cluster.hpp"
 #include "net/tuning.hpp"
@@ -63,6 +64,9 @@ struct SuiteConfig {
   buffers::BufferKind buffer = buffers::BufferKind::kNumpy;
   mpi::PayloadMode payload = mpi::PayloadMode::kReal;
   Options opts;
+  /// Seeded fault injection (drops, corruption, degraded links,
+  /// stragglers, kills); the all-defaults config injects nothing.
+  fault::FaultConfig fault;
 };
 
 }  // namespace ombx::core

@@ -95,6 +95,25 @@ std::string format_size(std::size_t bytes) {
   return std::to_string(bytes);
 }
 
+Table resilience_table(const fault::FaultPlan& plan) {
+  const auto& c = plan.counters();
+  Table t("OMB-X Resilience Summary", {"Event", "Count"});
+  const auto row = [&](const char* name,
+                       const std::atomic<std::uint64_t>& v) {
+    t.add_row({name, std::to_string(v.load(std::memory_order_relaxed))});
+  };
+  row("messages examined", c.messages_examined);
+  row("eager drops", c.drops);
+  row("retransmits", c.retransmits);
+  row("payload corruptions", c.corruptions);
+  row("degraded-window messages", c.degraded_messages);
+  row("rank kills", c.kills);
+  row("abort propagations", c.aborts);
+  row("watchdog deadlock detections", c.watchdog_fires);
+  row("runner retries", c.retries);
+  return t;
+}
+
 double mean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   return std::accumulate(v.begin(), v.end(), 0.0) /

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
+
 namespace ombx::core {
 
 /// A simple fixed-width text table, printed in the OSU banner style:
@@ -38,6 +40,13 @@ class Table {
 
 /// Format a byte count the way OSU prints sizes (plain integer).
 [[nodiscard]] std::string format_size(std::size_t bytes);
+
+/// Resilience section for fault-injected runs: injection totals from the
+/// plan's counters (messages examined, drops/retransmits, corruptions,
+/// degraded-window messages, kills, aborts, watchdog fires, runner
+/// retries).  Counter order is fixed so same-seed runs produce
+/// byte-identical tables.
+[[nodiscard]] Table resilience_table(const fault::FaultPlan& plan);
 
 /// Mean of a vector (0 for empty).
 [[nodiscard]] double mean(const std::vector<double>& v);

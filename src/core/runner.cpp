@@ -1,5 +1,8 @@
 #include "core/runner.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "mpi/error.hpp"
 
 namespace ombx::core {
@@ -14,7 +17,38 @@ mpi::WorldConfig make_world_config(const SuiteConfig& cfg) {
   wc.thread_level = cfg.mode == Mode::kNativeC
                         ? net::ThreadLevel::kSingle
                         : net::ThreadLevel::kMultiple;
+  wc.fault = cfg.fault;
   return wc;
+}
+
+RunOutcome run_with_retry(mpi::World& world,
+                          const std::function<void(mpi::Comm&)>& rank_main,
+                          const RetryPolicy& policy) {
+  RunOutcome out;
+  double backoff = policy.backoff_ms;
+  for (int attempt = 0; attempt < std::max(1, policy.max_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+        backoff *= policy.backoff_multiplier;
+      }
+      if (fault::FaultPlan* plan = world.fault_plan()) {
+        plan->counters().retries.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ++out.attempts;
+    try {
+      world.run(rank_main);
+      out.succeeded = true;
+      out.last_error.clear();
+      return out;
+    } catch (const std::exception& e) {
+      out.last_error = e.what();
+    }
+  }
+  return out;
 }
 
 DevicePool::DevicePool(const SuiteConfig& cfg)

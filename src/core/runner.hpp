@@ -16,7 +16,36 @@ namespace ombx::core {
 /// Build a WorldConfig for a benchmark run.  mpi4py initializes MPI with
 /// THREAD_MULTIPLE (OMB's C binaries use THREAD_SINGLE), which is the
 /// paper's explanation for the full-subscription Allreduce degradation.
+/// Carries the suite's fault-injection config into the world.
 [[nodiscard]] mpi::WorldConfig make_world_config(const SuiteConfig& cfg);
+
+/// Retry policy for running a program under transient faults: each failed
+/// repetition (AbortedError / DeadlockError / RankKilledError / Error from
+/// the substrate) is retried after an exponentially growing host-side
+/// backoff, up to `max_attempts` total attempts.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double backoff_ms = 0.0;          ///< host sleep before the 2nd attempt
+  double backoff_multiplier = 2.0;  ///< growth per subsequent attempt
+};
+
+/// Result of run_with_retry: how many attempts ran, whether one
+/// succeeded, and the last failure's what() when none did.
+struct RunOutcome {
+  int attempts = 0;
+  bool succeeded = false;
+  std::string last_error;
+};
+
+/// Execute `rank_main` on `world` with per-repetition retry-with-backoff.
+/// Clocks reset between attempts (World::run semantics), so a successful
+/// retry yields exactly the virtual times a clean run would.  Bumps the
+/// world's fault-plan `retries` counter per retry.  Throws nothing: the
+/// outcome reports failure after the final attempt instead, leaving the
+/// caller free to degrade gracefully (skip the repetition, keep the run).
+[[nodiscard]] RunOutcome run_with_retry(
+    mpi::World& world, const std::function<void(mpi::Comm&)>& rank_main,
+    const RetryPolicy& policy = {});
 
 /// One simulated GPU per node (the RI2 GPU partition layout).  Ranks map
 /// to their node's device.  Empty when the cluster has no GPUs.

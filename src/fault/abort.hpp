@@ -1,0 +1,23 @@
+// Abort descriptor shared by the poison/propagation machinery.
+//
+// When one rank fails, the engine stamps an AbortInfo and poisons every
+// blocking primitive (mailboxes, rendezvous sync cells) with a shared
+// pointer to it, so peers wake up knowing *who* failed and *why* — the
+// MPI_Abort contract, minus the process kill.
+#pragma once
+
+#include <string>
+
+namespace ombx::fault {
+
+/// Origin rank used when the abort was raised by the watchdog rather than
+/// by a rank thread.
+inline constexpr int kWatchdogOrigin = -1;
+
+struct AbortInfo {
+  int origin_rank = kWatchdogOrigin;  ///< world rank that failed first
+  std::string reason;                 ///< human-readable cause
+  bool deadlock = false;  ///< true when raised by the deadlock watchdog
+};
+
+}  // namespace ombx::fault

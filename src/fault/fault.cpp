@@ -1,0 +1,124 @@
+#include "fault/fault.hpp"
+
+#include "simtime/rng.hpp"
+
+namespace ombx::fault {
+
+namespace {
+
+/// Uniform double in [0, 1) from a raw 64-bit draw.
+double to_unit(std::uint64_t x) noexcept {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+/// Stream key for message (src -> dst, seq): mixes the coordinates into
+/// the seed so adjacent pairs/sequences decorrelate.
+std::uint64_t stream_key(std::uint64_t seed, int src, int dst,
+                         std::uint64_t seq) noexcept {
+  std::uint64_t k = seed;
+  k ^= 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(src);
+  k *= 0xbf58476d1ce4e5b9ULL;
+  k ^= 0x94d049bb133111ebULL + static_cast<std::uint64_t>(dst);
+  k *= 0x2545f4914f6cdd1dULL;
+  k ^= seq;
+  return k;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig cfg, int nranks)
+    : cfg_(std::move(cfg)),
+      nranks_(nranks),
+      seq_(static_cast<std::size_t>(nranks) *
+           static_cast<std::size_t>(nranks)),
+      straggler_(static_cast<std::size_t>(nranks), 1.0),
+      kill_(static_cast<std::size_t>(nranks)) {
+  for (const StragglerSpec& s : cfg_.stragglers) {
+    if (s.rank >= 0 && s.rank < nranks_) {
+      straggler_[static_cast<std::size_t>(s.rank)] = s.slowdown;
+    }
+  }
+  for (const KillSpec& k : cfg_.kills) {
+    if (k.rank >= 0 && k.rank < nranks_) {
+      auto& slot = kill_[static_cast<std::size_t>(k.rank)];
+      // Earliest kill wins if several target the same rank.
+      if (!slot || k.at_time_us < *slot) slot = k.at_time_us;
+    }
+  }
+}
+
+MessageFaults FaultPlan::draw_message(int src, int dst, std::size_t bytes,
+                                      bool droppable) {
+  MessageFaults out;
+  counters_.messages_examined.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.drop.probability <= 0.0 && cfg_.corrupt.probability <= 0.0) {
+    return out;
+  }
+  const std::size_t idx = static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(nranks_) +
+                          static_cast<std::size_t>(dst);
+  const std::uint64_t seq =
+      seq_[idx].fetch_add(1, std::memory_order_relaxed);
+  simtime::SplitMix64 sm(stream_key(cfg_.seed, src, dst, seq));
+
+  if (droppable && cfg_.drop.probability > 0.0) {
+    while (out.retransmits < cfg_.drop.max_retries &&
+           to_unit(sm.next()) < cfg_.drop.probability) {
+      ++out.retransmits;
+    }
+    if (out.retransmits > 0) {
+      const auto n = static_cast<std::uint64_t>(out.retransmits);
+      counters_.drops.fetch_add(n, std::memory_order_relaxed);
+      counters_.retransmits.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  if (cfg_.corrupt.probability > 0.0 &&
+      to_unit(sm.next()) < cfg_.corrupt.probability) {
+    out.corrupt = true;
+    out.corrupt_offset = bytes > 0 ? sm.next() % bytes : 0;
+    counters_.corruptions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double FaultPlan::alpha_factor(net::LinkClass c, usec_t t) const {
+  double f = 1.0;
+  for (const DegradeWindow& w : cfg_.degrade) {
+    if (w.link == c && t >= w.t_begin_us && t < w.t_end_us) {
+      f *= w.alpha_factor;
+    }
+  }
+  return f;
+}
+
+double FaultPlan::beta_factor(net::LinkClass c, usec_t t) const {
+  double f = 1.0;
+  for (const DegradeWindow& w : cfg_.degrade) {
+    if (w.link == c && t >= w.t_begin_us && t < w.t_end_us) {
+      f *= w.beta_factor;
+    }
+  }
+  return f;
+}
+
+bool FaultPlan::degrades(net::LinkClass c, usec_t t) const {
+  for (const DegradeWindow& w : cfg_.degrade) {
+    if (w.link == c && t >= w.t_begin_us && t < w.t_end_us &&
+        (w.alpha_factor != 1.0 || w.beta_factor != 1.0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultPlan::straggler_factor(int rank) const {
+  if (rank < 0 || rank >= nranks_) return 1.0;
+  return straggler_[static_cast<std::size_t>(rank)];
+}
+
+std::optional<usec_t> FaultPlan::kill_time(int rank) const {
+  if (rank < 0 || rank >= nranks_) return std::nullopt;
+  return kill_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace ombx::fault

@@ -1,0 +1,148 @@
+// Deterministic, seeded fault injection for the simulated MPI substrate.
+//
+// A FaultPlan is the single decision authority for "what goes wrong when":
+// eager-message drops (modeled as timeout + retransmit in virtual time),
+// payload corruption, link degradation windows (inflated alpha/beta on a
+// link class during a virtual-time interval), per-rank stragglers, and
+// rank kills at a virtual time.
+//
+// Determinism contract: every per-message decision is drawn from a
+// SplitMix64 stream keyed by (seed, src, dst, per-pair sequence number).
+// The per-pair sequence advances in the sender's program order, which the
+// engine already guarantees is deterministic, so the same seed yields a
+// byte-identical fault schedule regardless of host thread scheduling —
+// and a different seed yields a different one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/link_model.hpp"
+#include "simtime/clock.hpp"
+
+namespace ombx::fault {
+
+using simtime::usec_t;
+
+/// Randomly drop eager messages; each drop costs one retransmit timeout of
+/// virtual time before the payload finally arrives (go-back-N flavoured:
+/// the sender's NIC stays busy re-injecting).
+struct DropSpec {
+  double probability = 0.0;  ///< per-transmission-attempt drop chance
+  usec_t retransmit_timeout_us = 50.0;
+  int max_retries = 16;  ///< attempts are capped so arrival always happens
+};
+
+/// Randomly corrupt message payloads (single deterministic byte flip).
+struct CorruptSpec {
+  double probability = 0.0;
+};
+
+/// Inflate link cost parameters on one link class during a virtual-time
+/// window: alpha (startup) and beta (per-byte) components are scaled
+/// independently.  Models a congested or renegotiated-down link.
+struct DegradeWindow {
+  net::LinkClass link = net::LinkClass::kInterNode;
+  usec_t t_begin_us = 0.0;
+  usec_t t_end_us = 0.0;
+  double alpha_factor = 1.0;
+  double beta_factor = 1.0;
+};
+
+/// Slow one rank's local work (compute, copies, send injection) by a
+/// constant factor — a thermally-throttled or noisy-neighbour node.
+struct StragglerSpec {
+  int rank = 0;
+  double slowdown = 1.0;
+};
+
+/// Kill a rank once its virtual clock reaches `at_time_us`: its next
+/// substrate call throws RankKilledError, which World turns into an abort.
+struct KillSpec {
+  int rank = 0;
+  usec_t at_time_us = 0.0;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  DropSpec drop;
+  CorruptSpec corrupt;
+  std::vector<DegradeWindow> degrade;
+  std::vector<StragglerSpec> stragglers;
+  std::vector<KillSpec> kills;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return drop.probability > 0.0 || corrupt.probability > 0.0 ||
+           !degrade.empty() || !stragglers.empty() || !kills.empty();
+  }
+};
+
+/// Per-message fault decisions, drawn once at send time on the sender's
+/// thread (hence deterministic).
+struct MessageFaults {
+  int retransmits = 0;  ///< dropped attempts before the one that lands
+  bool corrupt = false;
+  std::size_t corrupt_offset = 0;  ///< byte to flip when corrupting
+};
+
+class FaultPlan {
+ public:
+  /// Injection totals, for the resilience report.  Atomics because rank
+  /// threads bump them concurrently; totals are still deterministic
+  /// because every increment is decided by the seeded streams.
+  struct Counters {
+    std::atomic<std::uint64_t> messages_examined{0};
+    std::atomic<std::uint64_t> drops{0};         ///< dropped transmissions
+    std::atomic<std::uint64_t> retransmits{0};   ///< == drops (re-sent)
+    std::atomic<std::uint64_t> corruptions{0};
+    std::atomic<std::uint64_t> degraded_messages{0};
+    std::atomic<std::uint64_t> kills{0};
+    std::atomic<std::uint64_t> aborts{0};          ///< abort propagations
+    std::atomic<std::uint64_t> watchdog_fires{0};  ///< deadlocks detected
+    std::atomic<std::uint64_t> retries{0};         ///< runner-level retries
+  };
+
+  FaultPlan(FaultConfig cfg, int nranks);
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return cfg_; }
+
+  /// Draw the fault decisions for the next message src -> dst.  Advances
+  /// the per-pair stream; call exactly once per posted message.  Drops are
+  /// only drawn when `droppable` (eager protocol; rendezvous traffic is
+  /// handshake-protected), so counters reflect faults actually applied.
+  [[nodiscard]] MessageFaults draw_message(int src, int dst,
+                                           std::size_t bytes,
+                                           bool droppable);
+
+  /// Combined alpha/beta scale factors from every degradation window
+  /// covering virtual time `t` on link class `c` (1.0 outside windows).
+  [[nodiscard]] double alpha_factor(net::LinkClass c, usec_t t) const;
+  [[nodiscard]] double beta_factor(net::LinkClass c, usec_t t) const;
+  [[nodiscard]] bool degrades(net::LinkClass c, usec_t t) const;
+
+  /// Local-work slowdown for `rank` (1.0 when not a straggler).
+  [[nodiscard]] double straggler_factor(int rank) const;
+
+  /// Virtual time at which `rank` dies, if a kill is scheduled for it.
+  [[nodiscard]] std::optional<usec_t> kill_time(int rank) const;
+
+  [[nodiscard]] Counters& counters() noexcept { return counters_; }
+  [[nodiscard]] const Counters& counters() const noexcept {
+    return counters_;
+  }
+
+ private:
+  FaultConfig cfg_;
+  int nranks_;
+  /// Per-(src,dst) message sequence numbers; row-major.  Each entry is
+  /// only advanced by the sending rank's thread, but kept atomic so the
+  /// plan is safe under any caller.
+  std::vector<std::atomic<std::uint64_t>> seq_;
+  std::vector<double> straggler_;            ///< per-rank factor
+  std::vector<std::optional<usec_t>> kill_;  ///< per-rank kill time
+  Counters counters_;
+};
+
+}  // namespace ombx::fault

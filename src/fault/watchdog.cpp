@@ -1,0 +1,136 @@
+#include "fault/watchdog.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace ombx::fault {
+
+std::string to_string(WaitKind k) {
+  switch (k) {
+    case WaitKind::kRecv:
+      return "recv";
+    case WaitKind::kProbe:
+      return "probe";
+    case WaitKind::kSendCapacity:
+      return "send (mailbox full)";
+    case WaitKind::kRendezvous:
+      return "rendezvous wait";
+  }
+  return "?";
+}
+
+WaitRegistry::WaitRegistry(int nranks)
+    : waits_(static_cast<std::size_t>(nranks)),
+      finished_(static_cast<std::size_t>(nranks), false) {}
+
+void WaitRegistry::begin_wait(int rank, const WaitInfo& info) {
+  std::lock_guard<std::mutex> lk(m_);
+  waits_[static_cast<std::size_t>(rank)] = info;
+}
+
+void WaitRegistry::end_wait(int rank) {
+  std::lock_guard<std::mutex> lk(m_);
+  waits_[static_cast<std::size_t>(rank)].reset();
+}
+
+void WaitRegistry::mark_finished(int rank) {
+  std::lock_guard<std::mutex> lk(m_);
+  auto idx = static_cast<std::size_t>(rank);
+  if (!finished_[idx]) {
+    finished_[idx] = true;
+    ++finished_count_;
+  }
+  waits_[idx].reset();
+}
+
+void WaitRegistry::reset() {
+  std::lock_guard<std::mutex> lk(m_);
+  for (auto& w : waits_) w.reset();
+  finished_.assign(finished_.size(), false);
+  finished_count_ = 0;
+  progress_.store(0, std::memory_order_relaxed);
+}
+
+WaitRegistry::Snapshot WaitRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(m_);
+  Snapshot s;
+  s.nranks = static_cast<int>(waits_.size());
+  s.finished = finished_count_;
+  s.waits = waits_;
+  for (const auto& w : waits_) {
+    if (w.has_value()) ++s.blocked;
+  }
+  s.progress = progress_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string WaitRegistry::describe(const Snapshot& snap) {
+  std::ostringstream os;
+  for (int r = 0; r < snap.nranks; ++r) {
+    const auto& w = snap.waits[static_cast<std::size_t>(r)];
+    os << "rank " << r << ": ";
+    if (w.has_value()) {
+      os << "blocked in " << to_string(w->kind) << " (ctx=" << w->context
+         << ", " << (w->kind == WaitKind::kSendCapacity ? "dst" : "src")
+         << "=" << w->peer << ", tag=" << w->tag << ")";
+    } else {
+      os << "not blocked";
+    }
+    if (r + 1 < snap.nranks) os << "\n";
+  }
+  return os.str();
+}
+
+Watchdog::Watchdog(WaitRegistry& registry, double poll_ms,
+                   std::function<void(const std::string&)> on_deadlock)
+    : registry_(registry), on_deadlock_(std::move(on_deadlock)) {
+  thread_ = std::thread([this, poll_ms] { loop(poll_ms); });
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (stop_) {
+      if (thread_.joinable()) thread_.join();
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::loop(double poll_ms) {
+  // Three consecutive all-blocked/no-progress observations before firing:
+  // a single sample can catch a notified-but-not-yet-scheduled waiter, so
+  // the streak buys robustness against host scheduling hiccups without
+  // weakening soundness (a true deadlock stays stalled forever).
+  constexpr int kStreakToFire = 3;
+  const auto poll = std::chrono::duration<double, std::milli>(poll_ms);
+  int streak = 0;
+  std::uint64_t last_progress = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      if (cv_.wait_for(lk, poll, [&] { return stop_; })) return;
+    }
+    const WaitRegistry::Snapshot snap = registry_.snapshot();
+    const int active = snap.nranks - snap.finished;
+    const bool stalled = active > 0 && snap.blocked == active;
+    if (stalled && (streak == 0 || snap.progress == last_progress)) {
+      ++streak;
+    } else {
+      streak = stalled ? 1 : 0;
+    }
+    last_progress = snap.progress;
+    if (streak >= kStreakToFire) {
+      fired_.store(true, std::memory_order_release);
+      on_deadlock_(WaitRegistry::describe(snap));
+      return;  // one shot; the abort wakes everyone
+    }
+  }
+}
+
+}  // namespace ombx::fault

@@ -1,0 +1,139 @@
+// Deadlock watchdog: per-rank blocked-wait bookkeeping plus a monitor
+// thread that detects global no-progress states.
+//
+// Every blocking primitive in the substrate (matched receive, blocking
+// probe, capacity-blocked enqueue, rendezvous completion wait) registers
+// what it is waiting on in the WaitRegistry before sleeping and clears it
+// on wake.  Because the simulation is closed — messages only originate
+// from rank threads — "every unfinished rank is blocked and the progress
+// counter has not moved between two polls" is a sound and complete
+// deadlock criterion.  On detection the watchdog produces a PARCOACH-style
+// per-rank dump of the (context, src, tag) each rank is stuck on.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ombx::fault {
+
+enum class WaitKind {
+  kRecv,          ///< blocked in a matched receive
+  kProbe,         ///< blocked in MPI_Probe
+  kSendCapacity,  ///< blocked pushing into a full mailbox
+  kRendezvous,    ///< blocked awaiting rendezvous completion
+};
+
+[[nodiscard]] std::string to_string(WaitKind k);
+
+/// What a blocked rank is waiting on.  For receives/probes `peer` is the
+/// match source (kAnySource = -1) and `context`/`tag` the match keys; for
+/// sends `peer` is the destination rank.
+struct WaitInfo {
+  WaitKind kind = WaitKind::kRecv;
+  int context = 0;
+  int peer = -1;
+  int tag = -1;
+};
+
+class WaitRegistry {
+ public:
+  explicit WaitRegistry(int nranks);
+
+  WaitRegistry(const WaitRegistry&) = delete;
+  WaitRegistry& operator=(const WaitRegistry&) = delete;
+
+  void begin_wait(int rank, const WaitInfo& info);
+  void end_wait(int rank);
+
+  /// Any state change that can unblock a waiter (enqueue, dequeue,
+  /// rendezvous completion).  Lock-free.
+  void note_progress() noexcept {
+    progress_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t progress() const noexcept {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+  /// Rank thread lifecycle (per run).
+  void mark_finished(int rank);
+  void reset();
+
+  struct Snapshot {
+    int nranks = 0;
+    int finished = 0;
+    int blocked = 0;
+    std::uint64_t progress = 0;
+    std::vector<std::optional<WaitInfo>> waits;  ///< per rank
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Per-rank "rank R: blocked in recv (ctx=0, src=1, tag=5)" dump.
+  [[nodiscard]] static std::string describe(const Snapshot& snap);
+
+ private:
+  mutable std::mutex m_;
+  std::vector<std::optional<WaitInfo>> waits_;
+  std::vector<bool> finished_;
+  int finished_count_ = 0;
+  std::atomic<std::uint64_t> progress_{0};
+};
+
+/// RAII wait registration; tolerates a null registry.
+class ScopedWait {
+ public:
+  ScopedWait(WaitRegistry* reg, int rank, const WaitInfo& info)
+      : reg_(reg), rank_(rank) {
+    if (reg_) reg_->begin_wait(rank_, info);
+  }
+  ~ScopedWait() {
+    if (reg_) reg_->end_wait(rank_);
+  }
+  ScopedWait(const ScopedWait&) = delete;
+  ScopedWait& operator=(const ScopedWait&) = delete;
+
+ private:
+  WaitRegistry* reg_;
+  int rank_;
+};
+
+/// Polls a WaitRegistry and fires `on_deadlock(dump)` (once) when two
+/// consecutive polls observe every unfinished rank blocked with no
+/// progress in between.  The callback runs on the watchdog thread and
+/// must not block on the registry.
+class Watchdog {
+ public:
+  Watchdog(WaitRegistry& registry, double poll_ms,
+           std::function<void(const std::string&)> on_deadlock);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// True once a deadlock has been reported.
+  [[nodiscard]] bool fired() const noexcept {
+    return fired_.load(std::memory_order_acquire);
+  }
+
+  /// Stop polling and join the monitor thread (idempotent).
+  void stop();
+
+ private:
+  void loop(double poll_ms);
+
+  WaitRegistry& registry_;
+  std::function<void(const std::string&)> on_deadlock_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<bool> fired_{false};
+  std::thread thread_;
+};
+
+}  // namespace ombx::fault

@@ -45,10 +45,11 @@ simtime::SimClock& Comm::clock() const {
 }
 
 void Comm::send(ConstView v, int dst, int tag) const {
-  OMBX_REQUIRE(tag >= 0, "user tags must be non-negative");
+  OMBX_REQUIRE_AT(tag >= 0, "user tags must be non-negative", my_world_,
+                  context_);
   auto cell = engine_->post_send(my_world_, world_rank(dst), context_,
                                  my_rank_, tag, v);
-  if (cell) clock().advance_to(cell->await());
+  if (cell) engine_->await_cell(my_world_, *cell);
 }
 
 Status Comm::recv(MutView v, int src, int tag) const {
@@ -65,7 +66,8 @@ Status Comm::sendrecv(ConstView s, int dst, int stag, MutView r, int src,
 }
 
 Request Comm::isend(ConstView v, int dst, int tag) const {
-  OMBX_REQUIRE(tag >= 0, "user tags must be non-negative");
+  OMBX_REQUIRE_AT(tag >= 0, "user tags must be non-negative", my_world_,
+                  context_);
   auto cell = engine_->post_send(my_world_, world_rank(dst), context_,
                                  my_rank_, tag, v);
   return Request::make_send(*this, std::move(cell));
@@ -141,7 +143,7 @@ std::optional<Comm> Comm::split(int color, int key) const {
                                        my_rank_, kSplitReplyTag,
                                        bytes_of(out),
                                        /*force_payload=*/true);
-        if (cell) clock().advance_to(cell->await());
+        if (cell) engine_->await_cell(my_world_, *cell);
       }
     }
   } else {
@@ -150,7 +152,7 @@ std::optional<Comm> Comm::split(int color, int key) const {
                                    my_rank_, kSplitGatherTag,
                                    bytes_of(mine),
                                    /*force_payload=*/true);
-    if (cell) clock().advance_to(cell->await());
+    if (cell) engine_->await_cell(my_world_, *cell);
 
     const Status st = engine_->probe(my_world_, context_, 0, kSplitReplyTag);
     reply.resize(st.bytes / sizeof(std::int32_t));

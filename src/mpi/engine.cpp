@@ -8,10 +8,11 @@
 namespace ombx::mpi {
 
 Engine::Engine(net::NetworkModel model, int nranks, PayloadMode payload,
-               net::ThreadLevel thread_level)
+               net::ThreadLevel thread_level, std::size_t mailbox_capacity)
     : model_(std::move(model)),
       payload_(payload),
-      thread_level_(thread_level) {
+      thread_level_(thread_level),
+      registry_(nranks) {
   OMBX_REQUIRE(nranks > 0, "world must contain at least one rank");
   OMBX_REQUIRE(nranks <= model_.mapper().max_ranks(),
                "world does not fit on the cluster at this ppn");
@@ -19,7 +20,8 @@ Engine::Engine(net::NetworkModel model, int nranks, PayloadMode payload,
   mail_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     ranks_.push_back(std::make_unique<RankState>());
-    mail_.push_back(std::make_unique<Mailbox>());
+    mail_.push_back(
+        std::make_unique<Mailbox>(mailbox_capacity, &registry_, r));
   }
   oversub_ = model_.oversubscription_factor(thread_level_);
 }
@@ -43,12 +45,32 @@ RankState& Engine::state(int world_rank) {
   return *ranks_[static_cast<std::size_t>(world_rank)];
 }
 
+void Engine::check_failures(int world_rank) {
+  if (aborted_.load(std::memory_order_acquire)) {
+    std::shared_ptr<const fault::AbortInfo> info;
+    {
+      std::lock_guard<std::mutex> lk(abort_mutex_);
+      info = abort_;
+    }
+    if (info) throw_aborted(*info);
+  }
+  if (fault_) {
+    if (const auto t = fault_->kill_time(world_rank)) {
+      if (state(world_rank).clock.now() >= *t) {
+        fault_->counters().kills.fetch_add(1, std::memory_order_relaxed);
+        throw RankKilledError(world_rank, *t);
+      }
+    }
+  }
+}
+
 std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
                                             int ctx, int src_comm_rank,
                                             int tag, ConstView v,
                                             bool force_payload) {
-  OMBX_REQUIRE(dst_world >= 0 && dst_world < nranks(),
-               "send destination out of range");
+  OMBX_REQUIRE_AT(dst_world >= 0 && dst_world < nranks(),
+                  "send destination out of range", src_world, ctx);
+  check_failures(src_world);
   RankState& st = state(src_world);
 
   Message msg;
@@ -70,25 +92,75 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
     msg.payload.assign(v.data, v.data + v.bytes);
   }
 
+  // Fault injection: decisions are drawn on the sender thread from the
+  // plan's seeded per-pair stream, so the schedule is deterministic.
+  fault::MessageFaults injected;
+  const bool eager = msg.protocol == net::Protocol::kEager;
+  if (fault_ && src_world != dst_world) {
+    injected = fault_->draw_message(src_world, dst_world, v.bytes, eager);
+    if (injected.corrupt && !msg.payload.empty()) {
+      msg.payload[injected.corrupt_offset % msg.payload.size()] ^=
+          std::byte{0xff};
+    }
+  }
+  const double straggle =
+      fault_ ? fault_->straggler_factor(src_world) : 1.0;
+
   // The THREAD_MULTIPLE memcpy penalty only bites on the segmented copies
   // of large (rendezvous) messages; eager sends are latency-bound and the
   // paper sees full-subscription degradation at large sizes only.
   std::shared_ptr<SyncCell> cell;
-  if (msg.protocol == net::Protocol::kEager) {
+  if (eager) {
     const usec_t inject = std::max(st.clock.now(), st.nic_free);
+    usec_t transfer =
+        model_.transfer_us(src_world, dst_world, v.bytes, v.space);
+    if (fault_) {
+      const net::LinkClass link =
+          model_.link_class(src_world, dst_world, v.space);
+      if (fault_->degrades(link, inject)) {
+        transfer = model_.perturbed_transfer_us(
+            src_world, dst_world, v.bytes, v.space,
+            fault_->alpha_factor(link, inject),
+            fault_->beta_factor(link, inject));
+        fault_->counters().degraded_messages.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
     msg.send_time = inject;
-    msg.arrival_time =
-        inject + model_.transfer_us(src_world, dst_world, v.bytes, v.space);
-    st.nic_free = inject + model_.nic_gap_us(src_world, dst_world, v.bytes,
-                                             v.space);
-    st.clock.advance_to(
-        inject + model_.sender_busy_us(src_world, dst_world, v.bytes,
-                                       v.space));
+    // Each dropped attempt costs one retransmit timeout before the copy
+    // that finally lands; the NIC stays busy re-injecting, but the CPU
+    // moved on after the first injection (eager fire-and-forget, with the
+    // library's progress engine doing the retries).
+    const int re = injected.retransmits;
+    const usec_t retry_delay =
+        re > 0 ? static_cast<usec_t>(re) *
+                     fault_->config().drop.retransmit_timeout_us
+               : 0.0;
+    msg.arrival_time = inject + retry_delay + transfer;
+    st.nic_free =
+        inject + retry_delay +
+        model_.nic_gap_us(src_world, dst_world, v.bytes, v.space);
+    st.clock.advance_to(inject + straggle * model_.sender_busy_us(
+                                                src_world, dst_world,
+                                                v.bytes, v.space));
   } else {
     msg.send_time = st.clock.now();
     // Receiver recomputes wire time from the model; stash nothing extra.
     cell = std::make_shared<SyncCell>();
+    cell->ctx = ctx;
+    cell->peer = dst_world;
+    cell->tag = tag;
     msg.sync = cell;
+    {
+      std::lock_guard<std::mutex> lk(cells_mutex_);
+      // Prune completed/abandoned cells opportunistically so the registry
+      // stays O(in-flight), then track this one for abort poisoning.
+      std::erase_if(pending_cells_,
+                    [](const std::weak_ptr<SyncCell>& w) {
+                      return w.expired();
+                    });
+      pending_cells_.push_back(cell);
+    }
   }
 
   if (tracer_) {
@@ -106,12 +178,14 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
 
 Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
                     MutView v) {
+  check_failures(self_world);
   RankState& st = state(self_world);
   const usec_t recv_posted = st.clock.now();
   Message msg = mail_[static_cast<std::size_t>(self_world)]->dequeue_match(
       ctx, src_comm_rank, tag);
-  OMBX_REQUIRE(msg.bytes <= v.bytes,
-               "receive buffer too small (message truncated)");
+  OMBX_REQUIRE_AT(msg.bytes <= v.bytes,
+                  "receive buffer too small (message truncated)", self_world,
+                  ctx);
 
   if (msg.protocol == net::Protocol::kEager) {
     st.clock.advance_to(msg.arrival_time);
@@ -120,9 +194,22 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
     // the RTS/CTS handshake has completed.
     const usec_t start = std::max(msg.send_time, st.clock.now()) +
                          model_.tuning().rendezvous_handshake_us;
+    usec_t raw_wire =
+        model_.transfer_us(msg.src_world, self_world, msg.bytes, msg.space);
+    if (fault_) {
+      const net::LinkClass link =
+          model_.link_class(msg.src_world, self_world, msg.space);
+      if (fault_->degrades(link, start)) {
+        raw_wire = model_.perturbed_transfer_us(
+            msg.src_world, self_world, msg.bytes, msg.space,
+            fault_->alpha_factor(link, start),
+            fault_->beta_factor(link, start));
+        fault_->counters().degraded_messages.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+    }
     const usec_t wire =
-        model_.transfer_us(msg.src_world, self_world, msg.bytes, msg.space) *
-        shm_slowdown(msg.src_world, self_world, msg.space);
+        raw_wire * shm_slowdown(msg.src_world, self_world, msg.space);
     const usec_t complete = start + wire;
     st.clock.advance_to(complete);
     if (msg.sync) msg.sync->complete(complete);
@@ -146,14 +233,64 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
   return Status{.source = msg.src, .tag = msg.tag, .bytes = msg.bytes};
 }
 
+void Engine::await_cell(int world_rank, SyncCell& cell) {
+  check_failures(world_rank);
+  usec_t t;
+  {
+    fault::ScopedWait wait(
+        &registry_, world_rank,
+        fault::WaitInfo{fault::WaitKind::kRendezvous, cell.ctx, cell.peer,
+                        cell.tag});
+    t = cell.await();
+  }
+  state(world_rank).clock.advance_to(t);
+}
+
 Status Engine::probe(int self_world, int ctx, int src, int tag) {
+  check_failures(self_world);
   return mail_[static_cast<std::size_t>(self_world)]->probe(ctx, src, tag);
 }
 
 std::optional<Status> Engine::iprobe(int self_world, int ctx, int src,
                                      int tag) {
+  check_failures(self_world);
   return mail_[static_cast<std::size_t>(self_world)]->try_probe(ctx, src,
                                                                 tag);
+}
+
+void Engine::abort(int origin_rank, const std::string& reason,
+                   bool deadlock) {
+  std::shared_ptr<const fault::AbortInfo> info;
+  {
+    std::lock_guard<std::mutex> lk(abort_mutex_);
+    if (abort_) return;  // first abort wins
+    abort_ = std::make_shared<const fault::AbortInfo>(
+        fault::AbortInfo{origin_rank, reason, deadlock});
+    info = abort_;
+  }
+  aborted_.store(true, std::memory_order_release);
+  if (fault_) {
+    fault_->counters().aborts.fetch_add(1, std::memory_order_relaxed);
+    if (deadlock) {
+      fault_->counters().watchdog_fires.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    }
+  }
+  for (auto& mb : mail_) mb->poison(info);
+  std::lock_guard<std::mutex> lk(cells_mutex_);
+  for (auto& w : pending_cells_) {
+    if (auto cell = w.lock()) cell->poison(info);
+  }
+  pending_cells_.clear();
+}
+
+std::shared_ptr<const fault::AbortInfo> Engine::abort_info() const {
+  std::lock_guard<std::mutex> lk(abort_mutex_);
+  return abort_;
+}
+
+void Engine::set_fault_plan(std::shared_ptr<fault::FaultPlan> plan) {
+  fault_ = std::move(plan);
 }
 
 void Engine::reset_clocks() {
@@ -162,17 +299,33 @@ void Engine::reset_clocks() {
     r->nic_free = 0.0;
     r->work.reset();
   }
+  // Clear failure state so a World can run again after an aborted program.
+  {
+    std::lock_guard<std::mutex> lk(abort_mutex_);
+    abort_.reset();
+  }
+  aborted_.store(false, std::memory_order_release);
+  for (auto& mb : mail_) mb->reset();
+  {
+    std::lock_guard<std::mutex> lk(cells_mutex_);
+    pending_cells_.clear();
+  }
+  registry_.reset();
   if (tracer_) tracer_->clear();
 }
 
 void Engine::charge_flops(int world_rank, double flops) {
+  check_failures(world_rank);
   RankState& st = state(world_rank);
   st.work.add_flops(flops);
   // The oversubscription penalty is a memory-bandwidth effect: small
   // (cache-resident) reductions are unaffected, long vectors pay it.
   const double penalty = flops > 4096.0 ? oversub_ : 1.0;
+  const double straggle =
+      fault_ ? fault_->straggler_factor(world_rank) : 1.0;
   const usec_t t0 = st.clock.now();
-  st.clock.advance(model_.cluster().compute.flop_time(flops) * penalty);
+  st.clock.advance(model_.cluster().compute.flop_time(flops) * penalty *
+                   straggle);
   if (tracer_) {
     tracer_->record(TraceEvent{.rank = world_rank,
                                .kind = TraceKind::kCompute,
@@ -185,10 +338,14 @@ void Engine::charge_flops(int world_rank, double flops) {
 }
 
 void Engine::charge_bytes(int world_rank, double bytes) {
+  check_failures(world_rank);
   RankState& st = state(world_rank);
   st.work.add_bytes(bytes);
+  const double straggle =
+      fault_ ? fault_->straggler_factor(world_rank) : 1.0;
   const usec_t t0 = st.clock.now();
-  st.clock.advance(model_.cluster().compute.byte_time(bytes) * oversub_);
+  st.clock.advance(model_.cluster().compute.byte_time(bytes) * oversub_ *
+                   straggle);
   if (tracer_) {
     tracer_->record(TraceEvent{.rank = world_rank,
                                .kind = TraceKind::kCompute,

@@ -17,13 +17,23 @@
 //
 // All quantities are virtual microseconds; host thread scheduling cannot
 // change any of them, which is what makes benchmark output deterministic.
+//
+// Failure propagation: abort() poisons every mailbox and pending
+// rendezvous SyncCell so blocked peers wake with AbortedError instead of
+// hanging (MPI_Abort semantics).  An attached fault::FaultPlan injects
+// deterministic, seeded faults — eager-message drops priced as timeout +
+// retransmit in virtual time, payload corruption, link-degradation
+// windows, stragglers, and rank kills — without breaking determinism.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/watchdog.hpp"
 #include "mpi/mailbox.hpp"
 #include "mpi/message.hpp"
 #include "mpi/trace.hpp"
@@ -49,7 +59,7 @@ struct RankState {
 class Engine {
  public:
   Engine(net::NetworkModel model, int nranks, PayloadMode payload,
-         net::ThreadLevel thread_level);
+         net::ThreadLevel thread_level, std::size_t mailbox_capacity = 8192);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -97,6 +107,11 @@ class Engine {
   /// Blocking receive into `v`; returns completion Status.
   Status recv(int self_world, int ctx, int src_comm_rank, int tag, MutView v);
 
+  /// Block on a rendezvous cell posted by `world_rank`, registering the
+  /// wait with the watchdog; advances the rank's clock on completion.
+  /// Throws AbortedError when the cell is poisoned by an abort.
+  void await_cell(int world_rank, SyncCell& cell);
+
   /// Blocking probe (does not dequeue).  Charges no virtual time.
   [[nodiscard]] Status probe(int self_world, int ctx, int src, int tag);
 
@@ -109,7 +124,9 @@ class Engine {
     return next_context_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Reset all clocks/NIC state between benchmark repetitions.
+  /// Reset all clocks/NIC state between benchmark repetitions.  Also
+  /// clears any abort poison and re-arms the watchdog registry, so a
+  /// World can run again after a failed program.
   void reset_clocks();
 
   /// Charge local compute to a rank's clock (priced flops, with the
@@ -118,20 +135,56 @@ class Engine {
   /// Charge streaming byte work (copies, serialization) likewise.
   void charge_bytes(int world_rank, double bytes);
 
+  // ---- Failure propagation -------------------------------------------------
+
+  /// MPI_Abort analogue: records the first abort (origin rank + reason)
+  /// and poisons every mailbox and pending rendezvous cell, so all blocked
+  /// ranks wake with AbortedError.  Idempotent; later calls are ignored.
+  void abort(int origin_rank, const std::string& reason,
+             bool deadlock = false);
+
+  /// Abort descriptor, null while no abort has been raised.
+  [[nodiscard]] std::shared_ptr<const fault::AbortInfo> abort_info() const;
+
+  /// Attach a fault-injection plan (null to detach).  The plan must
+  /// outlive all runs that use it.
+  void set_fault_plan(std::shared_ptr<fault::FaultPlan> plan);
+  [[nodiscard]] fault::FaultPlan* fault_plan() const noexcept {
+    return fault_.get();
+  }
+
+  /// Blocked-wait bookkeeping consumed by the deadlock watchdog.
+  [[nodiscard]] fault::WaitRegistry& wait_registry() noexcept {
+    return registry_;
+  }
+
   /// Turn on event tracing (records every send/recv/compute with virtual
   /// timestamps; see trace.hpp).  Traces are cleared by reset_clocks().
   void enable_tracing();
   [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
 
  private:
+  /// Throws AbortedError when an abort is pending and RankKilledError when
+  /// the fault plan scheduled this rank's death before its current virtual
+  /// time.  Called at the top of every substrate operation.
+  void check_failures(int world_rank);
+
   net::NetworkModel model_;
   PayloadMode payload_;
   net::ThreadLevel thread_level_;
   double oversub_ = 1.0;
+  fault::WaitRegistry registry_;
   std::vector<std::unique_ptr<RankState>> ranks_;
   std::vector<std::unique_ptr<Mailbox>> mail_;
   std::atomic<int> next_context_{1};  // 0 is COMM_WORLD
   std::unique_ptr<Tracer> tracer_;    // null unless tracing is enabled
+
+  std::shared_ptr<fault::FaultPlan> fault_;
+  std::atomic<bool> aborted_{false};
+  mutable std::mutex abort_mutex_;
+  std::shared_ptr<const fault::AbortInfo> abort_;
+  std::mutex cells_mutex_;
+  std::vector<std::weak_ptr<SyncCell>> pending_cells_;
 };
 
 }  // namespace ombx::mpi

@@ -1,26 +1,108 @@
-// Error type and precondition checks for the MPI substrate.
+// Error types and precondition checks for the MPI substrate.
+//
+// Every substrate error carries the failing world rank and communicator
+// context (when known) so multi-rank failures are attributable from the
+// what() string alone.  Failure-propagation errors (AbortedError and its
+// DeadlockError refinement, RankKilledError) additionally identify the
+// originating rank, mirroring MPI_Abort semantics.
 #pragma once
 
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "fault/abort.hpp"
+
 namespace ombx::mpi {
 
+namespace detail {
+inline std::string locate(const std::string& what, int rank, int context) {
+  if (rank < 0 && context < 0) return what;
+  std::ostringstream os;
+  os << "[";
+  if (rank >= 0) os << "rank " << rank;
+  if (context >= 0) os << (rank >= 0 ? ", " : "") << "ctx " << context;
+  os << "] " << what;
+  return os.str();
+}
+}  // namespace detail
+
 /// Thrown for all substrate usage errors (bad ranks, mismatched buffers,
-/// truncated receives, invalid communicators, ...).
+/// truncated receives, invalid communicators, ...).  `rank()` is the world
+/// rank the error was raised on and `context()` the communicator context,
+/// each -1 when not applicable.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, int rank = -1, int context = -1)
+      : std::runtime_error(detail::locate(what, rank, context)),
+        rank_(rank),
+        context_(context) {}
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int context() const noexcept { return context_; }
+
+ private:
+  int rank_;
+  int context_;
 };
+
+/// A peer failed and the engine poisoned this rank's blocking operation.
+/// `origin_rank()` names the rank whose failure started the abort (or
+/// fault::kWatchdogOrigin when the deadlock watchdog raised it).
+class AbortedError : public Error {
+ public:
+  explicit AbortedError(const fault::AbortInfo& info)
+      : Error("aborted (origin rank " + std::to_string(info.origin_rank) +
+                  "): " + info.reason,
+              info.origin_rank),
+        info_(info) {}
+
+  [[nodiscard]] int origin_rank() const noexcept {
+    return info_.origin_rank;
+  }
+  [[nodiscard]] const std::string& reason() const noexcept {
+    return info_.reason;
+  }
+  [[nodiscard]] const fault::AbortInfo& info() const noexcept {
+    return info_;
+  }
+
+ private:
+  fault::AbortInfo info_;
+};
+
+/// The watchdog observed every live rank blocked with no progress; the
+/// what() string carries the per-rank (context, src, tag) wait dump.
+class DeadlockError : public AbortedError {
+ public:
+  explicit DeadlockError(const fault::AbortInfo& info) : AbortedError(info) {}
+};
+
+/// A FaultPlan kill fired: this rank's virtual clock reached its scheduled
+/// death time.
+class RankKilledError : public Error {
+ public:
+  RankKilledError(int rank, double at_time_us)
+      : Error("rank killed by fault plan at t=" +
+                  std::to_string(at_time_us) + "us",
+              rank) {}
+};
+
+/// Throw the error form matching an AbortInfo (DeadlockError for watchdog
+/// aborts, AbortedError otherwise).
+[[noreturn]] inline void throw_aborted(const fault::AbortInfo& info) {
+  if (info.deadlock) throw DeadlockError(info);
+  throw AbortedError(info);
+}
 
 namespace detail {
 [[noreturn]] inline void fail(const char* expr, const char* file, int line,
-                              const std::string& msg) {
+                              const std::string& msg, int rank = -1,
+                              int context = -1) {
   std::ostringstream os;
   os << "ombx::mpi check failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  throw Error(os.str(), rank, context);
 }
 }  // namespace detail
 
@@ -33,4 +115,14 @@ namespace detail {
     if (!(cond)) {                                                      \
       ::ombx::mpi::detail::fail(#cond, __FILE__, __LINE__, (msg));      \
     }                                                                   \
+  } while (false)
+
+/// Like OMBX_REQUIRE but attributes the failure to a world rank and
+/// communicator context.
+#define OMBX_REQUIRE_AT(cond, msg, rank, ctx)                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::ombx::mpi::detail::fail(#cond, __FILE__, __LINE__, (msg), (rank),  \
+                                (ctx));                                    \
+    }                                                                      \
   } while (false)

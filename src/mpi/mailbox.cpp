@@ -1,11 +1,29 @@
 #include "mpi/mailbox.hpp"
 
+#include "mpi/error.hpp"
+
 namespace ombx::mpi {
+
+void Mailbox::throw_poisoned_locked() {
+  auto info = *poison_;
+  throw_aborted(info);
+}
 
 void Mailbox::enqueue(Message&& msg) {
   std::unique_lock<std::mutex> lk(m_);
-  drained_.wait(lk, [&] { return q_.size() < capacity_; });
+  if (q_.size() >= capacity_ && !poison_) {
+    // The sender (not the owner) is the one blocked here.
+    fault::ScopedWait wait(
+        registry_, msg.src_world,
+        fault::WaitInfo{fault::WaitKind::kSendCapacity, msg.context, owner_,
+                        msg.tag});
+    drained_.wait(lk, [&] {
+      return q_.size() < capacity_ || poison_ != nullptr;
+    });
+  }
+  if (poison_) throw_poisoned_locked();
   q_.push_back(std::move(msg));
+  if (registry_) registry_->note_progress();
   arrived_.notify_all();
 }
 
@@ -19,42 +37,74 @@ std::deque<Message>::iterator Mailbox::find_locked(int ctx, int src,
 
 Message Mailbox::dequeue_match(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
-  auto it = q_.end();
-  arrived_.wait(lk, [&] {
-    it = find_locked(ctx, src, tag);
-    return it != q_.end();
-  });
+  auto it = find_locked(ctx, src, tag);
+  if (it == q_.end() && !poison_) {
+    fault::ScopedWait wait(
+        registry_, owner_,
+        fault::WaitInfo{fault::WaitKind::kRecv, ctx, src, tag});
+    arrived_.wait(lk, [&] {
+      it = find_locked(ctx, src, tag);
+      return it != q_.end() || poison_ != nullptr;
+    });
+  }
+  if (poison_) throw_poisoned_locked();
   Message msg = std::move(*it);
   q_.erase(it);
+  if (registry_) registry_->note_progress();
   drained_.notify_all();
   return msg;
 }
 
 std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag) {
-  std::lock_guard<std::mutex> lk(m_);
+  std::unique_lock<std::mutex> lk(m_);
+  if (poison_) throw_poisoned_locked();
   auto it = find_locked(ctx, src, tag);
   if (it == q_.end()) return std::nullopt;
   Message msg = std::move(*it);
   q_.erase(it);
+  if (registry_) registry_->note_progress();
   drained_.notify_all();
   return msg;
 }
 
 Status Mailbox::probe(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
-  auto it = q_.end();
-  arrived_.wait(lk, [&] {
-    it = find_locked(ctx, src, tag);
-    return it != q_.end();
-  });
+  auto it = find_locked(ctx, src, tag);
+  if (it == q_.end() && !poison_) {
+    fault::ScopedWait wait(
+        registry_, owner_,
+        fault::WaitInfo{fault::WaitKind::kProbe, ctx, src, tag});
+    arrived_.wait(lk, [&] {
+      it = find_locked(ctx, src, tag);
+      return it != q_.end() || poison_ != nullptr;
+    });
+  }
+  if (poison_) throw_poisoned_locked();
   return Status{.source = it->src, .tag = it->tag, .bytes = it->bytes};
 }
 
 std::optional<Status> Mailbox::try_probe(int ctx, int src, int tag) {
-  std::lock_guard<std::mutex> lk(m_);
+  std::unique_lock<std::mutex> lk(m_);
+  if (poison_) throw_poisoned_locked();
   auto it = find_locked(ctx, src, tag);
   if (it == q_.end()) return std::nullopt;
   return Status{.source = it->src, .tag = it->tag, .bytes = it->bytes};
+}
+
+void Mailbox::poison(std::shared_ptr<const fault::AbortInfo> info) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (poison_) return;  // first abort wins
+    poison_ = std::move(info);
+  }
+  arrived_.notify_all();
+  drained_.notify_all();
+}
+
+void Mailbox::reset() {
+  std::lock_guard<std::mutex> lk(m_);
+  poison_.reset();
+  q_.clear();
 }
 
 std::size_t Mailbox::size() const {

@@ -4,14 +4,23 @@
 // message matching (context, source, tag) exists.  Per-(context,src,tag)
 // FIFO ordering is inherited from the sender's program order, which is what
 // makes virtual timestamps deterministic regardless of host scheduling.
+//
+// Every blocking path (matched receive, blocking probe, capacity-blocked
+// enqueue) participates in the failure-propagation protocol: poison()
+// wakes all waiters with an AbortedError, and waits are registered in the
+// engine's WaitRegistry so the deadlock watchdog can dump what each rank
+// is stuck on.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 
+#include "fault/abort.hpp"
+#include "fault/watchdog.hpp"
 #include "mpi/message.hpp"
 
 namespace ombx::mpi {
@@ -19,17 +28,24 @@ namespace ombx::mpi {
 class Mailbox {
  public:
   /// Upper bound on queued messages; enqueue blocks beyond it (models MPI
-  /// eager flow control and bounds host memory at scale).
-  explicit Mailbox(std::size_t capacity = 8192) : capacity_(capacity) {}
+  /// eager flow control and bounds host memory at scale).  `registry` (may
+  /// be null) receives blocked-wait registrations for `owner_rank`'s
+  /// receives and for senders stuck on capacity.
+  explicit Mailbox(std::size_t capacity = 8192,
+                   fault::WaitRegistry* registry = nullptr,
+                   int owner_rank = -1)
+      : capacity_(capacity), registry_(registry), owner_(owner_rank) {}
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
 
-  /// Deposit a message; blocks while the box is at capacity.
+  /// Deposit a message; blocks while the box is at capacity.  Throws
+  /// AbortedError when the box is (or becomes) poisoned, so capacity-
+  /// blocked senders wake instead of hanging on a dead receiver.
   void enqueue(Message&& msg);
 
   /// Remove and return the first message matching (ctx, src, tag); blocks
-  /// until one arrives.
+  /// until one arrives.  Throws AbortedError once poisoned.
   [[nodiscard]] Message dequeue_match(int ctx, int src, int tag);
 
   /// Like dequeue_match but does not block: returns nullopt if no match is
@@ -38,23 +54,34 @@ class Mailbox {
                                                          int tag);
 
   /// Blocking probe: waits for a match and returns its envelope without
-  /// removing it (MPI_Probe).
+  /// removing it (MPI_Probe).  Throws AbortedError once poisoned.
   [[nodiscard]] Status probe(int ctx, int src, int tag);
 
   /// Non-blocking probe (MPI_Iprobe).
   [[nodiscard]] std::optional<Status> try_probe(int ctx, int src, int tag);
+
+  /// Abort propagation: wake every waiter (senders and receivers); all
+  /// current and future blocking calls throw AbortedError carrying `info`.
+  void poison(std::shared_ptr<const fault::AbortInfo> info);
+
+  /// Re-arm the mailbox for a fresh run (clears poison and queued mail).
+  void reset();
 
   [[nodiscard]] std::size_t size() const;
 
  private:
   [[nodiscard]] std::deque<Message>::iterator find_locked(int ctx, int src,
                                                           int tag);
+  [[noreturn]] void throw_poisoned_locked();
 
   mutable std::mutex m_;
-  std::condition_variable arrived_;  ///< signalled on enqueue
-  std::condition_variable drained_;  ///< signalled on dequeue
+  std::condition_variable arrived_;  ///< signalled on enqueue / poison
+  std::condition_variable drained_;  ///< signalled on dequeue / poison
   std::deque<Message> q_;
   std::size_t capacity_;
+  std::shared_ptr<const fault::AbortInfo> poison_;
+  fault::WaitRegistry* registry_;
+  int owner_;
 };
 
 }  // namespace ombx::mpi

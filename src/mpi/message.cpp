@@ -1,0 +1,27 @@
+#include "mpi/message.hpp"
+
+#include "mpi/error.hpp"
+
+namespace ombx::mpi {
+
+usec_t SyncCell::await() {
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return done || poisoned != nullptr; });
+  if (done) return release_time;
+  auto info = *poisoned;
+  lk.unlock();
+  throw_aborted(info);
+}
+
+bool SyncCell::ready() {
+  std::unique_lock<std::mutex> lk(m);
+  if (done) return true;
+  if (poisoned) {
+    auto info = *poisoned;
+    lk.unlock();
+    throw_aborted(info);
+  }
+  return false;
+}
+
+}  // namespace ombx::mpi

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "fault/abort.hpp"
 #include "net/network.hpp"
 #include "simtime/clock.hpp"
 
@@ -44,12 +45,21 @@ struct Status {
 
 /// Rendezvous synchronization cell shared between sender and receiver: the
 /// receiver fills in the transfer-completion time and signals; the sender
-/// advances its clock to it.
+/// advances its clock to it.  A cell can also be *poisoned* by an abort, in
+/// which case await() throws (see error.hpp) instead of returning a time —
+/// the wake path that keeps rendezvous senders from hanging when their
+/// receiver dies.
 struct SyncCell {
   std::mutex m;
   std::condition_variable cv;
   bool done = false;
   usec_t release_time = 0.0;
+  std::shared_ptr<const fault::AbortInfo> poisoned;
+  // Wait-diagnostics envelope, written by the sender before the cell is
+  // shared (read-only afterwards): who the sender is waiting on.
+  int ctx = 0;
+  int peer = -1;
+  int tag = -1;
 
   void complete(usec_t t) {
     {
@@ -60,11 +70,22 @@ struct SyncCell {
     cv.notify_all();
   }
 
-  usec_t await() {
-    std::unique_lock<std::mutex> lk(m);
-    cv.wait(lk, [&] { return done; });
-    return release_time;
+  void poison(std::shared_ptr<const fault::AbortInfo> info) {
+    {
+      std::lock_guard<std::mutex> lk(m);
+      poisoned = std::move(info);
+    }
+    cv.notify_all();
   }
+
+  /// Blocks until completed or poisoned.  A completed cell returns its
+  /// release time even under poison (the transfer genuinely finished; the
+  /// abort is observed at the rank's next substrate call); an incomplete
+  /// poisoned cell throws AbortedError/DeadlockError.
+  usec_t await();
+
+  /// Non-blocking completion check; throws when poisoned and incomplete.
+  bool ready();
 };
 
 /// One message in a mailbox.

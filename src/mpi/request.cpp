@@ -28,7 +28,8 @@ Status Request::wait() {
       return status_;
     case Kind::kSend:
       if (cell_) {
-        comm_->clock().advance_to(cell_->await());
+        comm_->engine().await_cell(comm_->world_rank(comm_->rank()),
+                                   *cell_);
         cell_.reset();
       }
       kind_ = Kind::kDone;
@@ -50,11 +51,9 @@ bool Request::test() {
         kind_ = Kind::kDone;
         return true;
       }
-      {
-        std::unique_lock<std::mutex> lk(cell_->m);
-        if (!cell_->done) return false;
-      }
-      comm_->clock().advance_to(cell_->await());
+      if (!cell_->ready()) return false;
+      comm_->engine().await_cell(comm_->world_rank(comm_->rank()),
+                                 *cell_);
       cell_.reset();
       kind_ = Kind::kDone;
       return true;

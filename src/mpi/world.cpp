@@ -6,16 +6,36 @@
 #include <thread>
 #include <vector>
 
+#include "fault/watchdog.hpp"
 #include "mpi/error.hpp"
 
 namespace ombx::mpi {
+
+namespace {
+
+/// Human-readable cause for the abort reason string.
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+}  // namespace
 
 World::World(const WorldConfig& cfg)
     : cfg_(cfg),
       engine_(std::make_unique<Engine>(
           net::NetworkModel(cfg.cluster, cfg.tuning, cfg.ppn), cfg.nranks,
-          cfg.payload, cfg.thread_level)) {
+          cfg.payload, cfg.thread_level, cfg.mailbox_capacity)) {
   if (cfg.enable_trace) engine_->enable_tracing();
+  if (cfg.fault.enabled()) {
+    plan_ = std::make_shared<fault::FaultPlan>(cfg.fault, cfg.nranks);
+    engine_->set_fault_plan(plan_);
+  }
 }
 
 World::~World() = default;
@@ -27,8 +47,24 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   std::vector<int> identity(static_cast<std::size_t>(n));
   std::iota(identity.begin(), identity.end(), 0);
 
+  // root_error is the first exception that is NOT a propagated abort (the
+  // actual cause); abort_error keeps one AbortedError as a fallback for
+  // aborts with no surviving root (watchdog deadlocks).
   std::mutex err_mutex;
-  std::exception_ptr first_error;
+  std::exception_ptr root_error;
+  std::exception_ptr abort_error;
+
+  fault::WaitRegistry& registry = engine_->wait_registry();
+  std::unique_ptr<fault::Watchdog> watchdog;
+  if (cfg_.enable_watchdog && n > 1) {
+    watchdog = std::make_unique<fault::Watchdog>(
+        registry, cfg_.watchdog_poll_ms, [&](const std::string& dump) {
+          engine_->abort(fault::kWatchdogOrigin,
+                         "deadlock detected: no rank can make progress\n" +
+                             dump,
+                         /*deadlock=*/true);
+        });
+  }
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
@@ -37,14 +73,27 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
       try {
         Comm comm(*engine_, /*context=*/0, identity, r);
         rank_main(comm);
-      } catch (...) {
+      } catch (const AbortedError&) {
+        // A peer's failure propagated here; keep one as a fallback cause.
         std::lock_guard<std::mutex> lk(err_mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!abort_error) abort_error = std::current_exception();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(err_mutex);
+          if (!root_error) root_error = std::current_exception();
+        }
+        // Wake every blocked peer with AbortedError naming this rank.
+        engine_->abort(r, describe(std::current_exception()));
       }
+      registry.mark_finished(r);
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (watchdog) watchdog->stop();
+
+  std::lock_guard<std::mutex> lk(err_mutex);
+  if (root_error) std::rethrow_exception(root_error);
+  if (abort_error) std::rethrow_exception(abort_error);
 }
 
 usec_t World::finish_time(int world_rank) const {

@@ -9,11 +9,19 @@
 // run() blocks until every rank returns; the first exception thrown by any
 // rank is rethrown on the caller thread.  A World can run several programs
 // in sequence; clocks reset between runs.
+//
+// No-hang guarantee: when any rank throws, the engine aborts — every peer
+// blocked in a mailbox, probe, or rendezvous wait wakes with AbortedError
+// naming the origin rank — and run() rethrows the root cause instead of
+// deadlocking on join.  A watchdog thread additionally detects silent
+// deadlocks (e.g. mismatched tags) and aborts with a per-rank dump of the
+// (context, src, tag) each rank is waiting on.
 #pragma once
 
 #include <functional>
 #include <memory>
 
+#include "fault/fault.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/engine.hpp"
 #include "net/cluster.hpp"
@@ -32,6 +40,14 @@ struct WorldConfig {
   net::ThreadLevel thread_level = net::ThreadLevel::kSingle;
   /// Record every send/recv/compute with virtual timestamps (trace.hpp).
   bool enable_trace = false;
+  /// Per-rank mailbox depth; senders block (with abort wake-up) beyond it.
+  std::size_t mailbox_capacity = 8192;
+  /// Seeded fault-injection plan; an all-defaults config injects nothing.
+  fault::FaultConfig fault;
+  /// Deadlock watchdog: detects all-ranks-blocked-no-progress states and
+  /// aborts with a per-rank wait dump instead of hanging.
+  bool enable_watchdog = true;
+  double watchdog_poll_ms = 100.0;
 };
 
 class World {
@@ -44,10 +60,20 @@ class World {
 
   /// Execute `rank_main` on every rank concurrently; returns when all have
   /// finished.  Clocks are reset first, so each run starts at t = 0.
+  ///
+  /// Failure semantics: if any rank throws, all peers are woken with
+  /// AbortedError and run() rethrows the root cause (the first non-abort
+  /// exception); a watchdog-detected deadlock rethrows DeadlockError.
   void run(const std::function<void(Comm&)>& rank_main);
 
   [[nodiscard]] Engine& engine() noexcept { return *engine_; }
   [[nodiscard]] const WorldConfig& config() const noexcept { return cfg_; }
+
+  /// The fault plan attached to this world (null when cfg.fault injects
+  /// nothing).  Exposes injection counters for resilience reporting.
+  [[nodiscard]] fault::FaultPlan* fault_plan() const noexcept {
+    return plan_.get();
+  }
 
   /// Virtual time at which `world_rank` finished the last run.
   [[nodiscard]] usec_t finish_time(int world_rank) const;
@@ -55,6 +81,7 @@ class World {
  private:
   WorldConfig cfg_;
   std::unique_ptr<Engine> engine_;
+  std::shared_ptr<fault::FaultPlan> plan_;
 };
 
 }  // namespace ombx::mpi

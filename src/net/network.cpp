@@ -79,6 +79,15 @@ usec_t NetworkModel::alpha_us(int src, int dst, MemSpace space) const {
   return m.transfer_us(0) + tuning_.alpha_delta_us;
 }
 
+usec_t NetworkModel::perturbed_transfer_us(int src, int dst,
+                                           std::size_t bytes, MemSpace space,
+                                           double alpha_factor,
+                                           double beta_factor) const {
+  const usec_t alpha = alpha_us(src, dst, space);
+  const usec_t full = transfer_us(src, dst, bytes, space);
+  return alpha * alpha_factor + (full - alpha) * beta_factor;
+}
+
 usec_t NetworkModel::sender_busy_us(int src, int dst, std::size_t bytes,
                                     MemSpace space) const {
   const LinkClass c = link_class(src, dst, space);

@@ -42,6 +42,16 @@ class NetworkModel {
   /// Startup-only component (used for handshakes and zero-byte probes).
   [[nodiscard]] usec_t alpha_us(int src, int dst, MemSpace space) const;
 
+  /// Wire time with the link's alpha (startup) and beta (per-byte)
+  /// components independently scaled — the pricing primitive behind
+  /// fault-injected link-degradation windows.  Factors of 1.0 reproduce
+  /// transfer_us exactly.
+  [[nodiscard]] usec_t perturbed_transfer_us(int src, int dst,
+                                             std::size_t bytes,
+                                             MemSpace space,
+                                             double alpha_factor,
+                                             double beta_factor) const;
+
   /// Time the *sender* is occupied injecting the message (full transfer
   /// for CPU-driven shm copies; injection overhead only when a NIC DMAs).
   [[nodiscard]] usec_t sender_busy_us(int src, int dst, std::size_t bytes,
