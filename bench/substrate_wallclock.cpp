@@ -1,0 +1,256 @@
+// Self-timing harness for the *host-side* cost of the simulated-MPI
+// substrate (wall-clock, not virtual time).  The virtual-time results of
+// every figure binary are invariant under transport changes; this harness
+// measures how many simulated messages per wall-second the transport can
+// sustain, which bounds how many configurations the fig/ablation sweeps
+// can afford.
+//
+// Workloads:
+//   eager      self-send round trips at 8 B .. 4 KiB (alloc/copy/match
+//              path with no cross-thread blocking)
+//   pingpong   2-rank 8 B ping-pong (end-to-end, condvar/scheduler bound)
+//   rendezvous 2-rank 256 KiB ping-pong (large-message copy path)
+//   matching   64-source mailbox stress: wildcard-source receives that
+//              must skip a deep bulk backlog, plus exact-match receives
+//              that sit behind 63 other sources' traffic
+//
+// Emits a JSON document (see README "Substrate wall-clock bench") so the
+// perf trajectory across PRs is recorded in BENCH_substrate.json.
+//
+// Usage: substrate_wallclock [--json PATH] [--label NAME] [--quick]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mpi/mailbox.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+mpi::WorldConfig base_config(int nranks, int ppn) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = nranks;
+  wc.ppn = ppn;
+  wc.enable_watchdog = false;  // host-side timing, not failure testing
+  return wc;
+}
+
+struct EagerPoint {
+  std::size_t bytes = 0;
+  double msgs_per_sec = 0.0;
+};
+
+/// Self-send loop: one rank, send-to-self then receive.  Every iteration
+/// exercises post_send -> enqueue -> match -> dequeue -> copy-out without
+/// any cross-thread wakeup, so the number isolates transport overhead.
+EagerPoint eager_selfsend(std::size_t bytes, int iters) {
+  mpi::WorldConfig wc = base_config(1, 1);
+  EagerPoint out;
+  out.bytes = bytes;
+  mpi::World w(wc);
+  double elapsed = 0.0;
+  w.run([&](mpi::Comm& c) {
+    std::vector<std::byte> sbuf(bytes, std::byte{0x5a});
+    std::vector<std::byte> rbuf(bytes);
+    // Warm up allocator/pool state before timing.
+    for (int i = 0; i < 1000; ++i) {
+      c.send(mpi::ConstView{sbuf.data(), sbuf.size()}, 0, 1);
+      (void)c.recv(mpi::MutView{rbuf.data(), rbuf.size()}, 0, 1);
+    }
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      c.send(mpi::ConstView{sbuf.data(), sbuf.size()}, 0, 1);
+      (void)c.recv(mpi::MutView{rbuf.data(), rbuf.size()}, 0, 1);
+    }
+    elapsed = seconds_since(t0);
+  });
+  out.msgs_per_sec = static_cast<double>(iters) / elapsed;
+  return out;
+}
+
+/// Classic 2-rank ping-pong; wall time includes thread wakeups, so this is
+/// the end-to-end (scheduler-bound) message rate.
+double pingpong_rate(std::size_t bytes, int iters, int ppn) {
+  mpi::WorldConfig wc = base_config(2, ppn);
+  mpi::World w(wc);
+  const auto t0 = Clock::now();
+  w.run([&](mpi::Comm& c) {
+    std::vector<std::byte> sbuf(bytes, std::byte{0x11});
+    std::vector<std::byte> rbuf(bytes);
+    for (int i = 0; i < iters; ++i) {
+      if (c.rank() == 0) {
+        c.send(mpi::ConstView{sbuf.data(), sbuf.size()}, 1, 7);
+        (void)c.recv(mpi::MutView{rbuf.data(), rbuf.size()}, 1, 7);
+      } else {
+        (void)c.recv(mpi::MutView{rbuf.data(), rbuf.size()}, 0, 7);
+        c.send(mpi::ConstView{sbuf.data(), sbuf.size()}, 0, 7);
+      }
+    }
+  });
+  const double elapsed = seconds_since(t0);
+  return static_cast<double>(2 * iters) / elapsed;
+}
+
+struct MatchStress {
+  double wildcard_ns_per_match = 0.0;  ///< any-source receives over backlog
+  double exact_ns_per_match = 0.0;     ///< exact receives behind strangers
+  double overall_ns_per_match = 0.0;
+};
+
+/// 64-source mailbox matching stress, driven directly (single thread) so
+/// the number is pure match cost.  Each round enqueues `kBulk` tag-1
+/// messages per source (round-robin arrival, modelling 64 ranks streaming
+/// data) plus one tag-2 "request" per source.  The receiver then
+///   (a) drains the 64 requests with (kAnySource, tag=2) — a wildcard
+///       receive that must not pay for the 64*kBulk bulk backlog, and
+///   (b) drains the bulk with exact (src, tag=1) receives, sources in
+///       descending order — each match sits behind the other sources'
+///       messages in global arrival order.
+MatchStress matching_stress(int rounds) {
+  constexpr int kSrcs = 64;
+  constexpr int kBulk = 64;  // bulk messages per source per round
+  mpi::Mailbox box(/*capacity=*/static_cast<std::size_t>(kSrcs) *
+                   (kBulk + 2));
+  double wild_s = 0.0;
+  double exact_s = 0.0;
+  std::int64_t wild_n = 0;
+  std::int64_t exact_n = 0;
+
+  for (int round = 0; round < rounds; ++round) {
+    for (int k = 0; k < kBulk; ++k) {
+      for (int s = 0; s < kSrcs; ++s) {
+        mpi::Message m;
+        m.context = 0;
+        m.src = s;
+        m.tag = 1;
+        box.enqueue(std::move(m));
+      }
+    }
+    for (int s = 0; s < kSrcs; ++s) {
+      mpi::Message m;
+      m.context = 0;
+      m.src = s;
+      m.tag = 2;
+      box.enqueue(std::move(m));
+    }
+
+    auto t0 = Clock::now();
+    for (int s = 0; s < kSrcs; ++s) {
+      auto got = box.try_dequeue_match(0, mpi::kAnySource, 2);
+      if (!got) {
+        std::fprintf(stderr, "matching_stress: lost a request message\n");
+        std::exit(2);
+      }
+    }
+    wild_s += seconds_since(t0);
+    wild_n += kSrcs;
+
+    t0 = Clock::now();
+    for (int k = 0; k < kBulk; ++k) {
+      for (int s = kSrcs - 1; s >= 0; --s) {
+        auto got = box.try_dequeue_match(0, s, 1);
+        if (!got) {
+          std::fprintf(stderr, "matching_stress: lost a bulk message\n");
+          std::exit(2);
+        }
+      }
+    }
+    exact_s += seconds_since(t0);
+    exact_n += kSrcs * kBulk;
+  }
+
+  MatchStress out;
+  out.wildcard_ns_per_match = 1e9 * wild_s / static_cast<double>(wild_n);
+  out.exact_ns_per_match = 1e9 * exact_s / static_cast<double>(exact_n);
+  out.overall_ns_per_match = 1e9 * (wild_s + exact_s) /
+                             static_cast<double>(wild_n + exact_n);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string label = "current";
+  int scale = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else if (a == "--quick") {
+      scale = 8;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json PATH] [--label NAME] [--quick]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  const int eager_iters = 400000 / scale;
+  const int pp_iters = 40000 / scale;
+  const int rndv_iters = 2000 / scale;
+  const int stress_rounds = 64 / scale;
+
+  std::vector<EagerPoint> eager;
+  for (std::size_t bytes : {8UL, 64UL, 512UL, 4096UL}) {
+    eager.push_back(eager_selfsend(bytes, eager_iters));
+    std::printf("eager self-send  %6zu B : %12.0f msgs/s\n",
+                eager.back().bytes, eager.back().msgs_per_sec);
+  }
+  const double pp = pingpong_rate(8, pp_iters, /*ppn=*/2);
+  std::printf("pingpong 2-rank       8 B : %12.0f msgs/s\n", pp);
+  const double rndv = pingpong_rate(256 * 1024, rndv_iters, /*ppn=*/1);
+  std::printf("rendezvous 2-rank 256 KiB : %12.0f msgs/s (%.0f MB/s)\n",
+              rndv, rndv * 256.0 * 1024.0 / 1e6);
+  const MatchStress ms = matching_stress(stress_rounds);
+  std::printf("matching: wildcard %8.1f ns/match, exact %8.1f ns/match, "
+              "overall %8.1f ns/match\n",
+              ms.wildcard_ns_per_match, ms.exact_ns_per_match,
+              ms.overall_ns_per_match);
+
+  if (!json_path.empty()) {
+    std::ofstream f(json_path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    f << "{\n"
+      << "  \"schema\": \"ombx-substrate-wallclock-v1\",\n"
+      << "  \"label\": \"" << label << "\",\n"
+      << "  \"eager_selfsend\": [\n";
+    for (std::size_t i = 0; i < eager.size(); ++i) {
+      f << "    {\"bytes\": " << eager[i].bytes << ", \"msgs_per_sec\": "
+        << static_cast<long long>(eager[i].msgs_per_sec) << "}"
+        << (i + 1 < eager.size() ? "," : "") << "\n";
+    }
+    f << "  ],\n"
+      << "  \"pingpong_2rank_8B\": {\"msgs_per_sec\": "
+      << static_cast<long long>(pp) << "},\n"
+      << "  \"rendezvous_2rank_256KiB\": {\"msgs_per_sec\": "
+      << static_cast<long long>(rndv) << ", \"mb_per_sec\": "
+      << static_cast<long long>(rndv * 256.0 * 1024.0 / 1e6) << "},\n"
+      << "  \"matching_stress_64src\": {\"wildcard_ns_per_match\": "
+      << ms.wildcard_ns_per_match << ", \"exact_ns_per_match\": "
+      << ms.exact_ns_per_match << ", \"overall_ns_per_match\": "
+      << ms.overall_ns_per_match << "}\n"
+      << "}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

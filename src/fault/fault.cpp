@@ -1,5 +1,7 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
+
 #include "simtime/rng.hpp"
 
 namespace ombx::fault {
@@ -75,7 +77,10 @@ MessageFaults FaultPlan::draw_message(int src, int dst, std::size_t bytes,
   if (cfg_.corrupt.probability > 0.0 &&
       to_unit(sm.next()) < cfg_.corrupt.probability) {
     out.corrupt = true;
-    out.corrupt_offset = bytes > 0 ? sm.next() % bytes : 0;
+    // Always consume the offset draw so the per-message stream advances
+    // identically whether or not bytes physically travel (payload-mode
+    // independence of the fault schedule).
+    out.corrupt_offset = sm.next() % std::max<std::size_t>(bytes, 1);
     counters_.corruptions.fetch_add(1, std::memory_order_relaxed);
   }
   return out;

@@ -47,8 +47,12 @@ simtime::SimClock& Comm::clock() const {
 void Comm::send(ConstView v, int dst, int tag) const {
   OMBX_REQUIRE_AT(tag >= 0, "user tags must be non-negative", my_world_,
                   context_);
+  // Blocking send parks on the cell until the receiver is done with `v`,
+  // which is what licenses the zero-copy rendezvous path.  isend (below)
+  // must stay buffered: its caller may mutate or free `v` before wait().
   auto cell = engine_->post_send(my_world_, world_rank(dst), context_,
-                                 my_rank_, tag, v);
+                                 my_rank_, tag, v, /*force_payload=*/false,
+                                 SendBuffering::kZeroCopy);
   if (cell) engine_->await_cell(my_world_, *cell);
 }
 

@@ -29,7 +29,12 @@ Engine::Engine(net::NetworkModel model, int nranks, PayloadMode payload,
 double Engine::shm_slowdown(int src_world, int dst_world,
                             net::MemSpace space) const {
   if (oversub_ == 1.0) return 1.0;
-  switch (model_.link_class(src_world, dst_world, space)) {
+  return shm_slowdown(model_.link_class(src_world, dst_world, space));
+}
+
+double Engine::shm_slowdown(net::LinkClass link) const {
+  if (oversub_ == 1.0) return 1.0;
+  switch (link) {
     case net::LinkClass::kSelf:
     case net::LinkClass::kIntraSocket:
     case net::LinkClass::kInterSocket:
@@ -67,7 +72,8 @@ void Engine::check_failures(int world_rank) {
 std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
                                             int ctx, int src_comm_rank,
                                             int tag, ConstView v,
-                                            bool force_payload) {
+                                            bool force_payload,
+                                            SendBuffering buffering) {
   OMBX_REQUIRE_AT(dst_world >= 0 && dst_world < nranks(),
                   "send destination out of range", src_world, ctx);
   check_failures(src_world);
@@ -81,27 +87,37 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
   msg.bytes = v.bytes;
   msg.space = v.space;
 
+  // Resolve the link class once; every cost query below reuses it.
+  const net::LinkClass link = model_.link_class(src_world, dst_world, v.space);
+
   // Self-sends are always eager (a blocking rendezvous send to self could
   // never complete — same rule real MPI follows for its self channel).
   msg.protocol = (src_world == dst_world)
                      ? net::Protocol::kEager
-                     : model_.protocol(src_world, dst_world, v.bytes, v.space);
+                     : model_.protocol(link, v.bytes);
 
+  const bool eager = msg.protocol == net::Protocol::kEager;
   if ((payload_ == PayloadMode::kReal || force_payload) &&
       v.data != nullptr && v.bytes > 0) {
-    msg.payload.assign(v.data, v.data + v.bytes);
+    if (eager || buffering == SendBuffering::kBuffered) {
+      msg.payload = pool_.acquire_copy(v.data, v.bytes);
+    } else {
+      // Blocking-send rendezvous: the sender stays parked on the SyncCell
+      // for the whole transfer, so the receiver can read `v` in place.
+      msg.zero_copy_src = v;
+    }
   }
 
   // Fault injection: decisions are drawn on the sender thread from the
   // plan's seeded per-pair stream, so the schedule is deterministic.
+  // Corruption is recorded on the message and applied into the receive
+  // buffer at delivery — the flip happens identically whether the bytes
+  // travel pooled, zero-copy, or not at all (synthetic mode).
   fault::MessageFaults injected;
-  const bool eager = msg.protocol == net::Protocol::kEager;
   if (fault_ && src_world != dst_world) {
     injected = fault_->draw_message(src_world, dst_world, v.bytes, eager);
-    if (injected.corrupt && !msg.payload.empty()) {
-      msg.payload[injected.corrupt_offset % msg.payload.size()] ^=
-          std::byte{0xff};
-    }
+    msg.corrupt = injected.corrupt;
+    msg.corrupt_offset = injected.corrupt_offset;
   }
   const double straggle =
       fault_ ? fault_->straggler_factor(src_world) : 1.0;
@@ -111,16 +127,21 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
   // paper sees full-subscription degradation at large sizes only.
   std::shared_ptr<SyncCell> cell;
   if (eager) {
+    auto& memo = st.eager_prices;
+    if (!memo.valid || memo.link != link || memo.bytes != v.bytes) {
+      memo.link = link;
+      memo.bytes = v.bytes;
+      memo.transfer = model_.transfer_us(link, v.bytes);
+      memo.busy = model_.sender_busy_us(link, v.bytes);
+      memo.gap = model_.nic_gap_us(link, v.bytes);
+      memo.valid = true;
+    }
     const usec_t inject = std::max(st.clock.now(), st.nic_free);
-    usec_t transfer =
-        model_.transfer_us(src_world, dst_world, v.bytes, v.space);
+    usec_t transfer = memo.transfer;
     if (fault_) {
-      const net::LinkClass link =
-          model_.link_class(src_world, dst_world, v.space);
       if (fault_->degrades(link, inject)) {
         transfer = model_.perturbed_transfer_us(
-            src_world, dst_world, v.bytes, v.space,
-            fault_->alpha_factor(link, inject),
+            link, v.bytes, fault_->alpha_factor(link, inject),
             fault_->beta_factor(link, inject));
         fault_->counters().degraded_messages.fetch_add(
             1, std::memory_order_relaxed);
@@ -137,12 +158,8 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
                      fault_->config().drop.retransmit_timeout_us
                : 0.0;
     msg.arrival_time = inject + retry_delay + transfer;
-    st.nic_free =
-        inject + retry_delay +
-        model_.nic_gap_us(src_world, dst_world, v.bytes, v.space);
-    st.clock.advance_to(inject + straggle * model_.sender_busy_us(
-                                                src_world, dst_world,
-                                                v.bytes, v.space));
+    st.nic_free = inject + retry_delay + memo.gap;
+    st.clock.advance_to(inject + straggle * memo.busy);
   } else {
     msg.send_time = st.clock.now();
     // Receiver recomputes wire time from the model; stash nothing extra.
@@ -160,6 +177,14 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
                       return w.expired();
                     });
       pending_cells_.push_back(cell);
+    }
+    // An abort whose poison sweep ran before the registration above would
+    // miss this cell; poison it ourselves so the sender's await (which
+    // relies solely on cell state, never an early failure check — see
+    // await_cell) is guaranteed to wake.
+    if (aborted_.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lk(abort_mutex_);
+      if (abort_) cell->poison(abort_);
     }
   }
 
@@ -187,39 +212,53 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
                   "receive buffer too small (message truncated)", self_world,
                   ctx);
 
+  usec_t rendezvous_complete = 0.0;
   if (msg.protocol == net::Protocol::kEager) {
     st.clock.advance_to(msg.arrival_time);
   } else {
     // Rendezvous: the transfer cannot start until both sides are ready and
     // the RTS/CTS handshake has completed.
+    const net::LinkClass link =
+        model_.link_class(msg.src_world, self_world, msg.space);
     const usec_t start = std::max(msg.send_time, st.clock.now()) +
                          model_.tuning().rendezvous_handshake_us;
-    usec_t raw_wire =
-        model_.transfer_us(msg.src_world, self_world, msg.bytes, msg.space);
+    usec_t raw_wire = model_.transfer_us(link, msg.bytes);
     if (fault_) {
-      const net::LinkClass link =
-          model_.link_class(msg.src_world, self_world, msg.space);
       if (fault_->degrades(link, start)) {
         raw_wire = model_.perturbed_transfer_us(
-            msg.src_world, self_world, msg.bytes, msg.space,
-            fault_->alpha_factor(link, start),
+            link, msg.bytes, fault_->alpha_factor(link, start),
             fault_->beta_factor(link, start));
         fault_->counters().degraded_messages.fetch_add(
             1, std::memory_order_relaxed);
       }
     }
-    const usec_t wire =
-        raw_wire * shm_slowdown(msg.src_world, self_world, msg.space);
+    const usec_t wire = raw_wire * shm_slowdown(link);
     const usec_t complete = start + wire;
     st.clock.advance_to(complete);
-    if (msg.sync) msg.sync->complete(complete);
+    rendezvous_complete = complete;
   }
 
   // Copy out whatever physically travelled (control-plane messages carry
-  // payload even in synthetic mode).
-  if (v.data != nullptr && !msg.payload.empty()) {
-    std::memcpy(v.data, msg.payload.data(), msg.payload.size());
+  // payload even in synthetic mode).  This MUST precede the SyncCell
+  // completion below: a zero-copy source buffer is only pinned while its
+  // sender is still blocked on the cell.
+  if (v.data != nullptr) {
+    if (msg.zero_copy_src.data != nullptr) {
+      // Claim the transfer so an abort cannot unwind the sender (freeing
+      // the buffer) mid-copy; a false claim means the cell is already
+      // poisoned and the buffer may be gone — skip the bytes, the abort
+      // surfaces at this rank's next substrate call.
+      if (msg.sync && msg.sync->begin_transfer()) {
+        std::memcpy(v.data, msg.zero_copy_src.data, msg.bytes);
+      }
+    } else if (!msg.payload.empty()) {
+      std::memcpy(v.data, msg.payload.data(), msg.payload.size());
+    }
+    if (msg.corrupt && msg.carries_data() && msg.bytes > 0) {
+      v.data[msg.corrupt_offset % msg.bytes] ^= std::byte{0xff};
+    }
   }
+  if (msg.sync) msg.sync->complete(rendezvous_complete);
 
   if (tracer_) {
     tracer_->record(TraceEvent{.rank = self_world,
@@ -234,7 +273,12 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
 }
 
 void Engine::await_cell(int world_rank, SyncCell& cell) {
-  check_failures(world_rank);
+  // Deliberately no check_failures() here: a zero-copy sender must not
+  // unwind (freeing the buffer the receiver reads) on the abort flag alone
+  // — only once its cell is poisoned and unclaimed, which post_send's
+  // registration handshake guarantees happens on every abort.  Kills are
+  // clock-driven and the clock has not moved since the caller's own entry
+  // check, so nothing is lost by deferring them to the next operation.
   usec_t t;
   {
     fault::ScopedWait wait(

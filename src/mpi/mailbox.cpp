@@ -9,86 +9,169 @@ void Mailbox::throw_poisoned_locked() {
   throw_aborted(info);
 }
 
+std::uint64_t Mailbox::hash_key(int ctx, int src, int tag) noexcept {
+  // SplitMix64-style finalizer over the packed triple.  Collisions are
+  // resolved by comparing the bin's actual key during probing.
+  std::uint64_t k = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                         ctx)) << 32) |
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                        src));
+  k ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(tag)) *
+       0x9e3779b97f4a7c15ULL;
+  k ^= k >> 30;
+  k *= 0xbf58476d1ce4e5b9ULL;
+  k ^= k >> 27;
+  k *= 0x94d049bb133111ebULL;
+  k ^= k >> 31;
+  return k;
+}
+
+Mailbox::Bin* Mailbox::find_bin(int ctx, int src, int tag) const noexcept {
+  if (mru_ != nullptr && mru_->ctx == ctx && mru_->src == src &&
+      mru_->tag == tag) {
+    return mru_;
+  }
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = hash_key(ctx, src, tag) & mask;
+  while (Bin* b = table_[i]) {
+    if (b->ctx == ctx && b->src == src && b->tag == tag) {
+      mru_ = b;
+      return b;
+    }
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void Mailbox::rehash(std::size_t new_slots) {
+  table_.assign(new_slots, nullptr);
+  const std::size_t mask = new_slots - 1;
+  for (Bin& b : bins_) {
+    std::size_t i = hash_key(b.ctx, b.src, b.tag) & mask;
+    while (table_[i] != nullptr) i = (i + 1) & mask;
+    table_[i] = &b;
+  }
+}
+
+Mailbox::Bin& Mailbox::obtain_bin(int ctx, int src, int tag) {
+  if (Bin* b = find_bin(ctx, src, tag)) return *b;
+  if ((bins_.size() + 1) * 2 > table_.size()) rehash(table_.size() * 2);
+  bins_.push_back(Bin{ctx, src, tag, {}});
+  Bin& b = bins_.back();
+  const std::size_t mask = table_.size() - 1;
+  std::size_t i = hash_key(ctx, src, tag) & mask;
+  while (table_[i] != nullptr) i = (i + 1) & mask;
+  table_[i] = &b;
+  mru_ = &b;
+  return b;
+}
+
+Mailbox::Bin* Mailbox::find_match(int ctx, int src, int tag) const noexcept {
+  if (src != kAnySource && tag != kAnyTag) {
+    Bin* b = find_bin(ctx, src, tag);
+    return (b != nullptr && !b->q.empty()) ? b : nullptr;
+  }
+  // Wildcard: earliest arrival among candidate bin heads.  All messages
+  // in a bin share its key, so a bin either fully matches the pattern or
+  // not at all, and the earliest match in a matching bin is its front.
+  Bin* best = nullptr;
+  std::uint64_t best_seq = 0;
+  for (const Bin& b : bins_) {
+    if (b.q.empty() || b.ctx != ctx) continue;
+    if (src != kAnySource && b.src != src) continue;
+    if (tag != kAnyTag && b.tag != tag) continue;
+    const std::uint64_t s = b.q.front().seq;
+    if (best == nullptr || s < best_seq) {
+      best = const_cast<Bin*>(&b);
+      best_seq = s;
+    }
+  }
+  return best;
+}
+
+Message Mailbox::take_locked(Bin& bin) {
+  Message msg = std::move(bin.q.front());
+  bin.q.pop_front();
+  --queued_;
+  if (registry_) registry_->note_progress();
+  if (drain_waiters_ > 0) drained_.notify_all();
+  return msg;
+}
+
 void Mailbox::enqueue(Message&& msg) {
   std::unique_lock<std::mutex> lk(m_);
-  if (q_.size() >= capacity_ && !poison_) {
+  if (queued_ >= capacity_ && !poison_) {
     // The sender (not the owner) is the one blocked here.
     fault::ScopedWait wait(
         registry_, msg.src_world,
         fault::WaitInfo{fault::WaitKind::kSendCapacity, msg.context, owner_,
                         msg.tag});
+    ++drain_waiters_;
     drained_.wait(lk, [&] {
-      return q_.size() < capacity_ || poison_ != nullptr;
+      return queued_ < capacity_ || poison_ != nullptr;
     });
+    --drain_waiters_;
   }
   if (poison_) throw_poisoned_locked();
-  q_.push_back(std::move(msg));
+  msg.seq = next_seq_++;
+  obtain_bin(msg.context, msg.src, msg.tag).q.push_back(std::move(msg));
+  ++queued_;
   if (registry_) registry_->note_progress();
-  arrived_.notify_all();
-}
-
-std::deque<Message>::iterator Mailbox::find_locked(int ctx, int src,
-                                                   int tag) {
-  for (auto it = q_.begin(); it != q_.end(); ++it) {
-    if (it->matches(ctx, src, tag)) return it;
-  }
-  return q_.end();
+  if (arrival_waiters_ > 0) arrived_.notify_all();
 }
 
 Message Mailbox::dequeue_match(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
-  auto it = find_locked(ctx, src, tag);
-  if (it == q_.end() && !poison_) {
+  Bin* bin = find_match(ctx, src, tag);
+  if (bin == nullptr && !poison_) {
     fault::ScopedWait wait(
         registry_, owner_,
         fault::WaitInfo{fault::WaitKind::kRecv, ctx, src, tag});
+    ++arrival_waiters_;
     arrived_.wait(lk, [&] {
-      it = find_locked(ctx, src, tag);
-      return it != q_.end() || poison_ != nullptr;
+      bin = find_match(ctx, src, tag);
+      return bin != nullptr || poison_ != nullptr;
     });
+    --arrival_waiters_;
   }
   if (poison_) throw_poisoned_locked();
-  Message msg = std::move(*it);
-  q_.erase(it);
-  if (registry_) registry_->note_progress();
-  drained_.notify_all();
-  return msg;
+  return take_locked(*bin);
 }
 
 std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
   if (poison_) throw_poisoned_locked();
-  auto it = find_locked(ctx, src, tag);
-  if (it == q_.end()) return std::nullopt;
-  Message msg = std::move(*it);
-  q_.erase(it);
-  if (registry_) registry_->note_progress();
-  drained_.notify_all();
-  return msg;
+  Bin* bin = find_match(ctx, src, tag);
+  if (bin == nullptr) return std::nullopt;
+  return take_locked(*bin);
 }
 
 Status Mailbox::probe(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
-  auto it = find_locked(ctx, src, tag);
-  if (it == q_.end() && !poison_) {
+  Bin* bin = find_match(ctx, src, tag);
+  if (bin == nullptr && !poison_) {
     fault::ScopedWait wait(
         registry_, owner_,
         fault::WaitInfo{fault::WaitKind::kProbe, ctx, src, tag});
+    ++arrival_waiters_;
     arrived_.wait(lk, [&] {
-      it = find_locked(ctx, src, tag);
-      return it != q_.end() || poison_ != nullptr;
+      bin = find_match(ctx, src, tag);
+      return bin != nullptr || poison_ != nullptr;
     });
+    --arrival_waiters_;
   }
   if (poison_) throw_poisoned_locked();
-  return Status{.source = it->src, .tag = it->tag, .bytes = it->bytes};
+  const Message& head = bin->q.front();
+  return Status{.source = head.src, .tag = head.tag, .bytes = head.bytes};
 }
 
 std::optional<Status> Mailbox::try_probe(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
   if (poison_) throw_poisoned_locked();
-  auto it = find_locked(ctx, src, tag);
-  if (it == q_.end()) return std::nullopt;
-  return Status{.source = it->src, .tag = it->tag, .bytes = it->bytes};
+  Bin* bin = find_match(ctx, src, tag);
+  if (bin == nullptr) return std::nullopt;
+  const Message& head = bin->q.front();
+  return Status{.source = head.src, .tag = head.tag, .bytes = head.bytes};
 }
 
 void Mailbox::poison(std::shared_ptr<const fault::AbortInfo> info) {
@@ -104,12 +187,19 @@ void Mailbox::poison(std::shared_ptr<const fault::AbortInfo> info) {
 void Mailbox::reset() {
   std::lock_guard<std::mutex> lk(m_);
   poison_.reset();
-  q_.clear();
+  // Drain every bin (destroying queued messages returns their pooled
+  // payload buffers) and drop the bin directory itself: contexts are
+  // allocated fresh each run, so stale keys would only pollute the table.
+  bins_.clear();
+  table_.assign(kInitialSlots, nullptr);
+  mru_ = nullptr;  // points into bins_, which was just cleared
+  queued_ = 0;
+  next_seq_ = 0;
 }
 
 std::size_t Mailbox::size() const {
   std::lock_guard<std::mutex> lk(m_);
-  return q_.size();
+  return queued_;
 }
 
 }  // namespace ombx::mpi

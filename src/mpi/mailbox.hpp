@@ -1,23 +1,38 @@
 // Per-rank mailbox with MPI matching semantics.
 //
 // Senders enqueue under the destination's lock; receivers block until a
-// message matching (context, source, tag) exists.  Per-(context,src,tag)
-// FIFO ordering is inherited from the sender's program order, which is what
-// makes virtual timestamps deterministic regardless of host scheduling.
+// message matching (context, source, tag) exists.
+//
+// Matching structure: messages are binned into per-(context, src, tag)
+// FIFO queues indexed by an open-addressing flat hash, so the common
+// exact-match receive is an O(1) hash hit + pop_front instead of the old
+// O(queue-depth) linear scan.  Every message is stamped with a global
+// monotone sequence number at enqueue; a wildcard receive (kAnySource /
+// kAnyTag / both) scans the bin directory — O(#bins), which is bounded by
+// the number of distinct (context, src, tag) triples in flight, not by
+// the number of queued messages — and takes the candidate bin whose head
+// has the smallest sequence number.  Since bin FIFO order equals per-key
+// arrival order and sequence numbers equal global arrival order, every
+// receive and probe observes exactly the order the old single-deque scan
+// produced (property-tested against a reference linear mailbox in
+// tests/test_mailbox_matching.cpp).
 //
 // Every blocking path (matched receive, blocking probe, capacity-blocked
 // enqueue) participates in the failure-propagation protocol: poison()
-// wakes all waiters with an AbortedError, and waits are registered in the
-// engine's WaitRegistry so the deadlock watchdog can dump what each rank
-// is stuck on.
+// wakes all waiters with an AbortedError (whatever bin they wait on),
+// reset() drains every bin, and waits are registered in the engine's
+// WaitRegistry so the deadlock watchdog can dump what each rank is stuck
+// on.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "fault/abort.hpp"
 #include "fault/watchdog.hpp"
@@ -34,7 +49,9 @@ class Mailbox {
   explicit Mailbox(std::size_t capacity = 8192,
                    fault::WaitRegistry* registry = nullptr,
                    int owner_rank = -1)
-      : capacity_(capacity), registry_(registry), owner_(owner_rank) {}
+      : capacity_(capacity), registry_(registry), owner_(owner_rank) {
+    table_.resize(kInitialSlots);
+  }
 
   Mailbox(const Mailbox&) = delete;
   Mailbox& operator=(const Mailbox&) = delete;
@@ -64,20 +81,57 @@ class Mailbox {
   /// current and future blocking calls throw AbortedError carrying `info`.
   void poison(std::shared_ptr<const fault::AbortInfo> info);
 
-  /// Re-arm the mailbox for a fresh run (clears poison and queued mail).
+  /// Re-arm the mailbox for a fresh run (clears poison and drains every
+  /// bin, returning pooled payload buffers to their pool).
   void reset();
 
   [[nodiscard]] std::size_t size() const;
 
  private:
-  [[nodiscard]] std::deque<Message>::iterator find_locked(int ctx, int src,
-                                                          int tag);
+  /// One FIFO of messages sharing an exact (context, src, tag) key.  Bins
+  /// are never deleted before reset(); an emptied bin stays registered so
+  /// its next message skips the insert path.
+  struct Bin {
+    int ctx = 0;
+    int src = 0;
+    int tag = 0;
+    std::deque<Message> q;
+  };
+
+  static constexpr std::size_t kInitialSlots = 64;  // power of two
+
+  [[nodiscard]] static std::uint64_t hash_key(int ctx, int src,
+                                              int tag) noexcept;
+
+  /// Exact-key bin lookup; null when the triple has no bin yet.
+  [[nodiscard]] Bin* find_bin(int ctx, int src, int tag) const noexcept;
+  /// Exact-key bin lookup, creating (and indexing) the bin if absent.
+  [[nodiscard]] Bin& obtain_bin(int ctx, int src, int tag);
+  void rehash(std::size_t new_slots);
+
+  /// The bin whose head is the first message (in global arrival order)
+  /// matching the possibly-wildcarded pattern; null when none is queued.
+  /// The match itself is always the returned bin's front().
+  [[nodiscard]] Bin* find_match(int ctx, int src, int tag) const noexcept;
+
+  /// Pop the head of `bin`, maintaining counts and waking capacity-blocked
+  /// senders.
+  [[nodiscard]] Message take_locked(Bin& bin);
+
   [[noreturn]] void throw_poisoned_locked();
 
   mutable std::mutex m_;
   std::condition_variable arrived_;  ///< signalled on enqueue / poison
   std::condition_variable drained_;  ///< signalled on dequeue / poison
-  std::deque<Message> q_;
+  std::deque<Bin> bins_;             ///< stable storage + wildcard scan order
+  std::vector<Bin*> table_;          ///< open-addressing index, pow2 slots
+  mutable Bin* mru_ = nullptr;       ///< last bin touched (steady traffic)
+  std::size_t queued_ = 0;           ///< total messages across bins
+  std::uint64_t next_seq_ = 0;       ///< global arrival stamp
+  // Waiter counts (guarded by m_) let the hot path skip the kernel notify
+  // when nobody is blocked — the overwhelmingly common case.
+  int arrival_waiters_ = 0;  ///< blocked receives + probes
+  int drain_waiters_ = 0;    ///< capacity-blocked senders
   std::size_t capacity_;
   std::shared_ptr<const fault::AbortInfo> poison_;
   fault::WaitRegistry* registry_;

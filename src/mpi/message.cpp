@@ -4,9 +4,19 @@
 
 namespace ombx::mpi {
 
+bool SyncCell::begin_transfer() {
+  std::lock_guard<std::mutex> lk(m);
+  if (poisoned != nullptr) return false;
+  in_transfer = true;
+  return true;
+}
+
 usec_t SyncCell::await() {
   std::unique_lock<std::mutex> lk(m);
-  cv.wait(lk, [&] { return done || poisoned != nullptr; });
+  // A poisoned cell whose transfer is claimed stays blocked: the receiver
+  // is copying out of the sender's (this thread's) buffer and will call
+  // complete() in bounded time; unwinding now would free memory under it.
+  cv.wait(lk, [&] { return done || (poisoned != nullptr && !in_transfer); });
   if (done) return release_time;
   auto info = *poisoned;
   lk.unlock();
@@ -16,7 +26,7 @@ usec_t SyncCell::await() {
 bool SyncCell::ready() {
   std::unique_lock<std::mutex> lk(m);
   if (done) return true;
-  if (poisoned) {
+  if (poisoned && !in_transfer) {
     auto info = *poisoned;
     lk.unlock();
     throw_aborted(info);

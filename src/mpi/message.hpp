@@ -3,11 +3,13 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
-#include <vector>
+#include <type_traits>
 
 #include "fault/abort.hpp"
+#include "mpi/payload_pool.hpp"
 #include "net/network.hpp"
 #include "simtime/clock.hpp"
 
@@ -53,6 +55,11 @@ struct SyncCell {
   std::mutex m;
   std::condition_variable cv;
   bool done = false;
+  /// Set by a zero-copy receiver (under `m`) just before it reads the
+  /// sender's buffer.  A poisoned-but-in-transfer cell keeps the sender
+  /// blocked until complete(): the receiver is in a bounded straight-line
+  /// copy, and the sender's buffer must stay alive under it.
+  bool in_transfer = false;
   usec_t release_time = 0.0;
   std::shared_ptr<const fault::AbortInfo> poisoned;
   // Wait-diagnostics envelope, written by the sender before the cell is
@@ -78,29 +85,62 @@ struct SyncCell {
     cv.notify_all();
   }
 
+  /// Zero-copy receiver handshake: claim the right to read the sender's
+  /// buffer.  Returns false when the cell is already poisoned — the sender
+  /// may have unwound (freeing the buffer), so the caller must not touch
+  /// it.  On true, the sender is pinned until complete() is called; the
+  /// caller must reach complete() without executing anything that throws.
+  [[nodiscard]] bool begin_transfer();
+
   /// Blocks until completed or poisoned.  A completed cell returns its
   /// release time even under poison (the transfer genuinely finished; the
   /// abort is observed at the rank's next substrate call); an incomplete
-  /// poisoned cell throws AbortedError/DeadlockError.
+  /// poisoned cell throws AbortedError/DeadlockError — unless a receiver
+  /// holds the transfer claim, in which case completion is imminent and we
+  /// keep waiting for it (the sender's buffer is being read).
   usec_t await();
 
-  /// Non-blocking completion check; throws when poisoned and incomplete.
+  /// Non-blocking completion check; throws when poisoned and incomplete
+  /// (but reports "not yet" while a claimed transfer is draining).
   bool ready();
 };
 
-/// One message in a mailbox.
+/// One message in a mailbox.  Payload bytes travel one of three ways:
+///   - `payload` (pooled/inline copy) — eager sends and buffered
+///     rendezvous (isend), whose staging buffer may die at post time;
+///   - `zero_copy_src` — blocking-send rendezvous: the sender is blocked
+///     on `sync` for the whole transfer, so the receiver copies straight
+///     out of the sender's buffer and only then completes the cell;
+///   - neither — synthetic payloads (virtual-time costs only).
 struct Message {
   int context = 0;    ///< communicator context id (match key)
   int src = 0;        ///< comm-local source rank (match key)
   int tag = 0;        ///< (match key)
   int src_world = 0;  ///< physical source rank (cost-model lookups)
   std::size_t bytes = 0;
-  std::vector<std::byte> payload;  ///< empty when synthetic
+  PooledPayload payload;  ///< empty when synthetic or zero-copy
+  /// Zero-copy rendezvous source; `data` is only dereferenceable before
+  /// `sync->complete()` (the sender blocks until then).
+  ConstView zero_copy_src;
   net::MemSpace space = net::MemSpace::kHost;
   net::Protocol protocol = net::Protocol::kEager;
+  /// Fault injection: flip `payload`/`zero_copy_src` byte
+  /// (corrupt_offset % bytes) into the receive buffer at delivery.
+  /// Recorded here (not applied to the stored bytes) so corruption works
+  /// identically on pooled, zero-copy, and synthetic payloads.
+  bool corrupt = false;
+  std::size_t corrupt_offset = 0;
+  /// Global arrival order, stamped by the mailbox at enqueue; wildcard
+  /// receives and probes use it to observe MPI arrival order across bins.
+  std::uint64_t seq = 0;
   usec_t send_time = 0.0;     ///< sender's virtual time at injection
   usec_t arrival_time = 0.0;  ///< eager: full-arrival time at receiver
   std::shared_ptr<SyncCell> sync;  ///< rendezvous only
+
+  /// True when bytes physically travelled with this message.
+  [[nodiscard]] bool carries_data() const noexcept {
+    return zero_copy_src.data != nullptr || !payload.empty();
+  }
 
   [[nodiscard]] bool matches(int want_ctx, int want_src,
                              int want_tag) const noexcept {
@@ -109,5 +149,10 @@ struct Message {
            (want_tag == kAnyTag || tag == want_tag);
   }
 };
+
+// dequeue_match returns Message by value; moves must stay cheap (at most
+// PooledPayload's 64-byte inline copy) and never throw.
+static_assert(std::is_nothrow_move_constructible_v<Message>);
+static_assert(std::is_nothrow_move_assignable_v<Message>);
 
 }  // namespace ombx::mpi

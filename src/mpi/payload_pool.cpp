@@ -1,0 +1,112 @@
+#include "mpi/payload_pool.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace ombx::mpi {
+
+namespace {
+constexpr std::size_t kMinExp = 7;  // log2(PayloadPool::kMinBucketBytes)
+
+std::size_t bucket_bytes(std::size_t b) noexcept {
+  return PayloadPool::kMinBucketBytes << b;
+}
+}  // namespace
+
+void PooledPayload::release() noexcept {
+  if (pool_ != nullptr) {
+    pool_->recycle(std::move(heap_));
+    pool_ = nullptr;
+  }
+  heap_ = {};
+  size_ = 0;
+  inline_ = false;
+}
+
+std::size_t PayloadPool::bucket_for_acquire(std::size_t n) noexcept {
+  // Smallest b with kMinBucketBytes << b >= n.
+  const auto w = static_cast<std::size_t>(std::bit_width(n - 1));
+  return w <= kMinExp ? 0 : w - kMinExp;
+}
+
+std::size_t PayloadPool::bucket_for_recycle(std::size_t capacity) noexcept {
+  // Largest b with kMinBucketBytes << b <= capacity.
+  const auto w = static_cast<std::size_t>(std::bit_width(capacity));
+  const std::size_t b = w - 1 >= kMinExp ? w - 1 - kMinExp : 0;
+  return b < kNumBuckets ? b : kNumBuckets - 1;
+}
+
+PooledPayload PayloadPool::acquire_copy(const std::byte* src,
+                                        std::size_t n) {
+  PooledPayload p;
+  if (n == 0) return p;  // the 0-byte path: no lock, no allocation
+  p.size_ = n;
+  if (n <= PooledPayload::kInlineBytes) {
+    p.inline_ = true;
+    std::memcpy(p.sbo_.data(), src, n);
+    stats_.inline_grabs.fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+  if (n > kMaxBucketBytes) {
+    // Too large to be worth hoarding; plain heap storage.
+    p.heap_.assign(src, src + n);
+    stats_.allocs.fetch_add(1, std::memory_order_relaxed);
+    return p;
+  }
+  const std::size_t b = bucket_for_acquire(n);
+  Bucket& bucket = buckets_[b];
+  {
+    std::lock_guard<SpinLock> lk(bucket.m);
+    if (!bucket.free.empty()) {
+      p.heap_ = std::move(bucket.free.back());
+      bucket.free.pop_back();
+    }
+  }
+  if (p.heap_.capacity() >= n) {
+    stats_.reuses.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    p.heap_.reserve(bucket_bytes(b));
+    stats_.allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  // assign() copies without the zero-fill a resize() would pay, and cannot
+  // reallocate: capacity >= bucket size >= n.
+  p.heap_.assign(src, src + n);
+  p.pool_ = this;
+  return p;
+}
+
+void PayloadPool::recycle(std::vector<std::byte>&& v) noexcept {
+  if (v.capacity() < kMinBucketBytes) {
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;  // v freed on scope exit
+  }
+  const std::size_t b = bucket_for_recycle(v.capacity());
+  Bucket& bucket = buckets_[b];
+  std::lock_guard<SpinLock> lk(bucket.m);
+  if (bucket.free.size() >= kMaxFreePerBucket) {
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (bucket.free.capacity() == 0) bucket.free.reserve(kMaxFreePerBucket);
+  bucket.free.push_back(std::move(v));
+  stats_.recycled.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t PayloadPool::free_buffers() const {
+  std::size_t n = 0;
+  for (const Bucket& b : buckets_) {
+    std::lock_guard<SpinLock> lk(b.m);
+    n += b.free.size();
+  }
+  return n;
+}
+
+void PayloadPool::trim() {
+  for (Bucket& b : buckets_) {
+    std::lock_guard<SpinLock> lk(b.m);
+    b.free.clear();
+    b.free.shrink_to_fit();
+  }
+}
+
+}  // namespace ombx::mpi

@@ -1,0 +1,176 @@
+// Recycled payload storage for the simulated-MPI hot path.
+//
+// Every eager message with a real payload used to heap-allocate a
+// std::vector<std::byte> at post time and free it at delivery — two
+// allocator round trips per message, millions of times per benchmark
+// sweep.  PayloadPool removes them: buffers are recycled through
+// size-bucketed freelists, and payloads small enough for the handle's
+// inline storage never touch the heap (or a lock) at all.
+//
+// Storage tiers, chosen by acquire_copy():
+//   0 bytes      no storage, no lock, no allocation (asserted by tests)
+//   <= 64 bytes  inline in the PooledPayload handle itself
+//   <= 4 MiB     pooled vector from the power-of-two bucket freelist;
+//                returned to the pool when the handle dies
+//   >  4 MiB     plain heap vector (freed, not recycled — messages this
+//                large ride the rendezvous path, which is zero-copy for
+//                blocking sends anyway)
+//
+// Thread model: acquire and release run on different rank threads; each
+// bucket has its own spinlock (critical sections are a handful of pointer
+// moves, and an uncontended spinlock costs half of what a mutex does —
+// this path competes with malloc's thread-cached fast path), stats are
+// relaxed atomics.  The pool must outlive every handle it issued (the
+// Engine declares its pool before its mailboxes so destruction order
+// guarantees this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ombx::mpi {
+
+class PayloadPool;
+
+/// Move-only owning handle to a message payload.  Cheap to move (at most
+/// a 64-byte inline copy; pooled/heap payloads move three pointers), so a
+/// Message travels through mailbox deques without touching its bytes.
+class PooledPayload {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  PooledPayload() noexcept = default;
+  ~PooledPayload() { release(); }
+
+  PooledPayload(PooledPayload&& o) noexcept
+      : size_(o.size_), inline_(o.inline_), pool_(o.pool_),
+        heap_(std::move(o.heap_)) {
+    if (inline_) {
+      for (std::size_t i = 0; i < size_; ++i) sbo_[i] = o.sbo_[i];
+    }
+    o.size_ = 0;
+    o.inline_ = false;
+    o.pool_ = nullptr;
+  }
+
+  PooledPayload& operator=(PooledPayload&& o) noexcept {
+    if (this != &o) {
+      release();
+      size_ = o.size_;
+      inline_ = o.inline_;
+      pool_ = o.pool_;
+      heap_ = std::move(o.heap_);
+      if (inline_) {
+        for (std::size_t i = 0; i < size_; ++i) sbo_[i] = o.sbo_[i];
+      }
+      o.size_ = 0;
+      o.inline_ = false;
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+
+  PooledPayload(const PooledPayload&) = delete;
+  PooledPayload& operator=(const PooledPayload&) = delete;
+
+  [[nodiscard]] const std::byte* data() const noexcept {
+    return inline_ ? sbo_.data() : heap_.data();
+  }
+  [[nodiscard]] std::byte* data() noexcept {
+    return inline_ ? sbo_.data() : heap_.data();
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Storage-tier introspection (tests assert the 0-byte and inline paths
+  /// stay allocation-free).
+  [[nodiscard]] bool is_inline() const noexcept { return inline_; }
+  [[nodiscard]] bool is_pooled() const noexcept { return pool_ != nullptr; }
+
+  /// Return the storage (recycling pooled buffers) and become empty.
+  void release() noexcept;
+
+ private:
+  friend class PayloadPool;
+
+  std::size_t size_ = 0;
+  bool inline_ = false;
+  PayloadPool* pool_ = nullptr;  ///< non-null: heap_ recycles on release
+  std::vector<std::byte> heap_;
+  std::array<std::byte, kInlineBytes> sbo_;
+};
+
+/// Size-bucketed freelist of recycled payload vectors.
+class PayloadPool {
+ public:
+  static constexpr std::size_t kMinBucketBytes = 128;     ///< 2^7
+  static constexpr std::size_t kMaxBucketBytes = 4 << 20; ///< 2^22
+  static constexpr std::size_t kMaxFreePerBucket = 32;
+
+  PayloadPool() = default;
+  PayloadPool(const PayloadPool&) = delete;
+  PayloadPool& operator=(const PayloadPool&) = delete;
+
+  /// Counters for tests and the wall-clock bench (relaxed atomics; exact
+  /// totals are only meaningful after all rank threads joined).
+  struct Stats {
+    std::atomic<std::uint64_t> inline_grabs{0};  ///< served from the handle
+    std::atomic<std::uint64_t> reuses{0};        ///< bucket freelist hits
+    std::atomic<std::uint64_t> allocs{0};        ///< heap allocations
+    std::atomic<std::uint64_t> recycled{0};      ///< buffers returned
+    std::atomic<std::uint64_t> dropped{0};       ///< returned but bucket full
+  };
+
+  /// Copy `n` bytes from `src` into recycled (or inline) storage.  n == 0
+  /// returns an empty handle without locking or allocating.
+  [[nodiscard]] PooledPayload acquire_copy(const std::byte* src,
+                                           std::size_t n);
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Freelist population across all buckets (test/diagnostic only).
+  [[nodiscard]] std::size_t free_buffers() const;
+
+  /// Drop every cached buffer (outstanding handles are unaffected).
+  void trim();
+
+ private:
+  friend class PooledPayload;
+
+  /// Smallest bucket whose size is >= n (n > kInlineBytes).
+  [[nodiscard]] static std::size_t bucket_for_acquire(std::size_t n) noexcept;
+  /// Largest bucket whose size is <= capacity (recycle placement).
+  [[nodiscard]] static std::size_t bucket_for_recycle(
+      std::size_t capacity) noexcept;
+
+  void recycle(std::vector<std::byte>&& v) noexcept;
+
+  static constexpr std::size_t kNumBuckets = 16;  // 2^7 .. 2^22
+
+  /// Tiny test-and-test-and-set lock; bucket critical sections are a few
+  /// pointer moves, never long enough to make a sleeping lock worthwhile.
+  struct SpinLock {
+    std::atomic_flag f = ATOMIC_FLAG_INIT;
+    void lock() noexcept {
+      while (f.test_and_set(std::memory_order_acquire)) {
+        while (f.test(std::memory_order_relaxed)) {
+        }
+      }
+    }
+    void unlock() noexcept { f.clear(std::memory_order_release); }
+  };
+
+  struct Bucket {
+    mutable SpinLock m;
+    std::vector<std::vector<std::byte>> free;
+  };
+
+  std::array<Bucket, kNumBuckets> buckets_;
+  Stats stats_;
+};
+
+}  // namespace ombx::mpi

@@ -11,12 +11,24 @@ NetworkModel::NetworkModel(const ClusterSpec& spec, const MpiTuning& tuning,
   // channels degrade more gently.  Both factors are per-extra-rank linear.
   nic_contention_ = 1.0 + spec_.nic_share_per_rank * (ppn - 1);
   mem_contention_ = 1.0 + spec_.mem_share_per_rank * (ppn - 1);
+  placements_.reserve(static_cast<std::size_t>(mapper_.max_ranks()));
+  for (int r = 0; r < mapper_.max_ranks(); ++r) {
+    placements_.push_back(mapper_.place(r));
+  }
 }
 
 LinkClass NetworkModel::link_class(int rank_a, int rank_b,
                                    MemSpace space) const {
-  const Placement a = mapper_.place(rank_a);
-  const Placement b = mapper_.place(rank_b);
+  const bool cached =
+      rank_a >= 0 && rank_b >= 0 &&
+      static_cast<std::size_t>(rank_a) < placements_.size() &&
+      static_cast<std::size_t>(rank_b) < placements_.size();
+  // Out-of-range ranks fall through to place(), which throws the same
+  // diagnostics it always has.
+  const Placement a = cached ? placements_[static_cast<std::size_t>(rank_a)]
+                             : mapper_.place(rank_a);
+  const Placement b = cached ? placements_[static_cast<std::size_t>(rank_b)]
+                             : mapper_.place(rank_b);
   if (space == MemSpace::kDevice) {
     if (!spec_.gpu.has_value()) {
       throw std::logic_error("device buffers on a cluster without GPUs");
@@ -63,7 +75,10 @@ double NetworkModel::contention_for(LinkClass c) const noexcept {
 
 usec_t NetworkModel::transfer_us(int src, int dst, std::size_t bytes,
                                  MemSpace space) const {
-  const LinkClass c = link_class(src, dst, space);
+  return transfer_us(link_class(src, dst, space), bytes);
+}
+
+usec_t NetworkModel::transfer_us(LinkClass c, std::size_t bytes) const {
   const LinkModel& m = model_for(c);
   const usec_t base = m.transfer_us(bytes);
   const usec_t alpha = m.transfer_us(0);
@@ -83,21 +98,31 @@ usec_t NetworkModel::perturbed_transfer_us(int src, int dst,
                                            std::size_t bytes, MemSpace space,
                                            double alpha_factor,
                                            double beta_factor) const {
-  const usec_t alpha = alpha_us(src, dst, space);
-  const usec_t full = transfer_us(src, dst, bytes, space);
+  return perturbed_transfer_us(link_class(src, dst, space), bytes,
+                               alpha_factor, beta_factor);
+}
+
+usec_t NetworkModel::perturbed_transfer_us(LinkClass c, std::size_t bytes,
+                                           double alpha_factor,
+                                           double beta_factor) const {
+  const usec_t alpha = model_for(c).transfer_us(0) + tuning_.alpha_delta_us;
+  const usec_t full = transfer_us(c, bytes);
   return alpha * alpha_factor + (full - alpha) * beta_factor;
 }
 
 usec_t NetworkModel::sender_busy_us(int src, int dst, std::size_t bytes,
                                     MemSpace space) const {
-  const LinkClass c = link_class(src, dst, space);
+  return sender_busy_us(link_class(src, dst, space), bytes);
+}
+
+usec_t NetworkModel::sender_busy_us(LinkClass c, std::size_t bytes) const {
   switch (c) {
     case LinkClass::kSelf:
     case LinkClass::kIntraSocket:
     case LinkClass::kInterSocket:
       // Shared-memory transports are CPU-driven: the sender's core performs
       // the copy, so it is busy for the whole transfer.
-      return transfer_us(src, dst, bytes, space);
+      return transfer_us(c, bytes);
     case LinkClass::kInterNode:
     case LinkClass::kGpuIntraNode:
     case LinkClass::kGpuInterNode:
@@ -109,7 +134,10 @@ usec_t NetworkModel::sender_busy_us(int src, int dst, std::size_t bytes,
 
 usec_t NetworkModel::nic_gap_us(int src, int dst, std::size_t bytes,
                                 MemSpace space) const {
-  const LinkClass c = link_class(src, dst, space);
+  return nic_gap_us(link_class(src, dst, space), bytes);
+}
+
+usec_t NetworkModel::nic_gap_us(LinkClass c, std::size_t bytes) const {
   switch (c) {
     case LinkClass::kInterNode:
     case LinkClass::kGpuInterNode: {
@@ -125,7 +153,10 @@ usec_t NetworkModel::nic_gap_us(int src, int dst, std::size_t bytes,
 
 Protocol NetworkModel::protocol(int src, int dst, std::size_t bytes,
                                 MemSpace space) const {
-  const LinkClass c = link_class(src, dst, space);
+  return protocol(link_class(src, dst, space), bytes);
+}
+
+Protocol NetworkModel::protocol(LinkClass c, std::size_t bytes) const {
   std::size_t threshold = tuning_.eager_threshold_intra;
   switch (c) {
     case LinkClass::kInterNode:

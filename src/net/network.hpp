@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "net/cluster.hpp"
 #include "net/topology.hpp"
@@ -38,6 +39,18 @@ class NetworkModel {
   /// with library deltas and job contention applied.
   [[nodiscard]] usec_t transfer_us(int src, int dst, std::size_t bytes,
                                    MemSpace space) const;
+
+  // Pricing with a pre-resolved link class.  The engine's per-message hot
+  // path resolves (src, dst, space) once and reuses the class across every
+  // cost query; each overload computes the exact same arithmetic as its
+  // rank-pair counterpart, so virtual-time results are bit-identical.
+  [[nodiscard]] usec_t transfer_us(LinkClass c, std::size_t bytes) const;
+  [[nodiscard]] usec_t sender_busy_us(LinkClass c, std::size_t bytes) const;
+  [[nodiscard]] usec_t nic_gap_us(LinkClass c, std::size_t bytes) const;
+  [[nodiscard]] Protocol protocol(LinkClass c, std::size_t bytes) const;
+  [[nodiscard]] usec_t perturbed_transfer_us(LinkClass c, std::size_t bytes,
+                                             double alpha_factor,
+                                             double beta_factor) const;
 
   /// Startup-only component (used for handshakes and zero-byte probes).
   [[nodiscard]] usec_t alpha_us(int src, int dst, MemSpace space) const;
@@ -90,6 +103,10 @@ class NetworkModel {
   RankMapper mapper_;
   double nic_contention_ = 1.0;
   double mem_contention_ = 1.0;
+  /// Placement of every rank the cluster can host, computed once: rank
+  /// placement sits under every per-message cost query, and the divisions
+  /// in RankMapper::place dominate the pure-integer part of the hot path.
+  std::vector<Placement> placements_;
 };
 
 }  // namespace ombx::net

@@ -7,8 +7,10 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -166,6 +168,53 @@ TEST(AbortPropagation, CapacityBlockedSenderIsPoisonedAwake) {
   EXPECT_TRUE(sender_aborted.load());
 }
 
+TEST(AbortPropagation, PoisonWakesSenderBlockedBehindManyBins) {
+  // The binned mailbox must wake a capacity-blocked sender no matter
+  // which bins hold the backlog: fill the destination with one message
+  // per tag (four distinct bins), block on the fifth, then kill the
+  // receiver.
+  mpi::WorldConfig wc = small_world(2);
+  wc.mailbox_capacity = 4;
+  mpi::World w(wc);
+  std::atomic<bool> box_full{false};
+  std::atomic<bool> sender_aborted{false};
+
+  EXPECT_THROW(
+      w.run([&](Comm& c) {
+        if (c.rank() == 0) {
+          std::vector<std::byte> one(1, std::byte{1});
+          try {
+            for (int t = 0; t < 4; ++t) c.send(cv(one), 1, t);
+            box_full = true;
+            c.send(cv(one), 1, 4);  // blocks on capacity
+            for (int t = 5; t < 64; ++t) c.send(cv(one), 1, t);
+          } catch (const mpi::AbortedError& e) {
+            sender_aborted = true;
+            EXPECT_EQ(e.origin_rank(), 1);
+            throw;
+          }
+        } else {
+          while (!box_full.load()) std::this_thread::yield();
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          throw std::runtime_error("receiver died with full bins");
+        }
+      }),
+      std::runtime_error);
+  EXPECT_TRUE(sender_aborted.load());
+
+  // reset() must have drained every bin: a clean rerun works and sees
+  // none of the stale backlog.
+  w.run([](Comm& c) {
+    std::vector<std::byte> buf(8, std::byte{7});
+    if (c.rank() == 0) {
+      c.send(cv(buf), 1, 0);
+    } else {
+      const mpi::Status st = c.recv(mv(buf), 0, 0);
+      EXPECT_EQ(st.bytes, 8u) << "stale pre-abort message leaked into rerun";
+    }
+  });
+}
+
 TEST(AbortPropagation, RendezvousSenderIsPoisonedAwake) {
   // A rendezvous send blocks on its SyncCell until the receiver matches;
   // if the receiver dies first the cell must be poisoned.
@@ -301,6 +350,52 @@ TEST(FaultPlan, CorruptionFlipsPayloadBytes) {
   });
   ASSERT_NE(w.fault_plan(), nullptr);
   EXPECT_EQ(w.fault_plan()->counters().corruptions.load(), 1U);
+}
+
+TEST(FaultPlan, ScheduleIsPayloadModeIndependent) {
+  // The fault schedule (drops, corruption draws, virtual-time outcomes)
+  // must not depend on whether payload bytes physically travel: synthetic
+  // mode exists precisely so at-scale runs reproduce real-mode timing.
+  mpi::WorldConfig wc = small_world(2, /*ppn=*/1);
+  wc.fault.seed = 11;
+  wc.fault.drop.probability = 0.2;
+  wc.fault.drop.retransmit_timeout_us = 25.0;
+  wc.fault.corrupt.probability = 0.3;
+
+  struct Outcome {
+    double finish;
+    std::uint64_t retransmits;
+    std::uint64_t corruptions;
+  };
+  auto run = [&](mpi::PayloadMode mode) {
+    mpi::WorldConfig cfg = wc;
+    cfg.payload = mode;
+    mpi::World w(cfg);
+    w.run([](Comm& c) {
+      std::vector<std::byte> sbuf(512, std::byte{0x5a});
+      std::vector<std::byte> rbuf(512);
+      for (int i = 0; i < 300; ++i) {
+        if (c.rank() == 0) {
+          c.send(cv(sbuf), 1, 7);
+          (void)c.recv(mv(rbuf), 1, 7);
+        } else {
+          (void)c.recv(mv(rbuf), 0, 7);
+          c.send(cv(sbuf), 0, 7);
+        }
+      }
+    });
+    return Outcome{w.finish_time(0),
+                   w.fault_plan()->counters().retransmits.load(),
+                   w.fault_plan()->counters().corruptions.load()};
+  };
+
+  const Outcome real = run(mpi::PayloadMode::kReal);
+  const Outcome synth = run(mpi::PayloadMode::kSynthetic);
+  EXPECT_GT(real.retransmits, 0u);
+  EXPECT_GT(real.corruptions, 0u);
+  EXPECT_EQ(real.finish, synth.finish);  // byte-identical virtual time
+  EXPECT_EQ(real.retransmits, synth.retransmits);
+  EXPECT_EQ(real.corruptions, synth.corruptions);
 }
 
 TEST(FaultPlan, DegradeWindowSlowsOnlyCoveredTraffic) {
