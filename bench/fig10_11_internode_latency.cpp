@@ -3,12 +3,13 @@
 
 using namespace ombx;
 
-int main() {
+int main(int argc, char** argv) {
   core::SuiteConfig cfg;
   cfg.cluster = net::ClusterSpec::frontera();
   cfg.tuning = net::MpiTuning::mvapich2();
   cfg.nranks = 2;
   cfg.ppn = 1;  // one rank per node -> the HDR fabric
+  cfg.obs = fig::parse_obs_flags(argc, argv);
 
   const double paper[] = {0.43, 0.63};
   int i = 0;

@@ -88,6 +88,24 @@ inline void print_figure(const std::string& title,
   std::cout << "\n";
 }
 
+/// Parse the shared observability flags (--metrics <file>,
+/// --trace-json <file>) from a figure binary's argv.  Unknown arguments
+/// are ignored so figure-specific flags can coexist.  The returned
+/// options feed straight into SuiteConfig::obs; exports never perturb the
+/// figures themselves (virtual time is independent of observability).
+inline core::ObsOptions parse_obs_flags(int argc, char** argv) {
+  core::ObsOptions obs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics" && i + 1 < argc) {
+      obs.metrics_csv = argv[++i];
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      obs.trace_json = argv[++i];
+    }
+  }
+  return obs;
+}
+
 /// Mean difference between two series (curve B minus curve A).
 inline double mean_gap(const std::vector<core::Row>& a,
                        const std::vector<core::Row>& b) {

@@ -30,7 +30,8 @@ double allreduce_overhead(core::SuiteConfig cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const core::ObsOptions obs = fig::parse_obs_flags(argc, argv);
   const fig::SizeRange small{4, 8 * 1024, "small"};
   const fig::SizeRange large{16 * 1024, 1024 * 1024, "large"};
   const fig::SizeRange p2p_large{16 * 1024, 4 * 1024 * 1024, "large"};
@@ -39,6 +40,7 @@ int main() {
   intra.cluster = net::ClusterSpec::frontera();
   intra.nranks = 2;
   intra.ppn = 2;
+  intra.obs = obs;
 
   core::SuiteConfig inter = intra;
   inter.ppn = 1;
@@ -47,12 +49,14 @@ int main() {
   ar.cluster = net::ClusterSpec::frontera();
   ar.nranks = 16;
   ar.ppn = 1;
+  ar.obs = obs;
 
   core::SuiteConfig gpu;
   gpu.cluster = net::ClusterSpec::ri2_gpu();
   gpu.tuning = net::MpiTuning::mvapich2_gdr();
   gpu.nranks = 2;
   gpu.ppn = 1;
+  gpu.obs = obs;
 
   const auto gpu_overhead = [&](buffers::BufferKind k,
                                 const fig::SizeRange& r) {

@@ -36,7 +36,10 @@ void usage() {
       "  --window <n>      (default 64, bandwidth tests)\n"
       "  --validate        (verify payload patterns)\n"
       "  --synthetic       (logical payloads only; for large scale)\n"
-      "  --csv             (machine-readable output)\n";
+      "  --csv             (machine-readable output)\n"
+      "  --metrics <file>  (append per-rank substrate counters as CSV)\n"
+      "  --trace-json <file> (write Chrome trace-event JSON; view in\n"
+      "                       chrome://tracing or ui.perfetto.dev)\n";
 }
 
 net::ClusterSpec cluster_by_name(const std::string& s) {
@@ -135,6 +138,10 @@ int main(int argc, char** argv) {
         cfg.payload = mpi::PayloadMode::kSynthetic;
       } else if (arg == "--csv") {
         csv = true;
+      } else if (arg == "--metrics") {
+        cfg.obs.metrics_csv = next();
+      } else if (arg == "--trace-json") {
+        cfg.obs.trace_json = next();
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;

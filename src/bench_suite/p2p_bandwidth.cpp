@@ -79,6 +79,7 @@ std::vector<core::Row> run_bandwidth(const core::SuiteConfig& cfg) {
       }
     }
   });
+  core::export_observability(world, cfg.obs, "bandwidth");
   return rows;
 }
 

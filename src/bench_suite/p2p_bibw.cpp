@@ -66,6 +66,7 @@ std::vector<core::Row> run_bibw(const core::SuiteConfig& cfg) {
       }
     }
   });
+  core::export_observability(world, cfg.obs, "bibw");
   return rows;
 }
 

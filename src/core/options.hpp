@@ -53,6 +53,26 @@ struct Options {
   [[nodiscard]] std::vector<std::size_t> sizes() const;
 };
 
+/// Observability exports (--metrics / --trace-json).  Off by default, and
+/// counting/tracing never touches virtual clocks, so benchmark output is
+/// byte-identical whether these are set or not.
+struct ObsOptions {
+  /// Append per-rank substrate counters (long-form CSV, one header per
+  /// file) after each benchmark run; empty disables metrics entirely.
+  std::string metrics_csv;
+  /// Write the run's event trace as Chrome trace-event JSON (loadable in
+  /// chrome://tracing / Perfetto); empty disables tracing.  When several
+  /// benchmarks share the path the last run wins.
+  std::string trace_json;
+
+  [[nodiscard]] bool metrics_enabled() const noexcept {
+    return !metrics_csv.empty();
+  }
+  [[nodiscard]] bool trace_enabled() const noexcept {
+    return !trace_json.empty();
+  }
+};
+
 /// Everything a benchmark needs to run: machine, library, job geometry,
 /// software mode, buffer type and options.
 struct SuiteConfig {
@@ -67,6 +87,8 @@ struct SuiteConfig {
   /// Seeded fault injection (drops, corruption, degraded links,
   /// stragglers, kills); the all-defaults config injects nothing.
   fault::FaultConfig fault;
+  /// Metrics / trace exports (off unless paths are set).
+  ObsOptions obs;
 };
 
 }  // namespace ombx::core

@@ -55,9 +55,10 @@ void Table::print(std::ostream& os) const {
 }
 
 namespace {
+// RFC 4180: a field containing a comma, quote, CR or LF must be quoted
+// (not just commas — an unquoted newline splits the record).
 void csv_field(std::ostream& os, const std::string& s) {
-  if (s.find(',') == std::string::npos &&
-      s.find('"') == std::string::npos) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) {
     os << s;
     return;
   }
@@ -111,6 +112,31 @@ Table resilience_table(const fault::FaultPlan& plan) {
   row("abort propagations", c.aborts);
   row("watchdog deadlock detections", c.watchdog_fires);
   row("runner retries", c.retries);
+  return t;
+}
+
+Table metrics_table(const obs::Metrics::Snapshot& snap) {
+  Table t("OMB-X Substrate Metrics", {"Counter", "Rank", "Value"});
+  for (std::size_t c = 0; c < snap.names.size(); ++c) {
+    for (std::size_t r = 0; r < snap.values[c].size(); ++r) {
+      t.add_row({snap.names[c], std::to_string(r),
+                 std::to_string(snap.values[c][r])});
+    }
+  }
+  return t;
+}
+
+Table pool_table(const mpi::PayloadPool::Stats& stats) {
+  Table t("OMB-X Payload Pool", {"Event", "Count"});
+  const auto row = [&](const char* name,
+                       const std::atomic<std::uint64_t>& v) {
+    t.add_row({name, std::to_string(v.load(std::memory_order_relaxed))});
+  };
+  row("inline grabs", stats.inline_grabs);
+  row("freelist reuses", stats.reuses);
+  row("heap allocations", stats.allocs);
+  row("buffers recycled", stats.recycled);
+  row("buffers dropped (bucket full)", stats.dropped);
   return t;
 }
 

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "mpi/payload_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace ombx::core {
 
@@ -26,7 +28,8 @@ class Table {
   void print(std::ostream& os) const;
 
   /// Machine-readable dump: a header row then one line per row, fields
-  /// quoted only when they contain commas.
+  /// quoted per RFC 4180 (when they contain a comma, quote, CR or LF;
+  /// embedded quotes doubled).
   void write_csv(std::ostream& os) const;
 
   /// Render to a string (handy in tests).
@@ -47,6 +50,17 @@ class Table {
 /// retries).  Counter order is fixed so same-seed runs produce
 /// byte-identical tables.
 [[nodiscard]] Table resilience_table(const fault::FaultPlan& plan);
+
+/// Per-rank substrate counters in long form (counter, rank, value), rows
+/// ordered by the snapshot's fixed counter order then by rank — every
+/// counter is a program-order quantity, so same-seed runs produce
+/// byte-identical tables (see obs/metrics.hpp).
+[[nodiscard]] Table metrics_table(const obs::Metrics::Snapshot& snap);
+
+/// Payload-pool diagnostics (global, host-timing-dependent: freelist hits
+/// vs heap allocations vary run to run — intentionally kept out of
+/// metrics_table's determinism contract).
+[[nodiscard]] Table pool_table(const mpi::PayloadPool::Stats& stats);
 
 /// Mean of a vector (0 for empty).
 [[nodiscard]] double mean(const std::vector<double>& v);

@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <chrono>
+#include <fstream>
 #include <thread>
 
 #include "mpi/error.hpp"
@@ -18,7 +19,41 @@ mpi::WorldConfig make_world_config(const SuiteConfig& cfg) {
                         ? net::ThreadLevel::kSingle
                         : net::ThreadLevel::kMultiple;
   wc.fault = cfg.fault;
+  wc.enable_metrics = cfg.obs.metrics_enabled();
+  wc.enable_trace = wc.enable_trace || cfg.obs.trace_enabled();
   return wc;
+}
+
+void export_observability(mpi::World& world, const ObsOptions& opts,
+                          const std::string& label) {
+  if (opts.metrics_enabled()) {
+    if (const ombx::obs::Metrics* m = world.engine().metrics()) {
+      const ombx::obs::Metrics::Snapshot snap = m->snapshot();
+      // Long form, appended per run so a figure binary sweeping many
+      // configurations lands in one file; the header is written once.
+      const bool fresh = [&] {
+        std::ifstream probe(opts.metrics_csv);
+        return !probe.good() ||
+               probe.peek() == std::ifstream::traits_type::eof();
+      }();
+      std::ofstream os(opts.metrics_csv, std::ios::app);
+      if (os) {
+        if (fresh) os << "label,counter,rank,value\n";
+        for (std::size_t c = 0; c < snap.names.size(); ++c) {
+          for (std::size_t r = 0; r < snap.values[c].size(); ++r) {
+            os << label << ',' << snap.names[c] << ',' << r << ','
+               << snap.values[c][r] << '\n';
+          }
+        }
+      }
+    }
+  }
+  if (opts.trace_enabled()) {
+    if (const mpi::Tracer* t = world.engine().tracer()) {
+      std::ofstream os(opts.trace_json);
+      if (os) t->write_chrome_json(os);
+    }
+  }
 }
 
 RunOutcome run_with_retry(mpi::World& world,

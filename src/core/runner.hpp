@@ -19,6 +19,14 @@ namespace ombx::core {
 /// Carries the suite's fault-injection config into the world.
 [[nodiscard]] mpi::WorldConfig make_world_config(const SuiteConfig& cfg);
 
+/// Export the run's observability artifacts as configured in `opts`:
+/// append the metrics counter table (long-form CSV, header written once
+/// per file) under `label`, and write the Chrome trace JSON (last run
+/// wins when several benchmarks share the path).  A no-op for outputs
+/// whose path is empty or whose subsystem is disabled on the world.
+void export_observability(mpi::World& world, const ObsOptions& opts,
+                          const std::string& label);
+
 /// Retry policy for running a program under transient faults: each failed
 /// repetition (AbortedError / DeadlockError / RankKilledError / Error from
 /// the substrate) is retried after an exponentially growing host-side

@@ -158,6 +158,7 @@ void allreduce(Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
     algo = long_vector ? net::AllreduceAlgo::kRing
                        : net::AllreduceAlgo::kRecursiveDoubling;
   }
+  detail::CollSpan span(c, "allreduce", net::to_string(algo), send.bytes);
   switch (algo) {
     case net::AllreduceAlgo::kRing:
       allreduce_ring(c, send, recv, dt, op);

@@ -133,6 +133,7 @@ void bcast(Comm& c, MutView buf, int root, net::BcastAlgo algo) {
     algo = large ? net::BcastAlgo::kScatterAllgather
                  : net::BcastAlgo::kBinomial;
   }
+  detail::CollSpan span(c, "bcast", net::to_string(algo), buf.bytes);
   switch (algo) {
     case net::BcastAlgo::kLinear:
       bcast_linear(c, buf, root);

@@ -91,6 +91,8 @@ void gather(Comm& c, ConstView send, MutView recv, int root,
     return;
   }
   if (algo == net::GatherAlgo::kAuto) algo = c.net().tuning().gather;
+  if (algo == net::GatherAlgo::kAuto) algo = net::GatherAlgo::kBinomial;
+  detail::CollSpan span(c, "gather", net::to_string(algo), send.bytes);
   switch (algo) {
     case net::GatherAlgo::kLinear:
       gather_linear(c, send, recv, root);

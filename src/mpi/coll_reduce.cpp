@@ -69,6 +69,8 @@ void reduce(Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
     return;
   }
   if (algo == net::ReduceAlgo::kAuto) algo = c.net().tuning().reduce;
+  if (algo == net::ReduceAlgo::kAuto) algo = net::ReduceAlgo::kBinomial;
+  detail::CollSpan span(c, "reduce", net::to_string(algo), send.bytes);
   switch (algo) {
     case net::ReduceAlgo::kLinear:
       reduce_linear(c, send, recv, dt, op, root);

@@ -108,6 +108,8 @@ void reduce_scatter(Comm& c, ConstView send, MutView recv, Datatype dt,
                ? net::ReduceScatterAlgo::kRecursiveHalving
                : net::ReduceScatterAlgo::kPairwise;
   }
+  detail::CollSpan span(c, "reduce_scatter", net::to_string(algo),
+                        send.bytes);
   switch (algo) {
     case net::ReduceScatterAlgo::kRecursiveHalving:
       OMBX_REQUIRE(detail::is_pow2(c.size()),

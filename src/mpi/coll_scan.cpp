@@ -65,6 +65,7 @@ void scan(Comm& c, ConstView send, MutView recv, Datatype dt, Op op) {
     detail::copy_bytes(recv, send, send.bytes);
     return;
   }
+  detail::CollSpan span(c, "scan", "log_step", send.bytes);
   prefix_core(c, send, detail::slice(recv, 0, send.bytes), nullptr, dt, op);
 }
 
@@ -72,6 +73,7 @@ void exscan(Comm& c, ConstView send, MutView recv, Datatype dt, Op op) {
   OMBX_REQUIRE(recv.bytes >= send.bytes,
                "exscan recv buffer smaller than contribution");
   if (c.size() == 1) return;  // rank 0's exscan result is undefined (MPI)
+  detail::CollSpan span(c, "exscan", "log_step", send.bytes);
   const bool real = detail::real_payload(c, send);
   Scratch acc(send.bytes, real, send.space);
   Scratch pre(send.bytes, real, send.space);

@@ -2,13 +2,18 @@
 #pragma once
 
 #include <cstring>
+#include <exception>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "mpi/comm.hpp"
 #include "mpi/datatype.hpp"
+#include "mpi/engine.hpp"
 #include "mpi/error.hpp"
 #include "mpi/message.hpp"
 #include "mpi/op.hpp"
+#include "mpi/trace.hpp"
 
 namespace ombx::mpi::detail {
 
@@ -54,12 +59,17 @@ class Scratch {
   }
   [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
 
+  // Range checks are phrased as `len <= bytes_ - off` (after bounding off)
+  // rather than `off + len <= bytes_`, which wraps for off + len >= 2^64
+  // and would accept wildly out-of-range views.
   [[nodiscard]] ConstView cview(std::size_t off, std::size_t len) const {
-    OMBX_REQUIRE(off + len <= bytes_, "scratch read out of range");
+    OMBX_REQUIRE(off <= bytes_ && len <= bytes_ - off,
+                 "scratch read out of range");
     return ConstView{data() ? data() + off : nullptr, len, space_};
   }
   [[nodiscard]] MutView mview(std::size_t off, std::size_t len) {
-    OMBX_REQUIRE(off + len <= bytes_, "scratch write out of range");
+    OMBX_REQUIRE(off <= bytes_ && len <= bytes_ - off,
+                 "scratch write out of range");
     return MutView{data() ? data() + off : nullptr, len, space_};
   }
   [[nodiscard]] ConstView cview() const { return cview(0, bytes_); }
@@ -71,16 +81,19 @@ class Scratch {
   net::MemSpace space_;
 };
 
-/// Sub-views that stay null for synthetic payloads.
+/// Sub-views that stay null for synthetic payloads.  Same overflow-proof
+/// range check as Scratch::cview above.
 [[nodiscard]] inline ConstView slice(ConstView v, std::size_t off,
                                      std::size_t len) {
-  OMBX_REQUIRE(off + len <= v.bytes, "const view slice out of range");
+  OMBX_REQUIRE(off <= v.bytes && len <= v.bytes - off,
+               "const view slice out of range");
   return ConstView{v.data ? v.data + off : nullptr, len, v.space};
 }
 
 [[nodiscard]] inline MutView slice(MutView v, std::size_t off,
                                    std::size_t len) {
-  OMBX_REQUIRE(off + len <= v.bytes, "mut view slice out of range");
+  OMBX_REQUIRE(off <= v.bytes && len <= v.bytes - off,
+               "mut view slice out of range");
   return MutView{v.data ? v.data + off : nullptr, len, v.space};
 }
 
@@ -117,5 +130,50 @@ inline void combine(Comm& c, Datatype dt, Op op, MutView inout, ConstView in,
       op, dt, inout.data, in.data, elems);
   c.charge_flops(static_cast<double>(flops));
 }
+
+/// RAII span recorder for collective attribution (see trace.hpp).
+///
+/// Constructed at a collective's entry point once the algorithm has been
+/// resolved; the destructor records one kSpan event per calling rank
+/// labelled "<coll>/<algo>/<bytes>B" bracketing the virtual time the
+/// collective spent on that rank.  No-op when tracing is off, and skipped
+/// when unwinding (an aborted collective has no meaningful end time).
+/// Spans never touch the clock, so enabling them cannot perturb results.
+class CollSpan {
+ public:
+  CollSpan(Comm& c, const char* coll, std::string algo, std::size_t bytes)
+      : tracer_(c.engine().tracer()) {
+    if (tracer_ == nullptr) return;
+    world_ = c.world_rank(c.rank());
+    bytes_ = bytes;
+    attr_ = std::string(coll) + "/" + std::move(algo) + "/" +
+            std::to_string(bytes) + "B";
+    engine_ = &c.engine();
+    t_start_ = engine_->state(world_).clock.now();
+  }
+
+  CollSpan(const CollSpan&) = delete;
+  CollSpan& operator=(const CollSpan&) = delete;
+
+  ~CollSpan() {
+    if (tracer_ == nullptr || std::uncaught_exceptions() > 0) return;
+    tracer_->record(TraceEvent{.rank = world_,
+                               .kind = TraceKind::kSpan,
+                               .t_start = t_start_,
+                               .t_end = engine_->state(world_).clock.now(),
+                               .peer = -1,
+                               .bytes = bytes_,
+                               .tag = -1,
+                               .attr = std::move(attr_)});
+  }
+
+ private:
+  Tracer* tracer_;
+  Engine* engine_ = nullptr;
+  int world_ = 0;
+  std::size_t bytes_ = 0;
+  simtime::usec_t t_start_ = 0.0;
+  std::string attr_;
+};
 
 }  // namespace ombx::mpi::detail

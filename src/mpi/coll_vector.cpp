@@ -34,6 +34,7 @@ void gatherv(Comm& c, ConstView send, MutView recv,
              std::span<const std::size_t> counts,
              std::span<const std::size_t> displs, int root) {
   OMBX_REQUIRE(root >= 0 && root < c.size(), "gatherv root out of range");
+  detail::CollSpan span(c, "gatherv", "linear", send.bytes);
   if (c.rank() != root) {
     c.send(send, root, kTagVector);
     return;
@@ -54,6 +55,7 @@ void gatherv(Comm& c, ConstView send, MutView recv,
 void scatterv(Comm& c, ConstView send, std::span<const std::size_t> counts,
               std::span<const std::size_t> displs, MutView recv, int root) {
   OMBX_REQUIRE(root >= 0 && root < c.size(), "scatterv root out of range");
+  detail::CollSpan span(c, "scatterv", "linear", recv.bytes);
   if (c.rank() != root) {
     (void)c.recv(recv, root, kTagVector);
     return;
@@ -75,6 +77,7 @@ void allgatherv(Comm& c, ConstView send, MutView recv,
                 std::span<const std::size_t> counts,
                 std::span<const std::size_t> displs) {
   check_table(c, counts, displs, recv.bytes, "allgatherv");
+  detail::CollSpan span(c, "allgatherv", "ring", send.bytes);
   const int n = c.size();
   const int rank = c.rank();
   const auto urank = static_cast<std::size_t>(rank);
@@ -104,6 +107,7 @@ void alltoallv(Comm& c, ConstView send,
                std::span<const std::size_t> rdispls) {
   check_table(c, scounts, sdispls, send.bytes, "alltoallv(send)");
   check_table(c, rcounts, rdispls, recv.bytes, "alltoallv(recv)");
+  detail::CollSpan span(c, "alltoallv", "nonblocking", send.bytes);
   const int n = c.size();
   const int rank = c.rank();
   const auto urank = static_cast<std::size_t>(rank);

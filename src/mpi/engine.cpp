@@ -188,6 +188,33 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
     }
   }
 
+  if (metrics_) {
+    obs::RankCounters& c = metrics_->rank(src_world);
+    if (src_world == dst_world) {
+      c.self_msgs.fetch_add(1, std::memory_order_relaxed);
+      c.self_bytes.fetch_add(v.bytes, std::memory_order_relaxed);
+    } else if (eager) {
+      c.eager_msgs.fetch_add(1, std::memory_order_relaxed);
+      c.eager_bytes.fetch_add(v.bytes, std::memory_order_relaxed);
+    } else {
+      c.rendezvous_msgs.fetch_add(1, std::memory_order_relaxed);
+      c.rendezvous_bytes.fetch_add(v.bytes, std::memory_order_relaxed);
+    }
+    if (!msg.payload.empty()) {
+      // Storage tier is a pure function of size (see PayloadPool), so the
+      // split is deterministic even though freelist hits are not.
+      auto& tier = msg.payload.is_inline()
+                       ? c.payload_inline
+                       : msg.payload.is_pooled() ? c.payload_pooled
+                                                 : c.payload_heap;
+      tier.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (injected.retransmits > 0) {
+      c.retransmits.fetch_add(
+          static_cast<std::uint64_t>(injected.retransmits),
+          std::memory_order_relaxed);
+    }
+  }
   if (tracer_) {
     tracer_->record(TraceEvent{.rank = src_world,
                                .kind = TraceKind::kSend,
@@ -195,7 +222,10 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
                                .t_end = st.clock.now(),
                                .peer = dst_world,
                                .bytes = v.bytes,
-                               .tag = tag});
+                               .tag = tag,
+                               .attr = src_world == dst_world
+                                           ? "self"
+                                           : eager ? "eager" : "rendezvous"});
   }
   mail_[static_cast<std::size_t>(dst_world)]->enqueue(std::move(msg));
   return cell;
@@ -206,6 +236,10 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
   check_failures(self_world);
   RankState& st = state(self_world);
   const usec_t recv_posted = st.clock.now();
+  if (metrics_) {
+    metrics_->rank(self_world).recvs_posted.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   Message msg = mail_[static_cast<std::size_t>(self_world)]->dequeue_match(
       ctx, src_comm_rank, tag);
   OMBX_REQUIRE_AT(msg.bytes <= v.bytes,
@@ -267,7 +301,13 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
                                .t_end = st.clock.now(),
                                .peer = msg.src_world,
                                .bytes = msg.bytes,
-                               .tag = msg.tag});
+                               .tag = msg.tag,
+                               .attr = msg.src_world == self_world
+                                           ? "self"
+                                           : msg.protocol ==
+                                                     net::Protocol::kEager
+                                                 ? "eager"
+                                                 : "rendezvous"});
   }
   return Status{.source = msg.src, .tag = msg.tag, .bytes = msg.bytes};
 }
@@ -279,19 +319,35 @@ void Engine::await_cell(int world_rank, SyncCell& cell) {
   // registration handshake guarantees happens on every abort.  Kills are
   // clock-driven and the clock has not moved since the caller's own entry
   // check, so nothing is lost by deferring them to the next operation.
+  if (metrics_) {
+    metrics_->rank(world_rank).rendezvous_waits.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   usec_t t;
   {
     fault::ScopedWait wait(
         &registry_, world_rank,
         fault::WaitInfo{fault::WaitKind::kRendezvous, cell.ctx, cell.peer,
                         cell.tag});
-    t = cell.await();
+    try {
+      t = cell.await();
+    } catch (const AbortedError&) {
+      if (metrics_) {
+        metrics_->rank(world_rank).poisoned_waits.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      throw;
+    }
   }
   state(world_rank).clock.advance_to(t);
 }
 
 Status Engine::probe(int self_world, int ctx, int src, int tag) {
   check_failures(self_world);
+  if (metrics_) {
+    metrics_->rank(self_world).probes_posted.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   return mail_[static_cast<std::size_t>(self_world)]->probe(ctx, src, tag);
 }
 
@@ -356,6 +412,7 @@ void Engine::reset_clocks() {
   }
   registry_.reset();
   if (tracer_) tracer_->clear();
+  if (metrics_) metrics_->reset();
 }
 
 void Engine::charge_flops(int world_rank, double flops) {
@@ -377,7 +434,8 @@ void Engine::charge_flops(int world_rank, double flops) {
                                .t_end = st.clock.now(),
                                .peer = -1,
                                .bytes = 0,
-                               .tag = -1});
+                               .tag = -1,
+                               .attr = {}});
   }
 }
 
@@ -397,12 +455,21 @@ void Engine::charge_bytes(int world_rank, double bytes) {
                                .t_end = st.clock.now(),
                                .peer = -1,
                                .bytes = static_cast<std::size_t>(bytes),
-                               .tag = -1});
+                               .tag = -1,
+                               .attr = {}});
   }
 }
 
 void Engine::enable_tracing() {
   if (!tracer_) tracer_ = std::make_unique<Tracer>(nranks());
+}
+
+void Engine::enable_metrics() {
+  if (metrics_) return;
+  metrics_ = std::make_unique<obs::Metrics>(nranks());
+  for (int r = 0; r < nranks(); ++r) {
+    mail_[static_cast<std::size_t>(r)]->set_counters(&metrics_->rank(r));
+  }
 }
 
 }  // namespace ombx::mpi

@@ -38,6 +38,7 @@
 #include "mpi/message.hpp"
 #include "mpi/trace.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "simtime/clock.hpp"
 #include "simtime/work.hpp"
 
@@ -196,6 +197,12 @@ class Engine {
   void enable_tracing();
   [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
 
+  /// Turn on per-rank metrics counters (obs/metrics.hpp).  Counting never
+  /// touches virtual clocks — benchmark outputs are byte-identical with
+  /// metrics on or off.  Counters are re-zeroed by reset_clocks().
+  void enable_metrics();
+  [[nodiscard]] obs::Metrics* metrics() noexcept { return metrics_.get(); }
+
   /// Recycled payload storage for eager / buffered-rendezvous messages
   /// (exposed for the wall-clock bench and pool tests).
   [[nodiscard]] PayloadPool& payload_pool() noexcept { return pool_; }
@@ -218,6 +225,7 @@ class Engine {
   std::vector<std::unique_ptr<Mailbox>> mail_;
   std::atomic<int> next_context_{1};  // 0 is COMM_WORLD
   std::unique_ptr<Tracer> tracer_;    // null unless tracing is enabled
+  std::unique_ptr<obs::Metrics> metrics_;  // null unless metrics enabled
 
   std::shared_ptr<fault::FaultPlan> fault_;
   std::atomic<bool> aborted_{false};

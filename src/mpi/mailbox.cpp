@@ -89,7 +89,21 @@ Mailbox::Bin* Mailbox::find_match(int ctx, int src, int tag) const noexcept {
   return best;
 }
 
-Message Mailbox::take_locked(Bin& bin) {
+Message Mailbox::take_locked(Bin& bin, bool wildcard) {
+  if (counters_ != nullptr) {
+    // Classified in receiver program order (see obs/metrics.hpp): an MRU
+    // hit is an exact dequeue from the same bin as the previous successful
+    // dequeue — deterministic, unlike the mru_ pointer cache, which also
+    // moves on sender-side enqueues.
+    if (wildcard) {
+      counters_->mailbox_wildcard_scans.fetch_add(1, std::memory_order_relaxed);
+    } else if (&bin == last_dequeued_) {
+      counters_->mailbox_mru_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_->mailbox_exact_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  last_dequeued_ = &bin;
   Message msg = std::move(bin.q.front());
   bin.q.pop_front();
   --queued_;
@@ -134,8 +148,13 @@ Message Mailbox::dequeue_match(int ctx, int src, int tag) {
     });
     --arrival_waiters_;
   }
-  if (poison_) throw_poisoned_locked();
-  return take_locked(*bin);
+  if (poison_) {
+    if (counters_ != nullptr) {
+      counters_->poisoned_waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    throw_poisoned_locked();
+  }
+  return take_locked(*bin, src == kAnySource || tag == kAnyTag);
 }
 
 std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag) {
@@ -143,7 +162,7 @@ std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag) {
   if (poison_) throw_poisoned_locked();
   Bin* bin = find_match(ctx, src, tag);
   if (bin == nullptr) return std::nullopt;
-  return take_locked(*bin);
+  return take_locked(*bin, src == kAnySource || tag == kAnyTag);
 }
 
 Status Mailbox::probe(int ctx, int src, int tag) {
@@ -160,7 +179,12 @@ Status Mailbox::probe(int ctx, int src, int tag) {
     });
     --arrival_waiters_;
   }
-  if (poison_) throw_poisoned_locked();
+  if (poison_) {
+    if (counters_ != nullptr) {
+      counters_->poisoned_waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    throw_poisoned_locked();
+  }
   const Message& head = bin->q.front();
   return Status{.source = head.src, .tag = head.tag, .bytes = head.bytes};
 }
@@ -193,6 +217,7 @@ void Mailbox::reset() {
   bins_.clear();
   table_.assign(kInitialSlots, nullptr);
   mru_ = nullptr;  // points into bins_, which was just cleared
+  last_dequeued_ = nullptr;  // likewise
   queued_ = 0;
   next_seq_ = 0;
 }

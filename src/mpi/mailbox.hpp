@@ -37,6 +37,7 @@
 #include "fault/abort.hpp"
 #include "fault/watchdog.hpp"
 #include "mpi/message.hpp"
+#include "obs/metrics.hpp"
 
 namespace ombx::mpi {
 
@@ -87,6 +88,14 @@ class Mailbox {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Attach the owner rank's metrics block (null to detach).  Successful
+  /// dequeues are classified as exact / MRU / wildcard in receiver
+  /// program order, so the counts are deterministic (see obs/metrics.hpp).
+  void set_counters(obs::RankCounters* counters) noexcept {
+    std::lock_guard<std::mutex> lk(m_);
+    counters_ = counters;
+  }
+
  private:
   /// One FIFO of messages sharing an exact (context, src, tag) key.  Bins
   /// are never deleted before reset(); an emptied bin stays registered so
@@ -115,8 +124,9 @@ class Mailbox {
   [[nodiscard]] Bin* find_match(int ctx, int src, int tag) const noexcept;
 
   /// Pop the head of `bin`, maintaining counts and waking capacity-blocked
-  /// senders.
-  [[nodiscard]] Message take_locked(Bin& bin);
+  /// senders.  `wildcard` says whether the pattern that selected the bin
+  /// carried a wildcard (metrics classification).
+  [[nodiscard]] Message take_locked(Bin& bin, bool wildcard);
 
   [[noreturn]] void throw_poisoned_locked();
 
@@ -133,6 +143,8 @@ class Mailbox {
   int arrival_waiters_ = 0;  ///< blocked receives + probes
   int drain_waiters_ = 0;    ///< capacity-blocked senders
   std::size_t capacity_;
+  obs::RankCounters* counters_ = nullptr;  ///< owner's metrics (may be null)
+  Bin* last_dequeued_ = nullptr;  ///< bin of the previous successful dequeue
   std::shared_ptr<const fault::AbortInfo> poison_;
   fault::WaitRegistry* registry_;
   int owner_;

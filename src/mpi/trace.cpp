@@ -1,7 +1,13 @@
 #include "mpi/trace.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <iomanip>
+#include <map>
 #include <ostream>
+#include <sstream>
+#include <tuple>
 
 namespace ombx::mpi {
 
@@ -10,6 +16,7 @@ std::string to_string(TraceKind k) {
     case TraceKind::kSend: return "send";
     case TraceKind::kRecv: return "recv";
     case TraceKind::kCompute: return "compute";
+    case TraceKind::kSpan: return "span";
   }
   return "unknown";
 }
@@ -32,13 +39,181 @@ std::vector<TraceEvent> Tracer::merged() const {
   return out;
 }
 
+namespace {
+
+/// RFC 4180 field escaping (quote on comma, quote, CR or LF; double
+/// embedded quotes).  Attribution strings are the only free-form field.
+void csv_field(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\r\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (const char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+/// JSON string escaping for attribution labels.
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
 void Tracer::write_csv(std::ostream& os) const {
-  os << "rank,kind,t_start_us,t_end_us,peer,bytes,tag\n";
+  os << "rank,kind,t_start_us,t_end_us,peer,bytes,tag,attr\n";
   for (const TraceEvent& e : merged()) {
     os << e.rank << ',' << to_string(e.kind) << ',' << e.t_start << ','
-       << e.t_end << ',' << e.peer << ',' << e.bytes << ',' << e.tag
-       << '\n';
+       << e.t_end << ',' << e.peer << ',' << e.bytes << ',' << e.tag << ',';
+    csv_field(os, e.attr);
+    os << '\n';
   }
+}
+
+void Tracer::write_chrome_json(std::ostream& os) const {
+  // Fixed-point timestamps (nanosecond resolution) keep the output
+  // deterministic and locale-independent; virtual us map straight onto the
+  // viewer's `ts` axis.
+  const auto us = [&os](simtime::usec_t t) {
+    os << std::fixed << std::setprecision(3) << t
+       << std::defaultfloat << std::setprecision(6);
+  };
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : merged()) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":";
+    json_string(os, e.attr.empty() ? to_string(e.kind)
+                                   : to_string(e.kind) + ":" + e.attr);
+    os << ",\"cat\":";
+    json_string(os, to_string(e.kind));
+    os << ",\"ph\":\"X\",\"ts\":";
+    us(e.t_start);
+    os << ",\"dur\":";
+    us(e.t_end >= e.t_start ? e.t_end - e.t_start : 0.0);
+    os << ",\"pid\":0,\"tid\":" << e.rank << ",\"args\":{\"peer\":" << e.peer
+       << ",\"bytes\":" << e.bytes << ",\"tag\":" << e.tag << "}}";
+  }
+  const CriticalPath cp = critical_path();
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+     << "\"critical_path_us\":";
+  us(cp.total_us);
+  os << ",\"critical_path_events\":" << cp.chain.size() << "}}\n";
+}
+
+Tracer::CriticalPath Tracer::critical_path() const {
+  // Primitive events only, kept in per-rank record (program) order.
+  struct Node {
+    const TraceEvent* ev;
+    double cost = -1.0;           ///< -1 = unresolved
+    std::ptrdiff_t pred = -1;     ///< global index of predecessor
+    std::ptrdiff_t match = -1;    ///< recv: global index of matching send
+  };
+  std::vector<Node> nodes;
+  std::vector<std::vector<std::size_t>> by_rank(per_rank_.size());
+  for (std::size_t r = 0; r < per_rank_.size(); ++r) {
+    for (const TraceEvent& e : per_rank_[r]) {
+      if (e.kind == TraceKind::kSpan) continue;
+      by_rank[r].push_back(nodes.size());
+      nodes.push_back(Node{&e});
+    }
+  }
+
+  // Pair sends to recvs: FIFO per (src, dst, tag), in sender record order
+  // (MPI non-overtaking order per matching key).
+  std::map<std::tuple<int, int, int>, std::deque<std::size_t>> sends;
+  for (const auto& idxs : by_rank) {
+    for (const std::size_t i : idxs) {
+      const TraceEvent& e = *nodes[i].ev;
+      if (e.kind == TraceKind::kSend) {
+        sends[{e.rank, e.peer, e.tag}].push_back(i);
+      }
+    }
+  }
+  for (const auto& idxs : by_rank) {
+    for (const std::size_t i : idxs) {
+      const TraceEvent& e = *nodes[i].ev;
+      if (e.kind != TraceKind::kRecv) continue;
+      auto it = sends.find({e.peer, e.rank, e.tag});
+      if (it != sends.end() && !it->second.empty()) {
+        nodes[i].match = static_cast<std::ptrdiff_t>(it->second.front());
+        it->second.pop_front();
+      }
+    }
+  }
+
+  // Longest-chain DP, advancing per-rank frontiers; a recv resolves only
+  // once its matching send has (always possible in a deadlock-free trace;
+  // an unmatched recv just depends on its rank predecessor).
+  std::vector<std::size_t> frontier(by_rank.size(), 0);
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t r = 0; r < by_rank.size(); ++r) {
+      while (frontier[r] < by_rank[r].size()) {
+        const std::size_t i = by_rank[r][frontier[r]];
+        Node& n = nodes[i];
+        const double dur =
+            n.ev->t_end >= n.ev->t_start ? n.ev->t_end - n.ev->t_start : 0.0;
+        double best = 0.0;
+        std::ptrdiff_t pred = -1;
+        if (frontier[r] > 0) {
+          const std::size_t p = by_rank[r][frontier[r] - 1];
+          best = nodes[p].cost;
+          pred = static_cast<std::ptrdiff_t>(p);
+        }
+        if (n.match >= 0) {
+          const Node& m = nodes[static_cast<std::size_t>(n.match)];
+          if (m.cost < 0.0) break;  // send not resolved yet
+          if (m.cost > best) {
+            best = m.cost;
+            pred = n.match;
+          }
+        }
+        n.cost = best + dur;
+        n.pred = pred;
+        ++frontier[r];
+        progressed = true;
+      }
+    }
+  }
+
+  CriticalPath out;
+  std::ptrdiff_t tail = -1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].cost > out.total_us) {
+      out.total_us = nodes[i].cost;
+      tail = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  std::vector<const TraceEvent*> rev;
+  for (std::ptrdiff_t i = tail; i >= 0; i = nodes[static_cast<std::size_t>(i)].pred) {
+    rev.push_back(nodes[static_cast<std::size_t>(i)].ev);
+  }
+  out.chain.reserve(rev.size());
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) out.chain.push_back(**it);
+  return out;
 }
 
 void Tracer::clear() {

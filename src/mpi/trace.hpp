@@ -5,6 +5,25 @@
 // their rank thread (no locking on the hot path); merge() interleaves them
 // into one global timeline for analysis or CSV export — the simulator's
 // equivalent of an MPI tracing tool's OTF dump.
+//
+// Attribution: primitive events carry the protocol in play ("eager",
+// "rendezvous", "self") in `attr`; collective entry points additionally
+// record kSpan events labelled "<collective>/<algorithm>/<bytes>B" that
+// bracket the primitives they issued — the layer that lets a latency
+// curve be explained by the algorithm behind it, as the paper does.
+//
+// Exporters: write_csv (one line per event, RFC 4180-quoted), and
+// write_chrome_json — the Chrome trace-event format, loadable directly in
+// chrome://tracing or https://ui.perfetto.dev (one track per rank;
+// virtual microseconds map 1:1 onto the viewer's `ts` unit).
+//
+// critical_path() reduces the event graph (per-rank program order +
+// matched send->recv edges) to the longest dependency chain by summed
+// event duration — "where did the microseconds go" in one number.
+//
+// Ranks and peers are always WORLD ranks, also for traffic on split or
+// duplicated communicators (the engine records them from its physical
+// addressing, never from communicator-local match keys).
 #pragma once
 
 #include <cstddef>
@@ -16,18 +35,21 @@
 
 namespace ombx::mpi {
 
-enum class TraceKind { kSend, kRecv, kCompute };
+enum class TraceKind { kSend, kRecv, kCompute, kSpan };
 
 [[nodiscard]] std::string to_string(TraceKind k);
 
 struct TraceEvent {
-  int rank = 0;
+  int rank = 0;  ///< world rank that recorded the event
   TraceKind kind = TraceKind::kSend;
   simtime::usec_t t_start = 0.0;
   simtime::usec_t t_end = 0.0;
-  int peer = -1;  ///< other side of a transfer; -1 for compute
+  int peer = -1;  ///< other side of a transfer (world rank); -1 otherwise
   std::size_t bytes = 0;
   int tag = -1;
+  /// Attribution: protocol for p2p events, "<coll>/<algo>/<bytes>B" for
+  /// spans; empty for compute charges.
+  std::string attr;
 };
 
 class Tracer {
@@ -36,8 +58,8 @@ class Tracer {
 
   /// Record an event for `ev.rank`.  Only that rank's thread may call this
   /// (per-rank buffers are unsynchronized by design).
-  void record(const TraceEvent& ev) {
-    per_rank_[static_cast<std::size_t>(ev.rank)].push_back(ev);
+  void record(TraceEvent ev) {
+    per_rank_[static_cast<std::size_t>(ev.rank)].push_back(std::move(ev));
   }
 
   [[nodiscard]] const std::vector<TraceEvent>& events_of(int rank) const {
@@ -46,11 +68,28 @@ class Tracer {
 
   [[nodiscard]] std::size_t total_events() const;
 
-  /// All ranks' events interleaved, ordered by (t_start, rank).
+  /// All ranks' events interleaved, ordered by (t_start, rank); events of
+  /// one rank with equal t_start keep their record order.  The tie-break
+  /// on rank makes the merge deterministic for cross-rank simultaneity.
   [[nodiscard]] std::vector<TraceEvent> merged() const;
 
-  /// CSV dump: rank,kind,t_start_us,t_end_us,peer,bytes,tag
+  /// CSV dump: rank,kind,t_start_us,t_end_us,peer,bytes,tag,attr
   void write_csv(std::ostream& os) const;
+
+  /// Chrome trace-event JSON ("X" complete events; one tid per rank).
+  /// Includes the critical-path summary under "otherData".
+  void write_chrome_json(std::ostream& os) const;
+
+  /// Longest dependency chain through the primitive events: per-rank
+  /// program order plus matched send->recv edges (FIFO per (src, dst,
+  /// tag), MPI's non-overtaking order).  Span events are attribution
+  /// overlays and are excluded.  `total_us` is the summed duration of the
+  /// chain's events — idle gaps are not charged.
+  struct CriticalPath {
+    simtime::usec_t total_us = 0.0;
+    std::vector<TraceEvent> chain;  ///< in dependency order
+  };
+  [[nodiscard]] CriticalPath critical_path() const;
 
   void clear();
 

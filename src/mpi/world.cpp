@@ -32,6 +32,7 @@ World::World(const WorldConfig& cfg)
           net::NetworkModel(cfg.cluster, cfg.tuning, cfg.ppn), cfg.nranks,
           cfg.payload, cfg.thread_level, cfg.mailbox_capacity)) {
   if (cfg.enable_trace) engine_->enable_tracing();
+  if (cfg.enable_metrics) engine_->enable_metrics();
   if (cfg.fault.enabled()) {
     plan_ = std::make_shared<fault::FaultPlan>(cfg.fault, cfg.nranks);
     engine_->set_fault_plan(plan_);

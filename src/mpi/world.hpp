@@ -40,6 +40,9 @@ struct WorldConfig {
   net::ThreadLevel thread_level = net::ThreadLevel::kSingle;
   /// Record every send/recv/compute with virtual timestamps (trace.hpp).
   bool enable_trace = false;
+  /// Count per-rank substrate events (obs/metrics.hpp).  Never perturbs
+  /// virtual time: results are byte-identical with metrics on or off.
+  bool enable_metrics = false;
   /// Per-rank mailbox depth; senders block (with abort wake-up) beyond it.
   std::size_t mailbox_capacity = 8192;
   /// Seeded fault-injection plan; an all-defaults config injects nothing.

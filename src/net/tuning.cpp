@@ -2,6 +2,81 @@
 
 namespace ombx::net {
 
+std::string to_string(AllreduceAlgo a) {
+  switch (a) {
+    case AllreduceAlgo::kAuto: return "auto";
+    case AllreduceAlgo::kRecursiveDoubling: return "recursive_doubling";
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kReduceBcast: return "reduce_bcast";
+  }
+  return "unknown";
+}
+
+std::string to_string(AllgatherAlgo a) {
+  switch (a) {
+    case AllgatherAlgo::kAuto: return "auto";
+    case AllgatherAlgo::kRecursiveDoubling: return "recursive_doubling";
+    case AllgatherAlgo::kBruck: return "bruck";
+    case AllgatherAlgo::kRing: return "ring";
+  }
+  return "unknown";
+}
+
+std::string to_string(BcastAlgo a) {
+  switch (a) {
+    case BcastAlgo::kAuto: return "auto";
+    case BcastAlgo::kBinomial: return "binomial";
+    case BcastAlgo::kScatterAllgather: return "scatter_allgather";
+    case BcastAlgo::kLinear: return "linear";
+  }
+  return "unknown";
+}
+
+std::string to_string(ReduceAlgo a) {
+  switch (a) {
+    case ReduceAlgo::kAuto: return "auto";
+    case ReduceAlgo::kBinomial: return "binomial";
+    case ReduceAlgo::kLinear: return "linear";
+  }
+  return "unknown";
+}
+
+std::string to_string(GatherAlgo a) {
+  switch (a) {
+    case GatherAlgo::kAuto: return "auto";
+    case GatherAlgo::kBinomial: return "binomial";
+    case GatherAlgo::kLinear: return "linear";
+  }
+  return "unknown";
+}
+
+std::string to_string(AlltoallAlgo a) {
+  switch (a) {
+    case AlltoallAlgo::kAuto: return "auto";
+    case AlltoallAlgo::kPairwise: return "pairwise";
+    case AlltoallAlgo::kLinear: return "linear";
+  }
+  return "unknown";
+}
+
+std::string to_string(ReduceScatterAlgo a) {
+  switch (a) {
+    case ReduceScatterAlgo::kAuto: return "auto";
+    case ReduceScatterAlgo::kRecursiveHalving: return "recursive_halving";
+    case ReduceScatterAlgo::kPairwise: return "pairwise";
+  }
+  return "unknown";
+}
+
+std::string to_string(BarrierAlgo a) {
+  switch (a) {
+    case BarrierAlgo::kAuto: return "auto";
+    case BarrierAlgo::kDissemination: return "dissemination";
+    case BarrierAlgo::kBinomial: return "binomial";
+  }
+  return "unknown";
+}
+
 MpiTuning MpiTuning::mvapich2() {
   MpiTuning t;
   t.name = "mvapich2-2.3.6";

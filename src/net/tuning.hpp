@@ -25,6 +25,18 @@ enum class AlltoallAlgo { kAuto, kPairwise, kLinear };
 enum class ReduceScatterAlgo { kAuto, kRecursiveHalving, kPairwise };
 enum class BarrierAlgo { kAuto, kDissemination, kBinomial };
 
+// Stable lowercase names for trace attribution and reports ("auto" means
+// the MPICH-like heuristic had not been resolved yet; collectives that
+// record spans resolve the algorithm first and never emit it).
+[[nodiscard]] std::string to_string(AllreduceAlgo a);
+[[nodiscard]] std::string to_string(AllgatherAlgo a);
+[[nodiscard]] std::string to_string(BcastAlgo a);
+[[nodiscard]] std::string to_string(ReduceAlgo a);
+[[nodiscard]] std::string to_string(GatherAlgo a);
+[[nodiscard]] std::string to_string(AlltoallAlgo a);
+[[nodiscard]] std::string to_string(ReduceScatterAlgo a);
+[[nodiscard]] std::string to_string(BarrierAlgo a);
+
 /// How the MPI library was initialized; mpi4py defaults to THREAD_MULTIPLE
 /// while osu_latency uses THREAD_SINGLE — the paper attributes the 56-ppn
 /// Allreduce degradation to exactly this difference.

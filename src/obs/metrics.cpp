@@ -1,0 +1,63 @@
+#include "obs/metrics.hpp"
+
+namespace ombx::obs {
+
+namespace {
+
+// Fixed export order; append-only so existing CSV consumers never see
+// columns move.
+struct Field {
+  const char* name;
+  std::atomic<std::uint64_t> RankCounters::* member;
+};
+
+constexpr Field kFields[] = {
+    {"eager_msgs", &RankCounters::eager_msgs},
+    {"eager_bytes", &RankCounters::eager_bytes},
+    {"rendezvous_msgs", &RankCounters::rendezvous_msgs},
+    {"rendezvous_bytes", &RankCounters::rendezvous_bytes},
+    {"self_msgs", &RankCounters::self_msgs},
+    {"self_bytes", &RankCounters::self_bytes},
+    {"payload_inline", &RankCounters::payload_inline},
+    {"payload_pooled", &RankCounters::payload_pooled},
+    {"payload_heap", &RankCounters::payload_heap},
+    {"mailbox_exact_hits", &RankCounters::mailbox_exact_hits},
+    {"mailbox_mru_hits", &RankCounters::mailbox_mru_hits},
+    {"mailbox_wildcard_scans", &RankCounters::mailbox_wildcard_scans},
+    {"recvs_posted", &RankCounters::recvs_posted},
+    {"probes_posted", &RankCounters::probes_posted},
+    {"rendezvous_waits", &RankCounters::rendezvous_waits},
+    {"poisoned_waits", &RankCounters::poisoned_waits},
+    {"retransmits", &RankCounters::retransmits},
+};
+
+}  // namespace
+
+Metrics::Metrics(int nranks)
+    : ranks_(static_cast<std::size_t>(nranks > 0 ? nranks : 0)) {}
+
+void Metrics::reset() {
+  for (RankCounters& r : ranks_) {
+    for (const Field& f : kFields) {
+      (r.*f.member).store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Metrics::Snapshot Metrics::snapshot() const {
+  Snapshot s;
+  s.names.reserve(std::size(kFields));
+  s.values.reserve(std::size(kFields));
+  for (const Field& f : kFields) {
+    s.names.emplace_back(f.name);
+    std::vector<std::uint64_t> row;
+    row.reserve(ranks_.size());
+    for (const RankCounters& r : ranks_) {
+      row.push_back((r.*f.member).load(std::memory_order_relaxed));
+    }
+    s.values.push_back(std::move(row));
+  }
+  return s;
+}
+
+}  // namespace ombx::obs

@@ -1,0 +1,111 @@
+// Per-rank substrate metrics: lock-free counter blocks for the simulated
+// MPI hot path.
+//
+// Each rank owns one cache-line-aligned RankCounters block; the owning
+// rank thread (or, for mailbox counters, the mailbox owner's matching
+// path) bumps relaxed atomics, so enabling metrics never adds a lock or a
+// syscall to the hot path — and, critically, never touches a virtual
+// clock.  The zero-perturbation invariant (benchmark outputs are
+// byte-identical with metrics on or off) holds by construction: counters
+// are observed, never consulted, by the timing model.
+//
+// Determinism contract: every counter in this block is a *program-order*
+// quantity — a pure function of the (seeded) rank programs, independent of
+// host thread scheduling.  Quantities that depend on cross-thread timing
+// (did the receiver block? did the pool freelist have a buffer?) are
+// deliberately excluded; they live in the PayloadPool/WaitRegistry
+// diagnostics instead.  This is what lets `core::metrics_table` promise
+// byte-identical tables across same-seed runs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ombx::obs {
+
+/// One rank's counters.  Alignment keeps neighbouring ranks' blocks off
+/// each other's cache lines (each block is written by one thread).
+struct alignas(64) RankCounters {
+  // Sends by protocol, as decided by the engine's eager/rendezvous switch
+  // (self-sends are always eager but counted separately: they never touch
+  // the fabric).
+  std::atomic<std::uint64_t> eager_msgs{0};
+  std::atomic<std::uint64_t> eager_bytes{0};
+  std::atomic<std::uint64_t> rendezvous_msgs{0};
+  std::atomic<std::uint64_t> rendezvous_bytes{0};
+  std::atomic<std::uint64_t> self_msgs{0};
+  std::atomic<std::uint64_t> self_bytes{0};
+
+  // Payload storage tier chosen for this rank's posted sends (a pure
+  // function of message size — see PayloadPool).  Pool freelist hit/miss
+  // totals are host-timing-dependent and therefore live in
+  // PayloadPool::Stats, not here.
+  std::atomic<std::uint64_t> payload_inline{0};
+  std::atomic<std::uint64_t> payload_pooled{0};
+  std::atomic<std::uint64_t> payload_heap{0};
+
+  // Mailbox matching on this rank's mailbox (receiver side).  An MRU hit
+  // is a successful exact-match dequeue from the same bin as this
+  // mailbox's previous successful dequeue — the steady-traffic locality
+  // the matching cache exploits, counted in receiver program order so the
+  // split is deterministic.
+  std::atomic<std::uint64_t> mailbox_exact_hits{0};
+  std::atomic<std::uint64_t> mailbox_mru_hits{0};
+  std::atomic<std::uint64_t> mailbox_wildcard_scans{0};
+
+  // Blocking substrate operations posted by this rank (program-order
+  // counts; whether an individual call actually parked the thread is a
+  // host-scheduling artifact and is not recorded here).  Non-blocking
+  // probes (MPI_Iprobe) are excluded for the same reason: poll loops spin
+  // a host-timing-dependent number of times.
+  std::atomic<std::uint64_t> recvs_posted{0};
+  std::atomic<std::uint64_t> probes_posted{0};
+  std::atomic<std::uint64_t> rendezvous_waits{0};
+
+  // Failure-path events: waits woken by abort poison, and eager
+  // retransmits charged by the fault layer.  Nonzero only under fault
+  // injection; poisoned-wait counts on racing ranks are as-observed.
+  std::atomic<std::uint64_t> poisoned_waits{0};
+  std::atomic<std::uint64_t> retransmits{0};
+};
+
+/// The per-rank counter table.  One block per world rank, fixed at
+/// construction; reset() re-zeros between benchmark repetitions.
+class Metrics {
+ public:
+  explicit Metrics(int nranks);
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+
+  [[nodiscard]] RankCounters& rank(int world_rank) {
+    return ranks_[static_cast<std::size_t>(world_rank)];
+  }
+  [[nodiscard]] const RankCounters& rank(int world_rank) const {
+    return ranks_[static_cast<std::size_t>(world_rank)];
+  }
+
+  void reset();
+
+  /// Plain-value snapshot in a fixed counter order (rows are counters,
+  /// columns are ranks) — the deterministic form every exporter consumes.
+  struct Snapshot {
+    std::vector<std::string> names;                       ///< counter names
+    std::vector<std::vector<std::uint64_t>> values;       ///< [counter][rank]
+    [[nodiscard]] int nranks() const noexcept {
+      return values.empty() ? 0 : static_cast<int>(values.front().size());
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::vector<RankCounters> ranks_;
+};
+
+}  // namespace ombx::obs

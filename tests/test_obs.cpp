@@ -1,0 +1,462 @@
+// Tests for the observability subsystem (obs::Metrics + the Tracer
+// extensions): zero perturbation of virtual time, counter determinism and
+// classification, Chrome-trace export, critical-path reduction, the
+// world-rank contract on split communicators, and the overflow-proof
+// Scratch range checks.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "core/report.hpp"
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/error.hpp"
+#include "mpi/request.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+
+namespace {
+
+mpi::WorldConfig base_world(int nranks, int ppn) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = nranks;
+  wc.ppn = ppn;
+  return wc;
+}
+
+// A small mixed workload between ranks 0 and 1 (other ranks idle until
+// the closing barrier): an eager message, a rendezvous-sized transfer,
+// and a self message — enough to light up every protocol counter
+// deterministically.
+void mixed_program(mpi::Comm& c) {
+  std::vector<std::byte> small(64);
+  std::vector<std::byte> big(64 * 1024);
+  if (c.rank() == 0) {
+    c.send(mpi::ConstView{small.data(), small.size()}, 1, 1);
+    c.send(mpi::ConstView{big.data(), big.size()}, 1, 2);
+    auto req = c.isend(mpi::ConstView{small.data(), small.size()}, 0, 3);
+    (void)c.recv(mpi::MutView{small.data(), small.size()}, 0, 3);
+    req.wait();
+  } else if (c.rank() == 1) {
+    (void)c.recv(mpi::MutView{small.data(), small.size()}, 0, 1);
+    (void)c.recv(mpi::MutView{big.data(), big.size()}, 0, 2);
+  }
+  mpi::barrier(c);
+}
+
+std::uint64_t counter(const obs::Metrics::Snapshot& snap,
+                      const std::string& name, int rank) {
+  for (std::size_t c = 0; c < snap.names.size(); ++c) {
+    if (snap.names[c] == name) {
+      return snap.values[c][static_cast<std::size_t>(rank)];
+    }
+  }
+  ADD_FAILURE() << "no counter named " << name;
+  return 0;
+}
+
+}  // namespace
+
+// ---- Zero perturbation ------------------------------------------------------
+
+TEST(Obs, MetricsAndTraceDoNotPerturbVirtualTime) {
+  std::vector<simtime::usec_t> plain;
+  std::vector<simtime::usec_t> observed;
+  for (const bool enable : {false, true}) {
+    auto wc = base_world(2, 2);
+    wc.enable_metrics = enable;
+    wc.enable_trace = enable;
+    mpi::World w(wc);
+    w.run(mixed_program);
+    auto& out = enable ? observed : plain;
+    for (int r = 0; r < 2; ++r) out.push_back(w.finish_time(r));
+  }
+  ASSERT_EQ(plain.size(), observed.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], observed[i]) << "rank " << i;
+  }
+}
+
+// ---- Counter semantics ------------------------------------------------------
+
+TEST(Obs, CountersClassifyProtocols) {
+  auto wc = base_world(2, 2);  // same node: intra eager threshold 16 KiB
+  wc.enable_metrics = true;
+  mpi::World w(wc);
+  w.run(mixed_program);
+  const auto snap = w.engine().metrics()->snapshot();
+
+  // Rank 0 posted one eager (64 B), one rendezvous (64 KiB), one self —
+  // plus the closing barrier's zero-byte eager notification.
+  EXPECT_EQ(counter(snap, "eager_msgs", 0), 2U);
+  EXPECT_EQ(counter(snap, "eager_bytes", 0), 64U);
+  EXPECT_EQ(counter(snap, "rendezvous_msgs", 0), 1U);
+  EXPECT_EQ(counter(snap, "rendezvous_bytes", 0), 64U * 1024U);
+  EXPECT_EQ(counter(snap, "self_msgs", 0), 1U);
+  EXPECT_EQ(counter(snap, "self_bytes", 0), 64U);
+  // The two 64 B payloads ride inline; the 64 KiB blocking rendezvous
+  // send travels zero-copy (no payload tier) and the barrier message
+  // carries no bytes, so inline accounts for every tiered payload.
+  EXPECT_EQ(counter(snap, "payload_inline", 0), 2U);
+  EXPECT_EQ(counter(snap, "payload_pooled", 0) +
+                counter(snap, "payload_heap", 0),
+            0U);
+  // Receives were posted where the program posted them (plus whatever the
+  // closing barrier adds on both ranks).
+  EXPECT_GE(counter(snap, "recvs_posted", 1), 2U);
+  EXPECT_GE(counter(snap, "recvs_posted", 0), 1U);
+  // No faults were injected.
+  EXPECT_EQ(counter(snap, "poisoned_waits", 0), 0U);
+  EXPECT_EQ(counter(snap, "retransmits", 0), 0U);
+}
+
+TEST(Obs, CountersAreDeterministicAcrossRuns) {
+  const auto run_once = [] {
+    auto wc = base_world(4, 4);
+    wc.enable_metrics = true;
+    mpi::World w(wc);
+    w.run([](mpi::Comm& c) {
+      std::vector<float> a(256, 1.0F);
+      std::vector<float> b(256);
+      mpi::allreduce(c,
+                     mpi::ConstView{reinterpret_cast<std::byte*>(a.data()),
+                                    a.size() * 4},
+                     mpi::MutView{reinterpret_cast<std::byte*>(b.data()),
+                                  b.size() * 4},
+                     mpi::Datatype::kFloat, mpi::Op::kSum);
+      mixed_program(c);
+    });
+    std::ostringstream os;
+    core::metrics_table(w.engine().metrics()->snapshot()).write_csv(os);
+    return os.str();
+  };
+  const std::string first = run_once();
+  const std::string second = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Obs, CountersResetBetweenRuns) {
+  auto wc = base_world(2, 2);
+  wc.enable_metrics = true;
+  mpi::World w(wc);
+  w.run(mixed_program);
+  EXPECT_GT(counter(w.engine().metrics()->snapshot(), "eager_msgs", 0), 0U);
+  w.run([](mpi::Comm&) {});
+  const auto snap = w.engine().metrics()->snapshot();
+  for (std::size_t c = 0; c < snap.names.size(); ++c) {
+    for (std::size_t r = 0; r < snap.values[c].size(); ++r) {
+      EXPECT_EQ(snap.values[c][r], 0U)
+          << snap.names[c] << " rank " << r;
+    }
+  }
+}
+
+TEST(Obs, MailboxCountersSeeExactAndWildcard) {
+  auto wc = base_world(2, 2);
+  wc.enable_metrics = true;
+  mpi::World w(wc);
+  w.run([](mpi::Comm& c) {
+    std::vector<std::byte> buf(16);
+    if (c.rank() == 0) {
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 5);
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 6);
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 6);
+    } else {
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 5);
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 6);
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, mpi::kAnySource,
+                   mpi::kAnyTag);
+    }
+  });
+  const auto snap = w.engine().metrics()->snapshot();
+  // First two receives match on distinct bins (tag 5 then tag 6): one
+  // exact hit, then — tag 6 being a fresh bin — another exact hit unless
+  // it repeats the MRU bin.  The wildcard receive scans.
+  EXPECT_EQ(counter(snap, "mailbox_wildcard_scans", 1), 1U);
+  EXPECT_EQ(counter(snap, "mailbox_exact_hits", 1) +
+                counter(snap, "mailbox_mru_hits", 1),
+            2U);
+  EXPECT_EQ(counter(snap, "recvs_posted", 1), 3U);
+}
+
+TEST(Obs, MruHitCountsRepeatDequeueFromSameBin) {
+  auto wc = base_world(2, 2);
+  wc.enable_metrics = true;
+  mpi::World w(wc);
+  w.run([](mpi::Comm& c) {
+    std::vector<std::byte> buf(16);
+    for (int i = 0; i < 4; ++i) {
+      if (c.rank() == 0) {
+        c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 9);
+      } else {
+        (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 9);
+      }
+    }
+  });
+  const auto snap = w.engine().metrics()->snapshot();
+  // Same (src, tag) bin every time: the first dequeue is exact, the
+  // remaining three repeat the MRU bin.
+  EXPECT_EQ(counter(snap, "mailbox_exact_hits", 1), 1U);
+  EXPECT_EQ(counter(snap, "mailbox_mru_hits", 1), 3U);
+}
+
+// ---- Golden table for a tiny ping-pong (satellite d) ------------------------
+
+TEST(Obs, GoldenMetricsCsvForTwoRankPingpong) {
+  auto wc = base_world(2, 2);
+  wc.enable_metrics = true;
+  mpi::World w(wc);
+  w.run([](mpi::Comm& c) {
+    std::vector<std::byte> buf(32);
+    if (c.rank() == 0) {
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 0);
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 1, 0);
+    } else {
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 0);
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 0, 0);
+    }
+  });
+  std::ostringstream os;
+  core::metrics_table(w.engine().metrics()->snapshot()).write_csv(os);
+  const std::string golden =
+      "Counter,Rank,Value\n"
+      "eager_msgs,0,1\n"
+      "eager_msgs,1,1\n"
+      "eager_bytes,0,32\n"
+      "eager_bytes,1,32\n"
+      "rendezvous_msgs,0,0\n"
+      "rendezvous_msgs,1,0\n"
+      "rendezvous_bytes,0,0\n"
+      "rendezvous_bytes,1,0\n"
+      "self_msgs,0,0\n"
+      "self_msgs,1,0\n"
+      "self_bytes,0,0\n"
+      "self_bytes,1,0\n"
+      "payload_inline,0,1\n"
+      "payload_inline,1,1\n"
+      "payload_pooled,0,0\n"
+      "payload_pooled,1,0\n"
+      "payload_heap,0,0\n"
+      "payload_heap,1,0\n"
+      "mailbox_exact_hits,0,1\n"
+      "mailbox_exact_hits,1,1\n"
+      "mailbox_mru_hits,0,0\n"
+      "mailbox_mru_hits,1,0\n"
+      "mailbox_wildcard_scans,0,0\n"
+      "mailbox_wildcard_scans,1,0\n"
+      "recvs_posted,0,1\n"
+      "recvs_posted,1,1\n"
+      "probes_posted,0,0\n"
+      "probes_posted,1,0\n"
+      "rendezvous_waits,0,0\n"
+      "rendezvous_waits,1,0\n"
+      "poisoned_waits,0,0\n"
+      "poisoned_waits,1,0\n"
+      "retransmits,0,0\n"
+      "retransmits,1,0\n";
+  EXPECT_EQ(os.str(), golden);
+}
+
+// ---- Span attribution -------------------------------------------------------
+
+TEST(Obs, CollectiveSpansCarryAttribution) {
+  auto wc = base_world(4, 4);
+  wc.enable_trace = true;
+  mpi::World w(wc);
+  w.run([](mpi::Comm& c) {
+    std::vector<float> a(64, 1.0F);
+    std::vector<float> b(64);
+    mpi::allreduce(c,
+                   mpi::ConstView{reinterpret_cast<std::byte*>(a.data()),
+                                  a.size() * 4},
+                   mpi::MutView{reinterpret_cast<std::byte*>(b.data()),
+                                b.size() * 4},
+                   mpi::Datatype::kFloat, mpi::Op::kSum);
+  });
+  const mpi::Tracer* t = w.engine().tracer();
+  ASSERT_NE(t, nullptr);
+  int spans = 0;
+  for (int r = 0; r < 4; ++r) {
+    for (const auto& ev : t->events_of(r)) {
+      if (ev.kind != mpi::TraceKind::kSpan) continue;
+      ++spans;
+      EXPECT_EQ(ev.attr.rfind("allreduce/", 0), 0U) << ev.attr;
+      EXPECT_NE(ev.attr.find("/256B"), std::string::npos) << ev.attr;
+      EXPECT_LE(ev.t_start, ev.t_end);
+    }
+  }
+  EXPECT_EQ(spans, 4);  // one span per rank per collective call
+}
+
+TEST(Obs, PointToPointEventsCarryProtocolAttr) {
+  auto wc = base_world(2, 2);
+  wc.enable_trace = true;
+  mpi::World w(wc);
+  w.run(mixed_program);
+  const mpi::Tracer* t = w.engine().tracer();
+  int eager = 0;
+  int rendezvous = 0;
+  int self = 0;
+  for (int r = 0; r < 2; ++r) {
+    for (const auto& ev : t->events_of(r)) {
+      if (ev.kind != mpi::TraceKind::kSend) continue;
+      if (ev.attr == "eager") ++eager;
+      if (ev.attr == "rendezvous") ++rendezvous;
+      if (ev.attr == "self") ++self;
+    }
+  }
+  EXPECT_GE(eager, 1);
+  EXPECT_EQ(rendezvous, 1);
+  EXPECT_EQ(self, 1);
+}
+
+// ---- World ranks on split communicators (satellite a) -----------------------
+
+TEST(Obs, SplitCommunicatorTracesWorldRanks) {
+  auto wc = base_world(4, 4);
+  wc.enable_trace = true;
+  mpi::World w(wc);
+  // split() itself coordinates over the *parent* comm (legitimately
+  // crossing the halves), so note each rank's clock after a world
+  // barrier and only judge events recorded after it: the sub-comm
+  // allreduce.
+  std::array<simtime::usec_t, 4> after_setup{};
+  w.run([&after_setup](mpi::Comm& c) {
+    auto sub = c.split(c.rank() % 2, c.rank());
+    ASSERT_TRUE(sub.has_value());
+    mpi::barrier(c);
+    after_setup[static_cast<std::size_t>(c.rank())] = c.now();
+    std::vector<float> a(16, 1.0F);
+    std::vector<float> b(16);
+    mpi::allreduce(*sub,
+                   mpi::ConstView{reinterpret_cast<std::byte*>(a.data()),
+                                  a.size() * 4},
+                   mpi::MutView{reinterpret_cast<std::byte*>(b.data()),
+                                b.size() * 4},
+                   mpi::Datatype::kFloat, mpi::Op::kSum);
+  });
+  const mpi::Tracer* t = w.engine().tracer();
+  ASSERT_NE(t, nullptr);
+  // Even world ranks {0,2} talk only to each other, odd ranks {1,3}
+  // likewise.  Had any call site leaked a comm-local rank, an event under
+  // world rank 2 or 3 would name peer 0 or 1 of the *sub*communicator.
+  for (int r = 0; r < 4; ++r) {
+    int checked = 0;
+    for (const auto& ev : t->events_of(r)) {
+      if (ev.t_start < after_setup[static_cast<std::size_t>(r)]) continue;
+      EXPECT_EQ(ev.rank, r);
+      if (ev.peer >= 0) {
+        ++checked;
+        EXPECT_EQ(ev.peer % 2, r % 2)
+            << "event on world rank " << r << " names peer " << ev.peer
+            << " from the other split half — comm-local rank leak";
+        EXPECT_NE(ev.peer, r);
+      }
+    }
+    EXPECT_GT(checked, 0) << "world rank " << r
+                          << " recorded no sub-comm transfers";
+  }
+}
+
+// ---- Chrome trace export ----------------------------------------------------
+
+TEST(Obs, ChromeJsonHasCompleteEventsAndCriticalPath) {
+  auto wc = base_world(2, 2);
+  wc.enable_trace = true;
+  mpi::World w(wc);
+  w.run([](mpi::Comm& c) {
+    std::vector<std::byte> buf(128);
+    if (c.rank() == 0) {
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 2);
+    } else {
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 2);
+    }
+  });
+  std::ostringstream os;
+  w.engine().tracer()->write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path_us\""), std::string::npos);
+  // Both rank tracks appear.
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  // Crude but effective structural check: braces and brackets balance.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Obs, CriticalPathCoversTheTransfer) {
+  auto wc = base_world(2, 2);
+  wc.enable_trace = true;
+  mpi::World w(wc);
+  w.run([](mpi::Comm& c) {
+    std::vector<std::byte> buf(256);
+    if (c.rank() == 0) {
+      c.send(mpi::ConstView{buf.data(), buf.size()}, 1, 4);
+    } else {
+      (void)c.recv(mpi::MutView{buf.data(), buf.size()}, 0, 4);
+    }
+  });
+  const auto cp = w.engine().tracer()->critical_path();
+  ASSERT_FALSE(cp.chain.empty());
+  EXPECT_GT(cp.total_us, 0.0);
+  // The chain ends at the event finishing last (the receive).
+  EXPECT_EQ(cp.chain.back().kind, mpi::TraceKind::kRecv);
+  // Dependency order: each step starts no earlier than its predecessor.
+  for (std::size_t i = 1; i < cp.chain.size(); ++i) {
+    EXPECT_GE(cp.chain[i].t_start, cp.chain[i - 1].t_start);
+  }
+  // Spans never enter the chain.
+  for (const auto& ev : cp.chain) {
+    EXPECT_NE(ev.kind, mpi::TraceKind::kSpan);
+  }
+}
+
+TEST(Obs, CriticalPathEmptyTracerIsZero) {
+  mpi::Tracer t(2);
+  const auto cp = t.critical_path();
+  EXPECT_EQ(cp.total_us, 0.0);
+  EXPECT_TRUE(cp.chain.empty());
+}
+
+// ---- Scratch / slice overflow-proof range checks (satellite c) --------------
+
+TEST(ScratchRange, RejectsWrappingOffsets) {
+  mpi::detail::Scratch s(64, true, net::MemSpace::kHost);
+  constexpr std::size_t kHuge = std::numeric_limits<std::size_t>::max();
+  // off + len wraps to a small number; the naive `off + len <= bytes`
+  // check would accept these.
+  EXPECT_THROW((void)s.cview(16, kHuge - 8), mpi::Error);
+  EXPECT_THROW((void)s.mview(16, kHuge - 8), mpi::Error);
+  EXPECT_THROW((void)s.cview(kHuge, 32), mpi::Error);
+  EXPECT_THROW((void)s.cview(65, 0), mpi::Error);
+  // In-range requests still work, including the empty tail view.
+  EXPECT_EQ(s.cview(0, 64).bytes, 64U);
+  EXPECT_EQ(s.cview(64, 0).bytes, 0U);
+  EXPECT_EQ(s.cview(32, 32).bytes, 32U);
+}
+
+TEST(ScratchRange, SliceHelpersRejectWrappingOffsets) {
+  std::vector<std::byte> store(64);
+  mpi::ConstView cv{store.data(), store.size()};
+  mpi::MutView mv{store.data(), store.size()};
+  constexpr std::size_t kHuge = std::numeric_limits<std::size_t>::max();
+  EXPECT_THROW((void)mpi::detail::slice(cv, 16, kHuge - 8), mpi::Error);
+  EXPECT_THROW((void)mpi::detail::slice(mv, 16, kHuge - 8), mpi::Error);
+  EXPECT_THROW((void)mpi::detail::slice(cv, kHuge, 1), mpi::Error);
+  EXPECT_EQ(mpi::detail::slice(cv, 16, 48).bytes, 48U);
+  EXPECT_EQ(mpi::detail::slice(mv, 64, 0).bytes, 0U);
+}

@@ -93,6 +93,33 @@ TEST(Trace, MergedIsSortedByStartTime) {
   }
 }
 
+TEST(Trace, MergedBreaksTimestampTiesByRank) {
+  // Hand-record simultaneous events in adverse rank order: merged() must
+  // order equal t_start by rank, and keep record order within one rank.
+  mpi::Tracer t(3);
+  const auto ev = [](int rank, double t0, int tag) {
+    mpi::TraceEvent e;
+    e.rank = rank;
+    e.kind = mpi::TraceKind::kCompute;
+    e.t_start = t0;
+    e.t_end = t0 + 1.0;
+    e.tag = tag;
+    return e;
+  };
+  t.record(ev(2, 5.0, 20));
+  t.record(ev(0, 5.0, 10));
+  t.record(ev(1, 5.0, 30));
+  t.record(ev(1, 5.0, 31));  // same rank, same t_start: stays after 30
+  t.record(ev(0, 1.0, 11));
+  const auto merged = t.merged();
+  ASSERT_EQ(merged.size(), 5U);
+  EXPECT_EQ(merged[0].tag, 11);  // earliest start wins outright
+  EXPECT_EQ(merged[1].tag, 10);  // then the 5.0 tie resolves rank 0 ...
+  EXPECT_EQ(merged[2].tag, 30);  // ... rank 1 (record order preserved) ...
+  EXPECT_EQ(merged[3].tag, 31);
+  EXPECT_EQ(merged[4].tag, 20);  // ... rank 2
+}
+
 TEST(Trace, ClearedBetweenRuns) {
   mpi::World w(traced_world(2));
   w.run([](mpi::Comm& c) {
@@ -234,4 +261,40 @@ TEST(ReportCsv, QuotesFieldsWithCommas) {
   std::ostringstream os;
   t.write_csv(os);
   EXPECT_EQ(os.str(), "\"a,b\",c\n\"v,1\",plain\n");
+}
+
+TEST(ReportCsv, QuotesAndDoublesEmbeddedQuotes) {
+  // RFC 4180: a field containing a double quote is quoted and the
+  // embedded quote doubled.
+  core::Table t("x", {"name", "v"});
+  t.add_row({"say \"hi\"", "1"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,v\n\"say \"\"hi\"\"\",1\n");
+}
+
+TEST(ReportCsv, QuotesFieldsWithNewlines) {
+  // RFC 4180: embedded CR or LF forces quoting too (previously only
+  // commas and quotes triggered it, producing unparseable rows).
+  core::Table t("x", {"name", "v"});
+  t.add_row({"two\nlines", "cr\rhere"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "name,v\n\"two\nlines\",\"cr\rhere\"\n");
+}
+
+TEST(TraceCsv, QuotesAttrPerRfc4180) {
+  // Tracer CSV shares the same quoting rules for the attr column.
+  mpi::Tracer t(1);
+  mpi::TraceEvent e;
+  e.rank = 0;
+  e.kind = mpi::TraceKind::kSpan;
+  e.t_start = 0.0;
+  e.t_end = 1.0;
+  e.attr = "odd,\"attr\"";
+  t.record(e);
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"odd,\"\"attr\"\"\""), std::string::npos)
+      << os.str();
 }
