@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   cfg.nranks = 2;
   cfg.ppn = 1;  // one rank per node -> the HDR fabric
   cfg.obs = fig::parse_obs_flags(argc, argv);
+  cfg.check = fig::parse_check_flags(argc, argv);
 
   const double paper[] = {0.43, 0.63};
   int i = 0;

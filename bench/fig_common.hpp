@@ -106,6 +106,28 @@ inline core::ObsOptions parse_obs_flags(int argc, char** argv) {
   return obs;
 }
 
+/// Parse the shared correctness-checker flags (--check, --check-strict,
+/// --strict, --check-report <file>) from a figure binary's argv.  Like
+/// parse_obs_flags, unknown arguments are ignored, and a clean checked
+/// run leaves the figure output byte-identical (violations go to stderr
+/// and the report CSV, never stdout).
+inline core::CheckOptions parse_check_flags(int argc, char** argv) {
+  core::CheckOptions check;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      check.enabled = true;
+    } else if (arg == "--check-strict" || arg == "--strict") {
+      check.enabled = true;
+      check.strict = true;
+    } else if (arg == "--check-report" && i + 1 < argc) {
+      check.enabled = true;
+      check.report_csv = argv[++i];
+    }
+  }
+  return check;
+}
+
 /// Mean difference between two series (curve B minus curve A).
 inline double mean_gap(const std::vector<core::Row>& a,
                        const std::vector<core::Row>& b) {

@@ -32,6 +32,7 @@ double allreduce_overhead(core::SuiteConfig cfg,
 
 int main(int argc, char** argv) {
   const core::ObsOptions obs = fig::parse_obs_flags(argc, argv);
+  const core::CheckOptions check = fig::parse_check_flags(argc, argv);
   const fig::SizeRange small{4, 8 * 1024, "small"};
   const fig::SizeRange large{16 * 1024, 1024 * 1024, "large"};
   const fig::SizeRange p2p_large{16 * 1024, 4 * 1024 * 1024, "large"};
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
   intra.nranks = 2;
   intra.ppn = 2;
   intra.obs = obs;
+  intra.check = check;
 
   core::SuiteConfig inter = intra;
   inter.ppn = 1;
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
   ar.nranks = 16;
   ar.ppn = 1;
   ar.obs = obs;
+  ar.check = check;
 
   core::SuiteConfig gpu;
   gpu.cluster = net::ClusterSpec::ri2_gpu();
@@ -57,6 +60,7 @@ int main(int argc, char** argv) {
   gpu.nranks = 2;
   gpu.ppn = 1;
   gpu.obs = obs;
+  gpu.check = check;
 
   const auto gpu_overhead = [&](buffers::BufferKind k,
                                 const fig::SizeRange& r) {

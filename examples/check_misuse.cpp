@@ -1,0 +1,177 @@
+// check_misuse: deliberately broken MPI programs, one per checker family.
+//
+//   $ ./check_misuse <scenario>
+//
+// Each scenario runs a 2-rank world in strict checking mode, expects the
+// run to fail, prints the violation it was aborted with, and exits 0 only
+// if the checker caught the misuse (nonzero otherwise).  CI runs every
+// scenario and greps for the expected violation code; docs/correctness.md
+// walks through each one.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/error.hpp"
+#include "mpi/nbc.hpp"
+#include "mpi/request.hpp"
+#include "mpi/rma.hpp"
+#include "mpi/world.hpp"
+
+namespace {
+
+using namespace ombx;
+
+mpi::WorldConfig strict_config() {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = 2;
+  wc.ppn = 1;
+  wc.check.enabled = true;
+  wc.check.mode = check::Mode::kStrict;
+  return wc;
+}
+
+mpi::ConstView cview(const std::vector<std::byte>& v) {
+  return mpi::ConstView{v.data(), v.size(), net::MemSpace::kHost};
+}
+mpi::MutView mview(std::vector<std::byte>& v) {
+  return mpi::MutView{v.data(), v.size(), net::MemSpace::kHost};
+}
+
+// Rank 0 enters barrier while rank 1 enters bcast: divergent collective
+// sequences, the classic PARCOACH target.
+void collective_order(mpi::Comm& c) {
+  std::vector<std::byte> buf(8);
+  if (c.rank() == 0) {
+    mpi::barrier(c);
+  } else {
+    mpi::bcast(c, mview(buf), /*root=*/1);
+  }
+}
+
+// Both ranks call bcast, but they disagree on who the root is.  With an
+// 8-byte (eager) payload both calls complete locally, so only the matcher
+// can see the bug.
+void root_mismatch(mpi::Comm& c) {
+  std::vector<std::byte> buf(8);
+  mpi::bcast(c, mview(buf), /*root=*/c.rank());
+}
+
+// Rank 0 posts an irecv that nothing ever matches and drops the handle.
+void request_leak(mpi::Comm& c) {
+  if (c.rank() == 0) {
+    std::vector<std::byte> buf(64);
+    mpi::Request r = c.irecv(mview(buf), 1, 7);
+    (void)r;  // destroyed without wait()/test()
+  }
+  // No barrier: the leak is diagnosed when `r` dies, the world's
+  // end-of-run audit escalates it in strict mode.
+}
+
+// Rank 0 abandons an ibarrier handle while rank 1 blocks in barrier.
+// Without the checker this is an unattributed watchdog deadlock; with it,
+// rank 1 is woken by an abort naming ibarrier and rank 0.
+void coll_request_leak(mpi::Comm& c) {
+  if (c.rank() == 0) {
+    mpi::CollRequest r = mpi::ibarrier(c);
+    (void)r;  // destroyed without wait(): peers are stuck
+  } else {
+    mpi::barrier(c);
+  }
+}
+
+// Rank 0 sends from a buffer a pending irecv may still rewrite.
+void buffer_overlap(mpi::Comm& c) {
+  std::vector<std::byte> buf(64);
+  if (c.rank() == 0) {
+    mpi::Request r = c.irecv(mview(buf), 1, 3);
+    c.send(cview(buf), 1, 4);  // reads bytes the irecv may overwrite
+    (void)r.wait();
+  } else {
+    std::vector<std::byte> tmp(64);
+    (void)c.recv(mview(tmp), 0, 4);
+    c.send(cview(tmp), 0, 3);
+  }
+}
+
+// Rank 0 sends a message rank 1 never receives; caught by the finalize
+// audit as mailbox residue.
+void unmatched_send(mpi::Comm& c) {
+  std::vector<std::byte> buf(16);
+  if (c.rank() == 0) {
+    mpi::Request r = c.isend(cview(buf), 1, 99);
+    (void)r.wait();
+  }
+}
+
+// Both ranks issue a put and destroy the window without ever closing the
+// epoch with fence().
+void rma_epoch_open(mpi::Comm& c) {
+  std::vector<std::byte> window(64);
+  std::vector<std::byte> src(8);
+  mpi::Win win(c, mview(window));
+  win.put(cview(src), 1 - c.rank(), 0);
+  // no fence: epoch left open, reported when `win` dies
+}
+
+struct Scenario {
+  const char* name;
+  void (*fn)(mpi::Comm&);
+  check::Code expect;
+  /// Scenarios whose diagnosis lands in the end-of-run audit or a
+  /// destructor can't throw at the misuse site; the strict run still
+  /// fails, but via World::run's final escalation.
+  bool fails_at_end;
+};
+
+constexpr Scenario kScenarios[] = {
+    {"collective-order", collective_order,
+     check::Code::kCollectiveOrderMismatch, false},
+    {"root-mismatch", root_mismatch,
+     check::Code::kCollectiveSignatureMismatch, false},
+    {"request-leak", request_leak, check::Code::kRequestLeak, true},
+    {"coll-request-leak", coll_request_leak, check::Code::kCollRequestLeak,
+     false},
+    {"buffer-overlap", buffer_overlap, check::Code::kBufferOverlap, false},
+    {"unmatched-send", unmatched_send, check::Code::kUnmatchedSend, true},
+    {"rma-epoch-open", rma_epoch_open, check::Code::kRmaEpochOpen, true},
+};
+
+int usage() {
+  std::cerr << "usage: check_misuse <scenario>\nscenarios:\n";
+  for (const auto& s : kScenarios) std::cerr << "  " << s.name << "\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) return usage();
+  const Scenario* scenario = nullptr;
+  for (const auto& s : kScenarios) {
+    if (std::strcmp(argv[1], s.name) == 0) scenario = &s;
+  }
+  if (scenario == nullptr) return usage();
+
+  mpi::World world(strict_config());
+  try {
+    world.run(scenario->fn);
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    const char* code = check::code_name(scenario->expect);
+    std::cerr << "caught: " << what << "\n";
+    if (what.find(code) != std::string::npos) {
+      std::cerr << "checker reported the expected " << code << "\n";
+      return 0;
+    }
+    std::cerr << "error does not name the expected code " << code << "\n";
+    return 1;
+  }
+  std::cerr << "run completed cleanly; expected a "
+            << check::code_name(scenario->expect) << " violation\n";
+  return 1;
+}

@@ -39,7 +39,13 @@ void usage() {
       "  --csv             (machine-readable output)\n"
       "  --metrics <file>  (append per-rank substrate counters as CSV)\n"
       "  --trace-json <file> (write Chrome trace-event JSON; view in\n"
-      "                       chrome://tracing or ui.perfetto.dev)\n";
+      "                       chrome://tracing or ui.perfetto.dev)\n"
+      "  --check           (verify MPI usage: collective matching,\n"
+      "                     request hygiene, buffer overlap; report on\n"
+      "                     stderr after the run)\n"
+      "  --check-strict    (escalate the first violation to an error and\n"
+      "                     exit nonzero; implies --check)\n"
+      "  --check-report <file> (append violations as CSV; implies --check)\n";
 }
 
 net::ClusterSpec cluster_by_name(const std::string& s) {
@@ -142,6 +148,14 @@ int main(int argc, char** argv) {
         cfg.obs.metrics_csv = next();
       } else if (arg == "--trace-json") {
         cfg.obs.trace_json = next();
+      } else if (arg == "--check") {
+        cfg.check.enabled = true;
+      } else if (arg == "--check-strict") {
+        cfg.check.enabled = true;
+        cfg.check.strict = true;
+      } else if (arg == "--check-report") {
+        cfg.check.enabled = true;
+        cfg.check.report_csv = next();
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;

@@ -127,7 +127,7 @@ std::vector<core::Row> run_collective(const core::SuiteConfig& cfg,
       }
     }
   });
-  core::export_observability(world, cfg.obs, to_string(which));
+  core::export_observability(world, cfg, to_string(which));
   return rows;
 }
 

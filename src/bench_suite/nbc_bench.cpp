@@ -118,7 +118,7 @@ std::vector<NbcRow> run_nbc(const core::SuiteConfig& cfg, NbcBench which) {
       }
     }
   });
-  core::export_observability(world, cfg.obs, "nbc/" + to_string(which));
+  core::export_observability(world, cfg, "nbc/" + to_string(which));
   return rows;
 }
 

@@ -79,7 +79,7 @@ std::vector<core::Row> run_bandwidth(const core::SuiteConfig& cfg) {
       }
     }
   });
-  core::export_observability(world, cfg.obs, "bandwidth");
+  core::export_observability(world, cfg, "bandwidth");
   return rows;
 }
 

@@ -66,7 +66,7 @@ std::vector<core::Row> run_bibw(const core::SuiteConfig& cfg) {
       }
     }
   });
-  core::export_observability(world, cfg.obs, "bibw");
+  core::export_observability(world, cfg, "bibw");
   return rows;
 }
 

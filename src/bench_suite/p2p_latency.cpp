@@ -61,7 +61,7 @@ std::vector<core::Row> run_latency(const core::SuiteConfig& cfg) {
       }
     }
   });
-  core::export_observability(world, cfg.obs, "latency");
+  core::export_observability(world, cfg, "latency");
   return rows;
 }
 

@@ -75,7 +75,7 @@ std::vector<core::Row> run_mbw_mr(const core::SuiteConfig& cfg) {
       }
     }
   });
-  core::export_observability(world, cfg.obs, "mbw_mr");
+  core::export_observability(world, cfg, "mbw_mr");
   return rows;
 }
 

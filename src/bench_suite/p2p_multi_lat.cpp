@@ -55,7 +55,7 @@ std::vector<core::Row> run_multi_lat(const core::SuiteConfig& cfg) {
       }
     }
   });
-  core::export_observability(world, cfg.obs, "multi_lat");
+  core::export_observability(world, cfg, "multi_lat");
   return rows;
 }
 

@@ -88,7 +88,7 @@ std::vector<core::Row> run_rma(const core::SuiteConfig& cfg, RmaBench which) {
       }
     }
   });
-  core::export_observability(world, cfg.obs, "rma/" + to_string(which));
+  core::export_observability(world, cfg, "rma/" + to_string(which));
   return rows;
 }
 

@@ -1,0 +1,317 @@
+#include "check/checker.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <tuple>
+
+#include "mpi/error.hpp"
+
+namespace ombx::check {
+
+namespace {
+
+[[noreturn]] void throw_violation(const Violation& v) {
+  throw mpi::Error("check: " + v.to_string(), v.rank, v.context);
+}
+
+}  // namespace
+
+Checker::Checker(int nranks, Mode mode) : mode_(mode) {
+  ranks_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    ranks_.push_back(std::make_unique<RankCheck>());
+  }
+}
+
+Checker::RankCheck& Checker::rank(int world_rank) {
+  return *ranks_[static_cast<std::size_t>(world_rank)];
+}
+
+const Checker::RankCheck& Checker::rank(int world_rank) const {
+  return *ranks_[static_cast<std::size_t>(world_rank)];
+}
+
+// ---- Collective matching ---------------------------------------------------
+
+std::vector<Violation> Checker::compare_epoch(int ctx, std::uint64_t epoch,
+                                              const EpochState& st) {
+  std::vector<Violation> bad;
+  // The lowest comm rank is the deterministic reference; every present
+  // rank is compared against it, so attribution never depends on which
+  // host thread happened to arrive first.
+  const CollRecord* ref = nullptr;
+  for (const auto& r : st.recs) {
+    if (r.present) {
+      ref = &r;
+      break;
+    }
+  }
+  if (ref == nullptr) return bad;
+
+  const std::string where =
+      "epoch " + std::to_string(epoch) + " of context " + std::to_string(ctx);
+  for (std::size_t cr = 0; cr < st.recs.size(); ++cr) {
+    const CollRecord& r = st.recs[cr];
+    if (!r.present || &r == ref) continue;
+    if (std::strcmp(r.kind, ref->kind) != 0) {
+      bad.push_back(Violation{
+          Code::kCollectiveOrderMismatch, r.world, ctx, r.kind,
+          "comm rank " + std::to_string(cr) + " called " + r.kind +
+              " while comm rank 0 called " + ref->kind + " (" + where + ")"});
+      continue;  // signatures of different collectives are incomparable
+    }
+    std::string diverged;
+    const auto differs = [&](const char* field, long long mine,
+                             long long refv) {
+      if (mine < 0 || refv < 0 || mine == refv) return;
+      if (!diverged.empty()) diverged += ", ";
+      diverged += field;
+      diverged += " ";
+      diverged += std::to_string(mine);
+      diverged += " vs ";
+      diverged += std::to_string(refv);
+    };
+    differs("root", r.root, ref->root);
+    differs("bytes", r.bytes, ref->bytes);
+    differs("datatype", r.datatype, ref->datatype);
+    differs("op", r.op, ref->op);
+    if (!diverged.empty()) {
+      bad.push_back(Violation{Code::kCollectiveSignatureMismatch, r.world,
+                              ctx, r.kind,
+                              "comm rank " + std::to_string(cr) +
+                                  " diverges from comm rank 0: " + diverged +
+                                  " (" + where + ")"});
+    }
+  }
+  return bad;
+}
+
+void Checker::on_collective(int ctx, int comm_rank, int comm_size,
+                            int world_rank, const CollSignature& sig) {
+  std::vector<Violation> bad;
+  {
+    std::lock_guard<std::mutex> lk(coll_mutex_);
+    const std::uint64_t epoch = next_epoch_[{ctx, world_rank}]++;
+    EpochState& st = epochs_[{ctx, epoch}];
+    if (st.recs.empty()) {
+      st.expected = comm_size;
+      st.recs.resize(static_cast<std::size_t>(comm_size));
+    }
+    if (comm_rank < 0 ||
+        static_cast<std::size_t>(comm_rank) >= st.recs.size()) {
+      return;  // inconsistent communicator views; nothing safe to record
+    }
+    CollRecord& rec = st.recs[static_cast<std::size_t>(comm_rank)];
+    rec.present = true;
+    rec.kind = sig.kind;
+    rec.root = sig.root;
+    rec.bytes = sig.bytes;
+    rec.datatype = sig.datatype;
+    rec.op = sig.op;
+    rec.world = world_rank;
+    if (++st.arrived >= st.expected) {
+      bad = compare_epoch(ctx, epoch, st);
+      epochs_.erase({ctx, epoch});
+    }
+  }
+  for (auto& v : bad) collect(v);
+  if (strict() && !bad.empty()) throw_violation(bad.front());
+}
+
+void Checker::audit_epochs() {
+  std::vector<Violation> bad;
+  {
+    std::lock_guard<std::mutex> lk(coll_mutex_);
+    for (const auto& [key, st] : epochs_) {
+      const char* kind = "";
+      int entered = 0;
+      for (const auto& r : st.recs) {
+        if (r.present) {
+          kind = r.kind;
+          ++entered;
+        }
+      }
+      for (std::size_t cr = 0; cr < st.recs.size(); ++cr) {
+        if (st.recs[cr].present) continue;
+        bad.push_back(Violation{
+            Code::kCollectiveIncomplete, /*rank=*/-1, key.first, kind,
+            "comm rank " + std::to_string(cr) + " never entered " + kind +
+                " (epoch " + std::to_string(key.second) + "; " +
+                std::to_string(entered) + " of " +
+                std::to_string(st.expected) + " ranks arrived)"});
+      }
+    }
+    epochs_.clear();
+  }
+  for (auto& v : bad) collect(std::move(v));
+}
+
+// ---- Operation-scope attribution -------------------------------------------
+
+void Checker::push_scope(int world_rank, const char* name) {
+  rank(world_rank).scope.push_back(name);
+}
+
+void Checker::pop_scope(int world_rank) noexcept {
+  auto& s = rank(world_rank).scope;
+  if (!s.empty()) s.pop_back();
+}
+
+std::string Checker::describe(int world_rank,
+                              const std::string& base) const {
+  const auto& s = rank(world_rank).scope;
+  if (s.empty()) return base;
+  return base + " (in " + s.back() + ")";
+}
+
+// ---- Buffer lifetime -------------------------------------------------------
+
+void Checker::on_touch(int world_rank, int ctx, const void* data,
+                       std::size_t bytes, Access access, const char* what) {
+  if (data == nullptr || bytes == 0) return;
+  if (rank(world_rank).internal > 0) return;
+  const auto* lo = static_cast<const std::byte*>(data);
+  const auto* hi = lo + bytes;
+  for (const Pin& p : rank(world_rank).pins) {
+    if (lo >= p.hi || hi <= p.lo) continue;  // disjoint
+    // Hazard matrix: read-under-pending-write and write-under-pending-read
+    // are flagged; write-write (the OSU window idiom: many irecvs into one
+    // buffer) and read-read are tolerated.
+    const bool hazard =
+        (access == Access::kRead && p.access == Access::kWrite) ||
+        (access == Access::kWrite && p.access == Access::kRead);
+    if (!hazard) continue;
+    report(Violation{Code::kBufferOverlap, world_rank, ctx,
+                     describe(world_rank, what),
+                     "buffer range overlaps in-flight " + p.op});
+    return;  // one report per touch is enough
+  }
+}
+
+std::uint64_t Checker::pin(int world_rank, int ctx, const void* data,
+                           std::size_t bytes, Access access,
+                           const std::string& op) {
+  if (data == nullptr || bytes == 0) return 0;
+  if (rank(world_rank).internal > 0) return 0;
+  // A new pending op is itself a "touch": pinning a read range under a
+  // pending write (isend from a buffer an irecv may rewrite) or vice
+  // versa is the hazard; overlapping same-direction pins are tolerated.
+  on_touch(world_rank, ctx, data, bytes, access, op.c_str());
+  RankCheck& rc = rank(world_rank);
+  const std::uint64_t id = rc.next_pin++;
+  const auto* lo = static_cast<const std::byte*>(data);
+  rc.pins.push_back(Pin{id, lo, lo + bytes, access, op});
+  return id;
+}
+
+void Checker::unpin(int world_rank, std::uint64_t id) noexcept {
+  if (id == 0) return;
+  auto& pins = rank(world_rank).pins;
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].id == id) {
+      pins[i] = std::move(pins.back());
+      pins.pop_back();
+      return;
+    }
+  }
+}
+
+// ---- Violation sink --------------------------------------------------------
+
+void Checker::collect(Violation v) noexcept {
+  try {
+    std::lock_guard<std::mutex> lk(viol_mutex_);
+    violations_.push_back(std::move(v));
+  } catch (...) {
+    // Allocation failure while recording a diagnostic: drop it.
+  }
+}
+
+void Checker::report(Violation v) {
+  const bool escalate = strict();
+  Violation copy = escalate ? v : Violation{};
+  collect(std::move(v));
+  if (escalate) throw_violation(copy);
+}
+
+void Checker::report_noexcept(Violation v) noexcept { collect(std::move(v)); }
+
+// ---- Results ---------------------------------------------------------------
+
+bool Checker::empty() const {
+  std::lock_guard<std::mutex> lk(viol_mutex_);
+  return violations_.empty();
+}
+
+std::vector<Violation> Checker::violations() const {
+  std::vector<Violation> out;
+  {
+    std::lock_guard<std::mutex> lk(viol_mutex_);
+    out = violations_;
+  }
+  // Collection order depends on host scheduling; the sorted report does
+  // not (the violation *set* is a function of the program alone).
+  std::sort(out.begin(), out.end(), [](const Violation& a,
+                                       const Violation& b) {
+    return std::tie(a.code, a.context, a.rank, a.op, a.detail) <
+           std::tie(b.code, b.context, b.rank, b.op, b.detail);
+  });
+  return out;
+}
+
+void Checker::write_report(std::ostream& os,
+                           const std::string& label) const {
+  for (const Violation& v : violations()) {
+    os << label << ',' << code_name(v.code) << ',' << v.rank << ','
+       << v.context << ',' << v.op << ',' << v.detail << '\n';
+  }
+}
+
+void Checker::reset() {
+  for (auto& rc : ranks_) {
+    rc->pins.clear();
+    rc->scope.clear();
+    rc->next_pin = 1;
+    rc->internal = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lk(coll_mutex_);
+    epochs_.clear();
+    next_epoch_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lk(viol_mutex_);
+    violations_.clear();
+  }
+  suppress_.store(false, std::memory_order_release);
+}
+
+// ---- OpTicket --------------------------------------------------------------
+
+OpTicket::OpTicket(Checker& chk, int world_rank, int context,
+                   std::uint64_t pin_id, std::string desc)
+    : chk_(&chk),
+      rank_(world_rank),
+      ctx_(context),
+      pin_(pin_id),
+      desc_(std::move(desc)) {}
+
+void OpTicket::complete() noexcept {
+  if (completed_) return;
+  completed_ = true;
+  chk_->unpin(rank_, pin_);
+}
+
+OpTicket::~OpTicket() {
+  if (completed_) return;
+  chk_->unpin(rank_, pin_);
+  // Requests destroyed while an exception unwinds the rank (or after an
+  // abort poisoned the world) are casualties, not the root cause.
+  if (std::uncaught_exceptions() > 0 || chk_->leaks_suppressed()) return;
+  chk_->report_noexcept(Violation{
+      Code::kRequestLeak, rank_, ctx_, desc_,
+      "request destroyed without wait()/test() completing it"});
+}
+
+}  // namespace ombx::check

@@ -1,0 +1,286 @@
+// Dynamic verifier for the simulated MPI substrate (PARCOACH-style).
+//
+// The Checker is owned by the Engine and is null unless
+// WorldConfig::check.enabled is set, so a disabled checker costs one
+// pointer test per hook — the same zero-perturbation contract the tracer
+// and metrics follow: virtual time is never touched, and benchmark output
+// is byte-identical with checking on (and violation-free) or off.
+//
+// Four check families:
+//
+//   1. Collective matching — every collective entry point logs a
+//      (communicator epoch, op kind, signature) record via CollSpan; when
+//      all ranks of the communicator have entered an epoch, the records
+//      are compared against the lowest comm rank's.  Divergent kinds are
+//      order mismatches, divergent root/count/datatype/op are signature
+//      mismatches.  Comparison happens only on epoch completion, so
+//      attribution is deterministic regardless of host scheduling.
+//
+//   2. Request hygiene — Comm::isend/irecv attach an OpTicket to the
+//      Request (shared across copies); destroying the last copy without
+//      wait()/test() reports a request leak with the creation
+//      description.  An abandoned CollRequest is diagnosed likewise (see
+//      nbc.hpp), naming the collective and rank instead of leaving peers
+//      to the watchdog.
+//
+//   3. Buffer lifetime — pending non-blocking operations pin their byte
+//      ranges (isend pins as a read, irecv as a write).  A read of a
+//      pinned-write range (e.g. send from a buffer a pending irecv may
+//      rewrite) or a write to a pinned-read range (overwriting a buffer
+//      a pending isend conceptually still reads) is a violation.
+//      Write-write overlap is deliberately tolerated: OSU's bandwidth
+//      benchmarks post a whole window of irecvs into one buffer, and
+//      under OMB-X's FIFO matching the result is deterministic.
+//
+//   4. Finalize audit — on a clean World::run the engine reports
+//      unreceived mailbox residue, collective epochs some ranks never
+//      entered, and payload buffers still held by undelivered messages.
+//      Win/Request/CollRequest destructors feed the same sink.
+//
+// Modes: kReport collects violations into a deterministic, sorted
+// end-of-run report (exported next to the obs CSV); kStrict escalates
+// the first violation raised on a rank thread to a rank-attributed
+// mpi::Error, which rides the existing abort machinery so peers wake
+// instead of hanging.  Destructor-raised violations never throw; strict
+// runs surface them through World::run's end-of-run audit (or, for an
+// abandoned CollRequest, an engine abort naming the collective).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/violation.hpp"
+
+namespace ombx::check {
+
+enum class Mode {
+  kReport,  ///< collect violations; report after the run
+  kStrict,  ///< first violation throws a rank-attributed mpi::Error
+};
+
+/// WorldConfig-level switch for the verifier.
+struct Config {
+  bool enabled = false;
+  Mode mode = Mode::kReport;
+};
+
+/// What a collective entry point logs for cross-rank matching.  Fields
+/// set to -1 are excluded from comparison (rootless collectives, the
+/// non-uniform byte counts of v-collectives, reduction-free ops).
+struct CollSignature {
+  const char* kind = "";  ///< "barrier", "bcast", "allreduce", ...
+  int root = -1;
+  long long bytes = -1;
+  int datatype = -1;
+  int op = -1;
+};
+
+class Checker {
+ public:
+  Checker(int nranks, Mode mode);
+
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] bool strict() const noexcept { return mode_ == Mode::kStrict; }
+
+  // ---- Collective matching -------------------------------------------------
+
+  /// Log one collective entry for (comm context, calling rank).  When the
+  /// call completes the communicator's current epoch, all records are
+  /// compared; in strict mode a mismatch throws on the completing thread,
+  /// attributed to the divergent rank.
+  void on_collective(int ctx, int comm_rank, int comm_size, int world_rank,
+                     const CollSignature& sig);
+
+  // ---- Operation-scope attribution ----------------------------------------
+
+  /// Push/pop the named operation (collective kind) on a rank's scope
+  /// stack; violations raised inside carry "(in <scope>)".
+  void push_scope(int world_rank, const char* name);
+  void pop_scope(int world_rank) noexcept;
+
+  // ---- Buffer lifetime -----------------------------------------------------
+
+  enum class Access { kRead, kWrite };
+
+  /// Check a blocking operation's buffer against this rank's pinned
+  /// ranges (see class comment for the hazard matrix).
+  void on_touch(int world_rank, int ctx, const void* data, std::size_t bytes,
+                Access access, const char* what);
+
+  /// Register a pending non-blocking operation's byte range (checking it
+  /// for hazards first).  Returns a pin id for unpin(); 0 for empty or
+  /// synthetic (null-data) buffers, which are never pinned.
+  [[nodiscard]] std::uint64_t pin(int world_rank, int ctx, const void* data,
+                                  std::size_t bytes, Access access,
+                                  const std::string& op);
+  void unpin(int world_rank, std::uint64_t id) noexcept;
+
+  /// Substrate-internal bracket (see InternalOp): while a rank's depth is
+  /// nonzero, on_touch is a no-op and pin returns 0.  RMA wire traffic
+  /// stages operations through short-lived buffers the engine copies at
+  /// post time; pinning those would leave dangling ranges that falsely
+  /// collide with later heap reuse.
+  void begin_internal(int world_rank) { ++rank(world_rank).internal; }
+  void end_internal(int world_rank) noexcept {
+    --rank(world_rank).internal;
+  }
+  [[nodiscard]] bool in_internal(int world_rank) const {
+    return rank(world_rank).internal > 0;
+  }
+
+  // ---- Violation sink ------------------------------------------------------
+
+  /// Record a violation; in strict mode additionally throw a
+  /// rank-attributed mpi::Error for it.
+  void report(Violation v);
+  /// Record only — safe from destructors and audit paths.
+  void report_noexcept(Violation v) noexcept;
+
+  /// Engine::abort sets this so leak diagnostics raised while the world
+  /// unwinds from a failure do not drown the root cause.
+  void suppress_leaks() noexcept {
+    suppress_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool leaks_suppressed() const noexcept {
+    return suppress_.load(std::memory_order_acquire);
+  }
+
+  // ---- Finalize audit ------------------------------------------------------
+
+  /// Report collective epochs that some ranks entered but others never
+  /// completed (called by Engine::run_check_audit after a clean join).
+  void audit_epochs();
+
+  // ---- Results -------------------------------------------------------------
+
+  [[nodiscard]] bool empty() const;
+  /// All collected violations, sorted into a deterministic order
+  /// (code, context, rank, op, detail).
+  [[nodiscard]] std::vector<Violation> violations() const;
+  /// Append the report as long-form CSV rows "label,code,rank,context,
+  /// op,detail" (no header; callers manage it like the metrics CSV).
+  void write_report(std::ostream& os, const std::string& label) const;
+
+  /// Fresh check scope for the next run: clears violations, pins, scopes,
+  /// epochs and the leak-suppression flag (Engine::reset_clocks).
+  void reset();
+
+  /// Compose "<base> (in <scope>)" from the rank's current scope stack.
+  [[nodiscard]] std::string describe(int world_rank,
+                                     const std::string& base) const;
+
+ private:
+  struct Pin {
+    std::uint64_t id;
+    const std::byte* lo;
+    const std::byte* hi;  ///< one past the end
+    Access access;
+    std::string op;
+  };
+
+  /// Per-rank mutable state, touched only by the owning rank thread
+  /// (cache-line aligned so neighbouring ranks never false-share).
+  struct alignas(64) RankCheck {
+    std::vector<Pin> pins;
+    std::vector<const char*> scope;
+    std::uint64_t next_pin = 1;
+    int internal = 0;  ///< substrate-internal nesting depth
+  };
+
+  struct CollRecord {
+    bool present = false;
+    const char* kind = "";
+    int root = -1;
+    long long bytes = -1;
+    int datatype = -1;
+    int op = -1;
+    int world = -1;
+  };
+
+  struct EpochState {
+    int expected = 0;
+    int arrived = 0;
+    std::vector<CollRecord> recs;  ///< indexed by comm rank
+  };
+
+  [[nodiscard]] RankCheck& rank(int world_rank);
+  [[nodiscard]] const RankCheck& rank(int world_rank) const;
+
+  /// Compare a completed epoch's records against the lowest comm rank's.
+  [[nodiscard]] static std::vector<Violation> compare_epoch(
+      int ctx, std::uint64_t epoch, const EpochState& st);
+
+  void collect(Violation v) noexcept;
+
+  const Mode mode_;
+  std::vector<std::unique_ptr<RankCheck>> ranks_;
+  std::atomic<bool> suppress_{false};
+
+  mutable std::mutex coll_mutex_;
+  /// (ctx, epoch) -> arrival records; erased on completion.
+  std::map<std::pair<int, std::uint64_t>, EpochState> epochs_;
+  /// (ctx, world rank) -> this rank's next epoch index on that context.
+  std::map<std::pair<int, int>, std::uint64_t> next_epoch_;
+
+  mutable std::mutex viol_mutex_;
+  std::vector<Violation> violations_;
+};
+
+/// Lifetime ticket for one user-visible non-blocking point-to-point
+/// operation, created by Comm::isend/irecv when checking is enabled and
+/// shared (via shared_ptr) across Request copies.  complete() releases
+/// the buffer pin and marks the op waited; destroying the last copy
+/// without completion reports a request leak carrying the creation
+/// description.  Leak reports never throw and are suppressed while the
+/// world is unwinding from an abort.
+/// RAII bracket for Checker::begin_internal/end_internal.  Tolerates a
+/// null checker so call sites need no enabled-test of their own.
+class InternalOp {
+ public:
+  InternalOp(Checker* chk, int world_rank) : chk_(chk), rank_(world_rank) {
+    if (chk_ != nullptr) chk_->begin_internal(rank_);
+  }
+  ~InternalOp() {
+    if (chk_ != nullptr) chk_->end_internal(rank_);
+  }
+
+  InternalOp(const InternalOp&) = delete;
+  InternalOp& operator=(const InternalOp&) = delete;
+
+ private:
+  Checker* chk_;
+  int rank_;
+};
+
+class OpTicket {
+ public:
+  OpTicket(Checker& chk, int world_rank, int context, std::uint64_t pin_id,
+           std::string desc);
+  ~OpTicket();
+
+  OpTicket(const OpTicket&) = delete;
+  OpTicket& operator=(const OpTicket&) = delete;
+
+  void complete() noexcept;
+
+ private:
+  Checker* chk_;
+  int rank_;
+  int ctx_;
+  std::uint64_t pin_;
+  std::string desc_;
+  bool completed_ = false;
+};
+
+}  // namespace ombx::check

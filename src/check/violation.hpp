@@ -1,0 +1,89 @@
+// Violation records produced by the dynamic MPI-usage verifier
+// (check/checker.hpp).  Each violation is attributed to a world rank and
+// the operation that raised it, so a multi-rank misuse is diagnosable
+// from the report alone — the property PARCOACH-style tools provide for
+// real MPI programs.
+#pragma once
+
+#include <string>
+
+namespace ombx::check {
+
+/// Stable identifiers for everything the checker can detect.  The
+/// kebab-case names (code_name) appear in reports, strict-mode error
+/// messages and docs/correctness.md; tests and CI grep for them.
+enum class Code {
+  /// Ranks entered different collectives at the same epoch of a
+  /// communicator (e.g. rank 0 called barrier while rank 1 called bcast).
+  kCollectiveOrderMismatch,
+  /// Same collective, incompatible signature: divergent root, byte count,
+  /// datatype or reduction op.
+  kCollectiveSignatureMismatch,
+  /// A collective epoch never completed: some ranks entered, others never
+  /// arrived (reported by the finalize audit).
+  kCollectiveIncomplete,
+  /// An isend/irecv Request was destroyed without wait()/test()
+  /// completing it.
+  kRequestLeak,
+  /// A non-blocking collective (CollRequest) was posted but never waited
+  /// — the misuse that otherwise strands peers inside the collective.
+  kCollRequestLeak,
+  /// A buffer range with a pending non-blocking operation was touched
+  /// hazardously (read under a pending irecv, write under a pending
+  /// isend).
+  kBufferOverlap,
+  /// Finalize audit: messages were still queued in a rank's mailbox at
+  /// World teardown (sends that no receive ever matched).
+  kUnmatchedSend,
+  /// An RMA window was destroyed with an open epoch (operations issued
+  /// but never fenced).
+  kRmaEpochOpen,
+  /// Internal transport invariant: a zero-copy rendezvous source buffer
+  /// was reclaimed while a receiver still expected to read it, or pooled
+  /// payload buffers were still held at teardown.
+  kPayloadClaim,
+};
+
+[[nodiscard]] inline const char* code_name(Code c) noexcept {
+  switch (c) {
+    case Code::kCollectiveOrderMismatch: return "collective-order-mismatch";
+    case Code::kCollectiveSignatureMismatch:
+      return "collective-signature-mismatch";
+    case Code::kCollectiveIncomplete: return "collective-incomplete";
+    case Code::kRequestLeak: return "request-leak";
+    case Code::kCollRequestLeak: return "coll-request-leak";
+    case Code::kBufferOverlap: return "buffer-overlap";
+    case Code::kUnmatchedSend: return "unmatched-send";
+    case Code::kRmaEpochOpen: return "rma-epoch-open";
+    case Code::kPayloadClaim: return "payload-claim";
+  }
+  return "unknown";
+}
+
+struct Violation {
+  Code code{};
+  int rank = -1;     ///< world rank the violation is attributed to
+  int context = -1;  ///< communicator context id (-1 when not applicable)
+  std::string op;    ///< the offending operation, e.g. "send 8B (in bcast)"
+  std::string detail;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "[";
+    s += code_name(code);
+    s += "] rank ";
+    s += std::to_string(rank);
+    if (context >= 0) {
+      s += " ctx ";
+      s += std::to_string(context);
+    }
+    s += ": ";
+    s += op;
+    if (!detail.empty()) {
+      s += ": ";
+      s += detail;
+    }
+    return s;
+  }
+};
+
+}  // namespace ombx::check

@@ -73,6 +73,19 @@ struct ObsOptions {
   }
 };
 
+/// Correctness checking (--check / --check-strict / --check-report).  The
+/// same zero-perturbation contract as ObsOptions: a clean checked run
+/// produces byte-identical benchmark output to an unchecked one.
+struct CheckOptions {
+  bool enabled = false;
+  /// Escalate the first violation to a rank-attributed error (nonzero
+  /// exit) instead of collecting a report.  Implies enabled.
+  bool strict = false;
+  /// Append the end-of-run violation report as long-form CSV
+  /// "label,code,rank,context,op,detail"; empty keeps it on stderr only.
+  std::string report_csv;
+};
+
 /// Everything a benchmark needs to run: machine, library, job geometry,
 /// software mode, buffer type and options.
 struct SuiteConfig {
@@ -89,6 +102,8 @@ struct SuiteConfig {
   fault::FaultConfig fault;
   /// Metrics / trace exports (off unless paths are set).
   ObsOptions obs;
+  /// MPI-usage verification (off by default).
+  CheckOptions check;
 };
 
 }  // namespace ombx::core

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <fstream>
+#include <iostream>
 #include <thread>
 
 #include "mpi/error.hpp"
@@ -21,11 +22,16 @@ mpi::WorldConfig make_world_config(const SuiteConfig& cfg) {
   wc.fault = cfg.fault;
   wc.enable_metrics = cfg.obs.metrics_enabled();
   wc.enable_trace = wc.enable_trace || cfg.obs.trace_enabled();
+  wc.check.enabled = cfg.check.enabled || cfg.check.strict ||
+                     !cfg.check.report_csv.empty();
+  wc.check.mode = cfg.check.strict ? check::Mode::kStrict
+                                   : check::Mode::kReport;
   return wc;
 }
 
-void export_observability(mpi::World& world, const ObsOptions& opts,
+void export_observability(mpi::World& world, const SuiteConfig& cfg,
                           const std::string& label) {
+  const ObsOptions& opts = cfg.obs;
   if (opts.metrics_enabled()) {
     if (const ombx::obs::Metrics* m = world.engine().metrics()) {
       const ombx::obs::Metrics::Snapshot snap = m->snapshot();
@@ -52,6 +58,30 @@ void export_observability(mpi::World& world, const ObsOptions& opts,
     if (const mpi::Tracer* t = world.engine().tracer()) {
       std::ofstream os(opts.trace_json);
       if (os) t->write_chrome_json(os);
+    }
+  }
+  if (const check::Checker* chk = world.engine().checker()) {
+    const auto vs = chk->violations();
+    if (!vs.empty()) {
+      // stderr only: stdout carries the benchmark tables and must stay
+      // byte-identical with checking on or off.
+      std::cerr << "[ombx::check] " << label << ": " << vs.size()
+                << " violation(s)\n";
+      for (const auto& v : vs) {
+        std::cerr << "[ombx::check]   " << v.to_string() << '\n';
+      }
+    }
+    if (!cfg.check.report_csv.empty()) {
+      const bool fresh = [&] {
+        std::ifstream probe(cfg.check.report_csv);
+        return !probe.good() ||
+               probe.peek() == std::ifstream::traits_type::eof();
+      }();
+      std::ofstream os(cfg.check.report_csv, std::ios::app);
+      if (os) {
+        if (fresh) os << "label,code,rank,context,op,detail\n";
+        chk->write_report(os, label);
+      }
     }
   }
 }

@@ -19,12 +19,15 @@ namespace ombx::core {
 /// Carries the suite's fault-injection config into the world.
 [[nodiscard]] mpi::WorldConfig make_world_config(const SuiteConfig& cfg);
 
-/// Export the run's observability artifacts as configured in `opts`:
+/// Export the run's observability artifacts as configured in `cfg`:
 /// append the metrics counter table (long-form CSV, header written once
-/// per file) under `label`, and write the Chrome trace JSON (last run
-/// wins when several benchmarks share the path).  A no-op for outputs
-/// whose path is empty or whose subsystem is disabled on the world.
-void export_observability(mpi::World& world, const ObsOptions& opts,
+/// per file) under `label`, write the Chrome trace JSON (last run wins
+/// when several benchmarks share the path), and — when checking is on —
+/// summarize any violations on stderr and append them to the check
+/// report CSV.  A no-op for outputs whose path is empty or whose
+/// subsystem is disabled on the world; never writes to stdout, so
+/// benchmark output stays byte-identical.
+void export_observability(mpi::World& world, const SuiteConfig& cfg,
                           const std::string& label);
 
 /// Retry policy for running a program under transient faults: each failed

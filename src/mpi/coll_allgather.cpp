@@ -112,7 +112,9 @@ void allgather(Comm& c, ConstView send, MutView recv,
       algo = net::AllgatherAlgo::kRing;
     }
   }
-  detail::CollSpan span(c, "allgather", net::to_string(algo), send.bytes);
+  detail::CollSpan span(
+      c, "allgather", net::to_string(algo), send.bytes,
+      detail::CollMeta{.bytes = static_cast<long long>(send.bytes)});
   switch (algo) {
     case net::AllgatherAlgo::kRecursiveDoubling:
       OMBX_REQUIRE(detail::is_pow2(c.size()),

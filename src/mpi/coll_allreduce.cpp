@@ -158,7 +158,11 @@ void allreduce(Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
     algo = long_vector ? net::AllreduceAlgo::kRing
                        : net::AllreduceAlgo::kRecursiveDoubling;
   }
-  detail::CollSpan span(c, "allreduce", net::to_string(algo), send.bytes);
+  detail::CollSpan span(
+      c, "allreduce", net::to_string(algo), send.bytes,
+      detail::CollMeta{.bytes = static_cast<long long>(send.bytes),
+                       .datatype = static_cast<int>(dt),
+                       .op = static_cast<int>(op)});
   switch (algo) {
     case net::AllreduceAlgo::kRing:
       allreduce_ring(c, send, recv, dt, op);

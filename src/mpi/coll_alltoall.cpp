@@ -81,7 +81,9 @@ void alltoall(Comm& c, ConstView send, MutView recv,
     algo = c.size() <= 32 ? net::AlltoallAlgo::kLinear
                           : net::AlltoallAlgo::kPairwise;
   }
-  detail::CollSpan span(c, "alltoall", net::to_string(algo), send.bytes);
+  detail::CollSpan span(
+      c, "alltoall", net::to_string(algo), send.bytes,
+      detail::CollMeta{.bytes = static_cast<long long>(send.bytes)});
   switch (algo) {
     case net::AlltoallAlgo::kLinear:
       alltoall_linear(c, send, recv);

@@ -56,7 +56,8 @@ void barrier(Comm& c, net::BarrierAlgo algo) {
   if (c.size() == 1) return;
   if (algo == net::BarrierAlgo::kAuto) algo = c.net().tuning().barrier;
   if (algo == net::BarrierAlgo::kAuto) algo = net::BarrierAlgo::kDissemination;
-  detail::CollSpan span(c, "barrier", net::to_string(algo), 0);
+  detail::CollSpan span(c, "barrier", net::to_string(algo), 0,
+                        detail::CollMeta{});
   switch (algo) {
     case net::BarrierAlgo::kBinomial:
       barrier_binomial(c);

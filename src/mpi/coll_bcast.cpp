@@ -133,7 +133,10 @@ void bcast(Comm& c, MutView buf, int root, net::BcastAlgo algo) {
     algo = large ? net::BcastAlgo::kScatterAllgather
                  : net::BcastAlgo::kBinomial;
   }
-  detail::CollSpan span(c, "bcast", net::to_string(algo), buf.bytes);
+  detail::CollSpan span(
+      c, "bcast", net::to_string(algo), buf.bytes,
+      detail::CollMeta{.root = root,
+                       .bytes = static_cast<long long>(buf.bytes)});
   switch (algo) {
     case net::BcastAlgo::kLinear:
       bcast_linear(c, buf, root);

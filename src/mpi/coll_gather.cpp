@@ -92,7 +92,10 @@ void gather(Comm& c, ConstView send, MutView recv, int root,
   }
   if (algo == net::GatherAlgo::kAuto) algo = c.net().tuning().gather;
   if (algo == net::GatherAlgo::kAuto) algo = net::GatherAlgo::kBinomial;
-  detail::CollSpan span(c, "gather", net::to_string(algo), send.bytes);
+  detail::CollSpan span(
+      c, "gather", net::to_string(algo), send.bytes,
+      detail::CollMeta{.root = root,
+                       .bytes = static_cast<long long>(send.bytes)});
   switch (algo) {
     case net::GatherAlgo::kLinear:
       gather_linear(c, send, recv, root);

@@ -70,7 +70,12 @@ void reduce(Comm& c, ConstView send, MutView recv, Datatype dt, Op op,
   }
   if (algo == net::ReduceAlgo::kAuto) algo = c.net().tuning().reduce;
   if (algo == net::ReduceAlgo::kAuto) algo = net::ReduceAlgo::kBinomial;
-  detail::CollSpan span(c, "reduce", net::to_string(algo), send.bytes);
+  detail::CollSpan span(
+      c, "reduce", net::to_string(algo), send.bytes,
+      detail::CollMeta{.root = root,
+                       .bytes = static_cast<long long>(send.bytes),
+                       .datatype = static_cast<int>(dt),
+                       .op = static_cast<int>(op)});
   switch (algo) {
     case net::ReduceAlgo::kLinear:
       reduce_linear(c, send, recv, dt, op, root);

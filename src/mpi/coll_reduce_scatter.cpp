@@ -108,8 +108,11 @@ void reduce_scatter(Comm& c, ConstView send, MutView recv, Datatype dt,
                ? net::ReduceScatterAlgo::kRecursiveHalving
                : net::ReduceScatterAlgo::kPairwise;
   }
-  detail::CollSpan span(c, "reduce_scatter", net::to_string(algo),
-                        send.bytes);
+  detail::CollSpan span(
+      c, "reduce_scatter", net::to_string(algo), send.bytes,
+      detail::CollMeta{.bytes = static_cast<long long>(send.bytes),
+                       .datatype = static_cast<int>(dt),
+                       .op = static_cast<int>(op)});
   switch (algo) {
     case net::ReduceScatterAlgo::kRecursiveHalving:
       OMBX_REQUIRE(detail::is_pow2(c.size()),

@@ -65,7 +65,11 @@ void scan(Comm& c, ConstView send, MutView recv, Datatype dt, Op op) {
     detail::copy_bytes(recv, send, send.bytes);
     return;
   }
-  detail::CollSpan span(c, "scan", "log_step", send.bytes);
+  detail::CollSpan span(
+      c, "scan", "log_step", send.bytes,
+      detail::CollMeta{.bytes = static_cast<long long>(send.bytes),
+                       .datatype = static_cast<int>(dt),
+                       .op = static_cast<int>(op)});
   prefix_core(c, send, detail::slice(recv, 0, send.bytes), nullptr, dt, op);
 }
 
@@ -73,7 +77,11 @@ void exscan(Comm& c, ConstView send, MutView recv, Datatype dt, Op op) {
   OMBX_REQUIRE(recv.bytes >= send.bytes,
                "exscan recv buffer smaller than contribution");
   if (c.size() == 1) return;  // rank 0's exscan result is undefined (MPI)
-  detail::CollSpan span(c, "exscan", "log_step", send.bytes);
+  detail::CollSpan span(
+      c, "exscan", "log_step", send.bytes,
+      detail::CollMeta{.bytes = static_cast<long long>(send.bytes),
+                       .datatype = static_cast<int>(dt),
+                       .op = static_cast<int>(op)});
   const bool real = detail::real_payload(c, send);
   Scratch acc(send.bytes, real, send.space);
   Scratch pre(send.bytes, real, send.space);

@@ -94,7 +94,10 @@ void scatter(Comm& c, ConstView send, MutView recv, int root,
   }
   if (algo == net::GatherAlgo::kAuto) algo = c.net().tuning().gather;
   if (algo == net::GatherAlgo::kAuto) algo = net::GatherAlgo::kBinomial;
-  detail::CollSpan span(c, "scatter", net::to_string(algo), recv.bytes);
+  detail::CollSpan span(
+      c, "scatter", net::to_string(algo), recv.bytes,
+      detail::CollMeta{.root = root,
+                       .bytes = static_cast<long long>(recv.bytes)});
   switch (algo) {
     case net::GatherAlgo::kLinear:
       scatter_linear(c, send, recv, root);

@@ -131,31 +131,60 @@ inline void combine(Comm& c, Datatype dt, Op op, MutView inout, ConstView in,
   c.charge_flops(static_cast<double>(flops));
 }
 
-/// RAII span recorder for collective attribution (see trace.hpp).
+/// Signature fields a collective entry point declares for cross-rank
+/// matching under --check.  -1 means "not applicable" and is excluded
+/// from comparison (rootless collectives, v-collectives whose byte counts
+/// legitimately differ per rank, reduction-free ops).
+struct CollMeta {
+  int root = -1;
+  long long bytes = -1;
+  int datatype = -1;
+  int op = -1;
+};
+
+/// RAII span recorder for collective attribution (see trace.hpp), and —
+/// under --check — the collective-matching seam (see check/checker.hpp).
 ///
 /// Constructed at a collective's entry point once the algorithm has been
-/// resolved; the destructor records one kSpan event per calling rank
-/// labelled "<coll>/<algo>/<bytes>B" bracketing the virtual time the
-/// collective spent on that rank.  No-op when tracing is off, and skipped
-/// when unwinding (an aborted collective has no meaningful end time).
-/// Spans never touch the clock, so enabling them cannot perturb results.
+/// resolved.  With tracing on, the destructor records one kSpan event per
+/// calling rank labelled "<coll>/<algo>/<bytes>B" bracketing the virtual
+/// time the collective spent on that rank; skipped when unwinding (an
+/// aborted collective has no meaningful end time).  With checking on, the
+/// constructor logs this rank's (epoch, kind, signature) record with the
+/// epoch matcher — which throws here, at the entry point, on a strict
+/// mismatch — and brackets the rank's scope stack so point-to-point
+/// violations raised inside are attributed "(in <coll>)".  Neither role
+/// ever touches the clock, so enabling them cannot perturb results.
 class CollSpan {
  public:
-  CollSpan(Comm& c, const char* coll, std::string algo, std::size_t bytes)
+  CollSpan(Comm& c, const char* coll, std::string algo, std::size_t bytes,
+           CollMeta meta = {})
       : tracer_(c.engine().tracer()) {
-    if (tracer_ == nullptr) return;
     world_ = c.world_rank(c.rank());
-    bytes_ = bytes;
-    attr_ = std::string(coll) + "/" + std::move(algo) + "/" +
-            std::to_string(bytes) + "B";
-    engine_ = &c.engine();
-    t_start_ = engine_->state(world_).clock.now();
+    if (tracer_ != nullptr) {
+      bytes_ = bytes;
+      attr_ = std::string(coll) + "/" + std::move(algo) + "/" +
+              std::to_string(bytes) + "B";
+      engine_ = &c.engine();
+      t_start_ = engine_->state(world_).clock.now();
+    }
+    if (check::Checker* chk = c.engine().checker()) {
+      // Record first: on a strict mismatch this throws before the scope
+      // is pushed, and the destructor never runs on a partially
+      // constructed object — so no scope leaks.
+      chk->on_collective(c.context(), c.rank(), c.size(), world_,
+                         check::CollSignature{coll, meta.root, meta.bytes,
+                                              meta.datatype, meta.op});
+      chk->push_scope(world_, coll);
+      chk_ = chk;
+    }
   }
 
   CollSpan(const CollSpan&) = delete;
   CollSpan& operator=(const CollSpan&) = delete;
 
   ~CollSpan() {
+    if (chk_ != nullptr) chk_->pop_scope(world_);
     if (tracer_ == nullptr || std::uncaught_exceptions() > 0) return;
     tracer_->record(TraceEvent{.rank = world_,
                                .kind = TraceKind::kSpan,
@@ -169,6 +198,7 @@ class CollSpan {
 
  private:
   Tracer* tracer_;
+  check::Checker* chk_ = nullptr;
   Engine* engine_ = nullptr;
   int world_ = 0;
   std::size_t bytes_ = 0;

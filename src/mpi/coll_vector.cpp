@@ -34,7 +34,8 @@ void gatherv(Comm& c, ConstView send, MutView recv,
              std::span<const std::size_t> counts,
              std::span<const std::size_t> displs, int root) {
   OMBX_REQUIRE(root >= 0 && root < c.size(), "gatherv root out of range");
-  detail::CollSpan span(c, "gatherv", "linear", send.bytes);
+  detail::CollSpan span(c, "gatherv", "linear", send.bytes,
+                        detail::CollMeta{.root = root});
   if (c.rank() != root) {
     c.send(send, root, kTagVector);
     return;
@@ -55,7 +56,8 @@ void gatherv(Comm& c, ConstView send, MutView recv,
 void scatterv(Comm& c, ConstView send, std::span<const std::size_t> counts,
               std::span<const std::size_t> displs, MutView recv, int root) {
   OMBX_REQUIRE(root >= 0 && root < c.size(), "scatterv root out of range");
-  detail::CollSpan span(c, "scatterv", "linear", recv.bytes);
+  detail::CollSpan span(c, "scatterv", "linear", recv.bytes,
+                        detail::CollMeta{.root = root});
   if (c.rank() != root) {
     (void)c.recv(recv, root, kTagVector);
     return;

@@ -20,6 +20,13 @@ ConstView bytes_of(const std::vector<std::int32_t>& v) {
   return ConstView{reinterpret_cast<const std::byte*>(v.data()),
                    v.size() * sizeof(std::int32_t), net::MemSpace::kHost};
 }
+
+std::string rank_or_any(int r) {
+  return r == kAnySource ? "any" : std::to_string(r);
+}
+std::string tag_or_any(int t) {
+  return t == kAnyTag ? "any" : std::to_string(t);
+}
 }  // namespace
 
 Comm::Comm(Engine& engine, int context, std::vector<int> world_ranks,
@@ -47,6 +54,12 @@ simtime::SimClock& Comm::clock() const {
 void Comm::send(ConstView v, int dst, int tag) const {
   OMBX_REQUIRE_AT(tag >= 0, "user tags must be non-negative", my_world_,
                   context_);
+  if (auto* chk = engine_->checker()) {
+    // Reading a range a pending irecv may still rewrite is the hazard;
+    // reading alongside pending isends (OSU window sends) is legal.
+    chk->on_touch(my_world_, context_, v.data, v.bytes,
+                  check::Checker::Access::kRead, "send");
+  }
   // Blocking send parks on the cell until the receiver is done with `v`,
   // which is what licenses the zero-copy rendezvous path.  isend (below)
   // must stay buffered: its caller may mutate or free `v` before wait().
@@ -57,6 +70,12 @@ void Comm::send(ConstView v, int dst, int tag) const {
 }
 
 Status Comm::recv(MutView v, int src, int tag) const {
+  if (auto* chk = engine_->checker()) {
+    // Writing over a range a pending isend conceptually still reads is
+    // the hazard (our isends copy at post time, but real MPI's need not).
+    chk->on_touch(my_world_, context_, v.data, v.bytes,
+                  check::Checker::Access::kWrite, "recv");
+  }
   const int src_world_filter = src;  // comm-local; engine matches on it
   return engine_->recv(my_world_, context_, src_world_filter, tag, v);
 }
@@ -72,13 +91,43 @@ Status Comm::sendrecv(ConstView s, int dst, int stag, MutView r, int src,
 Request Comm::isend(ConstView v, int dst, int tag) const {
   OMBX_REQUIRE_AT(tag >= 0, "user tags must be non-negative", my_world_,
                   context_);
+  // Pin + ticket before posting so a hazardous isend is flagged before
+  // its message is in flight (and so a failing post leaves nothing
+  // half-registered: the ticket unwinds silently with the exception).
+  std::shared_ptr<check::OpTicket> ticket;
+  if (auto* chk = engine_->checker();
+      chk != nullptr && !chk->in_internal(my_world_)) {
+    const std::string desc = chk->describe(
+        my_world_, "isend " + std::to_string(v.bytes) + "B to comm rank " +
+                       std::to_string(dst) + " tag " + std::to_string(tag));
+    const std::uint64_t pin =
+        chk->pin(my_world_, context_, v.data, v.bytes,
+                 check::Checker::Access::kRead, desc);
+    ticket = std::make_shared<check::OpTicket>(*chk, my_world_, context_,
+                                               pin, desc);
+  }
   auto cell = engine_->post_send(my_world_, world_rank(dst), context_,
                                  my_rank_, tag, v);
-  return Request::make_send(*this, std::move(cell));
+  Request r = Request::make_send(*this, std::move(cell));
+  r.ticket_ = std::move(ticket);
+  return r;
 }
 
 Request Comm::irecv(MutView v, int src, int tag) const {
-  return Request::make_recv(*this, v, src, tag);
+  Request r = Request::make_recv(*this, v, src, tag);
+  if (auto* chk = engine_->checker();
+      chk != nullptr && !chk->in_internal(my_world_)) {
+    const std::string desc = chk->describe(
+        my_world_, "irecv " + std::to_string(v.bytes) +
+                       "B from comm rank " + rank_or_any(src) + " tag " +
+                       tag_or_any(tag));
+    const std::uint64_t pin =
+        chk->pin(my_world_, context_, v.data, v.bytes,
+                 check::Checker::Access::kWrite, desc);
+    r.ticket_ = std::make_shared<check::OpTicket>(*chk, my_world_, context_,
+                                                  pin, desc);
+  }
+  return r;
 }
 
 Status Comm::probe(int src, int tag) const {

@@ -284,6 +284,15 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
       // surfaces at this rank's next substrate call.
       if (msg.sync && msg.sync->begin_transfer()) {
         std::memcpy(v.data, msg.zero_copy_src.data, msg.bytes);
+      } else if (checker_ && !aborted_.load(std::memory_order_acquire)) {
+        // A failed claim with no abort pending means the sender's buffer
+        // was reclaimed while this receive still expected to read it —
+        // an internal transport invariant the checker makes visible.
+        checker_->report_noexcept(check::Violation{
+            check::Code::kPayloadClaim, self_world, ctx, "recv",
+            "zero-copy source buffer from rank " +
+                std::to_string(msg.src_world) +
+                " was reclaimed before delivery"});
       }
     } else if (!msg.payload.empty()) {
       std::memcpy(v.data, msg.payload.data(), msg.payload.size());
@@ -369,6 +378,9 @@ void Engine::abort(int origin_rank, const std::string& reason,
     info = abort_;
   }
   aborted_.store(true, std::memory_order_release);
+  // Requests and CollRequests destroyed while ranks unwind from this
+  // abort are casualties of it, not independent leaks.
+  if (checker_) checker_->suppress_leaks();
   if (fault_) {
     fault_->counters().aborts.fetch_add(1, std::memory_order_relaxed);
     if (deadlock) {
@@ -413,6 +425,7 @@ void Engine::reset_clocks() {
   registry_.reset();
   if (tracer_) tracer_->clear();
   if (metrics_) metrics_->reset();
+  if (checker_) checker_->reset();
 }
 
 void Engine::charge_flops(int world_rank, double flops) {
@@ -469,6 +482,36 @@ void Engine::enable_metrics() {
   metrics_ = std::make_unique<obs::Metrics>(nranks());
   for (int r = 0; r < nranks(); ++r) {
     mail_[static_cast<std::size_t>(r)]->set_counters(&metrics_->rank(r));
+  }
+}
+
+void Engine::enable_checking(check::Mode mode) {
+  if (!checker_) checker_ = std::make_unique<check::Checker>(nranks(), mode);
+}
+
+void Engine::run_check_audit() {
+  if (!checker_) return;
+  bool residue = false;
+  for (int r = 0; r < nranks(); ++r) {
+    for (const auto& p :
+         mail_[static_cast<std::size_t>(r)]->pending_summary()) {
+      residue = true;
+      checker_->report_noexcept(check::Violation{
+          check::Code::kUnmatchedSend, r, p.ctx, "finalize",
+          std::to_string(p.count) + " unreceived message(s) from comm rank " +
+              std::to_string(p.src) + " with tag " + std::to_string(p.tag)});
+    }
+  }
+  checker_->audit_epochs();
+  // Pool-level corroboration: with every mailbox empty, no pooled or heap
+  // payload buffer should still be held by a message.  (Residue messages
+  // legitimately hold theirs — already reported as unmatched sends.)
+  if (const std::uint64_t held = pool_.outstanding();
+      held > 0 && !residue) {
+    checker_->report_noexcept(check::Violation{
+        check::Code::kPayloadClaim, -1, -1, "finalize",
+        std::to_string(held) +
+            " payload buffer(s) still held outside any mailbox"});
   }
 }
 

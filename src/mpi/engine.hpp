@@ -32,6 +32,7 @@
 #include <mutex>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "fault/fault.hpp"
 #include "fault/watchdog.hpp"
 #include "mpi/mailbox.hpp"
@@ -203,6 +204,17 @@ class Engine {
   void enable_metrics();
   [[nodiscard]] obs::Metrics* metrics() noexcept { return metrics_.get(); }
 
+  /// Turn on the dynamic MPI-usage verifier (check/checker.hpp).  Like
+  /// tracing and metrics, checking never touches virtual clocks: results
+  /// are byte-identical with the checker on (and violation-free) or off.
+  void enable_checking(check::Mode mode);
+  [[nodiscard]] check::Checker* checker() noexcept { return checker_.get(); }
+
+  /// Finalize audit (checker enabled only): report unreceived mailbox
+  /// residue, incomplete collective epochs and payload buffers still held
+  /// by undelivered messages.  Called by World::run after a clean join.
+  void run_check_audit();
+
   /// Recycled payload storage for eager / buffered-rendezvous messages
   /// (exposed for the wall-clock bench and pool tests).
   [[nodiscard]] PayloadPool& payload_pool() noexcept { return pool_; }
@@ -226,6 +238,7 @@ class Engine {
   std::atomic<int> next_context_{1};  // 0 is COMM_WORLD
   std::unique_ptr<Tracer> tracer_;    // null unless tracing is enabled
   std::unique_ptr<obs::Metrics> metrics_;  // null unless metrics enabled
+  std::unique_ptr<check::Checker> checker_;  // null unless checking enabled
 
   std::shared_ptr<fault::FaultPlan> fault_;
   std::atomic<bool> aborted_{false};

@@ -1,5 +1,8 @@
 #include "mpi/mailbox.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 #include "mpi/error.hpp"
 
 namespace ombx::mpi {
@@ -225,6 +228,24 @@ void Mailbox::reset() {
 std::size_t Mailbox::size() const {
   std::lock_guard<std::mutex> lk(m_);
   return queued_;
+}
+
+std::vector<Mailbox::Pending> Mailbox::pending_summary() const {
+  std::vector<Pending> out;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    for (const Bin& b : bins_) {
+      if (!b.q.empty()) {
+        out.push_back(Pending{b.ctx, b.src, b.tag, b.q.size()});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Pending& a, const Pending& b) {
+              return std::tie(a.ctx, a.src, a.tag) <
+                     std::tie(b.ctx, b.src, b.tag);
+            });
+  return out;
 }
 
 }  // namespace ombx::mpi

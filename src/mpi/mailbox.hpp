@@ -88,6 +88,17 @@ class Mailbox {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// One entry per nonempty bin: the (context, src, tag) key and how many
+  /// messages are still queued under it.  Sorted by (ctx, src, tag) so the
+  /// finalize audit's unmatched-send report is deterministic.
+  struct Pending {
+    int ctx;
+    int src;
+    int tag;
+    std::size_t count;
+  };
+  [[nodiscard]] std::vector<Pending> pending_summary() const;
+
   /// Attach the owner rank's metrics block (null to detach).  Successful
   /// dequeues are classified as exact / MRU / wildcard in receiver
   /// program order, so the counts are deterministic (see obs/metrics.hpp).

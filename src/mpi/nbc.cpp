@@ -1,59 +1,93 @@
 #include "mpi/nbc.hpp"
 
+#include <exception>
+#include <string>
+
 namespace ombx::mpi {
 
+void CollRequest::diagnose_abandoned() noexcept {
+  if (!body_ || comm_ == nullptr) return;
+  body_ = nullptr;  // the schedule will never run; don't diagnose twice
+  check::Checker* chk = comm_->engine().checker();
+  if (chk == nullptr) return;
+  // Stack unwinding and post-abort teardown both destroy pending handles
+  // legitimately; the root cause is already being reported elsewhere.
+  if (std::uncaught_exceptions() > 0 || chk->leaks_suppressed()) return;
+
+  const int world = comm_->world_rank(comm_->rank());
+  check::Violation v;
+  v.code = check::Code::kCollRequestLeak;
+  v.rank = world;
+  v.context = comm_->context();
+  v.op = std::string("i") + coll_;
+  v.detail = std::string("non-blocking collective posted but never "
+                         "waited; peers block in ") +
+             coll_;
+  chk->report_noexcept(v);
+  if (chk->strict()) {
+    // Wake the peers with the real cause attached to the leaking rank,
+    // rather than letting the watchdog report an anonymous deadlock.
+    comm_->engine().abort(
+        world, std::string("check: ") +
+                   check::code_name(check::Code::kCollRequestLeak) +
+                   ": i" + coll_ + " abandoned without wait() on rank " +
+                   std::to_string(world));
+  }
+}
+
 CollRequest ibarrier(Comm& c, net::BarrierAlgo algo) {
-  return CollRequest([&c, algo] { barrier(c, algo); });
+  return CollRequest(c, "barrier", [&c, algo] { barrier(c, algo); });
 }
 
 CollRequest ibcast(Comm& c, MutView buf, int root, net::BcastAlgo algo) {
-  return CollRequest([&c, buf, root, algo] { bcast(c, buf, root, algo); });
+  return CollRequest(c, "bcast",
+                     [&c, buf, root, algo] { bcast(c, buf, root, algo); });
 }
 
 CollRequest ireduce(Comm& c, ConstView send, MutView recv, Datatype dt,
                     Op op, int root, net::ReduceAlgo algo) {
-  return CollRequest([&c, send, recv, dt, op, root, algo] {
+  return CollRequest(c, "reduce", [&c, send, recv, dt, op, root, algo] {
     reduce(c, send, recv, dt, op, root, algo);
   });
 }
 
 CollRequest iallreduce(Comm& c, ConstView send, MutView recv, Datatype dt,
                        Op op, net::AllreduceAlgo algo) {
-  return CollRequest([&c, send, recv, dt, op, algo] {
+  return CollRequest(c, "allreduce", [&c, send, recv, dt, op, algo] {
     allreduce(c, send, recv, dt, op, algo);
   });
 }
 
 CollRequest igather(Comm& c, ConstView send, MutView recv, int root,
                     net::GatherAlgo algo) {
-  return CollRequest([&c, send, recv, root, algo] {
+  return CollRequest(c, "gather", [&c, send, recv, root, algo] {
     gather(c, send, recv, root, algo);
   });
 }
 
 CollRequest iscatter(Comm& c, ConstView send, MutView recv, int root,
                      net::GatherAlgo algo) {
-  return CollRequest([&c, send, recv, root, algo] {
+  return CollRequest(c, "scatter", [&c, send, recv, root, algo] {
     scatter(c, send, recv, root, algo);
   });
 }
 
 CollRequest iallgather(Comm& c, ConstView send, MutView recv,
                        net::AllgatherAlgo algo) {
-  return CollRequest(
-      [&c, send, recv, algo] { allgather(c, send, recv, algo); });
+  return CollRequest(c, "allgather",
+                     [&c, send, recv, algo] { allgather(c, send, recv, algo); });
 }
 
 CollRequest ialltoall(Comm& c, ConstView send, MutView recv,
                       net::AlltoallAlgo algo) {
-  return CollRequest(
-      [&c, send, recv, algo] { alltoall(c, send, recv, algo); });
+  return CollRequest(c, "alltoall",
+                     [&c, send, recv, algo] { alltoall(c, send, recv, algo); });
 }
 
 CollRequest ireduce_scatter(Comm& c, ConstView send, MutView recv,
                             Datatype dt, Op op,
                             net::ReduceScatterAlgo algo) {
-  return CollRequest([&c, send, recv, dt, op, algo] {
+  return CollRequest(c, "reduce_scatter", [&c, send, recv, dt, op, algo] {
     reduce_scatter(c, send, recv, dt, op, algo);
   });
 }

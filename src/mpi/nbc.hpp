@@ -8,21 +8,48 @@
 // such libraries, and why OMB-X's nbc benches report the same.
 //
 // Buffer views must stay valid until wait() returns.  Every rank must
-// eventually wait (a posted-but-never-waited collective would leave peers
-// stuck, exactly like real MPI).
+// eventually wait: a posted-but-never-waited collective leaves peers
+// stuck, exactly like real MPI.  Under --check, destroying an un-waited
+// CollRequest reports a coll-request-leak naming the collective and rank
+// (and in strict mode aborts the world) instead of letting the peers'
+// watchdog fire with an unattributed deadlock dump.
 #pragma once
 
 #include <functional>
+#include <utility>
 
 #include "mpi/collectives.hpp"
 #include "mpi/comm.hpp"
 
 namespace ombx::mpi {
 
-/// Handle for an in-flight non-blocking collective.
+/// Handle for an in-flight non-blocking collective.  Move-only: the
+/// schedule must run exactly once, and leak diagnosis needs a single
+/// owner to blame.
 class CollRequest {
  public:
   CollRequest() = default;
+
+  CollRequest(const CollRequest&) = delete;
+  CollRequest& operator=(const CollRequest&) = delete;
+  CollRequest(CollRequest&& o) noexcept
+      : body_(std::move(o.body_)), comm_(o.comm_), coll_(o.coll_) {
+    o.body_ = nullptr;
+    o.comm_ = nullptr;
+  }
+  CollRequest& operator=(CollRequest&& o) noexcept {
+    if (this != &o) {
+      diagnose_abandoned();
+      body_ = std::move(o.body_);
+      comm_ = o.comm_;
+      coll_ = o.coll_;
+      o.body_ = nullptr;
+      o.comm_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~CollRequest() { diagnose_abandoned(); }
 
   /// Execute the remaining schedule and complete the operation.
   /// Idempotent.
@@ -60,10 +87,19 @@ class CollRequest {
   friend CollRequest ireduce_scatter(Comm&, ConstView, MutView, Datatype,
                                      Op, net::ReduceScatterAlgo);
 
-  explicit CollRequest(std::function<void()> body)
-      : body_(std::move(body)) {}
+  CollRequest(Comm& c, const char* coll, std::function<void()> body)
+      : body_(std::move(body)), comm_(&c), coll_(coll) {}
+
+  /// Destructor/assignment seam: a still-pending schedule means the owner
+  /// dropped the handle while its peers are (or will be) blocked in the
+  /// matching collective.  Reports a coll-request-leak; in strict mode
+  /// additionally aborts the world so those peers wake with the real
+  /// cause instead of a watchdog deadlock dump.  Defined in nbc.cpp.
+  void diagnose_abandoned() noexcept;
 
   std::function<void()> body_;
+  Comm* comm_ = nullptr;
+  const char* coll_ = "";
 };
 
 [[nodiscard]] CollRequest ibarrier(

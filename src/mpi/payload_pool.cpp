@@ -51,6 +51,7 @@ PooledPayload PayloadPool::acquire_copy(const std::byte* src,
     // Too large to be worth hoarding; plain heap storage.
     p.heap_.assign(src, src + n);
     stats_.allocs.fetch_add(1, std::memory_order_relaxed);
+    stats_.heap_grabs.fetch_add(1, std::memory_order_relaxed);
     return p;
   }
   const std::size_t b = bucket_for_acquire(n);

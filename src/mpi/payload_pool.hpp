@@ -123,6 +123,8 @@ class PayloadPool {
     std::atomic<std::uint64_t> allocs{0};        ///< heap allocations
     std::atomic<std::uint64_t> recycled{0};      ///< buffers returned
     std::atomic<std::uint64_t> dropped{0};       ///< returned but bucket full
+    /// Of `allocs`, those on the un-recycled > kMaxBucketBytes tier.
+    std::atomic<std::uint64_t> heap_grabs{0};
   };
 
   /// Copy `n` bytes from `src` into recycled (or inline) storage.  n == 0
@@ -134,6 +136,22 @@ class PayloadPool {
 
   /// Freelist population across all buckets (test/diagnostic only).
   [[nodiscard]] std::size_t free_buffers() const;
+
+  /// Pooled-tier handles currently alive (acquired but not yet released).
+  /// Every pooled release passes through recycle(), so this is exact once
+  /// all rank threads have joined — the finalize audit uses it to confirm
+  /// no undelivered message still holds a buffer.  Inline and > 4 MiB
+  /// heap handles are not tracked (they have no pool bookkeeping).
+  [[nodiscard]] std::uint64_t outstanding() const noexcept {
+    const std::uint64_t acquired =
+        stats_.reuses.load(std::memory_order_relaxed) +
+        stats_.allocs.load(std::memory_order_relaxed) -
+        stats_.heap_grabs.load(std::memory_order_relaxed);
+    const std::uint64_t returned =
+        stats_.recycled.load(std::memory_order_relaxed) +
+        stats_.dropped.load(std::memory_order_relaxed);
+    return acquired > returned ? acquired - returned : 0;
+  }
 
   /// Drop every cached buffer (outstanding handles are unaffected).
   void trim();

@@ -22,6 +22,13 @@ Request Request::make_recv(const Comm& c, MutView v, int src, int tag) {
   return r;
 }
 
+void Request::settle_ticket() noexcept {
+  if (ticket_) {
+    ticket_->complete();
+    ticket_.reset();
+  }
+}
+
 Status Request::wait() {
   switch (kind_) {
     case Kind::kDone:
@@ -32,9 +39,13 @@ Status Request::wait() {
                                    *cell_);
         cell_.reset();
       }
+      settle_ticket();
       kind_ = Kind::kDone;
       return status_;
     case Kind::kRecv:
+      // Settle before the dequeue so the checker's write pin is gone by
+      // the time recv touches the buffer on our own behalf.
+      settle_ticket();
       status_ = comm_->recv(view_, src_, tag_);
       kind_ = Kind::kDone;
       return status_;
@@ -48,6 +59,7 @@ bool Request::test() {
       return true;
     case Kind::kSend:
       if (!cell_) {
+        settle_ticket();
         kind_ = Kind::kDone;
         return true;
       }
@@ -55,10 +67,12 @@ bool Request::test() {
       comm_->engine().await_cell(comm_->world_rank(comm_->rank()),
                                  *cell_);
       cell_.reset();
+      settle_ticket();
       kind_ = Kind::kDone;
       return true;
     case Kind::kRecv:
       if (!comm_->iprobe(src_, tag_).has_value()) return false;
+      settle_ticket();
       status_ = comm_->recv(view_, src_, tag_);
       kind_ = Kind::kDone;
       return true;

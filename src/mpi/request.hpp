@@ -8,9 +8,11 @@
 // progressed receive would.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/message.hpp"
 
@@ -40,6 +42,9 @@ class Request {
   static Request make_send(const Comm& c, std::shared_ptr<SyncCell> cell);
   static Request make_recv(const Comm& c, MutView v, int src, int tag);
 
+  /// Marks the checker's pin/leak record complete; no-op when done.
+  void settle_ticket() noexcept;
+
   Kind kind_ = Kind::kDone;
   const Comm* comm_ = nullptr;
   std::shared_ptr<SyncCell> cell_;  // send only (rendezvous)
@@ -47,6 +52,10 @@ class Request {
   int src_ = kAnySource;
   int tag_ = kAnyTag;
   Status status_{};
+  /// Checker bookkeeping (null unless --check): buffer pin + leak-on-drop
+  /// diagnosis.  shared_ptr because Request is copyable; the last copy to
+  /// be completed or destroyed settles the ticket.
+  std::shared_ptr<check::OpTicket> ticket_;
 };
 
 }  // namespace ombx::mpi

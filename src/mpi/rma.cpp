@@ -1,6 +1,8 @@
 #include "mpi/rma.hpp"
 
 #include <cstring>
+#include <exception>
+#include <numeric>
 
 #include "mpi/error.hpp"
 
@@ -49,10 +51,29 @@ Win::Win(const Comm& comm, MutView window)
                "RMA windows require real payloads (headers ride the wire)");
 }
 
+Win::~Win() {
+  check::Checker* chk = comm_->engine().checker();
+  if (chk == nullptr) return;
+  const std::int64_t issued = std::accumulate(
+      ops_to_target_.begin(), ops_to_target_.end(), std::int64_t{0});
+  if (issued == 0 && pending_sends_.empty() && pending_gets_.empty()) return;
+  if (std::uncaught_exceptions() > 0 || chk->leaks_suppressed()) return;
+  const int world = comm_->world_rank(comm_->rank());
+  chk->report_noexcept(check::Violation{
+      check::Code::kRmaEpochOpen, world, comm_->context(), "win",
+      std::to_string(issued) + " operation(s) issued (" +
+          std::to_string(pending_gets_.size()) +
+          " get(s) pending) but the epoch was never closed with fence()"});
+}
+
 void Win::issue(OpKind kind, ConstView payload, int target,
                 std::size_t target_disp, std::size_t len, Datatype dt,
                 Op op) {
   OMBX_REQUIRE(target >= 0 && target < size(), "RMA target out of range");
+  // Wire traffic stages through `msg`, which dies when issue() returns
+  // (the engine copies at post time) — checker pins on it would dangle.
+  check::InternalOp internal(comm_->engine().checker(),
+                             comm_->world_rank(comm_->rank()));
   std::vector<std::byte> msg(kHeaderBytes + payload.bytes);
   write_header(msg.data(),
                RmaHeader{static_cast<std::uint8_t>(kind),
@@ -87,6 +108,10 @@ void Win::accumulate(ConstView src, int target, std::size_t target_disp,
 }
 
 void Win::service_incoming(int incoming_ops) {
+  // Same wire-traffic bracket as issue(): the staging vector and the
+  // window-slice responses are substrate-internal, not user buffers.
+  check::InternalOp internal(comm_->engine().checker(),
+                             comm_->world_rank(comm_->rank()));
   for (int i = 0; i < incoming_ops; ++i) {
     const Status st = comm_->probe(kAnySource, kTagRmaOp);
     std::vector<std::byte> msg(st.bytes);

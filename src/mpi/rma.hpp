@@ -28,6 +28,11 @@ class Win {
   /// pricing (device windows ride the GPU links).
   Win(const Comm& comm, MutView window);
 
+  /// Under --check, destroying a window while an epoch is still open
+  /// (operations issued but never fenced) reports an rma-epoch-open
+  /// violation attributed to this rank.
+  ~Win();
+
   Win(const Win&) = delete;
   Win& operator=(const Win&) = delete;
 

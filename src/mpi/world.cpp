@@ -33,6 +33,7 @@ World::World(const WorldConfig& cfg)
           cfg.payload, cfg.thread_level, cfg.mailbox_capacity)) {
   if (cfg.enable_trace) engine_->enable_tracing();
   if (cfg.enable_metrics) engine_->enable_metrics();
+  if (cfg.check.enabled) engine_->enable_checking(cfg.check.mode);
   if (cfg.fault.enabled()) {
     plan_ = std::make_shared<fault::FaultPlan>(cfg.fault, cfg.nranks);
     engine_->set_fault_plan(plan_);
@@ -92,9 +93,33 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   for (auto& t : threads) t.join();
   if (watchdog) watchdog->stop();
 
-  std::lock_guard<std::mutex> lk(err_mutex);
-  if (root_error) std::rethrow_exception(root_error);
-  if (abort_error) std::rethrow_exception(abort_error);
+  {
+    std::lock_guard<std::mutex> lk(err_mutex);
+    if (root_error) std::rethrow_exception(root_error);
+    if (abort_error) std::rethrow_exception(abort_error);
+  }
+
+  // Clean join: finalize audit (unmatched sends, incomplete collective
+  // epochs, leaked payload buffers).  Strict mode then fails the run on
+  // anything collected — including destructor-raised violations (request
+  // leaks, open RMA epochs), which can never throw at their source.
+  if (check::Checker* chk = engine_->checker()) {
+    engine_->run_check_audit();
+    if (chk->strict() && !chk->empty()) {
+      const auto vs = chk->violations();
+      std::string codes;
+      for (const auto& v : vs) {
+        const char* name = check::code_name(v.code);
+        if (codes.find(name) == std::string::npos) {
+          if (!codes.empty()) codes += ", ";
+          codes += name;
+        }
+      }
+      throw Error("check: " + std::to_string(vs.size()) + " violation(s) [" +
+                      codes + "]; first: " + vs.front().to_string(),
+                  vs.front().rank, vs.front().context);
+    }
+  }
 }
 
 usec_t World::finish_time(int world_rank) const {

@@ -47,6 +47,11 @@ struct WorldConfig {
   std::size_t mailbox_capacity = 8192;
   /// Seeded fault-injection plan; an all-defaults config injects nothing.
   fault::FaultConfig fault;
+  /// Opt-in dynamic MPI-usage verifier (check/checker.hpp): collective
+  /// matching, request hygiene, buffer-overlap pins and a finalize audit.
+  /// Never perturbs virtual time; kStrict escalates the first violation
+  /// to a rank-attributed Error, kReport collects an end-of-run report.
+  check::Config check;
   /// Deadlock watchdog: detects all-ranks-blocked-no-progress states and
   /// aborts with a per-rank wait dump instead of hanging.
   bool enable_watchdog = true;

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links in the repo resolve to real files.
+
+Scans every tracked-ish *.md file (skipping build/ and hidden dirs) for
+inline links `[text](target)`, resolves each relative target against the
+file's directory, and fails listing every broken link.  External links
+(http/https/mailto) and pure in-page anchors (#...) are skipped; an
+anchor suffix on a relative link is stripped before the existence check.
+
+Usage: python3 tools/check_links.py [repo_root]
+Exit:  0 if all links resolve, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# Inline Markdown link: [text](target).  The target group stops at the
+# first closing paren or whitespace, which is enough for this repo's
+# style (no nested parens or <...> targets in use).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_DIRS = {"build", ".git", ".github"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                if target.startswith("#"):  # in-page anchor
+                    continue
+                bare = target.split("#", 1)[0]
+                if not bare:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), bare)
+                )
+                if not os.path.exists(resolved):
+                    broken.append(
+                        (os.path.relpath(path, root), lineno, target)
+                    )
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    broken = []
+    n_files = 0
+    for md in markdown_files(root):
+        n_files += 1
+        broken.extend(check_file(md, root))
+    if broken:
+        for path, lineno, target in broken:
+            print(f"{path}:{lineno}: broken link -> {target}")
+        print(f"\n{len(broken)} broken link(s) across {n_files} file(s)")
+        return 1
+    print(f"all relative links resolve ({n_files} markdown file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
