@@ -1,0 +1,85 @@
+// Fault-tolerance demo: the minimal ULFM-style survivor-recovery program.
+//
+// Eight ranks allreduce in a loop; the fault plan kills rank 3 mid-run.
+// In FT mode the kill does not abort the world — the other seven ranks
+// observe a rank-attributed failure, revoke the broken communicator,
+// agree to continue, shrink onto the survivors, and finish the job on
+// seven ranks.  Every time below is deterministic virtual time.
+//
+//   $ ./ft_demo
+#include <cstddef>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+#include "ft/ft.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/world.hpp"
+
+int main() {
+  using namespace ombx;
+
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.nranks = 8;
+  wc.ppn = 8;
+  wc.ft.enabled = true;                    // recover instead of aborting
+  wc.fault.kills.push_back({3, 400.0});    // kill world rank 3 at t=400us
+
+  mpi::World world(wc);
+  std::mutex io;
+
+  world.run([&](mpi::Comm& comm) {
+    std::vector<double> val(256, 1.0);
+    std::vector<double> sum(256, 0.0);
+    const mpi::ConstView sv{reinterpret_cast<const std::byte*>(val.data()),
+                            val.size() * sizeof(double),
+                            net::MemSpace::kHost};
+    const mpi::MutView rv{reinterpret_cast<std::byte*>(sum.data()),
+                          sum.size() * sizeof(double), net::MemSpace::kHost};
+
+    int healthy_iters = 0;
+    try {
+      for (;;) {
+        mpi::allreduce(comm, sv, rv, mpi::Datatype::kDouble, mpi::Op::kSum);
+        ++healthy_iters;
+      }
+    } catch (const ft::ProcFailedError& e) {
+      std::lock_guard<std::mutex> lk(io);
+      std::cout << "rank " << comm.rank() << ": peer rank "
+                << e.failed_rank() << " failed (detected at t="
+                << comm.now() << "us after " << healthy_iters
+                << " healthy allreduces)\n";
+    } catch (const ft::RevokedError&) {
+      std::lock_guard<std::mutex> lk(io);
+      std::cout << "rank " << comm.rank()
+                << ": communicator revoked by a peer\n";
+    }
+
+    // ULFM recovery: revoke so every still-blocked peer unwinds, agree
+    // that the survivors continue, then shrink to a fresh communicator.
+    // (The agreement also completes the failure picture: it returns only
+    // once every member arrived or died, so the ack below is complete.)
+    comm.revoke();
+    const mpi::Comm::AgreeOutcome agreed = comm.agree(1u);
+    comm.failure_ack();
+    mpi::Comm alive = comm.shrink();
+
+    // Finish the job on the seven survivors.
+    mpi::allreduce(alive, sv, rv, mpi::Datatype::kDouble, mpi::Op::kSum);
+
+    if (alive.rank() == 0) {
+      std::lock_guard<std::mutex> lk(io);
+      std::cout << "\nrecovered: " << alive.size() << " of " << comm.size()
+                << " ranks continue (agree bits=" << agreed.bits
+                << ", new failures seen="
+                << (agreed.new_failures ? "yes" : "no") << ")\n"
+                << "post-shrink allreduce sum[0]=" << sum[0]
+                << " (expected " << alive.size() << ")\n";
+    }
+  });
+
+  std::cout << "\nworld finished cleanly — no abort, no hang.\n";
+  return 0;
+}

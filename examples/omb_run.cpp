@@ -45,7 +45,13 @@ void usage() {
       "                     stderr after the run)\n"
       "  --check-strict    (escalate the first violation to an error and\n"
       "                     exit nonzero; implies --check)\n"
-      "  --check-report <file> (append violations as CSV; implies --check)\n";
+      "  --check-report <file> (append violations as CSV; implies --check)\n"
+      "  --fault-seed <n>  (seed the fault-injection streams)\n"
+      "  --kill <rank>@<us> (kill a rank at a virtual time; repeatable)\n"
+      "  --drop <rate>     (eager-message drop probability, 0..1)\n"
+      "  --ft              (fault-tolerant mode: recover from --kill via\n"
+      "                     revoke/agree/shrink instead of aborting;\n"
+      "                     allreduce, bcast, barrier or allgather)\n";
 }
 
 net::ClusterSpec cluster_by_name(const std::string& s) {
@@ -79,6 +85,27 @@ buffers::BufferKind buffer_by_name(const std::string& s) {
   throw std::invalid_argument("unknown buffer: " + s);
 }
 
+// "--kill 3@1500" -> kill world rank 3 at virtual time 1500 us.
+fault::KillSpec parse_kill(const std::string& s) {
+  const std::size_t at = s.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= s.size()) {
+    throw std::invalid_argument("--kill expects <rank>@<us>, got: " + s);
+  }
+  fault::KillSpec k;
+  k.rank = std::stoi(s.substr(0, at));
+  k.at_time_us = std::stod(s.substr(at + 1));
+  return k;
+}
+
+bench_suite::CollBench ft_bench_by_name(const std::string& s) {
+  if (s == "allreduce") return bench_suite::CollBench::kAllreduce;
+  if (s == "bcast") return bench_suite::CollBench::kBcast;
+  if (s == "barrier") return bench_suite::CollBench::kBarrier;
+  if (s == "allgather") return bench_suite::CollBench::kAllgather;
+  throw std::invalid_argument(
+      "--ft supports allreduce, bcast, barrier or allgather, not " + s);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,6 +136,7 @@ int main(int argc, char** argv) {
   core::SuiteConfig cfg;
   cfg.ppn = 1;
   bool csv = false;
+  bool ft_mode = false;
   try {
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -156,12 +184,33 @@ int main(int argc, char** argv) {
       } else if (arg == "--check-report") {
         cfg.check.enabled = true;
         cfg.check.report_csv = next();
+      } else if (arg == "--fault-seed") {
+        cfg.fault.seed = std::stoull(next());
+      } else if (arg == "--kill") {
+        cfg.fault.kills.push_back(parse_kill(next()));
+      } else if (arg == "--drop") {
+        cfg.fault.drop.probability = std::stod(next());
+      } else if (arg == "--ft") {
+        ft_mode = true;
+        cfg.ft.enabled = true;
       } else if (arg == "--help" || arg == "-h") {
         usage();
         return 0;
       } else {
         throw std::invalid_argument("unknown option: " + arg);
       }
+    }
+
+    if (ft_mode) {
+      const core::FtReport report =
+          bench_suite::run_ft_collective(cfg, ft_bench_by_name(bench_name));
+      const core::Table table = core::ft_resilience_table(report);
+      if (csv) {
+        table.write_csv(std::cout);
+      } else {
+        table.print(std::cout);
+      }
+      return 0;
     }
 
     const auto rows = info->fn(cfg);

@@ -1,0 +1,167 @@
+// Resilient benchmark mode (omb_run --ft): run a collective while the
+// fault plan kills ranks mid-run, recover via ULFM revoke + agree +
+// shrink, and time the post-shrink collective against the healthy
+// baseline.  Everything reported is virtual time, so the resilience
+// table is byte-identical across same-seed runs.
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "bench_suite/suite.hpp"
+#include "core/runner.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/error.hpp"
+
+namespace ombx::bench_suite {
+
+namespace {
+
+/// One iteration of the benchmarked collective on `comm`.  The FT suite
+/// sticks to the rootless/root-0 collectives the recovery story needs;
+/// buffers are sized for the largest case (allgather) up front.
+void run_once(mpi::Comm& comm, CollBench which, std::size_t size,
+              std::byte* send, std::byte* recv) {
+  const mpi::ConstView sv{send, size, net::MemSpace::kHost};
+  const mpi::MutView rv{recv, size * static_cast<std::size_t>(comm.size()),
+                        net::MemSpace::kHost};
+  switch (which) {
+    case CollBench::kAllreduce:
+      mpi::allreduce(comm, sv, mpi::MutView{recv, size, net::MemSpace::kHost},
+                     mpi::Datatype::kFloat, mpi::Op::kSum);
+      break;
+    case CollBench::kBcast:
+      mpi::bcast(comm, mpi::MutView{recv, size, net::MemSpace::kHost},
+                 /*root=*/0);
+      break;
+    case CollBench::kBarrier:
+      mpi::barrier(comm);
+      break;
+    case CollBench::kAllgather:
+      mpi::allgather(comm, sv, rv);
+      break;
+    default:
+      OMBX_REQUIRE(false,
+                   "--ft supports allreduce, bcast, barrier and allgather");
+  }
+}
+
+/// Survivor-side reduction helper: allreduce one double over `comm`.
+double reduce_double(mpi::Comm& comm, double v, mpi::Op op) {
+  double out = 0.0;
+  mpi::allreduce(comm,
+                 mpi::ConstView{reinterpret_cast<const std::byte*>(&v),
+                                sizeof(v), net::MemSpace::kHost},
+                 mpi::MutView{reinterpret_cast<std::byte*>(&out), sizeof(out),
+                              net::MemSpace::kHost},
+                 mpi::Datatype::kDouble, op);
+  return out;
+}
+
+}  // namespace
+
+core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
+                                 CollBench which) {
+  OMBX_REQUIRE(cfg.nranks >= 3,
+               "resilient mode needs at least 3 ranks (2 must survive)");
+  OMBX_REQUIRE(cfg.ft.enabled, "run_ft_collective requires cfg.ft.enabled");
+  OMBX_REQUIRE(!cfg.fault.kills.empty(),
+               "resilient mode needs at least one --kill in the fault plan");
+
+  mpi::World world(core::make_world_config(cfg));
+  core::FtReport report;
+  report.nranks = cfg.nranks;
+  std::mutex report_mutex;
+
+  const std::size_t size = cfg.opts.max_size;
+  const int iters = std::max(1, cfg.opts.iterations);
+  // The spin phase runs until the failure surfaces; kills are clock-driven
+  // so this terminates, but keep a generous bound as a programming-error
+  // backstop (the watchdog covers genuine hangs).
+  constexpr int kMaxSpins = 1 << 20;
+
+  world.run([&](mpi::Comm& comm) {
+    std::vector<std::byte> send(size, std::byte{0x55});
+    std::vector<std::byte> recv(size *
+                                static_cast<std::size_t>(comm.size()));
+
+    double healthy = 0.0;
+    double detect_local = -1.0;
+    try {
+      // Healthy baseline at max size (pre-failure).
+      mpi::barrier(comm);
+      const simtime::usec_t t0 = comm.now();
+      for (int i = 0; i < iters; ++i) {
+        run_once(comm, which, size, send.data(), recv.data());
+      }
+      healthy = (comm.now() - t0) / static_cast<double>(iters);
+
+      // Spin until the planned kill surfaces as a ProcFailedError (or, on
+      // ranks that detect it second-hand, a RevokedError from the first
+      // detector's revoke()).
+      for (int i = 0; i < kMaxSpins; ++i) {
+        run_once(comm, which, size, send.data(), recv.data());
+      }
+      OMBX_REQUIRE(false, "fault plan never killed a rank during the spin");
+    } catch (const ft::ProcFailedError& e) {
+      detect_local = comm.now() - e.at_time_us();
+    } catch (const ft::RevokedError&) {
+      // Second-hand detection; this rank contributes no latency sample.
+    }
+
+    // ULFM recovery: revoke the broken communicator so every still-blocked
+    // peer unwinds, agree on continuing, acknowledge the failures, and
+    // shrink onto the survivors.  The ack comes after agree() on purpose:
+    // the agreement completes only once every member arrived or died, so
+    // the failure snapshot below is complete and deterministic.
+    comm.revoke();
+
+    const simtime::usec_t agree_t0 = comm.now();
+    const mpi::Comm::AgreeOutcome agreed = comm.agree(1u);
+    const double agree_cost = comm.now() - agree_t0;
+    OMBX_REQUIRE(agreed.bits == 1u, "survivors failed to agree on recovery");
+
+    comm.failure_ack();
+    const std::vector<int> failed = comm.get_failed();
+
+    const simtime::usec_t shrink_t0 = comm.now();
+    mpi::Comm alive = comm.shrink();
+    const double shrink_cost = alive.now() - shrink_t0;
+
+    // Post-shrink timed phase on the survivor communicator.
+    std::vector<std::byte> recv2(size *
+                                 static_cast<std::size_t>(alive.size()));
+    mpi::barrier(alive);
+    const simtime::usec_t t1 = alive.now();
+    for (int i = 0; i < iters; ++i) {
+      run_once(alive, which, size, send.data(), recv2.data());
+    }
+    const double recovered = (alive.now() - t1) / static_cast<double>(iters);
+
+    // Deterministic cross-rank reductions: detection latency is the
+    // earliest first-hand observation; costs and latencies are the
+    // slowest participant's (the completion the user would see).
+    const double detect =
+        reduce_double(alive, detect_local >= 0.0 ? detect_local : 1e300,
+                      mpi::Op::kMin);
+    const double agree_max = reduce_double(alive, agree_cost, mpi::Op::kMax);
+    const double shrink_max = reduce_double(alive, shrink_cost, mpi::Op::kMax);
+    const double healthy_max = reduce_double(alive, healthy, mpi::Op::kMax);
+    const double recovered_max = reduce_double(alive, recovered, mpi::Op::kMax);
+
+    if (alive.rank() == 0) {
+      std::lock_guard<std::mutex> lk(report_mutex);
+      report.survivors = alive.size();
+      report.failed = failed;
+      report.detect_latency_us = detect < 1e300 ? detect : 0.0;
+      report.agree_cost_us = agree_max;
+      report.shrink_cost_us = shrink_max;
+      report.healthy_latency_us = healthy_max;
+      report.recovered_latency_us = recovered_max;
+    }
+  });
+
+  core::export_observability(world, cfg, "ft_" + to_string(which));
+  return report;
+}
+
+}  // namespace ombx::bench_suite

@@ -17,6 +17,7 @@
 
 #include "core/options.hpp"
 #include "core/registry.hpp"
+#include "core/report.hpp"
 
 namespace ombx::bench_suite {
 
@@ -56,6 +57,13 @@ enum class CollBench {
 /// avg/min/max across ranks via Reduce (as the paper describes).
 [[nodiscard]] std::vector<core::Row> run_collective(
     const core::SuiteConfig& cfg, CollBench which);
+
+/// Resilient mode (omb_run --ft): run `which` while the fault plan kills
+/// ranks mid-iteration, recover via revoke/failure_ack/agree/shrink, and
+/// re-time the collective on the survivors.  Requires cfg.ft.enabled and
+/// a non-empty kill plan; supports allreduce, bcast, barrier, allgather.
+[[nodiscard]] core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
+                                               CollBench which);
 
 enum class VecBench { kAllgatherv, kAlltoallv, kGatherv, kScatterv };
 

@@ -119,11 +119,22 @@ void Checker::on_collective(int ctx, int comm_rank, int comm_size,
   if (strict() && !bad.empty()) throw_violation(bad.front());
 }
 
+void Checker::excuse_context(int ctx) {
+  std::lock_guard<std::mutex> lk(coll_mutex_);
+  excused_.insert(ctx);
+}
+
+bool Checker::context_excused(int ctx) const {
+  std::lock_guard<std::mutex> lk(coll_mutex_);
+  return excused_.count(ctx) != 0;
+}
+
 void Checker::audit_epochs() {
   std::vector<Violation> bad;
   {
     std::lock_guard<std::mutex> lk(coll_mutex_);
     for (const auto& [key, st] : epochs_) {
+      if (excused_.count(key.first) != 0) continue;
       const char* kind = "";
       int entered = 0;
       for (const auto& r : st.recs) {
@@ -277,6 +288,7 @@ void Checker::reset() {
   }
   {
     std::lock_guard<std::mutex> lk(coll_mutex_);
+    excused_.clear();
     epochs_.clear();
     next_epoch_.clear();
   }

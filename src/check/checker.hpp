@@ -53,6 +53,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -162,6 +163,13 @@ class Checker {
   /// completed (called by Engine::run_check_audit after a clean join).
   void audit_epochs();
 
+  /// ULFM recovery excuses a context from the finalize audit: a revoked
+  /// (or shrink-abandoned) communicator legitimately leaves unreceived
+  /// messages and half-entered epochs behind.  Idempotent; cleared by
+  /// reset().
+  void excuse_context(int ctx);
+  [[nodiscard]] bool context_excused(int ctx) const;
+
   // ---- Results -------------------------------------------------------------
 
   [[nodiscard]] bool empty() const;
@@ -228,6 +236,9 @@ class Checker {
   std::atomic<bool> suppress_{false};
 
   mutable std::mutex coll_mutex_;
+  /// Contexts abandoned by ULFM recovery (revoke/shrink); their residue
+  /// and incomplete epochs are skipped by the finalize audit.
+  std::set<int> excused_;
   /// (ctx, epoch) -> arrival records; erased on completion.
   std::map<std::pair<int, std::uint64_t>, EpochState> epochs_;
   /// (ctx, world rank) -> this rank's next epoch index on that context.

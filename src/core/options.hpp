@@ -8,6 +8,7 @@
 
 #include "buffers/buffer.hpp"
 #include "fault/fault.hpp"
+#include "ft/ft.hpp"
 #include "mpi/engine.hpp"
 #include "net/cluster.hpp"
 #include "net/tuning.hpp"
@@ -100,6 +101,9 @@ struct SuiteConfig {
   /// Seeded fault injection (drops, corruption, degraded links,
   /// stragglers, kills); the all-defaults config injects nothing.
   fault::FaultConfig fault;
+  /// ULFM-style fault tolerance (--ft): a kill dead-marks the rank and
+  /// the benchmark recovers via revoke/shrink/agree instead of aborting.
+  ft::FtConfig ft;
   /// Metrics / trace exports (off unless paths are set).
   ObsOptions obs;
   /// MPI-usage verification (off by default).

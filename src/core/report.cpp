@@ -112,6 +112,34 @@ Table resilience_table(const fault::FaultPlan& plan) {
   row("abort propagations", c.aborts);
   row("watchdog deadlock detections", c.watchdog_fires);
   row("runner retries", c.retries);
+  row("failure detections", c.detections);
+  row("comm revocations", c.revokes);
+  row("comm shrinks", c.shrinks);
+  row("ft agreements", c.agreements);
+  return t;
+}
+
+Table ft_resilience_table(const FtReport& r) {
+  Table t("OMB-X FT Recovery Summary", {"Metric", "Value"});
+  std::string failed;
+  for (const int w : r.failed) {
+    if (!failed.empty()) failed += " ";
+    failed += std::to_string(w);
+  }
+  const auto us = [](double v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << v;
+    return os.str();
+  };
+  t.add_row({"ranks (initial)", std::to_string(r.nranks)});
+  t.add_row({"ranks (survivors)", std::to_string(r.survivors)});
+  t.add_row({"failed world ranks", failed.empty() ? "-" : failed});
+  t.add_row({"failure detection latency (us)", us(r.detect_latency_us)});
+  t.add_row({"agreement cost (us)", us(r.agree_cost_us)});
+  t.add_row({"shrink cost (us)", us(r.shrink_cost_us)});
+  t.add_row({"healthy collective latency (us)", us(r.healthy_latency_us)});
+  t.add_row({"post-shrink collective latency (us)",
+             us(r.recovered_latency_us)});
   return t;
 }
 

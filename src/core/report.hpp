@@ -51,6 +51,25 @@ class Table {
 /// byte-identical tables.
 [[nodiscard]] Table resilience_table(const fault::FaultPlan& plan);
 
+/// Outcome of one resilient-mode benchmark (bench_suite's
+/// run_ft_collective): what failed, what the recovery protocols cost in
+/// virtual time, and how the post-shrink collective compares with the
+/// healthy baseline.  All quantities are deterministic for a fixed seed.
+struct FtReport {
+  int nranks = 0;     ///< initial communicator size
+  int survivors = 0;  ///< size after recovery
+  std::vector<int> failed;  ///< killed world ranks, sorted
+  double detect_latency_us = 0.0;  ///< min over ranks: detection - death
+  double agree_cost_us = 0.0;      ///< agreement completion - entry
+  double shrink_cost_us = 0.0;     ///< shrink completion - entry
+  double healthy_latency_us = 0.0;    ///< per-iteration, before the kill
+  double recovered_latency_us = 0.0;  ///< per-iteration, on the survivors
+};
+
+/// Fixed-row table over an FtReport ("resilience_table extension" in the
+/// docs); byte-identical across same-seed runs.
+[[nodiscard]] Table ft_resilience_table(const FtReport& r);
+
 /// Per-rank substrate counters in long form (counter, rank, value), rows
 /// ordered by the snapshot's fixed counter order then by rank — every
 /// counter is a program-order quantity, so same-seed runs produce

@@ -20,6 +20,7 @@ mpi::WorldConfig make_world_config(const SuiteConfig& cfg) {
                         ? net::ThreadLevel::kSingle
                         : net::ThreadLevel::kMultiple;
   wc.fault = cfg.fault;
+  wc.ft = cfg.ft;
   wc.enable_metrics = cfg.obs.metrics_enabled();
   wc.enable_trace = wc.enable_trace || cfg.obs.trace_enabled();
   wc.check.enabled = cfg.check.enabled || cfg.check.strict ||
@@ -50,6 +51,25 @@ void export_observability(mpi::World& world, const SuiteConfig& cfg,
             os << label << ',' << snap.names[c] << ',' << r << ','
                << snap.values[c][r] << '\n';
           }
+        }
+        // Fault-plan outcome totals ride the same CSV (rank -1 = global),
+        // so one file carries both per-rank counters and injection totals.
+        if (const fault::FaultPlan* plan = world.fault_plan()) {
+          const auto& c = plan->counters();
+          const auto plan_row = [&](const char* name,
+                                    const std::atomic<std::uint64_t>& v) {
+            os << label << ",fault_" << name << ",-1,"
+               << v.load(std::memory_order_relaxed) << '\n';
+          };
+          plan_row("drops", c.drops);
+          plan_row("retransmits", c.retransmits);
+          plan_row("corruptions", c.corruptions);
+          plan_row("kills", c.kills);
+          plan_row("retries", c.retries);
+          plan_row("detections", c.detections);
+          plan_row("revokes", c.revokes);
+          plan_row("shrinks", c.shrinks);
+          plan_row("agreements", c.agreements);
         }
       }
     }

@@ -102,6 +102,13 @@ class FaultPlan {
     std::atomic<std::uint64_t> aborts{0};          ///< abort propagations
     std::atomic<std::uint64_t> watchdog_fires{0};  ///< deadlocks detected
     std::atomic<std::uint64_t> retries{0};         ///< runner-level retries
+    // ULFM outcomes (FT mode; see ft/ft.hpp).  detections counts every
+    // ProcFailedError raised; revokes/shrinks/agreements count each
+    // revocation / completed barrier exactly once.
+    std::atomic<std::uint64_t> detections{0};
+    std::atomic<std::uint64_t> revokes{0};
+    std::atomic<std::uint64_t> shrinks{0};
+    std::atomic<std::uint64_t> agreements{0};
   };
 
   FaultPlan(FaultConfig cfg, int nranks);

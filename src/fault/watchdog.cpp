@@ -15,6 +15,8 @@ std::string to_string(WaitKind k) {
       return "send (mailbox full)";
     case WaitKind::kRendezvous:
       return "rendezvous wait";
+    case WaitKind::kRecovery:
+      return "ft recovery barrier";
   }
   return "?";
 }

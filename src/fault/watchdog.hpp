@@ -28,6 +28,7 @@ enum class WaitKind {
   kProbe,         ///< blocked in MPI_Probe
   kSendCapacity,  ///< blocked pushing into a full mailbox
   kRendezvous,    ///< blocked awaiting rendezvous completion
+  kRecovery,      ///< blocked in a ULFM shrink()/agree() barrier
 };
 
 [[nodiscard]] std::string to_string(WaitKind k);

@@ -1,0 +1,300 @@
+#include "ft/ft.hpp"
+
+#include <algorithm>
+
+namespace ombx::ft {
+
+namespace {
+
+/// Rounds of a binomial tree over n participants (>= 1 round).
+int tree_rounds(std::size_t n) {
+  int rounds = 0;
+  std::size_t reach = 1;
+  const std::size_t target = std::max<std::size_t>(2, n);
+  while (reach < target) {
+    reach <<= 1;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+FailureState::FailureState(int nranks, FtConfig cfg)
+    : cfg_(cfg), nranks_(nranks) {}
+
+void FailureState::register_comm(int context,
+                                 const std::vector<int>& members) {
+  std::lock_guard<std::mutex> lk(m_);
+  members_.try_emplace(context, members);
+}
+
+void FailureState::mark_dead(int world_rank, usec_t at_time_us) {
+  std::lock_guard<std::mutex> lk(m_);
+  dead_.try_emplace(world_rank, at_time_us);
+  // A death can complete a recovery barrier: wake every waiter so one of
+  // them re-evaluates the arrived-or-dead condition.
+  for (auto& [key, barrier] : barriers_) barrier->cv.notify_all();
+}
+
+bool FailureState::is_dead(int world_rank) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return dead_.count(world_rank) != 0;
+}
+
+std::vector<int> FailureState::dead_ranks() const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<int> out;
+  out.reserve(dead_.size());
+  for (const auto& [rank, t] : dead_) out.push_back(rank);
+  return out;  // std::map keeps it sorted
+}
+
+void FailureState::mark_exit(int context, int world_rank, usec_t at_time_us) {
+  std::lock_guard<std::mutex> lk(m_);
+  exited_.try_emplace({context, world_rank}, at_time_us);
+}
+
+bool FailureState::revoke(int context, int world_rank, usec_t at_time_us) {
+  std::lock_guard<std::mutex> lk(m_);
+  exited_.try_emplace({context, world_rank}, at_time_us);
+  return revoked_.try_emplace(context, at_time_us).second;
+}
+
+bool FailureState::is_revoked(int context) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return revoked_.count(context) != 0;
+}
+
+std::optional<FailureState::Interrupt> FailureState::wait_interrupt(
+    int context, int src_comm_rank, int owner_world_rank) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return wait_interrupt_locked(context, src_comm_rank, owner_world_rank);
+}
+
+std::optional<FailureState::Interrupt> FailureState::wait_interrupt_locked(
+    int context, int src_comm_rank, int owner_world_rank) const {
+  const auto mit = members_.find(context);
+  if (mit == members_.end()) return std::nullopt;
+  const std::vector<int>& members = mit->second;
+
+  if (src_comm_rank >= 0) {
+    if (static_cast<std::size_t>(src_comm_rank) >= members.size()) {
+      return std::nullopt;
+    }
+    const int w = members[static_cast<std::size_t>(src_comm_rank)];
+    // When both a death mark and an exit mark exist for the source, the
+    // virtually *earliest* event wins (ties go to the death, for
+    // attribution) — never whichever mark happened to be published first
+    // in host time.
+    const auto dit = dead_.find(w);
+    const auto eit = exited_.find({context, w});
+    if (dit != dead_.end() &&
+        (eit == exited_.end() || dit->second <= eit->second)) {
+      return Interrupt{true, w, dit->second};
+    }
+    if (eit != exited_.end()) {
+      return Interrupt{false, -1, eit->second};
+    }
+    return std::nullopt;
+  }
+
+  // Any-source: interrupt only when *no* other member can ever send again
+  // on this context — all dead (ProcFailed, naming the lowest dead rank)
+  // or all dead-or-exited (Revoked).
+  bool all_dead = true;
+  bool all_gone = true;
+  int lowest_dead = -1;
+  usec_t latest = 0.0;
+  for (const int w : members) {
+    if (w == owner_world_rank) continue;
+    if (const auto dit = dead_.find(w); dit != dead_.end()) {
+      if (lowest_dead < 0) lowest_dead = w;
+      latest = std::max(latest, dit->second);
+      continue;
+    }
+    all_dead = false;
+    if (const auto eit = exited_.find({context, w}); eit != exited_.end()) {
+      latest = std::max(latest, eit->second);
+      continue;
+    }
+    all_gone = false;
+  }
+  if (lowest_dead < 0 && all_dead) return std::nullopt;  // singleton comm
+  if (all_dead) return Interrupt{true, lowest_dead, latest};
+  if (all_gone) return Interrupt{false, -1, latest};
+  return std::nullopt;
+}
+
+std::optional<FailureState::Interrupt> FailureState::enqueue_interrupt(
+    int owner_world_rank) const {
+  std::lock_guard<std::mutex> lk(m_);
+  if (const auto dit = dead_.find(owner_world_rank); dit != dead_.end()) {
+    return Interrupt{true, owner_world_rank, dit->second};
+  }
+  return std::nullopt;
+}
+
+bool FailureState::try_complete(int context, BarrierKind kind, Barrier& b,
+                                const std::function<int()>& alloc_context) {
+  if (b.done) return true;
+  const auto mit = members_.find(context);
+  if (mit == members_.end()) return false;
+  const std::vector<int>& members = mit->second;
+  for (const int w : members) {
+    if (b.arrived.count(w) == 0 && dead_.count(w) == 0) return false;
+  }
+
+  // Every member arrived or died: price the protocol.  Base time is the
+  // latest participant entry, pushed past any dead member's detected
+  // death; on top, a tree of rounds over the participants.
+  usec_t base = 0.0;
+  for (const auto& [w, clock] : b.arrived) base = std::max(base, clock);
+  for (const int w : members) {
+    if (const auto dit = dead_.find(w); dit != dead_.end()) {
+      base = std::max(base, dit->second + cfg_.detect_timeout_us);
+    }
+  }
+  const int rounds = tree_rounds(b.arrived.size());
+  const double hop =
+      kind == BarrierKind::kShrink ? cfg_.shrink_hop_us : cfg_.agree_hop_us;
+  const usec_t completion = base + rounds * hop;
+
+  if (kind == BarrierKind::kShrink) {
+    b.shrink_result.survivors.clear();
+    for (const int w : members) {
+      if (b.arrived.count(w) != 0) b.shrink_result.survivors.push_back(w);
+    }
+    b.shrink_result.context = alloc_context();
+    b.shrink_result.completion_us = completion;
+  } else {
+    std::uint32_t bits = ~std::uint32_t{0};
+    for (const auto& [w, contribution] : b.bits) bits &= contribution;
+    bool died = false;
+    for (const int w : members) died = died || dead_.count(w) != 0;
+    b.agree_result = AgreeResult{bits, died, completion,
+                                 b.arrived.begin()->first};
+  }
+  b.done = true;
+  b.cv.notify_all();
+  if (registry_ != nullptr) registry_->note_progress();
+  return true;
+}
+
+ShrinkResult FailureState::shrink(int context, int world_rank, usec_t now,
+                                  const std::function<int()>& alloc_context) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto& slot = barriers_[{context, static_cast<int>(BarrierKind::kShrink)}];
+  if (!slot) slot = std::make_unique<Barrier>();
+  Barrier& b = *slot;
+  while (b.done) {  // wait out a previous generation being consumed
+    if (poison_) mpi::throw_aborted(*poison_);
+    b.cv.wait(lk);
+  }
+  b.arrived.emplace(world_rank, now);
+  if (registry_ != nullptr) registry_->note_progress();
+  try_complete(context, BarrierKind::kShrink, b, alloc_context);
+  while (!b.done) {
+    if (poison_) mpi::throw_aborted(*poison_);
+    b.cv.wait(lk);
+    try_complete(context, BarrierKind::kShrink, b, alloc_context);
+  }
+  ShrinkResult out = b.shrink_result;
+  if (++b.consumed == static_cast<int>(b.arrived.size())) {
+    b.done = false;
+    b.consumed = 0;
+    b.arrived.clear();
+    b.cv.notify_all();
+  }
+  return out;
+}
+
+AgreeResult FailureState::agree(int context, int world_rank, usec_t now,
+                                std::uint32_t bits) {
+  std::unique_lock<std::mutex> lk(m_);
+  auto& slot = barriers_[{context, static_cast<int>(BarrierKind::kAgree)}];
+  if (!slot) slot = std::make_unique<Barrier>();
+  Barrier& b = *slot;
+  while (b.done) {
+    if (poison_) mpi::throw_aborted(*poison_);
+    b.cv.wait(lk);
+  }
+  b.arrived.emplace(world_rank, now);
+  b.bits.emplace(world_rank, bits);
+  if (registry_ != nullptr) registry_->note_progress();
+  const std::function<int()> no_alloc;
+  try_complete(context, BarrierKind::kAgree, b, no_alloc);
+  while (!b.done) {
+    if (poison_) mpi::throw_aborted(*poison_);
+    b.cv.wait(lk);
+    try_complete(context, BarrierKind::kAgree, b, no_alloc);
+  }
+  AgreeResult out = b.agree_result;
+  // new_failures is caller-local: a failure the caller already
+  // acknowledged (failure_ack) is not news.
+  if (out.new_failures) {
+    const auto ack = acked_.find({context, world_rank});
+    const auto mit = members_.find(context);
+    bool unacked = false;
+    if (mit != members_.end()) {
+      for (const int w : mit->second) {
+        if (dead_.count(w) != 0 &&
+            (ack == acked_.end() || ack->second.count(w) == 0)) {
+          unacked = true;
+        }
+      }
+    }
+    out.new_failures = unacked;
+  }
+  if (++b.consumed == static_cast<int>(b.arrived.size())) {
+    b.done = false;
+    b.consumed = 0;
+    b.arrived.clear();
+    b.bits.clear();
+    b.cv.notify_all();
+  }
+  return out;
+}
+
+int FailureState::failure_ack(int context, int world_rank) {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto mit = members_.find(context);
+  if (mit == members_.end()) return 0;
+  std::set<int>& acked = acked_[{context, world_rank}];
+  int fresh = 0;
+  for (const int w : mit->second) {
+    if (dead_.count(w) != 0 && acked.insert(w).second) ++fresh;
+  }
+  return fresh;
+}
+
+std::vector<int> FailureState::get_failed(int context) const {
+  std::lock_guard<std::mutex> lk(m_);
+  std::vector<int> out;
+  const auto mit = members_.find(context);
+  if (mit == members_.end()) return out;
+  for (const int w : mit->second) {
+    if (dead_.count(w) != 0) out.push_back(w);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void FailureState::poison(std::shared_ptr<const fault::AbortInfo> info) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (!poison_) poison_ = std::move(info);
+  for (auto& [key, barrier] : barriers_) barrier->cv.notify_all();
+}
+
+void FailureState::reset() {
+  std::lock_guard<std::mutex> lk(m_);
+  members_.clear();
+  dead_.clear();
+  revoked_.clear();
+  exited_.clear();
+  acked_.clear();
+  barriers_.clear();
+  poison_.reset();
+}
+
+}  // namespace ombx::ft

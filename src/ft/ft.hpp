@@ -1,0 +1,244 @@
+// ULFM-style fault tolerance for the simulated substrate (ombx::ft).
+//
+// PR 1's fault plan turns a KillSpec into a whole-world abort; this layer
+// scopes the failure instead.  When `FtConfig::enabled` is set on the
+// world, a killed rank is *dead-marked* rather than poisoning every
+// mailbox, and operations involving it raise a rank-attributed
+// ProcFailedError at the caller — the MPI_ERR_PROC_FAILED contract.  On
+// top of the death/exit marks sit the ULFM recovery verbs exposed on
+// mpi::Comm: revoke() (RevokedError at in-flight waits on that
+// communicator), shrink() (deterministic survivor renumbering onto a
+// fresh context), agree() (fault-tolerant bitmask agreement that
+// tolerates failures during the agreement) and failure_ack()/get_failed().
+//
+// Determinism contract (docs/fault-model.md "ULFM semantics"): failure
+// state may influence execution only through
+//   (a) wake rules on *blocked* waits keyed on death/exit marks — and a
+//       queued matching message always wins over an interruption, which is
+//       well-defined because a rank's sends happen-before its own death or
+//       exit mark (same thread, program order);
+//   (b) the static fault plan (a send to a rank whose scheduled kill time
+//       is already past raises ProcFailedError from the sender's own
+//       clock); and
+//   (c) the explicit engine-level barriers shrink()/agree(), which
+//       complete exactly when every registered member has arrived or
+//       died.
+// Entry-time reads of cross-thread failure state are forbidden — they
+// would make virtual time depend on host scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/abort.hpp"
+#include "fault/watchdog.hpp"
+#include "mpi/error.hpp"
+#include "simtime/clock.hpp"
+
+namespace ombx::ft {
+
+using simtime::usec_t;
+
+/// Opt-in ULFM mode plus the virtual-time cost model of the recovery
+/// machinery.  All costs are deterministic functions of plan kill times
+/// and participant clocks.
+struct FtConfig {
+  bool enabled = false;
+  /// Virtual delay between a failure event and the ProcFailedError raised
+  /// at a blocked or subsequently-posted operation (models the failure
+  /// detector's timeout).
+  double detect_timeout_us = 100.0;
+  /// Virtual delay before a revocation is observed by an interrupted wait
+  /// (models the revoke broadcast).
+  double revoke_latency_us = 25.0;
+  /// Per-tree-round cost of the agreement protocol.
+  double agree_hop_us = 5.0;
+  /// Per-tree-round cost of the shrink (survivor renumbering) protocol.
+  double shrink_hop_us = 10.0;
+};
+
+/// Raised when an operation involves a process the fault plan killed.
+/// `failed_rank()` is the dead world rank, `at_time_us()` its virtual
+/// death time (the caller's clock is advanced past it by the detection
+/// timeout before the throw).
+class ProcFailedError : public mpi::Error {
+ public:
+  ProcFailedError(int failed_rank, usec_t at_time_us, int here, int context)
+      : mpi::Error("peer process failed: world rank " +
+                       std::to_string(failed_rank) + " died at t=" +
+                       std::to_string(at_time_us) + "us",
+                   here, context),
+        failed_rank_(failed_rank),
+        at_time_us_(at_time_us) {}
+
+  [[nodiscard]] int failed_rank() const noexcept { return failed_rank_; }
+  [[nodiscard]] usec_t at_time_us() const noexcept { return at_time_us_; }
+
+ private:
+  int failed_rank_;
+  usec_t at_time_us_;
+};
+
+/// Raised at a blocked wait on a communicator a peer has revoked (or
+/// abandoned by entering shrink()).  Carries the revocation's virtual
+/// timestamp.
+class RevokedError : public mpi::Error {
+ public:
+  RevokedError(usec_t at_time_us, int here, int context)
+      : mpi::Error("communicator revoked", here, context),
+        at_time_us_(at_time_us) {}
+
+  [[nodiscard]] usec_t at_time_us() const noexcept { return at_time_us_; }
+
+ private:
+  usec_t at_time_us_;
+};
+
+/// Result of Comm::shrink(): the fresh context, the surviving world ranks
+/// in old-rank order (the new comm rank is the index), and the barrier's
+/// deterministic completion time.
+struct ShrinkResult {
+  int context = -1;
+  std::vector<int> survivors;  ///< world ranks, old-comm-rank order
+  usec_t completion_us = 0.0;
+};
+
+/// Result of Comm::agree(): the AND of every contributor's bitmask, plus
+/// whether members died that the caller had not acknowledged.
+struct AgreeResult {
+  std::uint32_t bits = 0;
+  bool new_failures = false;
+  usec_t completion_us = 0.0;
+  /// Lowest arrived world rank — a deterministic "count this agreement
+  /// once" owner for the outcome counters.
+  int coordinator = -1;
+};
+
+/// Shared failure/revocation state for one World.  One instance per
+/// engine, mutated only under its mutex; mailboxes consult it (under
+/// their own lock, lock order mailbox.m_ -> FailureState.m_) to decide
+/// whether a blocked wait should be interrupted.
+class FailureState {
+ public:
+  FailureState(int nranks, FtConfig cfg);
+
+  [[nodiscard]] const FtConfig& config() const noexcept { return cfg_; }
+
+  /// Record a communicator's membership (world ranks in comm-rank order).
+  /// Idempotent: every rank constructing the Comm registers; first wins.
+  void register_comm(int context, const std::vector<int>& members);
+
+  /// Dead-mark `world_rank` (called by World::run when the rank's kill
+  /// fires) and wake any recovery barrier so it can re-evaluate.  The
+  /// caller (engine) is responsible for waking mailboxes and poisoning
+  /// rendezvous cells afterwards — never under this mutex.
+  void mark_dead(int world_rank, usec_t at_time_us);
+
+  [[nodiscard]] bool is_dead(int world_rank) const;
+  [[nodiscard]] std::vector<int> dead_ranks() const;  ///< sorted snapshot
+
+  /// Exit-mark: `world_rank` will never send on `context` again (it
+  /// called revoke() or entered shrink()).  Waits on it become revocable.
+  void mark_exit(int context, int world_rank, usec_t at_time_us);
+
+  /// Revoke `context` (first call wins and stamps the revocation time).
+  /// Also exit-marks the caller.  Returns true for the initiating call.
+  bool revoke(int context, int world_rank, usec_t at_time_us);
+  [[nodiscard]] bool is_revoked(int context) const;
+
+  /// Why a blocked wait should stop waiting, if at all.  `src_comm_rank`
+  /// may be mpi::kAnySource (-1).  Called with the mailbox lock held.
+  struct Interrupt {
+    bool proc_failed = false;  ///< else: revoked
+    int failed_rank = -1;      ///< dead world rank (proc_failed only)
+    usec_t at_time_us = 0.0;   ///< death / revocation virtual time
+  };
+  [[nodiscard]] std::optional<Interrupt> wait_interrupt(
+      int context, int src_comm_rank, int owner_world_rank) const;
+
+  /// Interrupt for a sender capacity-blocked on a dead owner's mailbox.
+  [[nodiscard]] std::optional<Interrupt> enqueue_interrupt(
+      int owner_world_rank) const;
+
+  /// Fault-tolerant barriers.  Both block until every registered member
+  /// of `context` has arrived or is dead-marked, then price a tree of
+  /// ceil(log2(survivors)) rounds on top of the latest participant clock
+  /// (and past any dead member's detected death).  `alloc_context` is
+  /// invoked exactly once per shrink, by the completing thread.
+  ShrinkResult shrink(int context, int world_rank, usec_t now,
+                      const std::function<int()>& alloc_context);
+  AgreeResult agree(int context, int world_rank, usec_t now,
+                    std::uint32_t bits);
+
+  /// ULFM failure_ack/get_failed: acknowledge the currently-known dead
+  /// members of `context` for `world_rank` (returns how many were newly
+  /// acknowledged); list the known dead members, sorted.  Local
+  /// knowledge — deterministic when called after a synchronizing event
+  /// (a caught ProcFailedError, agree(), shrink()).
+  int failure_ack(int context, int world_rank);
+  [[nodiscard]] std::vector<int> get_failed(int context) const;
+
+  /// Abort integration: wake every barrier waiter with the abort info so
+  /// the no-hang guarantee survives FT mode.
+  void poison(std::shared_ptr<const fault::AbortInfo> info);
+
+  /// Observability hook (set by the engine): barriers report progress so
+  /// the deadlock watchdog never sees a recovering world as stuck.
+  void set_wait_registry(fault::WaitRegistry* reg) noexcept {
+    registry_ = reg;
+  }
+
+  void reset();
+
+ private:
+  struct Barrier {
+    std::condition_variable cv;
+    std::map<int, usec_t> arrived;        ///< world rank -> entry clock
+    std::map<int, std::uint32_t> bits;    ///< agree contributions
+    bool done = false;
+    int consumed = 0;
+    ShrinkResult shrink_result;
+    AgreeResult agree_result;
+  };
+  enum class BarrierKind { kShrink, kAgree };
+
+  /// Completes `b` if every member of `context` arrived or died; the
+  /// caller holds m_.  Returns true when the barrier is (now) done.
+  bool try_complete(int context, BarrierKind kind, Barrier& b,
+                    const std::function<int()>& alloc_context);
+  [[nodiscard]] std::optional<Interrupt> wait_interrupt_locked(
+      int context, int src_comm_rank, int owner_world_rank) const;
+
+  FtConfig cfg_;
+  int nranks_;
+  mutable std::mutex m_;
+  std::map<int, std::vector<int>> members_;         ///< context -> world ranks
+  std::map<int, usec_t> dead_;                      ///< world rank -> t_kill
+  std::map<int, usec_t> revoked_;                   ///< context -> t_revoke
+  std::map<std::pair<int, int>, usec_t> exited_;    ///< (ctx, rank) -> t_exit
+  std::map<std::pair<int, int>, std::set<int>> acked_;  ///< (ctx, rank)
+  std::map<std::pair<int, int>, std::unique_ptr<Barrier>> barriers_;
+  std::shared_ptr<const fault::AbortInfo> poison_;
+  fault::WaitRegistry* registry_ = nullptr;
+};
+
+/// Throw the error form matching a wait interruption, attributed to the
+/// interrupted world rank and context.
+[[noreturn]] inline void throw_interrupt(const FailureState::Interrupt& it,
+                                         int here, int context) {
+  if (it.proc_failed) {
+    throw ProcFailedError(it.failed_rank, it.at_time_us, here, context);
+  }
+  throw RevokedError(it.at_time_us, here, context);
+}
+
+}  // namespace ombx::ft

@@ -39,6 +39,9 @@ Comm::Comm(Engine& engine, int context, std::vector<int> world_ranks,
   OMBX_REQUIRE(my_rank_ >= 0 && my_rank_ < size(),
                "comm rank out of range");
   my_world_ = world_ranks_[static_cast<std::size_t>(my_rank_)];
+  // FT mode tracks every communicator's membership for failure scoping
+  // (no-op when FT is disabled; idempotent — first registering rank wins).
+  engine_->ft_register_comm(context_, world_ranks_);
 }
 
 int Comm::world_rank(int comm_rank) const {

@@ -6,6 +6,7 @@
 // communicator management (dup/split).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -66,6 +67,36 @@ class Comm {
 
   /// Collective: duplicate this communicator with a fresh context.
   [[nodiscard]] Comm dup() const;
+
+  // ---- ULFM fault tolerance (WorldConfig::ft; see ft/ft.hpp) ---------------
+
+  /// MPI_Comm_revoke: mark this communicator dead for every member.  Peers
+  /// blocked (or later blocking) on it unwind with ft::RevokedError once
+  /// no queued match can satisfy them.  Non-collective; first call wins.
+  void revoke() const;
+
+  /// MPI_Comm_shrink: collective over the surviving members — every live
+  /// member must call it (dead members are excused).  Returns a working
+  /// communicator over the survivors, renumbered in old-rank order, on a
+  /// fresh context.
+  [[nodiscard]] Comm shrink() const;
+
+  /// MPIX_Comm_agree: fault-tolerant agreement on the AND of `bits`
+  /// across the surviving members.  Tolerates failures during the
+  /// agreement itself.
+  struct AgreeOutcome {
+    std::uint32_t bits = 0;
+    /// A member died that this caller had not failure_ack()ed.
+    bool new_failures = false;
+  };
+  [[nodiscard]] AgreeOutcome agree(std::uint32_t bits) const;
+
+  /// MPI_Comm_failure_ack: acknowledge the currently-known failures on
+  /// this communicator; returns how many were newly acknowledged.
+  int failure_ack() const;
+
+  /// MPI_Comm_get_failed: the known-dead members (world ranks, sorted).
+  [[nodiscard]] std::vector<int> get_failed() const;
 
   // ---- Local compute charging ----------------------------------------------
 

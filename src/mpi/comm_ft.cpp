@@ -1,0 +1,52 @@
+// ULFM recovery verbs on Comm (WorldConfig::ft).  Thin wrappers over the
+// engine's ft_* backends; every verb advances the caller's virtual clock
+// to the protocol's deterministic completion time, so recovery costs show
+// up in benchmark results exactly like communication costs do.
+#include <algorithm>
+
+#include "mpi/comm.hpp"
+#include "mpi/error.hpp"
+
+namespace ombx::mpi {
+
+void Comm::revoke() const {
+  engine_->ft_revoke(context_, my_world_, now());
+  // The revoking rank pays one broadcast latency (interrupted waiters pay
+  // it too, relative to the revocation time — see ft_observe_interrupt).
+  clock().advance(engine_->failure_state()->config().revoke_latency_us);
+}
+
+Comm Comm::shrink() const {
+  const ft::ShrinkResult res = engine_->ft_shrink(context_, my_world_, now());
+  clock().advance_to(res.completion_us);
+  const auto it =
+      std::find(res.survivors.begin(), res.survivors.end(), my_world_);
+  OMBX_REQUIRE_AT(it != res.survivors.end(),
+                  "shrink caller missing from survivor set", my_world_,
+                  context_);
+  const int new_rank = static_cast<int>(it - res.survivors.begin());
+  return Comm(*engine_, res.context, res.survivors, new_rank);
+}
+
+Comm::AgreeOutcome Comm::agree(std::uint32_t bits) const {
+  const ft::AgreeResult res =
+      engine_->ft_agree(context_, my_world_, now(), bits);
+  clock().advance_to(res.completion_us);
+  return AgreeOutcome{res.bits, res.new_failures};
+}
+
+int Comm::failure_ack() const {
+  OMBX_REQUIRE_AT(engine_->failure_state() != nullptr,
+                  "failure_ack() requires FT mode (WorldConfig::ft)",
+                  my_world_, context_);
+  return engine_->failure_state()->failure_ack(context_, my_world_);
+}
+
+std::vector<int> Comm::get_failed() const {
+  OMBX_REQUIRE_AT(engine_->failure_state() != nullptr,
+                  "get_failed() requires FT mode (WorldConfig::ft)",
+                  my_world_, context_);
+  return engine_->failure_state()->get_failed(context_);
+}
+
+}  // namespace ombx::mpi

@@ -79,6 +79,20 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
   check_failures(src_world);
   RankState& st = state(src_world);
 
+  // FT mode: a send to a rank whose scheduled kill time is already past
+  // raises ProcFailedError instead of enqueueing into a corpse's mailbox.
+  // The check reads only the static plan and the sender's own clock, so
+  // it is deterministic; a send that beats the kill in virtual time is
+  // enqueued normally (residue excused at the finalize audit).
+  if (ft_ && fault_ && src_world != dst_world) {
+    if (const auto t_kill = fault_->kill_time(dst_world)) {
+      if (st.clock.now() >= *t_kill) {
+        ft_observe_interrupt(src_world, *t_kill, /*proc_failed=*/true);
+        throw ft::ProcFailedError(dst_world, *t_kill, src_world, ctx);
+      }
+    }
+  }
+
   Message msg;
   msg.context = ctx;
   msg.src = src_comm_rank;
@@ -240,8 +254,17 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
     metrics_->rank(self_world).recvs_posted.fetch_add(
         1, std::memory_order_relaxed);
   }
-  Message msg = mail_[static_cast<std::size_t>(self_world)]->dequeue_match(
-      ctx, src_comm_rank, tag);
+  Message msg;
+  try {
+    msg = mail_[static_cast<std::size_t>(self_world)]->dequeue_match(
+        ctx, src_comm_rank, tag);
+  } catch (const ft::ProcFailedError& e) {
+    ft_observe_interrupt(self_world, e.at_time_us(), /*proc_failed=*/true);
+    throw;
+  } catch (const ft::RevokedError& e) {
+    ft_observe_interrupt(self_world, e.at_time_us(), /*proc_failed=*/false);
+    throw;
+  }
   OMBX_REQUIRE_AT(msg.bytes <= v.bytes,
                   "receive buffer too small (message truncated)", self_world,
                   ctx);
@@ -346,6 +369,12 @@ void Engine::await_cell(int world_rank, SyncCell& cell) {
             1, std::memory_order_relaxed);
       }
       throw;
+    } catch (const ft::ProcFailedError& e) {
+      ft_observe_interrupt(world_rank, e.at_time_us(), /*proc_failed=*/true);
+      throw;
+    } catch (const ft::RevokedError& e) {
+      ft_observe_interrupt(world_rank, e.at_time_us(), /*proc_failed=*/false);
+      throw;
     }
   }
   state(world_rank).clock.advance_to(t);
@@ -357,14 +386,30 @@ Status Engine::probe(int self_world, int ctx, int src, int tag) {
     metrics_->rank(self_world).probes_posted.fetch_add(
         1, std::memory_order_relaxed);
   }
-  return mail_[static_cast<std::size_t>(self_world)]->probe(ctx, src, tag);
+  try {
+    return mail_[static_cast<std::size_t>(self_world)]->probe(ctx, src, tag);
+  } catch (const ft::ProcFailedError& e) {
+    ft_observe_interrupt(self_world, e.at_time_us(), /*proc_failed=*/true);
+    throw;
+  } catch (const ft::RevokedError& e) {
+    ft_observe_interrupt(self_world, e.at_time_us(), /*proc_failed=*/false);
+    throw;
+  }
 }
 
 std::optional<Status> Engine::iprobe(int self_world, int ctx, int src,
                                      int tag) {
   check_failures(self_world);
-  return mail_[static_cast<std::size_t>(self_world)]->try_probe(ctx, src,
-                                                                tag);
+  try {
+    return mail_[static_cast<std::size_t>(self_world)]->try_probe(ctx, src,
+                                                                  tag);
+  } catch (const ft::ProcFailedError& e) {
+    ft_observe_interrupt(self_world, e.at_time_us(), /*proc_failed=*/true);
+    throw;
+  } catch (const ft::RevokedError& e) {
+    ft_observe_interrupt(self_world, e.at_time_us(), /*proc_failed=*/false);
+    throw;
+  }
 }
 
 void Engine::abort(int origin_rank, const std::string& reason,
@@ -389,6 +434,8 @@ void Engine::abort(int origin_rank, const std::string& reason,
     }
   }
   for (auto& mb : mail_) mb->poison(info);
+  // FT recovery barriers participate in the no-hang guarantee too.
+  if (ft_) ft_->poison(info);
   std::lock_guard<std::mutex> lk(cells_mutex_);
   for (auto& w : pending_cells_) {
     if (auto cell = w.lock()) cell->poison(info);
@@ -403,6 +450,138 @@ std::shared_ptr<const fault::AbortInfo> Engine::abort_info() const {
 
 void Engine::set_fault_plan(std::shared_ptr<fault::FaultPlan> plan) {
   fault_ = std::move(plan);
+}
+
+void Engine::enable_ft(const ft::FtConfig& cfg) {
+  if (ft_) return;
+  ft_ = std::make_unique<ft::FailureState>(nranks(), cfg);
+  ft_->set_wait_registry(&registry_);
+  for (auto& mb : mail_) mb->set_failure_state(ft_.get());
+}
+
+void Engine::ft_register_comm(int ctx, const std::vector<int>& members) {
+  if (ft_) ft_->register_comm(ctx, members);
+}
+
+void Engine::ft_observe_interrupt(int world_rank, usec_t event_time,
+                                  bool proc_failed) {
+  const ft::FtConfig& cfg = ft_->config();
+  state(world_rank).clock.advance_to(
+      event_time +
+      (proc_failed ? cfg.detect_timeout_us : cfg.revoke_latency_us));
+  if (proc_failed) {
+    if (fault_) {
+      fault_->counters().detections.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (metrics_) {
+      metrics_->rank(world_rank).ft_detections.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Engine::mark_rank_failed(int world_rank, usec_t at_time_us) {
+  if (!ft_) return;
+  ft_->mark_dead(world_rank, at_time_us);
+  // Wake every blocked wait (outside the failure-state mutex) so it can
+  // re-evaluate against the new death mark, and interrupt rendezvous
+  // senders parked on a cell the corpse will never receive.
+  for (auto& mb : mail_) mb->ft_notify();
+  std::lock_guard<std::mutex> lk(cells_mutex_);
+  for (auto& w : pending_cells_) {
+    if (auto cell = w.lock()) {
+      if (cell->peer == world_rank) {
+        cell->ft_interrupt(/*proc_failed=*/true, world_rank, at_time_us);
+      }
+    }
+  }
+}
+
+void Engine::ft_wake_after_exit(int ctx, int world_rank, usec_t at_time_us) {
+  for (auto& mb : mail_) mb->ft_notify();
+  std::lock_guard<std::mutex> lk(cells_mutex_);
+  for (auto& w : pending_cells_) {
+    if (auto cell = w.lock()) {
+      if (cell->ctx == ctx && cell->peer == world_rank) {
+        cell->ft_interrupt(/*proc_failed=*/false, -1, at_time_us);
+      }
+    }
+  }
+}
+
+bool Engine::ft_revoke(int ctx, int world_rank, usec_t at_time_us) {
+  OMBX_REQUIRE_AT(ft_ != nullptr, "revoke() requires FT mode (WorldConfig::ft)",
+                  world_rank, ctx);
+  // A rank whose own kill time has passed must die here, not revoke: a
+  // zombie that published an exit mark would race its (host-delayed)
+  // death mark at every peer's wait predicate, making which error the
+  // peer sees — and hence its recovery clock — host-timing dependent.
+  check_failures(world_rank);
+  const bool first = ft_->revoke(ctx, world_rank, at_time_us);
+  if (first && fault_) {
+    fault_->counters().revokes.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (metrics_) {
+    metrics_->rank(world_rank).ft_revokes.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  }
+  // A revoked context's residue (messages the recovery abandoned) is
+  // excused at the finalize audit.
+  if (checker_) checker_->excuse_context(ctx);
+  ft_wake_after_exit(ctx, world_rank, at_time_us);
+  return first;
+}
+
+ft::ShrinkResult Engine::ft_shrink(int ctx, int world_rank, usec_t now) {
+  OMBX_REQUIRE_AT(ft_ != nullptr, "shrink() requires FT mode (WorldConfig::ft)",
+                  world_rank, ctx);
+  check_failures(world_rank);
+  // Entering shrink abandons the old context: exit-mark so peers still
+  // blocked on us there unwind (revocation propagates along the wait-for
+  // graph), and excuse the context's residue.
+  ft_->mark_exit(ctx, world_rank, now);
+  if (checker_) checker_->excuse_context(ctx);
+  ft_wake_after_exit(ctx, world_rank, now);
+  if (metrics_) {
+    metrics_->rank(world_rank).ft_shrinks.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  }
+  ft::ShrinkResult res;
+  {
+    fault::ScopedWait wait(
+        &registry_, world_rank,
+        fault::WaitInfo{fault::WaitKind::kRecovery, ctx, -1, -1});
+    res = ft_->shrink(ctx, world_rank, now,
+                      [this] { return allocate_context(); });
+  }
+  // Count each completed shrink once, deterministically: the lowest
+  // survivor reports it.
+  if (fault_ && !res.survivors.empty() && world_rank == res.survivors.front()) {
+    fault_->counters().shrinks.fetch_add(1, std::memory_order_relaxed);
+  }
+  return res;
+}
+
+ft::AgreeResult Engine::ft_agree(int ctx, int world_rank, usec_t now,
+                                 std::uint32_t bits) {
+  OMBX_REQUIRE_AT(ft_ != nullptr, "agree() requires FT mode (WorldConfig::ft)",
+                  world_rank, ctx);
+  check_failures(world_rank);
+  if (metrics_) {
+    metrics_->rank(world_rank).ft_agreements.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  ft::AgreeResult res;
+  {
+    fault::ScopedWait wait(
+        &registry_, world_rank,
+        fault::WaitInfo{fault::WaitKind::kRecovery, ctx, -1, -1});
+    res = ft_->agree(ctx, world_rank, now, bits);
+  }
+  if (fault_ && world_rank == res.coordinator) {
+    fault_->counters().agreements.fetch_add(1, std::memory_order_relaxed);
+  }
+  return res;
 }
 
 void Engine::reset_clocks() {
@@ -423,6 +602,7 @@ void Engine::reset_clocks() {
     pending_cells_.clear();
   }
   registry_.reset();
+  if (ft_) ft_->reset();  // Comm ctors re-register memberships on rerun
   if (tracer_) tracer_->clear();
   if (metrics_) metrics_->reset();
   if (checker_) checker_->reset();
@@ -495,7 +675,11 @@ void Engine::run_check_audit() {
   for (int r = 0; r < nranks(); ++r) {
     for (const auto& p :
          mail_[static_cast<std::size_t>(r)]->pending_summary()) {
-      residue = true;
+      residue = true;  // still excuses the pool-outstanding check below
+      // ULFM recovery legitimately strands messages: sends onto a revoked
+      // or shrink-abandoned context, and anything queued at a dead rank.
+      if (checker_->context_excused(p.ctx)) continue;
+      if (ft_ && ft_->is_dead(r)) continue;
       checker_->report_noexcept(check::Violation{
           check::Code::kUnmatchedSend, r, p.ctx, "finalize",
           std::to_string(p.count) + " unreceived message(s) from comm rank " +

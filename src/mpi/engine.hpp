@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "check/checker.hpp"
 #include "fault/fault.hpp"
 #include "fault/watchdog.hpp"
+#include "ft/ft.hpp"
 #include "mpi/mailbox.hpp"
 #include "mpi/message.hpp"
 #include "mpi/trace.hpp"
@@ -193,6 +195,40 @@ class Engine {
     return registry_;
   }
 
+  // ---- ULFM fault tolerance (ft/ft.hpp) -----------------------------------
+
+  /// Turn on ULFM-style fault tolerance: a fault-plan kill dead-marks the
+  /// rank instead of aborting the world, operations involving it raise
+  /// ft::ProcFailedError at the caller, and Comm gains revoke / shrink /
+  /// agree.  Off (null failure_state) by default — the disabled path is
+  /// byte-identical to a build without this subsystem.
+  void enable_ft(const ft::FtConfig& cfg);
+  [[nodiscard]] ft::FailureState* failure_state() noexcept {
+    return ft_.get();
+  }
+
+  /// Record a communicator's membership for failure scoping (no-op when
+  /// FT is disabled).  Every Comm constructor calls it; first rank wins.
+  void ft_register_comm(int ctx, const std::vector<int>& members);
+
+  /// FT mode: dead-mark a killed rank, wake every blocked wait so it can
+  /// re-evaluate, and interrupt rendezvous cells waiting on the corpse.
+  /// Called by World::run when a rank's RankKilledError surfaces.
+  void mark_rank_failed(int world_rank, usec_t at_time_us);
+
+  /// Comm::revoke backend: revoke `ctx` (first call wins), exit-mark the
+  /// caller, excuse the context with the checker, and wake waiters.
+  /// Returns true for the initiating call.
+  bool ft_revoke(int ctx, int world_rank, usec_t at_time_us);
+
+  /// Comm::shrink backend: exit-mark the caller on the old context and
+  /// block in the survivor barrier (arrived-or-dead completion rule).
+  ft::ShrinkResult ft_shrink(int ctx, int world_rank, usec_t now);
+
+  /// Comm::agree backend: fault-tolerant bitmask agreement.
+  ft::AgreeResult ft_agree(int ctx, int world_rank, usec_t now,
+                           std::uint32_t bits);
+
   /// Turn on event tracing (records every send/recv/compute with virtual
   /// timestamps; see trace.hpp).  Traces are cleared by reset_clocks().
   void enable_tracing();
@@ -225,6 +261,15 @@ class Engine {
   /// time.  Called at the top of every substrate operation.
   void check_failures(int world_rank);
 
+  /// Bookkeeping for an FT interruption raised at one of this rank's call
+  /// sites: advance the clock past the event by the detection/revocation
+  /// latency and bump the plan + metrics counters.
+  void ft_observe_interrupt(int world_rank, usec_t event_time,
+                            bool proc_failed);
+  /// Wake blocked waits and interrupt cells targeting `world_rank` on
+  /// `ctx` after an exit mark (revoke()/shrink() entry).
+  void ft_wake_after_exit(int ctx, int world_rank, usec_t at_time_us);
+
   net::NetworkModel model_;
   PayloadMode payload_;
   net::ThreadLevel thread_level_;
@@ -241,6 +286,7 @@ class Engine {
   std::unique_ptr<check::Checker> checker_;  // null unless checking enabled
 
   std::shared_ptr<fault::FaultPlan> fault_;
+  std::unique_ptr<ft::FailureState> ft_;  // null unless FT is enabled
   std::atomic<bool> aborted_{false};
   mutable std::mutex abort_mutex_;
   std::shared_ptr<const fault::AbortInfo> abort_;

@@ -85,7 +85,13 @@ class RankKilledError : public Error {
   RankKilledError(int rank, double at_time_us)
       : Error("rank killed by fault plan at t=" +
                   std::to_string(at_time_us) + "us",
-              rank) {}
+              rank),
+        at_time_us_(at_time_us) {}
+
+  [[nodiscard]] double at_time_us() const noexcept { return at_time_us_; }
+
+ private:
+  double at_time_us_;
 };
 
 /// Throw the error form matching an AbortInfo (DeadlockError for watchdog

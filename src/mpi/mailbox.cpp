@@ -117,19 +117,30 @@ Message Mailbox::take_locked(Bin& bin, bool wildcard) {
 
 void Mailbox::enqueue(Message&& msg) {
   std::unique_lock<std::mutex> lk(m_);
+  std::optional<ft::FailureState::Interrupt> ft_it;
   if (queued_ >= capacity_ && !poison_) {
-    // The sender (not the owner) is the one blocked here.
+    // The sender (not the owner) is the one blocked here.  Free capacity
+    // wins over an FT interruption: the owner's pre-death drains
+    // happen-before its death mark, so the outcome is deterministic.
     fault::ScopedWait wait(
         registry_, msg.src_world,
         fault::WaitInfo{fault::WaitKind::kSendCapacity, msg.context, owner_,
                         msg.tag});
     ++drain_waiters_;
     drained_.wait(lk, [&] {
-      return queued_ < capacity_ || poison_ != nullptr;
+      if (queued_ < capacity_ || poison_ != nullptr) return true;
+      if (fs_ != nullptr) {
+        ft_it = fs_->enqueue_interrupt(owner_);
+        if (ft_it) return true;
+      }
+      return false;
     });
     --drain_waiters_;
   }
   if (poison_) throw_poisoned_locked();
+  if (queued_ >= capacity_ && ft_it) {
+    ft::throw_interrupt(*ft_it, msg.src_world, msg.context);
+  }
   msg.seq = next_seq_++;
   obtain_bin(msg.context, msg.src, msg.tag).q.push_back(std::move(msg));
   ++queued_;
@@ -140,16 +151,28 @@ void Mailbox::enqueue(Message&& msg) {
 Message Mailbox::dequeue_match(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
   Bin* bin = find_match(ctx, src, tag);
+  std::optional<ft::FailureState::Interrupt> ft_it;
   if (bin == nullptr && !poison_) {
-    fault::ScopedWait wait(
-        registry_, owner_,
-        fault::WaitInfo{fault::WaitKind::kRecv, ctx, src, tag});
-    ++arrival_waiters_;
-    arrived_.wait(lk, [&] {
-      bin = find_match(ctx, src, tag);
-      return bin != nullptr || poison_ != nullptr;
-    });
-    --arrival_waiters_;
+    // A queued match wins over an FT interruption (checked first, both
+    // here and in the predicate): the peer's sends happen-before its own
+    // death or exit mark, so "drain, then raise" is deterministic.
+    if (fs_ != nullptr) ft_it = fs_->wait_interrupt(ctx, src, owner_);
+    if (!ft_it) {
+      fault::ScopedWait wait(
+          registry_, owner_,
+          fault::WaitInfo{fault::WaitKind::kRecv, ctx, src, tag});
+      ++arrival_waiters_;
+      arrived_.wait(lk, [&] {
+        bin = find_match(ctx, src, tag);
+        if (bin != nullptr || poison_ != nullptr) return true;
+        if (fs_ != nullptr) {
+          ft_it = fs_->wait_interrupt(ctx, src, owner_);
+          if (ft_it) return true;
+        }
+        return false;
+      });
+      --arrival_waiters_;
+    }
   }
   if (poison_) {
     if (counters_ != nullptr) {
@@ -157,6 +180,7 @@ Message Mailbox::dequeue_match(int ctx, int src, int tag) {
     }
     throw_poisoned_locked();
   }
+  if (bin == nullptr && ft_it) ft::throw_interrupt(*ft_it, owner_, ctx);
   return take_locked(*bin, src == kAnySource || tag == kAnyTag);
 }
 
@@ -164,23 +188,41 @@ std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
   if (poison_) throw_poisoned_locked();
   Bin* bin = find_match(ctx, src, tag);
-  if (bin == nullptr) return std::nullopt;
+  if (bin == nullptr) {
+    // Raise (rather than spin forever in a test()/iprobe loop) once the
+    // failure is detectable; a queued match always wins.
+    if (fs_ != nullptr) {
+      if (const auto it = fs_->wait_interrupt(ctx, src, owner_)) {
+        ft::throw_interrupt(*it, owner_, ctx);
+      }
+    }
+    return std::nullopt;
+  }
   return take_locked(*bin, src == kAnySource || tag == kAnyTag);
 }
 
 Status Mailbox::probe(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
   Bin* bin = find_match(ctx, src, tag);
+  std::optional<ft::FailureState::Interrupt> ft_it;
   if (bin == nullptr && !poison_) {
-    fault::ScopedWait wait(
-        registry_, owner_,
-        fault::WaitInfo{fault::WaitKind::kProbe, ctx, src, tag});
-    ++arrival_waiters_;
-    arrived_.wait(lk, [&] {
-      bin = find_match(ctx, src, tag);
-      return bin != nullptr || poison_ != nullptr;
-    });
-    --arrival_waiters_;
+    if (fs_ != nullptr) ft_it = fs_->wait_interrupt(ctx, src, owner_);
+    if (!ft_it) {
+      fault::ScopedWait wait(
+          registry_, owner_,
+          fault::WaitInfo{fault::WaitKind::kProbe, ctx, src, tag});
+      ++arrival_waiters_;
+      arrived_.wait(lk, [&] {
+        bin = find_match(ctx, src, tag);
+        if (bin != nullptr || poison_ != nullptr) return true;
+        if (fs_ != nullptr) {
+          ft_it = fs_->wait_interrupt(ctx, src, owner_);
+          if (ft_it) return true;
+        }
+        return false;
+      });
+      --arrival_waiters_;
+    }
   }
   if (poison_) {
     if (counters_ != nullptr) {
@@ -188,6 +230,7 @@ Status Mailbox::probe(int ctx, int src, int tag) {
     }
     throw_poisoned_locked();
   }
+  if (bin == nullptr && ft_it) ft::throw_interrupt(*ft_it, owner_, ctx);
   const Message& head = bin->q.front();
   return Status{.source = head.src, .tag = head.tag, .bytes = head.bytes};
 }
@@ -196,7 +239,14 @@ std::optional<Status> Mailbox::try_probe(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
   if (poison_) throw_poisoned_locked();
   Bin* bin = find_match(ctx, src, tag);
-  if (bin == nullptr) return std::nullopt;
+  if (bin == nullptr) {
+    if (fs_ != nullptr) {
+      if (const auto it = fs_->wait_interrupt(ctx, src, owner_)) {
+        ft::throw_interrupt(*it, owner_, ctx);
+      }
+    }
+    return std::nullopt;
+  }
   const Message& head = bin->q.front();
   return Status{.source = head.src, .tag = head.tag, .bytes = head.bytes};
 }
@@ -209,6 +259,12 @@ void Mailbox::poison(std::shared_ptr<const fault::AbortInfo> info) {
   }
   arrived_.notify_all();
   drained_.notify_all();
+}
+
+void Mailbox::ft_notify() {
+  std::lock_guard<std::mutex> lk(m_);
+  if (arrival_waiters_ > 0) arrived_.notify_all();
+  if (drain_waiters_ > 0) drained_.notify_all();
 }
 
 void Mailbox::reset() {

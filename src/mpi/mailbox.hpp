@@ -36,6 +36,7 @@
 
 #include "fault/abort.hpp"
 #include "fault/watchdog.hpp"
+#include "ft/ft.hpp"
 #include "mpi/message.hpp"
 #include "obs/metrics.hpp"
 
@@ -99,6 +100,20 @@ class Mailbox {
   };
   [[nodiscard]] std::vector<Pending> pending_summary() const;
 
+  /// Attach the world's ULFM failure state (null when FT is disabled —
+  /// the default, in which case no wait ever consults it).  Blocked waits
+  /// then wake when the peer they depend on is dead- or exit-marked and
+  /// no matching message is queued; a queued match always wins, which is
+  /// deterministic because a rank's sends happen-before its own marks.
+  void set_failure_state(const ft::FailureState* fs) noexcept {
+    std::lock_guard<std::mutex> lk(m_);
+    fs_ = fs;
+  }
+
+  /// Wake every waiter so it re-evaluates the failure state (called after
+  /// a death/exit/revoke mark; never with FailureState's mutex held).
+  void ft_notify();
+
   /// Attach the owner rank's metrics block (null to detach).  Successful
   /// dequeues are classified as exact / MRU / wildcard in receiver
   /// program order, so the counts are deterministic (see obs/metrics.hpp).
@@ -159,6 +174,7 @@ class Mailbox {
   std::shared_ptr<const fault::AbortInfo> poison_;
   fault::WaitRegistry* registry_;
   int owner_;
+  const ft::FailureState* fs_ = nullptr;  ///< null unless FT mode
 };
 
 }  // namespace ombx::mpi

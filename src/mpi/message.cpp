@@ -1,5 +1,6 @@
 #include "mpi/message.hpp"
 
+#include "ft/ft.hpp"
 #include "mpi/error.hpp"
 
 namespace ombx::mpi {
@@ -16,21 +17,37 @@ usec_t SyncCell::await() {
   // A poisoned cell whose transfer is claimed stays blocked: the receiver
   // is copying out of the sender's (this thread's) buffer and will call
   // complete() in bounded time; unwinding now would free memory under it.
-  cv.wait(lk, [&] { return done || (poisoned != nullptr && !in_transfer); });
+  // The same claim rule applies to FT interruptions.
+  cv.wait(lk, [&] {
+    return done ||
+           ((poisoned != nullptr || ft_failed_rank >= 0 || ft_revoked) &&
+            !in_transfer);
+  });
   if (done) return release_time;
-  auto info = *poisoned;
-  lk.unlock();
-  throw_aborted(info);
+  if (poisoned != nullptr) {
+    auto info = *poisoned;
+    lk.unlock();
+    throw_aborted(info);
+  }
+  if (ft_failed_rank >= 0) {
+    throw ft::ProcFailedError(ft_failed_rank, ft_time, -1, ctx);
+  }
+  throw ft::RevokedError(ft_time, -1, ctx);
 }
 
 bool SyncCell::ready() {
   std::unique_lock<std::mutex> lk(m);
   if (done) return true;
-  if (poisoned && !in_transfer) {
+  if (in_transfer) return false;
+  if (poisoned) {
     auto info = *poisoned;
     lk.unlock();
     throw_aborted(info);
   }
+  if (ft_failed_rank >= 0) {
+    throw ft::ProcFailedError(ft_failed_rank, ft_time, -1, ctx);
+  }
+  if (ft_revoked) throw ft::RevokedError(ft_time, -1, ctx);
   return false;
 }
 

@@ -62,6 +62,13 @@ struct SyncCell {
   bool in_transfer = false;
   usec_t release_time = 0.0;
   std::shared_ptr<const fault::AbortInfo> poisoned;
+  /// ULFM interruption (FT mode only): the peer this cell waits on died
+  /// (ft_failed_rank >= 0) or exited the communicator after a revoke
+  /// (ft_revoked).  Like poison, but scoped: await() raises the matching
+  /// ft:: error instead of AbortedError, and a completed cell still wins.
+  int ft_failed_rank = -1;
+  bool ft_revoked = false;
+  usec_t ft_time = 0.0;
   // Wait-diagnostics envelope, written by the sender before the cell is
   // shared (read-only afterwards): who the sender is waiting on.
   int ctx = 0;
@@ -81,6 +88,21 @@ struct SyncCell {
     {
       std::lock_guard<std::mutex> lk(m);
       poisoned = std::move(info);
+    }
+    cv.notify_all();
+  }
+
+  /// ULFM interruption (see the field comment).  `proc_failed` selects
+  /// ProcFailedError (dead peer) vs RevokedError (peer exited the ctx).
+  void ft_interrupt(bool proc_failed, int rank, usec_t t) {
+    {
+      std::lock_guard<std::mutex> lk(m);
+      if (proc_failed) {
+        ft_failed_rank = rank;
+      } else {
+        ft_revoked = true;
+      }
+      ft_time = t;
     }
     cv.notify_all();
   }

@@ -38,6 +38,7 @@ World::World(const WorldConfig& cfg)
     plan_ = std::make_shared<fault::FaultPlan>(cfg.fault, cfg.nranks);
     engine_->set_fault_plan(plan_);
   }
+  if (cfg.ft.enabled) engine_->enable_ft(cfg.ft);
 }
 
 World::~World() = default;
@@ -79,6 +80,19 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
         // A peer's failure propagated here; keep one as a fallback cause.
         std::lock_guard<std::mutex> lk(err_mutex);
         if (!abort_error) abort_error = std::current_exception();
+      } catch (const RankKilledError& e) {
+        if (cfg_.ft.enabled) {
+          // ULFM mode: the failure is scoped, not global.  Dead-mark the
+          // rank so peers detect it (ProcFailedError at their call sites)
+          // and recover via revoke/shrink; the world keeps running.
+          engine_->mark_rank_failed(r, e.at_time_us());
+        } else {
+          {
+            std::lock_guard<std::mutex> lk(err_mutex);
+            if (!root_error) root_error = std::current_exception();
+          }
+          engine_->abort(r, describe(std::current_exception()));
+        }
       } catch (...) {
         {
           std::lock_guard<std::mutex> lk(err_mutex);

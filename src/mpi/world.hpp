@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "fault/fault.hpp"
+#include "ft/ft.hpp"
 #include "mpi/comm.hpp"
 #include "mpi/engine.hpp"
 #include "net/cluster.hpp"
@@ -47,6 +48,12 @@ struct WorldConfig {
   std::size_t mailbox_capacity = 8192;
   /// Seeded fault-injection plan; an all-defaults config injects nothing.
   fault::FaultConfig fault;
+  /// ULFM-style fault tolerance (ft/ft.hpp).  When enabled, a fault-plan
+  /// kill dead-marks the rank instead of aborting the world; operations
+  /// involving it raise ft::ProcFailedError at the caller and Comm gains
+  /// revoke()/shrink()/agree().  Disabled (the default) leaves every code
+  /// path byte-identical to a world without the subsystem.
+  ft::FtConfig ft;
   /// Opt-in dynamic MPI-usage verifier (check/checker.hpp): collective
   /// matching, request hygiene, buffer-overlap pins and a finalize audit.
   /// Never perturbs virtual time; kStrict escalates the first violation

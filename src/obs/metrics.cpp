@@ -29,6 +29,10 @@ constexpr Field kFields[] = {
     {"rendezvous_waits", &RankCounters::rendezvous_waits},
     {"poisoned_waits", &RankCounters::poisoned_waits},
     {"retransmits", &RankCounters::retransmits},
+    {"ft_detections", &RankCounters::ft_detections},
+    {"ft_revokes", &RankCounters::ft_revokes},
+    {"ft_shrinks", &RankCounters::ft_shrinks},
+    {"ft_agreements", &RankCounters::ft_agreements},
 };
 
 }  // namespace

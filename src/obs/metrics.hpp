@@ -69,6 +69,15 @@ struct alignas(64) RankCounters {
   // injection; poisoned-wait counts on racing ranks are as-observed.
   std::atomic<std::uint64_t> poisoned_waits{0};
   std::atomic<std::uint64_t> retransmits{0};
+
+  // ULFM fault-tolerance events observed by this rank (FT mode only —
+  // see ft/ft.hpp): ProcFailedError raises at this rank's call sites, and
+  // revoke()/shrink()/agree() calls this rank issued.  Program-order
+  // quantities under the FT determinism contract.
+  std::atomic<std::uint64_t> ft_detections{0};
+  std::atomic<std::uint64_t> ft_revokes{0};
+  std::atomic<std::uint64_t> ft_shrinks{0};
+  std::atomic<std::uint64_t> ft_agreements{0};
 };
 
 /// The per-rank counter table.  One block per world rank, fixed at

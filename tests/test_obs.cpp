@@ -261,7 +261,15 @@ TEST(Obs, GoldenMetricsCsvForTwoRankPingpong) {
       "poisoned_waits,0,0\n"
       "poisoned_waits,1,0\n"
       "retransmits,0,0\n"
-      "retransmits,1,0\n";
+      "retransmits,1,0\n"
+      "ft_detections,0,0\n"
+      "ft_detections,1,0\n"
+      "ft_revokes,0,0\n"
+      "ft_revokes,1,0\n"
+      "ft_shrinks,0,0\n"
+      "ft_shrinks,1,0\n"
+      "ft_agreements,0,0\n"
+      "ft_agreements,1,0\n";
   EXPECT_EQ(os.str(), golden);
 }
 
