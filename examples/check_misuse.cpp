@@ -7,12 +7,28 @@
 // if the checker caught the misuse (nonzero otherwise).  CI runs every
 // scenario and greps for the expected violation code; docs/correctness.md
 // walks through each one.
+//
+// Schedule-dependent scenarios (explore/explorer.hpp) are clean under the
+// default interleaving and only break when a wildcard receive observes
+// messages in an unexpected order:
+//
+//   $ ./check_misuse message-race --explore [--budget N] [--reproducer F]
+//   $ ./check_misuse message-race --replay <reproducer>
+//   $ ./check_misuse race-free --exhaust [--budget N]
+//
+// --explore exits 0 only when the default schedule is clean AND the
+// search surfaces the seeded bug; --replay re-runs a saved reproducer and
+// prints the caught failure (byte-identical across replays); --exhaust
+// exits 0 only when the whole schedule space is searched with no finding.
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "check/checker.hpp"
+#include "explore/explore.hpp"
+#include "explore/explorer.hpp"
+#include "ft/ft.hpp"
 #include "mpi/collectives.hpp"
 #include "mpi/error.hpp"
 #include "mpi/nbc.hpp"
@@ -118,6 +134,109 @@ void rma_epoch_open(mpi::Comm& c) {
   // no fence: epoch left open, reported when `win` dies
 }
 
+// ---- Schedule-dependent scenarios ------------------------------------------
+//
+// Tags for the race programs.  The "go" messages sequence the senders so
+// that, by the time the receiver reaches its wildcard receive, BOTH
+// candidate messages are queued — the decision is real on every run, and
+// the default (arrival-order) choice is fixed by the send chain.
+constexpr int kData = 11;
+constexpr int kGo = 12;
+
+// Three ranks.  Rank 1 receives two ANY_SOURCE messages and then uses the
+// FIRST sender as the bcast root — silently assuming rank 0's message
+// (sent earlier in causal order) is always matched first.  The default
+// schedule satisfies the assumption; forcing the wildcard to take rank
+// 2's message first makes rank 1 call bcast with root 2 while everyone
+// else uses root 0: kCollectiveSignatureMismatch.
+void message_race(mpi::Comm& c) {
+  std::vector<std::byte> buf(8);
+  std::vector<std::byte> tmp(8);
+  if (c.rank() == 0) {
+    c.send(cview(buf), 1, kData);  // message A: enqueued at rank 1 first
+    c.send(cview(buf), 2, kGo);    // B is only sent after A is queued
+    mpi::bcast(c, mview(buf), /*root=*/0);
+  } else if (c.rank() == 2) {
+    (void)c.recv(mview(tmp), 0, kGo);
+    c.send(cview(buf), 1, kData);  // message B
+    c.send(cview(buf), 1, kGo);    // go: both A and B are now queued
+    mpi::bcast(c, mview(buf), /*root=*/0);
+  } else {
+    (void)c.recv(mview(tmp), 2, kGo);
+    const mpi::Status first = c.recv(mview(tmp), mpi::kAnySource, kData);
+    (void)c.recv(mview(tmp), mpi::kAnySource, kData);
+    // BUG: the first kData message is not always rank 0's.
+    mpi::bcast(c, mview(buf), /*root=*/first.source);
+  }
+}
+
+// The race-free control: same communication pattern, but the root is
+// fixed instead of derived from the match order.  Exploration must
+// exhaust the schedule space without a finding.
+void race_free(mpi::Comm& c) {
+  std::vector<std::byte> buf(8);
+  std::vector<std::byte> tmp(8);
+  if (c.rank() == 0) {
+    c.send(cview(buf), 1, kData);
+    c.send(cview(buf), 2, kGo);
+  } else if (c.rank() == 2) {
+    (void)c.recv(mview(tmp), 0, kGo);
+    c.send(cview(buf), 1, kData);
+    c.send(cview(buf), 1, kGo);
+  } else {
+    (void)c.recv(mview(tmp), 2, kGo);
+    (void)c.recv(mview(tmp), mpi::kAnySource, kData);
+    (void)c.recv(mview(tmp), mpi::kAnySource, kData);
+  }
+  mpi::bcast(c, mview(buf), /*root=*/0);
+}
+
+// Four ranks, FT mode, rank 3 killed at t=400us.  After ULFM recovery the
+// survivors elect a coordinator: the first survivor whose status message
+// reaches (shrunk) rank 0 — assumed to always be rank 1, the causally
+// earlier sender.  Under the recovery wake ordering the default schedule
+// delivers rank 1's status first; forcing rank 2's first makes rank 0
+// bcast from root 2 while the others use root 1.
+void ft_recovery_order(mpi::Comm& c) {
+  std::vector<double> val(64, 1.0);
+  std::vector<double> sum(64, 0.0);
+  const mpi::ConstView sv{reinterpret_cast<const std::byte*>(val.data()),
+                          val.size() * sizeof(double), net::MemSpace::kHost};
+  const mpi::MutView rv{reinterpret_cast<std::byte*>(sum.data()),
+                        sum.size() * sizeof(double), net::MemSpace::kHost};
+  try {
+    for (;;) {
+      mpi::allreduce(c, sv, rv, mpi::Datatype::kDouble, mpi::Op::kSum);
+    }
+  } catch (const ft::ProcFailedError&) {
+  } catch (const ft::RevokedError&) {
+  }
+  c.revoke();
+  (void)c.agree(1u);
+  c.failure_ack();
+  mpi::Comm alive = c.shrink();  // world ranks {0, 1, 2} -> alive 0..2
+
+  std::vector<std::byte> buf(8);
+  std::vector<std::byte> tmp(8);
+  if (alive.rank() == 1) {
+    alive.send(cview(buf), 0, kData);  // status S1: queued at rank 0 first
+    alive.send(cview(buf), 2, kGo);
+    mpi::bcast(alive, mview(buf), /*root=*/1);
+  } else if (alive.rank() == 2) {
+    (void)alive.recv(mview(tmp), 1, kGo);
+    alive.send(cview(buf), 0, kData);  // status S2
+    alive.send(cview(buf), 0, kGo);    // both statuses now queued
+    mpi::bcast(alive, mview(buf), /*root=*/1);
+  } else {
+    (void)alive.recv(mview(tmp), 2, kGo);
+    const mpi::Status first = alive.recv(mview(tmp), mpi::kAnySource, kData);
+    (void)alive.recv(mview(tmp), mpi::kAnySource, kData);
+    // BUG: "the first responder is the new coordinator" — only true
+    // under the default match order.
+    mpi::bcast(alive, mview(buf), /*root=*/first.source);
+  }
+}
+
 struct Scenario {
   const char* name;
   void (*fn)(mpi::Comm&);
@@ -141,15 +260,161 @@ constexpr Scenario kScenarios[] = {
     {"rma-epoch-open", rma_epoch_open, check::Code::kRmaEpochOpen, true},
 };
 
+struct ExploreScenario {
+  const char* name;
+  void (*fn)(mpi::Comm&);
+  int nranks;
+  bool ft;  ///< FT mode with rank 3 killed at t=400us
+  check::Code expect;
+};
+
+constexpr ExploreScenario kExploreScenarios[] = {
+    {"message-race", message_race, 3, false,
+     check::Code::kCollectiveSignatureMismatch},
+    {"ft-recovery-order", ft_recovery_order, 4, true,
+     check::Code::kCollectiveSignatureMismatch},
+    {"race-free", race_free, 3, false,
+     check::Code::kCollectiveSignatureMismatch},
+};
+
+mpi::WorldConfig explore_config(const ExploreScenario& s) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = s.nranks;
+  wc.ppn = 1;
+  if (s.ft) {
+    wc.ft.enabled = true;
+    wc.fault.kills.push_back({3, 400.0});
+  }
+  return wc;
+}
+
+int run_explore(const ExploreScenario& s, int budget,
+                const std::string& repro_path) {
+  const explore::RunFn run =
+      explore::make_world_runner(explore_config(s), s.fn);
+
+  // Contract part 1: the bug must be invisible on the default schedule.
+  const explore::RunResult def = run(explore::Schedule{});
+  if (def.failed) {
+    std::cerr << "default schedule already fails: " << def.what << "\n";
+    return 1;
+  }
+  std::cerr << "default schedule clean; exploring...\n";
+
+  explore::SearchConfig sc;
+  sc.budget = budget;
+  const explore::SearchResult res = explore::search(run, sc);
+  std::cerr << res.runs << " schedule(s) run, " << res.shrink_runs
+            << " shrink run(s), " << res.findings.size() << " finding(s)\n";
+  if (res.findings.empty()) {
+    std::cerr << "exploration found nothing; expected a "
+              << check::code_name(s.expect) << " violation\n";
+    return 1;
+  }
+  const explore::Finding& f = res.findings.front();
+  std::cerr << "caught: " << f.what << "\n";
+  const char* code = check::code_name(s.expect);
+  if (f.what.find(code) == std::string::npos) {
+    std::cerr << "finding does not name the expected code " << code << "\n";
+    return 1;
+  }
+  if (!repro_path.empty()) {
+    explore::Schedule repro = f.schedule;
+    repro.nranks = s.nranks;
+    explore::save_schedule(repro, repro_path);
+    std::cerr << "reproducer (" << repro.pins.size()
+              << " pins) written to " << repro_path << "\n";
+  }
+  std::cerr << "exploration exposed the expected " << code << "\n";
+  return 0;
+}
+
+int run_replay(const ExploreScenario& s, const std::string& path) {
+  const explore::Schedule sched = explore::load_schedule(path);
+  const explore::RunFn run =
+      explore::make_world_runner(explore_config(s), s.fn);
+  const explore::RunResult rr = run(sched);
+  if (!rr.failed) {
+    std::cerr << "replay completed cleanly; expected a failure\n";
+    return 1;
+  }
+  // The only line CI byte-compares across replays.
+  std::cerr << "caught: " << rr.what << "\n";
+  return 0;
+}
+
+int run_exhaust(const ExploreScenario& s, int budget) {
+  const explore::RunFn run =
+      explore::make_world_runner(explore_config(s), s.fn);
+  explore::SearchConfig sc;
+  sc.budget = budget;
+  const explore::SearchResult res = explore::search(run, sc);
+  std::cerr << res.runs << " schedule(s) run, " << res.findings.size()
+            << " finding(s), space "
+            << (res.exhausted ? "exhausted" : "NOT exhausted") << "\n";
+  return (res.exhausted && res.findings.empty()) ? 0 : 1;
+}
+
 int usage() {
-  std::cerr << "usage: check_misuse <scenario>\nscenarios:\n";
+  std::cerr << "usage: check_misuse <scenario>\n"
+               "       check_misuse <race-scenario> --explore"
+               " [--budget N] [--reproducer F]\n"
+               "       check_misuse <race-scenario> --replay <file>\n"
+               "       check_misuse <race-scenario> --exhaust [--budget N]\n"
+               "scenarios:\n";
   for (const auto& s : kScenarios) std::cerr << "  " << s.name << "\n";
+  std::cerr << "race scenarios:\n";
+  for (const auto& s : kExploreScenarios) std::cerr << "  " << s.name << "\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  const ExploreScenario* race = nullptr;
+  for (const auto& s : kExploreScenarios) {
+    if (std::strcmp(argv[1], s.name) == 0) race = &s;
+  }
+  if (race != nullptr) {
+    std::string mode;
+    std::string path;
+    int budget = 64;
+    try {
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+          if (i + 1 >= argc) {
+            throw std::invalid_argument(arg + " needs a value");
+          }
+          return argv[++i];
+        };
+        if (arg == "--explore" || arg == "--exhaust") {
+          mode = arg;
+        } else if (arg == "--replay") {
+          mode = arg;
+          path = next();
+        } else if (arg == "--budget") {
+          budget = std::stoi(next());
+        } else if (arg == "--reproducer") {
+          path = next();
+        } else {
+          throw std::invalid_argument("unknown option: " + arg);
+        }
+      }
+      if (mode == "--explore") return run_explore(*race, budget, path);
+      if (mode == "--replay") return run_replay(*race, path);
+      if (mode == "--exhaust") return run_exhaust(*race, budget);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 2;
+    }
+    return usage();
+  }
+
   if (argc != 2) return usage();
   const Scenario* scenario = nullptr;
   for (const auto& s : kScenarios) {

@@ -5,116 +5,133 @@
 //   $ ./omb_run latency --cluster frontera --ppn 2 --mode omb-py
 //   $ ./omb_run allreduce --nranks 16 --min 4 --max 1048576 --mode omb-c
 //   $ ./omb_run latency --buffer cupy --cluster ri2-gpu --mode omb-py
-#include <cstring>
+//
+// Schedule-space exploration (explore/explorer.hpp):
+//   $ ./omb_run allreduce --ft --kill 3@400 --nranks 4 --explore \
+//         --explore-budget 32 --explore-out repro.sched
+//   $ ./omb_run allreduce --ft --kill 3@400 --nranks 4 \
+//         --replay-schedule repro.sched
 #include <iostream>
 #include <string>
 
+#include "bench_suite/cli.hpp"
 #include "bench_suite/suite.hpp"
 #include "core/registry.hpp"
 #include "core/report.hpp"
 #include "core/runner.hpp"
+#include "explore/explore.hpp"
+#include "explore/explorer.hpp"
+#include "mpi/error.hpp"
 
 namespace {
 
 using namespace ombx;
 
-void usage() {
-  std::cout <<
-      "usage: omb_run <benchmark> [options]\n"
-      "       omb_run --list\n\n"
-      "options:\n"
-      "  --cluster <frontera|stampede2|ri2|ri2-gpu>   (default frontera)\n"
-      "  --mpi <mvapich2|intelmpi|mvapich2-gdr>       (default mvapich2)\n"
-      "  --mode <omb-c|omb-py|omb-py-pickle>          (default omb-py)\n"
-      "  --buffer <bytearray|numpy|cupy|pycuda|numba> (default numpy)\n"
-      "  --nranks <n>      (default 2)\n"
-      "  --ppn <n>         (default 1)\n"
-      "  --min <bytes>     (default 1)\n"
-      "  --max <bytes>     (default 4194304)\n"
-      "  --iters <n>       (default 10)\n"
-      "  --warmup <n>      (default 2)\n"
-      "  --window <n>      (default 64, bandwidth tests)\n"
-      "  --validate        (verify payload patterns)\n"
-      "  --synthetic       (logical payloads only; for large scale)\n"
-      "  --csv             (machine-readable output)\n"
-      "  --metrics <file>  (append per-rank substrate counters as CSV)\n"
-      "  --trace-json <file> (write Chrome trace-event JSON; view in\n"
-      "                       chrome://tracing or ui.perfetto.dev)\n"
-      "  --check           (verify MPI usage: collective matching,\n"
-      "                     request hygiene, buffer overlap; report on\n"
-      "                     stderr after the run)\n"
-      "  --check-strict    (escalate the first violation to an error and\n"
-      "                     exit nonzero; implies --check)\n"
-      "  --check-report <file> (append violations as CSV; implies --check)\n"
-      "  --fault-seed <n>  (seed the fault-injection streams)\n"
-      "  --kill <rank>@<us> (kill a rank at a virtual time; repeatable)\n"
-      "  --drop <rate>     (eager-message drop probability, 0..1)\n"
-      "  --ft              (fault-tolerant mode: recover from --kill via\n"
-      "                     revoke/agree/shrink instead of aborting;\n"
-      "                     allreduce, bcast, barrier or allgather)\n";
-}
-
-net::ClusterSpec cluster_by_name(const std::string& s) {
-  if (s == "frontera") return net::ClusterSpec::frontera();
-  if (s == "stampede2") return net::ClusterSpec::stampede2();
-  if (s == "ri2") return net::ClusterSpec::ri2();
-  if (s == "ri2-gpu") return net::ClusterSpec::ri2_gpu();
-  throw std::invalid_argument("unknown cluster: " + s);
-}
-
-net::MpiTuning tuning_by_name(const std::string& s) {
-  if (s == "mvapich2") return net::MpiTuning::mvapich2();
-  if (s == "intelmpi") return net::MpiTuning::intelmpi();
-  if (s == "mvapich2-gdr") return net::MpiTuning::mvapich2_gdr();
-  throw std::invalid_argument("unknown MPI library: " + s);
-}
-
-core::Mode mode_by_name(const std::string& s) {
-  if (s == "omb-c") return core::Mode::kNativeC;
-  if (s == "omb-py") return core::Mode::kPythonDirect;
-  if (s == "omb-py-pickle") return core::Mode::kPythonPickle;
-  throw std::invalid_argument("unknown mode: " + s);
-}
-
-buffers::BufferKind buffer_by_name(const std::string& s) {
-  if (s == "bytearray") return buffers::BufferKind::kByteArray;
-  if (s == "numpy") return buffers::BufferKind::kNumpy;
-  if (s == "cupy") return buffers::BufferKind::kCupy;
-  if (s == "pycuda") return buffers::BufferKind::kPycuda;
-  if (s == "numba") return buffers::BufferKind::kNumba;
-  throw std::invalid_argument("unknown buffer: " + s);
-}
-
-// "--kill 3@1500" -> kill world rank 3 at virtual time 1500 us.
-fault::KillSpec parse_kill(const std::string& s) {
-  const std::size_t at = s.find('@');
-  if (at == std::string::npos || at == 0 || at + 1 >= s.size()) {
-    throw std::invalid_argument("--kill expects <rank>@<us>, got: " + s);
+/// Run the selected benchmark once under the given config.  Exploration
+/// re-invokes this per candidate schedule with cfg.oracle armed.
+void run_once(const core::BenchmarkInfo* info, const bench_suite::CliOptions& cli,
+              const core::SuiteConfig& cfg, bool print) {
+  if (cli.ft_mode) {
+    const core::FtReport report = bench_suite::run_ft_collective(
+        cfg, bench_suite::ft_bench_by_name(cli.bench));
+    if (!print) return;
+    const core::Table table = core::ft_resilience_table(report);
+    if (cli.csv) {
+      table.write_csv(std::cout);
+    } else {
+      table.print(std::cout);
+    }
+    return;
   }
-  fault::KillSpec k;
-  k.rank = std::stoi(s.substr(0, at));
-  k.at_time_us = std::stod(s.substr(at + 1));
-  return k;
+  const auto rows = info->fn(cfg);
+  if (!print) return;
+  const bool is_bw = info->metric == "bandwidth_mbps";
+  core::Table table(
+      "OMB-X " + cli.bench + " (" + cfg.cluster.name + ", " +
+          cfg.tuning.name + ", " + core::to_string(cfg.mode) + ", " +
+          buffers::to_string(cfg.buffer) + ")",
+      {"Size", is_bw ? "Bandwidth (MB/s)" : "Avg Latency (us)",
+       "Min", "Max"});
+  for (const auto& r : rows) {
+    table.add_row(r.size, {r.stats.avg, r.stats.min, r.stats.max});
+  }
+  if (cli.csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
 }
 
-bench_suite::CollBench ft_bench_by_name(const std::string& s) {
-  if (s == "allreduce") return bench_suite::CollBench::kAllreduce;
-  if (s == "bcast") return bench_suite::CollBench::kBcast;
-  if (s == "barrier") return bench_suite::CollBench::kBarrier;
-  if (s == "allgather") return bench_suite::CollBench::kAllgather;
-  throw std::invalid_argument(
-      "--ft supports allreduce, bcast, barrier or allgather, not " + s);
+/// --explore: drive the benchmark through alternate wildcard schedules
+/// with strict checking as the violation oracle.  Exit 3 when a failing
+/// schedule is found (and write its reproducer to --explore-out).
+int run_explore(const core::BenchmarkInfo* info, const bench_suite::CliOptions& cli) {
+  core::SuiteConfig cfg = cli.cfg;
+  cfg.check.enabled = true;
+  cfg.check.strict = true;
+  cfg.oracle = std::make_shared<explore::ScheduleOracle>(cfg.nranks);
+
+  explore::SearchConfig sc;
+  sc.mode = cli.explore_mode == "fuzz" ? explore::SearchMode::kFuzz
+                                       : explore::SearchMode::kDpor;
+  sc.budget = cli.explore_budget;
+
+  const explore::RunFn run_one = [&](const explore::Schedule& sched) {
+    explore::RunResult rr;
+    cfg.oracle->arm(sched);
+    try {
+      run_once(info, cli, cfg, /*print=*/false);
+    } catch (const mpi::DeadlockError& e) {
+      rr.failed = true;
+      rr.deadlock = true;
+      rr.what = e.what();
+    } catch (const std::exception& e) {
+      rr.failed = true;
+      rr.what = e.what();
+    }
+    rr.log = cfg.oracle->log();
+    rr.diverged = cfg.oracle->diverged();
+    return rr;
+  };
+
+  const explore::SearchResult res = explore::search(run_one, sc);
+  std::cerr << "[ombx::explore] " << res.runs << " schedule(s) run, "
+            << res.shrink_runs << " shrink run(s), "
+            << res.findings.size() << " finding(s)"
+            << (res.exhausted ? ", space exhausted" : "") << "\n";
+  if (res.findings.empty()) return 0;
+
+  const explore::Finding& f = res.findings.front();
+  std::cerr << "[ombx::explore] failing schedule ("
+            << (f.deadlock ? "deadlock" : "violation") << "): " << f.what
+            << "\n";
+  if (!cli.explore_out.empty()) {
+    explore::Schedule repro = f.schedule;
+    repro.nranks = cfg.nranks;
+    explore::save_schedule(repro, cli.explore_out);
+    std::cerr << "[ombx::explore] reproducer written to " << cli.explore_out
+              << "; replay with --replay-schedule\n";
+  }
+  return 3;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   core::register_suite();
-  if (argc < 2) {
-    usage();
-    return 1;
+
+  bench_suite::CliOptions cli;
+  try {
+    cli = bench_suite::parse_cli(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
-  if (std::strcmp(argv[1], "--list") == 0) {
+  if (cli.help) {
+    bench_suite::print_usage(std::cout);
+    return argc < 2 ? 1 : 0;
+  }
+  if (cli.list) {
     for (const auto cat :
          {core::Category::kPointToPoint, core::Category::kBlockingCollective,
           core::Category::kVectorCollective}) {
@@ -126,109 +143,31 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::string bench_name = argv[1];
-  const auto* info = core::Registry::instance().find(bench_name);
-  if (info == nullptr) {
-    std::cerr << "unknown benchmark '" << bench_name << "'; try --list\n";
+  const auto* info = core::Registry::instance().find(cli.bench);
+  if (info == nullptr && !cli.ft_mode) {
+    std::cerr << "unknown benchmark '" << cli.bench << "'; try --list\n";
     return 1;
   }
 
-  core::SuiteConfig cfg;
-  cfg.ppn = 1;
-  bool csv = false;
-  bool ft_mode = false;
   try {
-    for (int i = 2; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto next = [&]() -> std::string {
-        if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
-        return argv[++i];
-      };
-      if (arg == "--cluster") {
-        cfg.cluster = cluster_by_name(next());
-      } else if (arg == "--mpi") {
-        cfg.tuning = tuning_by_name(next());
-      } else if (arg == "--mode") {
-        cfg.mode = mode_by_name(next());
-      } else if (arg == "--buffer") {
-        cfg.buffer = buffer_by_name(next());
-      } else if (arg == "--nranks") {
-        cfg.nranks = std::stoi(next());
-      } else if (arg == "--ppn") {
-        cfg.ppn = std::stoi(next());
-      } else if (arg == "--min") {
-        cfg.opts.min_size = std::stoul(next());
-      } else if (arg == "--max") {
-        cfg.opts.max_size = std::stoul(next());
-      } else if (arg == "--iters") {
-        cfg.opts.iterations = std::stoi(next());
-      } else if (arg == "--warmup") {
-        cfg.opts.warmup = std::stoi(next());
-      } else if (arg == "--window") {
-        cfg.opts.window_size = std::stoi(next());
-      } else if (arg == "--validate") {
-        cfg.opts.validate = true;
-      } else if (arg == "--synthetic") {
-        cfg.payload = mpi::PayloadMode::kSynthetic;
-      } else if (arg == "--csv") {
-        csv = true;
-      } else if (arg == "--metrics") {
-        cfg.obs.metrics_csv = next();
-      } else if (arg == "--trace-json") {
-        cfg.obs.trace_json = next();
-      } else if (arg == "--check") {
-        cfg.check.enabled = true;
-      } else if (arg == "--check-strict") {
-        cfg.check.enabled = true;
-        cfg.check.strict = true;
-      } else if (arg == "--check-report") {
-        cfg.check.enabled = true;
-        cfg.check.report_csv = next();
-      } else if (arg == "--fault-seed") {
-        cfg.fault.seed = std::stoull(next());
-      } else if (arg == "--kill") {
-        cfg.fault.kills.push_back(parse_kill(next()));
-      } else if (arg == "--drop") {
-        cfg.fault.drop.probability = std::stod(next());
-      } else if (arg == "--ft") {
-        ft_mode = true;
-        cfg.ft.enabled = true;
-      } else if (arg == "--help" || arg == "-h") {
-        usage();
-        return 0;
-      } else {
-        throw std::invalid_argument("unknown option: " + arg);
-      }
-    }
+    if (cli.explore) return run_explore(info, cli);
 
-    if (ft_mode) {
-      const core::FtReport report =
-          bench_suite::run_ft_collective(cfg, ft_bench_by_name(bench_name));
-      const core::Table table = core::ft_resilience_table(report);
-      if (csv) {
-        table.write_csv(std::cout);
-      } else {
-        table.print(std::cout);
+    core::SuiteConfig cfg = cli.cfg;
+    if (!cli.replay_schedule.empty()) {
+      const explore::Schedule sched =
+          explore::load_schedule(cli.replay_schedule);
+      if (sched.nranks > 0 && sched.nranks != cfg.nranks) {
+        throw std::invalid_argument(
+            "--replay-schedule was recorded with nranks=" +
+            std::to_string(sched.nranks) + ", run has nranks=" +
+            std::to_string(cfg.nranks));
       }
-      return 0;
+      cfg.oracle = std::make_shared<explore::ScheduleOracle>(cfg.nranks);
+      cfg.oracle->arm(sched);
+      std::cerr << "[ombx::explore] replaying " << cli.replay_schedule
+                << " (" << sched.pins.size() << " pinned decision(s))\n";
     }
-
-    const auto rows = info->fn(cfg);
-    const bool is_bw = info->metric == "bandwidth_mbps";
-    core::Table table(
-        "OMB-X " + bench_name + " (" + cfg.cluster.name + ", " +
-            cfg.tuning.name + ", " + core::to_string(cfg.mode) + ", " +
-            buffers::to_string(cfg.buffer) + ")",
-        {"Size", is_bw ? "Bandwidth (MB/s)" : "Avg Latency (us)",
-         "Min", "Max"});
-    for (const auto& r : rows) {
-      table.add_row(r.size, {r.stats.avg, r.stats.min, r.stats.max});
-    }
-    if (csv) {
-      table.write_csv(std::cout);
-    } else {
-      table.print(std::cout);
-    }
+    run_once(info, cli, cfg, /*print=*/true);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

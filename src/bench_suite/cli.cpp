@@ -1,0 +1,283 @@
+#include "bench_suite/cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace ombx::bench_suite {
+
+namespace {
+
+// Full-consumption numeric parsing: the whole token must be the number,
+// and it must fit.  std::stoi-style prefix parsing ("3x@100" -> 3) is
+// exactly the failure mode these replace.
+
+long long parse_ll(const std::string& flag, const std::string& s) {
+  if (s.empty()) throw std::invalid_argument(flag + " needs a number");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    throw std::invalid_argument(flag + " expects an integer, got: " + s);
+  }
+  return v;
+}
+
+int parse_int_min(const std::string& flag, const std::string& s, int min) {
+  const long long v = parse_ll(flag, s);
+  if (v < min || v > 2147483647LL) {
+    throw std::invalid_argument(flag + " expects an integer >= " +
+                                std::to_string(min) + ", got: " + s);
+  }
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& s) {
+  if (s.empty()) throw std::invalid_argument(flag + " needs a number");
+  // strtoull silently accepts "-1" (wrapping); reject any sign up front.
+  if (s[0] == '-' || s[0] == '+') {
+    throw std::invalid_argument(flag + " expects a non-negative integer, got: " +
+                                s);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    throw std::invalid_argument(flag + " expects a non-negative integer, got: " +
+                                s);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_dbl(const std::string& flag, const std::string& s) {
+  if (s.empty()) throw std::invalid_argument(flag + " needs a number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || errno == ERANGE) {
+    throw std::invalid_argument(flag + " expects a number, got: " + s);
+  }
+  return v;
+}
+
+net::ClusterSpec cluster_by_name(const std::string& s) {
+  if (s == "frontera") return net::ClusterSpec::frontera();
+  if (s == "stampede2") return net::ClusterSpec::stampede2();
+  if (s == "ri2") return net::ClusterSpec::ri2();
+  if (s == "ri2-gpu") return net::ClusterSpec::ri2_gpu();
+  throw std::invalid_argument("unknown cluster: " + s);
+}
+
+net::MpiTuning tuning_by_name(const std::string& s) {
+  if (s == "mvapich2") return net::MpiTuning::mvapich2();
+  if (s == "intelmpi") return net::MpiTuning::intelmpi();
+  if (s == "mvapich2-gdr") return net::MpiTuning::mvapich2_gdr();
+  throw std::invalid_argument("unknown MPI library: " + s);
+}
+
+core::Mode mode_by_name(const std::string& s) {
+  if (s == "omb-c") return core::Mode::kNativeC;
+  if (s == "omb-py") return core::Mode::kPythonDirect;
+  if (s == "omb-py-pickle") return core::Mode::kPythonPickle;
+  throw std::invalid_argument("unknown mode: " + s);
+}
+
+buffers::BufferKind buffer_by_name(const std::string& s) {
+  if (s == "bytearray") return buffers::BufferKind::kByteArray;
+  if (s == "numpy") return buffers::BufferKind::kNumpy;
+  if (s == "cupy") return buffers::BufferKind::kCupy;
+  if (s == "pycuda") return buffers::BufferKind::kPycuda;
+  if (s == "numba") return buffers::BufferKind::kNumba;
+  throw std::invalid_argument("unknown buffer: " + s);
+}
+
+// "--kill 3@1500" -> kill world rank 3 at virtual time 1500 us.  Rank
+// bounds against --nranks are checked after the full line is parsed.
+fault::KillSpec parse_kill(const std::string& s) {
+  const std::size_t at = s.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= s.size()) {
+    throw std::invalid_argument("--kill expects <rank>@<us>, got: " + s);
+  }
+  fault::KillSpec k;
+  k.rank = parse_int_min("--kill rank", s.substr(0, at), 0);
+  k.at_time_us = parse_dbl("--kill time", s.substr(at + 1));
+  if (k.at_time_us < 0.0) {
+    throw std::invalid_argument("--kill time must be >= 0, got: " + s);
+  }
+  return k;
+}
+
+}  // namespace
+
+CollBench ft_bench_by_name(const std::string& s) {
+  if (s == "allreduce") return CollBench::kAllreduce;
+  if (s == "bcast") return CollBench::kBcast;
+  if (s == "barrier") return CollBench::kBarrier;
+  if (s == "allgather") return CollBench::kAllgather;
+  throw std::invalid_argument(
+      "--ft supports allreduce, bcast, barrier or allgather, not " + s);
+}
+
+void print_usage(std::ostream& os) {
+  os <<
+      "usage: omb_run <benchmark> [options]\n"
+      "       omb_run --list\n\n"
+      "options:\n"
+      "  --cluster <frontera|stampede2|ri2|ri2-gpu>   (default frontera)\n"
+      "  --mpi <mvapich2|intelmpi|mvapich2-gdr>       (default mvapich2)\n"
+      "  --mode <omb-c|omb-py|omb-py-pickle>          (default omb-py)\n"
+      "  --buffer <bytearray|numpy|cupy|pycuda|numba> (default numpy)\n"
+      "  --nranks <n>      (default 2)\n"
+      "  --ppn <n>         (default 1)\n"
+      "  --min <bytes>     (default 1)\n"
+      "  --max <bytes>     (default 4194304)\n"
+      "  --iters <n>       (default 10)\n"
+      "  --warmup <n>      (default 2)\n"
+      "  --window <n>      (default 64, bandwidth tests)\n"
+      "  --validate        (verify payload patterns)\n"
+      "  --synthetic       (logical payloads only; for large scale)\n"
+      "  --csv             (machine-readable output)\n"
+      "  --metrics <file>  (append per-rank substrate counters as CSV)\n"
+      "  --trace-json <file> (write Chrome trace-event JSON; view in\n"
+      "                       chrome://tracing or ui.perfetto.dev)\n"
+      "  --check           (verify MPI usage: collective matching,\n"
+      "                     request hygiene, buffer overlap; report on\n"
+      "                     stderr after the run)\n"
+      "  --check-strict    (escalate the first violation to an error and\n"
+      "                     exit nonzero; implies --check)\n"
+      "  --check-report <file> (append violations as CSV; implies --check)\n"
+      "  --fault-seed <n>  (seed the fault-injection streams)\n"
+      "  --kill <rank>@<us> (kill a rank at a virtual time; repeatable)\n"
+      "  --drop <rate>     (eager-message drop probability, 0..1)\n"
+      "  --ft              (fault-tolerant mode: recover from --kill via\n"
+      "                     revoke/agree/shrink instead of aborting;\n"
+      "                     allreduce, bcast, barrier or allgather)\n"
+      "  --explore         (search wildcard-receive schedules for bugs the\n"
+      "                     default interleaving hides; implies\n"
+      "                     --check-strict; exit 3 when a schedule fails)\n"
+      "  --explore-budget <n>   (max schedules to try, default 64)\n"
+      "  --explore-mode <dpor|fuzz> (systematic search or seeded fuzzing)\n"
+      "  --explore-out <file>   (write the first failing schedule as a\n"
+      "                          reproducer; replay with --replay-schedule)\n"
+      "  --replay-schedule <file> (re-run pinning every recorded wildcard\n"
+      "                            decision from a reproducer file)\n";
+}
+
+CliOptions parse_cli(int argc, const char* const* argv) {
+  CliOptions out;
+  out.cfg.ppn = 1;
+  if (argc < 2) {
+    out.help = true;
+    return out;
+  }
+  const std::string first = argv[1];
+  if (first == "--list") {
+    out.list = true;
+    return out;
+  }
+  if (first == "--help" || first == "-h") {
+    out.help = true;
+    return out;
+  }
+  out.bench = first;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--cluster") {
+      out.cfg.cluster = cluster_by_name(next());
+    } else if (arg == "--mpi") {
+      out.cfg.tuning = tuning_by_name(next());
+    } else if (arg == "--mode") {
+      out.cfg.mode = mode_by_name(next());
+    } else if (arg == "--buffer") {
+      out.cfg.buffer = buffer_by_name(next());
+    } else if (arg == "--nranks") {
+      out.cfg.nranks = parse_int_min(arg, next(), 1);
+    } else if (arg == "--ppn") {
+      out.cfg.ppn = parse_int_min(arg, next(), 1);
+    } else if (arg == "--min") {
+      out.cfg.opts.min_size =
+          static_cast<std::size_t>(parse_u64(arg, next()));
+    } else if (arg == "--max") {
+      out.cfg.opts.max_size =
+          static_cast<std::size_t>(parse_u64(arg, next()));
+    } else if (arg == "--iters") {
+      out.cfg.opts.iterations = parse_int_min(arg, next(), 1);
+    } else if (arg == "--warmup") {
+      out.cfg.opts.warmup = parse_int_min(arg, next(), 0);
+    } else if (arg == "--window") {
+      out.cfg.opts.window_size = parse_int_min(arg, next(), 1);
+    } else if (arg == "--validate") {
+      out.cfg.opts.validate = true;
+    } else if (arg == "--synthetic") {
+      out.cfg.payload = mpi::PayloadMode::kSynthetic;
+    } else if (arg == "--csv") {
+      out.csv = true;
+    } else if (arg == "--metrics") {
+      out.cfg.obs.metrics_csv = next();
+    } else if (arg == "--trace-json") {
+      out.cfg.obs.trace_json = next();
+    } else if (arg == "--check") {
+      out.cfg.check.enabled = true;
+    } else if (arg == "--check-strict") {
+      out.cfg.check.enabled = true;
+      out.cfg.check.strict = true;
+    } else if (arg == "--check-report") {
+      out.cfg.check.enabled = true;
+      out.cfg.check.report_csv = next();
+    } else if (arg == "--fault-seed") {
+      out.cfg.fault.seed = parse_u64(arg, next());
+    } else if (arg == "--kill") {
+      out.cfg.fault.kills.push_back(parse_kill(next()));
+    } else if (arg == "--drop") {
+      out.cfg.fault.drop.probability = parse_dbl(arg, next());
+      if (out.cfg.fault.drop.probability < 0.0 ||
+          out.cfg.fault.drop.probability > 1.0) {
+        throw std::invalid_argument("--drop expects a rate in [0, 1]");
+      }
+    } else if (arg == "--ft") {
+      out.ft_mode = true;
+      out.cfg.ft.enabled = true;
+    } else if (arg == "--explore") {
+      out.explore = true;
+    } else if (arg == "--explore-budget") {
+      out.explore_budget = parse_int_min(arg, next(), 1);
+    } else if (arg == "--explore-mode") {
+      out.explore_mode = next();
+      if (out.explore_mode != "dpor" && out.explore_mode != "fuzz") {
+        throw std::invalid_argument("--explore-mode expects dpor or fuzz, got: " +
+                                    out.explore_mode);
+      }
+    } else if (arg == "--explore-out") {
+      out.explore_out = next();
+    } else if (arg == "--replay-schedule") {
+      out.replay_schedule = next();
+    } else if (arg == "--help" || arg == "-h") {
+      out.help = true;
+      return out;
+    } else {
+      throw std::invalid_argument("unknown option: " + arg);
+    }
+  }
+
+  // Cross-flag validation, once the whole line is known.
+  for (const fault::KillSpec& k : out.cfg.fault.kills) {
+    if (k.rank >= out.cfg.nranks) {
+      throw std::invalid_argument(
+          "--kill rank " + std::to_string(k.rank) + " out of range for --nranks " +
+          std::to_string(out.cfg.nranks));
+    }
+  }
+  if (out.explore && !out.replay_schedule.empty()) {
+    throw std::invalid_argument(
+        "--explore and --replay-schedule are mutually exclusive");
+  }
+  return out;
+}
+
+}  // namespace ombx::bench_suite

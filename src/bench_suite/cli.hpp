@@ -1,0 +1,48 @@
+// Command-line parsing for the omb_run driver, extracted so malformed
+// input is rejected in one hardened place (and unit-testable without
+// spawning the binary).
+//
+// Every numeric flag is parsed with full-consumption checks: "3x" is not
+// an int, "-1" is not a seed, "1e" is not a time.  parse_cli throws
+// std::invalid_argument with a message naming the offending flag; the
+// driver prints it and exits nonzero.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bench_suite/suite.hpp"
+#include "core/options.hpp"
+
+namespace ombx::bench_suite {
+
+/// Everything omb_run's main() needs, fully validated.
+struct CliOptions {
+  core::SuiteConfig cfg;
+  std::string bench;  ///< positional benchmark name (empty for --list/--help)
+  bool list = false;
+  bool help = false;
+  bool csv = false;
+  bool ft_mode = false;
+
+  // Schedule-space exploration (explore/explorer.hpp).
+  bool explore = false;            ///< --explore: search wildcard schedules
+  int explore_budget = 64;         ///< --explore-budget <n>
+  std::string explore_mode = "dpor";  ///< --explore-mode <dpor|fuzz>
+  std::string explore_out;         ///< --explore-out <file>: reproducer path
+  std::string replay_schedule;     ///< --replay-schedule <file>
+};
+
+/// Parse omb_run's argv (argv[0] is the program name).  Throws
+/// std::invalid_argument on any malformed flag, unknown option, or
+/// inconsistent combination (e.g. --kill rank >= --nranks).
+[[nodiscard]] CliOptions parse_cli(int argc, const char* const* argv);
+
+/// The omb_run usage text (shared by --help and the no-args path).
+void print_usage(std::ostream& os);
+
+/// Benchmark-name lookup for --ft mode (allreduce/bcast/barrier/allgather).
+/// Throws std::invalid_argument for unsupported names.
+[[nodiscard]] CollBench ft_bench_by_name(const std::string& s);
+
+}  // namespace ombx::bench_suite

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,10 @@
 #include "mpi/engine.hpp"
 #include "net/cluster.hpp"
 #include "net/tuning.hpp"
+
+namespace ombx::explore {
+class ScheduleOracle;
+}  // namespace ombx::explore
 
 namespace ombx::core {
 
@@ -108,6 +113,9 @@ struct SuiteConfig {
   ObsOptions obs;
   /// MPI-usage verification (off by default).
   CheckOptions check;
+  /// Scheduling oracle for record/replay/exploration (--explore /
+  /// --replay-schedule); null leaves the match paths untouched.
+  std::shared_ptr<explore::ScheduleOracle> oracle;
 };
 
 }  // namespace ombx::core

@@ -27,6 +27,7 @@ mpi::WorldConfig make_world_config(const SuiteConfig& cfg) {
                      !cfg.check.report_csv.empty();
   wc.check.mode = cfg.check.strict ? check::Mode::kStrict
                                    : check::Mode::kReport;
+  wc.oracle = cfg.oracle;
   return wc;
 }
 

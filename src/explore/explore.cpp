@@ -1,0 +1,272 @@
+#include "explore/explore.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ombx::explore {
+
+namespace {
+
+bool pin_order(const Pin& a, const Pin& b) {
+  return std::make_pair(a.rank, a.index) < std::make_pair(b.rank, b.index);
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+ScheduleOracle::ScheduleOracle(int nranks)
+    : ranks_(static_cast<std::size_t>(nranks > 0 ? nranks : 0)) {}
+
+void ScheduleOracle::arm(const Schedule& schedule) {
+  for (const Pin& p : schedule.pins) {
+    if (p.rank < 0 || p.rank >= nranks()) {
+      throw std::invalid_argument("schedule pin rank " +
+                                  std::to_string(p.rank) +
+                                  " out of range for a " +
+                                  std::to_string(nranks()) + "-rank world");
+    }
+  }
+  schedule_ = schedule;
+  diverged_.store(false, std::memory_order_relaxed);
+  for (PerRank& pr : ranks_) {
+    pr.log.clear();
+    pr.pins.clear();
+    pr.next_pin = 0;
+    pr.next_index = 0;
+  }
+  for (const Pin& p : schedule_.pins) {
+    ranks_[static_cast<std::size_t>(p.rank)].pins.push_back(p);
+  }
+  for (PerRank& pr : ranks_) {
+    std::sort(pr.pins.begin(), pr.pins.end(), pin_order);
+    for (std::size_t i = 1; i < pr.pins.size(); ++i) {
+      if (pr.pins[i].index == pr.pins[i - 1].index) {
+        throw std::invalid_argument(
+            "duplicate schedule pin for rank " +
+            std::to_string(pr.pins[i].rank) + " decision " +
+            std::to_string(pr.pins[i].index));
+      }
+    }
+  }
+}
+
+const Pin* ScheduleOracle::peek_pin(int rank) {
+  PerRank& pr = ranks_[static_cast<std::size_t>(rank)];
+  // Drop pins the replay ran past without consuming: the recorded decision
+  // no longer exists at this index, so the prefix has diverged.
+  while (pr.next_pin < pr.pins.size() &&
+         pr.pins[pr.next_pin].index < pr.next_index) {
+    mark_divergence();
+    ++pr.next_pin;
+  }
+  if (pr.next_pin < pr.pins.size() &&
+      pr.pins[pr.next_pin].index == pr.next_index) {
+    return &pr.pins[pr.next_pin];
+  }
+  return nullptr;
+}
+
+std::size_t ScheduleOracle::fuzz_pick(int rank, std::size_t n) const {
+  if (n <= 1) return 0;
+  const PerRank& pr = ranks_[static_cast<std::size_t>(rank)];
+  std::uint64_t x = schedule_.fuzz_seed;
+  x ^= (static_cast<std::uint64_t>(static_cast<std::uint32_t>(rank)) + 1) *
+       0x9e3779b97f4a7c15ULL;
+  x ^= (pr.next_index + 1) * 0xff51afd7ed558ccdULL;
+  return static_cast<std::size_t>(splitmix64(x) % n);
+}
+
+void ScheduleOracle::record_wildcard(int rank, int ctx, int chosen_src,
+                                     int chosen_tag, bool forced,
+                                     bool divergent,
+                                     std::vector<Candidate> candidates) {
+  PerRank& pr = ranks_[static_cast<std::size_t>(rank)];
+  Decision d;
+  d.kind = DecisionKind::kWildcard;
+  d.rank = rank;
+  d.index = pr.next_index;
+  d.ctx = ctx;
+  d.src = chosen_src;
+  d.tag = chosen_tag;
+  d.forced = forced;
+  d.divergent = divergent;
+  d.candidates = std::move(candidates);
+  pr.log.push_back(std::move(d));
+  // `divergent` here means "forced away from the min-seq default" — an
+  // intentional exploration choice, not a replay mismatch. The oracle-level
+  // diverged flag is reserved for prefix divergence (stale or incompatible
+  // pins), so it is NOT set here.
+  if (forced) ++pr.next_pin;
+  ++pr.next_index;
+}
+
+void ScheduleOracle::record_ft_tie(int rank, int ctx) {
+  PerRank& pr = ranks_[static_cast<std::size_t>(rank)];
+  Decision d;
+  d.kind = DecisionKind::kFtTie;
+  d.rank = rank;
+  d.index = pr.next_index;
+  d.ctx = ctx;
+  pr.log.push_back(std::move(d));
+}
+
+void ScheduleOracle::record_claim(int rank, int ctx, bool won) {
+  PerRank& pr = ranks_[static_cast<std::size_t>(rank)];
+  Decision d;
+  d.kind = DecisionKind::kClaim;
+  d.rank = rank;
+  d.index = pr.next_index;
+  d.ctx = ctx;
+  d.claim_won = won;
+  pr.log.push_back(std::move(d));
+}
+
+std::vector<Decision> ScheduleOracle::log() const {
+  std::vector<Decision> out;
+  for (const PerRank& pr : ranks_) {
+    out.insert(out.end(), pr.log.begin(), pr.log.end());
+  }
+  return out;
+}
+
+std::uint64_t ScheduleOracle::decision_count(int rank) const {
+  return ranks_[static_cast<std::size_t>(rank)].next_index;
+}
+
+std::string ScheduleOracle::identity() const {
+  if (schedule_.randomize) {
+    return "schedule=fuzz seed=" + std::to_string(schedule_.fuzz_seed);
+  }
+  if (schedule_.pins.empty()) return "schedule=default";
+  return "schedule=pinned pins=" + std::to_string(schedule_.pins.size());
+}
+
+// ---- Reproducer files -------------------------------------------------------
+
+namespace {
+
+constexpr const char* kHeader = "# omb-x schedule reproducer v1";
+
+std::uint64_t parse_u64_field(const std::string& what, const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("schedule file: bad " + what + " '" + s +
+                                "'");
+  }
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("schedule file: bad " + what + " '" + s +
+                                "'");
+  }
+}
+
+int parse_int_field(const std::string& what, const std::string& s) {
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("schedule file: bad " + what + " '" + s +
+                                "'");
+  }
+  if (pos != s.size()) {
+    throw std::invalid_argument("schedule file: bad " + what + " '" + s +
+                                "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+void write_schedule(std::ostream& os, const Schedule& s) {
+  os << kHeader << "\n";
+  if (s.nranks > 0) os << "meta nranks " << s.nranks << "\n";
+  if (s.randomize) os << "meta randomize 1\n";
+  if (s.fuzz_seed != 0) os << "meta fuzz-seed " << s.fuzz_seed << "\n";
+  if (!s.note.empty()) os << "meta note " << s.note << "\n";
+  for (const Pin& p : s.pins) {
+    os << "pin " << p.rank << " " << p.index << " " << p.src << " " << p.tag
+       << "\n";
+  }
+}
+
+Schedule parse_schedule(std::istream& is) {
+  Schedule s;
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::invalid_argument(
+        "schedule file: missing header '" + std::string(kHeader) + "'");
+  }
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "meta") {
+      std::string key;
+      ls >> key;
+      if (key == "nranks") {
+        std::string v;
+        ls >> v;
+        s.nranks = parse_int_field("nranks", v);
+        if (s.nranks < 0) {
+          throw std::invalid_argument("schedule file: bad nranks '" + v + "'");
+        }
+      } else if (key == "randomize") {
+        std::string v;
+        ls >> v;
+        s.randomize = parse_int_field("randomize", v) != 0;
+      } else if (key == "fuzz-seed") {
+        std::string v;
+        ls >> v;
+        s.fuzz_seed = parse_u64_field("fuzz-seed", v);
+      } else if (key == "note") {
+        std::getline(ls, s.note);
+        const std::size_t first = s.note.find_first_not_of(' ');
+        s.note = first == std::string::npos ? "" : s.note.substr(first);
+      } else {
+        throw std::invalid_argument("schedule file: unknown meta key '" +
+                                    key + "'");
+      }
+    } else if (kw == "pin") {
+      std::string r, i, src, tag;
+      ls >> r >> i >> src >> tag;
+      Pin p;
+      p.rank = parse_int_field("pin rank", r);
+      p.index = parse_u64_field("pin index", i);
+      p.src = parse_int_field("pin src", src);
+      p.tag = parse_int_field("pin tag", tag);
+      s.pins.push_back(p);
+    } else {
+      throw std::invalid_argument("schedule file: unknown directive '" + kw +
+                                  "'");
+    }
+  }
+  std::sort(s.pins.begin(), s.pins.end(), pin_order);
+  return s;
+}
+
+void save_schedule(const Schedule& s, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot write schedule file: " + path);
+  write_schedule(os, s);
+}
+
+Schedule load_schedule(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::invalid_argument("cannot read schedule file: " + path);
+  return parse_schedule(is);
+}
+
+}  // namespace ombx::explore

@@ -1,0 +1,187 @@
+// Schedule-space exploration: the scheduling oracle (ombx::explore).
+//
+// The substrate is deterministic in virtual time, but three classes of
+// decision are resolved by *arrival order*, which the host scheduler
+// controls: which candidate a wildcard (ANY_SOURCE / ANY_TAG) receive
+// matches, which side wins a zero-copy rendezvous claim during an abort,
+// and which mark (death vs exit) interrupts an FT wait when both exist.
+// The checker (PR 4) and the FT recovery paths (PR 5) have only ever been
+// exercised on the single interleaving the default scheduler produces.
+//
+// A ScheduleOracle attached to a World records every such decision into a
+// per-rank log, and can *force* wildcard choices on a later run: a Pin
+// (rank, decision index) -> (src, tag) makes that rank's index-th wildcard
+// match wait for the pinned bin and take its head, regardless of what else
+// is queued.  Decision indices count a rank's *successful* wildcard
+// observations in its own program order (blocking matches, successful
+// try_* and probes), so they are identical across hosts for an unchanged
+// prefix — which is what makes a committed pin list a byte-identical
+// reproducer.  Rendezvous claims and FT wake-order ties are record-only:
+// they are logged for attribution but cannot be forced.
+//
+// The oracle is wired in behind a null check on the wildcard commit path
+// only; a world without an oracle attached executes the exact same
+// instructions as before this subsystem existed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ombx::explore {
+
+/// Force rank `rank`'s `index`-th wildcard decision to match the
+/// (src, tag) bin (comm-local source, actual tag — never wildcards).
+struct Pin {
+  int rank = 0;
+  std::uint64_t index = 0;
+  int src = 0;
+  int tag = 0;
+};
+
+/// One run's scheduling directive: a pin list (deterministic forcing) or a
+/// seeded fuzz pass (every multi-candidate wildcard match picks a
+/// hash(seed, rank, index)-selected candidate instead of the min-seq one).
+struct Schedule {
+  std::vector<Pin> pins;
+  bool randomize = false;
+  std::uint64_t fuzz_seed = 0;
+  /// World size the schedule was recorded for (0 = unspecified); replay
+  /// refuses a mismatched world instead of silently diverging.
+  int nranks = 0;
+  /// Free-form single-line provenance carried into the reproducer file.
+  std::string note;
+};
+
+/// One matchable bin at a wildcard decision point: its key and the global
+/// arrival stamp of its head (the message a pin on this key would take).
+struct Candidate {
+  int src = 0;
+  int tag = 0;
+  std::uint64_t seq = 0;
+};
+
+enum class DecisionKind {
+  kWildcard,  ///< wildcard receive/probe match (forcible)
+  kFtTie,     ///< FT wait interrupted while death AND exit marks coexist
+  kClaim,     ///< zero-copy rendezvous claim attempt (won or lost)
+};
+
+/// One recorded nondeterministic decision.  `index` is the owner rank's
+/// wildcard-decision counter at the time (kFtTie/kClaim entries do not
+/// consume indices; theirs records the counter's current value so the log
+/// interleaves in program order).
+struct Decision {
+  DecisionKind kind = DecisionKind::kWildcard;
+  int rank = -1;
+  std::uint64_t index = 0;
+  int ctx = 0;
+  int src = -1;  ///< chosen source (kWildcard only)
+  int tag = -1;  ///< chosen tag (kWildcard only)
+  bool forced = false;     ///< a pin dictated this choice
+  bool divergent = false;  ///< choice differs from the min-seq default
+  bool claim_won = false;  ///< kClaim only
+  std::vector<Candidate> candidates;  ///< kWildcard only, seq-ascending
+};
+
+/// The oracle one World (or a sequence of runs on one World) consults.
+/// Thread safety: all of rank r's record/peek calls happen on r's own
+/// thread (mailbox matching runs under r's mailbox lock, claims in r's
+/// Engine::recv), so per-rank state needs no lock; arm() and log() must
+/// only be called while no run is in flight.
+class ScheduleOracle {
+ public:
+  explicit ScheduleOracle(int nranks);
+
+  ScheduleOracle(const ScheduleOracle&) = delete;
+  ScheduleOracle& operator=(const ScheduleOracle&) = delete;
+
+  /// Install a schedule and reset every per-rank log/cursor.  Throws
+  /// std::invalid_argument on an out-of-range pin rank or a duplicate
+  /// (rank, index) pin.
+  void arm(const Schedule& schedule);
+
+  [[nodiscard]] const Schedule& schedule() const noexcept {
+    return schedule_;
+  }
+  [[nodiscard]] int nranks() const noexcept {
+    return static_cast<int>(ranks_.size());
+  }
+
+  // ---- Owner-thread hooks (called from mailbox/engine) ---------------------
+
+  /// The pin governing `rank`'s next wildcard decision, or null.  Skips
+  /// (and flags as divergence) stale pins whose index was passed without
+  /// being consumed — a pin recorded under a receive pattern the replayed
+  /// program no longer issues.
+  [[nodiscard]] const Pin* peek_pin(int rank);
+
+  /// Note that the replayed prefix no longer matches the recording.
+  void mark_divergence() noexcept {
+    diverged_.store(true, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool randomize() const noexcept { return schedule_.randomize; }
+
+  /// Fuzz mode: deterministic candidate pick for `rank`'s next decision —
+  /// a pure function of (fuzz seed, rank, decision index), so a fixed
+  /// candidate set always yields the same pick.
+  [[nodiscard]] std::size_t fuzz_pick(int rank, std::size_t n) const;
+
+  /// Record a committed wildcard match (consumes the rank's decision
+  /// index, and its pending pin when `forced`).
+  void record_wildcard(int rank, int ctx, int chosen_src, int chosen_tag,
+                       bool forced, bool divergent,
+                       std::vector<Candidate> candidates);
+
+  void record_ft_tie(int rank, int ctx);
+  void record_claim(int rank, int ctx, bool won);
+
+  // ---- Post-join observers -------------------------------------------------
+
+  /// All decisions, rank-major, per-rank program order.
+  [[nodiscard]] std::vector<Decision> log() const;
+  [[nodiscard]] std::uint64_t decision_count(int rank) const;
+  [[nodiscard]] bool diverged() const noexcept {
+    return diverged_.load(std::memory_order_relaxed);
+  }
+
+  /// Single-line schedule identity for diagnostics ("schedule=default",
+  /// "schedule=pinned pins=4", "schedule=fuzz seed=17").  A pure function
+  /// of the armed schedule, so it is safe to capture before threads start.
+  [[nodiscard]] std::string identity() const;
+
+ private:
+  struct PerRank {
+    std::vector<Decision> log;
+    std::vector<Pin> pins;  ///< this rank's pins, index-ascending
+    std::size_t next_pin = 0;
+    std::uint64_t next_index = 0;
+  };
+
+  std::vector<PerRank> ranks_;
+  Schedule schedule_;
+  std::atomic<bool> diverged_{false};
+};
+
+// ---- Reproducer files -------------------------------------------------------
+//
+// Text format (one decision pin per line, '#' comments ignored):
+//
+//   # omb-x schedule reproducer v1
+//   meta nranks 3
+//   meta note wildcard message race
+//   pin 1 0 2 5
+//
+// parse_schedule/load_schedule throw std::invalid_argument on anything
+// malformed (wrong header, unknown directive, non-numeric field).
+
+void write_schedule(std::ostream& os, const Schedule& s);
+[[nodiscard]] Schedule parse_schedule(std::istream& is);
+void save_schedule(const Schedule& s, const std::string& path);
+[[nodiscard]] Schedule load_schedule(const std::string& path);
+
+}  // namespace ombx::explore

@@ -1,0 +1,280 @@
+#include "explore/explorer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "mpi/error.hpp"
+
+namespace ombx::explore {
+
+namespace {
+
+std::pair<int, std::uint64_t> key_of(const Pin& p) {
+  return {p.rank, p.index};
+}
+
+void sort_pins(Schedule& s) {
+  std::sort(s.pins.begin(), s.pins.end(), [](const Pin& a, const Pin& b) {
+    return key_of(a) < key_of(b);
+  });
+}
+
+bool has_pin(const Schedule& s, int rank, std::uint64_t index) {
+  for (const Pin& p : s.pins) {
+    if (p.rank == rank && p.index == index) return true;
+  }
+  return false;
+}
+
+std::string canon_key(const Schedule& s) {
+  std::string k;
+  for (const Pin& p : s.pins) {
+    k += std::to_string(p.rank) + ":" + std::to_string(p.index) + "->" +
+         std::to_string(p.src) + "/" + std::to_string(p.tag) + ";";
+  }
+  return k;
+}
+
+/// Wildcard decisions only, (rank, index)-ascending — the branch order.
+std::vector<Decision> wildcards_sorted(const std::vector<Decision>& log) {
+  std::vector<Decision> ds;
+  for (const Decision& d : log) {
+    if (d.kind == DecisionKind::kWildcard) ds.push_back(d);
+  }
+  std::sort(ds.begin(), ds.end(), [](const Decision& a, const Decision& b) {
+    return std::make_pair(a.rank, a.index) < std::make_pair(b.rank, b.index);
+  });
+  return ds;
+}
+
+std::string first_line(const std::string& s) {
+  const std::size_t nl = s.find('\n');
+  return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+Finding make_finding(const RunFn& run, const SearchConfig& cfg,
+                     const RunResult& rr, const Schedule& failing_sched,
+                     SearchResult& res) {
+  Finding f;
+  f.what = rr.what;
+  f.deadlock = rr.deadlock;
+  const std::string what_norm = strip_schedule_line(rr.what);
+
+  // Seed divergence list: the pins that produced the failure — or, for a
+  // fuzz run (whose schedule is a seed, not a pin list), the decisions the
+  // fuzzer flipped away from the min-seq default.
+  Schedule seed;
+  if (failing_sched.randomize) {
+    for (const Decision& d : rr.log) {
+      if (d.kind == DecisionKind::kWildcard && d.divergent) {
+        seed.pins.push_back(Pin{d.rank, d.index, d.src, d.tag});
+      }
+    }
+  } else {
+    seed.pins = failing_sched.pins;
+  }
+  sort_pins(seed);
+
+  RunResult best = run(seed);
+  ++res.shrink_runs;
+  if (!best.failed || strip_schedule_line(best.what) != what_norm) {
+    // The divergence list alone does not reproduce (the failure depended
+    // on choices the defaults no longer make): pin the complete recorded
+    // log instead.
+    seed = pin_everything(rr.log);
+    best = run(seed);
+    ++res.shrink_runs;
+    if (!best.failed || strip_schedule_line(best.what) != what_norm) {
+      f.schedule = seed;
+      f.schedule.note = "unstable: failure did not reproduce under pinning";
+      return f;
+    }
+  }
+
+  Schedule minimal = seed;
+  if (cfg.shrink) {
+    minimal = shrink_divergences(run, seed, what_norm, res.shrink_runs, &best);
+  }
+
+  // The minimal schedule's own (failing) run is the recording: pin every
+  // decision it made so the committed reproducer is host-independent.
+  f.schedule = pin_everything(best.log);
+  f.schedule.note = "minimal divergences: " +
+                    std::to_string(minimal.pins.size()) + "; " +
+                    first_line(best.what);
+  f.what = best.what;
+  f.deadlock = best.deadlock;
+  return f;
+}
+
+}  // namespace
+
+std::string strip_schedule_line(const std::string& what) {
+  const std::size_t at = what.find("\nschedule: ");
+  if (at == std::string::npos) return what;
+  const std::size_t end = what.find('\n', at + 1);
+  return what.substr(0, at) +
+         (end == std::string::npos ? "" : what.substr(end));
+}
+
+Schedule pin_everything(const std::vector<Decision>& log) {
+  Schedule s;
+  for (const Decision& d : log) {
+    if (d.kind == DecisionKind::kWildcard) {
+      s.pins.push_back(Pin{d.rank, d.index, d.src, d.tag});
+    }
+  }
+  sort_pins(s);
+  return s;
+}
+
+Schedule shrink_divergences(const RunFn& run, const Schedule& failing,
+                            const std::string& what_norm, int& runs_used,
+                            RunResult* last_fail) {
+  Schedule cur = failing;
+  bool progress = true;
+  while (progress && !cur.pins.empty()) {
+    progress = false;
+    for (std::size_t i = 0; i < cur.pins.size(); ++i) {
+      Schedule trial = cur;
+      trial.pins.erase(trial.pins.begin() + static_cast<std::ptrdiff_t>(i));
+      RunResult rr = run(trial);
+      ++runs_used;
+      if (rr.failed && strip_schedule_line(rr.what) == what_norm) {
+        cur = std::move(trial);
+        if (last_fail != nullptr) *last_fail = std::move(rr);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return cur;
+}
+
+SearchResult search(const RunFn& run, const SearchConfig& cfg) {
+  SearchResult res;
+
+  if (cfg.mode == SearchMode::kFuzz) {
+    for (int i = 0; i < cfg.budget; ++i) {
+      Schedule s;
+      if (i > 0) {
+        // Run 0 is the default schedule (the bug must also be checked
+        // there); later runs perturb with consecutive seeds.
+        s.randomize = true;
+        s.fuzz_seed = cfg.fuzz_seed + static_cast<std::uint64_t>(i) - 1;
+      }
+      RunResult rr = run(s);
+      ++res.runs;
+      if (rr.failed) {
+        res.findings.push_back(make_finding(run, cfg, rr, s, res));
+        if (cfg.stop_at_first) return res;
+      }
+    }
+    return res;  // fuzzing never proves exhaustion
+  }
+
+  struct Node {
+    Schedule sched;
+    bool has_frontier = false;
+    int frontier_rank = 0;
+    std::uint64_t frontier_index = 0;
+  };
+  std::vector<Node> stack;
+  stack.push_back(Node{});
+  std::set<std::string> seen;
+  bool budget_hit = false;
+
+  while (!stack.empty()) {
+    if (res.runs >= cfg.budget) {
+      budget_hit = true;
+      break;
+    }
+    Node node = std::move(stack.back());
+    stack.pop_back();
+    if (cfg.mode == SearchMode::kDpor &&
+        !seen.insert(canon_key(node.sched)).second) {
+      ++res.pruned;
+      continue;
+    }
+
+    RunResult rr = run(node.sched);
+    ++res.runs;
+    if (rr.failed) {
+      res.findings.push_back(make_finding(run, cfg, rr, node.sched, res));
+      if (cfg.stop_at_first) return res;
+      continue;  // a failed run's suffix is not a schedule to branch from
+    }
+
+    const std::vector<Decision> ds = wildcards_sorted(rr.log);
+    for (std::size_t di = 0; di < ds.size(); ++di) {
+      const Decision& d = ds[di];
+      if (d.candidates.size() < 2) continue;
+      if (has_pin(node.sched, d.rank, d.index)) continue;
+      if (cfg.mode == SearchMode::kDpor && node.has_frontier &&
+          std::make_pair(d.rank, d.index) <=
+              std::make_pair(node.frontier_rank, node.frontier_index)) {
+        // Sleep rule: alternates at or before this node's own branch
+        // point belong to an ancestor's sibling subtrees.
+        continue;
+      }
+      for (const Candidate& a : d.candidates) {
+        if (a.src == d.src && a.tag == d.tag) continue;
+        Node child;
+        child.sched = node.sched;
+        if (cfg.mode == SearchMode::kDpor) {
+          // Freeze the prefix: every decision before the branch point
+          // keeps its recorded choice, so the child explores exactly one
+          // divergence (plus its downstream consequences).
+          for (std::size_t pj = 0; pj < di; ++pj) {
+            const Decision& p = ds[pj];
+            if (!has_pin(child.sched, p.rank, p.index)) {
+              child.sched.pins.push_back(Pin{p.rank, p.index, p.src, p.tag});
+            }
+          }
+        }
+        child.sched.pins.push_back(Pin{d.rank, d.index, a.src, a.tag});
+        sort_pins(child.sched);
+        child.has_frontier = true;
+        child.frontier_rank = d.rank;
+        child.frontier_index = d.index;
+        stack.push_back(std::move(child));
+      }
+    }
+  }
+
+  res.exhausted = !budget_hit && stack.empty();
+  return res;
+}
+
+RunFn make_world_runner(mpi::WorldConfig base,
+                        std::function<void(mpi::Comm&)> program) {
+  // The violation oracle: strict checking (first violation throws a
+  // rank-attributed error) plus the always-on deadlock watchdog.
+  base.check.enabled = true;
+  base.check.mode = check::Mode::kStrict;
+  auto oracle = std::make_shared<ScheduleOracle>(base.nranks);
+  base.oracle = oracle;
+  auto world = std::make_shared<mpi::World>(base);
+  return [world, oracle,
+          program = std::move(program)](const Schedule& s) -> RunResult {
+    RunResult rr;
+    oracle->arm(s);
+    try {
+      world->run(program);
+    } catch (const mpi::DeadlockError& e) {
+      rr.failed = true;
+      rr.deadlock = true;
+      rr.what = e.what();
+    } catch (const std::exception& e) {
+      rr.failed = true;
+      rr.what = e.what();
+    }
+    rr.log = oracle->log();
+    rr.diverged = oracle->diverged();
+    return rr;
+  };
+}
+
+}  // namespace ombx::explore

@@ -1,0 +1,109 @@
+// Schedule-space search over a ScheduleOracle-instrumented program.
+//
+// search() drives repeated runs of a program (each under a different
+// Schedule) looking for a run that fails the violation oracle — a strict
+// checker error or a watchdog DeadlockError.  Two systematic modes and a
+// fuzzing fallback:
+//
+//   kDpor   depth-first over forced alternates with sleep-set-style
+//           pruning: a child branching at decision d re-pins every
+//           decision before d (in (rank, index) order) to its recorded
+//           choice and only branches *after* d, so the subtree rooted at
+//           an alternate never re-derives interleavings an ancestor's
+//           earlier siblings already cover; a canonical-pin-list seen-set
+//           catches the remainder.  Exhausts small spaces.
+//
+//   kNaive  brute force: every child pins only its own alternate and
+//           re-branches everywhere.  Exists as the baseline DPOR is
+//           measured against (tests assert strictly fewer kDpor runs on
+//           the same space with the same outcome coverage).
+//
+//   kFuzz   budgeted seeded schedule fuzzing (hash-picked wildcard
+//           choices) for spaces too large to enumerate.
+//
+// On a failing run the shrinker delta-debugs the divergence pin list to a
+// minimal set that still fails with the same violation, then re-records
+// that minimal schedule and emits the *complete* pin list of the
+// re-recorded run as the reproducer: unpinned decisions would fall back to
+// the min-seq default, which is host-arrival-order dependent — pinning
+// everything is what makes the committed file replay byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "mpi/world.hpp"
+
+namespace ombx::explore {
+
+enum class SearchMode { kDpor, kNaive, kFuzz };
+
+struct SearchConfig {
+  SearchMode mode = SearchMode::kDpor;
+  /// Exploration run cap (shrinking/re-recording runs are counted
+  /// separately in SearchResult::shrink_runs).
+  int budget = 256;
+  std::uint64_t fuzz_seed = 1;
+  bool shrink = true;
+  bool stop_at_first = true;
+};
+
+/// Outcome of one schedule's run.
+struct RunResult {
+  bool failed = false;
+  bool deadlock = false;
+  bool diverged = false;
+  std::string what;
+  std::vector<Decision> log;
+};
+
+/// Runs the program once under `schedule` and reports what happened.  The
+/// runner owns arming the oracle and catching the violation oracle's
+/// exceptions.
+using RunFn = std::function<RunResult(const Schedule&)>;
+
+struct Finding {
+  Schedule schedule;  ///< full-pin reproducer (see header comment)
+  std::string what;   ///< the violation, as replayed under the reproducer
+  bool deadlock = false;
+};
+
+struct SearchResult {
+  int runs = 0;         ///< exploration runs executed
+  int shrink_runs = 0;  ///< extra runs spent shrinking / re-recording
+  int pruned = 0;       ///< schedules skipped by the DPOR seen-set
+  bool exhausted = false;  ///< the whole space was enumerated under budget
+  std::vector<Finding> findings;
+};
+
+[[nodiscard]] SearchResult search(const RunFn& run, const SearchConfig& cfg);
+
+/// `what` with the trailing "schedule: ..." identity line removed, so
+/// failures can be compared across schedules (the identity names the pin
+/// count, which shrinking changes by design).
+[[nodiscard]] std::string strip_schedule_line(const std::string& what);
+
+/// Pin list covering every wildcard decision in `log` at its recorded
+/// choice.
+[[nodiscard]] Schedule pin_everything(const std::vector<Decision>& log);
+
+/// Delta-debug `failing`'s pin list to a minimal subset that still fails
+/// with the same (schedule-line-stripped) violation.  `last_fail`, when
+/// non-null, receives the minimal schedule's own run result.
+[[nodiscard]] Schedule shrink_divergences(const RunFn& run,
+                                          const Schedule& failing,
+                                          const std::string& what_norm,
+                                          int& runs_used,
+                                          RunResult* last_fail = nullptr);
+
+/// Standard runner: one World (strict checking forced on, oracle
+/// attached) reused across schedules; each call arms the oracle, runs
+/// `program`, and maps strict-checker errors and watchdog deadlocks to a
+/// failed RunResult.
+[[nodiscard]] RunFn make_world_runner(
+    mpi::WorldConfig base, std::function<void(mpi::Comm&)> program);
+
+}  // namespace ombx::explore

@@ -89,12 +89,13 @@ std::optional<FailureState::Interrupt> FailureState::wait_interrupt_locked(
     // in host time.
     const auto dit = dead_.find(w);
     const auto eit = exited_.find({context, w});
+    const bool both = dit != dead_.end() && eit != exited_.end();
     if (dit != dead_.end() &&
         (eit == exited_.end() || dit->second <= eit->second)) {
-      return Interrupt{true, w, dit->second};
+      return Interrupt{true, w, dit->second, both};
     }
     if (eit != exited_.end()) {
-      return Interrupt{false, -1, eit->second};
+      return Interrupt{false, -1, eit->second, both};
     }
     return std::nullopt;
   }
@@ -122,7 +123,8 @@ std::optional<FailureState::Interrupt> FailureState::wait_interrupt_locked(
   }
   if (lowest_dead < 0 && all_dead) return std::nullopt;  // singleton comm
   if (all_dead) return Interrupt{true, lowest_dead, latest};
-  if (all_gone) return Interrupt{false, -1, latest};
+  // Revoked wake with deaths present: death and exit marks coexist.
+  if (all_gone) return Interrupt{false, -1, latest, lowest_dead >= 0};
   return std::nullopt;
 }
 
@@ -131,6 +133,22 @@ std::optional<FailureState::Interrupt> FailureState::enqueue_interrupt(
   std::lock_guard<std::mutex> lk(m_);
   if (const auto dit = dead_.find(owner_world_rank); dit != dead_.end()) {
     return Interrupt{true, owner_world_rank, dit->second};
+  }
+  return std::nullopt;
+}
+
+std::optional<FailureState::Interrupt> FailureState::sender_interrupt(
+    int context, int peer_world) const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto dit = dead_.find(peer_world);
+  const auto eit = exited_.find({context, peer_world});
+  const bool both = dit != dead_.end() && eit != exited_.end();
+  if (dit != dead_.end() &&
+      (eit == exited_.end() || dit->second <= eit->second)) {
+    return Interrupt{true, peer_world, dit->second, both};
+  }
+  if (eit != exited_.end()) {
+    return Interrupt{false, -1, eit->second, both};
   }
   return std::nullopt;
 }

@@ -161,6 +161,10 @@ class FailureState {
     bool proc_failed = false;  ///< else: revoked
     int failed_rank = -1;      ///< dead world rank (proc_failed only)
     usec_t at_time_us = 0.0;   ///< death / revocation virtual time
+    /// Death AND exit marks coexisted when the wake fired — the outcome is
+    /// still deterministic (earliest virtual event wins) but the state was
+    /// genuinely racy; the scheduling oracle logs these for attribution.
+    bool tie = false;
   };
   [[nodiscard]] std::optional<Interrupt> wait_interrupt(
       int context, int src_comm_rank, int owner_world_rank) const;
@@ -168,6 +172,14 @@ class FailureState {
   /// Interrupt for a sender capacity-blocked on a dead owner's mailbox.
   [[nodiscard]] std::optional<Interrupt> enqueue_interrupt(
       int owner_world_rank) const;
+
+  /// Pending interrupt for a rendezvous sender parked on `peer_world` in
+  /// `context`: the peer's death or exit mark, virtually earliest first
+  /// (ties to the death, matching wait_interrupt).  Engine::post_send
+  /// consults this right after registering a sync cell, closing the race
+  /// with a mark whose wake sweep ran before the cell existed.
+  [[nodiscard]] std::optional<Interrupt> sender_interrupt(
+      int context, int peer_world) const;
 
   /// Fault-tolerant barriers.  Both block until every registered member
   /// of `context` has arrived or is dead-marked, then price a tree of

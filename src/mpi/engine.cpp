@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "explore/explore.hpp"
 #include "mpi/error.hpp"
 
 namespace ombx::mpi {
@@ -200,6 +201,16 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
       std::lock_guard<std::mutex> lk(abort_mutex_);
       if (abort_) cell->poison(abort_);
     }
+    // Same handshake for FT marks: a peer death or exit mark published
+    // before the registration above was swept while this cell did not yet
+    // exist, so no future sweep will reach it — interrupt it ourselves.
+    // Without this, a sender racing a peer's revoke/shrink parks on the
+    // cell forever while the survivors wait for it in recovery.
+    if (ft_) {
+      if (const auto it = ft_->sender_interrupt(ctx, dst_world)) {
+        cell->ft_interrupt(it->proc_failed, it->failed_rank, it->at_time_us);
+      }
+    }
   }
 
   if (metrics_) {
@@ -305,7 +316,15 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
       // the buffer) mid-copy; a false claim means the cell is already
       // poisoned and the buffer may be gone — skip the bytes, the abort
       // surfaces at this rank's next substrate call.
-      if (msg.sync && msg.sync->begin_transfer()) {
+      const bool claimed = msg.sync && msg.sync->begin_transfer();
+      if (msg.sync && oracle_ != nullptr) {
+        oracle_->record_claim(self_world, ctx, claimed);
+        if (metrics_) {
+          metrics_->rank(self_world).sched_rendezvous_claims.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      if (claimed) {
         std::memcpy(v.data, msg.zero_copy_src.data, msg.bytes);
       } else if (checker_ && !aborted_.load(std::memory_order_acquire)) {
         // A failed claim with no abort pending means the sender's buffer
@@ -655,6 +674,11 @@ void Engine::charge_bytes(int world_rank, double bytes) {
 
 void Engine::enable_tracing() {
   if (!tracer_) tracer_ = std::make_unique<Tracer>(nranks());
+}
+
+void Engine::set_oracle(explore::ScheduleOracle* oracle) {
+  oracle_ = oracle;
+  for (auto& mb : mail_) mb->set_oracle(oracle);
 }
 
 void Engine::enable_metrics() {

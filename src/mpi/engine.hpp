@@ -234,6 +234,15 @@ class Engine {
   void enable_tracing();
   [[nodiscard]] Tracer* tracer() noexcept { return tracer_.get(); }
 
+  /// Attach a scheduling oracle (explore/explore.hpp) to every mailbox
+  /// and to the rendezvous-claim path; null detaches.  NOT cleared by
+  /// reset_clocks(): one oracle observes every run a driver executes, and
+  /// exploration re-arms it per schedule.
+  void set_oracle(explore::ScheduleOracle* oracle);
+  [[nodiscard]] explore::ScheduleOracle* oracle() const noexcept {
+    return oracle_;
+  }
+
   /// Turn on per-rank metrics counters (obs/metrics.hpp).  Counting never
   /// touches virtual clocks — benchmark outputs are byte-identical with
   /// metrics on or off.  Counters are re-zeroed by reset_clocks().
@@ -287,6 +296,7 @@ class Engine {
 
   std::shared_ptr<fault::FaultPlan> fault_;
   std::unique_ptr<ft::FailureState> ft_;  // null unless FT is enabled
+  explore::ScheduleOracle* oracle_ = nullptr;  // null unless exploring
   std::atomic<bool> aborted_{false};
   mutable std::mutex abort_mutex_;
   std::shared_ptr<const fault::AbortInfo> abort_;

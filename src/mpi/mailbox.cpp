@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <tuple>
 
+#include "explore/explore.hpp"
 #include "mpi/error.hpp"
 
 namespace ombx::mpi {
@@ -92,6 +93,78 @@ Mailbox::Bin* Mailbox::find_match(int ctx, int src, int tag) const noexcept {
   return best;
 }
 
+void Mailbox::collect_candidates(int ctx, int src, int tag,
+                                 std::vector<explore::Candidate>& out) const {
+  for (const Bin& b : bins_) {
+    if (b.q.empty() || b.ctx != ctx) continue;
+    if (src != kAnySource && b.src != src) continue;
+    if (tag != kAnyTag && b.tag != tag) continue;
+    out.push_back(explore::Candidate{b.src, b.tag, b.q.front().seq});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const explore::Candidate& a, const explore::Candidate& b) {
+              return a.seq < b.seq;
+            });
+}
+
+Mailbox::Bin* Mailbox::match_for(int ctx, int src, int tag) {
+  if (oracle_ == nullptr || (src != kAnySource && tag != kAnyTag)) {
+    return find_match(ctx, src, tag);
+  }
+  if (const explore::Pin* pin = oracle_->peek_pin(owner_)) {
+    const bool compatible = (src == kAnySource || src == pin->src) &&
+                            (tag == kAnyTag || tag == pin->tag);
+    if (compatible) {
+      // Forced choice: wait for the pinned bin even when other candidates
+      // are already queued (the recorded run observed this one first).
+      Bin* b = find_bin(ctx, pin->src, pin->tag);
+      return (b != nullptr && !b->q.empty()) ? b : nullptr;
+    }
+    // The pin was recorded under a different receive pattern: the prefix
+    // has diverged.  Fall back to the default; the stale pin is skipped
+    // (and flagged) at the next decision.
+    oracle_->mark_divergence();
+    return find_match(ctx, src, tag);
+  }
+  Bin* b = find_match(ctx, src, tag);
+  if (b != nullptr && oracle_->randomize()) {
+    std::vector<explore::Candidate> cands;
+    collect_candidates(ctx, src, tag, cands);
+    if (cands.size() > 1) {
+      const explore::Candidate& pick =
+          cands[oracle_->fuzz_pick(owner_, cands.size())];
+      b = find_bin(ctx, pick.src, pick.tag);
+    }
+  }
+  return b;
+}
+
+void Mailbox::commit_wildcard_locked(const Bin& bin, int ctx, int src,
+                                     int tag) {
+  if (oracle_ == nullptr || (src != kAnySource && tag != kAnyTag)) return;
+  std::vector<explore::Candidate> cands;
+  collect_candidates(ctx, src, tag, cands);
+  // A pending pin matching the chosen bin is the one that forced it; an
+  // incompatible pin can never coincide with the default choice (any
+  // exact pattern field pins the bin's key to the pattern, not the pin).
+  const explore::Pin* pin = oracle_->peek_pin(owner_);
+  const bool forced =
+      pin != nullptr && pin->src == bin.src && pin->tag == bin.tag;
+  const bool divergent =
+      !cands.empty() &&
+      !(cands.front().src == bin.src && cands.front().tag == bin.tag);
+  if (counters_ != nullptr) {
+    counters_->sched_wildcard_decisions.fetch_add(1,
+                                                  std::memory_order_relaxed);
+    if (divergent) {
+      counters_->sched_forced_divergences.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    }
+  }
+  oracle_->record_wildcard(owner_, ctx, bin.src, bin.tag, forced, divergent,
+                           std::move(cands));
+}
+
 Message Mailbox::take_locked(Bin& bin, bool wildcard) {
   if (counters_ != nullptr) {
     // Classified in receiver program order (see obs/metrics.hpp): an MRU
@@ -150,7 +223,7 @@ void Mailbox::enqueue(Message&& msg) {
 
 Message Mailbox::dequeue_match(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
-  Bin* bin = find_match(ctx, src, tag);
+  Bin* bin = match_for(ctx, src, tag);
   std::optional<ft::FailureState::Interrupt> ft_it;
   if (bin == nullptr && !poison_) {
     // A queued match wins over an FT interruption (checked first, both
@@ -163,7 +236,7 @@ Message Mailbox::dequeue_match(int ctx, int src, int tag) {
           fault::WaitInfo{fault::WaitKind::kRecv, ctx, src, tag});
       ++arrival_waiters_;
       arrived_.wait(lk, [&] {
-        bin = find_match(ctx, src, tag);
+        bin = match_for(ctx, src, tag);
         if (bin != nullptr || poison_ != nullptr) return true;
         if (fs_ != nullptr) {
           ft_it = fs_->wait_interrupt(ctx, src, owner_);
@@ -180,30 +253,36 @@ Message Mailbox::dequeue_match(int ctx, int src, int tag) {
     }
     throw_poisoned_locked();
   }
-  if (bin == nullptr && ft_it) ft::throw_interrupt(*ft_it, owner_, ctx);
+  if (bin == nullptr && ft_it) {
+    note_ft_interrupt_locked(*ft_it, ctx);
+    ft::throw_interrupt(*ft_it, owner_, ctx);
+  }
+  commit_wildcard_locked(*bin, ctx, src, tag);
   return take_locked(*bin, src == kAnySource || tag == kAnyTag);
 }
 
 std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
   if (poison_) throw_poisoned_locked();
-  Bin* bin = find_match(ctx, src, tag);
+  Bin* bin = match_for(ctx, src, tag);
   if (bin == nullptr) {
     // Raise (rather than spin forever in a test()/iprobe loop) once the
     // failure is detectable; a queued match always wins.
     if (fs_ != nullptr) {
       if (const auto it = fs_->wait_interrupt(ctx, src, owner_)) {
+        note_ft_interrupt_locked(*it, ctx);
         ft::throw_interrupt(*it, owner_, ctx);
       }
     }
     return std::nullopt;
   }
+  commit_wildcard_locked(*bin, ctx, src, tag);
   return take_locked(*bin, src == kAnySource || tag == kAnyTag);
 }
 
 Status Mailbox::probe(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
-  Bin* bin = find_match(ctx, src, tag);
+  Bin* bin = match_for(ctx, src, tag);
   std::optional<ft::FailureState::Interrupt> ft_it;
   if (bin == nullptr && !poison_) {
     if (fs_ != nullptr) ft_it = fs_->wait_interrupt(ctx, src, owner_);
@@ -213,7 +292,7 @@ Status Mailbox::probe(int ctx, int src, int tag) {
           fault::WaitInfo{fault::WaitKind::kProbe, ctx, src, tag});
       ++arrival_waiters_;
       arrived_.wait(lk, [&] {
-        bin = find_match(ctx, src, tag);
+        bin = match_for(ctx, src, tag);
         if (bin != nullptr || poison_ != nullptr) return true;
         if (fs_ != nullptr) {
           ft_it = fs_->wait_interrupt(ctx, src, owner_);
@@ -230,7 +309,14 @@ Status Mailbox::probe(int ctx, int src, int tag) {
     }
     throw_poisoned_locked();
   }
-  if (bin == nullptr && ft_it) ft::throw_interrupt(*ft_it, owner_, ctx);
+  if (bin == nullptr && ft_it) {
+    note_ft_interrupt_locked(*ft_it, ctx);
+    ft::throw_interrupt(*ft_it, owner_, ctx);
+  }
+  // A successful probe is a wildcard observation like any other: it
+  // consumes a decision index, which keeps record and replay symmetric
+  // for probe-then-exact-receive idioms (e.g. the RMA progress loop).
+  commit_wildcard_locked(*bin, ctx, src, tag);
   const Message& head = bin->q.front();
   return Status{.source = head.src, .tag = head.tag, .bytes = head.bytes};
 }
@@ -238,17 +324,28 @@ Status Mailbox::probe(int ctx, int src, int tag) {
 std::optional<Status> Mailbox::try_probe(int ctx, int src, int tag) {
   std::unique_lock<std::mutex> lk(m_);
   if (poison_) throw_poisoned_locked();
-  Bin* bin = find_match(ctx, src, tag);
+  Bin* bin = match_for(ctx, src, tag);
   if (bin == nullptr) {
     if (fs_ != nullptr) {
       if (const auto it = fs_->wait_interrupt(ctx, src, owner_)) {
+        note_ft_interrupt_locked(*it, ctx);
         ft::throw_interrupt(*it, owner_, ctx);
       }
     }
     return std::nullopt;
   }
+  commit_wildcard_locked(*bin, ctx, src, tag);
   const Message& head = bin->q.front();
   return Status{.source = head.src, .tag = head.tag, .bytes = head.bytes};
+}
+
+void Mailbox::note_ft_interrupt_locked(const ft::FailureState::Interrupt& it,
+                                       int ctx) {
+  if (oracle_ == nullptr || !it.tie) return;
+  if (counters_ != nullptr) {
+    counters_->sched_ft_wake_ties.fetch_add(1, std::memory_order_relaxed);
+  }
+  oracle_->record_ft_tie(owner_, ctx);
 }
 
 void Mailbox::poison(std::shared_ptr<const fault::AbortInfo> info) {

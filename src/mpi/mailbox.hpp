@@ -40,6 +40,11 @@
 #include "mpi/message.hpp"
 #include "obs/metrics.hpp"
 
+namespace ombx::explore {
+class ScheduleOracle;
+struct Candidate;
+}  // namespace ombx::explore
+
 namespace ombx::mpi {
 
 class Mailbox {
@@ -122,6 +127,16 @@ class Mailbox {
     counters_ = counters;
   }
 
+  /// Attach a scheduling oracle (null to detach — the default; every
+  /// match path then reduces to plain find_match).  With an oracle, each
+  /// wildcard match records its candidate set, honours a pending pin
+  /// (waiting for the pinned bin instead of taking the min-seq head), and
+  /// consults fuzz picks (see explore/explore.hpp).
+  void set_oracle(explore::ScheduleOracle* oracle) noexcept {
+    std::lock_guard<std::mutex> lk(m_);
+    oracle_ = oracle;
+  }
+
  private:
   /// One FIFO of messages sharing an exact (context, src, tag) key.  Bins
   /// are never deleted before reset(); an emptied bin stays registered so
@@ -149,12 +164,36 @@ class Mailbox {
   /// The match itself is always the returned bin's front().
   [[nodiscard]] Bin* find_match(int ctx, int src, int tag) const noexcept;
 
+  /// Oracle-aware selection: find_match, except that for a wildcard
+  /// pattern a pending pin restricts the match to the pinned bin (null
+  /// until it has a message) and fuzz mode substitutes a seeded candidate
+  /// pick.  Side-effect-free apart from stale-pin cursor advancement, so
+  /// it is safe inside wait predicates that evaluate many times.
+  [[nodiscard]] Bin* match_for(int ctx, int src, int tag);
+
+  /// Record the decision a successful wildcard match just committed
+  /// (candidate set + chosen bin); consumes the rank's decision index and
+  /// any pin that forced it.  Must run under the same m_ hold as the
+  /// match_for() that selected `bin`.  No-op without an oracle or for
+  /// exact patterns.
+  void commit_wildcard_locked(const Bin& bin, int ctx, int src, int tag);
+
+  /// All nonempty bins matching the pattern, seq-ascending by head.
+  void collect_candidates(int ctx, int src, int tag,
+                          std::vector<explore::Candidate>& out) const;
+
   /// Pop the head of `bin`, maintaining counts and waking capacity-blocked
   /// senders.  `wildcard` says whether the pattern that selected the bin
   /// carried a wildcard (metrics classification).
   [[nodiscard]] Message take_locked(Bin& bin, bool wildcard);
 
   [[noreturn]] void throw_poisoned_locked();
+
+  /// Log an FT wake whose death/exit marks coexisted (a wake-order tie —
+  /// resolved deterministically by virtual time, but worth attributing
+  /// during exploration).  No-op without an oracle.
+  void note_ft_interrupt_locked(const ft::FailureState::Interrupt& it,
+                                int ctx);
 
   mutable std::mutex m_;
   std::condition_variable arrived_;  ///< signalled on enqueue / poison
@@ -175,6 +214,7 @@ class Mailbox {
   fault::WaitRegistry* registry_;
   int owner_;
   const ft::FailureState* fs_ = nullptr;  ///< null unless FT mode
+  explore::ScheduleOracle* oracle_ = nullptr;  ///< null unless exploring
 };
 
 }  // namespace ombx::mpi

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "explore/explore.hpp"
 #include "fault/watchdog.hpp"
 #include "mpi/error.hpp"
 
@@ -39,6 +40,7 @@ World::World(const WorldConfig& cfg)
     engine_->set_fault_plan(plan_);
   }
   if (cfg.ft.enabled) engine_->enable_ft(cfg.ft);
+  if (cfg.oracle) engine_->set_oracle(cfg.oracle.get());
 }
 
 World::~World() = default;
@@ -60,11 +62,19 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
   fault::WaitRegistry& registry = engine_->wait_registry();
   std::unique_ptr<fault::Watchdog> watchdog;
   if (cfg_.enable_watchdog && n > 1) {
+    // Schedule/seed identity, captured by value before any rank thread
+    // starts (the oracle's identity is a pure function of the schedule it
+    // was armed with): a hang found during exploration is attributable
+    // from the DeadlockError alone, without re-running.
+    const std::string sched_id =
+        "fault-seed=" + std::to_string(cfg_.fault.seed) + " " +
+        (cfg_.oracle ? cfg_.oracle->identity() : "schedule=default");
     watchdog = std::make_unique<fault::Watchdog>(
-        registry, cfg_.watchdog_poll_ms, [&](const std::string& dump) {
+        registry, cfg_.watchdog_poll_ms, [this, sched_id](
+                                             const std::string& dump) {
           engine_->abort(fault::kWatchdogOrigin,
                          "deadlock detected: no rank can make progress\n" +
-                             dump,
+                             dump + "\nschedule: " + sched_id,
                          /*deadlock=*/true);
         });
   }

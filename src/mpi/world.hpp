@@ -63,6 +63,10 @@ struct WorldConfig {
   /// aborts with a per-rank wait dump instead of hanging.
   bool enable_watchdog = true;
   double watchdog_poll_ms = 100.0;
+  /// Scheduling oracle for record/replay/exploration (explore/explore.hpp);
+  /// null (the default) leaves every match path untouched.  Shared so the
+  /// driver that armed it can read the decision log after run().
+  std::shared_ptr<explore::ScheduleOracle> oracle;
 };
 
 class World {

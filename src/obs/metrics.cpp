@@ -33,6 +33,10 @@ constexpr Field kFields[] = {
     {"ft_revokes", &RankCounters::ft_revokes},
     {"ft_shrinks", &RankCounters::ft_shrinks},
     {"ft_agreements", &RankCounters::ft_agreements},
+    {"sched_wildcard_decisions", &RankCounters::sched_wildcard_decisions},
+    {"sched_forced_divergences", &RankCounters::sched_forced_divergences},
+    {"sched_ft_wake_ties", &RankCounters::sched_ft_wake_ties},
+    {"sched_rendezvous_claims", &RankCounters::sched_rendezvous_claims},
 };
 
 }  // namespace

@@ -78,6 +78,18 @@ struct alignas(64) RankCounters {
   std::atomic<std::uint64_t> ft_revokes{0};
   std::atomic<std::uint64_t> ft_shrinks{0};
   std::atomic<std::uint64_t> ft_agreements{0};
+
+  // Scheduling-oracle events (explore/explore.hpp): wildcard match
+  // decisions recorded, decisions where a pin forced a non-default choice
+  // or diverged from the recorded prefix, FT wake-order ties, and
+  // rendezvous claim races observed.  Nonzero only when an oracle is
+  // attached (explore/replay mode); like poisoned_waits these are
+  // as-observed under the active schedule, not default-schedule
+  // program-order quantities.
+  std::atomic<std::uint64_t> sched_wildcard_decisions{0};
+  std::atomic<std::uint64_t> sched_forced_divergences{0};
+  std::atomic<std::uint64_t> sched_ft_wake_ties{0};
+  std::atomic<std::uint64_t> sched_rendezvous_claims{0};
 };
 
 /// The per-rank counter table.  One block per world rank, fixed at

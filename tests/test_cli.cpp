@@ -1,0 +1,131 @@
+// omb_run command-line hardening: malformed numeric flags must be
+// rejected with a clear message instead of being prefix-parsed into
+// nonsense (std::stoi("3x@100") == 3).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_suite/cli.hpp"
+
+using namespace ombx;
+using bench_suite::CliOptions;
+
+namespace {
+
+CliOptions parse(const std::vector<std::string>& args) {
+  std::vector<const char*> argv = {"omb_run"};
+  for (const std::string& a : args) argv.push_back(a.c_str());
+  return bench_suite::parse_cli(static_cast<int>(argv.size()), argv.data());
+}
+
+/// The flag line parses and the error message names the offending flag.
+void expect_reject(const std::vector<std::string>& args,
+                   const std::string& needle) {
+  try {
+    (void)parse(args);
+    FAIL() << "expected rejection of:" << [&] {
+      std::string s;
+      for (const auto& a : args) s += " " + a;
+      return s;
+    }();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+}  // namespace
+
+TEST(Cli, ValidFullLineParses) {
+  const CliOptions o = parse({"latency", "--cluster", "stampede2", "--mpi",
+                              "intelmpi", "--mode", "omb-c", "--buffer",
+                              "bytearray", "--nranks", "8", "--ppn", "4",
+                              "--min", "2", "--max", "1024", "--iters", "5",
+                              "--warmup", "1", "--window", "32", "--csv",
+                              "--fault-seed", "17", "--kill", "3@1500.5",
+                              "--drop", "0.25", "--validate"});
+  EXPECT_EQ(o.bench, "latency");
+  EXPECT_EQ(o.cfg.cluster.name, "stampede2");
+  EXPECT_EQ(o.cfg.nranks, 8);
+  EXPECT_EQ(o.cfg.ppn, 4);
+  EXPECT_EQ(o.cfg.opts.min_size, 2u);
+  EXPECT_EQ(o.cfg.opts.max_size, 1024u);
+  EXPECT_EQ(o.cfg.opts.iterations, 5);
+  EXPECT_EQ(o.cfg.opts.warmup, 1);
+  EXPECT_EQ(o.cfg.opts.window_size, 32);
+  EXPECT_TRUE(o.csv);
+  EXPECT_TRUE(o.cfg.opts.validate);
+  EXPECT_EQ(o.cfg.fault.seed, 17u);
+  ASSERT_EQ(o.cfg.fault.kills.size(), 1u);
+  EXPECT_EQ(o.cfg.fault.kills[0].rank, 3);
+  EXPECT_DOUBLE_EQ(o.cfg.fault.kills[0].at_time_us, 1500.5);
+  EXPECT_DOUBLE_EQ(o.cfg.fault.drop.probability, 0.25);
+  EXPECT_FALSE(o.explore);
+}
+
+TEST(Cli, MalformedKillSpecsAreRejected) {
+  expect_reject({"latency", "--kill", "3x@100"}, "--kill");
+  expect_reject({"latency", "--kill", "@100"}, "--kill");
+  expect_reject({"latency", "--kill", "3@"}, "--kill");
+  expect_reject({"latency", "--kill", "3@abc"}, "--kill");
+  expect_reject({"latency", "--kill", "3@12zz"}, "--kill");
+  expect_reject({"latency", "--kill", "-1@100"}, "--kill");
+  expect_reject({"latency", "--kill", "3@-5"}, "--kill");
+  expect_reject({"latency", "--kill"}, "needs a value");
+}
+
+TEST(Cli, KillRankMustFitTheWorld) {
+  expect_reject({"latency", "--nranks", "4", "--kill", "5@100"},
+                "out of range");
+  // Order independence: the bound is checked after the whole line.
+  expect_reject({"latency", "--kill", "5@100", "--nranks", "4"},
+                "out of range");
+  const CliOptions ok = parse({"latency", "--nranks", "8", "--kill", "5@100"});
+  EXPECT_EQ(ok.cfg.fault.kills[0].rank, 5);
+}
+
+TEST(Cli, MalformedFaultSeedIsRejected) {
+  expect_reject({"latency", "--fault-seed", "-1"}, "--fault-seed");
+  expect_reject({"latency", "--fault-seed", "abc"}, "--fault-seed");
+  expect_reject({"latency", "--fault-seed", "12junk"}, "--fault-seed");
+  expect_reject({"latency", "--fault-seed", ""}, "--fault-seed");
+}
+
+TEST(Cli, NumericFlagsRejectPartialParses) {
+  expect_reject({"latency", "--nranks", "2x"}, "--nranks");
+  expect_reject({"latency", "--nranks", "0"}, "--nranks");
+  expect_reject({"latency", "--iters", "ten"}, "--iters");
+  expect_reject({"latency", "--drop", "1.5"}, "--drop");
+  expect_reject({"latency", "--drop", "-0.1"}, "--drop");
+  expect_reject({"latency", "--drop", "0.5oops"}, "--drop");
+}
+
+TEST(Cli, UnknownOptionIsRejected) {
+  expect_reject({"latency", "--frobnicate"}, "unknown option");
+}
+
+TEST(Cli, ExploreFlagsParse) {
+  const CliOptions o =
+      parse({"allreduce", "--ft", "--nranks", "4", "--kill", "3@400",
+             "--explore", "--explore-budget", "16", "--explore-mode", "fuzz",
+             "--explore-out", "repro.sched"});
+  EXPECT_TRUE(o.explore);
+  EXPECT_EQ(o.explore_budget, 16);
+  EXPECT_EQ(o.explore_mode, "fuzz");
+  EXPECT_EQ(o.explore_out, "repro.sched");
+  EXPECT_TRUE(o.ft_mode);
+
+  expect_reject({"latency", "--explore-mode", "random"}, "--explore-mode");
+  expect_reject({"latency", "--explore-budget", "0"}, "--explore-budget");
+  expect_reject(
+      {"latency", "--explore", "--replay-schedule", "f.sched"},
+      "mutually exclusive");
+}
+
+TEST(Cli, ListAndHelpShortCircuit) {
+  EXPECT_TRUE(parse({"--list"}).list);
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"latency", "--help"}).help);
+}

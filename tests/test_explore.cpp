@@ -1,0 +1,337 @@
+// Schedule-space exploration tests: reproducer file round-trips,
+// record/replay identity, forced-divergence bookkeeping, the DPOR-vs-naive
+// schedule count, seeded-race discovery with shrinking, and schedule
+// identity in deadlock diagnostics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "explore/explore.hpp"
+#include "explore/explorer.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/error.hpp"
+#include "mpi/world.hpp"
+
+using namespace ombx;
+using mpi::Comm;
+
+namespace {
+
+constexpr int kData = 5;
+constexpr int kToken = 6;
+constexpr int kGo = 7;
+
+mpi::WorldConfig small_world(int nranks) {
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.tuning = net::MpiTuning::mvapich2();
+  wc.nranks = nranks;
+  wc.ppn = 1;
+  return wc;
+}
+
+mpi::ConstView cv(const std::vector<std::byte>& v) {
+  return mpi::ConstView{v.data(), v.size(), net::MemSpace::kHost};
+}
+mpi::MutView mv(std::vector<std::byte>& v) {
+  return mpi::MutView{v.data(), v.size(), net::MemSpace::kHost};
+}
+
+/// Four ranks, two independent wildcard races.  Ranks 1 and 2 each
+/// receive one message from rank 0 and one from rank 3 through
+/// ANY_SOURCE; the go chain guarantees both are queued before either
+/// receiver decides, so every run has exactly two binary decisions:
+/// 2 x 2 = 4 distinct match outcomes.
+struct TwoReceiverRace {
+  std::atomic<int> first1{-1};
+  std::atomic<int> first2{-1};
+
+  void operator()(Comm& c) {
+    std::vector<std::byte> buf(8);
+    std::vector<std::byte> tmp(8);
+    if (c.rank() == 0) {
+      c.send(cv(buf), 1, kData);
+      c.send(cv(buf), 2, kData);
+      c.send(cv(buf), 3, kToken);
+    } else if (c.rank() == 3) {
+      (void)c.recv(mv(tmp), 0, kToken);
+      c.send(cv(buf), 1, kData);
+      c.send(cv(buf), 2, kData);
+      c.send(cv(buf), 1, kGo);
+      c.send(cv(buf), 2, kGo);
+    } else {
+      (void)c.recv(mv(tmp), 3, kGo);
+      const mpi::Status first = c.recv(mv(tmp), mpi::kAnySource, kData);
+      (void)c.recv(mv(tmp), mpi::kAnySource, kData);
+      (c.rank() == 1 ? first1 : first2)
+          .store(first.source, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace
+
+// ---- Reproducer files -------------------------------------------------------
+
+TEST(ScheduleFile, RoundTripPreservesEveryField) {
+  explore::Schedule s;
+  s.pins = {{1, 0, 2, 5}, {1, 1, 0, 5}, {3, 7, 4, 11}};
+  s.nranks = 4;
+  s.fuzz_seed = 42;
+  s.note = "minimal divergences: 1; some failure";
+  std::ostringstream os;
+  explore::write_schedule(os, s);
+  std::istringstream is(os.str());
+  const explore::Schedule r = explore::parse_schedule(is);
+  ASSERT_EQ(r.pins.size(), s.pins.size());
+  for (std::size_t i = 0; i < s.pins.size(); ++i) {
+    EXPECT_EQ(r.pins[i].rank, s.pins[i].rank);
+    EXPECT_EQ(r.pins[i].index, s.pins[i].index);
+    EXPECT_EQ(r.pins[i].src, s.pins[i].src);
+    EXPECT_EQ(r.pins[i].tag, s.pins[i].tag);
+  }
+  EXPECT_EQ(r.nranks, s.nranks);
+  EXPECT_EQ(r.fuzz_seed, s.fuzz_seed);
+  EXPECT_EQ(r.note, s.note);
+}
+
+TEST(ScheduleFile, MalformedInputThrows) {
+  const auto parse = [](const std::string& text) {
+    std::istringstream is(text);
+    return explore::parse_schedule(is);
+  };
+  EXPECT_THROW((void)parse("not a reproducer\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("# omb-x schedule reproducer v1\npin 1 0 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse("# omb-x schedule reproducer v1\npin 1 x 2 5\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse("# omb-x schedule reproducer v1\nfrobnicate 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse("# omb-x schedule reproducer v1\nmeta nranks -3\n"),
+      std::invalid_argument);
+}
+
+TEST(ScheduleOracle, ArmRejectsBadPins) {
+  explore::ScheduleOracle oracle(2);
+  explore::Schedule out_of_range;
+  out_of_range.pins = {{5, 0, 0, 0}};
+  EXPECT_THROW(oracle.arm(out_of_range), std::invalid_argument);
+  explore::Schedule duplicate;
+  duplicate.pins = {{1, 0, 0, 1}, {1, 0, 0, 2}};
+  EXPECT_THROW(oracle.arm(duplicate), std::invalid_argument);
+}
+
+// ---- Record / replay --------------------------------------------------------
+
+TEST(RecordReplay, FullPinningReExecutesTheRecordedRun) {
+  auto race = std::make_shared<TwoReceiverRace>();
+  const explore::RunFn run = explore::make_world_runner(
+      small_world(4), [race](Comm& c) { (*race)(c); });
+
+  const explore::RunResult rec = run(explore::Schedule{});
+  ASSERT_FALSE(rec.failed) << rec.what;
+  const int rec_first1 = race->first1.load();
+  const int rec_first2 = race->first2.load();
+
+  const explore::Schedule pins = explore::pin_everything(rec.log);
+  EXPECT_EQ(pins.pins.size(), 4u);  // two wildcard receives per receiver
+
+  const explore::RunResult rep = run(pins);
+  ASSERT_FALSE(rep.failed) << rep.what;
+  EXPECT_FALSE(rep.diverged);
+  EXPECT_EQ(race->first1.load(), rec_first1);
+  EXPECT_EQ(race->first2.load(), rec_first2);
+
+  // The replayed decision stream is identical to the recording.
+  ASSERT_EQ(rep.log.size(), rec.log.size());
+  for (std::size_t i = 0; i < rec.log.size(); ++i) {
+    EXPECT_EQ(rep.log[i].rank, rec.log[i].rank);
+    EXPECT_EQ(rep.log[i].index, rec.log[i].index);
+    EXPECT_EQ(rep.log[i].src, rec.log[i].src);
+    EXPECT_EQ(rep.log[i].tag, rec.log[i].tag);
+    EXPECT_TRUE(rep.log[i].forced);  // every decision was pinned
+  }
+}
+
+TEST(RecordReplay, ForcedAlternateIsFlaggedDivergent) {
+  auto race = std::make_shared<TwoReceiverRace>();
+  const explore::RunFn run = explore::make_world_runner(
+      small_world(4), [race](Comm& c) { (*race)(c); });
+
+  // Force rank 1's first wildcard match to take rank 3's message.
+  explore::Schedule s;
+  s.pins = {{1, 0, 3, kData}};
+  const explore::RunResult rr = run(s);
+  ASSERT_FALSE(rr.failed) << rr.what;
+  EXPECT_EQ(race->first1.load(), 3);
+  EXPECT_EQ(race->first2.load(), 0);  // the unpinned race keeps its default
+
+  bool saw_forced = false;
+  for (const explore::Decision& d : rr.log) {
+    if (d.rank == 1 && d.index == 0) {
+      EXPECT_TRUE(d.forced);
+      EXPECT_TRUE(d.divergent);  // min-seq default was rank 0's message
+      ASSERT_EQ(d.candidates.size(), 2u);
+      EXPECT_EQ(d.src, 3);
+      saw_forced = true;
+    }
+  }
+  EXPECT_TRUE(saw_forced);
+}
+
+// ---- DPOR vs naive enumeration ----------------------------------------------
+
+TEST(Search, DporCoversAllOutcomesWithFewerRunsThanNaive) {
+  const auto explore_with = [](explore::SearchMode mode, int& runs,
+                               std::set<std::pair<int, int>>& outcomes) {
+    auto race = std::make_shared<TwoReceiverRace>();
+    const explore::RunFn inner = explore::make_world_runner(
+        small_world(4), [race](Comm& c) { (*race)(c); });
+    const explore::RunFn counted =
+        [&, race](const explore::Schedule& s) -> explore::RunResult {
+      explore::RunResult rr = inner(s);
+      outcomes.insert({race->first1.load(), race->first2.load()});
+      return rr;
+    };
+    explore::SearchConfig sc;
+    sc.mode = mode;
+    sc.budget = 64;
+    const explore::SearchResult res = explore::search(counted, sc);
+    EXPECT_TRUE(res.findings.empty());
+    EXPECT_TRUE(res.exhausted);
+    runs = res.runs;
+  };
+
+  int dpor_runs = 0;
+  int naive_runs = 0;
+  std::set<std::pair<int, int>> dpor_outcomes;
+  std::set<std::pair<int, int>> naive_outcomes;
+  explore_with(explore::SearchMode::kDpor, dpor_runs, dpor_outcomes);
+  explore_with(explore::SearchMode::kNaive, naive_runs, naive_outcomes);
+
+  // Both searches see every distinct match outcome (2 races x 2 choices),
+  // but sleep-set pruning re-executes strictly fewer schedules.
+  EXPECT_EQ(dpor_outcomes.size(), 4u);
+  EXPECT_EQ(naive_outcomes, dpor_outcomes);
+  EXPECT_EQ(dpor_runs, 4);
+  EXPECT_EQ(naive_runs, 5);
+  EXPECT_LT(dpor_runs, naive_runs);
+}
+
+// ---- Seeded-race discovery and shrinking ------------------------------------
+
+TEST(Search, FindsSeededRaceAndEmitsAReplayableReproducer) {
+  // The two-receiver race with a schedule-dependent assertion: rank 2's
+  // first message "must" come from rank 0.  Clean under the default
+  // schedule; one specific alternate breaks it.
+  auto race = std::make_shared<TwoReceiverRace>();
+  const explore::RunFn run =
+      explore::make_world_runner(small_world(4), [race](Comm& c) {
+        (*race)(c);
+        if (c.rank() == 2 && race->first2.load() != 0) {
+          throw std::runtime_error("coordinator assumption violated");
+        }
+      });
+
+  ASSERT_FALSE(run(explore::Schedule{}).failed)
+      << "the race must be invisible on the default schedule";
+
+  explore::SearchConfig sc;
+  sc.budget = 32;
+  const explore::SearchResult res = explore::search(run, sc);
+  ASSERT_EQ(res.findings.size(), 1u);
+  const explore::Finding& f = res.findings.front();
+  EXPECT_NE(f.what.find("coordinator assumption violated"), std::string::npos)
+      << f.what;
+  EXPECT_NE(f.schedule.note.find("minimal divergences: 1"), std::string::npos)
+      << f.schedule.note;
+
+  // The reproducer pins every decision: replaying it twice fails twice
+  // with the identical diagnostic.
+  const explore::RunResult r1 = run(f.schedule);
+  const explore::RunResult r2 = run(f.schedule);
+  EXPECT_TRUE(r1.failed);
+  EXPECT_TRUE(r2.failed);
+  EXPECT_EQ(r1.what, r2.what);
+  EXPECT_EQ(r1.what, f.what);
+  EXPECT_FALSE(r1.diverged);
+}
+
+TEST(Search, FuzzModeFindsTheRaceToo) {
+  auto race = std::make_shared<TwoReceiverRace>();
+  const explore::RunFn run =
+      explore::make_world_runner(small_world(4), [race](Comm& c) {
+        (*race)(c);
+        if (c.rank() == 1 && race->first1.load() != 0) {
+          throw std::runtime_error("fuzz-visible ordering bug");
+        }
+      });
+  explore::SearchConfig sc;
+  sc.mode = explore::SearchMode::kFuzz;
+  sc.budget = 32;
+  const explore::SearchResult res = explore::search(run, sc);
+  ASSERT_EQ(res.findings.size(), 1u);
+  EXPECT_FALSE(res.exhausted);  // fuzzing never proves exhaustion
+  EXPECT_NE(res.findings.front().what.find("fuzz-visible ordering bug"),
+            std::string::npos);
+  // The fuzz finding is still a deterministic pin-list reproducer.
+  const explore::RunResult rr = run(res.findings.front().schedule);
+  EXPECT_TRUE(rr.failed);
+  EXPECT_EQ(rr.what, res.findings.front().what);
+}
+
+// ---- Deadlock diagnostics ---------------------------------------------------
+
+TEST(DeadlockIdentity, WatchdogNamesScheduleAndFaultSeed) {
+  mpi::WorldConfig wc = small_world(2);
+  wc.watchdog_poll_ms = 10.0;
+  wc.oracle = std::make_shared<explore::ScheduleOracle>(2);
+  explore::Schedule s;
+  s.pins = {{0, 0, 1, 9}};
+  wc.oracle->arm(s);
+  mpi::World w(wc);
+  try {
+    w.run([](Comm& c) {
+      std::vector<std::byte> buf(8);
+      // Tag mismatch under a pinned schedule: silent deadlock.
+      if (c.rank() == 0) {
+        (void)c.recv(mv(buf), mpi::kAnySource, 9);  // never sent
+      } else {
+        (void)c.recv(mv(buf), 0, 2);
+      }
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const mpi::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("\nschedule: "), std::string::npos) << what;
+    EXPECT_NE(what.find("fault-seed="), std::string::npos) << what;
+    EXPECT_NE(what.find("schedule=pinned pins=1"), std::string::npos) << what;
+    // strip_schedule_line removes exactly that identity, so deadlock
+    // diagnostics compare equal across schedules during shrinking.
+    const std::string stripped = explore::strip_schedule_line(what);
+    EXPECT_EQ(stripped.find("schedule: "), std::string::npos) << stripped;
+  }
+}
+
+TEST(DeadlockIdentity, DefaultScheduleIsNamedWithoutAnOracle) {
+  mpi::WorldConfig wc = small_world(2);
+  wc.watchdog_poll_ms = 10.0;
+  mpi::World w(wc);
+  try {
+    w.run([](Comm& c) {
+      std::vector<std::byte> buf(8);
+      (void)c.recv(mv(buf), (c.rank() + 1) % c.size(), 0);
+    });
+    FAIL() << "expected DeadlockError";
+  } catch (const mpi::DeadlockError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("schedule=default"), std::string::npos) << what;
+  }
+}

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "bench_suite/suite.hpp"
@@ -202,6 +203,36 @@ TEST(FtRevoke, QueuedMatchBeatsRevocation) {
     }
   });
   EXPECT_TRUE(delivered.load());
+}
+
+TEST(FtRevoke, RendezvousSendPostedAfterRevokeRaisesInsteadOfHanging) {
+  // Regression: a peer's revoke wake-sweep runs before the sender
+  // registers its rendezvous sync cell, so no future sweep can reach it.
+  // The post-registration FT handshake in post_send must interrupt the
+  // send; previously the sender parked on the cell forever and only the
+  // watchdog (flakily, host-timing dependent) reported the hang.
+  mpi::World w(ft_world(2, /*ppn=*/2));
+  std::atomic<bool> revoked{false};
+  std::atomic<bool> raised{false};
+
+  w.run([&](Comm& c) {
+    if (c.rank() == 1) {
+      c.revoke();
+      revoked = true;
+      return;
+    }
+    while (!revoked.load()) std::this_thread::yield();
+    // Large payload: the blocking send takes the zero-copy rendezvous
+    // path and waits on its sync cell for a claim that can never come.
+    std::vector<std::byte> big(1 << 20, std::byte{1});
+    try {
+      c.send(cv(big), 1, 7);
+      ADD_FAILURE() << "rendezvous send to an exited peer did not raise";
+    } catch (const ft::RevokedError&) {
+      raised = true;
+    }
+  });
+  EXPECT_TRUE(raised.load());
 }
 
 // ---- Shrink ----------------------------------------------------------------

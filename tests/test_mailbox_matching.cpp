@@ -17,6 +17,7 @@
 #include <random>
 #include <vector>
 
+#include "explore/explore.hpp"
 #include "mpi/mailbox.hpp"
 #include "mpi/message.hpp"
 #include "mpi/payload_pool.hpp"
@@ -170,6 +171,168 @@ TEST(MailboxMatching, ResetDrainsEveryBin) {
   auto got = box.try_dequeue_match(0, kAnySource, kAnyTag);
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->bytes, 77u);
+}
+
+// ---- Scheduling-oracle properties -------------------------------------------
+
+TEST(MailboxOracle, RecordedCandidateSetsContainTheMinSeqChoice) {
+  // Property: with an oracle attached (but no pins), every committed
+  // wildcard decision records a seq-sorted candidate set whose head IS
+  // the chosen (src, tag) — the binned mailbox's min-seq default — and
+  // matching behavior is byte-identical to the reference mailbox.
+  constexpr int kSources = 5;
+  constexpr int kTags = 4;
+  explore::ScheduleOracle oracle(1);
+  Mailbox box(/*capacity=*/1 << 20, nullptr, /*owner_rank=*/0);
+  box.set_oracle(&oracle);
+  ReferenceMailbox ref;
+  std::mt19937 rng(777);
+  std::size_t next_id = 1;
+  std::size_t decisions_before = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    const unsigned kind = rng() % 8;
+    if (kind < 4 || ref.size() == 0) {
+      const int src = static_cast<int>(rng() % kSources);
+      const int tag = static_cast<int>(rng() % kTags);
+      box.enqueue(make_msg(0, src, tag, next_id));
+      ref.enqueue(make_msg(0, src, tag, next_id));
+      ++next_id;
+    } else {
+      const bool wild_src = rng() % 2 == 0;
+      const bool wild_tag = !wild_src || rng() % 2 == 0;
+      const int src =
+          wild_src ? kAnySource : static_cast<int>(rng() % kSources);
+      const int tag = wild_tag ? kAnyTag : static_cast<int>(rng() % kTags);
+      std::optional<Message> got = box.try_dequeue_match(0, src, tag);
+      std::optional<Message> want = ref.try_dequeue_match(0, src, tag);
+      ASSERT_EQ(got.has_value(), want.has_value()) << "op=" << op;
+      if (!got) continue;
+      EXPECT_EQ(got->bytes, want->bytes) << "op=" << op;
+
+      if (src != kAnySource && tag != kAnyTag) {
+        // Exact receives are not decisions: no index consumed.
+        EXPECT_EQ(oracle.decision_count(0), decisions_before);
+        continue;
+      }
+      ASSERT_EQ(oracle.decision_count(0), decisions_before + 1);
+      decisions_before = oracle.decision_count(0);
+      const std::vector<explore::Decision> log = oracle.log();
+      const explore::Decision& d = log.back();
+      EXPECT_EQ(d.kind, explore::DecisionKind::kWildcard);
+      EXPECT_EQ(d.rank, 0);
+      EXPECT_EQ(d.src, got->src);
+      EXPECT_EQ(d.tag, got->tag);
+      EXPECT_FALSE(d.forced);
+      EXPECT_FALSE(d.divergent);
+      ASSERT_FALSE(d.candidates.empty());
+      // Candidates are seq-ascending and the head is the chosen bin.
+      for (std::size_t i = 1; i < d.candidates.size(); ++i) {
+        EXPECT_LT(d.candidates[i - 1].seq, d.candidates[i].seq);
+      }
+      EXPECT_EQ(d.candidates.front().src, got->src);
+      EXPECT_EQ(d.candidates.front().tag, got->tag);
+    }
+  }
+  EXPECT_FALSE(oracle.diverged());
+}
+
+TEST(MailboxOracle, ForcingEachAlternatePreservesBinFifoOrder) {
+  // Record the candidate set at one wildcard decision, then force each
+  // alternate in turn: the forced match must take the head of exactly
+  // that (src, tag) bin (what an exact receive on the key would get from
+  // the reference mailbox), and the rest of the stream must still drain
+  // in arrival order.
+  struct E {
+    int src, tag;
+    std::size_t id;
+  };
+  const std::vector<E> scene = {{0, 1, 1}, {1, 1, 2}, {0, 2, 3},
+                                {1, 1, 4}, {2, 1, 5}, {0, 1, 6}};
+
+  explore::ScheduleOracle recorder(1);
+  {
+    Mailbox box(1 << 20, nullptr, 0);
+    box.set_oracle(&recorder);
+    for (const E& e : scene) box.enqueue(make_msg(0, e.src, e.tag, e.id));
+    auto got = box.try_dequeue_match(0, kAnySource, kAnyTag);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->bytes, 1u);  // min-seq default
+  }
+  const std::vector<explore::Decision> log = recorder.log();
+  ASSERT_EQ(log.size(), 1u);
+  ASSERT_EQ(log.front().candidates.size(), 4u);  // keys (0,1) (1,1) (0,2) (2,1)
+
+  for (const explore::Candidate& alt : log.front().candidates) {
+    explore::ScheduleOracle oracle(1);
+    explore::Schedule s;
+    s.pins.push_back(explore::Pin{0, 0, alt.src, alt.tag});
+    oracle.arm(s);
+    Mailbox box(1 << 20, nullptr, 0);
+    box.set_oracle(&oracle);
+    ReferenceMailbox ref;
+    for (const E& e : scene) {
+      box.enqueue(make_msg(0, e.src, e.tag, e.id));
+      ref.enqueue(make_msg(0, e.src, e.tag, e.id));
+    }
+    std::optional<Message> got = box.try_dequeue_match(0, kAnySource, kAnyTag);
+    std::optional<Message> want = ref.try_dequeue_match(0, alt.src, alt.tag);
+    ASSERT_TRUE(got.has_value());
+    ASSERT_TRUE(want.has_value());
+    EXPECT_EQ(got->bytes, want->bytes)
+        << "forcing (" << alt.src << "," << alt.tag
+        << ") did not take that bin's FIFO head";
+    // With the pin consumed, the remainder drains in arrival order.
+    while (auto g = box.try_dequeue_match(0, kAnySource, kAnyTag)) {
+      auto w = ref.try_dequeue_match(0, kAnySource, kAnyTag);
+      ASSERT_TRUE(w.has_value());
+      EXPECT_EQ(g->bytes, w->bytes);
+    }
+    EXPECT_EQ(box.size(), ref.size());
+    EXPECT_EQ(ref.size(), 0u);
+    EXPECT_FALSE(oracle.diverged());
+  }
+}
+
+TEST(MailboxOracle, PinnedTryDequeueWaitsForThePinnedBin) {
+  // A compatible pin whose bin has no message yet makes try_dequeue
+  // return nothing (the recorded run matched that bin; a replay must not
+  // grab a different message just because it arrived first).
+  explore::ScheduleOracle oracle(1);
+  explore::Schedule s;
+  s.pins.push_back(explore::Pin{0, 0, /*src=*/4, /*tag=*/9});
+  oracle.arm(s);
+  Mailbox box(1 << 20, nullptr, 0);
+  box.set_oracle(&oracle);
+  box.enqueue(make_msg(0, 1, 9, 1));
+  EXPECT_FALSE(box.try_dequeue_match(0, kAnySource, 9).has_value());
+  box.enqueue(make_msg(0, 4, 9, 2));
+  auto got = box.try_dequeue_match(0, kAnySource, 9);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->bytes, 2u);  // the pinned bin's head, not arrival order
+  // Pin consumed: the earlier message is still there, now the default.
+  auto next = box.try_dequeue_match(0, kAnySource, 9);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->bytes, 1u);
+  EXPECT_FALSE(oracle.diverged());
+}
+
+TEST(MailboxOracle, IncompatiblePinFallsBackAndFlagsDivergence) {
+  // A pin recorded under a different receive pattern cannot apply: the
+  // mailbox takes the default match and the oracle notes the divergence.
+  explore::ScheduleOracle oracle(1);
+  explore::Schedule s;
+  s.pins.push_back(explore::Pin{0, 0, /*src=*/2, /*tag=*/8});
+  oracle.arm(s);
+  Mailbox box(1 << 20, nullptr, 0);
+  box.set_oracle(&oracle);
+  box.enqueue(make_msg(0, 1, 3, 1));
+  box.enqueue(make_msg(0, 2, 3, 2));
+  // Receive with tag 3: the pin's tag 8 can never match this pattern.
+  auto got = box.try_dequeue_match(0, kAnySource, /*tag=*/3);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->bytes, 1u);  // default min-seq choice
+  EXPECT_TRUE(oracle.diverged());
 }
 
 // ---- PayloadPool ------------------------------------------------------------

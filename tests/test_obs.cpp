@@ -269,7 +269,15 @@ TEST(Obs, GoldenMetricsCsvForTwoRankPingpong) {
       "ft_shrinks,0,0\n"
       "ft_shrinks,1,0\n"
       "ft_agreements,0,0\n"
-      "ft_agreements,1,0\n";
+      "ft_agreements,1,0\n"
+      "sched_wildcard_decisions,0,0\n"
+      "sched_wildcard_decisions,1,0\n"
+      "sched_forced_divergences,0,0\n"
+      "sched_forced_divergences,1,0\n"
+      "sched_ft_wake_ties,0,0\n"
+      "sched_ft_wake_ties,1,0\n"
+      "sched_rendezvous_claims,0,0\n"
+      "sched_rendezvous_claims,1,0\n";
   EXPECT_EQ(os.str(), golden);
 }
 
