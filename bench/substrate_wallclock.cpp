@@ -7,7 +7,13 @@
 //
 // Workloads:
 //   eager      self-send round trips at 8 B .. 4 KiB (alloc/copy/match
-//              path with no cross-thread blocking)
+//              path with no cross-thread blocking); also reports the
+//              mailbox fast-path counters so the lock-free eager split
+//              is observable (hits should be ~100% here)
+//   pool512    payload-pool acquire/recycle round trips at 512 B, single
+//              and multi-threaded, next to a raw-memcpy reference — the
+//              512 B eager point is pool+copy bound, so this isolates
+//              whether a regression is freelist contention or memcpy
 //   pingpong   2-rank 8 B ping-pong (end-to-end, condvar/scheduler bound)
 //   rendezvous 2-rank 256 KiB ping-pong (large-message copy path)
 //   matching   64-source mailbox stress: wildcard-source receives that
@@ -24,9 +30,11 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mpi/mailbox.hpp"
+#include "mpi/payload_pool.hpp"
 #include "mpi/world.hpp"
 
 using namespace ombx;
@@ -51,6 +59,12 @@ mpi::WorldConfig base_config(int nranks, int ppn) {
 struct EagerPoint {
   std::size_t bytes = 0;
   double msgs_per_sec = 0.0;
+  // Mailbox fast-path counter deltas across the timed loop.  A healthy
+  // eager self-send run has fast_hits ~= iters and fast_fallbacks == 0;
+  // anything else means the lock-free split is not engaging.
+  std::uint64_t fast_hits = 0;
+  std::uint64_t fast_fallbacks = 0;
+  std::uint64_t ring_depth_hwm = 0;
 };
 
 /// Self-send loop: one rank, send-to-self then receive.  Every iteration
@@ -62,6 +76,8 @@ EagerPoint eager_selfsend(std::size_t bytes, int iters) {
   out.bytes = bytes;
   mpi::World w(wc);
   double elapsed = 0.0;
+  mpi::Engine::FastPathTotals before{};
+  mpi::Engine::FastPathTotals after{};
   w.run([&](mpi::Comm& c) {
     std::vector<std::byte> sbuf(bytes, std::byte{0x5a});
     std::vector<std::byte> rbuf(bytes);
@@ -70,14 +86,80 @@ EagerPoint eager_selfsend(std::size_t bytes, int iters) {
       c.send(mpi::ConstView{sbuf.data(), sbuf.size()}, 0, 1);
       (void)c.recv(mpi::MutView{rbuf.data(), rbuf.size()}, 0, 1);
     }
+    before = w.engine().fast_path_totals();
     const auto t0 = Clock::now();
     for (int i = 0; i < iters; ++i) {
       c.send(mpi::ConstView{sbuf.data(), sbuf.size()}, 0, 1);
       (void)c.recv(mpi::MutView{rbuf.data(), rbuf.size()}, 0, 1);
     }
     elapsed = seconds_since(t0);
+    after = w.engine().fast_path_totals();
   });
   out.msgs_per_sec = static_cast<double>(iters) / elapsed;
+  out.fast_hits = after.fast_hits - before.fast_hits;
+  out.fast_fallbacks = after.fast_fallbacks - before.fast_fallbacks;
+  out.ring_depth_hwm = after.ring_depth_hwm;
+  return out;
+}
+
+struct Pool512 {
+  double single_mops = 0.0;   ///< 1-thread acquire_copy+recycle Mops/s
+  double multi_mops = 0.0;    ///< 4-thread aggregate Mops/s
+  double memcpy_mops = 0.0;   ///< raw 512 B memcpy reference Mops/s
+};
+
+/// Payload-pool round trips at 512 B.  Before the lock-free freelists a
+/// single spinlocked bucket serialized every acquire/recycle pair; this
+/// workload shows both the uncontended cost (single) and the scaling
+/// under producer/consumer pressure (multi), with memcpy as the floor.
+Pool512 pool512_stress(int iters) {
+  constexpr std::size_t kBytes = 512;
+  std::vector<std::byte> src(kBytes, std::byte{0x7e});
+  Pool512 out;
+
+  {
+    mpi::PayloadPool pool;
+    // Warm the bucket so the timed loop measures recycle->acquire reuse
+    // (a PooledPayload recycles its block back to the pool on destruction).
+    for (int i = 0; i < 64; ++i) {
+      auto p = pool.acquire_copy(src.data(), kBytes);
+    }
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      auto p = pool.acquire_copy(src.data(), kBytes);
+    }
+    out.single_mops = static_cast<double>(iters) / seconds_since(t0) / 1e6;
+  }
+
+  {
+    mpi::PayloadPool pool;
+    constexpr int kThreads = 4;
+    const int per = iters / kThreads;
+    const auto t0 = Clock::now();
+    std::vector<std::thread> ts;
+    ts.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      ts.emplace_back([&pool, &src, per] {
+        for (int i = 0; i < per; ++i) {
+          auto p = pool.acquire_copy(src.data(), kBytes);
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+    out.multi_mops =
+        static_cast<double>(per * kThreads) / seconds_since(t0) / 1e6;
+  }
+
+  {
+    std::vector<std::byte> dst(kBytes);
+    const auto t0 = Clock::now();
+    for (int i = 0; i < iters; ++i) {
+      std::memcpy(dst.data(), src.data(), kBytes);
+      // Keep the copy observable so the loop is not optimized away.
+      src[0] = dst[static_cast<std::size_t>(i) % kBytes];
+    }
+    out.memcpy_mops = static_cast<double>(iters) / seconds_since(t0) / 1e6;
+  }
   return out;
 }
 
@@ -210,9 +292,18 @@ int main(int argc, char** argv) {
   std::vector<EagerPoint> eager;
   for (std::size_t bytes : {8UL, 64UL, 512UL, 4096UL}) {
     eager.push_back(eager_selfsend(bytes, eager_iters));
-    std::printf("eager self-send  %6zu B : %12.0f msgs/s\n",
-                eager.back().bytes, eager.back().msgs_per_sec);
+    const EagerPoint& p = eager.back();
+    std::printf("eager self-send  %6zu B : %12.0f msgs/s  "
+                "(fast hits %llu, fallbacks %llu, ring hwm %llu)\n",
+                p.bytes, p.msgs_per_sec,
+                static_cast<unsigned long long>(p.fast_hits),
+                static_cast<unsigned long long>(p.fast_fallbacks),
+                static_cast<unsigned long long>(p.ring_depth_hwm));
   }
+  const Pool512 pool = pool512_stress(eager_iters);
+  std::printf("pool 512 B round trips    : %8.2f Mops/s single, "
+              "%8.2f Mops/s 4-thread, %8.2f Mops/s memcpy ref\n",
+              pool.single_mops, pool.multi_mops, pool.memcpy_mops);
   const double pp = pingpong_rate(8, pp_iters, /*ppn=*/2);
   std::printf("pingpong 2-rank       8 B : %12.0f msgs/s\n", pp);
   const double rndv = pingpong_rate(256 * 1024, rndv_iters, /*ppn=*/1);
@@ -236,10 +327,16 @@ int main(int argc, char** argv) {
       << "  \"eager_selfsend\": [\n";
     for (std::size_t i = 0; i < eager.size(); ++i) {
       f << "    {\"bytes\": " << eager[i].bytes << ", \"msgs_per_sec\": "
-        << static_cast<long long>(eager[i].msgs_per_sec) << "}"
+        << static_cast<long long>(eager[i].msgs_per_sec)
+        << ", \"fast_hits\": " << eager[i].fast_hits
+        << ", \"fast_fallbacks\": " << eager[i].fast_fallbacks
+        << ", \"ring_depth_hwm\": " << eager[i].ring_depth_hwm << "}"
         << (i + 1 < eager.size() ? "," : "") << "\n";
     }
     f << "  ],\n"
+      << "  \"pool_512B\": {\"single_mops\": " << pool.single_mops
+      << ", \"multi4_mops\": " << pool.multi_mops
+      << ", \"memcpy_mops\": " << pool.memcpy_mops << "},\n"
       << "  \"pingpong_2rank_8B\": {\"msgs_per_sec\": "
       << static_cast<long long>(pp) << "},\n"
       << "  \"rendezvous_2rank_256KiB\": {\"msgs_per_sec\": "

@@ -86,6 +86,7 @@ std::string WaitRegistry::describe(const Snapshot& snap) {
 Watchdog::Watchdog(WaitRegistry& registry, double poll_ms,
                    std::function<void(const std::string&)> on_deadlock)
     : registry_(registry), on_deadlock_(std::move(on_deadlock)) {
+  registry_.add_observer();  // turn the progress counter on
   thread_ = std::thread([this, poll_ms] { loop(poll_ms); });
 }
 
@@ -102,6 +103,7 @@ void Watchdog::stop() {
   }
   cv_.notify_all();
   if (thread_.joinable()) thread_.join();
+  registry_.remove_observer();
 }
 
 void Watchdog::loop(double poll_ms) {

@@ -54,12 +54,30 @@ class WaitRegistry {
   void end_wait(int rank);
 
   /// Any state change that can unblock a waiter (enqueue, dequeue,
-  /// rendezvous completion).  Lock-free.
+  /// rendezvous completion).  Lock-free — and free unless a Watchdog is
+  /// actually polling: the counter exists solely to break the monitor's
+  /// no-progress streak, so with no observer attached (the default, and
+  /// every benchmark configuration) the RMW is skipped entirely.  This
+  /// keeps a multi-writer lock-prefixed add out of the per-message hot
+  /// path; the relaxed flag read is a plain load.
   void note_progress() noexcept {
-    progress_.fetch_add(1, std::memory_order_relaxed);
+    if (observed_.load(std::memory_order_relaxed) != 0) {
+      progress_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   [[nodiscard]] std::uint64_t progress() const noexcept {
     return progress_.load(std::memory_order_relaxed);
+  }
+
+  /// Observer attach/detach (Watchdog lifecycle).  Counted so overlapping
+  /// observers compose; progress increments may lag an attach by the
+  /// flag's propagation delay, which the watchdog's multi-poll streak
+  /// already absorbs.
+  void add_observer() noexcept {
+    observed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void remove_observer() noexcept {
+    observed_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   /// Rank thread lifecycle (per run).
@@ -84,6 +102,7 @@ class WaitRegistry {
   std::vector<bool> finished_;
   int finished_count_ = 0;
   std::atomic<std::uint64_t> progress_{0};
+  std::atomic<int> observed_{0};  ///< attached Watchdogs (see note_progress)
 };
 
 /// RAII wait registration; tolerates a null registry.

@@ -21,8 +21,8 @@ Engine::Engine(net::NetworkModel model, int nranks, PayloadMode payload,
   mail_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     ranks_.push_back(std::make_unique<RankState>());
-    mail_.push_back(
-        std::make_unique<Mailbox>(mailbox_capacity, &registry_, r));
+    mail_.push_back(std::make_unique<Mailbox>(mailbox_capacity, &registry_,
+                                              r, /*max_src_world=*/nranks));
   }
   oversub_ = model_.oversubscription_factor(thread_level_);
 }
@@ -216,14 +216,14 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
   if (metrics_) {
     obs::RankCounters& c = metrics_->rank(src_world);
     if (src_world == dst_world) {
-      c.self_msgs.fetch_add(1, std::memory_order_relaxed);
-      c.self_bytes.fetch_add(v.bytes, std::memory_order_relaxed);
+      obs::bump(c.self_msgs);
+      obs::bump(c.self_bytes, v.bytes);
     } else if (eager) {
-      c.eager_msgs.fetch_add(1, std::memory_order_relaxed);
-      c.eager_bytes.fetch_add(v.bytes, std::memory_order_relaxed);
+      obs::bump(c.eager_msgs);
+      obs::bump(c.eager_bytes, v.bytes);
     } else {
-      c.rendezvous_msgs.fetch_add(1, std::memory_order_relaxed);
-      c.rendezvous_bytes.fetch_add(v.bytes, std::memory_order_relaxed);
+      obs::bump(c.rendezvous_msgs);
+      obs::bump(c.rendezvous_bytes, v.bytes);
     }
     if (!msg.payload.empty()) {
       // Storage tier is a pure function of size (see PayloadPool), so the
@@ -232,12 +232,11 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
                        ? c.payload_inline
                        : msg.payload.is_pooled() ? c.payload_pooled
                                                  : c.payload_heap;
-      tier.fetch_add(1, std::memory_order_relaxed);
+      obs::bump(tier);
     }
     if (injected.retransmits > 0) {
-      c.retransmits.fetch_add(
-          static_cast<std::uint64_t>(injected.retransmits),
-          std::memory_order_relaxed);
+      obs::bump(c.retransmits,
+                static_cast<std::uint64_t>(injected.retransmits));
     }
   }
   if (tracer_) {
@@ -257,18 +256,17 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
 }
 
 Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
-                    MutView v) {
+                    MutView v, int src_world_hint) {
   check_failures(self_world);
   RankState& st = state(self_world);
   const usec_t recv_posted = st.clock.now();
   if (metrics_) {
-    metrics_->rank(self_world).recvs_posted.fetch_add(
-        1, std::memory_order_relaxed);
+    obs::bump(metrics_->rank(self_world).recvs_posted);
   }
   Message msg;
   try {
     msg = mail_[static_cast<std::size_t>(self_world)]->dequeue_match(
-        ctx, src_comm_rank, tag);
+        ctx, src_comm_rank, tag, src_world_hint);
   } catch (const ft::ProcFailedError& e) {
     ft_observe_interrupt(self_world, e.at_time_us(), /*proc_failed=*/true);
     throw;
@@ -320,8 +318,7 @@ Status Engine::recv(int self_world, int ctx, int src_comm_rank, int tag,
       if (msg.sync && oracle_ != nullptr) {
         oracle_->record_claim(self_world, ctx, claimed);
         if (metrics_) {
-          metrics_->rank(self_world).sched_rendezvous_claims.fetch_add(
-              1, std::memory_order_relaxed);
+          obs::bump(metrics_->rank(self_world).sched_rendezvous_claims);
         }
       }
       if (claimed) {
@@ -371,8 +368,7 @@ void Engine::await_cell(int world_rank, SyncCell& cell) {
   // clock-driven and the clock has not moved since the caller's own entry
   // check, so nothing is lost by deferring them to the next operation.
   if (metrics_) {
-    metrics_->rank(world_rank).rendezvous_waits.fetch_add(
-        1, std::memory_order_relaxed);
+    obs::bump(metrics_->rank(world_rank).rendezvous_waits);
   }
   usec_t t;
   {
@@ -384,8 +380,7 @@ void Engine::await_cell(int world_rank, SyncCell& cell) {
       t = cell.await();
     } catch (const AbortedError&) {
       if (metrics_) {
-        metrics_->rank(world_rank).poisoned_waits.fetch_add(
-            1, std::memory_order_relaxed);
+        obs::bump(metrics_->rank(world_rank).poisoned_waits);
       }
       throw;
     } catch (const ft::ProcFailedError& e) {
@@ -402,8 +397,7 @@ void Engine::await_cell(int world_rank, SyncCell& cell) {
 Status Engine::probe(int self_world, int ctx, int src, int tag) {
   check_failures(self_world);
   if (metrics_) {
-    metrics_->rank(self_world).probes_posted.fetch_add(
-        1, std::memory_order_relaxed);
+    obs::bump(metrics_->rank(self_world).probes_posted);
   }
   try {
     return mail_[static_cast<std::size_t>(self_world)]->probe(ctx, src, tag);
@@ -493,8 +487,7 @@ void Engine::ft_observe_interrupt(int world_rank, usec_t event_time,
       fault_->counters().detections.fetch_add(1, std::memory_order_relaxed);
     }
     if (metrics_) {
-      metrics_->rank(world_rank).ft_detections.fetch_add(
-          1, std::memory_order_relaxed);
+      obs::bump(metrics_->rank(world_rank).ft_detections);
     }
   }
 }
@@ -541,8 +534,7 @@ bool Engine::ft_revoke(int ctx, int world_rank, usec_t at_time_us) {
     fault_->counters().revokes.fetch_add(1, std::memory_order_relaxed);
   }
   if (metrics_) {
-    metrics_->rank(world_rank).ft_revokes.fetch_add(1,
-                                                    std::memory_order_relaxed);
+    obs::bump(metrics_->rank(world_rank).ft_revokes);
   }
   // A revoked context's residue (messages the recovery abandoned) is
   // excused at the finalize audit.
@@ -562,8 +554,7 @@ ft::ShrinkResult Engine::ft_shrink(int ctx, int world_rank, usec_t now) {
   if (checker_) checker_->excuse_context(ctx);
   ft_wake_after_exit(ctx, world_rank, now);
   if (metrics_) {
-    metrics_->rank(world_rank).ft_shrinks.fetch_add(1,
-                                                    std::memory_order_relaxed);
+    obs::bump(metrics_->rank(world_rank).ft_shrinks);
   }
   ft::ShrinkResult res;
   {
@@ -587,8 +578,7 @@ ft::AgreeResult Engine::ft_agree(int ctx, int world_rank, usec_t now,
                   world_rank, ctx);
   check_failures(world_rank);
   if (metrics_) {
-    metrics_->rank(world_rank).ft_agreements.fetch_add(
-        1, std::memory_order_relaxed);
+    obs::bump(metrics_->rank(world_rank).ft_agreements);
   }
   ft::AgreeResult res;
   {
@@ -687,6 +677,20 @@ void Engine::enable_metrics() {
   for (int r = 0; r < nranks(); ++r) {
     mail_[static_cast<std::size_t>(r)]->set_counters(&metrics_->rank(r));
   }
+}
+
+Engine::FastPathTotals Engine::fast_path_totals() const noexcept {
+  FastPathTotals t;
+  for (const auto& mb : mail_) {
+    const Mailbox::FastStats s = mb->fast_stats();
+    t.fast_enqueues += s.fast_enqueues;
+    t.slow_enqueues += s.slow_enqueues;
+    t.fast_hits += s.fast_hits;
+    t.fast_fallbacks += s.fast_fallbacks;
+    t.drained += s.drained;
+    t.ring_depth_hwm = std::max(t.ring_depth_hwm, s.ring_depth_hwm);
+  }
+  return t;
 }
 
 void Engine::enable_checking(check::Mode mode) {

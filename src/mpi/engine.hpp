@@ -142,7 +142,12 @@ class Engine {
                                           SendBuffering::kBuffered);
 
   /// Blocking receive into `v`; returns completion Status.
-  Status recv(int self_world, int ctx, int src_comm_rank, int tag, MutView v);
+  /// `src_world_hint` (optional) is the world rank behind `src_comm_rank`
+  /// when the caller knows it (Comm::recv always does for exact sources);
+  /// it enables the mailbox's lock-free exact-match pop.  -1 is always
+  /// correct.
+  Status recv(int self_world, int ctx, int src_comm_rank, int tag, MutView v,
+              int src_world_hint = -1);
 
   /// Block on a rendezvous cell posted by `world_rank`, registering the
   /// wait with the watchdog; advances the rank's clock on completion.
@@ -263,6 +268,19 @@ class Engine {
   /// Recycled payload storage for eager / buffered-rendezvous messages
   /// (exposed for the wall-clock bench and pool tests).
   [[nodiscard]] PayloadPool& payload_pool() noexcept { return pool_; }
+
+  /// Aggregated mailbox fast-/slow-path split across all ranks (see
+  /// Mailbox::FastStats).  Host-timing-dependent by nature, so surfaced
+  /// here for benches/diagnostics instead of the deterministic obs CSV.
+  struct FastPathTotals {
+    std::uint64_t fast_enqueues = 0;
+    std::uint64_t slow_enqueues = 0;
+    std::uint64_t fast_hits = 0;
+    std::uint64_t fast_fallbacks = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t ring_depth_hwm = 0;  ///< max over ranks
+  };
+  [[nodiscard]] FastPathTotals fast_path_totals() const noexcept;
 
  private:
   /// Throws AbortedError when an abort is pending and RankKilledError when

@@ -153,76 +153,307 @@ void Mailbox::commit_wildcard_locked(const Bin& bin, int ctx, int src,
   const bool divergent =
       !cands.empty() &&
       !(cands.front().src == bin.src && cands.front().tag == bin.tag);
-  if (counters_ != nullptr) {
-    counters_->sched_wildcard_decisions.fetch_add(1,
-                                                  std::memory_order_relaxed);
-    if (divergent) {
-      counters_->sched_forced_divergences.fetch_add(1,
-                                                    std::memory_order_relaxed);
-    }
+  if (auto* c = counters_.load(std::memory_order_relaxed)) {
+    obs::bump(c->sched_wildcard_decisions);
+    if (divergent) obs::bump(c->sched_forced_divergences);
   }
   oracle_->record_wildcard(owner_, ctx, bin.src, bin.tag, forced, divergent,
                            std::move(cands));
 }
 
-Message Mailbox::take_locked(Bin& bin, bool wildcard) {
-  if (counters_ != nullptr) {
+void Mailbox::note_take(int ctx, int src, int tag, bool wildcard) noexcept {
+  if (auto* c = counters_.load(std::memory_order_relaxed)) {
     // Classified in receiver program order (see obs/metrics.hpp): an MRU
-    // hit is an exact dequeue from the same bin as the previous successful
-    // dequeue — deterministic, unlike the mru_ pointer cache, which also
-    // moves on sender-side enqueues.
+    // hit is an exact dequeue with the same key as the previous successful
+    // dequeue — deterministic, and path-independent (a fast pop and a
+    // locked take of the same message classify identically).
     if (wildcard) {
-      counters_->mailbox_wildcard_scans.fetch_add(1, std::memory_order_relaxed);
-    } else if (&bin == last_dequeued_) {
-      counters_->mailbox_mru_hits.fetch_add(1, std::memory_order_relaxed);
+      obs::bump(c->mailbox_wildcard_scans);
+    } else if (has_last_take_ && ctx == last_take_ctx_ &&
+               src == last_take_src_ && tag == last_take_tag_) {
+      obs::bump(c->mailbox_mru_hits);
     } else {
-      counters_->mailbox_exact_hits.fetch_add(1, std::memory_order_relaxed);
+      obs::bump(c->mailbox_exact_hits);
     }
   }
-  last_dequeued_ = &bin;
+  has_last_take_ = true;
+  last_take_ctx_ = ctx;
+  last_take_src_ = src;
+  last_take_tag_ = tag;
+}
+
+Message Mailbox::take_locked(Bin& bin, bool wildcard) {
+  note_take(bin.ctx, bin.src, bin.tag, wildcard);
   Message msg = std::move(bin.q.front());
   bin.q.pop_front();
-  --queued_;
+  // Under m_ (single writer).  A fast pop that reads the decrement late
+  // merely takes a spurious fallback — never a wrong order.
+  locked_msgs_.store(locked_msgs_.load(std::memory_order_relaxed) - 1,
+                     std::memory_order_release);
   if (registry_) registry_->note_progress();
-  if (drain_waiters_ > 0) drained_.notify_all();
+  if (drain_waiters_.load(std::memory_order_relaxed) > 0) {
+    drained_.notify_all();
+  }
   return msg;
 }
 
+void Mailbox::insert_sorted(Bin& bin, Message&& msg) {
+  // In-order arrival (the overwhelmingly common case) appends; a drain
+  // that moves ring-resident messages into a bin that already received a
+  // newer slow-path enqueue inserts by seq, restoring global order.
+  if (bin.q.empty() || bin.q.back().seq < msg.seq) {
+    bin.q.push_back(std::move(msg));
+    return;
+  }
+  const auto it = std::upper_bound(
+      bin.q.begin(), bin.q.end(), msg.seq,
+      [](std::uint64_t seq, const Message& m) { return seq < m.seq; });
+  bin.q.insert(it, std::move(msg));
+}
+
+Mailbox::SpscRing* Mailbox::obtain_ring(std::size_t s) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (SpscRing* r = rings_[s].load(std::memory_order_relaxed)) return r;
+  ring_store_.push_back(std::make_unique<SpscRing>());
+  SpscRing* r = ring_store_.back().get();
+  active_rings_.push_back(static_cast<int>(s));
+  rings_[s].store(r, std::memory_order_release);
+  return r;
+}
+
+void Mailbox::drain_rings_locked() {
+  if (active_rings_.empty()) return;  // no producer ever took the fast path
+  // Empty-gate before the fence (a plain load on x86, vs ~a fetch_add for
+  // the fence): sound because a producer *reserves* ring_msgs_ with a
+  // seq_cst RMW before its push — if this load misses the reservation,
+  // the single total order puts the producer's post-push waiter-count
+  // read after our waiter registration, so the producer notifies and the
+  // re-run of this drain sees a nonzero count.
+  if (ring_msgs_.load(std::memory_order_seq_cst) == 0) return;
+  // Pair with the producers' post-push fences: a waiter that registered
+  // before a producer's waiter-count read must see that producer's tail.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  for (const int s : active_rings_) {
+    SpscRing* ring =
+        rings_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+    while (Message* head = ring->peek()) {
+      Message msg = std::move(*head);
+      ring->pop();
+      // Add to the locked count before subtracting from the ring count so
+      // the capacity gate never transiently undercounts.  locked_msgs_ is
+      // only ever written under m_, so a plain load+store suffices (the
+      // release pairs with the fast pop's post-peek gate read — see the
+      // header's memory-order contract).
+      locked_msgs_.store(
+          locked_msgs_.load(std::memory_order_relaxed) + 1,
+          std::memory_order_release);
+      ring_msgs_.fetch_sub(1, std::memory_order_seq_cst);
+      obs::bump(drained_count_);  // single writer: m_ held
+      insert_sorted(obtain_bin(msg.context, msg.src, msg.tag),
+                    std::move(msg));
+      // Rings that only ever feed drains are pure overhead: after enough
+      // consecutive drained messages with no fast pop, tell producers to
+      // enqueue straight into the locked core (see ring_bypass_).
+      if (++drains_since_hit_ >= kRingBypassAfterDrains) {
+        // seq_cst so the latch participates in the single total order the
+        // slow path's plain-stamp argument is built on.
+        ring_bypass_.store(true, std::memory_order_seq_cst);
+      }
+    }
+  }
+}
+
 void Mailbox::enqueue(Message&& msg) {
+  if (fast_ok_.load(std::memory_order_acquire) &&
+      !ring_bypass_.load(std::memory_order_relaxed)) {
+    const auto s = static_cast<std::size_t>(
+        static_cast<unsigned>(msg.src_world));
+    if (s < rings_.size() && total_queued_seq_cst() < capacity_) {
+      SpscRing* ring = rings_[s].load(std::memory_order_acquire);
+      if (ring == nullptr) ring = obtain_ring(s);
+      // Reserve capacity before publishing so the total never undercounts.
+      // The post-reserve count doubles as the ring-resident depth sample
+      // for the high-water mark (the producer-side ring depth would read a
+      // stale head_cache and report up to the full ring size spuriously).
+      const std::uint64_t depth =
+          ring_msgs_.fetch_add(1, std::memory_order_seq_cst) + 1;
+      // Bypass re-check AFTER the reservation: this is what lets the
+      // slow path stamp next_seq_ without an RMW.  A slow enqueue that
+      // holds m_, sees the bypass latched (it cannot unlatch while m_ is
+      // held) and sees ring_msgs_ == 0 knows every fast producer either
+      // reserved earlier (contradiction — the count would be nonzero) or
+      // will land here, observe the latch, and give the reservation back
+      // without ever touching next_seq_.
+      if (!ring_bypass_.load(std::memory_order_seq_cst) &&
+          (msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed),
+           ring->try_push(std::move(msg)))) {
+        ring->pushed.store(
+            ring->pushed.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);  // single writer: this producer
+        if (depth > ring_depth_hwm_.load(std::memory_order_relaxed)) {
+          std::uint64_t hwm =
+              ring_depth_hwm_.load(std::memory_order_relaxed);
+          while (depth > hwm &&
+                 !ring_depth_hwm_.compare_exchange_weak(
+                     hwm, depth, std::memory_order_relaxed)) {
+          }
+        }
+        if (registry_ != nullptr) registry_->note_progress();
+        // Dekker handshake with blocked receivers: publish (tail store),
+        // fence, then read the waiter count — the waiter increments the
+        // count, fences, then re-scans the rings, so at least one side
+        // sees the other and no wakeup is lost.  Skipped entirely when
+        // this producer IS the owner thread (self-send): the owner cannot
+        // simultaneously be parked in a receive, so the waiter count it
+        // would read is necessarily zero.
+        if (owner_tid_.load(std::memory_order_relaxed) !=
+            std::this_thread::get_id()) {
+          std::atomic_thread_fence(std::memory_order_seq_cst);
+          if (arrival_waiters_.load(std::memory_order_seq_cst) > 0) {
+            { std::lock_guard<std::mutex> lk(m_); }
+            arrived_.notify_all();
+          }
+        }
+        return;
+      }
+      // Ring full (or the bypass latched mid-flight): give the
+      // reservation back and take the locked path.  A burnt sequence
+      // number is harmless — only relative order matters, and the slow
+      // path restamps.
+      ring_msgs_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
   std::unique_lock<std::mutex> lk(m_);
+  obs::bump(slow_enqueues_);  // single writer: m_ held
   std::optional<ft::FailureState::Interrupt> ft_it;
-  if (queued_ >= capacity_ && !poison_) {
+  if (total_queued_seq_cst() >= capacity_ && !poison_) {
     // The sender (not the owner) is the one blocked here.  Free capacity
     // wins over an FT interruption: the owner's pre-death drains
     // happen-before its death mark, so the outcome is deterministic.
+    // Senders never drain rings — only the owner consumes them — so this
+    // wait relies on the owner's pops/takes to free space.
     fault::ScopedWait wait(
         registry_, msg.src_world,
         fault::WaitInfo{fault::WaitKind::kSendCapacity, msg.context, owner_,
                         msg.tag});
-    ++drain_waiters_;
+    drain_waiters_.fetch_add(1, std::memory_order_seq_cst);
     drained_.wait(lk, [&] {
-      if (queued_ < capacity_ || poison_ != nullptr) return true;
+      if (total_queued_seq_cst() < capacity_ || poison_ != nullptr) {
+        return true;
+      }
       if (fs_ != nullptr) {
         ft_it = fs_->enqueue_interrupt(owner_);
         if (ft_it) return true;
       }
       return false;
     });
-    --drain_waiters_;
+    drain_waiters_.fetch_sub(1, std::memory_order_seq_cst);
   }
   if (poison_) throw_poisoned_locked();
-  if (queued_ >= capacity_ && ft_it) {
+  if (total_queued_seq_cst() >= capacity_ && ft_it) {
     ft::throw_interrupt(*ft_it, msg.src_world, msg.context);
   }
-  msg.seq = next_seq_++;
-  obtain_bin(msg.context, msg.src, msg.tag).q.push_back(std::move(msg));
-  ++queued_;
+  // Stamp.  With the bypass latched (it cannot unlatch while m_ is held)
+  // and no ring reservation in flight, no fast producer can touch
+  // next_seq_ — any newcomer re-checks the latch after reserving and
+  // backs out — so the stamp is a plain load+store, matching the
+  // pre-fast-path cost of this (hintless/wildcard-consumer) regime.
+  if (ring_bypass_.load(std::memory_order_seq_cst) &&
+      ring_msgs_.load(std::memory_order_seq_cst) == 0) {
+    msg.seq = next_seq_.load(std::memory_order_relaxed);
+    next_seq_.store(msg.seq + 1, std::memory_order_relaxed);
+  } else {
+    msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+  insert_sorted(obtain_bin(msg.context, msg.src, msg.tag), std::move(msg));
+  // Written only under m_; the release store is what the fast pop's
+  // post-peek gate re-check observes (via the ring push/peek edge when
+  // this sender later pushes, or via m_ on any locked-path consumer).
+  locked_msgs_.store(locked_msgs_.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_release);
   if (registry_) registry_->note_progress();
-  if (arrival_waiters_ > 0) arrived_.notify_all();
+  if (arrival_waiters_.load(std::memory_order_relaxed) > 0) {
+    arrived_.notify_all();
+  }
 }
 
-Message Mailbox::dequeue_match(int ctx, int src, int tag) {
+void Mailbox::capture_owner_tid() noexcept {
+  // Remember the consumer thread so self-send enqueues can skip the
+  // Dekker fence.  Compare-then-store avoids dirtying the line on every
+  // receive; under the single-consumer contract only one thread ever
+  // reaches here, so the plain store is race-free.
+  const auto me = std::this_thread::get_id();
+  if (owner_tid_.load(std::memory_order_relaxed) != me) {
+    owner_tid_.store(me, std::memory_order_relaxed);
+  }
+}
+
+std::optional<Message> Mailbox::try_fast_pop(int ctx, int src, int tag,
+                                             int src_world_hint) {
+  capture_owner_tid();
+  if (src_world_hint < 0 || src == kAnySource || tag == kAnyTag) {
+    return std::nullopt;
+  }
+  if (!fast_ok_.load(std::memory_order_acquire)) return std::nullopt;
+  // A hinted exact receive is exactly the consumer the rings exist for:
+  // if drains latched the bypass on, re-arm the rings (this pop misses
+  // once — the ring is empty or stale — and the next sends are ringed).
+  // The store MUST happen under m_: a slow enqueue that observes the
+  // latch while holding the lock relies on it staying latched for the
+  // whole critical section (that is what makes its plain next_seq_ stamp
+  // exclusive).  Cold path — once per traffic-shape change.
+  if (ring_bypass_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lk(m_);
+    drains_since_hit_ = 0;
+    ring_bypass_.store(false, std::memory_order_seq_cst);
+  }
+  const auto s = static_cast<std::size_t>(src_world_hint);
+  if (s >= rings_.size()) return std::nullopt;
+  SpscRing* ring = rings_[s].load(std::memory_order_acquire);
+  if (ring == nullptr) return std::nullopt;
+  Message* head = ring->peek();
+  if (head == nullptr || head->context != ctx || head->src != src ||
+      head->tag != tag) {
+    return std::nullopt;
+  }
+  // Gate: the locked core must be empty.  Bin messages with this key are
+  // either drained ring prefixes (older than the ring head — must win) or
+  // ring-full overflow spills from this same sender, which are *older*
+  // than any ring message pushed after them.  The gate is read AFTER the
+  // peek, deliberately: the sender's overflow insert (locked_msgs_
+  // increment, under m_) is sequenced before its next ring push, the push
+  // synchronizes-with our acquire peek, so a head pushed after the spill
+  // guarantees this load sees the nonzero count.  Read before the peek
+  // the gate could miss the spill (TOCTOU) and pop a newer message first.
+  if (locked_msgs_.load(std::memory_order_acquire) != 0) return std::nullopt;
+  Message msg = std::move(*head);
+  ring->pop();
+  // No explicit fence before the Dekker read below: the seq_cst fetch_sub
+  // is itself the barrier (see the header's memory-order contract).
+  ring_msgs_.fetch_sub(1, std::memory_order_seq_cst);
+  obs::bump(fast_hits_);  // single writer: owner thread
+  drains_since_hit_ = 0;
+  note_take(ctx, src, tag, /*wildcard=*/false);
+  if (registry_ != nullptr) registry_->note_progress();
+  // Dekker handshake with capacity-blocked senders (mirror of enqueue's).
+  if (drain_waiters_.load(std::memory_order_seq_cst) > 0) {
+    { std::lock_guard<std::mutex> lk(m_); }
+    drained_.notify_all();
+  }
+  return msg;
+}
+
+Message Mailbox::dequeue_match(int ctx, int src, int tag,
+                               int src_world_hint) {
+  if (auto fast = try_fast_pop(ctx, src, tag, src_world_hint)) {
+    return std::move(*fast);
+  }
+  if (src_world_hint >= 0 && src != kAnySource && tag != kAnyTag) {
+    obs::bump(fast_fallbacks_);  // single writer: owner thread
+  }
   std::unique_lock<std::mutex> lk(m_);
+  drain_rings_locked();
   Bin* bin = match_for(ctx, src, tag);
   std::optional<ft::FailureState::Interrupt> ft_it;
   if (bin == nullptr && !poison_) {
@@ -234,8 +465,9 @@ Message Mailbox::dequeue_match(int ctx, int src, int tag) {
       fault::ScopedWait wait(
           registry_, owner_,
           fault::WaitInfo{fault::WaitKind::kRecv, ctx, src, tag});
-      ++arrival_waiters_;
+      arrival_waiters_.fetch_add(1, std::memory_order_seq_cst);
       arrived_.wait(lk, [&] {
+        drain_rings_locked();
         bin = match_for(ctx, src, tag);
         if (bin != nullptr || poison_ != nullptr) return true;
         if (fs_ != nullptr) {
@@ -244,12 +476,12 @@ Message Mailbox::dequeue_match(int ctx, int src, int tag) {
         }
         return false;
       });
-      --arrival_waiters_;
+      arrival_waiters_.fetch_sub(1, std::memory_order_seq_cst);
     }
   }
   if (poison_) {
-    if (counters_ != nullptr) {
-      counters_->poisoned_waits.fetch_add(1, std::memory_order_relaxed);
+    if (auto* c = counters_.load(std::memory_order_relaxed)) {
+      obs::bump(c->poisoned_waits);
     }
     throw_poisoned_locked();
   }
@@ -261,9 +493,14 @@ Message Mailbox::dequeue_match(int ctx, int src, int tag) {
   return take_locked(*bin, src == kAnySource || tag == kAnyTag);
 }
 
-std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag) {
+std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag,
+                                                  int src_world_hint) {
+  if (auto fast = try_fast_pop(ctx, src, tag, src_world_hint)) {
+    return fast;
+  }
   std::unique_lock<std::mutex> lk(m_);
   if (poison_) throw_poisoned_locked();
+  drain_rings_locked();
   Bin* bin = match_for(ctx, src, tag);
   if (bin == nullptr) {
     // Raise (rather than spin forever in a test()/iprobe loop) once the
@@ -281,7 +518,9 @@ std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag) {
 }
 
 Status Mailbox::probe(int ctx, int src, int tag) {
+  capture_owner_tid();
   std::unique_lock<std::mutex> lk(m_);
+  drain_rings_locked();
   Bin* bin = match_for(ctx, src, tag);
   std::optional<ft::FailureState::Interrupt> ft_it;
   if (bin == nullptr && !poison_) {
@@ -290,8 +529,9 @@ Status Mailbox::probe(int ctx, int src, int tag) {
       fault::ScopedWait wait(
           registry_, owner_,
           fault::WaitInfo{fault::WaitKind::kProbe, ctx, src, tag});
-      ++arrival_waiters_;
+      arrival_waiters_.fetch_add(1, std::memory_order_seq_cst);
       arrived_.wait(lk, [&] {
+        drain_rings_locked();
         bin = match_for(ctx, src, tag);
         if (bin != nullptr || poison_ != nullptr) return true;
         if (fs_ != nullptr) {
@@ -300,12 +540,12 @@ Status Mailbox::probe(int ctx, int src, int tag) {
         }
         return false;
       });
-      --arrival_waiters_;
+      arrival_waiters_.fetch_sub(1, std::memory_order_seq_cst);
     }
   }
   if (poison_) {
-    if (counters_ != nullptr) {
-      counters_->poisoned_waits.fetch_add(1, std::memory_order_relaxed);
+    if (auto* c = counters_.load(std::memory_order_relaxed)) {
+      obs::bump(c->poisoned_waits);
     }
     throw_poisoned_locked();
   }
@@ -322,8 +562,10 @@ Status Mailbox::probe(int ctx, int src, int tag) {
 }
 
 std::optional<Status> Mailbox::try_probe(int ctx, int src, int tag) {
+  capture_owner_tid();
   std::unique_lock<std::mutex> lk(m_);
   if (poison_) throw_poisoned_locked();
+  drain_rings_locked();
   Bin* bin = match_for(ctx, src, tag);
   if (bin == nullptr) {
     if (fs_ != nullptr) {
@@ -342,8 +584,8 @@ std::optional<Status> Mailbox::try_probe(int ctx, int src, int tag) {
 void Mailbox::note_ft_interrupt_locked(const ft::FailureState::Interrupt& it,
                                        int ctx) {
   if (oracle_ == nullptr || !it.tie) return;
-  if (counters_ != nullptr) {
-    counters_->sched_ft_wake_ties.fetch_add(1, std::memory_order_relaxed);
+  if (auto* c = counters_.load(std::memory_order_relaxed)) {
+    obs::bump(c->sched_ft_wake_ties);
   }
   oracle_->record_ft_tie(owner_, ctx);
 }
@@ -353,6 +595,7 @@ void Mailbox::poison(std::shared_ptr<const fault::AbortInfo> info) {
     std::lock_guard<std::mutex> lk(m_);
     if (poison_) return;  // first abort wins
     poison_ = std::move(info);
+    recompute_fast_ok_locked();  // pin the slow path
   }
   arrived_.notify_all();
   drained_.notify_all();
@@ -360,33 +603,48 @@ void Mailbox::poison(std::shared_ptr<const fault::AbortInfo> info) {
 
 void Mailbox::ft_notify() {
   std::lock_guard<std::mutex> lk(m_);
-  if (arrival_waiters_ > 0) arrived_.notify_all();
-  if (drain_waiters_ > 0) drained_.notify_all();
+  if (arrival_waiters_.load(std::memory_order_relaxed) > 0) {
+    arrived_.notify_all();
+  }
+  if (drain_waiters_.load(std::memory_order_relaxed) > 0) {
+    drained_.notify_all();
+  }
 }
 
 void Mailbox::reset() {
   std::lock_guard<std::mutex> lk(m_);
   poison_.reset();
+  // Destroy every ring-resident message (returning pooled payload buffers
+  // to their pool).  The rings themselves stay allocated — they are keyed
+  // by src world rank, which does not change across runs.
+  for (const int s : active_rings_) {
+    SpscRing* ring =
+        rings_[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+    while (Message* head = ring->peek()) {
+      Message dead = std::move(*head);
+      ring->pop();
+    }
+  }
   // Drain every bin (destroying queued messages returns their pooled
   // payload buffers) and drop the bin directory itself: contexts are
   // allocated fresh each run, so stale keys would only pollute the table.
   bins_.clear();
   table_.assign(kInitialSlots, nullptr);
   mru_ = nullptr;  // points into bins_, which was just cleared
-  last_dequeued_ = nullptr;  // likewise
-  queued_ = 0;
-  next_seq_ = 0;
+  has_last_take_ = false;
+  ring_msgs_.store(0, std::memory_order_relaxed);
+  locked_msgs_.store(0, std::memory_order_relaxed);
+  next_seq_.store(0, std::memory_order_relaxed);
+  ring_bypass_.store(false, std::memory_order_seq_cst);
+  drains_since_hit_ = 0;
+  recompute_fast_ok_locked();  // un-pins poison; fs_/oracle_ persist
 }
 
-std::size_t Mailbox::size() const {
-  std::lock_guard<std::mutex> lk(m_);
-  return queued_;
-}
-
-std::vector<Mailbox::Pending> Mailbox::pending_summary() const {
+std::vector<Mailbox::Pending> Mailbox::pending_summary() {
   std::vector<Pending> out;
   {
     std::lock_guard<std::mutex> lk(m_);
+    drain_rings_locked();
     for (const Bin& b : bins_) {
       if (!b.q.empty()) {
         out.push_back(Pending{b.ctx, b.src, b.tag, b.q.size()});

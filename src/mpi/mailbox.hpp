@@ -1,30 +1,73 @@
 // Per-rank mailbox with MPI matching semantics.
 //
-// Senders enqueue under the destination's lock; receivers block until a
+// Senders enqueue into the destination's box; receivers block until a
 // message matching (context, source, tag) exists.
 //
-// Matching structure: messages are binned into per-(context, src, tag)
-// FIFO queues indexed by an open-addressing flat hash, so the common
-// exact-match receive is an O(1) hash hit + pop_front instead of the old
-// O(queue-depth) linear scan.  Every message is stamped with a global
-// monotone sequence number at enqueue; a wildcard receive (kAnySource /
-// kAnyTag / both) scans the bin directory — O(#bins), which is bounded by
-// the number of distinct (context, src, tag) triples in flight, not by
-// the number of queued messages — and takes the candidate bin whose head
-// has the smallest sequence number.  Since bin FIFO order equals per-key
-// arrival order and sequence numbers equal global arrival order, every
-// receive and probe observes exactly the order the old single-deque scan
-// produced (property-tested against a reference linear mailbox in
-// tests/test_mailbox_matching.cpp).
+// Two-path design (fast lock-free front, locked matching core):
+//
+//   FAST PATH.  Every sender owns a bounded SPSC ring in front of this
+//   box (one per src world rank, created lazily).  While the box is in
+//   fast mode — no ULFM failure state attached, no scheduling oracle
+//   armed, not poisoned — a send is a lock-free ring push, and an
+//   exact-pattern receive whose caller supplies the sender's world rank
+//   (`src_world_hint`) pops the matching ring head without ever taking
+//   `m_`, provided the locked core holds no messages at all.  This is
+//   the eager hot path: exact-tag send matched by a posted exact
+//   receive, which every benchmark loop hits millions of times.
+//
+//   SLOW PATH.  Everything else — wildcard receives, probes, hintless
+//   receives, capacity-blocked sends, any receive while the locked core
+//   is nonempty, and all traffic once FT / an oracle / poison pins the
+//   box — takes `m_` exactly as before.  Every locked matching operation
+//   first *drains* all rings into the per-(context, src, tag) bins
+//   (seq-sorted, so per-sender FIFO and global arrival order survive the
+//   move); this drain-on-transition protocol is what lets the two paths
+//   coexist: once an operation needs the global view, the global view is
+//   made complete before any matching decision.
+//
+// Matching structure (locked core): messages are binned into per-
+// (context, src, tag) FIFO queues indexed by an open-addressing flat
+// hash.  Every message is stamped with a global monotone sequence number
+// at enqueue (an atomic counter, shared by both paths); a wildcard
+// receive (kAnySource / kAnyTag / both) scans the bin directory —
+// O(#bins), bounded by distinct (context, src, tag) triples in flight —
+// and takes the candidate bin whose head has the smallest sequence
+// number.  Since bin FIFO order equals per-key arrival order and
+// sequence numbers equal global arrival order, every receive and probe
+// observes exactly the order a single linear queue would produce
+// (property-tested against a reference linear mailbox in
+// tests/test_mailbox_matching.cpp, fast path included).
+//
+// Why the fast pop is safe: within one context, comm rank <-> world rank
+// is bijective, so all messages matching an exact (ctx, src, tag)
+// pattern come from the single ring named by the hint; ring order is
+// that sender's program order; and the `locked core empty` gate plus the
+// fact that only the owner thread ever drains rings means no older
+// matching message can exist anywhere else.  Bin messages with the same
+// key are either drained ring prefixes (gate refuses while they exist)
+// or slow-path enqueues stamped after everything currently in the ring.
 //
 // Every blocking path (matched receive, blocking probe, capacity-blocked
 // enqueue) participates in the failure-propagation protocol: poison()
-// wakes all waiters with an AbortedError (whatever bin they wait on),
-// reset() drains every bin, and waits are registered in the engine's
-// WaitRegistry so the deadlock watchdog can dump what each rank is stuck
-// on.
+// wakes all waiters with an AbortedError (whatever bin they wait on) and
+// pins the slow path, reset() drains every ring and bin, and waits are
+// registered in the engine's WaitRegistry so the deadlock watchdog can
+// dump what each rank is stuck on.  Lost wakeups across the lock-free
+// boundary are prevented Dekker-style: producers publish, fence, then
+// read the waiter count; waiters bump the count, fence, then re-scan the
+// rings — at least one side always sees the other.  Two refinements keep
+// the handshake off the single-threaded hot path: a producer running ON
+// the owner thread skips the fence and waiter check outright (the owner
+// cannot be enqueueing and blocked in a receive at once — the self-send
+// case), and the pop side needs no explicit fence because the seq_cst
+// ring_msgs_ decrement after the pop already separates the head-slot
+// release from the waiter-count read, while a capacity waiter's
+// re-check reads ring_msgs_ seq_cst — the single total order over those
+// accesses guarantees one side sees the other.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -32,6 +75,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "fault/abort.hpp"
@@ -49,14 +93,18 @@ namespace ombx::mpi {
 
 class Mailbox {
  public:
-  /// Upper bound on queued messages; enqueue blocks beyond it (models MPI
-  /// eager flow control and bounds host memory at scale).  `registry` (may
-  /// be null) receives blocked-wait registrations for `owner_rank`'s
-  /// receives and for senders stuck on capacity.
+  /// Upper bound on queued messages (rings + bins); enqueue blocks beyond
+  /// it (models MPI eager flow control and bounds host memory at scale).
+  /// `registry` (may be null) receives blocked-wait registrations for
+  /// `owner_rank`'s receives and for senders stuck on capacity.
+  /// `max_src_world` bounds the sender world ranks eligible for a fast
+  /// ring (sends from larger ranks are correct but always locked).
   explicit Mailbox(std::size_t capacity = 8192,
                    fault::WaitRegistry* registry = nullptr,
-                   int owner_rank = -1)
-      : capacity_(capacity), registry_(registry), owner_(owner_rank) {
+                   int owner_rank = -1, int max_src_world = 64)
+      : rings_(max_src_world > 0 ? static_cast<std::size_t>(max_src_world)
+                                 : 0),
+        capacity_(capacity), registry_(registry), owner_(owner_rank) {
     table_.resize(kInitialSlots);
   }
 
@@ -65,17 +113,21 @@ class Mailbox {
 
   /// Deposit a message; blocks while the box is at capacity.  Throws
   /// AbortedError when the box is (or becomes) poisoned, so capacity-
-  /// blocked senders wake instead of hanging on a dead receiver.
+  /// blocked senders wake instead of hanging on a dead receiver.  In fast
+  /// mode this is a lock-free ring push (msg.src_world names the ring).
   void enqueue(Message&& msg);
 
   /// Remove and return the first message matching (ctx, src, tag); blocks
   /// until one arrives.  Throws AbortedError once poisoned.
-  [[nodiscard]] Message dequeue_match(int ctx, int src, int tag);
+  /// `src_world_hint` (optional) is the world rank behind comm rank `src`
+  /// — it enables the lock-free pop for exact patterns; -1 always works.
+  [[nodiscard]] Message dequeue_match(int ctx, int src, int tag,
+                                      int src_world_hint = -1);
 
   /// Like dequeue_match but does not block: returns nullopt if no match is
   /// currently queued.
-  [[nodiscard]] std::optional<Message> try_dequeue_match(int ctx, int src,
-                                                         int tag);
+  [[nodiscard]] std::optional<Message> try_dequeue_match(
+      int ctx, int src, int tag, int src_world_hint = -1);
 
   /// Blocking probe: waits for a match and returns its envelope without
   /// removing it (MPI_Probe).  Throws AbortedError once poisoned.
@@ -86,33 +138,42 @@ class Mailbox {
 
   /// Abort propagation: wake every waiter (senders and receivers); all
   /// current and future blocking calls throw AbortedError carrying `info`.
+  /// Also pins the slow path so no new message bypasses the poison check.
   void poison(std::shared_ptr<const fault::AbortInfo> info);
 
   /// Re-arm the mailbox for a fresh run (clears poison and drains every
-  /// bin, returning pooled payload buffers to their pool).
+  /// ring and bin, returning pooled payload buffers to their pool).  Only
+  /// valid while no rank thread is using the box.
   void reset();
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return ring_msgs_.load(std::memory_order_relaxed) +
+           locked_msgs_.load(std::memory_order_relaxed);
+  }
 
   /// One entry per nonempty bin: the (context, src, tag) key and how many
   /// messages are still queued under it.  Sorted by (ctx, src, tag) so the
-  /// finalize audit's unmatched-send report is deterministic.
+  /// finalize audit's unmatched-send report is deterministic.  Drains the
+  /// rings first (call only from the owner thread or once quiescent).
   struct Pending {
     int ctx;
     int src;
     int tag;
     std::size_t count;
   };
-  [[nodiscard]] std::vector<Pending> pending_summary() const;
+  [[nodiscard]] std::vector<Pending> pending_summary();
 
   /// Attach the world's ULFM failure state (null when FT is disabled —
   /// the default, in which case no wait ever consults it).  Blocked waits
   /// then wake when the peer they depend on is dead- or exit-marked and
   /// no matching message is queued; a queued match always wins, which is
   /// deterministic because a rank's sends happen-before its own marks.
+  /// A non-null failure state pins the slow path (FT wake rules must see
+  /// every message under m_).
   void set_failure_state(const ft::FailureState* fs) noexcept {
     std::lock_guard<std::mutex> lk(m_);
     fs_ = fs;
+    recompute_fast_ok_locked();
   }
 
   /// Wake every waiter so it re-evaluates the failure state (called after
@@ -121,23 +182,102 @@ class Mailbox {
 
   /// Attach the owner rank's metrics block (null to detach).  Successful
   /// dequeues are classified as exact / MRU / wildcard in receiver
-  /// program order, so the counts are deterministic (see obs/metrics.hpp).
+  /// program order on both paths, so the counts are deterministic (see
+  /// obs/metrics.hpp).
   void set_counters(obs::RankCounters* counters) noexcept {
-    std::lock_guard<std::mutex> lk(m_);
-    counters_ = counters;
+    counters_.store(counters, std::memory_order_release);
   }
 
   /// Attach a scheduling oracle (null to detach — the default; every
   /// match path then reduces to plain find_match).  With an oracle, each
   /// wildcard match records its candidate set, honours a pending pin
   /// (waiting for the pinned bin instead of taking the min-seq head), and
-  /// consults fuzz picks (see explore/explore.hpp).
+  /// consults fuzz picks (see explore/explore.hpp).  A non-null oracle
+  /// pins the slow path so every decision is recorded under m_.
   void set_oracle(explore::ScheduleOracle* oracle) noexcept {
     std::lock_guard<std::mutex> lk(m_);
     oracle_ = oracle;
+    recompute_fast_ok_locked();
+  }
+
+  /// Fast-/slow-path split diagnostics snapshot.  These counts depend on
+  /// host timing — whether a receiver beats its sender to the rendezvous
+  /// decides hit vs fallback — so they are deliberately NOT part of
+  /// obs::RankCounters: the metrics CSV must stay byte-identical across
+  /// same-seed runs (CI-enforced), exactly like PayloadPool::Stats.
+  /// Internally each counter has a single writer (the ring's producer, the
+  /// owner thread, or m_), so increments are plain load+store — an order
+  /// of magnitude cheaper than a lock-prefixed RMW on the hot path.
+  struct FastStats {
+    std::uint64_t fast_enqueues = 0;   ///< lock-free ring pushes
+    std::uint64_t slow_enqueues = 0;   ///< locked enqueues
+    std::uint64_t fast_hits = 0;       ///< lock-free pops
+    std::uint64_t fast_fallbacks = 0;  ///< hinted recvs gone slow
+    std::uint64_t drained = 0;         ///< msgs moved ring->bins
+    std::uint64_t ring_depth_hwm = 0;  ///< max ring-resident msgs
+  };
+  [[nodiscard]] FastStats fast_stats() const noexcept {
+    FastStats out;
+    for (const auto& rp : rings_) {  // fixed-size array of atomic pointers
+      if (const SpscRing* r = rp.load(std::memory_order_acquire)) {
+        out.fast_enqueues += r->pushed.load(std::memory_order_relaxed);
+      }
+    }
+    out.slow_enqueues = slow_enqueues_.load(std::memory_order_relaxed);
+    out.fast_hits = fast_hits_.load(std::memory_order_relaxed);
+    out.fast_fallbacks = fast_fallbacks_.load(std::memory_order_relaxed);
+    out.drained = drained_count_.load(std::memory_order_relaxed);
+    out.ring_depth_hwm = ring_depth_hwm_.load(std::memory_order_relaxed);
+    return out;
   }
 
  private:
+  /// Bounded single-producer single-consumer ring: the sender with world
+  /// rank s is the sole pusher of ring s; the box's owner thread is the
+  /// sole popper (lock-free pops and under-m_ drains are both owner-side,
+  /// so they never race each other).
+  struct SpscRing {
+    static constexpr std::size_t kSlots = 64;  // power of two
+
+    std::array<Message, kSlots> slot;
+    alignas(64) std::atomic<std::uint64_t> tail{0};  ///< producer-advanced
+    std::uint64_t head_cache = 0;                    ///< producer-local
+    /// Lifetime push count (producer-owned single-writer: plain
+    /// load+store, no RMW).  Feeds FastStats::fast_enqueues.
+    std::atomic<std::uint64_t> pushed{0};
+    alignas(64) std::atomic<std::uint64_t> head{0};  ///< consumer-advanced
+    std::uint64_t tail_cache = 0;                    ///< consumer-local
+
+    /// Producer side.  Returns false (msg untouched) when full.
+    [[nodiscard]] bool try_push(Message&& msg) noexcept {
+      const std::uint64_t t = tail.load(std::memory_order_relaxed);
+      if (t - head_cache >= kSlots) {
+        head_cache = head.load(std::memory_order_acquire);
+        if (t - head_cache >= kSlots) return false;
+      }
+      slot[t & (kSlots - 1)] = std::move(msg);
+      tail.store(t + 1, std::memory_order_release);
+      return true;
+    }
+
+    /// Consumer side: the current head slot, or null when empty.
+    [[nodiscard]] Message* peek() noexcept {
+      const std::uint64_t h = head.load(std::memory_order_relaxed);
+      if (h == tail_cache) {
+        tail_cache = tail.load(std::memory_order_acquire);
+        if (h == tail_cache) return nullptr;
+      }
+      return &slot[h & (kSlots - 1)];
+    }
+
+    /// Consumer side: free the head slot (after moving out of peek()).
+    void pop() noexcept {
+      const std::uint64_t h = head.load(std::memory_order_relaxed);
+      head.store(h + 1, std::memory_order_release);
+    }
+
+  };
+
   /// One FIFO of messages sharing an exact (context, src, tag) key.  Bins
   /// are never deleted before reset(); an emptied bin stays registered so
   /// its next message skips the insert path.
@@ -187,6 +327,44 @@ class Mailbox {
   /// carried a wildcard (metrics classification).
   [[nodiscard]] Message take_locked(Bin& bin, bool wildcard);
 
+  /// The lock-free exact pop.  nullopt means "take the slow path" (gate
+  /// closed, ring empty, or head doesn't match) — never an error.
+  [[nodiscard]] std::optional<Message> try_fast_pop(int ctx, int src, int tag,
+                                                    int src_world_hint);
+
+  /// Record the calling (receive-side) thread in owner_tid_ so self-send
+  /// enqueues can skip the Dekker fence.  Called at every receive entry.
+  void capture_owner_tid() noexcept;
+
+  /// Move every ring-resident message into its bin (seq-sorted insert).
+  /// Owner thread or quiescent only, with m_ held: this is the
+  /// fast->slow transition, after which the locked core is complete.
+  void drain_rings_locked();
+
+  /// Insert preserving ascending seq order (O(1) for in-order arrivals).
+  static void insert_sorted(Bin& bin, Message&& msg);
+
+  /// Ring for sender `s`, created (and registered for draining) on first
+  /// use.  Lock-free after creation.
+  [[nodiscard]] SpscRing* obtain_ring(std::size_t s);
+
+  /// Metrics classification + MRU bookkeeping shared by both paths: an
+  /// MRU hit is a non-wildcard take whose key equals the previous
+  /// successful take's key — receiver program order, so deterministic and
+  /// identical whichever path served it.
+  void note_take(int ctx, int src, int tag, bool wildcard) noexcept;
+
+  /// Recompute the fast-path gate from fs_/oracle_/poison_ (m_ held).
+  void recompute_fast_ok_locked() noexcept {
+    fast_ok_.store(fs_ == nullptr && oracle_ == nullptr && !poison_,
+                   std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t total_queued_seq_cst() const noexcept {
+    return ring_msgs_.load(std::memory_order_seq_cst) +
+           locked_msgs_.load(std::memory_order_seq_cst);
+  }
+
   [[noreturn]] void throw_poisoned_locked();
 
   /// Log an FT wake whose death/exit marks coexisted (a wake-order tie —
@@ -201,15 +379,70 @@ class Mailbox {
   std::deque<Bin> bins_;             ///< stable storage + wildcard scan order
   std::vector<Bin*> table_;          ///< open-addressing index, pow2 slots
   mutable Bin* mru_ = nullptr;       ///< last bin touched (steady traffic)
-  std::size_t queued_ = 0;           ///< total messages across bins
-  std::uint64_t next_seq_ = 0;       ///< global arrival stamp
-  // Waiter counts (guarded by m_) let the hot path skip the kernel notify
-  // when nobody is blocked — the overwhelmingly common case.
-  int arrival_waiters_ = 0;  ///< blocked receives + probes
-  int drain_waiters_ = 0;    ///< capacity-blocked senders
+
+  // ---- Lock-free front ----------------------------------------------------
+  std::vector<std::atomic<SpscRing*>> rings_;  ///< per src world, lazy
+  std::vector<std::unique_ptr<SpscRing>> ring_store_;  ///< guarded by m_
+  std::vector<int> active_rings_;                      ///< guarded by m_
+  std::atomic<bool> fast_ok_{true};  ///< no FT, no oracle, not poisoned
+  /// Adaptive bypass: when the owner keeps draining ring messages into
+  /// bins without a single fast pop (a hintless or wildcard-heavy
+  /// consumer), routing sends through the rings only adds a move per
+  /// message — so after kRingBypassAfterDrains consecutive drained
+  /// messages the owner flips this and producers enqueue straight into
+  /// the locked core.  The first hinted exact receive re-arms the rings
+  /// (its fast pop misses once, then traffic is lock-free again).
+  /// Which path a send takes is a pure heuristic (both are correct), but
+  /// the latch doubles as a mutual-exclusion witness: writes happen only
+  /// under m_, producers re-check it (seq_cst) after reserving ring_msgs_
+  /// and back out if set — so a slow enqueue that holds m_, sees the
+  /// latch set and sees ring_msgs_ == 0 owns next_seq_ outright and can
+  /// stamp with a plain load+store instead of an RMW.
+  static constexpr std::uint64_t kRingBypassAfterDrains = 128;
+  std::atomic<bool> ring_bypass_{false};   ///< written under m_ only
+  std::uint64_t drains_since_hit_ = 0;     ///< owner side (under m_)
+  /// Messages inside rings.  Producers fetch_add (reserve) BEFORE the ring
+  /// push and give the reservation back on a full ring; the owner's
+  /// fetch_sub after a fast pop doubles as the full barrier of the
+  /// pop-side Dekker handshake (see try_fast_pop).  Always a seq_cst RMW.
+  std::atomic<std::uint64_t> ring_msgs_{0};
+  /// Messages inside bins.  Written only under m_ (single writer at a
+  /// time), so increments are plain load+store; the lock-free reader in
+  /// try_fast_pop is made safe by re-checking AFTER the ring peek — the
+  /// producer's push/peek release-acquire edge carries any same-sender
+  /// slow enqueue's increment across with it.
+  std::atomic<std::uint64_t> locked_msgs_{0};
+  std::atomic<std::uint64_t> next_seq_{0};  ///< global arrival stamp
+  /// The owner thread (captured on every receive-side call): an enqueue
+  /// running ON that thread proves the owner is not blocked in a wait, so
+  /// the producer-side Dekker fence + waiter check can be skipped — this
+  /// is the self-send hot case.
+  std::atomic<std::thread::id> owner_tid_{};
+  // Fast-stats counters (see FastStats): single-writer, plain load+store.
+  std::atomic<std::uint64_t> slow_enqueues_{0};    ///< under m_
+  std::atomic<std::uint64_t> fast_hits_{0};        ///< owner thread
+  std::atomic<std::uint64_t> fast_fallbacks_{0};   ///< owner thread
+  std::atomic<std::uint64_t> drained_count_{0};    ///< under m_
+  std::atomic<std::uint64_t> ring_depth_hwm_{0};   ///< CAS-max (multi-writer)
+
+  // Waiter counts (modified under m_, read lock-free by producers with
+  // seq_cst so the Dekker handshake in enqueue/try_fast_pop cannot lose a
+  // wakeup) let the hot path skip the kernel notify when nobody is
+  // blocked — the overwhelmingly common case.
+  std::atomic<int> arrival_waiters_{0};  ///< blocked receives + probes
+  std::atomic<int> drain_waiters_{0};    ///< capacity-blocked senders
+
   std::size_t capacity_;
-  obs::RankCounters* counters_ = nullptr;  ///< owner's metrics (may be null)
-  Bin* last_dequeued_ = nullptr;  ///< bin of the previous successful dequeue
+  std::atomic<obs::RankCounters*> counters_{nullptr};  ///< owner's metrics
+  // Key of the previous successful take (owner thread only; reset() may
+  // also touch it while quiescent).  Replaces the old Bin* comparison —
+  // bins and keys are bijective within a run, so classification is
+  // unchanged, but a key survives path switches where a pointer cannot.
+  bool has_last_take_ = false;
+  int last_take_ctx_ = 0;
+  int last_take_src_ = 0;
+  int last_take_tag_ = 0;
+
   std::shared_ptr<const fault::AbortInfo> poison_;
   fault::WaitRegistry* registry_;
   int owner_;

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <new>
 
 namespace ombx::mpi {
 
@@ -11,17 +12,91 @@ constexpr std::size_t kMinExp = 7;  // log2(PayloadPool::kMinBucketBytes)
 std::size_t bucket_bytes(std::size_t b) noexcept {
   return PayloadPool::kMinBucketBytes << b;
 }
+
+std::byte* alloc_block(std::size_t bytes) {
+  return static_cast<std::byte*>(::operator new(bytes));
+}
+
+void free_block(std::byte* p) noexcept { ::operator delete(p); }
 }  // namespace
 
 void PooledPayload::release() noexcept {
   if (pool_ != nullptr) {
-    pool_->recycle(std::move(heap_));
+    pool_->recycle(block_, block_cap_);
     pool_ = nullptr;
+    block_ = nullptr;
+    block_cap_ = 0;
   }
   heap_ = {};
   size_ = 0;
   inline_ = false;
 }
+
+// ---- FreeRing (bounded MPMC, Vyukov sequence-tagged cells) ----------------
+
+bool PayloadPool::FreeRing::push(std::byte* p) noexcept {
+  constexpr std::size_t kMask = kMaxFreePerBucket - 1;
+  std::size_t pos = enq.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& c = cells[pos & kMask];
+    const std::size_t seq = c.seq.load(std::memory_order_acquire);
+    const auto dif = static_cast<std::intptr_t>(seq) -
+                     static_cast<std::intptr_t>(pos);
+    if (dif == 0) {
+      if (enq.compare_exchange_weak(pos, pos + 1,
+                                    std::memory_order_relaxed)) {
+        c.ptr = p;
+        c.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+    } else if (dif < 0) {
+      return false;  // full
+    } else {
+      pos = enq.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::byte* PayloadPool::FreeRing::pop() noexcept {
+  constexpr std::size_t kMask = kMaxFreePerBucket - 1;
+  std::size_t pos = deq.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& c = cells[pos & kMask];
+    const std::size_t seq = c.seq.load(std::memory_order_acquire);
+    const auto dif = static_cast<std::intptr_t>(seq) -
+                     static_cast<std::intptr_t>(pos + 1);
+    if (dif == 0) {
+      if (deq.compare_exchange_weak(pos, pos + 1,
+                                    std::memory_order_relaxed)) {
+        std::byte* p = c.ptr;
+        c.seq.store(pos + kMaxFreePerBucket, std::memory_order_release);
+        return p;
+      }
+    } else if (dif < 0) {
+      return nullptr;  // empty
+    } else {
+      pos = deq.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t PayloadPool::FreeRing::size_approx() const noexcept {
+  const std::size_t e = enq.load(std::memory_order_relaxed);
+  const std::size_t d = deq.load(std::memory_order_relaxed);
+  return e > d ? e - d : 0;
+}
+
+// ---- PayloadPool ----------------------------------------------------------
+
+PayloadPool::PayloadPool() {
+  for (Bucket& bk : buckets_) {
+    for (std::size_t i = 0; i < kMaxFreePerBucket; ++i) {
+      bk.ring.cells[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+}
+
+PayloadPool::~PayloadPool() { trim(); }
 
 std::size_t PayloadPool::bucket_for_acquire(std::size_t n) noexcept {
   // Smallest b with kMinBucketBytes << b >= n.
@@ -39,7 +114,7 @@ std::size_t PayloadPool::bucket_for_recycle(std::size_t capacity) noexcept {
 PooledPayload PayloadPool::acquire_copy(const std::byte* src,
                                         std::size_t n) {
   PooledPayload p;
-  if (n == 0) return p;  // the 0-byte path: no lock, no allocation
+  if (n == 0) return p;  // the 0-byte path: no atomics, no allocation
   p.size_ = n;
   if (n <= PooledPayload::kInlineBytes) {
     p.inline_ = true;
@@ -56,57 +131,56 @@ PooledPayload PayloadPool::acquire_copy(const std::byte* src,
   }
   const std::size_t b = bucket_for_acquire(n);
   Bucket& bucket = buckets_[b];
-  {
-    std::lock_guard<SpinLock> lk(bucket.m);
-    if (!bucket.free.empty()) {
-      p.heap_ = std::move(bucket.free.back());
-      bucket.free.pop_back();
-    }
-  }
-  if (p.heap_.capacity() >= n) {
+  std::byte* block = bucket.hot.exchange(nullptr, std::memory_order_acquire);
+  if (block == nullptr) block = bucket.ring.pop();
+  if (block != nullptr) {
     stats_.reuses.fetch_add(1, std::memory_order_relaxed);
   } else {
-    p.heap_.reserve(bucket_bytes(b));
+    block = alloc_block(bucket_bytes(b));
     stats_.allocs.fetch_add(1, std::memory_order_relaxed);
   }
-  // assign() copies without the zero-fill a resize() would pay, and cannot
-  // reallocate: capacity >= bucket size >= n.
-  p.heap_.assign(src, src + n);
+  std::memcpy(block, src, n);
+  p.block_ = block;
+  p.block_cap_ = bucket_bytes(b);
   p.pool_ = this;
   return p;
 }
 
-void PayloadPool::recycle(std::vector<std::byte>&& v) noexcept {
-  if (v.capacity() < kMinBucketBytes) {
-    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
-    return;  // v freed on scope exit
-  }
-  const std::size_t b = bucket_for_recycle(v.capacity());
-  Bucket& bucket = buckets_[b];
-  std::lock_guard<SpinLock> lk(bucket.m);
-  if (bucket.free.size() >= kMaxFreePerBucket) {
-    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+void PayloadPool::recycle(std::byte* block, std::size_t capacity) noexcept {
+  // Exactly one of recycled/dropped per released block keeps
+  // outstanding() exact.  The hot slot is only filled when empty, so a
+  // block counted `recycled` is never silently displaced and freed.
+  Bucket& bucket = buckets_[bucket_for_recycle(capacity)];
+  std::byte* expected = nullptr;
+  if (bucket.hot.compare_exchange_strong(expected, block,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed)) {
+    stats_.recycled.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (bucket.free.capacity() == 0) bucket.free.reserve(kMaxFreePerBucket);
-  bucket.free.push_back(std::move(v));
-  stats_.recycled.fetch_add(1, std::memory_order_relaxed);
+  if (bucket.ring.push(block)) {
+    stats_.recycled.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    free_block(block);
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::size_t PayloadPool::free_buffers() const {
   std::size_t n = 0;
   for (const Bucket& b : buckets_) {
-    std::lock_guard<SpinLock> lk(b.m);
-    n += b.free.size();
+    if (b.hot.load(std::memory_order_relaxed) != nullptr) ++n;
+    n += b.ring.size_approx();
   }
   return n;
 }
 
 void PayloadPool::trim() {
   for (Bucket& b : buckets_) {
-    std::lock_guard<SpinLock> lk(b.m);
-    b.free.clear();
-    b.free.shrink_to_fit();
+    if (std::byte* p = b.hot.exchange(nullptr, std::memory_order_acquire)) {
+      free_block(p);
+    }
+    while (std::byte* p = b.ring.pop()) free_block(p);
   }
 }
 

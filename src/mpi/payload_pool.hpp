@@ -5,31 +5,31 @@
 // allocator round trips per message, millions of times per benchmark
 // sweep.  PayloadPool removes them: buffers are recycled through
 // size-bucketed freelists, and payloads small enough for the handle's
-// inline storage never touch the heap (or a lock) at all.
+// inline storage never touch the heap (or an atomic) at all.
 //
 // Storage tiers, chosen by acquire_copy():
-//   0 bytes      no storage, no lock, no allocation (asserted by tests)
+//   0 bytes      no storage, no atomics, no allocation (asserted by tests)
 //   <= 64 bytes  inline in the PooledPayload handle itself
-//   <= 4 MiB     pooled vector from the power-of-two bucket freelist;
+//   <= 4 MiB     pooled raw block from the power-of-two bucket freelist;
 //                returned to the pool when the handle dies
 //   >  4 MiB     plain heap vector (freed, not recycled — messages this
 //                large ride the rendezvous path, which is zero-copy for
 //                blocking sends anyway)
 //
-// Thread model: acquire and release run on different rank threads; each
-// bucket has its own spinlock (critical sections are a handful of pointer
-// moves, and an uncontended spinlock costs half of what a mutex does —
-// this path competes with malloc's thread-cached fast path), stats are
-// relaxed atomics.  The pool must outlive every handle it issued (the
-// Engine declares its pool before its mailboxes so destruction order
-// guarantees this).
+// Thread model: acquire and release run on different rank threads.  The
+// buckets are fully lock-free: each one is a single-slot "hot" exchange
+// cache (the steady-state self-send case is one uncontended XCHG) backed
+// by a bounded MPMC ring of raw blocks (Vyukov-style tagged sequence
+// cells, so recycled pointers cannot ABA a concurrent pop — the reason a
+// plain Treiber stack was rejected).  Stats are relaxed atomics.  The
+// pool must outlive every handle it issued (the Engine declares its pool
+// before its mailboxes so destruction order guarantees this).
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 namespace ombx::mpi {
@@ -48,6 +48,7 @@ class PooledPayload {
 
   PooledPayload(PooledPayload&& o) noexcept
       : size_(o.size_), inline_(o.inline_), pool_(o.pool_),
+        block_(o.block_), block_cap_(o.block_cap_),
         heap_(std::move(o.heap_)) {
     if (inline_) {
       for (std::size_t i = 0; i < size_; ++i) sbo_[i] = o.sbo_[i];
@@ -55,6 +56,8 @@ class PooledPayload {
     o.size_ = 0;
     o.inline_ = false;
     o.pool_ = nullptr;
+    o.block_ = nullptr;
+    o.block_cap_ = 0;
   }
 
   PooledPayload& operator=(PooledPayload&& o) noexcept {
@@ -63,6 +66,8 @@ class PooledPayload {
       size_ = o.size_;
       inline_ = o.inline_;
       pool_ = o.pool_;
+      block_ = o.block_;
+      block_cap_ = o.block_cap_;
       heap_ = std::move(o.heap_);
       if (inline_) {
         for (std::size_t i = 0; i < size_; ++i) sbo_[i] = o.sbo_[i];
@@ -70,6 +75,8 @@ class PooledPayload {
       o.size_ = 0;
       o.inline_ = false;
       o.pool_ = nullptr;
+      o.block_ = nullptr;
+      o.block_cap_ = 0;
     }
     return *this;
   }
@@ -78,10 +85,10 @@ class PooledPayload {
   PooledPayload& operator=(const PooledPayload&) = delete;
 
   [[nodiscard]] const std::byte* data() const noexcept {
-    return inline_ ? sbo_.data() : heap_.data();
+    return inline_ ? sbo_.data() : block_ != nullptr ? block_ : heap_.data();
   }
   [[nodiscard]] std::byte* data() noexcept {
-    return inline_ ? sbo_.data() : heap_.data();
+    return inline_ ? sbo_.data() : block_ != nullptr ? block_ : heap_.data();
   }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
@@ -99,19 +106,23 @@ class PooledPayload {
 
   std::size_t size_ = 0;
   bool inline_ = false;
-  PayloadPool* pool_ = nullptr;  ///< non-null: heap_ recycles on release
-  std::vector<std::byte> heap_;
+  PayloadPool* pool_ = nullptr;   ///< non-null: block_ recycles on release
+  std::byte* block_ = nullptr;    ///< pooled tier: raw bucket-sized block
+  std::size_t block_cap_ = 0;     ///< block_'s bucket size in bytes
+  std::vector<std::byte> heap_;   ///< > 4 MiB tier only
   std::array<std::byte, kInlineBytes> sbo_;
 };
 
-/// Size-bucketed freelist of recycled payload vectors.
+/// Size-bucketed lock-free freelist of recycled payload blocks.
 class PayloadPool {
  public:
   static constexpr std::size_t kMinBucketBytes = 128;     ///< 2^7
   static constexpr std::size_t kMaxBucketBytes = 4 << 20; ///< 2^22
-  static constexpr std::size_t kMaxFreePerBucket = 32;
+  static constexpr std::size_t kMaxFreePerBucket = 32;    ///< pow2 (ring)
+  static constexpr std::size_t kNumBuckets = 16;          ///< 2^7 .. 2^22
 
-  PayloadPool() = default;
+  PayloadPool();
+  ~PayloadPool();
   PayloadPool(const PayloadPool&) = delete;
   PayloadPool& operator=(const PayloadPool&) = delete;
 
@@ -128,13 +139,14 @@ class PayloadPool {
   };
 
   /// Copy `n` bytes from `src` into recycled (or inline) storage.  n == 0
-  /// returns an empty handle without locking or allocating.
+  /// returns an empty handle without touching the pool.
   [[nodiscard]] PooledPayload acquire_copy(const std::byte* src,
                                            std::size_t n);
 
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
-  /// Freelist population across all buckets (test/diagnostic only).
+  /// Freelist population across all buckets (test/diagnostic only; exact
+  /// when the pool is quiescent).
   [[nodiscard]] std::size_t free_buffers() const;
 
   /// Pooled-tier handles currently alive (acquired but not yet released).
@@ -165,26 +177,32 @@ class PayloadPool {
   [[nodiscard]] static std::size_t bucket_for_recycle(
       std::size_t capacity) noexcept;
 
-  void recycle(std::vector<std::byte>&& v) noexcept;
+  void recycle(std::byte* block, std::size_t capacity) noexcept;
 
-  static constexpr std::size_t kNumBuckets = 16;  // 2^7 .. 2^22
 
-  /// Tiny test-and-test-and-set lock; bucket critical sections are a few
-  /// pointer moves, never long enough to make a sleeping lock worthwhile.
-  struct SpinLock {
-    std::atomic_flag f = ATOMIC_FLAG_INIT;
-    void lock() noexcept {
-      while (f.test_and_set(std::memory_order_acquire)) {
-        while (f.test(std::memory_order_relaxed)) {
-        }
-      }
-    }
-    void unlock() noexcept { f.clear(std::memory_order_release); }
+  /// Bounded MPMC ring of free blocks (Vyukov sequence-tagged cells).
+  /// push/pop are lock-free and ABA-safe: a cell is only touched by the
+  /// thread whose CAS claimed its sequence number, and the sequence tag
+  /// distinguishes a re-pushed pointer from the previous occupant.
+  struct FreeRing {
+    struct Cell {
+      std::atomic<std::size_t> seq{0};
+      std::byte* ptr = nullptr;
+    };
+    std::array<Cell, kMaxFreePerBucket> cells;
+    alignas(64) std::atomic<std::size_t> enq{0};
+    alignas(64) std::atomic<std::size_t> deq{0};
+
+    bool push(std::byte* p) noexcept;
+    [[nodiscard]] std::byte* pop() noexcept;
+    [[nodiscard]] std::size_t size_approx() const noexcept;
   };
 
   struct Bucket {
-    mutable SpinLock m;
-    std::vector<std::vector<std::byte>> free;
+    /// Single-slot exchange cache in front of the ring: the steady-state
+    /// acquire/release pair is one uncontended XCHG each.
+    alignas(64) std::atomic<std::byte*> hot{nullptr};
+    FreeRing ring;
   };
 
   std::array<Bucket, kNumBuckets> buckets_;

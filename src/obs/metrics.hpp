@@ -25,6 +25,18 @@
 
 namespace ombx::obs {
 
+/// Single-writer counter increment.  Every RankCounters field is written
+/// only by its own rank's thread (aggregation reads happen after the rank
+/// threads join), so a plain load+store bump is race-free and avoids the
+/// lock-prefixed RMW a fetch_add would emit — roughly 20x cheaper on the
+/// substrate hot path.  Do NOT use for counters with concurrent writers
+/// (PayloadPool::Stats, fault counters, WaitRegistry progress).
+inline void bump(std::atomic<std::uint64_t>& c,
+                 std::uint64_t n = 1) noexcept {
+  c.store(c.load(std::memory_order_relaxed) + n,
+          std::memory_order_relaxed);
+}
+
 /// One rank's counters.  Alignment keeps neighbouring ranks' blocks off
 /// each other's cache lines (each block is written by one thread).
 struct alignas(64) RankCounters {

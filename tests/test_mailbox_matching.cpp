@@ -10,14 +10,19 @@
 // order exactly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <optional>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "explore/explore.hpp"
+#include "ft/ft.hpp"
 #include "mpi/mailbox.hpp"
 #include "mpi/message.hpp"
 #include "mpi/payload_pool.hpp"
@@ -335,6 +340,239 @@ TEST(MailboxOracle, IncompatiblePinFallsBackAndFlagsDivergence) {
   EXPECT_TRUE(oracle.diverged());
 }
 
+// ---- Fast-path (SPSC rings) properties --------------------------------------
+
+TEST(MailboxFastPath, HintedMatchesReferenceAcrossPathTransitions) {
+  // The two-path mailbox against the linear reference, now with the fast
+  // path actually engaged: exact receives carry src_world hints, bursts
+  // overflow the 64-slot rings (forcing the spill-then-restamp path), and
+  // mid-stream an oracle or a (failure-free) ULFM state attaches and
+  // detaches — pinning the slow path and draining the rings — while the
+  // stream keeps flowing.  Every observation must equal the reference.
+  constexpr int kSources = 4;
+  constexpr int kTags = 3;
+  constexpr int kOpsPerSeed = 8000;
+
+  for (std::uint32_t seed : {3u, 17u, 4242u}) {
+    std::mt19937 rng(seed);
+    explore::ScheduleOracle oracle(1);
+    ft::FailureState fs(/*nranks=*/kSources, ft::FtConfig{});
+    Mailbox box(/*capacity=*/1 << 20, nullptr, /*owner_rank=*/0);
+    ReferenceMailbox ref;
+    std::size_t next_id = 1;
+    bool oracle_on = false;
+    bool ft_on = false;
+
+    for (int op = 0; op < kOpsPerSeed; ++op) {
+      const unsigned kind = rng() % 16;
+      if (kind == 15) {
+        // Path transition while messages are in flight.
+        switch (rng() % 4) {
+          case 0:
+            box.set_oracle(oracle_on ? nullptr : &oracle);
+            oracle_on = !oracle_on;
+            break;
+          case 1:
+            box.set_failure_state(ft_on ? nullptr : &fs);
+            ft_on = !ft_on;
+            break;
+          default: {
+            // Ring-overflow burst: >64 messages from one source with no
+            // receive in between spill into the locked core mid-stream.
+            const int src = static_cast<int>(rng() % kSources);
+            const int tag = static_cast<int>(rng() % kTags);
+            for (int i = 0; i < 80; ++i) {
+              box.enqueue(make_msg(0, src, tag, next_id));
+              ref.enqueue(make_msg(0, src, tag, next_id));
+              ++next_id;
+            }
+            break;
+          }
+        }
+      } else if (kind < 8 || ref.size() == 0) {
+        const int src = static_cast<int>(rng() % kSources);
+        const int tag = static_cast<int>(rng() % kTags);
+        box.enqueue(make_msg(0, src, tag, next_id));
+        ref.enqueue(make_msg(0, src, tag, next_id));
+        ++next_id;
+      } else if (kind < 13) {
+        // Exact receive WITH hint (make_msg sets src_world = src): this is
+        // the lock-free pop whenever the box is unpinned and drained.
+        const int src = static_cast<int>(rng() % kSources);
+        const int tag = static_cast<int>(rng() % kTags);
+        std::optional<Message> got =
+            box.try_dequeue_match(0, src, tag, /*src_world_hint=*/src);
+        std::optional<Message> want = ref.try_dequeue_match(0, src, tag);
+        ASSERT_EQ(got.has_value(), want.has_value())
+            << "seed=" << seed << " op=" << op;
+        if (got) {
+          EXPECT_EQ(got->bytes, want->bytes)
+              << "seed=" << seed << " op=" << op
+              << ": fast path broke arrival order";
+        }
+      } else if (kind < 15) {
+        const bool wild_tag = rng() % 2 == 0;
+        const int src = kAnySource;
+        const int tag = wild_tag ? kAnyTag : static_cast<int>(rng() % kTags);
+        std::optional<Message> got = box.try_dequeue_match(0, src, tag);
+        std::optional<Message> want = ref.try_dequeue_match(0, src, tag);
+        ASSERT_EQ(got.has_value(), want.has_value())
+            << "seed=" << seed << " op=" << op;
+        if (got) {
+          EXPECT_EQ(got->bytes, want->bytes) << "op=" << op;
+        }
+      } else {
+        const int tag = static_cast<int>(rng() % kTags);
+        std::optional<mpi::Status> got = box.try_probe(0, kAnySource, tag);
+        std::optional<mpi::Status> want = ref.try_probe(0, kAnySource, tag);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "op=" << op;
+        if (got) {
+          EXPECT_EQ(got->bytes, want->bytes) << "op=" << op;
+        }
+      }
+      ASSERT_EQ(box.size(), ref.size()) << "seed=" << seed << " op=" << op;
+    }
+
+    // Drain and compare the remainder, then confirm both paths really ran.
+    box.set_oracle(nullptr);
+    box.set_failure_state(nullptr);
+    while (auto got = box.try_dequeue_match(0, kAnySource, kAnyTag)) {
+      auto want = ref.try_dequeue_match(0, kAnySource, kAnyTag);
+      ASSERT_TRUE(want.has_value());
+      EXPECT_EQ(got->bytes, want->bytes);
+    }
+    EXPECT_EQ(ref.try_dequeue_match(0, kAnySource, kAnyTag), std::nullopt);
+    const Mailbox::FastStats s = box.fast_stats();
+    EXPECT_GT(s.fast_enqueues, 0u) << "fast path never engaged";
+    EXPECT_GT(s.slow_enqueues, 0u) << "slow path never engaged";
+    EXPECT_GT(s.drained, 0u) << "no fast->slow transition was exercised";
+    EXPECT_EQ(s.fast_enqueues, s.fast_hits + s.drained)
+        << "a ring message was neither popped nor drained";
+  }
+}
+
+TEST(MailboxFastPath, AdaptiveBypassLatchesOnHintlessTrafficAndRearms) {
+  // A consumer that never passes hints turns the rings into pure
+  // overhead; after enough drained messages the producers must route
+  // straight to the locked core, and the first hinted receive must
+  // re-arm the rings.
+  Mailbox box(1 << 20, nullptr, /*owner_rank=*/0);
+  for (int i = 0; i < 400; ++i) {
+    box.enqueue(make_msg(0, 1, 7, static_cast<std::size_t>(i) + 1));
+    auto got = box.try_dequeue_match(0, 1, 7);  // hintless: always drains
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->bytes, static_cast<std::size_t>(i) + 1);
+  }
+  const Mailbox::FastStats latched = box.fast_stats();
+  EXPECT_GT(latched.slow_enqueues, 0u)
+      << "hintless traffic never latched the ring bypass";
+  EXPECT_EQ(latched.fast_hits, 0u);
+
+  // A hinted receive re-arms: the next send rides the ring and the next
+  // hinted receive pops it lock-free.
+  box.enqueue(make_msg(0, 1, 7, 1001));
+  auto slow = box.try_dequeue_match(0, 1, 7, /*src_world_hint=*/1);
+  ASSERT_TRUE(slow.has_value());  // this one was a slow-path message
+  box.enqueue(make_msg(0, 1, 7, 1002));
+  auto fast = box.try_dequeue_match(0, 1, 7, /*src_world_hint=*/1);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(fast->bytes, 1002u);
+  const Mailbox::FastStats rearmed = box.fast_stats();
+  EXPECT_GT(rearmed.fast_enqueues, latched.fast_enqueues)
+      << "hinted receive did not re-arm the rings";
+  EXPECT_GT(rearmed.fast_hits, 0u);
+}
+
+TEST(MailboxFastPath, CrossThreadSpscStreamsStayInPerSenderOrder) {
+  // Two producer threads (distinct src worlds, so distinct rings) blast
+  // messages at one blocking consumer.  Per-sender FIFO must survive ring
+  // overflows, drains, and the Dekker sleep/wake handshake.
+  // Capacity must exceed the total message count: with a bounded box a
+  // fast producer can fill it entirely and deadlock against a consumer
+  // waiting for the *other* (capacity-blocked) producer.  Single-sender
+  // capacity blocking is covered by the dedicated test below.  A
+  // per-producer credit window keeps each sender at most 32 ahead of
+  // the consumer — without it a single-CPU host lets the producers
+  // finish first and the whole run degenerates to slow-path pops.
+  constexpr std::size_t kPerSender = 30000;
+  constexpr std::size_t kWindow = 32;
+  Mailbox box(/*capacity=*/1 << 20, nullptr, /*owner_rank=*/0);
+  std::atomic<std::size_t> consumed[2] = {{0}, {0}};
+
+  auto producer = [&box, &consumed](int src) {
+    for (std::size_t i = 1; i <= kPerSender; ++i) {
+      while (i - consumed[src].load(std::memory_order_acquire) > kWindow) {
+        std::this_thread::yield();
+      }
+      box.enqueue(make_msg(0, src, /*tag=*/5, i));
+    }
+  };
+  std::thread p0(producer, 0);
+  std::thread p1(producer, 1);
+
+  std::size_t expect0 = 1;
+  std::size_t expect1 = 1;
+  std::mt19937 rng(99);
+  while (expect0 <= kPerSender || expect1 <= kPerSender) {
+    // Randomly interleave the two streams (blocking receives), with an
+    // occasional hintless receive to force a mid-stream drain.
+    const bool pick0 =
+        expect1 > kPerSender || (expect0 <= kPerSender && rng() % 2 == 0);
+    const int src = pick0 ? 0 : 1;
+    Message got;
+    switch (rng() % 8) {
+      case 0:  // hintless blocking receive: forces a full ring drain
+        got = box.dequeue_match(0, src, 5, /*src_world_hint=*/-1);
+        break;
+      case 1:  // hinted blocking receive: the cv-park Dekker handshake
+        got = box.dequeue_match(0, src, 5, src);
+        break;
+      default:
+        // Spinning hinted receive: a consumer that never parks is the
+        // regime the lock-free pop exists for (a parked consumer's
+        // wake predicate drains the rings, so everything it sees went
+        // through the bins).
+        for (;;) {
+          std::optional<Message> m = box.try_dequeue_match(0, src, 5, src);
+          if (m) {
+            got = std::move(*m);
+            break;
+          }
+          std::this_thread::yield();
+        }
+    }
+    std::size_t& expect = pick0 ? expect0 : expect1;
+    ASSERT_EQ(got.bytes, expect) << "per-sender FIFO order broken";
+    ++expect;
+    consumed[src].store(expect - 1, std::memory_order_release);
+  }
+  p0.join();
+  p1.join();
+  EXPECT_EQ(box.size(), 0u);
+  const Mailbox::FastStats s = box.fast_stats();
+  EXPECT_GT(s.fast_hits, 0u) << "consumer never used the lock-free pop";
+  EXPECT_EQ(s.fast_enqueues, s.fast_hits + s.drained);
+}
+
+TEST(MailboxFastPath, CapacityBlockedSenderRecoversViaFastPops) {
+  // Capacity far below the message count: the sender must park on the
+  // drain condition and be woken by lock-free pops on the other side
+  // (the try_fast_pop half of the Dekker handshake).
+  constexpr std::size_t kTotal = 20000;
+  Mailbox box(/*capacity=*/96, nullptr, /*owner_rank=*/0);
+  std::thread sender([&box] {
+    for (std::size_t i = 1; i <= kTotal; ++i) {
+      box.enqueue(make_msg(0, 2, 9, i));
+    }
+  });
+  for (std::size_t i = 1; i <= kTotal; ++i) {
+    const Message got = box.dequeue_match(0, 2, 9, /*src_world_hint=*/2);
+    ASSERT_EQ(got.bytes, i);
+  }
+  sender.join();
+  EXPECT_EQ(box.size(), 0u);
+}
+
 // ---- PayloadPool ------------------------------------------------------------
 
 TEST(PayloadPool, ZeroBytePathTouchesNothing) {
@@ -434,4 +672,57 @@ TEST(PayloadPool, SteadyStateEagerTrafficStopsAllocating) {
   EXPECT_EQ(allocs_after, allocs_before)
       << "steady-state eager traffic still hits the allocator";
   EXPECT_GT(w.engine().payload_pool().stats().reuses.load(), 900u);
+}
+
+TEST(PayloadPool, MultiProducerFreelistStressKeepsBuffersDistinct) {
+  // Four threads hammer one pool with 512-byte acquire/release cycles,
+  // each stamping its buffers with a thread-unique pattern.  The lock-free
+  // freelist must never hand the same buffer to two live handles (the
+  // pattern check would fail), must leak nothing, and must respect the
+  // per-bucket cache bound once the threads join.
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 20000;
+  PayloadPool pool;
+  std::atomic<int> mismatches{0};
+
+  auto worker = [&pool, &mismatches](int tid) {
+    std::vector<std::byte> src(512);
+    std::mt19937 rng(static_cast<std::uint32_t>(tid) * 7919u + 1u);
+    for (int i = 0; i < kItersPerThread; ++i) {
+      const auto stamp =
+          static_cast<std::byte>((tid << 6) | (i & 0x3f));
+      std::fill(src.begin(), src.end(), stamp);
+      PooledPayload a = pool.acquire_copy(src.data(), src.size());
+      // Occasionally hold two handles at once to force freelist misses.
+      PooledPayload b;
+      if (rng() % 4 == 0) {
+        b = pool.acquire_copy(src.data(), src.size());
+      }
+      for (const PooledPayload* p : {&a, &b}) {
+        if (p->empty()) continue;
+        if (p->size() != src.size() ||
+            std::memcmp(p->data(), src.data(), src.size()) != 0) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "two live handles aliased one pooled buffer";
+  EXPECT_EQ(pool.outstanding(), 0u) << "pooled buffers leaked";
+  EXPECT_LE(pool.free_buffers(),
+            PayloadPool::kNumBuckets * (PayloadPool::kMaxFreePerBucket + 1))
+      << "freelist cached past its per-bucket bound (ring + hot slot)";
+  const auto& st = pool.stats();
+  EXPECT_GT(st.reuses.load(), 0u) << "freelist never recycled under stress";
+  // Every pooled acquire was either a fresh allocation or a freelist hit,
+  // and with all handles dead every one of them came back.
+  EXPECT_EQ(st.recycled.load() + st.dropped.load(),
+            st.allocs.load() + st.reuses.load())
+      << "alloc/recycle accounting drifted";
 }

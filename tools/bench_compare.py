@@ -1,0 +1,232 @@
+#!/usr/bin/env python3
+"""Compare two substrate_wallclock builds, or gate CI on the committed one.
+
+Two subcommands:
+
+  compare   Run a baseline and a current bench binary interleaved
+            (B C B C ...) N times each on the same host, merge each
+            side best-of-N per metric, and emit an
+            `ombx-substrate-wallclock-comparison-v1` document — the
+            format committed as BENCH_substrate.json.  Interleaving
+            means both sides sample the same background-load profile,
+            so the speedup column survives a noisy host.
+
+  check     Run the current bench once and soft-compare its eager
+            msgs/sec against the `current` entry of the committed
+            BENCH_substrate.json.  Prints a GitHub `::warning::`
+            annotation for any eager size that regressed more than
+            --threshold (default 10%) and ALWAYS exits 0: committed
+            numbers come from a different host, so this is a tripwire,
+            not a gate.
+
+Usage:
+  python3 tools/bench_compare.py compare \
+      --baseline ./head/substrate_wallclock --current ./build/bench/substrate_wallclock \
+      [--runs 3] [--quick] [--baseline-label pre-PR@abc123] [--current-label this-PR] \
+      [--out BENCH_substrate.json]
+  python3 tools/bench_compare.py check \
+      --bench ./build/bench/substrate_wallclock --committed BENCH_substrate.json \
+      [--threshold 0.10] [--quick]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Metric paths inside a per-run document, and whether bigger is better.
+# eager_selfsend is handled separately (it is a list keyed by bytes).
+SCALARS = [
+    (("pingpong_2rank_8B", "msgs_per_sec"), True),
+    (("rendezvous_2rank_256KiB", "msgs_per_sec"), True),
+    (("rendezvous_2rank_256KiB", "mb_per_sec"), True),
+    (("matching_stress_64src", "wildcard_ns_per_match"), False),
+    (("matching_stress_64src", "exact_ns_per_match"), False),
+    (("matching_stress_64src", "overall_ns_per_match"), False),
+    # pool_512B is absent from pre-fast-path baselines; merged when present.
+    (("pool_512B", "single_mops"), True),
+    (("pool_512B", "multi4_mops"), True),
+    (("pool_512B", "memcpy_mops"), True),
+]
+
+
+def run_bench(binary, label, quick):
+    """Run one bench invocation, return its parsed JSON document."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as f:
+        path = f.name
+    try:
+        cmd = [binary, "--json", path, "--label", label]
+        if quick:
+            cmd.append("--quick")
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(path) as f:
+            return json.load(f)
+    finally:
+        os.unlink(path)
+
+
+def get_path(doc, path):
+    cur = doc
+    for key in path:
+        if not isinstance(cur, dict) or key not in cur:
+            return None
+        cur = cur[key]
+    return cur
+
+
+def set_path(doc, path, value):
+    cur = doc
+    for key in path[:-1]:
+        cur = cur.setdefault(key, {})
+    cur[path[-1]] = value
+
+
+def merge_best(runs):
+    """Merge N per-run documents into one best-of-N document.
+
+    Throughput metrics take the max across runs, latency metrics the min.
+    Each eager point's fast-path counters travel with whichever run won
+    that point (they describe the winning run, not an aggregate).
+    """
+    best = json.loads(json.dumps(runs[0]))  # deep copy
+    for run in runs[1:]:
+        for path, bigger in SCALARS:
+            a, b = get_path(best, path), get_path(run, path)
+            if b is None:
+                continue
+            if a is None or (b > a if bigger else b < a):
+                set_path(best, path, b)
+        for i, pt in enumerate(run.get("eager_selfsend", [])):
+            if pt["msgs_per_sec"] > best["eager_selfsend"][i]["msgs_per_sec"]:
+                best["eager_selfsend"][i] = dict(pt)
+    return best
+
+
+def eager_by_bytes(doc):
+    return {pt["bytes"]: pt["msgs_per_sec"] for pt in doc["eager_selfsend"]}
+
+
+def speedups(baseline, current):
+    out = {}
+    base_eager = eager_by_bytes(baseline)
+    for pt in current["eager_selfsend"]:
+        b = base_eager.get(pt["bytes"])
+        if b:
+            out["eager_selfsend_%dB" % pt["bytes"]] = round(
+                pt["msgs_per_sec"] / b, 2)
+    pairs = [
+        ("pingpong_2rank_8B", ("pingpong_2rank_8B", "msgs_per_sec"), True),
+        ("rendezvous_2rank_256KiB",
+         ("rendezvous_2rank_256KiB", "msgs_per_sec"), True),
+        ("matching_wildcard",
+         ("matching_stress_64src", "wildcard_ns_per_match"), False),
+        ("matching_exact",
+         ("matching_stress_64src", "exact_ns_per_match"), False),
+        ("matching_overall",
+         ("matching_stress_64src", "overall_ns_per_match"), False),
+        ("pool_512B_single", ("pool_512B", "single_mops"), True),
+        ("pool_512B_multi4", ("pool_512B", "multi4_mops"), True),
+    ]
+    for name, path, bigger in pairs:
+        b, c = get_path(baseline, path), get_path(current, path)
+        if b and c:
+            out[name] = round(c / b if bigger else b / c, 2)
+    return out
+
+
+def cmd_compare(args):
+    base_runs, cur_runs = [], []
+    for i in range(args.runs):
+        print("run %d/%d: baseline..." % (i + 1, args.runs), flush=True)
+        base_runs.append(
+            run_bench(args.baseline, args.baseline_label, args.quick))
+        print("run %d/%d: current..." % (i + 1, args.runs), flush=True)
+        cur_runs.append(
+            run_bench(args.current, args.current_label, args.quick))
+    baseline = merge_best(base_runs)
+    current = merge_best(cur_runs)
+    doc = {
+        "schema": "ombx-substrate-wallclock-comparison-v1",
+        "note": "Best-of-%d interleaved runs of bench/substrate_wallclock, "
+                "identical workload parameters built against both trees on "
+                "the same host. See README 'Substrate wall-clock bench' for "
+                "the per-run JSON schema." % args.runs,
+        "baseline": baseline,
+        "current": current,
+        "speedups": speedups(baseline, current),
+    }
+    text = json.dumps(doc, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print("wrote %s" % args.out)
+    for k, v in doc["speedups"].items():
+        print("  %-28s %.2fx" % (k, v))
+    return 0
+
+
+def cmd_check(args):
+    with open(args.committed) as f:
+        committed = json.load(f)
+    reference = committed["current"]
+    fresh = run_bench(args.bench, "ci-perf-smoke", args.quick)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(fresh, f, indent=2)
+            f.write("\n")
+    ref_eager = eager_by_bytes(reference)
+    worst = None
+    for pt in fresh["eager_selfsend"]:
+        ref = ref_eager.get(pt["bytes"])
+        if not ref:
+            continue
+        ratio = pt["msgs_per_sec"] / ref
+        print("eager %5d B: %12.0f msgs/s vs committed %12.0f (%.2fx)" %
+              (pt["bytes"], pt["msgs_per_sec"], ref, ratio))
+        if worst is None or ratio < worst[1]:
+            worst = (pt["bytes"], ratio)
+    if worst and worst[1] < 1.0 - args.threshold:
+        # Soft failure: annotate, never break the build — the committed
+        # numbers were measured on a different host class than CI runners.
+        print("::warning::substrate perf smoke: eager %d B is %.0f%% below "
+              "the committed BENCH_substrate.json current entry "
+              "(%.2fx); re-baseline with tools/bench_compare.py compare "
+              "if this persists" %
+              (worst[0], (1.0 - worst[1]) * 100.0, worst[1]))
+    else:
+        print("perf smoke ok (worst eager ratio %.2fx)" %
+              (worst[1] if worst else float("nan")))
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    c = sub.add_parser("compare", help="interleaved baseline-vs-current")
+    c.add_argument("--baseline", required=True, help="baseline bench binary")
+    c.add_argument("--current", required=True, help="current bench binary")
+    c.add_argument("--runs", type=int, default=3, help="runs per side")
+    c.add_argument("--quick", action="store_true", help="pass --quick")
+    c.add_argument("--baseline-label", default="baseline")
+    c.add_argument("--current-label", default="current")
+    c.add_argument("--out", default="", help="write comparison JSON here")
+    c.set_defaults(fn=cmd_compare)
+
+    k = sub.add_parser("check", help="CI tripwire vs committed numbers")
+    k.add_argument("--bench", required=True, help="bench binary to run")
+    k.add_argument("--committed", default="BENCH_substrate.json")
+    k.add_argument("--threshold", type=float, default=0.10,
+                   help="warn when eager drops more than this fraction")
+    k.add_argument("--quick", action="store_true", help="pass --quick")
+    k.add_argument("--out", default="", help="also write the fresh run JSON")
+    k.set_defaults(fn=cmd_check)
+
+    args = ap.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
