@@ -11,10 +11,16 @@
 //         --explore-budget 32 --explore-out repro.sched
 //   $ ./omb_run allreduce --ft --kill 3@400 --nranks 4 \
 //         --replay-schedule repro.sched
+//
+// Campaign mode (campaign/campaign.hpp): a declarative sweep spec instead
+// of one benchmark, executed across a worker pool with per-cell stopping
+// rules and a reproducibility manifest per row:
+//   $ ./omb_run --campaign sweep.spec --campaign-workers 4 --csv
 #include <iostream>
 #include <string>
 
 #include "bench_suite/cli.hpp"
+#include "campaign/campaign.hpp"
 #include "bench_suite/suite.hpp"
 #include "core/registry.hpp"
 #include "core/report.hpp"
@@ -139,6 +145,29 @@ int main(int argc, char** argv) {
       for (const auto* b : core::Registry::instance().by_category(cat)) {
         std::cout << "  " << b->name << " — " << b->description << "\n";
       }
+    }
+    return 0;
+  }
+
+  if (!cli.campaign_spec.empty()) {
+    try {
+      campaign::Spec spec = campaign::load_spec(cli.campaign_spec);
+      if (cli.campaign_workers > 0) spec.workers = cli.campaign_workers;
+      const campaign::Outcome out = campaign::run(spec);
+      const core::Table table = campaign::to_table(out);
+      if (cli.json) {
+        table.write_json(std::cout);
+      } else if (cli.csv) {
+        table.write_csv(std::cout);
+      } else {
+        table.print(std::cout);
+      }
+      // Counters go to stderr so the results stream stays byte-identical
+      // across cached and uncached re-runs of the same spec.
+      campaign::counters_table(out.counters).print(std::cerr);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
     }
     return 0;
   }

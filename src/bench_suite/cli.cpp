@@ -1,6 +1,7 @@
 #include "bench_suite/cli.hpp"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <ostream>
 #include <stdexcept>
@@ -52,14 +53,29 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& s) {
 
 double parse_dbl(const std::string& flag, const std::string& s) {
   if (s.empty()) throw std::invalid_argument(flag + " needs a number");
+  // strtod is more liberal than any flag here wants: it accepts "nan",
+  // "inf"/"infinity" and C99 hex-floats ("0x1p4").  Every double-valued
+  // flag is a finite decimal quantity (a probability, a time), so
+  // pre-screen the token to decimal syntax and reject non-finite results.
+  for (const char c : s) {
+    const bool ok = (c >= '0' && c <= '9') || c == '.' || c == '+' ||
+                    c == '-' || c == 'e' || c == 'E';
+    if (!ok) {
+      throw std::invalid_argument(flag + " expects a finite decimal number, got: " +
+                                  s);
+    }
+  }
   errno = 0;
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);
-  if (end != s.c_str() + s.size() || errno == ERANGE) {
-    throw std::invalid_argument(flag + " expects a number, got: " + s);
+  if (end != s.c_str() + s.size() || errno == ERANGE || !std::isfinite(v)) {
+    throw std::invalid_argument(flag + " expects a finite decimal number, got: " +
+                                s);
   }
   return v;
 }
+
+}  // namespace
 
 net::ClusterSpec cluster_by_name(const std::string& s) {
   if (s == "frontera") return net::ClusterSpec::frontera();
@@ -92,6 +108,8 @@ buffers::BufferKind buffer_by_name(const std::string& s) {
   throw std::invalid_argument("unknown buffer: " + s);
 }
 
+namespace {
+
 // "--kill 3@1500" -> kill world rank 3 at virtual time 1500 us.  Rank
 // bounds against --nranks are checked after the full line is parsed.
 fault::KillSpec parse_kill(const std::string& s) {
@@ -122,6 +140,7 @@ CollBench ft_bench_by_name(const std::string& s) {
 void print_usage(std::ostream& os) {
   os <<
       "usage: omb_run <benchmark> [options]\n"
+      "       omb_run --campaign <spec> [--campaign-workers <n>] [--csv|--json]\n"
       "       omb_run --list\n\n"
       "options:\n"
       "  --cluster <frontera|stampede2|ri2|ri2-gpu>   (default frontera)\n"
@@ -138,6 +157,12 @@ void print_usage(std::ostream& os) {
       "  --validate        (verify payload patterns)\n"
       "  --synthetic       (logical payloads only; for large scale)\n"
       "  --csv             (machine-readable output)\n"
+      "  --json            (machine-readable JSON output)\n"
+      "  --campaign <spec> (run a campaign sweep from a spec file: cluster\n"
+      "                     x np x mode x benchmark x fault plan, repeated\n"
+      "                     until the 95% CI is tight; see docs/\n"
+      "                     running-benchmarks.md for the format)\n"
+      "  --campaign-workers <n> (override the spec's worker-thread count)\n"
       "  --metrics <file>  (append per-rank substrate counters as CSV)\n"
       "  --trace-json <file> (write Chrome trace-event JSON; view in\n"
       "                       chrome://tracing or ui.perfetto.dev)\n"
@@ -180,9 +205,16 @@ CliOptions parse_cli(int argc, const char* const* argv) {
     out.help = true;
     return out;
   }
-  out.bench = first;
+  // Campaign mode has no positional benchmark: a leading flag means the
+  // whole line is options (validated below to actually carry --campaign).
+  int start = 2;
+  if (first.rfind("--", 0) == 0) {
+    start = 1;
+  } else {
+    out.bench = first;
+  }
 
-  for (int i = 2; i < argc; ++i) {
+  for (int i = start; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
       if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
@@ -218,6 +250,12 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       out.cfg.payload = mpi::PayloadMode::kSynthetic;
     } else if (arg == "--csv") {
       out.csv = true;
+    } else if (arg == "--json") {
+      out.json = true;
+    } else if (arg == "--campaign") {
+      out.campaign_spec = next();
+    } else if (arg == "--campaign-workers") {
+      out.campaign_workers = parse_int_min(arg, next(), 1);
     } else if (arg == "--metrics") {
       out.cfg.obs.metrics_csv = next();
     } else if (arg == "--trace-json") {
@@ -276,6 +314,15 @@ CliOptions parse_cli(int argc, const char* const* argv) {
   if (out.explore && !out.replay_schedule.empty()) {
     throw std::invalid_argument(
         "--explore and --replay-schedule are mutually exclusive");
+  }
+  if (out.bench.empty() && out.campaign_spec.empty()) {
+    throw std::invalid_argument(
+        "expected a benchmark name or --campaign <spec>; try --list");
+  }
+  if (!out.bench.empty() && !out.campaign_spec.empty()) {
+    throw std::invalid_argument(
+        "--campaign drives a spec file; drop the benchmark name '" +
+        out.bench + "'");
   }
   return out;
 }

@@ -23,7 +23,13 @@ struct CliOptions {
   bool list = false;
   bool help = false;
   bool csv = false;
+  bool json = false;  ///< --json: machine-readable JSON via Table::write_json
   bool ft_mode = false;
+
+  // Campaign mode (src/campaign): drives a spec file instead of one
+  // benchmark; the positional benchmark name is absent.
+  std::string campaign_spec;  ///< --campaign <file>
+  int campaign_workers = 0;   ///< --campaign-workers <n>; 0 = spec's value
 
   // Schedule-space exploration (explore/explorer.hpp).
   bool explore = false;            ///< --explore: search wildcard schedules
@@ -44,5 +50,13 @@ void print_usage(std::ostream& os);
 /// Benchmark-name lookup for --ft mode (allreduce/bcast/barrier/allgather).
 /// Throws std::invalid_argument for unsupported names.
 [[nodiscard]] CollBench ft_bench_by_name(const std::string& s);
+
+/// Name -> preset lookups, shared with the campaign engine so a spec file
+/// and the command line accept exactly the same vocabulary.  All throw
+/// std::invalid_argument for unknown names.
+[[nodiscard]] net::ClusterSpec cluster_by_name(const std::string& s);
+[[nodiscard]] net::MpiTuning tuning_by_name(const std::string& s);
+[[nodiscard]] core::Mode mode_by_name(const std::string& s);
+[[nodiscard]] buffers::BufferKind buffer_by_name(const std::string& s);
 
 }  // namespace ombx::bench_suite

@@ -1,0 +1,512 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "bench_suite/cli.hpp"
+#include "core/options.hpp"
+#include "core/registry.hpp"
+
+#ifndef OMBX_GIT_SHA
+#define OMBX_GIT_SHA "unknown"
+#endif
+
+namespace ombx::campaign {
+
+namespace {
+
+// ---- spec parsing ---------------------------------------------------------
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  std::istringstream is(s);
+  while (std::getline(is, cur, ',')) {
+    cur = trim(cur);
+    if (!cur.empty()) out.push_back(cur);
+  }
+  return out;
+}
+
+int to_int(const std::string& key, const std::string& s, int min) {
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("campaign spec: " + key +
+                                " expects an integer, got: " + s);
+  }
+  if (pos != s.size() || v < min) {
+    throw std::invalid_argument("campaign spec: " + key + " expects an integer >= " +
+                                std::to_string(min) + ", got: " + s);
+  }
+  return v;
+}
+
+std::uint64_t to_u64(const std::string& key, const std::string& s) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("campaign spec: " + key +
+                                " expects a non-negative integer, got: " + s);
+  }
+  if (pos != s.size()) {
+    throw std::invalid_argument("campaign spec: " + key +
+                                " expects a non-negative integer, got: " + s);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double to_prob(const std::string& key, const std::string& s) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("campaign spec: " + key +
+                                " expects a number, got: " + s);
+  }
+  if (pos != s.size() || !std::isfinite(v) || v < 0.0 || v > 1.0) {
+    throw std::invalid_argument("campaign spec: " + key +
+                                " expects a finite value in [0, 1], got: " + s);
+  }
+  return v;
+}
+
+// ---- manifest -------------------------------------------------------------
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+// Exact round-trip formatting for cached doubles (shortest repr that
+// restores the identical bit pattern is overkill; %.17g is sufficient).
+std::string dbl_exact(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Fixed display formatting (the table contract: byte-identical across
+// runs because the virtual-time inputs are deterministic).
+std::string dbl_disp(double v) {
+  if (std::isnan(v)) return "nan";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+// ---- per-cell execution ---------------------------------------------------
+
+core::SuiteConfig cell_config(const Cell& cell, const Spec& spec,
+                              std::uint64_t rep) {
+  core::SuiteConfig cfg;
+  cfg.cluster = bench_suite::cluster_by_name(cell.cluster);
+  cfg.tuning = bench_suite::tuning_by_name(cell.tuning);
+  cfg.mode = bench_suite::mode_by_name(cell.mode);
+  cfg.nranks = cell.np;
+  cfg.ppn = cell.ppn;
+  cfg.opts.min_size = cell.min_size;
+  cfg.opts.max_size = cell.max_size;
+  cfg.opts.iterations = spec.iterations;
+  cfg.opts.warmup = spec.warmup;
+  cfg.fault.drop.probability = cell.drop;
+  // The manifest seed is the base; each repetition derives its own stream
+  // so dispersion across reps reflects the seeded fault randomness.
+  cfg.fault.seed = cell.base_seed + rep;
+  if (spec.strict_check) {
+    cfg.check.enabled = true;
+    cfg.check.strict = true;
+  }
+  return cfg;
+}
+
+// Sample per size for one repetition: the cross-rank average of the
+// benchmark's metric (latency us or bandwidth MB/s).
+std::map<std::size_t, double> run_rep(const core::BenchmarkInfo& info,
+                                      const core::SuiteConfig& cfg) {
+  std::map<std::size_t, double> out;
+  for (const core::Row& r : info.fn(cfg)) out[r.size] = r.stats.avg;
+  return out;
+}
+
+CellResult aggregate(const Cell& cell,
+                     const std::map<std::size_t, std::vector<double>>& samples,
+                     int reps_ok, int reps_failed) {
+  CellResult res;
+  res.cell = cell;
+  res.reps = reps_ok;
+  res.reps_failed = reps_failed;
+  for (const auto& [bytes, vals] : samples) {
+    res.rows.push_back({bytes, core::summarize(vals)});
+  }
+  return res;
+}
+
+// ---- cache ----------------------------------------------------------------
+
+std::filesystem::path cache_file(const Spec& spec, const Cell& cell) {
+  return std::filesystem::path(spec.cache_dir) /
+         (hash_hex(cell.config_hash) + ".campaign");
+}
+
+bool load_cached(const Spec& spec, const Cell& cell, CellResult& out) {
+  std::ifstream in(cache_file(spec, cell));
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line) || line != "ombx-campaign-cell-v1") return false;
+  out = CellResult{};
+  out.cell = cell;
+  out.from_cache = true;
+  while (std::getline(in, line)) {
+    std::istringstream is(line);
+    std::string tag;
+    is >> tag;
+    if (tag == "reps") {
+      is >> out.reps >> out.reps_failed;
+    } else if (tag == "row") {
+      CellResult::SizeRow r;
+      is >> r.bytes >> r.summary.n >> r.summary.mean >> r.summary.median >>
+          r.summary.variance >> r.summary.ci_low >> r.summary.ci_high >>
+          r.summary.min >> r.summary.max;
+      if (!is) return false;
+      out.rows.push_back(r);
+    }
+  }
+  return true;
+}
+
+void store_cached(const Spec& spec, const Cell& cell, const CellResult& res) {
+  std::error_code ec;
+  std::filesystem::create_directories(spec.cache_dir, ec);
+  std::ofstream o(cache_file(spec, cell));
+  if (!o) return;  // cache is best-effort; the run's results still stand
+  o << "ombx-campaign-cell-v1\n";
+  o << "reps " << res.reps << ' ' << res.reps_failed << '\n';
+  for (const auto& r : res.rows) {
+    o << "row " << r.bytes << ' ' << r.summary.n << ' '
+      << dbl_exact(r.summary.mean) << ' ' << dbl_exact(r.summary.median)
+      << ' ' << dbl_exact(r.summary.variance) << ' '
+      << dbl_exact(r.summary.ci_low) << ' ' << dbl_exact(r.summary.ci_high)
+      << ' ' << dbl_exact(r.summary.min) << ' ' << dbl_exact(r.summary.max)
+      << '\n';
+  }
+}
+
+CellResult run_cell(const Spec& spec, const Cell& cell,
+                    obs::CampaignCounters& ctr) {
+  const core::BenchmarkInfo* info = core::Registry::instance().find(cell.bench);
+  // expand() validated the name; a missing entry here would be a registry
+  // bug, surfaced as an empty (NaN) result rather than a crash.
+  std::map<std::size_t, std::vector<double>> samples;
+  int reps_ok = 0;
+  int reps_failed = 0;
+  int rep = 0;
+  for (; rep < spec.reps_max; ++rep) {
+    if (info == nullptr) break;
+    try {
+      const auto one = run_rep(*info, cell_config(cell, spec,
+                                                  static_cast<std::uint64_t>(rep)));
+      for (const auto& [bytes, v] : one) samples[bytes].push_back(v);
+      ++reps_ok;
+    } catch (const std::exception&) {
+      ++reps_failed;
+    }
+    ctr.add(ctr.reps_run);
+    if (rep + 1 < spec.reps_min || reps_ok < 2) continue;
+    // Sequential stopping rule: stop once every size's relative CI
+    // half-width is within target.  Deterministic because repetitions of
+    // a cell run sequentially on one worker.
+    double worst = 0.0;
+    for (const auto& [bytes, vals] : samples) {
+      const double rel = core::summarize(vals).ci_rel();
+      if (std::isnan(rel)) {
+        worst = rel;
+        break;
+      }
+      worst = std::max(worst, rel);
+    }
+    if (!std::isnan(worst) && worst <= spec.ci_rel) {
+      ++rep;  // count this repetition before leaving the loop
+      break;
+    }
+  }
+  ctr.add(ctr.reps_saved, static_cast<std::uint64_t>(spec.reps_max - rep));
+  ctr.add(ctr.reps_failed, static_cast<std::uint64_t>(reps_failed));
+  return aggregate(cell, samples, reps_ok, reps_failed);
+}
+
+}  // namespace
+
+std::string git_sha() { return OMBX_GIT_SHA; }
+
+std::string Cell::key() const {
+  std::ostringstream os;
+  os << "bench=" << bench << "|cluster=" << cluster << "|tuning=" << tuning
+     << "|mode=" << mode << "|np=" << np << "|ppn=" << ppn
+     << "|drop=" << dbl_exact(drop) << "|min=" << min_size
+     << "|max=" << max_size << "|seed=" << base_seed;
+  return os.str();
+}
+
+Spec parse_spec(std::istream& in) {
+  Spec spec;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("campaign spec line " +
+                                  std::to_string(lineno) +
+                                  ": expected key = value, got: " + line);
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string val = trim(line.substr(eq + 1));
+    if (val.empty()) {
+      throw std::invalid_argument("campaign spec: " + key + " has no value");
+    }
+    if (key == "bench") {
+      spec.benches = split_list(val);
+    } else if (key == "cluster") {
+      spec.clusters = split_list(val);
+    } else if (key == "mpi") {
+      spec.tunings = split_list(val);
+    } else if (key == "mode") {
+      spec.modes = split_list(val);
+    } else if (key == "np") {
+      spec.nps.clear();
+      for (const auto& s : split_list(val)) {
+        spec.nps.push_back(to_int(key, s, 1));
+      }
+    } else if (key == "ppn") {
+      spec.ppns.clear();
+      for (const auto& s : split_list(val)) {
+        spec.ppns.push_back(to_int(key, s, 1));
+      }
+    } else if (key == "drop") {
+      spec.drops.clear();
+      for (const auto& s : split_list(val)) {
+        spec.drops.push_back(to_prob(key, s));
+      }
+    } else if (key == "min") {
+      spec.min_size = static_cast<std::size_t>(to_u64(key, val));
+    } else if (key == "max") {
+      spec.max_size = static_cast<std::size_t>(to_u64(key, val));
+    } else if (key == "iters") {
+      spec.iterations = to_int(key, val, 1);
+    } else if (key == "warmup") {
+      spec.warmup = to_int(key, val, 0);
+    } else if (key == "reps-min") {
+      spec.reps_min = to_int(key, val, 1);
+    } else if (key == "reps-max") {
+      spec.reps_max = to_int(key, val, 1);
+    } else if (key == "ci-rel") {
+      spec.ci_rel = to_prob(key, val);
+    } else if (key == "seed") {
+      spec.seed = to_u64(key, val);
+    } else if (key == "workers") {
+      spec.workers = to_int(key, val, 1);
+    } else if (key == "check") {
+      if (val != "strict" && val != "off") {
+        throw std::invalid_argument(
+            "campaign spec: check expects strict or off, got: " + val);
+      }
+      spec.strict_check = (val == "strict");
+    } else if (key == "cache") {
+      spec.cache_dir = val;
+    } else {
+      throw std::invalid_argument("campaign spec: unknown key: " + key);
+    }
+  }
+  if (spec.benches.empty() || spec.clusters.empty() || spec.tunings.empty() ||
+      spec.modes.empty() || spec.nps.empty() || spec.ppns.empty() ||
+      spec.drops.empty()) {
+    throw std::invalid_argument("campaign spec: every axis needs a value");
+  }
+  if (spec.reps_max < spec.reps_min) {
+    throw std::invalid_argument("campaign spec: reps-max < reps-min");
+  }
+  if (spec.min_size == 0 || spec.max_size < spec.min_size) {
+    throw std::invalid_argument("campaign spec: need 0 < min <= max");
+  }
+  return spec;
+}
+
+Spec load_spec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("campaign spec not readable: " + path);
+  }
+  return parse_spec(in);
+}
+
+std::vector<Cell> expand(const Spec& spec) {
+  core::register_suite();
+  // Fail fast on any unknown axis value before a single world is built.
+  for (const auto& b : spec.benches) {
+    if (core::Registry::instance().find(b) == nullptr) {
+      throw std::invalid_argument("campaign spec: unknown benchmark: " + b);
+    }
+  }
+  for (const auto& c : spec.clusters) (void)bench_suite::cluster_by_name(c);
+  for (const auto& t : spec.tunings) (void)bench_suite::tuning_by_name(t);
+  for (const auto& m : spec.modes) (void)bench_suite::mode_by_name(m);
+
+  std::vector<Cell> cells;
+  for (const auto& b : spec.benches) {
+    for (const auto& c : spec.clusters) {
+      for (const auto& t : spec.tunings) {
+        for (const auto& m : spec.modes) {
+          for (const int np : spec.nps) {
+            for (const int ppn : spec.ppns) {
+              for (const double drop : spec.drops) {
+                Cell cell;
+                cell.bench = b;
+                cell.cluster = c;
+                cell.tuning = t;
+                cell.mode = m;
+                cell.np = np;
+                cell.ppn = ppn;
+                cell.drop = drop;
+                cell.min_size = spec.min_size;
+                cell.max_size = spec.max_size;
+                cell.base_seed = spec.seed;
+                // Binding the binary's sha into the hash means a code
+                // change invalidates every cached cell — results may
+                // legitimately differ across code versions.
+                cell.config_hash = fnv1a64(cell.key() + "|sha=" + git_sha());
+                cells.push_back(std::move(cell));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+Outcome run(const Spec& spec) {
+  const std::vector<Cell> cells = expand(spec);
+  Outcome out;
+  out.git_sha = git_sha();
+  out.results.resize(cells.size());
+
+  obs::CampaignCounters ctr;
+  ctr.add(ctr.cells_total, cells.size());
+
+  // One atomic cursor; each worker claims the next unprocessed cell and
+  // writes its private results slot, so no locking is needed and the
+  // output order is the expansion order regardless of scheduling.
+  std::atomic<std::size_t> cursor{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      CellResult res;
+      if (!spec.cache_dir.empty() && load_cached(spec, cells[i], res)) {
+        ctr.add(ctr.cells_cached);
+      } else {
+        res = run_cell(spec, cells[i], ctr);
+        ctr.add(ctr.cells_run);
+        if (!spec.cache_dir.empty()) store_cached(spec, cells[i], res);
+      }
+      ctr.add(ctr.rows_emitted, res.rows.size());
+      out.results[i] = std::move(res);
+    }
+  };
+
+  const int nworkers = std::max(1, std::min<int>(spec.workers,
+                                                 static_cast<int>(cells.size())));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nworkers));
+  for (int w = 0; w < nworkers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  out.counters = ctr.snapshot();
+  return out;
+}
+
+core::Table to_table(const Outcome& out) {
+  core::Table t("OMB-X Campaign",
+                {"Bench", "Cluster", "MPI", "Mode", "NP", "PPN", "Drop",
+                 "Size", "Reps", "Mean", "Median", "Variance", "CI95-Low",
+                 "CI95-High", "Min", "Max", "Seed", "Config", "SHA"});
+  for (const CellResult& res : out.results) {
+    const Cell& c = res.cell;
+    const auto manifest_seed = std::to_string(c.base_seed);
+    const auto manifest_hash = hash_hex(c.config_hash);
+    if (res.rows.empty()) {
+      // Explicitly skipped (every repetition failed or the cell produced
+      // no rows): a visible nan row, never a fake zero.
+      t.add_row({c.bench, c.cluster, c.tuning, c.mode, std::to_string(c.np),
+                 std::to_string(c.ppn), dbl_disp(c.drop), "-", "0", "nan",
+                 "nan", "nan", "nan", "nan", "nan", "nan", manifest_seed,
+                 manifest_hash, out.git_sha});
+      continue;
+    }
+    for (const auto& r : res.rows) {
+      const core::Summary& s = r.summary;
+      t.add_row({c.bench, c.cluster, c.tuning, c.mode, std::to_string(c.np),
+                 std::to_string(c.ppn), dbl_disp(c.drop),
+                 std::to_string(r.bytes), std::to_string(res.reps),
+                 dbl_disp(s.mean), dbl_disp(s.median), dbl_disp(s.variance),
+                 dbl_disp(s.ci_low), dbl_disp(s.ci_high), dbl_disp(s.min),
+                 dbl_disp(s.max), manifest_seed, manifest_hash,
+                 out.git_sha});
+    }
+  }
+  return t;
+}
+
+core::Table counters_table(const obs::CampaignCounters::Snapshot& snap) {
+  core::Table t("OMB-X Campaign Counters", {"Counter", "Value"});
+  const auto row = [&](const char* name, std::uint64_t v) {
+    t.add_row({name, std::to_string(v)});
+  };
+  row("cells_total", snap.cells_total);
+  row("cells_run", snap.cells_run);
+  row("cells_cached", snap.cells_cached);
+  row("reps_run", snap.reps_run);
+  row("reps_saved", snap.reps_saved);
+  row("reps_failed", snap.reps_failed);
+  row("rows_emitted", snap.rows_emitted);
+  return t;
+}
+
+}  // namespace ombx::campaign

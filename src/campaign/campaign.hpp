@@ -1,0 +1,137 @@
+// Campaign engine: statistically sound parameter sweeps over the
+// simulated substrate.
+//
+// A campaign spec (key = value lines, comma-separated axis values)
+// declares a cartesian product of cluster preset x MPI library x np x ppn
+// x software mode x benchmark x message range x fault plan.  Each cell of
+// the product is an independent configuration, executed as repeated
+// virtual-world runs (one World per repetition, nothing shared but the
+// read-only registry), and summarized per message size with mean, median,
+// unbiased variance and a Student-t 95% confidence interval on the mean
+// (core::summarize).
+//
+// Experimental design follows Hunold & Carpen-Amarie, "MPI Benchmarking
+// Revisited" (see PAPERS.md / DESIGN.md): single-shot numbers are
+// reported only with dispersion, and repetitions are governed by a
+// sequential stopping rule — after `reps-min` repetitions a cell keeps
+// running only while its worst relative CI half-width exceeds `ci-rel`,
+// up to the `reps-max` budget.  On the deterministic substrate a cell
+// with no fault plan converges at reps-min with zero variance; fault
+// plans derive per-repetition seeds (base seed + rep index) so dispersion
+// reflects the seeded randomness, reproducibly.
+//
+// Reproducibility manifest: every output row carries the cell's base
+// fault seed, its config hash (FNV-1a over the canonical cell key and the
+// binary's git sha) and the git sha itself.  Results are cached per
+// config hash (`cache = <dir>`), so re-running a campaign re-executes
+// only cells whose configuration — or binary — changed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "core/stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace ombx::campaign {
+
+/// Declarative campaign description (see docs/running-benchmarks.md for
+/// the file format).  Every axis is a non-empty list; scalars apply to
+/// all cells.
+struct Spec {
+  std::vector<std::string> benches{{"latency"}};
+  std::vector<std::string> clusters{{"frontera"}};
+  std::vector<std::string> tunings{{"mvapich2"}};
+  std::vector<std::string> modes{{"omb-py"}};
+  std::vector<int> nps{{2}};
+  std::vector<int> ppns{{1}};
+  std::vector<double> drops{{0.0}};  ///< eager drop probability axis
+
+  std::size_t min_size = 1;
+  std::size_t max_size = 4096;
+  int iterations = 10;
+  int warmup = 2;
+
+  int reps_min = 3;    ///< repetitions before the stopping rule applies
+  int reps_max = 10;   ///< hard per-cell repetition budget
+  double ci_rel = 0.05;  ///< stop once worst rel. CI half-width <= this
+
+  std::uint64_t seed = 42;  ///< base fault seed; rep r uses seed + r
+  int workers = 4;          ///< worker threads (cells run concurrently)
+  bool strict_check = false;  ///< run every world with --check-strict
+  std::string cache_dir;      ///< per-cell result cache; empty disables
+};
+
+/// Parse a spec from `key = value` lines ('#' comments, blank lines ok).
+/// Throws std::invalid_argument naming the offending line.
+[[nodiscard]] Spec parse_spec(std::istream& in);
+[[nodiscard]] Spec load_spec(const std::string& path);
+
+/// One fully determined configuration (a cell of the cartesian product).
+struct Cell {
+  std::string bench;
+  std::string cluster;
+  std::string tuning;
+  std::string mode;
+  int np = 2;
+  int ppn = 1;
+  double drop = 0.0;
+  std::size_t min_size = 1;
+  std::size_t max_size = 4096;
+  std::uint64_t base_seed = 0;
+  std::uint64_t config_hash = 0;  ///< FNV-1a(key() + git sha)
+
+  /// Canonical key — the hash input and the cache identity.
+  [[nodiscard]] std::string key() const;
+};
+
+/// Expand the spec into cells, in deterministic axis order (bench
+/// outermost, drop innermost).  Throws on unknown bench/cluster/tuning/
+/// mode names so a bad spec fails before any world is built.
+[[nodiscard]] std::vector<Cell> expand(const Spec& spec);
+
+/// Aggregated result of one cell: per-size repetition summaries.
+struct CellResult {
+  Cell cell;
+  bool from_cache = false;
+  int reps = 0;           ///< successful repetitions aggregated
+  int reps_failed = 0;    ///< repetitions that errored (excluded)
+  struct SizeRow {
+    std::size_t bytes = 0;
+    core::Summary summary;  ///< over per-rep cross-rank averages
+  };
+  std::vector<SizeRow> rows;
+};
+
+/// Whole-campaign outcome: results in expansion order plus the campaign
+/// observability counters (obs::CampaignCounters snapshot).
+struct Outcome {
+  std::vector<CellResult> results;
+  obs::CampaignCounters::Snapshot counters;
+  std::string git_sha;
+};
+
+/// Execute the campaign across spec.workers threads (>= 1; one cell per
+/// worker at a time, repetitions sequential within a cell so the stopping
+/// rule is deterministic).  Never throws for per-cell failures — a cell
+/// whose every repetition fails yields a NaN row with reps == 0.
+[[nodiscard]] Outcome run(const Spec& spec);
+
+/// Render the aggregated results as the campaign table (one row per cell
+/// x size, manifest columns included).  Byte-identical across repeated
+/// runs of the same spec and binary.
+[[nodiscard]] core::Table to_table(const Outcome& out);
+
+/// Render the campaign counters (cells run/cached, reps executed/saved).
+[[nodiscard]] core::Table counters_table(
+    const obs::CampaignCounters::Snapshot& snap);
+
+/// The git sha baked into this binary at configure time ("unknown" when
+/// the build tree had no git).
+[[nodiscard]] std::string git_sha();
+
+}  // namespace ombx::campaign

@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <cstdio>
 #include <iomanip>
 #include <numeric>
 #include <ostream>
@@ -84,6 +85,50 @@ void Table::write_csv(std::ostream& os) const {
     }
     os << '\n';
   }
+}
+
+namespace {
+void json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+}  // namespace
+
+void Table::write_json(std::ostream& os) const {
+  os << "{\n  ";
+  json_string(os, "title");
+  os << ": ";
+  json_string(os, title_);
+  os << ",\n  \"rows\": [";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << (r == 0 ? "\n    {" : ",\n    {");
+    const auto& row = rows_[r];
+    for (std::size_t i = 0; i < row.size() && i < headers_.size(); ++i) {
+      if (i > 0) os << ", ";
+      json_string(os, headers_[i]);
+      os << ": ";
+      json_string(os, row[i]);
+    }
+    os << '}';
+  }
+  os << "\n  ]\n}\n";
 }
 
 std::string Table::to_string() const {

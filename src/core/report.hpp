@@ -32,6 +32,11 @@ class Table {
   /// embedded quotes doubled).
   void write_csv(std::ostream& os) const;
 
+  /// JSON dump: {"title": ..., "rows": [{header: cell, ...}, ...]}.
+  /// Cells stay the strings the table renders (no numeric re-parsing), so
+  /// CSV and JSON of the same table always agree field-for-field.
+  void write_json(std::ostream& os) const;
+
   /// Render to a string (handy in tests).
   [[nodiscard]] std::string to_string() const;
 

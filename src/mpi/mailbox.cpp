@@ -84,7 +84,7 @@ Mailbox::Bin* Mailbox::find_match(int ctx, int src, int tag) const noexcept {
     if (b.q.empty() || b.ctx != ctx) continue;
     if (src != kAnySource && b.src != src) continue;
     if (tag != kAnyTag && b.tag != tag) continue;
-    const std::uint64_t s = b.q.front().seq;
+    const std::uint64_t s = b.front_seq;  // head mirror: no deque deref
     if (best == nullptr || s < best_seq) {
       best = const_cast<Bin*>(&b);
       best_seq = s;
@@ -99,7 +99,7 @@ void Mailbox::collect_candidates(int ctx, int src, int tag,
     if (b.q.empty() || b.ctx != ctx) continue;
     if (src != kAnySource && b.src != src) continue;
     if (tag != kAnyTag && b.tag != tag) continue;
-    out.push_back(explore::Candidate{b.src, b.tag, b.q.front().seq});
+    out.push_back(explore::Candidate{b.src, b.tag, b.front_seq});
   }
   std::sort(out.begin(), out.end(),
             [](const explore::Candidate& a, const explore::Candidate& b) {
@@ -139,9 +139,8 @@ Mailbox::Bin* Mailbox::match_for(int ctx, int src, int tag) {
   return b;
 }
 
-void Mailbox::commit_wildcard_locked(const Bin& bin, int ctx, int src,
-                                     int tag) {
-  if (oracle_ == nullptr || (src != kAnySource && tag != kAnyTag)) return;
+void Mailbox::commit_wildcard_slow_locked(const Bin& bin, int ctx, int src,
+                                          int tag) {
   std::vector<explore::Candidate> cands;
   collect_candidates(ctx, src, tag, cands);
   // A pending pin matching the chosen bin is the one that forced it; an
@@ -162,19 +161,21 @@ void Mailbox::commit_wildcard_locked(const Bin& bin, int ctx, int src,
 }
 
 void Mailbox::note_take(int ctx, int src, int tag, bool wildcard) noexcept {
-  if (auto* c = counters_.load(std::memory_order_relaxed)) {
-    // Classified in receiver program order (see obs/metrics.hpp): an MRU
-    // hit is an exact dequeue with the same key as the previous successful
-    // dequeue — deterministic, and path-independent (a fast pop and a
-    // locked take of the same message classify identically).
-    if (wildcard) {
-      obs::bump(c->mailbox_wildcard_scans);
-    } else if (has_last_take_ && ctx == last_take_ctx_ &&
-               src == last_take_src_ && tag == last_take_tag_) {
-      obs::bump(c->mailbox_mru_hits);
-    } else {
-      obs::bump(c->mailbox_exact_hits);
-    }
+  auto* c = counters_.load(std::memory_order_relaxed);
+  // Without counters the last-take key would never be read, so skip its
+  // maintenance too — the hot take path then pays only this null check.
+  if (c == nullptr) return;
+  // Classified in receiver program order (see obs/metrics.hpp): an MRU
+  // hit is an exact dequeue with the same key as the previous successful
+  // dequeue — deterministic, and path-independent (a fast pop and a
+  // locked take of the same message classify identically).
+  if (wildcard) {
+    obs::bump(c->mailbox_wildcard_scans);
+  } else if (has_last_take_ && ctx == last_take_ctx_ &&
+             src == last_take_src_ && tag == last_take_tag_) {
+    obs::bump(c->mailbox_mru_hits);
+  } else {
+    obs::bump(c->mailbox_exact_hits);
   }
   has_last_take_ = true;
   last_take_ctx_ = ctx;
@@ -186,6 +187,7 @@ Message Mailbox::take_locked(Bin& bin, bool wildcard) {
   note_take(bin.ctx, bin.src, bin.tag, wildcard);
   Message msg = std::move(bin.q.front());
   bin.q.pop_front();
+  if (!bin.q.empty()) bin.front_seq = bin.q.front().seq;
   // Under m_ (single writer).  A fast pop that reads the decrement late
   // merely takes a spurious fallback — never a wrong order.
   locked_msgs_.store(locked_msgs_.load(std::memory_order_relaxed) - 1,
@@ -202,12 +204,15 @@ void Mailbox::insert_sorted(Bin& bin, Message&& msg) {
   // that moves ring-resident messages into a bin that already received a
   // newer slow-path enqueue inserts by seq, restoring global order.
   if (bin.q.empty() || bin.q.back().seq < msg.seq) {
+    if (bin.q.empty()) bin.front_seq = msg.seq;
     bin.q.push_back(std::move(msg));
     return;
   }
   const auto it = std::upper_bound(
       bin.q.begin(), bin.q.end(), msg.seq,
       [](std::uint64_t seq, const Message& m) { return seq < m.seq; });
+  const bool at_front = it == bin.q.begin();
+  if (at_front) bin.front_seq = msg.seq;
   bin.q.insert(it, std::move(msg));
 }
 
@@ -218,18 +223,34 @@ Mailbox::SpscRing* Mailbox::obtain_ring(std::size_t s) {
   SpscRing* r = ring_store_.back().get();
   active_rings_.push_back(static_cast<int>(s));
   rings_[s].store(r, std::memory_order_release);
+  recompute_attention_locked();  // a ring now exists: owner must drain
   return r;
 }
 
-void Mailbox::drain_rings_locked() {
-  if (active_rings_.empty()) return;  // no producer ever took the fast path
+void Mailbox::drain_rings_slow_locked() {
+  // The rings_quiet_ / active_rings_.empty() gates live in the inline
+  // drain_rings_locked() wrapper (header): the quiet witness — bypass
+  // latched and a later pass saw the rings empty — means no producer can
+  // add a ring message (the post-reservation re-check backs out), so a
+  // latched (hintless-consumer) mailbox skips this call outright and
+  // stays at pre-ring slow-path cost.
   // Empty-gate before the fence (a plain load on x86, vs ~a fetch_add for
   // the fence): sound because a producer *reserves* ring_msgs_ with a
   // seq_cst RMW before its push — if this load misses the reservation,
   // the single total order puts the producer's post-push waiter-count
   // read after our waiter registration, so the producer notifies and the
   // re-run of this drain sees a nonzero count.
-  if (ring_msgs_.load(std::memory_order_seq_cst) == 0) return;
+  if (ring_msgs_.load(std::memory_order_seq_cst) == 0) {
+    // With the latch set, an empty ring count is permanent (transient
+    // backed-out reservations aside): any producer whose reservation this
+    // load missed is ordered after it in the seq_cst total order, so its
+    // post-reservation latch re-check sees the latch and backs out.
+    if (ring_bypass_.load(std::memory_order_relaxed)) {
+      rings_quiet_ = true;
+      recompute_attention_locked();
+    }
+    return;
+  }
   // Pair with the producers' post-push fences: a waiter that registered
   // before a producer's waiter-count read must see that producer's tail.
   std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -359,8 +380,11 @@ void Mailbox::enqueue(Message&& msg) {
   // next_seq_ — any newcomer re-checks the latch after reserving and
   // backs out — so the stamp is a plain load+store, matching the
   // pre-fast-path cost of this (hintless/wildcard-consumer) regime.
-  if (ring_bypass_.load(std::memory_order_seq_cst) &&
-      ring_msgs_.load(std::memory_order_seq_cst) == 0) {
+  // rings_quiet_ (m_-guarded) caches exactly that state, skipping both
+  // seq_cst probes on the steady latched path.
+  if (rings_quiet_ ||
+      (ring_bypass_.load(std::memory_order_seq_cst) &&
+       ring_msgs_.load(std::memory_order_seq_cst) == 0)) {
     msg.seq = next_seq_.load(std::memory_order_relaxed);
     next_seq_.store(msg.seq + 1, std::memory_order_relaxed);
   } else {
@@ -391,21 +415,33 @@ void Mailbox::capture_owner_tid() noexcept {
 
 std::optional<Message> Mailbox::try_fast_pop(int ctx, int src, int tag,
                                              int src_world_hint) {
-  capture_owner_tid();
+  // Hintless and wildcard receives can never pop a ring; bail before the
+  // owner-tid capture so the latched (slow-path-only) regime pays nothing
+  // here but this compare.  Skipping the capture is safe: it only feeds
+  // the producer-side Dekker *skip*, so an uncaptured owner merely makes
+  // self-send ring pushes take the full (correct) fence + waiter check.
   if (src_world_hint < 0 || src == kAnySource || tag == kAnyTag) {
     return std::nullopt;
   }
+  capture_owner_tid();
   if (!fast_ok_.load(std::memory_order_acquire)) return std::nullopt;
-  // A hinted exact receive is exactly the consumer the rings exist for:
-  // if drains latched the bypass on, re-arm the rings (this pop misses
-  // once — the ring is empty or stale — and the next sends are ringed).
+  // A hinted exact receive is exactly the consumer the rings exist for —
+  // but re-arming costs the next latch episode another 128-message drain
+  // detour, so it is hysteretic: only kRearmHintedPops hinted exact
+  // receives while latched flip the latch off (each missing once on the
+  // slow path).  A stray hinted probe inside hintless traffic stays
+  // latched; a genuine traffic-shape change re-arms after a short run.
   // The store MUST happen under m_: a slow enqueue that observes the
   // latch while holding the lock relies on it staying latched for the
   // whole critical section (that is what makes its plain next_seq_ stamp
   // exclusive).  Cold path — once per traffic-shape change.
   if (ring_bypass_.load(std::memory_order_relaxed)) {
+    if (++hinted_since_latch_ < kRearmHintedPops) return std::nullopt;
     std::lock_guard<std::mutex> lk(m_);
     drains_since_hit_ = 0;
+    hinted_since_latch_ = 0;
+    rings_quiet_ = false;
+    recompute_attention_locked();
     ring_bypass_.store(false, std::memory_order_seq_cst);
   }
   const auto s = static_cast<std::size_t>(src_world_hint);
@@ -446,10 +482,14 @@ std::optional<Message> Mailbox::try_fast_pop(int ctx, int src, int tag,
 
 Message Mailbox::dequeue_match(int ctx, int src, int tag,
                                int src_world_hint) {
-  if (auto fast = try_fast_pop(ctx, src, tag, src_world_hint)) {
-    return std::move(*fast);
-  }
+  // Gate the fast-pop attempt here (not just inside try_fast_pop): a
+  // hintless or wildcard receive would only pay an out-of-line call that
+  // returns an empty optional<Message> through a hidden pointer — real
+  // cost on the latched slow-path regime this call can never help.
   if (src_world_hint >= 0 && src != kAnySource && tag != kAnyTag) {
+    if (auto fast = try_fast_pop(ctx, src, tag, src_world_hint)) {
+      return std::move(*fast);
+    }
     obs::bump(fast_fallbacks_);  // single writer: owner thread
   }
   std::unique_lock<std::mutex> lk(m_);
@@ -495,12 +535,14 @@ Message Mailbox::dequeue_match(int ctx, int src, int tag,
 
 std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag,
                                                   int src_world_hint) {
-  if (auto fast = try_fast_pop(ctx, src, tag, src_world_hint)) {
-    return fast;
+  // Same hinted-only gate as dequeue_match (see the comment there).
+  if (src_world_hint >= 0 && src != kAnySource && tag != kAnyTag) {
+    if (auto fast = try_fast_pop(ctx, src, tag, src_world_hint)) {
+      return fast;
+    }
   }
   std::unique_lock<std::mutex> lk(m_);
-  if (poison_) throw_poisoned_locked();
-  drain_rings_locked();
+  entry_checks_locked();
   Bin* bin = match_for(ctx, src, tag);
   if (bin == nullptr) {
     // Raise (rather than spin forever in a test()/iprobe loop) once the
@@ -564,8 +606,7 @@ Status Mailbox::probe(int ctx, int src, int tag) {
 std::optional<Status> Mailbox::try_probe(int ctx, int src, int tag) {
   capture_owner_tid();
   std::unique_lock<std::mutex> lk(m_);
-  if (poison_) throw_poisoned_locked();
-  drain_rings_locked();
+  entry_checks_locked();
   Bin* bin = match_for(ctx, src, tag);
   if (bin == nullptr) {
     if (fs_ != nullptr) {
@@ -596,6 +637,7 @@ void Mailbox::poison(std::shared_ptr<const fault::AbortInfo> info) {
     if (poison_) return;  // first abort wins
     poison_ = std::move(info);
     recompute_fast_ok_locked();  // pin the slow path
+    recompute_attention_locked();
   }
   arrived_.notify_all();
   drained_.notify_all();
@@ -637,7 +679,10 @@ void Mailbox::reset() {
   next_seq_.store(0, std::memory_order_relaxed);
   ring_bypass_.store(false, std::memory_order_seq_cst);
   drains_since_hit_ = 0;
+  hinted_since_latch_ = 0;
+  rings_quiet_ = false;
   recompute_fast_ok_locked();  // un-pins poison; fs_/oracle_ persist
+  recompute_attention_locked();
 }
 
 std::vector<Mailbox::Pending> Mailbox::pending_summary() {

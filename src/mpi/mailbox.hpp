@@ -285,6 +285,13 @@ class Mailbox {
     int ctx = 0;
     int src = 0;
     int tag = 0;
+    /// q.front().seq, mirrored inline (valid while !q.empty()).  The
+    /// wildcard scan walks every nonempty bin comparing head sequence
+    /// numbers; with the mirror it reads only the contiguous bins_
+    /// storage instead of chasing each deque's heap block — one cache
+    /// line per few bins rather than one per bin, and immune to where
+    /// the allocator happened to place those blocks.
+    std::uint64_t front_seq = 0;
     std::deque<Message> q;
   };
 
@@ -316,7 +323,14 @@ class Mailbox {
   /// any pin that forced it.  Must run under the same m_ hold as the
   /// match_for() that selected `bin`.  No-op without an oracle or for
   /// exact patterns.
-  void commit_wildcard_locked(const Bin& bin, int ctx, int src, int tag);
+  /// Record a wildcard decision with the oracle.  The no-oracle /
+  /// exact-pattern early-out is inline so plain receives skip the call
+  /// (and its argument setup) entirely.
+  void commit_wildcard_locked(const Bin& bin, int ctx, int src, int tag) {
+    if (oracle_ == nullptr || (src != kAnySource && tag != kAnyTag)) return;
+    commit_wildcard_slow_locked(bin, ctx, src, tag);
+  }
+  void commit_wildcard_slow_locked(const Bin& bin, int ctx, int src, int tag);
 
   /// All nonempty bins matching the pattern, seq-ascending by head.
   void collect_candidates(int ctx, int src, int tag,
@@ -339,7 +353,33 @@ class Mailbox {
   /// Move every ring-resident message into its bin (seq-sorted insert).
   /// Owner thread or quiescent only, with m_ held: this is the
   /// fast->slow transition, after which the locked core is complete.
-  void drain_rings_locked();
+  /// The gate is inline so steady-state locked receives on a quiet
+  /// mailbox (bypass latched and rings drained, or no fast producer
+  /// ever) pay two predictable tests instead of an out-of-line call.
+  void drain_rings_locked() {
+    if (rings_quiet_ || active_rings_.empty()) return;
+    drain_rings_slow_locked();
+  }
+  void drain_rings_slow_locked();
+
+  /// Entry checks shared by every non-blocking locked matching operation:
+  /// poison propagation and the ring drain, folded behind one m_-guarded
+  /// byte so the steady state (not poisoned, rings quiet or never
+  /// created) pays a single predicted branch — the pre-ring slow path
+  /// paid one load+branch for the poison check alone, so hintless
+  /// consumers are back at (or under) their old instruction count.
+  void entry_checks_locked() {
+    if (!locked_attention_) return;
+    if (poison_) throw_poisoned_locked();
+    drain_rings_locked();
+  }
+
+  /// Recompute locked_attention_ from its inputs (m_ held).  Call after
+  /// any change to poison_, active_rings_ or rings_quiet_.
+  void recompute_attention_locked() noexcept {
+    locked_attention_ =
+        poison_ != nullptr || (!active_rings_.empty() && !rings_quiet_);
+  }
 
   /// Insert preserving ascending seq order (O(1) for in-order arrivals).
   static void insert_sorted(Bin& bin, Message&& msg);
@@ -390,8 +430,11 @@ class Mailbox {
   /// consumer), routing sends through the rings only adds a move per
   /// message — so after kRingBypassAfterDrains consecutive drained
   /// messages the owner flips this and producers enqueue straight into
-  /// the locked core.  The first hinted exact receive re-arms the rings
-  /// (its fast pop misses once, then traffic is lock-free again).
+  /// the locked core.  Re-arming is hysteretic: a latched box only
+  /// returns to ring mode after kRearmHintedPops consecutive hinted
+  /// exact receives (each missing once on the slow path), so a stray
+  /// hinted probe inside otherwise hintless traffic cannot flap the
+  /// latch and re-trigger the 128-message drain detour.
   /// Which path a send takes is a pure heuristic (both are correct), but
   /// the latch doubles as a mutual-exclusion witness: writes happen only
   /// under m_, producers re-check it (seq_cst) after reserving ring_msgs_
@@ -399,8 +442,21 @@ class Mailbox {
   /// latch set and sees ring_msgs_ == 0 owns next_seq_ outright and can
   /// stamp with a plain load+store instead of an RMW.
   static constexpr std::uint64_t kRingBypassAfterDrains = 128;
+  static constexpr std::uint64_t kRearmHintedPops = 4;
   std::atomic<bool> ring_bypass_{false};   ///< written under m_ only
   std::uint64_t drains_since_hit_ = 0;     ///< owner side (under m_)
+  std::uint64_t hinted_since_latch_ = 0;   ///< owner side (re-arm hysteresis)
+  /// Latched-and-drained witness (m_ only): true once a drain pass ran
+  /// with the bypass latched and left ring_msgs_ == 0.  From that point no
+  /// producer can land a ring message (each re-checks the latch after its
+  /// reservation and backs out), so every locked operation skips the ring
+  /// machinery outright — no gate load, no fence, no stamp double-check —
+  /// restoring the pre-ring slow-path instruction count for hintless
+  /// consumers.  Cleared by the hysteretic re-arm and by reset().
+  bool rings_quiet_ = false;
+  /// Folded entry-check gate (m_ only): poisoned, or rings exist and are
+  /// not known quiet.  See entry_checks_locked().
+  bool locked_attention_ = false;
   /// Messages inside rings.  Producers fetch_add (reserve) BEFORE the ring
   /// push and give the reservation back on a full ring; the owner's
   /// fetch_sub after a fast pop doubles as the full barrier of the

@@ -141,4 +141,47 @@ class Metrics {
   std::vector<RankCounters> ranks_;
 };
 
+/// Campaign-level counters (src/campaign): unlike RankCounters these have
+/// concurrent writers (worker threads completing cells), so increments
+/// use real fetch_add RMWs — campaign bookkeeping is nowhere near the
+/// substrate hot path, so the lock prefix is irrelevant.  Snapshot after
+/// the workers join for a deterministic (program-order) view: every
+/// quantity is a pure function of the spec, the cache state and the
+/// binary, not of worker scheduling.
+struct CampaignCounters {
+  std::atomic<std::uint64_t> cells_total{0};    ///< expanded configurations
+  std::atomic<std::uint64_t> cells_run{0};      ///< executed this run
+  std::atomic<std::uint64_t> cells_cached{0};   ///< served from the cache
+  std::atomic<std::uint64_t> reps_run{0};       ///< worlds actually built
+  std::atomic<std::uint64_t> reps_saved{0};     ///< budget minus executed
+  std::atomic<std::uint64_t> reps_failed{0};    ///< repetitions that errored
+  std::atomic<std::uint64_t> rows_emitted{0};   ///< result rows aggregated
+
+  void add(std::atomic<std::uint64_t>& c, std::uint64_t n = 1) noexcept {
+    c.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Plain-value copy, in declaration order (the exporters' fixed order).
+  struct Snapshot {
+    std::uint64_t cells_total = 0;
+    std::uint64_t cells_run = 0;
+    std::uint64_t cells_cached = 0;
+    std::uint64_t reps_run = 0;
+    std::uint64_t reps_saved = 0;
+    std::uint64_t reps_failed = 0;
+    std::uint64_t rows_emitted = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    Snapshot s;
+    s.cells_total = cells_total.load(std::memory_order_relaxed);
+    s.cells_run = cells_run.load(std::memory_order_relaxed);
+    s.cells_cached = cells_cached.load(std::memory_order_relaxed);
+    s.reps_run = reps_run.load(std::memory_order_relaxed);
+    s.reps_saved = reps_saved.load(std::memory_order_relaxed);
+    s.reps_failed = reps_failed.load(std::memory_order_relaxed);
+    s.rows_emitted = rows_emitted.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
 }  // namespace ombx::obs

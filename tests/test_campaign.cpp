@@ -1,0 +1,234 @@
+// Campaign engine tests: spec parsing/expansion determinism, the
+// sequential stopping rule, result caching, and cross-run reproducibility
+// of the aggregated table (the properties docs/running-benchmarks.md
+// promises for `omb_run --campaign`).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+using namespace ombx;
+
+namespace {
+
+campaign::Spec parse(const std::string& text) {
+  std::istringstream in(text);
+  return campaign::parse_spec(in);
+}
+
+/// Two-cell spec: one deterministic (drop = 0) and one fault-seeded.
+const char* kSmallSpec =
+    "# two-cell smoke campaign\n"
+    "bench = latency\n"
+    "np = 2\n"
+    "drop = 0.0, 0.02\n"
+    "min = 1\n"
+    "max = 16\n"
+    "iters = 3\n"
+    "warmup = 1\n"
+    "reps-min = 2\n"
+    "reps-max = 3\n"
+    "ci-rel = 0.2\n"
+    "workers = 4\n";
+
+std::string csv_of(const campaign::Outcome& out) {
+  std::ostringstream os;
+  campaign::to_table(out).write_csv(os);
+  return os.str();
+}
+
+struct TempDir {
+  std::filesystem::path path;
+  explicit TempDir(const char* tag)
+      : path(std::filesystem::temp_directory_path() /
+             (std::string("ombx_campaign_test_") + tag)) {
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+}  // namespace
+
+TEST(CampaignSpec, ParsesAxesListsAndScalars) {
+  const campaign::Spec spec = parse(
+      "bench = latency, bw\n"
+      "cluster = frontera\n"
+      "np = 2, 4\n"
+      "drop = 0.0, 0.5\n"
+      "reps-min = 2\n"
+      "reps-max = 5\n"
+      "seed = 7\n"
+      "check = strict\n");
+  EXPECT_EQ(spec.benches.size(), 2u);
+  EXPECT_EQ(spec.nps.size(), 2u);
+  EXPECT_EQ(spec.drops.size(), 2u);
+  EXPECT_EQ(spec.reps_min, 2);
+  EXPECT_EQ(spec.reps_max, 5);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_TRUE(spec.strict_check);
+}
+
+TEST(CampaignSpec, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse("bench latency\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("frobnicate = 3\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("drop = 1.5\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("drop = nan\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("np = 0\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("np =\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("reps-min = 4\nreps-max = 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse("min = 32\nmax = 16\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("check = maybe\n"), std::invalid_argument);
+}
+
+TEST(CampaignExpand, DeterministicOrderAndDistinctHashes) {
+  const campaign::Spec spec = parse(
+      "bench = latency, allreduce\n"
+      "np = 2, 4\n"
+      "drop = 0.0, 0.1\n");
+  const auto a = campaign::expand(spec);
+  const auto b = campaign::expand(spec);
+  ASSERT_EQ(a.size(), 8u);  // 2 benches x 2 np x 2 drops
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key(), b[i].key());
+    EXPECT_EQ(a[i].config_hash, b[i].config_hash);
+  }
+  // Every cell has a distinct key, hence (FNV-1a) a distinct hash.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      EXPECT_NE(a[i].key(), a[j].key());
+      EXPECT_NE(a[i].config_hash, a[j].config_hash);
+    }
+  }
+  // bench is the outermost axis, drop the innermost.
+  EXPECT_EQ(a[0].bench, a[3].bench);
+  EXPECT_NE(a[0].bench, a[4].bench);
+  EXPECT_NE(a[0].drop, a[1].drop);
+}
+
+TEST(CampaignExpand, UnknownNamesFailBeforeAnyRun) {
+  EXPECT_THROW((void)campaign::expand(parse("bench = warpdrive\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)campaign::expand(parse("cluster = atlantis\n")),
+               std::invalid_argument);
+  EXPECT_THROW((void)campaign::expand(parse("mpi = nolib\n")),
+               std::invalid_argument);
+}
+
+TEST(CampaignRun, DoubleRunIsByteIdentical) {
+  const campaign::Spec spec = parse(kSmallSpec);
+  const std::string first = csv_of(campaign::run(spec));
+  const std::string second = csv_of(campaign::run(spec));
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second)
+      << "same spec + same binary must aggregate to identical bytes";
+}
+
+TEST(CampaignRun, StoppingRuleConvergesAndHonorsBudget) {
+  const campaign::Spec spec = parse(kSmallSpec);
+  const campaign::Outcome out = campaign::run(spec);
+  ASSERT_EQ(out.results.size(), 2u);
+  // The deterministic cell (drop = 0) has zero variance across reps, so
+  // the CI collapses at reps-min; no repetition budget may be exceeded.
+  const auto& det = out.results[0];
+  EXPECT_EQ(det.cell.drop, 0.0);
+  EXPECT_EQ(det.reps, spec.reps_min);
+  for (const auto& res : out.results) {
+    EXPECT_GE(res.reps, spec.reps_min);
+    EXPECT_LE(res.reps, spec.reps_max);
+    EXPECT_EQ(res.reps_failed, 0);
+    ASSERT_FALSE(res.rows.empty());
+    for (const auto& row : res.rows) {
+      EXPECT_EQ(row.summary.n, static_cast<std::size_t>(res.reps));
+      EXPECT_TRUE(std::isfinite(row.summary.mean));
+      EXPECT_TRUE(std::isfinite(row.summary.median));
+      EXPECT_TRUE(std::isfinite(row.summary.ci_low));
+      EXPECT_LE(row.summary.ci_low, row.summary.ci_high);
+      EXPECT_LE(row.summary.min, row.summary.max);
+    }
+  }
+  EXPECT_EQ(out.counters.reps_failed, 0u);
+  EXPECT_EQ(out.counters.cells_total, 2u);
+  EXPECT_EQ(out.counters.cells_run, 2u);
+}
+
+TEST(CampaignRun, CacheHitsSkipExecutionAndPreserveBytes) {
+  TempDir dir("cache");
+  campaign::Spec spec = parse(kSmallSpec);
+  spec.cache_dir = dir.path.string();
+  const campaign::Outcome cold = campaign::run(spec);
+  EXPECT_EQ(cold.counters.cells_run, 2u);
+  EXPECT_EQ(cold.counters.cells_cached, 0u);
+  const campaign::Outcome warm = campaign::run(spec);
+  EXPECT_EQ(warm.counters.cells_run, 0u);
+  EXPECT_EQ(warm.counters.cells_cached, 2u);
+  EXPECT_EQ(warm.counters.reps_run, 0u);
+  for (const auto& res : warm.results) EXPECT_TRUE(res.from_cache);
+  EXPECT_EQ(csv_of(cold), csv_of(warm))
+      << "cached cells must render the exact bytes of the original run";
+}
+
+TEST(CampaignRun, StrictCheckerCleanUnderConcurrentWorlds) {
+  // Several cells across 4 workers, every world running with the strict
+  // checker armed: any matching/ordering violation in the substrate under
+  // concurrency aborts the rep and would show up as reps_failed.
+  campaign::Spec spec = parse(
+      "bench = allreduce, bcast\n"  // collectives: valid at every np
+      "np = 2, 4\n"
+      "drop = 0.0, 0.01\n"
+      "min = 1\n"
+      "max = 16\n"
+      "iters = 2\n"
+      "warmup = 1\n"
+      "reps-min = 2\n"
+      "reps-max = 2\n"
+      "workers = 4\n"
+      "check = strict\n");
+  const campaign::Outcome out = campaign::run(spec);
+  EXPECT_EQ(out.counters.cells_total, 8u);
+  EXPECT_EQ(out.counters.reps_failed, 0u)
+      << "strict checker flagged a violation under concurrent worlds";
+  for (const auto& res : out.results) {
+    EXPECT_EQ(res.reps_failed, 0);
+    EXPECT_FALSE(res.rows.empty());
+  }
+}
+
+TEST(CampaignRun, InfeasibleCellYieldsNaNRowNotAbort) {
+  // osu_latency is pairwise-only; at np = 4 every repetition fails.  The
+  // campaign must absorb that as a failed cell (explicit NaN row, zero
+  // successful reps) instead of tearing down the whole sweep.
+  const campaign::Spec spec = parse(
+      "bench = latency\n"
+      "np = 4\n"
+      "iters = 2\n"
+      "warmup = 1\n"
+      "reps-min = 2\n"
+      "reps-max = 2\n");
+  const campaign::Outcome out = campaign::run(spec);
+  ASSERT_EQ(out.results.size(), 1u);
+  EXPECT_EQ(out.results[0].reps, 0);
+  EXPECT_EQ(out.results[0].reps_failed, 2);
+  EXPECT_EQ(out.counters.reps_failed, 2u);
+  // The rendered table still carries a row for the cell, marked NaN.
+  std::ostringstream os;
+  campaign::to_table(out).write_csv(os);
+  EXPECT_NE(os.str().find("nan"), std::string::npos);
+}
+
+TEST(CampaignTable, CarriesManifestColumns) {
+  const campaign::Spec spec = parse(kSmallSpec);
+  const campaign::Outcome out = campaign::run(spec);
+  std::ostringstream os;
+  campaign::to_table(out).write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("Seed,Config,SHA"), std::string::npos);
+  EXPECT_NE(csv.find(campaign::git_sha()), std::string::npos);
+  // The manifest seed is the cell's base seed from the spec.
+  EXPECT_NE(csv.find(",42,"), std::string::npos);
+}

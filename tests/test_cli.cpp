@@ -102,6 +102,36 @@ TEST(Cli, NumericFlagsRejectPartialParses) {
   expect_reject({"latency", "--drop", "0.5oops"}, "--drop");
 }
 
+TEST(Cli, NonFiniteAndExoticFloatSpellingsAreRejected) {
+  // std::stod happily accepts "nan", "inf" and hex floats ("0x1p3" == 8.0);
+  // none of them is a sane probability or threshold on a benchmark line.
+  expect_reject({"latency", "--drop", "nan"}, "--drop");
+  expect_reject({"latency", "--drop", "NaN"}, "--drop");
+  expect_reject({"latency", "--drop", "inf"}, "--drop");
+  expect_reject({"latency", "--drop", "-inf"}, "--drop");
+  expect_reject({"latency", "--drop", "infinity"}, "--drop");
+  expect_reject({"latency", "--drop", "0x1p-4"}, "--drop");
+  expect_reject({"latency", "--drop", "0x.8p0"}, "--drop");
+  expect_reject({"latency", "--drop", ""}, "--drop");
+}
+
+TEST(Cli, CampaignFlagsParse) {
+  const CliOptions o =
+      parse({"--campaign", "sweep.spec", "--campaign-workers", "8", "--csv"});
+  EXPECT_EQ(o.campaign_spec, "sweep.spec");
+  EXPECT_EQ(o.campaign_workers, 8);
+  EXPECT_TRUE(o.csv);
+  EXPECT_TRUE(o.bench.empty());
+
+  // A campaign drives the spec file; a benchmark name alongside it is a
+  // contradiction, as is a campaign-less line with neither.
+  expect_reject({"latency", "--campaign", "sweep.spec"}, "--campaign");
+  expect_reject({"--campaign-workers", "4"}, "benchmark name");
+  expect_reject({"--campaign", "sweep.spec", "--campaign-workers", "0"},
+                "--campaign-workers");
+  expect_reject({"--campaign"}, "needs a value");
+}
+
 TEST(Cli, UnknownOptionIsRejected) {
   expect_reject({"latency", "--frobnicate"}, "unknown option");
 }

@@ -2,6 +2,8 @@
 // runner environment and the registry (the paper's Table II inventory).
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "bench_suite/suite.hpp"
 #include "core/options.hpp"
 #include "core/registry.hpp"
@@ -57,9 +59,70 @@ TEST(Stats, ReduceAcrossRanks) {
       EXPECT_DOUBLE_EQ(st.min, 10.0);
       EXPECT_DOUBLE_EQ(st.max, 40.0);
     } else {
-      EXPECT_DOUBLE_EQ(st.avg, 0.0);
+      // Non-root ranks get an explicit "not computed here" marker, not a
+      // fake zero that renders as a plausible row.
+      EXPECT_TRUE(std::isnan(st.avg));
+      EXPECT_FALSE(core::stats_valid(st));
     }
   });
+}
+
+TEST(Stats, EmptyBoardComputesNaNNotFakeZeros) {
+  core::StatsBoard board(4);
+  EXPECT_EQ(board.deposited(), 0);
+  const core::Stats st = board.compute();
+  EXPECT_TRUE(std::isnan(st.avg));
+  EXPECT_TRUE(std::isnan(st.min));
+  EXPECT_TRUE(std::isnan(st.max));
+  EXPECT_FALSE(core::stats_valid(st));
+}
+
+TEST(Stats, BoardCountsDistinctDepositorsOnly) {
+  core::StatsBoard board(4);
+  board.deposit(2, 5.0);
+  board.deposit(2, 7.0);  // same rank again: still one depositor
+  EXPECT_EQ(board.deposited(), 1);
+  const core::Stats st = board.compute();
+  EXPECT_TRUE(core::stats_valid(st));
+}
+
+TEST(Stats, SummarizeEmptyIsAllNaN) {
+  const core::Summary s = core::summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_TRUE(std::isnan(s.mean));
+  EXPECT_TRUE(std::isnan(s.median));
+  EXPECT_TRUE(std::isnan(s.variance));
+  EXPECT_TRUE(std::isnan(s.ci_low));
+  EXPECT_TRUE(std::isnan(s.ci_high));
+  EXPECT_TRUE(std::isnan(s.min));
+  EXPECT_TRUE(std::isnan(s.max));
+}
+
+TEST(Stats, SummarizeSingleSampleHasNoDispersion) {
+  const core::Summary s = core::summarize({3.5});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  // One sample has no variance estimate and hence no CI.
+  EXPECT_TRUE(std::isnan(s.variance));
+  EXPECT_TRUE(std::isnan(s.ci_low));
+  EXPECT_TRUE(std::isnan(s.ci_high));
+}
+
+TEST(Stats, SummarizeMatchesHandComputedTInterval) {
+  // n = 4, mean 2.5, unbiased variance 5/3, t_0.975(3) = 3.182.
+  const core::Summary s = core::summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.variance, 5.0 / 3.0, 1e-12);
+  const double half = core::t_critical_95(3) * std::sqrt(s.variance / 4.0);
+  EXPECT_NEAR(s.ci_low, 2.5 - half, 1e-12);
+  EXPECT_NEAR(s.ci_high, 2.5 + half, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
 }
 
 TEST(Report, TableRendersOsuBanner) {

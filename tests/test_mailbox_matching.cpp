@@ -468,19 +468,77 @@ TEST(MailboxFastPath, AdaptiveBypassLatchesOnHintlessTrafficAndRearms) {
       << "hintless traffic never latched the ring bypass";
   EXPECT_EQ(latched.fast_hits, 0u);
 
-  // A hinted receive re-arms: the next send rides the ring and the next
-  // hinted receive pops it lock-free.
-  box.enqueue(make_msg(0, 1, 7, 1001));
-  auto slow = box.try_dequeue_match(0, 1, 7, /*src_world_hint=*/1);
-  ASSERT_TRUE(slow.has_value());  // this one was a slow-path message
-  box.enqueue(make_msg(0, 1, 7, 1002));
+  // Re-arming is hysteretic: a short run of hinted receives (fewer than
+  // kRearmHintedPops) must NOT flip the latch — a stray hinted probe
+  // inside hintless traffic would otherwise re-trigger the drain detour.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    box.enqueue(make_msg(0, 1, 7, 1000 + i));
+    auto got = box.try_dequeue_match(0, 1, 7, /*src_world_hint=*/1);
+    ASSERT_TRUE(got.has_value());  // slow-path message, latch still set
+    EXPECT_EQ(got->bytes, 1000 + i);
+  }
+  const Mailbox::FastStats still = box.fast_stats();
+  EXPECT_EQ(still.fast_enqueues, latched.fast_enqueues)
+      << "a sub-threshold hinted run must not re-arm the rings";
+
+  // The threshold-crossing hinted receive re-arms: the next send rides
+  // the ring and the next hinted receive pops it lock-free.
+  box.enqueue(make_msg(0, 1, 7, 1004));
+  auto rearming = box.try_dequeue_match(0, 1, 7, /*src_world_hint=*/1);
+  ASSERT_TRUE(rearming.has_value());  // still served by the slow path
+  EXPECT_EQ(rearming->bytes, 1004u);
+  box.enqueue(make_msg(0, 1, 7, 1005));
   auto fast = box.try_dequeue_match(0, 1, 7, /*src_world_hint=*/1);
   ASSERT_TRUE(fast.has_value());
-  EXPECT_EQ(fast->bytes, 1002u);
+  EXPECT_EQ(fast->bytes, 1005u);
   const Mailbox::FastStats rearmed = box.fast_stats();
   EXPECT_GT(rearmed.fast_enqueues, latched.fast_enqueues)
-      << "hinted receive did not re-arm the rings";
+      << "hinted receives past the hysteresis did not re-arm the rings";
   EXPECT_GT(rearmed.fast_hits, 0u);
+}
+
+TEST(MailboxFastPath, LatchedBypassKeepsArrivalOrderParity) {
+  // Once the bypass latches (hintless consumer), every enqueue lands in
+  // the locked core and every receive must observe exactly the order the
+  // reference (single linear queue) would produce — the latch is a
+  // routing heuristic, never a semantics change.
+  Mailbox box(1 << 20, nullptr, /*owner_rank=*/0);
+  ReferenceMailbox ref;
+  std::mt19937 rng(0xB417);
+  // Drive the latch with hintless traffic.
+  for (std::size_t i = 0; i < 300; ++i) {
+    box.enqueue(make_msg(0, 1, 7, i + 1));
+    auto got = box.try_dequeue_match(0, 1, 7);
+    ASSERT_TRUE(got.has_value());
+  }
+  ASSERT_GT(box.fast_stats().slow_enqueues, 0u)
+      << "hintless traffic never latched the bypass";
+
+  // Interleaved arrivals from several sources, then a random mix of
+  // wildcard and exact hintless receives checked against the reference.
+  std::size_t id = 10'000;
+  for (int round = 0; round < 50; ++round) {
+    for (int k = 0; k < 4; ++k) {
+      const int src = static_cast<int>(rng() % 3);
+      const int tag = 1 + static_cast<int>(rng() % 2);
+      ++id;
+      box.enqueue(make_msg(0, src, tag, id));
+      ref.enqueue(make_msg(0, src, tag, id));
+    }
+    for (int k = 0; k < 4; ++k) {
+      const int src =
+          (rng() % 2 == 0) ? kAnySource : static_cast<int>(rng() % 3);
+      const int tag = (rng() % 2 == 0) ? kAnyTag : 1 + static_cast<int>(rng() % 2);
+      auto got = box.try_dequeue_match(0, src, tag);
+      auto want = ref.try_dequeue_match(0, src, tag);
+      ASSERT_EQ(got.has_value(), want.has_value());
+      if (got) {
+        EXPECT_EQ(got->bytes, want->bytes)
+            << "latched box diverged from reference order";
+      }
+    }
+  }
+  EXPECT_EQ(box.size(), ref.size());
 }
 
 TEST(MailboxFastPath, CrossThreadSpscStreamsStayInPerSenderOrder) {

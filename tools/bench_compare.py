@@ -170,13 +170,39 @@ def cmd_compare(args):
 def cmd_check(args):
     with open(args.committed) as f:
         committed = json.load(f)
-    reference = committed["current"]
+    reference = committed.get("current")
+    if not isinstance(reference, dict):
+        print("error: %s has no 'current' entry — not an "
+              "ombx-substrate-wallclock-comparison-v1 document; re-baseline "
+              "with tools/bench_compare.py compare" % args.committed,
+              file=sys.stderr)
+        return 2
     fresh = run_bench(args.bench, "ci-perf-smoke", args.quick)
     if args.out:
         with open(args.out, "w") as f:
             json.dump(fresh, f, indent=2)
             f.write("\n")
+    if "eager_selfsend" not in reference or "eager_selfsend" not in fresh:
+        side = args.committed if "eager_selfsend" not in reference else "fresh run"
+        print("error: %s has no 'eager_selfsend' cases; re-baseline with "
+              "tools/bench_compare.py compare" % side, file=sys.stderr)
+        return 2
     ref_eager = eager_by_bytes(reference)
+    fresh_bytes = {pt["bytes"] for pt in fresh["eager_selfsend"]}
+    # A case present on only one side means the committed doc and the bench
+    # binary disagree about the workload — say so instead of silently
+    # skipping (or crashing on) the hole.
+    one_sided = sorted(set(ref_eager) ^ fresh_bytes)
+    if one_sided:
+        detail = ", ".join(
+            "%dB (only in %s)" % (b, args.committed if b in ref_eager
+                                  else "the fresh run")
+            for b in one_sided)
+        print("error: eager case(s) present on one side only: %s; the "
+              "committed document is stale for this binary — re-baseline "
+              "with tools/bench_compare.py compare" % detail,
+              file=sys.stderr)
+        return 2
     worst = None
     for pt in fresh["eager_selfsend"]:
         ref = ref_eager.get(pt["bytes"])
