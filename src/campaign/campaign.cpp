@@ -1,9 +1,12 @@
 #include "campaign/campaign.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -128,8 +131,7 @@ std::string dbl_disp(double v) {
 
 // ---- per-cell execution ---------------------------------------------------
 
-core::SuiteConfig cell_config(const Cell& cell, const Spec& spec,
-                              std::uint64_t rep) {
+core::SuiteConfig cell_config(const Cell& cell, std::uint64_t rep) {
   core::SuiteConfig cfg;
   cfg.cluster = bench_suite::cluster_by_name(cell.cluster);
   cfg.tuning = bench_suite::tuning_by_name(cell.tuning);
@@ -138,13 +140,13 @@ core::SuiteConfig cell_config(const Cell& cell, const Spec& spec,
   cfg.ppn = cell.ppn;
   cfg.opts.min_size = cell.min_size;
   cfg.opts.max_size = cell.max_size;
-  cfg.opts.iterations = spec.iterations;
-  cfg.opts.warmup = spec.warmup;
+  cfg.opts.iterations = cell.iterations;
+  cfg.opts.warmup = cell.warmup;
   cfg.fault.drop.probability = cell.drop;
   // The manifest seed is the base; each repetition derives its own stream
   // so dispersion across reps reflects the seeded fault randomness.
   cfg.fault.seed = cell.base_seed + rep;
-  if (spec.strict_check) {
+  if (cell.strict_check) {
     cfg.check.enabled = true;
     cfg.check.strict = true;
   }
@@ -180,51 +182,92 @@ std::filesystem::path cache_file(const Spec& spec, const Cell& cell) {
          (hash_hex(cell.config_hash) + ".campaign");
 }
 
+// Parse one double token with strtod: istream operator>> rejects the
+// literal "nan" that dbl_exact emits for undefined variance/CI fields
+// (any cell aggregating fewer than 2 reps), which would turn such cells
+// into permanent cache misses.
+bool read_dbl(std::istringstream& is, double& v) {
+  std::string tok;
+  if (!(is >> tok)) return false;
+  char* end = nullptr;
+  v = std::strtod(tok.c_str(), &end);
+  return end != tok.c_str() && *end == '\0';
+}
+
 bool load_cached(const Spec& spec, const Cell& cell, CellResult& out) {
   std::ifstream in(cache_file(spec, cell));
   if (!in) return false;
   std::string line;
-  if (!std::getline(in, line) || line != "ombx-campaign-cell-v1") return false;
+  if (!std::getline(in, line) || line != "ombx-campaign-cell-v2") return false;
   out = CellResult{};
   out.cell = cell;
   out.from_cache = true;
+  bool have_rows = false;
+  std::size_t rows_expected = 0;
   while (std::getline(in, line)) {
     std::istringstream is(line);
     std::string tag;
     is >> tag;
     if (tag == "reps") {
       is >> out.reps >> out.reps_failed;
+      if (!is) return false;
+    } else if (tag == "rows") {
+      is >> rows_expected;
+      if (!is) return false;
+      have_rows = true;
     } else if (tag == "row") {
       CellResult::SizeRow r;
-      is >> r.bytes >> r.summary.n >> r.summary.mean >> r.summary.median >>
-          r.summary.variance >> r.summary.ci_low >> r.summary.ci_high >>
-          r.summary.min >> r.summary.max;
+      is >> r.bytes >> r.summary.n;
       if (!is) return false;
+      if (!read_dbl(is, r.summary.mean) || !read_dbl(is, r.summary.median) ||
+          !read_dbl(is, r.summary.variance) ||
+          !read_dbl(is, r.summary.ci_low) ||
+          !read_dbl(is, r.summary.ci_high) || !read_dbl(is, r.summary.min) ||
+          !read_dbl(is, r.summary.max)) {
+        return false;
+      }
       out.rows.push_back(r);
     }
   }
-  return true;
+  // The row count seals the file: a truncated write is a well-formed
+  // prefix, which must read as a miss, never as a partial result.
+  return have_rows && out.rows.size() == rows_expected;
 }
 
 void store_cached(const Spec& spec, const Cell& cell, const CellResult& res) {
   std::error_code ec;
   std::filesystem::create_directories(spec.cache_dir, ec);
-  std::ofstream o(cache_file(spec, cell));
-  if (!o) return;  // cache is best-effort; the run's results still stand
-  o << "ombx-campaign-cell-v1\n";
-  o << "reps " << res.reps << ' ' << res.reps_failed << '\n';
-  for (const auto& r : res.rows) {
-    o << "row " << r.bytes << ' ' << r.summary.n << ' '
-      << dbl_exact(r.summary.mean) << ' ' << dbl_exact(r.summary.median)
-      << ' ' << dbl_exact(r.summary.variance) << ' '
-      << dbl_exact(r.summary.ci_low) << ' ' << dbl_exact(r.summary.ci_high)
-      << ' ' << dbl_exact(r.summary.min) << ' ' << dbl_exact(r.summary.max)
-      << '\n';
+  const std::filesystem::path dest = cache_file(spec, cell);
+  // Temp-file + atomic rename: a crash mid-write, or a second campaign
+  // process sharing the cache dir, never exposes a truncated file.
+  std::filesystem::path tmp = dest;
+  tmp += ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream o(tmp);
+    if (!o) return;  // cache is best-effort; the run's results still stand
+    o << "ombx-campaign-cell-v2\n";
+    o << "reps " << res.reps << ' ' << res.reps_failed << '\n';
+    o << "rows " << res.rows.size() << '\n';
+    for (const auto& r : res.rows) {
+      o << "row " << r.bytes << ' ' << r.summary.n << ' '
+        << dbl_exact(r.summary.mean) << ' ' << dbl_exact(r.summary.median)
+        << ' ' << dbl_exact(r.summary.variance) << ' '
+        << dbl_exact(r.summary.ci_low) << ' ' << dbl_exact(r.summary.ci_high)
+        << ' ' << dbl_exact(r.summary.min) << ' ' << dbl_exact(r.summary.max)
+        << '\n';
+    }
+    o.flush();
+    if (!o) {
+      o.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
   }
+  std::filesystem::rename(tmp, dest, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
 }
 
-CellResult run_cell(const Spec& spec, const Cell& cell,
-                    obs::CampaignCounters& ctr) {
+CellResult run_cell(const Cell& cell, obs::CampaignCounters& ctr) {
   const core::BenchmarkInfo* info = core::Registry::instance().find(cell.bench);
   // expand() validated the name; a missing entry here would be a registry
   // bug, surfaced as an empty (NaN) result rather than a crash.
@@ -232,18 +275,18 @@ CellResult run_cell(const Spec& spec, const Cell& cell,
   int reps_ok = 0;
   int reps_failed = 0;
   int rep = 0;
-  for (; rep < spec.reps_max; ++rep) {
+  for (; rep < cell.reps_max; ++rep) {
     if (info == nullptr) break;
     try {
-      const auto one = run_rep(*info, cell_config(cell, spec,
-                                                  static_cast<std::uint64_t>(rep)));
+      const auto one =
+          run_rep(*info, cell_config(cell, static_cast<std::uint64_t>(rep)));
       for (const auto& [bytes, v] : one) samples[bytes].push_back(v);
       ++reps_ok;
     } catch (const std::exception&) {
       ++reps_failed;
     }
     ctr.add(ctr.reps_run);
-    if (rep + 1 < spec.reps_min || reps_ok < 2) continue;
+    if (rep + 1 < cell.reps_min || reps_ok < 2) continue;
     // Sequential stopping rule: stop once every size's relative CI
     // half-width is within target.  Deterministic because repetitions of
     // a cell run sequentially on one worker.
@@ -256,12 +299,12 @@ CellResult run_cell(const Spec& spec, const Cell& cell,
       }
       worst = std::max(worst, rel);
     }
-    if (!std::isnan(worst) && worst <= spec.ci_rel) {
+    if (!std::isnan(worst) && worst <= cell.ci_rel) {
       ++rep;  // count this repetition before leaving the loop
       break;
     }
   }
-  ctr.add(ctr.reps_saved, static_cast<std::uint64_t>(spec.reps_max - rep));
+  ctr.add(ctr.reps_saved, static_cast<std::uint64_t>(cell.reps_max - rep));
   ctr.add(ctr.reps_failed, static_cast<std::uint64_t>(reps_failed));
   return aggregate(cell, samples, reps_ok, reps_failed);
 }
@@ -275,7 +318,10 @@ std::string Cell::key() const {
   os << "bench=" << bench << "|cluster=" << cluster << "|tuning=" << tuning
      << "|mode=" << mode << "|np=" << np << "|ppn=" << ppn
      << "|drop=" << dbl_exact(drop) << "|min=" << min_size
-     << "|max=" << max_size << "|seed=" << base_seed;
+     << "|max=" << max_size << "|seed=" << base_seed
+     << "|iters=" << iterations << "|warmup=" << warmup
+     << "|strict=" << (strict_check ? 1 : 0) << "|reps=" << reps_min << '-'
+     << reps_max << "|ci=" << dbl_exact(ci_rel);
   return os.str();
 }
 
@@ -406,6 +452,12 @@ std::vector<Cell> expand(const Spec& spec) {
                 cell.min_size = spec.min_size;
                 cell.max_size = spec.max_size;
                 cell.base_seed = spec.seed;
+                cell.iterations = spec.iterations;
+                cell.warmup = spec.warmup;
+                cell.strict_check = spec.strict_check;
+                cell.reps_min = spec.reps_min;
+                cell.reps_max = spec.reps_max;
+                cell.ci_rel = spec.ci_rel;
                 // Binding the binary's sha into the hash means a code
                 // change invalidates every cached cell — results may
                 // legitimately differ across code versions.
@@ -442,7 +494,7 @@ Outcome run(const Spec& spec) {
       if (!spec.cache_dir.empty() && load_cached(spec, cells[i], res)) {
         ctr.add(ctr.cells_cached);
       } else {
-        res = run_cell(spec, cells[i], ctr);
+        res = run_cell(cells[i], ctr);
         ctr.add(ctr.cells_run);
         if (!spec.cache_dir.empty()) store_cached(spec, cells[i], res);
       }

@@ -21,8 +21,9 @@
 // reflects the seeded randomness, reproducibly.
 //
 // Reproducibility manifest: every output row carries the cell's base
-// fault seed, its config hash (FNV-1a over the canonical cell key and the
-// binary's git sha) and the git sha itself.  Results are cached per
+// fault seed, its config hash (FNV-1a over the canonical cell key — all
+// axes plus the measurement scalars iters/warmup/check/reps/ci-rel — and
+// the binary's git sha) and the git sha itself.  Results are cached per
 // config hash (`cache = <dir>`), so re-running a campaign re-executes
 // only cells whose configuration — or binary — changed.
 #pragma once
@@ -83,9 +84,20 @@ struct Cell {
   std::size_t min_size = 1;
   std::size_t max_size = 4096;
   std::uint64_t base_seed = 0;
+  // Measurement scalars copied from the spec.  They shape the measured
+  // numbers (iterations/warmup/strict feed every world; the repetition
+  // controls govern how many reps are aggregated), so they are part of
+  // the cache identity: editing any of them must read as a cache miss.
+  int iterations = 10;
+  int warmup = 2;
+  bool strict_check = false;
+  int reps_min = 3;
+  int reps_max = 10;
+  double ci_rel = 0.05;
   std::uint64_t config_hash = 0;  ///< FNV-1a(key() + git sha)
 
-  /// Canonical key — the hash input and the cache identity.
+  /// Canonical key — the hash input and the cache identity.  Covers every
+  /// field above that can change the aggregated result.
   [[nodiscard]] std::string key() const;
 };
 

@@ -59,7 +59,12 @@ Stats reduce_stats(mpi::Comm& c, double local, int root) {
 double Summary::ci_rel() const noexcept {
   const double half = ci_half();
   if (std::isnan(half)) return kNaN;
-  if (mean == 0.0) return half == 0.0 ? 0.0 : kNaN;
+  if (mean == 0.0) {
+    // Zero mean with dispersion: the relative width is unbounded — +inf
+    // ("never converged"), not NaN ("undefined"), so the campaign
+    // stopping rule sees an ordinary too-wide interval.
+    return half == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
   return half / std::fabs(mean);
 }
 

@@ -6,6 +6,8 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <sstream>
 #include <string>
 
@@ -171,6 +173,82 @@ TEST(CampaignRun, CacheHitsSkipExecutionAndPreserveBytes) {
   for (const auto& res : warm.results) EXPECT_TRUE(res.from_cache);
   EXPECT_EQ(csv_of(cold), csv_of(warm))
       << "cached cells must render the exact bytes of the original run";
+}
+
+TEST(CampaignRun, CacheMissesWhenMeasurementScalarsChange) {
+  TempDir dir("cache_scalars");
+  campaign::Spec spec = parse(kSmallSpec);
+  spec.cache_dir = dir.path.string();
+  const campaign::Outcome cold = campaign::run(spec);
+  EXPECT_EQ(cold.counters.cells_run, 2u);
+  // Same axes, different iteration count: the measured numbers change,
+  // so the same cache dir must not serve the old cells.
+  campaign::Spec more_iters = spec;
+  more_iters.iterations += 1;
+  const campaign::Outcome rerun = campaign::run(more_iters);
+  EXPECT_EQ(rerun.counters.cells_run, 2u);
+  EXPECT_EQ(rerun.counters.cells_cached, 0u);
+  // Every measurement scalar is part of the config hash (the cache and
+  // manifest identity), not just the axis values.
+  const std::uint64_t base = campaign::expand(spec)[0].config_hash;
+  const auto varied = [&](void (*mutate)(campaign::Spec&)) {
+    campaign::Spec v = spec;
+    mutate(v);
+    return campaign::expand(v)[0].config_hash;
+  };
+  EXPECT_NE(base, varied([](campaign::Spec& v) { v.iterations += 1; }));
+  EXPECT_NE(base, varied([](campaign::Spec& v) { v.warmup += 1; }));
+  EXPECT_NE(base, varied([](campaign::Spec& v) { v.strict_check = true; }));
+  EXPECT_NE(base, varied([](campaign::Spec& v) { v.reps_min += 1; }));
+  EXPECT_NE(base, varied([](campaign::Spec& v) { v.reps_max += 1; }));
+  EXPECT_NE(base, varied([](campaign::Spec& v) { v.ci_rel = 0.11; }));
+}
+
+TEST(CampaignRun, CacheRoundTripsSingleRepNaNFields) {
+  // reps-max = 1 leaves variance and the CI NaN; those must survive the
+  // cache round-trip (istream >> rejects "nan", which made such cells
+  // permanent silent misses).
+  TempDir dir("cache_nan");
+  campaign::Spec spec = parse(
+      "bench = latency\n"
+      "np = 2\n"
+      "min = 1\n"
+      "max = 4\n"
+      "iters = 2\n"
+      "warmup = 1\n"
+      "reps-min = 1\n"
+      "reps-max = 1\n");
+  spec.cache_dir = dir.path.string();
+  const campaign::Outcome cold = campaign::run(spec);
+  ASSERT_EQ(cold.counters.cells_run, 1u);
+  ASSERT_FALSE(cold.results[0].rows.empty());
+  EXPECT_TRUE(std::isnan(cold.results[0].rows[0].summary.variance));
+  const campaign::Outcome warm = campaign::run(spec);
+  EXPECT_EQ(warm.counters.cells_run, 0u);
+  EXPECT_EQ(warm.counters.cells_cached, 1u);
+  EXPECT_EQ(csv_of(cold), csv_of(warm));
+}
+
+TEST(CampaignRun, TruncatedCacheFileReadsAsMissNotPartialResult) {
+  TempDir dir("cache_trunc");
+  campaign::Spec spec = parse(kSmallSpec);
+  spec.cache_dir = dir.path.string();
+  (void)campaign::run(spec);
+  // Chop the last line off every cache file, simulating a crash mid-write
+  // (the row-count header must then reject the well-formed prefix).
+  for (const auto& ent : std::filesystem::directory_iterator(dir.path)) {
+    std::ifstream in(ent.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(text.size(), 1u);
+    const auto cut = text.find_last_of('\n', text.size() - 2);
+    ASSERT_NE(cut, std::string::npos);
+    std::ofstream(ent.path(), std::ios::trunc) << text.substr(0, cut + 1);
+  }
+  const campaign::Outcome rerun = campaign::run(spec);
+  EXPECT_EQ(rerun.counters.cells_run, 2u);
+  EXPECT_EQ(rerun.counters.cells_cached, 0u);
 }
 
 TEST(CampaignRun, StrictCheckerCleanUnderConcurrentWorlds) {

@@ -125,6 +125,16 @@ TEST(Stats, SummarizeMatchesHandComputedTInterval) {
   EXPECT_DOUBLE_EQ(s.max, 4.0);
 }
 
+TEST(Stats, RelativeCIZeroMeanConventions) {
+  // Zero mean with dispersion: +inf ("never converged"), not NaN
+  // ("undefined") — the campaign stopping rule relies on the distinction.
+  EXPECT_TRUE(std::isinf(core::summarize({-1.0, 1.0}).ci_rel()));
+  // Identically zero samples: converged, relative width 0.
+  EXPECT_DOUBLE_EQ(core::summarize({0.0, 0.0, 0.0}).ci_rel(), 0.0);
+  // A single sample has no CI at all: still NaN.
+  EXPECT_TRUE(std::isnan(core::summarize({5.0}).ci_rel()));
+}
+
 TEST(Report, TableRendersOsuBanner) {
   core::Table t("OMB-X Latency Test", {"Size", "Latency (us)"});
   t.add_row(8, {0.25});
