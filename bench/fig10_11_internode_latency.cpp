@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   cfg.ppn = 1;  // one rank per node -> the HDR fabric
   cfg.obs = fig::parse_obs_flags(argc, argv);
   cfg.check = fig::parse_check_flags(argc, argv);
+  cfg.sched = fig::parse_sched_flag(argc, argv);
 
   const double paper[] = {0.43, 0.63};
   int i = 0;

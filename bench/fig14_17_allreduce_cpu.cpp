@@ -10,7 +10,7 @@ namespace {
 
 void run_geometry(int nranks, int ppn, double paper_small,
                   double paper_large, const core::ObsOptions& obs,
-                  const core::CheckOptions& check) {
+                  const core::CheckOptions& check, sched::Mode sched) {
   core::SuiteConfig cfg;
   cfg.cluster = net::ClusterSpec::frontera();
   cfg.tuning = net::MpiTuning::mvapich2();
@@ -18,6 +18,7 @@ void run_geometry(int nranks, int ppn, double paper_small,
   cfg.ppn = ppn;
   cfg.obs = obs;
   cfg.check = check;
+  cfg.sched = sched;
   // At 896 ranks the aggregate buffers would be enormous; synthetic
   // payloads keep the virtual time identical while moving no bytes.
   cfg.payload = nranks > 64 ? mpi::PayloadMode::kSynthetic
@@ -55,12 +56,13 @@ void run_geometry(int nranks, int ppn, double paper_small,
 int main(int argc, char** argv) {
   const core::ObsOptions obs = fig::parse_obs_flags(argc, argv);
   const core::CheckOptions check = fig::parse_check_flags(argc, argv);
+  const sched::Mode sched = fig::parse_sched_flag(argc, argv);
   std::cout << "== Figures 14-15: 16 nodes, 1 ppn ==\n";
-  run_geometry(16, 1, 0.93, 14.13, obs, check);
+  run_geometry(16, 1, 0.93, 14.13, obs, check, sched);
   std::cout << "== Figures 16-17: 16 nodes, 56 ppn (full subscription) ==\n";
   // The paper reports +4.21 us small and a large-message degradation it
   // attributes to THREAD_MULTIPLE oversubscription (no single average is
   // given for the large range; the gap grows with size).
-  run_geometry(896, 56, 4.21, 0.0, obs, check);
+  run_geometry(896, 56, 4.21, 0.0, obs, check, sched);
   return 0;
 }

@@ -128,6 +128,21 @@ inline core::CheckOptions parse_check_flags(int argc, char** argv) {
   return check;
 }
 
+/// Parse the shared scheduler flag (--sched auto|threads|fibers) from a
+/// figure binary's argv.  Unknown arguments are ignored; a bad mode name
+/// throws (figures should fail loudly rather than silently fall back).
+/// The two backends produce byte-identical figures — the flag exists for
+/// sanitizer runs and fibers-vs-threads regression diffs.
+inline sched::Mode parse_sched_flag(int argc, char** argv) {
+  sched::Mode mode = sched::Mode::kAuto;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--sched" && i + 1 < argc) {
+      mode = sched::mode_by_name(argv[++i]);
+    }
+  }
+  return mode;
+}
+
 /// Mean difference between two series (curve B minus curve A).
 inline double mean_gap(const std::vector<core::Row>& a,
                        const std::vector<core::Row>& b) {

@@ -19,6 +19,10 @@
 //   matching   64-source mailbox stress: wildcard-source receives that
 //              must skip a deep bulk backlog, plus exact-match receives
 //              that sit behind 63 other sources' traffic
+//   sched      rank-scheduler comparison, threads vs fibers: np=256
+//              world spin-up+teardown (the cost that gates paper-scale
+//              np) and a 2-rank 8 B ping-pong (one blocking handoff per
+//              message: OS context switch vs fiber park/unpark)
 //
 // Emits a JSON document (see README "Substrate wall-clock bench") so the
 // perf trajectory across PRs is recorded in BENCH_substrate.json.
@@ -33,9 +37,11 @@
 #include <thread>
 #include <vector>
 
+#include "mpi/collectives.hpp"
 #include "mpi/mailbox.hpp"
 #include "mpi/payload_pool.hpp"
 #include "mpi/world.hpp"
+#include "sched/sched.hpp"
 
 using namespace ombx;
 using Clock = std::chrono::steady_clock;
@@ -165,8 +171,10 @@ Pool512 pool512_stress(int iters) {
 
 /// Classic 2-rank ping-pong; wall time includes thread wakeups, so this is
 /// the end-to-end (scheduler-bound) message rate.
-double pingpong_rate(std::size_t bytes, int iters, int ppn) {
+double pingpong_rate(std::size_t bytes, int iters, int ppn,
+                     sched::Mode mode = sched::Mode::kAuto) {
   mpi::WorldConfig wc = base_config(2, ppn);
+  wc.sched = mode;
   mpi::World w(wc);
   const auto t0 = Clock::now();
   w.run([&](mpi::Comm& c) {
@@ -262,6 +270,52 @@ MatchStress matching_stress(int rounds) {
   return out;
 }
 
+struct SchedBench {
+  double spinup_np256_ms_threads = 0.0;  ///< world spin-up+teardown, np=256
+  double spinup_np256_ms_fibers = 0.0;
+  double pingpong_8b_threads = 0.0;      ///< msgs/s, one handoff per msg
+  double pingpong_8b_fibers = 0.0;
+};
+
+/// Spin up and tear down an np-rank world whose ranks do one allreduce
+/// (so every rank genuinely starts, synchronizes, and exits), and report
+/// milliseconds per world.  Under threads this is np thread spawns/joins;
+/// under fibers it is np stack mmaps on a fixed worker pool — the number
+/// that decides whether np=224 ML figures and np>=1024 campaign cells are
+/// affordable.
+double world_spinup_ms(int np, int reps, sched::Mode mode) {
+  mpi::WorldConfig wc = base_config(np, /*ppn=*/56);
+  wc.sched = mode;
+  wc.payload = mpi::PayloadMode::kSynthetic;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    mpi::World w(wc);
+    w.run([](mpi::Comm& c) {
+      double one = 1.0;
+      double sum = 0.0;
+      mpi::allreduce(
+          c, mpi::ConstView{reinterpret_cast<const std::byte*>(&one),
+                            sizeof(double)},
+          mpi::MutView{reinterpret_cast<std::byte*>(&sum), sizeof(double)},
+          mpi::Datatype::kDouble, mpi::Op::kSum);
+    });
+  }
+  return 1e3 * seconds_since(t0) / static_cast<double>(reps);
+}
+
+SchedBench sched_compare(int spinup_reps, int pp_iters) {
+  SchedBench out;
+  out.spinup_np256_ms_threads =
+      world_spinup_ms(256, spinup_reps, sched::Mode::kThreads);
+  out.spinup_np256_ms_fibers =
+      world_spinup_ms(256, spinup_reps, sched::Mode::kFibers);
+  out.pingpong_8b_threads =
+      pingpong_rate(8, pp_iters, /*ppn=*/2, sched::Mode::kThreads);
+  out.pingpong_8b_fibers =
+      pingpong_rate(8, pp_iters, /*ppn=*/2, sched::Mode::kFibers);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -314,6 +368,12 @@ int main(int argc, char** argv) {
               "overall %8.1f ns/match\n",
               ms.wildcard_ns_per_match, ms.exact_ns_per_match,
               ms.overall_ns_per_match);
+  const SchedBench sb = sched_compare(/*spinup_reps=*/16 / scale + 1,
+                                      /*pp_iters=*/pp_iters);
+  std::printf("sched: np=256 spinup %8.2f ms threads, %8.2f ms fibers; "
+              "pingpong 8 B %10.0f msgs/s threads, %10.0f msgs/s fibers\n",
+              sb.spinup_np256_ms_threads, sb.spinup_np256_ms_fibers,
+              sb.pingpong_8b_threads, sb.pingpong_8b_fibers);
 
   if (!json_path.empty()) {
     std::ofstream f(json_path);
@@ -322,7 +382,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     f << "{\n"
-      << "  \"schema\": \"ombx-substrate-wallclock-v1\",\n"
+      << "  \"schema\": \"ombx-substrate-wallclock-v2\",\n"
       << "  \"label\": \"" << label << "\",\n"
       << "  \"eager_selfsend\": [\n";
     for (std::size_t i = 0; i < eager.size(); ++i) {
@@ -345,7 +405,14 @@ int main(int argc, char** argv) {
       << "  \"matching_stress_64src\": {\"wildcard_ns_per_match\": "
       << ms.wildcard_ns_per_match << ", \"exact_ns_per_match\": "
       << ms.exact_ns_per_match << ", \"overall_ns_per_match\": "
-      << ms.overall_ns_per_match << "}\n"
+      << ms.overall_ns_per_match << "},\n"
+      << "  \"sched\": {\"spinup_np256_ms_threads\": "
+      << sb.spinup_np256_ms_threads << ", \"spinup_np256_ms_fibers\": "
+      << sb.spinup_np256_ms_fibers
+      << ", \"pingpong_8B_msgs_per_sec_threads\": "
+      << static_cast<long long>(sb.pingpong_8b_threads)
+      << ", \"pingpong_8B_msgs_per_sec_fibers\": "
+      << static_cast<long long>(sb.pingpong_8b_fibers) << "}\n"
       << "}\n";
     std::printf("wrote %s\n", json_path.c_str());
   }

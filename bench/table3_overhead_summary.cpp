@@ -33,6 +33,7 @@ double allreduce_overhead(core::SuiteConfig cfg,
 int main(int argc, char** argv) {
   const core::ObsOptions obs = fig::parse_obs_flags(argc, argv);
   const core::CheckOptions check = fig::parse_check_flags(argc, argv);
+  const sched::Mode sched = fig::parse_sched_flag(argc, argv);
   const fig::SizeRange small{4, 8 * 1024, "small"};
   const fig::SizeRange large{16 * 1024, 1024 * 1024, "large"};
   const fig::SizeRange p2p_large{16 * 1024, 4 * 1024 * 1024, "large"};
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
   intra.ppn = 2;
   intra.obs = obs;
   intra.check = check;
+  intra.sched = sched;
 
   core::SuiteConfig inter = intra;
   inter.ppn = 1;
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
   ar.ppn = 1;
   ar.obs = obs;
   ar.check = check;
+  ar.sched = sched;
 
   core::SuiteConfig gpu;
   gpu.cluster = net::ClusterSpec::ri2_gpu();
@@ -61,6 +64,7 @@ int main(int argc, char** argv) {
   gpu.ppn = 1;
   gpu.obs = obs;
   gpu.check = check;
+  gpu.sched = sched;
 
   const auto gpu_overhead = [&](buffers::BufferKind k,
                                 const fig::SizeRange& r) {

@@ -79,6 +79,7 @@ double parse_dbl(const std::string& flag, const std::string& s) {
 
 net::ClusterSpec cluster_by_name(const std::string& s) {
   if (s == "frontera") return net::ClusterSpec::frontera();
+  if (s == "frontera-large") return net::ClusterSpec::frontera_large();
   if (s == "stampede2") return net::ClusterSpec::stampede2();
   if (s == "ri2") return net::ClusterSpec::ri2();
   if (s == "ri2-gpu") return net::ClusterSpec::ri2_gpu();
@@ -143,7 +144,8 @@ void print_usage(std::ostream& os) {
       "       omb_run --campaign <spec> [--campaign-workers <n>] [--csv|--json]\n"
       "       omb_run --list\n\n"
       "options:\n"
-      "  --cluster <frontera|stampede2|ri2|ri2-gpu>   (default frontera)\n"
+      "  --cluster <frontera|frontera-large|stampede2|ri2|ri2-gpu>"
+      "   (default frontera)\n"
       "  --mpi <mvapich2|intelmpi|mvapich2-gdr>       (default mvapich2)\n"
       "  --mode <omb-c|omb-py|omb-py-pickle>          (default omb-py)\n"
       "  --buffer <bytearray|numpy|cupy|pycuda|numba> (default numpy)\n"
@@ -156,6 +158,10 @@ void print_usage(std::ostream& os) {
       "  --window <n>      (default 64, bandwidth tests)\n"
       "  --validate        (verify payload patterns)\n"
       "  --synthetic       (logical payloads only; for large scale)\n"
+      "  --sched <auto|threads|fibers> (rank execution backend, default\n"
+      "                     auto: fibers on a worker pool, except threads\n"
+      "                     under sanitizer builds; output is identical\n"
+      "                     either way — see docs/execution-model.md)\n"
       "  --csv             (machine-readable output)\n"
       "  --json            (machine-readable JSON output)\n"
       "  --campaign <spec> (run a campaign sweep from a spec file: cluster\n"
@@ -260,6 +266,12 @@ CliOptions parse_cli(int argc, const char* const* argv) {
       out.cfg.obs.metrics_csv = next();
     } else if (arg == "--trace-json") {
       out.cfg.obs.trace_json = next();
+    } else if (arg == "--sched") {
+      try {
+        out.cfg.sched = sched::mode_by_name(next());
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("--sched: ") + e.what());
+      }
     } else if (arg == "--check") {
       out.cfg.check.enabled = true;
     } else if (arg == "--check-strict") {

@@ -17,6 +17,7 @@
 #include "bench_suite/cli.hpp"
 #include "core/options.hpp"
 #include "core/registry.hpp"
+#include "sched/sched.hpp"
 
 #ifndef OMBX_GIT_SHA
 #define OMBX_GIT_SHA "unknown"
@@ -131,7 +132,8 @@ std::string dbl_disp(double v) {
 
 // ---- per-cell execution ---------------------------------------------------
 
-core::SuiteConfig cell_config(const Cell& cell, std::uint64_t rep) {
+core::SuiteConfig cell_config(const Cell& cell, std::uint64_t rep,
+                              sched::Mode sched_mode) {
   core::SuiteConfig cfg;
   cfg.cluster = bench_suite::cluster_by_name(cell.cluster);
   cfg.tuning = bench_suite::tuning_by_name(cell.tuning);
@@ -150,6 +152,9 @@ core::SuiteConfig cell_config(const Cell& cell, std::uint64_t rep) {
     cfg.check.enabled = true;
     cfg.check.strict = true;
   }
+  // Not part of Cell::key(): both backends produce byte-identical
+  // results, so the scheduler choice must not invalidate cached cells.
+  cfg.sched = sched_mode;
   return cfg;
 }
 
@@ -267,7 +272,8 @@ void store_cached(const Spec& spec, const Cell& cell, const CellResult& res) {
   if (ec) std::filesystem::remove(tmp, ec);
 }
 
-CellResult run_cell(const Cell& cell, obs::CampaignCounters& ctr) {
+CellResult run_cell(const Cell& cell, obs::CampaignCounters& ctr,
+                    sched::Mode sched_mode) {
   const core::BenchmarkInfo* info = core::Registry::instance().find(cell.bench);
   // expand() validated the name; a missing entry here would be a registry
   // bug, surfaced as an empty (NaN) result rather than a crash.
@@ -278,11 +284,16 @@ CellResult run_cell(const Cell& cell, obs::CampaignCounters& ctr) {
   for (; rep < cell.reps_max; ++rep) {
     if (info == nullptr) break;
     try {
-      const auto one =
-          run_rep(*info, cell_config(cell, static_cast<std::uint64_t>(rep)));
+      const auto one = run_rep(
+          *info,
+          cell_config(cell, static_cast<std::uint64_t>(rep), sched_mode));
       for (const auto& [bytes, v] : one) samples[bytes].push_back(v);
       ++reps_ok;
-    } catch (const std::exception&) {
+    } catch (const std::exception& e) {
+      // Failed repetitions are aggregated (NaN cells), but the cause must
+      // stay visible: one line per failure on stderr.
+      std::fprintf(stderr, "campaign: %s np=%d ppn=%d rep=%d failed: %s\n",
+                   cell.bench.c_str(), cell.np, cell.ppn, rep, e.what());
       ++reps_failed;
     }
     ctr.add(ctr.reps_run);
@@ -395,6 +406,9 @@ Spec parse_spec(std::istream& in) {
       spec.strict_check = (val == "strict");
     } else if (key == "cache") {
       spec.cache_dir = val;
+    } else if (key == "sched") {
+      (void)sched::mode_by_name(val);  // validate; throws on bad names
+      spec.sched = val;
     } else {
       throw std::invalid_argument("campaign spec: unknown key: " + key);
     }
@@ -482,6 +496,8 @@ Outcome run(const Spec& spec) {
   obs::CampaignCounters ctr;
   ctr.add(ctr.cells_total, cells.size());
 
+  const sched::Mode sched_mode = sched::mode_by_name(spec.sched);
+
   // One atomic cursor; each worker claims the next unprocessed cell and
   // writes its private results slot, so no locking is needed and the
   // output order is the expansion order regardless of scheduling.
@@ -494,7 +510,7 @@ Outcome run(const Spec& spec) {
       if (!spec.cache_dir.empty() && load_cached(spec, cells[i], res)) {
         ctr.add(ctr.cells_cached);
       } else {
-        res = run_cell(cells[i], ctr);
+        res = run_cell(cells[i], ctr, sched_mode);
         ctr.add(ctr.cells_run);
         if (!spec.cache_dir.empty()) store_cached(spec, cells[i], res);
       }

@@ -65,6 +65,13 @@ struct Spec {
   int workers = 4;          ///< worker threads (cells run concurrently)
   bool strict_check = false;  ///< run every world with --check-strict
   std::string cache_dir;      ///< per-cell result cache; empty disables
+  /// Rank execution backend for every cell's worlds ("auto", "threads",
+  /// "fibers"; see sched/sched.hpp).  Deliberately NOT part of the cell
+  /// cache identity: the two backends produce byte-identical results (the
+  /// determinism contract), so a cached cell is valid under either.  In
+  /// fiber mode all concurrent cells share the process-wide pool, so host
+  /// threads stay bounded by the pool size instead of workers x np.
+  std::string sched = "auto";
 };
 
 /// Parse a spec from `key = value` lines ('#' comments, blank lines ok).

@@ -13,6 +13,7 @@
 #include "mpi/engine.hpp"
 #include "net/cluster.hpp"
 #include "net/tuning.hpp"
+#include "sched/sched.hpp"
 
 namespace ombx::explore {
 class ScheduleOracle;
@@ -116,6 +117,9 @@ struct SuiteConfig {
   /// Scheduling oracle for record/replay/exploration (--explore /
   /// --replay-schedule); null leaves the match paths untouched.
   std::shared_ptr<explore::ScheduleOracle> oracle;
+  /// Rank execution backend (--sched auto|threads|fibers).  Results are
+  /// byte-identical either way; see sched/sched.hpp.
+  sched::Mode sched = sched::Mode::kAuto;
 };
 
 }  // namespace ombx::core

@@ -28,6 +28,7 @@ mpi::WorldConfig make_world_config(const SuiteConfig& cfg) {
   wc.check.mode = cfg.check.strict ? check::Mode::kStrict
                                    : check::Mode::kReport;
   wc.oracle = cfg.oracle;
+  wc.sched = cfg.sched;
   return wc;
 }
 

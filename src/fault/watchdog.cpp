@@ -3,6 +3,8 @@
 #include <chrono>
 #include <sstream>
 
+#include "sched/sched.hpp"
+
 namespace ombx::fault {
 
 std::string to_string(WaitKind k) {
@@ -122,7 +124,16 @@ void Watchdog::loop(double poll_ms) {
     }
     const WaitRegistry::Snapshot snap = registry_.snapshot();
     const int active = snap.nranks - snap.finished;
-    const bool stalled = active > 0 && snap.blocked == active;
+    // All-blocked is only meaningful if the fiber pool is idle too: under
+    // the fiber backend a notified rank clears its wait entry only after
+    // it is rescheduled, so with concurrent worlds sharing the pool this
+    // world can look fully blocked for many polls while its wakeup sits
+    // in the run queue behind another world's fibers.  A true deadlock
+    // has every fiber parked (pool idle); a busy pool merely delays
+    // detection until the co-resident work drains.  Thread-backend-only
+    // processes see 0 here and behave exactly as before.
+    const bool stalled = active > 0 && snap.blocked == active &&
+                         sched::FiberPool::instance().active() == 0;
     if (stalled && (streak == 0 || snap.progress == last_progress)) {
       ++streak;
     } else {

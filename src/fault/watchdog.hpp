@@ -5,10 +5,14 @@
 // probe, capacity-blocked enqueue, rendezvous completion wait) registers
 // what it is waiting on in the WaitRegistry before sleeping and clears it
 // on wake.  Because the simulation is closed — messages only originate
-// from rank threads — "every unfinished rank is blocked and the progress
-// counter has not moved between two polls" is a sound and complete
-// deadlock criterion.  On detection the watchdog produces a PARCOACH-style
-// per-rank dump of the (context, src, tag) each rank is stuck on.
+// from ranks — "every unfinished rank is blocked, the progress counter
+// has not moved between polls, and the fiber pool has no runnable or
+// executing fiber" is a sound deadlock criterion: a rank that has been
+// notified but not yet rescheduled still counts as blocked, so the pool
+// check is what separates "deadlocked" from "parked behind a busy run
+// queue" when several worlds share the scheduler (campaign cells).  On
+// detection the watchdog produces a PARCOACH-style per-rank dump of the
+// (context, src, tag) each rank is stuck on.
 #pragma once
 
 #include <atomic>

@@ -27,7 +27,6 @@
 // would make virtual time depend on host scheduling.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -42,6 +41,7 @@
 #include "fault/abort.hpp"
 #include "fault/watchdog.hpp"
 #include "mpi/error.hpp"
+#include "sched/sched.hpp"
 #include "simtime/clock.hpp"
 
 namespace ombx::ft {
@@ -213,7 +213,7 @@ class FailureState {
 
  private:
   struct Barrier {
-    std::condition_variable cv;
+    sched::WaitQueue cv;  ///< fiber-aware; cv semantics (see sched.hpp)
     std::map<int, usec_t> arrived;        ///< world rank -> entry clock
     std::map<int, std::uint32_t> bits;    ///< agree contributions
     bool done = false;

@@ -414,8 +414,13 @@ std::optional<Status> Engine::iprobe(int self_world, int ctx, int src,
                                      int tag) {
   check_failures(self_world);
   try {
-    return mail_[static_cast<std::size_t>(self_world)]->try_probe(ctx, src,
-                                                                  tag);
+    auto st = mail_[static_cast<std::size_t>(self_world)]->try_probe(ctx, src,
+                                                                     tag);
+    // A miss is the body of a user-level poll loop (`while (!iprobe())`,
+    // `while (!req.test())`): on the fiber backend, yield the worker so
+    // the peer this rank is polling for can run.  No-op on threads.
+    if (!st) sched::maybe_yield();
+    return st;
   } catch (const ft::ProcFailedError& e) {
     ft_observe_interrupt(self_world, e.at_time_us(), /*proc_failed=*/true);
     throw;

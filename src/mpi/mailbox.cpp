@@ -324,11 +324,13 @@ void Mailbox::enqueue(Message&& msg) {
         // fence, then read the waiter count — the waiter increments the
         // count, fences, then re-scans the rings, so at least one side
         // sees the other and no wakeup is lost.  Skipped entirely when
-        // this producer IS the owner thread (self-send): the owner cannot
-        // simultaneously be parked in a receive, so the waiter count it
-        // would read is necessarily zero.
-        if (owner_tid_.load(std::memory_order_relaxed) !=
-            std::this_thread::get_id()) {
+        // this producer IS the owner context (self-send): the owner
+        // cannot simultaneously be parked in a receive, so the waiter
+        // count it would read is necessarily zero.  exec_id() is
+        // fiber-aware — two ranks sharing a worker thread still compare
+        // unequal, so the skip never misfires under the fiber scheduler.
+        if (owner_exec_.load(std::memory_order_relaxed) !=
+            sched::exec_id()) {
           std::atomic_thread_fence(std::memory_order_seq_cst);
           if (arrival_waiters_.load(std::memory_order_seq_cst) > 0) {
             { std::lock_guard<std::mutex> lk(m_); }
@@ -402,28 +404,29 @@ void Mailbox::enqueue(Message&& msg) {
   }
 }
 
-void Mailbox::capture_owner_tid() noexcept {
-  // Remember the consumer thread so self-send enqueues can skip the
-  // Dekker fence.  Compare-then-store avoids dirtying the line on every
-  // receive; under the single-consumer contract only one thread ever
-  // reaches here, so the plain store is race-free.
-  const auto me = std::this_thread::get_id();
-  if (owner_tid_.load(std::memory_order_relaxed) != me) {
-    owner_tid_.store(me, std::memory_order_relaxed);
+void Mailbox::capture_owner_exec() noexcept {
+  // Remember the consumer's execution context (fiber or thread) so
+  // self-send enqueues can skip the Dekker fence.  Compare-then-store
+  // avoids dirtying the line on every receive; under the single-consumer
+  // contract only one context ever reaches here, so the plain store is
+  // race-free.
+  const auto me = sched::exec_id();
+  if (owner_exec_.load(std::memory_order_relaxed) != me) {
+    owner_exec_.store(me, std::memory_order_relaxed);
   }
 }
 
 std::optional<Message> Mailbox::try_fast_pop(int ctx, int src, int tag,
                                              int src_world_hint) {
   // Hintless and wildcard receives can never pop a ring; bail before the
-  // owner-tid capture so the latched (slow-path-only) regime pays nothing
+  // owner capture so the latched (slow-path-only) regime pays nothing
   // here but this compare.  Skipping the capture is safe: it only feeds
   // the producer-side Dekker *skip*, so an uncaptured owner merely makes
   // self-send ring pushes take the full (correct) fence + waiter check.
   if (src_world_hint < 0 || src == kAnySource || tag == kAnyTag) {
     return std::nullopt;
   }
-  capture_owner_tid();
+  capture_owner_exec();
   if (!fast_ok_.load(std::memory_order_acquire)) return std::nullopt;
   // A hinted exact receive is exactly the consumer the rings exist for —
   // but re-arming costs the next latch episode another 128-message drain
@@ -560,7 +563,7 @@ std::optional<Message> Mailbox::try_dequeue_match(int ctx, int src, int tag,
 }
 
 Status Mailbox::probe(int ctx, int src, int tag) {
-  capture_owner_tid();
+  capture_owner_exec();
   std::unique_lock<std::mutex> lk(m_);
   drain_rings_locked();
   Bin* bin = match_for(ctx, src, tag);
@@ -604,7 +607,7 @@ Status Mailbox::probe(int ctx, int src, int tag) {
 }
 
 std::optional<Status> Mailbox::try_probe(int ctx, int src, int tag) {
-  capture_owner_tid();
+  capture_owner_exec();
   std::unique_lock<std::mutex> lk(m_);
   entry_checks_locked();
   Bin* bin = match_for(ctx, src, tag);

@@ -56,10 +56,11 @@
 // boundary are prevented Dekker-style: producers publish, fence, then
 // read the waiter count; waiters bump the count, fence, then re-scan the
 // rings — at least one side always sees the other.  Two refinements keep
-// the handshake off the single-threaded hot path: a producer running ON
-// the owner thread skips the fence and waiter check outright (the owner
-// cannot be enqueueing and blocked in a receive at once — the self-send
-// case), and the pop side needs no explicit fence because the seq_cst
+// the handshake off the single-threaded hot path: a producer running IN
+// the owner's execution context (sched::exec_id — fiber-aware) skips the
+// fence and waiter check outright (the owner cannot be enqueueing and
+// blocked in a receive at once — the self-send case), and the pop side
+// needs no explicit fence because the seq_cst
 // ring_msgs_ decrement after the pop already separates the head-slot
 // release from the waiter-count read, while a capacity waiter's
 // re-check reads ring_msgs_ seq_cst — the single total order over those
@@ -68,14 +69,12 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "fault/abort.hpp"
@@ -83,6 +82,7 @@
 #include "ft/ft.hpp"
 #include "mpi/message.hpp"
 #include "obs/metrics.hpp"
+#include "sched/sched.hpp"
 
 namespace ombx::explore {
 class ScheduleOracle;
@@ -346,9 +346,12 @@ class Mailbox {
   [[nodiscard]] std::optional<Message> try_fast_pop(int ctx, int src, int tag,
                                                     int src_world_hint);
 
-  /// Record the calling (receive-side) thread in owner_tid_ so self-send
-  /// enqueues can skip the Dekker fence.  Called at every receive entry.
-  void capture_owner_tid() noexcept;
+  /// Record the calling (receive-side) execution context in owner_exec_
+  /// so self-send enqueues can skip the Dekker fence.  Called at every
+  /// receive entry.  Keyed on sched::exec_id(), not std::thread::id:
+  /// under the fiber scheduler two ranks can share one OS thread, and a
+  /// thread id would falsely prove "the producer IS the consumer".
+  void capture_owner_exec() noexcept;
 
   /// Move every ring-resident message into its bin (seq-sorted insert).
   /// Owner thread or quiescent only, with m_ held: this is the
@@ -414,8 +417,8 @@ class Mailbox {
                                 int ctx);
 
   mutable std::mutex m_;
-  std::condition_variable arrived_;  ///< signalled on enqueue / poison
-  std::condition_variable drained_;  ///< signalled on dequeue / poison
+  sched::WaitQueue arrived_;  ///< signalled on enqueue / poison
+  sched::WaitQueue drained_;  ///< signalled on dequeue / poison
   std::deque<Bin> bins_;             ///< stable storage + wildcard scan order
   std::vector<Bin*> table_;          ///< open-addressing index, pow2 slots
   mutable Bin* mru_ = nullptr;       ///< last bin touched (steady traffic)
@@ -469,11 +472,12 @@ class Mailbox {
   /// slow enqueue's increment across with it.
   std::atomic<std::uint64_t> locked_msgs_{0};
   std::atomic<std::uint64_t> next_seq_{0};  ///< global arrival stamp
-  /// The owner thread (captured on every receive-side call): an enqueue
-  /// running ON that thread proves the owner is not blocked in a wait, so
-  /// the producer-side Dekker fence + waiter check can be skipped — this
-  /// is the self-send hot case.
-  std::atomic<std::thread::id> owner_tid_{};
+  /// The owner execution context — fiber or thread, via sched::exec_id()
+  /// — captured on every receive-side call: an enqueue running IN that
+  /// context proves the owner is not blocked in a wait, so the
+  /// producer-side Dekker fence + waiter check can be skipped — this is
+  /// the self-send hot case.
+  std::atomic<std::uintptr_t> owner_exec_{0};
   // Fast-stats counters (see FastStats): single-writer, plain load+store.
   std::atomic<std::uint64_t> slow_enqueues_{0};    ///< under m_
   std::atomic<std::uint64_t> fast_hits_{0};        ///< owner thread

@@ -1,7 +1,6 @@
 // In-flight message representation and buffer views.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -11,6 +10,7 @@
 #include "fault/abort.hpp"
 #include "mpi/payload_pool.hpp"
 #include "net/network.hpp"
+#include "sched/sched.hpp"
 #include "simtime/clock.hpp"
 
 namespace ombx::mpi {
@@ -53,7 +53,7 @@ struct Status {
 /// receiver dies.
 struct SyncCell {
   std::mutex m;
-  std::condition_variable cv;
+  sched::WaitQueue cv;  ///< fiber-aware; cv semantics (see sched.hpp)
   bool done = false;
   /// Set by a zero-copy receiver (under `m`) just before it reads the
   /// sender's buffer.  A poisoned-but-in-transfer cell keeps the sender

@@ -1,6 +1,7 @@
 #include "mpi/request.hpp"
 
 #include "mpi/error.hpp"
+#include "sched/sched.hpp"
 
 namespace ombx::mpi {
 
@@ -63,7 +64,13 @@ bool Request::test() {
         kind_ = Kind::kDone;
         return true;
       }
-      if (!cell_->ready()) return false;
+      if (!cell_->ready()) {
+        // User-level poll loops (`while (!req.test())`) must not pin a
+        // scheduler worker: give other fibers — including the peer this
+        // request waits on — a turn.  No-op on the thread backend.
+        sched::maybe_yield();
+        return false;
+      }
       comm_->engine().await_cell(comm_->world_rank(comm_->rank()),
                                  *cell_);
       cell_.reset();
@@ -71,6 +78,7 @@ bool Request::test() {
       kind_ = Kind::kDone;
       return true;
     case Kind::kRecv:
+      // (Engine::iprobe yields on a miss, so this path is covered.)
       if (!comm_->iprobe(src_, tag_).has_value()) return false;
       settle_ticket();
       status_ = comm_->recv(view_, src_, tag_);

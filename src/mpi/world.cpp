@@ -79,42 +79,55 @@ void World::run(const std::function<void(Comm&)>& rank_main) {
         });
   }
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n));
-  for (int r = 0; r < n; ++r) {
-    threads.emplace_back([&, r] {
-      try {
-        Comm comm(*engine_, /*context=*/0, identity, r);
-        rank_main(comm);
-      } catch (const AbortedError&) {
-        // A peer's failure propagated here; keep one as a fallback cause.
-        std::lock_guard<std::mutex> lk(err_mutex);
-        if (!abort_error) abort_error = std::current_exception();
-      } catch (const RankKilledError& e) {
-        if (cfg_.ft.enabled) {
-          // ULFM mode: the failure is scoped, not global.  Dead-mark the
-          // rank so peers detect it (ProcFailedError at their call sites)
-          // and recover via revoke/shrink; the world keeps running.
-          engine_->mark_rank_failed(r, e.at_time_us());
-        } else {
-          {
-            std::lock_guard<std::mutex> lk(err_mutex);
-            if (!root_error) root_error = std::current_exception();
-          }
-          engine_->abort(r, describe(std::current_exception()));
-        }
-      } catch (...) {
+  const auto run_rank = [&](int r) {
+    try {
+      Comm comm(*engine_, /*context=*/0, identity, r);
+      rank_main(comm);
+    } catch (const AbortedError&) {
+      // A peer's failure propagated here; keep one as a fallback cause.
+      std::lock_guard<std::mutex> lk(err_mutex);
+      if (!abort_error) abort_error = std::current_exception();
+    } catch (const RankKilledError& e) {
+      if (cfg_.ft.enabled) {
+        // ULFM mode: the failure is scoped, not global.  Dead-mark the
+        // rank so peers detect it (ProcFailedError at their call sites)
+        // and recover via revoke/shrink; the world keeps running.
+        engine_->mark_rank_failed(r, e.at_time_us());
+      } else {
         {
           std::lock_guard<std::mutex> lk(err_mutex);
           if (!root_error) root_error = std::current_exception();
         }
-        // Wake every blocked peer with AbortedError naming this rank.
         engine_->abort(r, describe(std::current_exception()));
       }
-      registry.mark_finished(r);
-    });
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(err_mutex);
+        if (!root_error) root_error = std::current_exception();
+      }
+      // Wake every blocked peer with AbortedError naming this rank.
+      engine_->abort(r, describe(std::current_exception()));
+    }
+    registry.mark_finished(r);
+  };
+
+  // Worlds do not nest onto the fiber pool: a rank body that builds an
+  // inner World (none do today) would deadlock waiting for workers it
+  // occupies, so a fiber caller falls back to thread-per-rank.
+  const bool fibers = sched::resolve(cfg_.sched) == sched::Mode::kFibers &&
+                      sched::current_fiber() == nullptr;
+  if (fibers) {
+    sched::FiberPool::instance().run_world(
+        n, run_rank,
+        [this](int r) { return engine_->state(r).clock.now(); });
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      threads.emplace_back([&, r] { run_rank(r); });
+    }
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
   if (watchdog) watchdog->stop();
 
   {

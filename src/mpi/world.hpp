@@ -1,4 +1,9 @@
-// World: thread-per-rank launcher for simulated MPI programs.
+// World: launcher for simulated MPI programs — ranks run as fibers on the
+// process-wide scheduler pool (the default) or as one OS thread each
+// (`sched = kThreads`, kept for sanitizer builds and differential
+// testing).  See docs/execution-model.md and sched/sched.hpp; the two
+// backends produce byte-identical results because every reported number
+// is virtual-time arithmetic, independent of host scheduling.
 //
 // Usage:
 //   mpi::World world({.cluster = net::ClusterSpec::frontera(),
@@ -27,6 +32,7 @@
 #include "mpi/engine.hpp"
 #include "net/cluster.hpp"
 #include "net/tuning.hpp"
+#include "sched/sched.hpp"
 
 namespace ombx::mpi {
 
@@ -67,6 +73,10 @@ struct WorldConfig {
   /// null (the default) leaves every match path untouched.  Shared so the
   /// driver that armed it can read the decision log after run().
   std::shared_ptr<explore::ScheduleOracle> oracle;
+  /// Rank execution backend (sched/sched.hpp).  kAuto resolves to fibers
+  /// except under sanitizer builds or an OMBX_SCHED override; results are
+  /// byte-identical either way.
+  sched::Mode sched = sched::Mode::kAuto;
 };
 
 class World {

@@ -36,6 +36,15 @@ ClusterSpec ClusterSpec::frontera() {
   return c;
 }
 
+ClusterSpec ClusterSpec::frontera_large() {
+  // Same node/socket/link models as frontera on a 32-node allocation;
+  // only the fabric's reach grows, not its per-link costs.
+  ClusterSpec c = frontera();
+  c.name = "frontera-large";
+  c.topo.nodes = 32;
+  return c;
+}
+
 ClusterSpec ClusterSpec::stampede2() {
   ClusterSpec c;
   c.name = "stampede2";

@@ -50,6 +50,10 @@ struct ClusterSpec {
 
   /// TACC Frontera: 2 x Xeon Platinum 8280 (28c), IB HDR/HDR-100.
   static ClusterSpec frontera();
+  /// Frontera's link models on a 32-node allocation — the paper-scale
+  /// preset for np >= 1024 campaign sweeps (16 nodes cap out at 896
+  /// ranks full-subscribed).
+  static ClusterSpec frontera_large();
   /// TACC Stampede2: 2 x Xeon Platinum 8160 (24c), Omni-Path.
   static ClusterSpec stampede2();
   /// OSU RI2 CPU partition: 2 x Xeon Gold 6132 (14c), IB EDR.

@@ -93,7 +93,10 @@ PyCosts PyCosts::ri2_gpu() {
 }
 
 PyCosts PyCosts::for_cluster(const std::string& cluster_name) {
-  if (cluster_name == "frontera") return frontera();
+  // frontera-large is frontera on a bigger allocation: same CPUs, same
+  // Python binding costs.
+  if (cluster_name == "frontera" || cluster_name == "frontera-large")
+    return frontera();
   if (cluster_name == "stampede2") return stampede2();
   if (cluster_name == "ri2") return ri2();
   if (cluster_name == "ri2-gpu") return ri2_gpu();

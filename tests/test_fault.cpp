@@ -19,6 +19,7 @@
 #include "mpi/collectives.hpp"
 #include "mpi/error.hpp"
 #include "mpi/world.hpp"
+#include "sched/sched.hpp"
 
 using namespace ombx;
 using mpi::Comm;
@@ -194,7 +195,12 @@ TEST(AbortPropagation, PoisonWakesSenderBlockedBehindManyBins) {
             throw;
           }
         } else {
-          while (!box_full.load()) std::this_thread::yield();
+          // Yield the fiber, not just the thread: on a one-worker pool a
+          // plain thread yield would starve the sender this loop awaits.
+          while (!box_full.load()) {
+            sched::maybe_yield();
+            std::this_thread::yield();
+          }
           std::this_thread::sleep_for(std::chrono::milliseconds(20));
           throw std::runtime_error("receiver died with full bins");
         }

@@ -21,6 +21,7 @@
 #include "mpi/error.hpp"
 #include "mpi/hierarchical.hpp"
 #include "mpi/world.hpp"
+#include "sched/sched.hpp"
 
 using namespace ombx;
 using mpi::Comm;
@@ -221,7 +222,13 @@ TEST(FtRevoke, RendezvousSendPostedAfterRevokeRaisesInsteadOfHanging) {
       revoked = true;
       return;
     }
-    while (!revoked.load()) std::this_thread::yield();
+    // Host-level spin in a rank body: must yield the *fiber* (a plain
+    // thread yield would hog the worker and starve rank 1 on a
+    // one-worker pool).
+    while (!revoked.load()) {
+      sched::maybe_yield();
+      std::this_thread::yield();
+    }
     // Large payload: the blocking send takes the zero-copy rendezvous
     // path and waits on its sync cell for a claim that can never come.
     std::vector<std::byte> big(1 << 20, std::byte{1});
