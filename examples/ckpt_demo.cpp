@@ -1,0 +1,146 @@
+// Checkpoint/restart demo: buddy-replicated in-memory checkpoints plus
+// ULFM rollback recovery, end to end.
+//
+// Eight ranks allreduce in a loop, taking a coordinated checkpoint every
+// ~60us of virtual time; the fault plan kills ranks 1, 3 and 5
+// mid-allreduce.  The five survivors revoke, agree, shrink — then roll
+// back to the last complete checkpoint generation, adopt the dead ranks'
+// buddy copies (on one node the buddy of rank r is rank r+1, so killing
+// alternating ranks leaves every buddy alive), and recompute the
+// rolled-back iterations before finishing the job.  Every time below is
+// deterministic virtual time: run it twice, diff the output — identical.
+//
+//   $ ./ckpt_demo
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <vector>
+
+#include "ckpt/ckpt.hpp"
+#include "ft/ft.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/world.hpp"
+
+int main() {
+  using namespace ombx;
+
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.nranks = 8;
+  wc.ppn = 8;
+  wc.ft.enabled = true;  // recover instead of aborting
+  // Kill three of eight mid-allreduce.  Alternating ranks on purpose:
+  // each dead rank's buddy (its ring successor) must survive to serve
+  // the replica during restore.
+  wc.fault.kills.push_back({1, 400.0});
+  wc.fault.kills.push_back({3, 400.0});
+  wc.fault.kills.push_back({5, 400.0});
+
+  ckpt::CkptConfig ck_cfg;
+  ck_cfg.enabled = true;
+  ck_cfg.interval_us = 60.0;  // checkpoint roughly every 60us
+
+  mpi::World world(wc);
+  ckpt::Store store(wc.nranks);
+  std::mutex io;
+
+  world.run([&](mpi::Comm& comm) {
+    // The protected application state: an iteration cursor plus the
+    // "model" the allreduce keeps averaging.
+    std::uint64_t iter_done = 0;
+    std::vector<double> model(256, 1.0);
+    std::vector<double> sum(256, 0.0);
+
+    ckpt::Checkpointer ck(comm, store, ck_cfg);
+    ck.register_region("iter_done", &iter_done, sizeof(iter_done));
+    ck.register_region("model", model.data(),
+                       model.size() * sizeof(double));
+
+    const mpi::ConstView sv{reinterpret_cast<const std::byte*>(model.data()),
+                            model.size() * sizeof(double),
+                            net::MemSpace::kHost};
+    const mpi::MutView rv{reinterpret_cast<std::byte*>(sum.data()),
+                          sum.size() * sizeof(double), net::MemSpace::kHost};
+
+    try {
+      for (;;) {
+        mpi::allreduce(comm, sv, rv, mpi::Datatype::kDouble, mpi::Op::kSum);
+        ++iter_done;
+        (void)ck.maybe_checkpoint();
+      }
+    } catch (const ft::ProcFailedError& e) {
+      std::lock_guard<std::mutex> lk(io);
+      std::cout << "rank " << comm.rank() << ": peer rank "
+                << e.failed_rank() << " failed at t=" << comm.now()
+                << "us (iter " << iter_done << ", "
+                << ck.checkpoints() << " checkpoints taken)\n";
+    } catch (const ft::RevokedError&) {
+      // Second-hand detection via a peer's revoke().
+    }
+    const std::uint64_t iter_at_failure = iter_done;
+
+    // ULFM recovery, then rollback: revoke so every still-blocked peer
+    // unwinds, agree to continue, ack the failures, shrink onto the
+    // survivors — and restore from the last complete checkpoint
+    // generation, adopting the dead ranks' buddy copies.
+    comm.revoke();
+    (void)comm.agree(1u);
+    comm.failure_ack();
+    const std::vector<int> failed = comm.get_failed();
+    mpi::Comm alive = comm.shrink();
+
+    const ckpt::Checkpointer::RestoreResult rr = ck.restore(alive, failed);
+
+    // Recompute the rolled-back iterations up to the pre-failure
+    // frontier (max over survivors), so the job resumes exactly where
+    // the failure interrupted it.
+    double frontier = 0.0;
+    {
+      const double mine = static_cast<double>(iter_at_failure);
+      mpi::allreduce(alive,
+                     mpi::ConstView{reinterpret_cast<const std::byte*>(&mine),
+                                    sizeof(mine), net::MemSpace::kHost},
+                     mpi::MutView{reinterpret_cast<std::byte*>(&frontier),
+                                  sizeof(frontier), net::MemSpace::kHost},
+                     mpi::Datatype::kDouble, mpi::Op::kMax);
+    }
+    const std::uint64_t recompute_from = iter_done;
+    while (iter_done < static_cast<std::uint64_t>(frontier)) {
+      mpi::allreduce(alive, sv, rv, mpi::Datatype::kDouble, mpi::Op::kSum);
+      ++iter_done;
+    }
+
+    // Each dead rank is adopted by exactly one survivor; sum for a
+    // world-wide count.
+    double adopted_total = 0.0;
+    {
+      const double mine = static_cast<double>(rr.adopted.size());
+      mpi::allreduce(alive,
+                     mpi::ConstView{reinterpret_cast<const std::byte*>(&mine),
+                                    sizeof(mine), net::MemSpace::kHost},
+                     mpi::MutView{reinterpret_cast<std::byte*>(&adopted_total),
+                                  sizeof(adopted_total), net::MemSpace::kHost},
+                     mpi::Datatype::kDouble, mpi::Op::kSum);
+    }
+
+    if (alive.rank() == 0) {
+      std::lock_guard<std::mutex> lk(io);
+      std::cout << "\nrecovered: " << alive.size() << " of " << comm.size()
+                << " ranks continue\n"
+                << "restored generation " << rr.generation << " (rolled back "
+                << rr.rolled_back_us << "us of work), adopted "
+                << static_cast<int>(adopted_total)
+                << " dead ranks' buddy snapshots\n"
+                << "recomputed iterations " << recompute_from << " -> "
+                << iter_done << "\n"
+                << "post-restore allreduce sum[0]=" << sum[0]
+                << " (expected " << alive.size() << ")\n";
+    }
+  });
+
+  std::cout << "\nworld finished cleanly — no abort, no hang, no lost work "
+               "beyond the last checkpoint.\n";
+  return 0;
+}

@@ -184,6 +184,15 @@ void print_usage(std::ostream& os) {
       "  --ft              (fault-tolerant mode: recover from --kill via\n"
       "                     revoke/agree/shrink instead of aborting;\n"
       "                     allreduce, bcast, barrier or allgather)\n"
+      "  --ckpt-interval <us>|daly (coordinated buddy-replicated\n"
+      "                     checkpoints every ~<us> of virtual time, or at\n"
+      "                     the Young/Daly optimum; with --ft, recovery\n"
+      "                     adds restore + recompute to the breakdown)\n"
+      "  --ckpt-mtbf <us>  (MTBF for the Daly formula; defaults to the\n"
+      "                     fault plan's earliest kill time)\n"
+      "  --drop-lost       (retry exhaustion under --drop loses the\n"
+      "                     message: the sender raises MessageLostError\n"
+      "                     instead of always delivering after the cap)\n"
       "  --explore         (search wildcard-receive schedules for bugs the\n"
       "                     default interleaving hides; implies\n"
       "                     --check-strict; exit 3 when a schedule fails)\n"
@@ -293,6 +302,25 @@ CliOptions parse_cli(int argc, const char* const* argv) {
     } else if (arg == "--ft") {
       out.ft_mode = true;
       out.cfg.ft.enabled = true;
+    } else if (arg == "--ckpt-interval") {
+      const std::string v = next();
+      out.cfg.ckpt.enabled = true;
+      if (v == "daly") {
+        out.cfg.ckpt.daly = true;
+      } else {
+        out.cfg.ckpt.interval_us = parse_dbl(arg, v);
+        if (out.cfg.ckpt.interval_us <= 0.0) {
+          throw std::invalid_argument(
+              "--ckpt-interval expects a time > 0 us or 'daly', got: " + v);
+        }
+      }
+    } else if (arg == "--ckpt-mtbf") {
+      out.cfg.ckpt.mtbf_us = parse_dbl(arg, next());
+      if (out.cfg.ckpt.mtbf_us <= 0.0) {
+        throw std::invalid_argument("--ckpt-mtbf expects a time > 0 us");
+      }
+    } else if (arg == "--drop-lost") {
+      out.cfg.fault.drop.fail_on_exhaustion = true;
     } else if (arg == "--explore") {
       out.explore = true;
     } else if (arg == "--explore-budget") {
@@ -322,6 +350,10 @@ CliOptions parse_cli(int argc, const char* const* argv) {
           "--kill rank " + std::to_string(k.rank) + " out of range for --nranks " +
           std::to_string(out.cfg.nranks));
     }
+  }
+  if (out.cfg.ckpt.enabled && out.cfg.nranks < 2) {
+    throw std::invalid_argument(
+        "--ckpt-interval needs --nranks >= 2 (buddy replication)");
   }
   if (out.explore && !out.replay_schedule.empty()) {
     throw std::invalid_argument(

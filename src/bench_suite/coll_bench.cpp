@@ -1,4 +1,7 @@
+#include <memory>
+
 #include "bench_suite/suite.hpp"
+#include "ckpt/ckpt.hpp"
 #include "core/runner.hpp"
 #include "core/stats.hpp"
 #include "mpi/error.hpp"
@@ -57,6 +60,13 @@ std::vector<core::Row> run_collective(const core::SuiteConfig& cfg,
   std::vector<core::Row> rows;
   core::StatsBoard board(cfg.nranks);
 
+  // Checkpoint overhead mode (--ckpt-interval without --ft, or the
+  // campaign's ckpt-interval axis): the latency sweep runs with the
+  // coordinated trigger live, so checkpoint cost lands in the measured
+  // numbers.  Null — and therefore byte-identical output — when off.
+  std::unique_ptr<ckpt::Store> store;
+  if (cfg.ckpt.enabled) store = std::make_unique<ckpt::Store>(cfg.nranks);
+
   world.run([&](mpi::Comm& comm) {
     core::RankEnv env(comm, cfg, pool);
     pylayer::PyComm& py = env.py();
@@ -64,6 +74,16 @@ std::vector<core::Row> run_collective(const core::SuiteConfig& cfg,
     auto sbuf = env.make(plan.send_factor * cfg.opts.max_size);
     auto rbuf = env.make(plan.recv_factor * cfg.opts.max_size);
     sbuf->fill(0x55);
+
+    // One scratch region stands in for protected application state; its
+    // size tracks the largest message so replication volume scales with
+    // the sweep.
+    std::vector<std::byte> ckpt_state(cfg.opts.max_size, std::byte{0x5a});
+    std::unique_ptr<ckpt::Checkpointer> ck;
+    if (store) {
+      ck = std::make_unique<ckpt::Checkpointer>(comm, *store, cfg.ckpt);
+      ck->register_region("state", ckpt_state.data(), ckpt_state.size());
+    }
 
     const mpi::Op op = mpi::Op::kSum;
     constexpr int kRoot = 0;
@@ -118,6 +138,7 @@ std::vector<core::Row> run_collective(const core::SuiteConfig& cfg,
                        size, kRoot);
             break;
         }
+        if (ck) (void)ck->maybe_checkpoint();
       }
       const double lat = (comm.now() - t0) / static_cast<double>(iters);
       board.deposit(comm.rank(), lat);

@@ -3,11 +3,21 @@
 // shrink, and time the post-shrink collective against the healthy
 // baseline.  Everything reported is virtual time, so the resilience
 // table is byte-identical across same-seed runs.
+//
+// With --ckpt-interval the same run additionally takes coordinated
+// buddy-replicated checkpoints during the spin phase (ckpt/ckpt.hpp) and
+// recovery extends to the full detect -> agree -> shrink -> restore ->
+// recompute breakdown: survivors roll back to the last complete
+// generation, adopt the dead ranks' buddy copies, and re-run the
+// iterations the rollback discarded.
 #include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "bench_suite/suite.hpp"
+#include "ckpt/ckpt.hpp"
 #include "core/runner.hpp"
 #include "mpi/collectives.hpp"
 #include "mpi/error.hpp"
@@ -70,6 +80,7 @@ core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
   mpi::World world(core::make_world_config(cfg));
   core::FtReport report;
   report.nranks = cfg.nranks;
+  report.ckpt_enabled = cfg.ckpt.enabled;
   std::mutex report_mutex;
 
   const std::size_t size = cfg.opts.max_size;
@@ -79,10 +90,26 @@ core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
   // backstop (the watchdog covers genuine hangs).
   constexpr int kMaxSpins = 1 << 20;
 
+  // World-shared snapshot store (primary copies + buddy replicas), built
+  // only when checkpointing is on — zero perturbation otherwise.
+  std::unique_ptr<ckpt::Store> store;
+  if (cfg.ckpt.enabled) store = std::make_unique<ckpt::Store>(cfg.nranks);
+
   world.run([&](mpi::Comm& comm) {
     std::vector<std::byte> send(size, std::byte{0x55});
     std::vector<std::byte> recv(size *
                                 static_cast<std::size_t>(comm.size()));
+
+    // Checkpointed application state: the iteration cursor plus the send
+    // buffer (the "model" a real application would protect).  A restore
+    // rewinds both to the snapshot cut.
+    std::uint64_t iter_done = 0;
+    std::unique_ptr<ckpt::Checkpointer> ck;
+    if (store) {
+      ck = std::make_unique<ckpt::Checkpointer>(comm, *store, cfg.ckpt);
+      ck->register_region("iter_done", &iter_done, sizeof(iter_done));
+      ck->register_region("send_buffer", send.data(), send.size());
+    }
 
     double healthy = 0.0;
     double detect_local = -1.0;
@@ -97,9 +124,14 @@ core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
 
       // Spin until the planned kill surfaces as a ProcFailedError (or, on
       // ranks that detect it second-hand, a RevokedError from the first
-      // detector's revoke()).
+      // detector's revoke()).  Under --ckpt-interval every iteration also
+      // offers the coordinated trigger a chance to checkpoint; a rank that
+      // dies mid-checkpoint leaves that generation incomplete and restore
+      // falls back to the previous one.
       for (int i = 0; i < kMaxSpins; ++i) {
         run_once(comm, which, size, send.data(), recv.data());
+        ++iter_done;
+        if (ck) (void)ck->maybe_checkpoint();
       }
       OMBX_REQUIRE(false, "fault plan never killed a rank during the spin");
     } catch (const ft::ProcFailedError& e) {
@@ -107,6 +139,7 @@ core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
     } catch (const ft::RevokedError&) {
       // Second-hand detection; this rank contributes no latency sample.
     }
+    const std::uint64_t iter_at_failure = iter_done;
 
     // ULFM recovery: revoke the broken communicator so every still-blocked
     // peer unwinds, agree on continuing, acknowledge the failures, and
@@ -126,6 +159,42 @@ core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
     const simtime::usec_t shrink_t0 = comm.now();
     mpi::Comm alive = comm.shrink();
     const double shrink_cost = alive.now() - shrink_t0;
+
+    // Checkpoint restore: survivors agree on the last complete generation,
+    // rewind their own regions, and adopt the dead ranks' buddy copies;
+    // then re-run the iterations the rollback discarded (recompute).
+    double restore_cost = 0.0;
+    double recompute_cost = 0.0;
+    double rolled_back = 0.0;
+    int restored_gen = -1;
+    if (ck) {
+      const simtime::usec_t restore_t0 = alive.now();
+      const ckpt::Checkpointer::RestoreResult rr = ck->restore(alive, failed);
+      restore_cost = alive.now() - restore_t0;
+      restored_gen = rr.generation;
+
+      // The frontier is the furthest any survivor got before the failure;
+      // after rollback every survivor re-runs up to it so the world state
+      // is back where the failure interrupted it.  Recompute only runs
+      // after a successful rollback: the rewind is what equalizes the
+      // survivors' iteration cursors (a coordinated checkpoint commits the
+      // same cursor on every rank), so the loop below issues the same
+      // number of collectives everywhere.  With no complete generation
+      // the cursors still differ by up to one and recompute is skipped
+      // (cold restart is the caller's policy).
+      if (restored_gen >= 0) {
+        const double frontier = reduce_double(
+            alive, static_cast<double>(iter_at_failure), mpi::Op::kMax);
+        rolled_back =
+            std::max(0.0, frontier - static_cast<double>(iter_done));
+        const simtime::usec_t recompute_t0 = alive.now();
+        while (static_cast<double>(iter_done) < frontier) {
+          run_once(alive, which, size, send.data(), recv.data());
+          ++iter_done;
+        }
+        recompute_cost = alive.now() - recompute_t0;
+      }
+    }
 
     // Post-shrink timed phase on the survivor communicator.
     std::vector<std::byte> recv2(size *
@@ -148,6 +217,15 @@ core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
     const double healthy_max = reduce_double(alive, healthy, mpi::Op::kMax);
     const double recovered_max = reduce_double(alive, recovered, mpi::Op::kMax);
 
+    double ckpt_cost_max = 0.0;
+    double restore_max = 0.0;
+    double recompute_max = 0.0;
+    if (ck) {
+      ckpt_cost_max = reduce_double(alive, ck->mean_cost_us(), mpi::Op::kMax);
+      restore_max = reduce_double(alive, restore_cost, mpi::Op::kMax);
+      recompute_max = reduce_double(alive, recompute_cost, mpi::Op::kMax);
+    }
+
     if (alive.rank() == 0) {
       std::lock_guard<std::mutex> lk(report_mutex);
       report.survivors = alive.size();
@@ -157,6 +235,15 @@ core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
       report.shrink_cost_us = shrink_max;
       report.healthy_latency_us = healthy_max;
       report.recovered_latency_us = recovered_max;
+      if (ck) {
+        report.ckpt_count = ck->checkpoints();
+        report.ckpt_generation = restored_gen;
+        report.rolled_back_iters = static_cast<int>(rolled_back);
+        report.ckpt_interval_us = ck->resolved_interval_us();
+        report.ckpt_cost_us = ckpt_cost_max;
+        report.restore_cost_us = restore_max;
+        report.recompute_cost_us = recompute_max;
+      }
     }
   });
 

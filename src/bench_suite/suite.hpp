@@ -62,6 +62,11 @@ enum class CollBench {
 /// ranks mid-iteration, recover via revoke/failure_ack/agree/shrink, and
 /// re-time the collective on the survivors.  Requires cfg.ft.enabled and
 /// a non-empty kill plan; supports allreduce, bcast, barrier, allgather.
+/// With cfg.ckpt.enabled the run also takes coordinated buddy-replicated
+/// checkpoints (ckpt/ckpt.hpp) and recovery extends to restore (rollback
+/// to the last complete generation, buddy fetch for dead ranks) plus
+/// recompute of the rolled-back iterations — reported in the extra
+/// FtReport fields / resilience-table rows.
 [[nodiscard]] core::FtReport run_ft_collective(const core::SuiteConfig& cfg,
                                                CollBench which);
 

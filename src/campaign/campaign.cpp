@@ -95,6 +95,24 @@ double to_prob(const std::string& key, const std::string& s) {
   return v;
 }
 
+// Non-negative finite time in microseconds (the ckpt-interval axis; 0
+// means "off" and is a legal axis value).
+double to_time_us(const std::string& key, const std::string& s) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("campaign spec: " + key +
+                                " expects a number, got: " + s);
+  }
+  if (pos != s.size() || !std::isfinite(v) || v < 0.0) {
+    throw std::invalid_argument("campaign spec: " + key +
+                                " expects a finite time >= 0 us, got: " + s);
+  }
+  return v;
+}
+
 // ---- manifest -------------------------------------------------------------
 
 std::uint64_t fnv1a64(const std::string& s) {
@@ -145,6 +163,10 @@ core::SuiteConfig cell_config(const Cell& cell, std::uint64_t rep,
   cfg.opts.iterations = cell.iterations;
   cfg.opts.warmup = cell.warmup;
   cfg.fault.drop.probability = cell.drop;
+  if (cell.ckpt_interval > 0.0) {
+    cfg.ckpt.enabled = true;
+    cfg.ckpt.interval_us = cell.ckpt_interval;
+  }
   // The manifest seed is the base; each repetition derives its own stream
   // so dispersion across reps reflects the seeded fault randomness.
   cfg.fault.seed = cell.base_seed + rep;
@@ -328,7 +350,8 @@ std::string Cell::key() const {
   std::ostringstream os;
   os << "bench=" << bench << "|cluster=" << cluster << "|tuning=" << tuning
      << "|mode=" << mode << "|np=" << np << "|ppn=" << ppn
-     << "|drop=" << dbl_exact(drop) << "|min=" << min_size
+     << "|drop=" << dbl_exact(drop) << "|ckpt=" << dbl_exact(ckpt_interval)
+     << "|min=" << min_size
      << "|max=" << max_size << "|seed=" << base_seed
      << "|iters=" << iterations << "|warmup=" << warmup
      << "|strict=" << (strict_check ? 1 : 0) << "|reps=" << reps_min << '-'
@@ -380,6 +403,11 @@ Spec parse_spec(std::istream& in) {
       for (const auto& s : split_list(val)) {
         spec.drops.push_back(to_prob(key, s));
       }
+    } else if (key == "ckpt-interval") {
+      spec.ckpt_intervals.clear();
+      for (const auto& s : split_list(val)) {
+        spec.ckpt_intervals.push_back(to_time_us(key, s));
+      }
     } else if (key == "min") {
       spec.min_size = static_cast<std::size_t>(to_u64(key, val));
     } else if (key == "max") {
@@ -415,7 +443,7 @@ Spec parse_spec(std::istream& in) {
   }
   if (spec.benches.empty() || spec.clusters.empty() || spec.tunings.empty() ||
       spec.modes.empty() || spec.nps.empty() || spec.ppns.empty() ||
-      spec.drops.empty()) {
+      spec.drops.empty() || spec.ckpt_intervals.empty()) {
     throw std::invalid_argument("campaign spec: every axis needs a value");
   }
   if (spec.reps_max < spec.reps_min) {
@@ -438,9 +466,22 @@ Spec load_spec(const std::string& path) {
 std::vector<Cell> expand(const Spec& spec) {
   core::register_suite();
   // Fail fast on any unknown axis value before a single world is built.
+  const bool ckpt_axis_live = std::any_of(
+      spec.ckpt_intervals.begin(), spec.ckpt_intervals.end(),
+      [](double v) { return v > 0.0; });
   for (const auto& b : spec.benches) {
-    if (core::Registry::instance().find(b) == nullptr) {
+    const core::BenchmarkInfo* info = core::Registry::instance().find(b);
+    if (info == nullptr) {
       throw std::invalid_argument("campaign spec: unknown benchmark: " + b);
+    }
+    // Only the blocking collectives thread the coordinated checkpoint
+    // trigger through their iteration loop; a live ckpt axis on any other
+    // category would silently measure nothing.
+    if (ckpt_axis_live &&
+        info->category != core::Category::kBlockingCollective) {
+      throw std::invalid_argument(
+          "campaign spec: ckpt-interval > 0 requires blocking-collective "
+          "benches; '" + b + "' is not one");
     }
   }
   for (const auto& c : spec.clusters) (void)bench_suite::cluster_by_name(c);
@@ -455,28 +496,32 @@ std::vector<Cell> expand(const Spec& spec) {
           for (const int np : spec.nps) {
             for (const int ppn : spec.ppns) {
               for (const double drop : spec.drops) {
-                Cell cell;
-                cell.bench = b;
-                cell.cluster = c;
-                cell.tuning = t;
-                cell.mode = m;
-                cell.np = np;
-                cell.ppn = ppn;
-                cell.drop = drop;
-                cell.min_size = spec.min_size;
-                cell.max_size = spec.max_size;
-                cell.base_seed = spec.seed;
-                cell.iterations = spec.iterations;
-                cell.warmup = spec.warmup;
-                cell.strict_check = spec.strict_check;
-                cell.reps_min = spec.reps_min;
-                cell.reps_max = spec.reps_max;
-                cell.ci_rel = spec.ci_rel;
-                // Binding the binary's sha into the hash means a code
-                // change invalidates every cached cell — results may
-                // legitimately differ across code versions.
-                cell.config_hash = fnv1a64(cell.key() + "|sha=" + git_sha());
-                cells.push_back(std::move(cell));
+                for (const double ckpt : spec.ckpt_intervals) {
+                  Cell cell;
+                  cell.bench = b;
+                  cell.cluster = c;
+                  cell.tuning = t;
+                  cell.mode = m;
+                  cell.np = np;
+                  cell.ppn = ppn;
+                  cell.drop = drop;
+                  cell.ckpt_interval = ckpt;
+                  cell.min_size = spec.min_size;
+                  cell.max_size = spec.max_size;
+                  cell.base_seed = spec.seed;
+                  cell.iterations = spec.iterations;
+                  cell.warmup = spec.warmup;
+                  cell.strict_check = spec.strict_check;
+                  cell.reps_min = spec.reps_min;
+                  cell.reps_max = spec.reps_max;
+                  cell.ci_rel = spec.ci_rel;
+                  // Binding the binary's sha into the hash means a code
+                  // change invalidates every cached cell — results may
+                  // legitimately differ across code versions.
+                  cell.config_hash =
+                      fnv1a64(cell.key() + "|sha=" + git_sha());
+                  cells.push_back(std::move(cell));
+                }
               }
             }
           }
@@ -533,8 +578,9 @@ Outcome run(const Spec& spec) {
 core::Table to_table(const Outcome& out) {
   core::Table t("OMB-X Campaign",
                 {"Bench", "Cluster", "MPI", "Mode", "NP", "PPN", "Drop",
-                 "Size", "Reps", "Mean", "Median", "Variance", "CI95-Low",
-                 "CI95-High", "Min", "Max", "Seed", "Config", "SHA"});
+                 "Ckpt", "Size", "Reps", "Mean", "Median", "Variance",
+                 "CI95-Low", "CI95-High", "Min", "Max", "Seed", "Config",
+                 "SHA"});
   for (const CellResult& res : out.results) {
     const Cell& c = res.cell;
     const auto manifest_seed = std::to_string(c.base_seed);
@@ -543,16 +589,18 @@ core::Table to_table(const Outcome& out) {
       // Explicitly skipped (every repetition failed or the cell produced
       // no rows): a visible nan row, never a fake zero.
       t.add_row({c.bench, c.cluster, c.tuning, c.mode, std::to_string(c.np),
-                 std::to_string(c.ppn), dbl_disp(c.drop), "-", "0", "nan",
-                 "nan", "nan", "nan", "nan", "nan", "nan", manifest_seed,
-                 manifest_hash, out.git_sha});
+                 std::to_string(c.ppn), dbl_disp(c.drop),
+                 dbl_disp(c.ckpt_interval), "-", "0", "nan", "nan", "nan",
+                 "nan", "nan", "nan", "nan", manifest_seed, manifest_hash,
+                 out.git_sha});
       continue;
     }
     for (const auto& r : res.rows) {
       const core::Summary& s = r.summary;
       t.add_row({c.bench, c.cluster, c.tuning, c.mode, std::to_string(c.np),
                  std::to_string(c.ppn), dbl_disp(c.drop),
-                 std::to_string(r.bytes), std::to_string(res.reps),
+                 dbl_disp(c.ckpt_interval), std::to_string(r.bytes),
+                 std::to_string(res.reps),
                  dbl_disp(s.mean), dbl_disp(s.median), dbl_disp(s.variance),
                  dbl_disp(s.ci_low), dbl_disp(s.ci_high), dbl_disp(s.min),
                  dbl_disp(s.max), manifest_seed, manifest_hash,

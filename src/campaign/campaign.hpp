@@ -51,6 +51,10 @@ struct Spec {
   std::vector<int> nps{{2}};
   std::vector<int> ppns{{1}};
   std::vector<double> drops{{0.0}};  ///< eager drop probability axis
+  /// Checkpoint-interval axis (us of virtual time between coordinated
+  /// checkpoints; 0 = checkpointing off).  Nonzero values only apply to
+  /// blocking-collective benches (expand() rejects other categories).
+  std::vector<double> ckpt_intervals{{0.0}};
 
   std::size_t min_size = 1;
   std::size_t max_size = 4096;
@@ -88,6 +92,7 @@ struct Cell {
   int np = 2;
   int ppn = 1;
   double drop = 0.0;
+  double ckpt_interval = 0.0;  ///< us between checkpoints; 0 = off
   std::size_t min_size = 1;
   std::size_t max_size = 4096;
   std::uint64_t base_seed = 0;
@@ -109,8 +114,10 @@ struct Cell {
 };
 
 /// Expand the spec into cells, in deterministic axis order (bench
-/// outermost, drop innermost).  Throws on unknown bench/cluster/tuning/
-/// mode names so a bad spec fails before any world is built.
+/// outermost, ckpt-interval innermost).  Throws on unknown bench/cluster/
+/// tuning/mode names — and on a nonzero ckpt-interval combined with a
+/// non-blocking-collective bench — so a bad spec fails before any world
+/// is built.
 [[nodiscard]] std::vector<Cell> expand(const Spec& spec);
 
 /// Aggregated result of one cell: per-size repetition summaries.

@@ -1,0 +1,354 @@
+#include "ckpt/ckpt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "check/checker.hpp"
+#include "mpi/coll_util.hpp"
+#include "mpi/collectives.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+
+namespace ombx::ckpt {
+
+namespace {
+
+/// Buddy partner as a uniform shift: with block placement ([0, ppn) on
+/// node 0, ...) a shift of ppn lands each snapshot on another node
+/// whenever the job spans more than one; on a single node fall back to
+/// the ring neighbour.  A uniform shift keeps the exchange a symmetric
+/// sendrecv pattern — rank r sends to r+s while receiving from r-s, so
+/// the pattern is deadlock-free for every n and s.
+int buddy_shift(const mpi::Comm& comm) {
+  const int n = comm.size();
+  const int ppn = comm.net().ppn();
+  return (ppn > 0 && ppn < n) ? ppn : 1;
+}
+
+}  // namespace
+
+// ---- Store -----------------------------------------------------------------
+
+Store::Store(int nranks) : nranks_(nranks) {
+  OMBX_REQUIRE(nranks >= 2, "checkpoint store needs at least 2 ranks");
+}
+
+std::size_t Store::RankSnap::total_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& r : regions) total += r.size();
+  return total;
+}
+
+void Store::commit(int gen, int rank, RankSnap snap) {
+  std::lock_guard<std::mutex> lk(m_);
+  OMBX_REQUIRE(rank >= 0 && rank < nranks_,
+               "checkpoint commit from an out-of-range rank");
+  auto& slots = gens_[gen];
+  if (slots.empty()) slots.resize(static_cast<std::size_t>(nranks_));
+  auto& slot = slots[static_cast<std::size_t>(rank)];
+  OMBX_REQUIRE(!slot.has_value(), "duplicate checkpoint commit");
+  slot.emplace(std::move(snap));
+}
+
+int Store::last_complete_generation() const {
+  std::lock_guard<std::mutex> lk(m_);
+  int best = -1;
+  for (const auto& [gen, slots] : gens_) {
+    const bool complete = std::all_of(
+        slots.begin(), slots.end(),
+        [](const std::optional<RankSnap>& s) { return s.has_value(); });
+    if (complete) best = std::max(best, gen);
+  }
+  return best;
+}
+
+const Store::RankSnap* Store::find(int gen, int rank) const {
+  std::lock_guard<std::mutex> lk(m_);
+  auto it = gens_.find(gen);
+  if (it == gens_.end()) return nullptr;
+  if (rank < 0 || rank >= static_cast<int>(it->second.size())) return nullptr;
+  const auto& slot = it->second[static_cast<std::size_t>(rank)];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+// ---- Checkpointer ----------------------------------------------------------
+
+Checkpointer::Checkpointer(mpi::Comm& comm, Store& store,
+                           const CkptConfig& cfg)
+    : comm_(&comm), store_(&store), cfg_(cfg) {
+  OMBX_REQUIRE(comm.size() == store.nranks(),
+               "checkpoint store sized for a different world");
+  const int n = comm.size();
+  const int s = buddy_shift(comm);
+  const int me = comm.rank();
+  buddy_ = comm.world_rank((me + s) % n);
+  buddy_src_ = comm.world_rank((me - s + n) % n);
+}
+
+void Checkpointer::register_region(std::string name, void* data,
+                                   std::size_t bytes) {
+  OMBX_REQUIRE(data != nullptr || bytes == 0,
+               "checkpoint region must point at real state");
+  regions_.push_back(
+      Region{std::move(name), static_cast<std::byte*>(data), bytes});
+}
+
+int Checkpointer::checkpoint() {
+  mpi::Comm& c = *comm_;
+  const int me_world = c.world_rank(c.rank());
+  const usec_t t_enter = c.now();
+
+  // Align the epoch: every rank snapshots from the same collective cut,
+  // so a restored generation is globally consistent.
+  mpi::barrier(c);
+
+  // Local snapshot: a priced memory copy of every registered region.
+  Store::RankSnap snap;
+  snap.taken_at = c.now();
+  snap.buddy = buddy_;
+  std::size_t total = 0;
+  snap.regions.reserve(regions_.size());
+  for (const Region& r : regions_) {
+    std::vector<std::byte> copy(r.bytes);
+    if (r.bytes > 0) std::memcpy(copy.data(), r.data, r.bytes);
+    total += r.bytes;
+    snap.regions.push_back(std::move(copy));
+  }
+  c.charge_bytes(static_cast<double>(total));
+
+  // Buddy replication: a symmetric shift exchange over the substrate so
+  // the copy is priced by the network model.  Internal traffic — the
+  // strict checker must not pin these transient buffers, and the payload
+  // itself is snapshot metadata, not application communication.
+  {
+    check::InternalOp internal(c.engine().checker(), me_world);
+    std::uint64_t my_bytes = total;
+    std::uint64_t buddy_bytes = 0;
+    const int dst = (c.rank() + buddy_shift(c)) % c.size();
+    const int src = (c.rank() - buddy_shift(c) + c.size()) % c.size();
+    (void)c.sendrecv(
+        mpi::ConstView{reinterpret_cast<const std::byte*>(&my_bytes),
+                       sizeof(my_bytes)},
+        dst, mpi::detail::kTagCkpt,
+        mpi::MutView{reinterpret_cast<std::byte*>(&buddy_bytes),
+                     sizeof(buddy_bytes)},
+        src, mpi::detail::kTagCkpt);
+    // The payload exchange is synthetic-friendly: the snapshot already
+    // lives in the Store, so the wire carries a null view of the right
+    // size — full virtual-time cost, no second host copy.
+    (void)c.sendrecv(
+        mpi::ConstView{nullptr, static_cast<std::size_t>(my_bytes)}, dst,
+        mpi::detail::kTagCkpt,
+        mpi::MutView{nullptr, static_cast<std::size_t>(buddy_bytes)}, src,
+        mpi::detail::kTagCkpt);
+  }
+  snap.replicated = true;
+
+  const int gen = next_gen_++;
+  store_->commit(gen, me_world, std::move(snap));
+  gen_ = gen;
+  ++count_;
+  last_cost_ = c.now() - t_enter;
+  total_cost_ += last_cost_;
+  bump_counters(/*checkpoints=*/1, /*bytes=*/total, /*restores=*/0,
+                /*rolled_back_us=*/0);
+  return gen;
+}
+
+double Checkpointer::mtbf_us() const {
+  if (cfg_.mtbf_us > 0.0) return cfg_.mtbf_us;
+  // Derive from the fault plan: the earliest scheduled kill is the one
+  // failure this run will actually see.
+  double earliest = 0.0;
+  if (const fault::FaultPlan* plan = comm_->engine().fault_plan()) {
+    for (int r = 0; r < store_->nranks(); ++r) {
+      if (auto t = plan->kill_time(r)) {
+        earliest = (earliest == 0.0) ? *t : std::min(earliest, *t);
+      }
+    }
+  }
+  return earliest > 0.0 ? earliest : 1e6;
+}
+
+bool Checkpointer::maybe_checkpoint() {
+  mpi::Comm& c = *comm_;
+  // First call: take the baseline generation and start calibrating.
+  if (count_ == 0) {
+    (void)checkpoint();
+    calib_t1_ = c.now();
+    calls_since_ckpt_ = 0;
+    return true;
+  }
+  // Second call: one small max-allreduce agrees on the per-iteration cost
+  // and the checkpoint cost, from which every rank derives the identical
+  // stride.  (A local-clock trigger would make ranks disagree about
+  // whether an interval boundary was crossed — a collective mismatch.)
+  if (stride_ == 0) {
+    double in[2] = {c.now() - calib_t1_, last_cost_};
+    double out[2] = {0.0, 0.0};
+    {
+      check::InternalOp internal(c.engine().checker(),
+                                 c.world_rank(c.rank()));
+      mpi::allreduce(c,
+                     mpi::ConstView{reinterpret_cast<const std::byte*>(in),
+                                    sizeof(in)},
+                     mpi::MutView{reinterpret_cast<std::byte*>(out),
+                                  sizeof(out)},
+                     mpi::Datatype::kDouble, mpi::Op::kMax);
+    }
+    const double t_iter = std::max(out[0], 1e-9);
+    const double delta = std::max(out[1], 1e-9);
+    resolved_interval_ =
+        cfg_.daly ? std::sqrt(2.0 * delta * mtbf_us()) : cfg_.interval_us;
+    stride_ = std::max(
+        1, static_cast<int>(std::lround(resolved_interval_ / t_iter)));
+    calls_since_ckpt_ = 1;  // the calibration iteration itself
+    return false;
+  }
+  if (++calls_since_ckpt_ < stride_) return false;
+  (void)checkpoint();
+  calls_since_ckpt_ = 0;
+  return true;
+}
+
+Checkpointer::RestoreResult Checkpointer::restore(
+    mpi::Comm& alive, const std::vector<int>& failed) {
+  const int me_world = alive.world_rank(alive.rank());
+  const usec_t t_enter = alive.now();
+  RestoreResult res;
+
+  // Entry barrier on the survivors: nobody rewinds state while a peer may
+  // still be pushing pre-failure traffic at it.
+  mpi::barrier(alive);
+
+  // Agree on the rollback target.  last_complete_generation() is already
+  // a pure function of the committed set, but real survivors would have
+  // to agree over the wire — a min-allreduce models (and prices) that.
+  double g_local = static_cast<double>(store_->last_complete_generation());
+  double g_agreed = 0.0;
+  {
+    check::InternalOp internal(alive.engine().checker(), me_world);
+    mpi::allreduce(alive,
+                   mpi::ConstView{reinterpret_cast<const std::byte*>(&g_local),
+                                  sizeof(g_local)},
+                   mpi::MutView{reinterpret_cast<std::byte*>(&g_agreed),
+                                sizeof(g_agreed)},
+                   mpi::Datatype::kDouble, mpi::Op::kMin);
+  }
+  res.generation = static_cast<int>(g_agreed);
+  if (res.generation < 0) {
+    mpi::barrier(alive);  // exit barrier still aligns the cold restart
+    return res;
+  }
+
+  // Rewind this rank's own regions from its primary snapshot (a priced
+  // local copy, mirroring the snapshot cost).
+  const Store::RankSnap* mine = store_->find(res.generation, me_world);
+  OMBX_REQUIRE_AT(mine != nullptr,
+                  "agreed checkpoint generation missing own snapshot",
+                  me_world, alive.context());
+  OMBX_REQUIRE_AT(mine->regions.size() == regions_.size(),
+                  "checkpoint region registration changed since snapshot",
+                  me_world, alive.context());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    const auto& saved = mine->regions[i];
+    OMBX_REQUIRE_AT(saved.size() == regions_[i].bytes,
+                    "checkpoint region size changed since snapshot",
+                    me_world, alive.context());
+    if (!saved.empty()) {
+      std::memcpy(regions_[i].data, saved.data(), saved.size());
+    }
+    total += saved.size();
+  }
+  alive.charge_bytes(static_cast<double>(total));
+  res.rolled_back_us = std::max(0.0, t_enter - mine->taken_at);
+
+  // Adopt the dead ranks' state from their buddy copies.  Survivor list
+  // and failed list are identical on every rank (both derive from the
+  // shrunken communicator), so adopter selection is deterministic:
+  // a dead rank is adopted by its closest surviving successor.
+  std::vector<int> survivors(static_cast<std::size_t>(alive.size()));
+  for (int r = 0; r < alive.size(); ++r) {
+    survivors[static_cast<std::size_t>(r)] = alive.world_rank(r);
+  }
+  const int world_n = store_->nranks();
+  for (int dead : failed) {
+    const Store::RankSnap* snap = store_->find(res.generation, dead);
+    OMBX_REQUIRE_AT(snap != nullptr,
+                    "agreed checkpoint generation missing a dead rank",
+                    me_world, alive.context());
+    const bool host_alive =
+        snap->replicated &&
+        std::binary_search(survivors.begin(), survivors.end(), snap->buddy);
+    if (!host_alive) {
+      throw SnapshotUnavailableError(dead, snap->buddy, res.generation);
+    }
+    // Closest surviving world rank after `dead`, wrapping.
+    int adopter = -1;
+    for (int off = 1; off < world_n && adopter < 0; ++off) {
+      const int cand = (dead + off) % world_n;
+      if (std::binary_search(survivors.begin(), survivors.end(), cand)) {
+        adopter = cand;
+      }
+    }
+    OMBX_REQUIRE_AT(adopter >= 0, "restore found no surviving adopter",
+                    me_world, alive.context());
+    if (snap->buddy != adopter) {
+      // Price the buddy -> adopter transfer as real internal traffic.
+      const auto host_it =
+          std::find(survivors.begin(), survivors.end(), snap->buddy);
+      const auto adopt_it =
+          std::find(survivors.begin(), survivors.end(), adopter);
+      const int host_cr =
+          static_cast<int>(host_it - survivors.begin());
+      const int adopt_cr =
+          static_cast<int>(adopt_it - survivors.begin());
+      const std::size_t bytes = snap->total_bytes();
+      check::InternalOp internal(alive.engine().checker(), me_world);
+      if (alive.rank() == host_cr) {
+        alive.send(mpi::ConstView{nullptr, bytes}, adopt_cr,
+                   mpi::detail::kTagCkpt);
+      } else if (alive.rank() == adopt_cr) {
+        (void)alive.recv(mpi::MutView{nullptr, bytes}, host_cr,
+                         mpi::detail::kTagCkpt);
+      }
+    }
+    if (me_world == adopter) {
+      adopted_[dead] = snap;
+      res.adopted.push_back(dead);
+    }
+  }
+
+  // Exit barrier: restored state is visible everywhere before anyone
+  // resumes application traffic.
+  mpi::barrier(alive);
+  gen_ = res.generation;
+  bump_counters(/*checkpoints=*/0, /*bytes=*/0, /*restores=*/1,
+                static_cast<std::uint64_t>(res.rolled_back_us));
+  return res;
+}
+
+const std::vector<std::byte>* Checkpointer::adopted_region(
+    int dead_rank, std::size_t index) const {
+  auto it = adopted_.find(dead_rank);
+  if (it == adopted_.end()) return nullptr;
+  if (index >= it->second->regions.size()) return nullptr;
+  return &it->second->regions[index];
+}
+
+void Checkpointer::bump_counters(std::uint64_t checkpoints,
+                                 std::uint64_t bytes, std::uint64_t restores,
+                                 std::uint64_t rolled_back_us) {
+  obs::Metrics* m = comm_->engine().metrics();
+  if (m == nullptr) return;
+  obs::RankCounters& c = m->rank(comm_->world_rank(comm_->rank()));
+  if (checkpoints > 0) obs::bump(c.ckpt_checkpoints, checkpoints);
+  if (bytes > 0) obs::bump(c.ckpt_bytes_replicated, bytes);
+  if (restores > 0) obs::bump(c.ckpt_restores, restores);
+  if (rolled_back_us > 0) obs::bump(c.ckpt_rolled_back_us, rolled_back_us);
+}
+
+}  // namespace ombx::ckpt

@@ -1,0 +1,230 @@
+// Application-level coordinated checkpoint/restart with buddy
+// replication, layered on the FT substrate (ft/ft.hpp).
+//
+// Ranks register named state regions with a Checkpointer; checkpoint()
+// runs as a collective epoch: a barrier aligns the ranks, each rank
+// snapshots its regions into the shared Store (a priced local copy), and
+// buddy-replicates the snapshot to a partner rank over the real substrate
+// (a sendrecv priced through net::NetworkModel, so checkpoint cost is
+// visible in virtual time).  The partner is topology-aware: ranks shift by
+// ppn so the copy lands on the next node when the job spans several nodes
+// (block placement, see net/topology.hpp), falling back to the ring
+// neighbour on a single node.
+//
+// Recovery composes with ULFM: after revoke/agree/shrink, survivors call
+// restore() on the shrunken communicator.  The world rolls back to the
+// last *complete* generation (every rank committed), each survivor
+// rewinds its own regions from its primary snapshot, and every dead
+// rank's state is fetched from its buddy copy by a deterministic adopter
+// (the dead rank's closest surviving successor) — a real priced transfer
+// when the adopter is not the buddy host itself.  A dead rank's primary
+// snapshot died with it; if its buddy is also dead the state is genuinely
+// unrecoverable and restore() raises SnapshotUnavailableError naming both.
+//
+// Interval policy: coordinated checkpoints must be entered by every rank,
+// so the trigger cannot be each rank's (slightly divergent) local clock.
+// maybe_checkpoint() is called once per application iteration; on its
+// second call the ranks agree — one small max-allreduce — on the measured
+// per-iteration virtual cost and the gen-0 checkpoint cost, and convert
+// the requested interval into an iteration stride every rank computes
+// identically.  Daly mode derives the interval as the Young/Daly optimum
+// tau = sqrt(2 * delta * MTBF), with delta the agreed checkpoint cost and
+// the MTBF taken from the config or (by default) the fault plan's
+// earliest kill time.
+//
+// Contracts inherited from the rest of the codebase:
+//   - determinism: every decision is a pure function of virtual time and
+//     the seeded plan, so double runs are byte-identical (threads and
+//     fibers alike);
+//   - no-hang: every blocking point is ordinary substrate traffic, so the
+//     restore barriers are watchdog-backstopped and park fiber-aware via
+//     sched::WaitQueue like any other wait;
+//   - zero perturbation: nothing here is constructed unless
+//     CkptConfig::enabled is set, and a disabled config leaves every
+//     benchmark output byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/error.hpp"
+#include "simtime/clock.hpp"
+
+namespace ombx::ckpt {
+
+using simtime::usec_t;
+
+/// Checkpoint/restart knobs (--ckpt-interval / --ckpt-mtbf).  The
+/// all-defaults config disables the subsystem entirely.
+struct CkptConfig {
+  bool enabled = false;
+  /// Target virtual-time spacing between checkpoints, converted to an
+  /// iteration stride at calibration (see header comment).  Ignored when
+  /// `daly` is set.
+  double interval_us = 0.0;
+  /// Young/Daly optimal-interval mode (--ckpt-interval daly).
+  bool daly = false;
+  /// Mean time between failures for the Daly formula; 0 derives it from
+  /// the fault plan's earliest kill time (default 1e6 us with no kills).
+  double mtbf_us = 0.0;
+};
+
+/// A dead rank's state could not be recovered: its primary snapshot died
+/// with it and its buddy copy is on another dead rank.
+class SnapshotUnavailableError : public mpi::Error {
+ public:
+  SnapshotUnavailableError(int dead_rank, int buddy_rank, int generation)
+      : mpi::Error("checkpoint generation " + std::to_string(generation) +
+                       " for dead rank " + std::to_string(dead_rank) +
+                       " is unrecoverable: buddy rank " +
+                       std::to_string(buddy_rank) + " also failed",
+                   dead_rank),
+        buddy_(buddy_rank),
+        generation_(generation) {}
+
+  [[nodiscard]] int buddy_rank() const noexcept { return buddy_; }
+  [[nodiscard]] int generation() const noexcept { return generation_; }
+
+ private:
+  int buddy_;
+  int generation_;
+};
+
+/// Shared snapshot store for one world: (generation, rank) -> committed
+/// region bytes plus replication metadata.  Thread-safe; committed
+/// snapshots are immutable, so pointers returned by find() stay valid for
+/// the Store's lifetime.  One Store is shared by every rank of a world
+/// (construct it outside World::run), mirroring the simulated reality
+/// that each rank's primary snapshot lives in its own memory and the
+/// buddy copy in its partner's.
+class Store {
+ public:
+  explicit Store(int nranks);
+
+  [[nodiscard]] int nranks() const noexcept { return nranks_; }
+
+  /// One rank's committed snapshot of one generation.
+  struct RankSnap {
+    usec_t taken_at = 0.0;  ///< virtual time of the snapshot copy
+    std::vector<std::vector<std::byte>> regions;  ///< registration order
+    bool replicated = false;  ///< buddy exchange completed
+    int buddy = -1;           ///< world rank holding the buddy copy
+    [[nodiscard]] std::size_t total_bytes() const noexcept;
+  };
+
+  /// Commit `rank`'s snapshot of generation `gen` (exactly once per
+  /// (gen, rank); a rank that dies mid-checkpoint simply never commits,
+  /// leaving the generation incomplete).
+  void commit(int gen, int rank, RankSnap snap);
+
+  /// Largest generation every rank committed, -1 when none.  A pure
+  /// function of the committed set, so all survivors compute the same
+  /// value.
+  [[nodiscard]] int last_complete_generation() const;
+
+  /// Committed snapshot for (gen, rank), null when absent.
+  [[nodiscard]] const RankSnap* find(int gen, int rank) const;
+
+ private:
+  mutable std::mutex m_;
+  int nranks_;
+  /// gen -> per-rank slot (engaged once committed).
+  std::map<int, std::vector<std::optional<RankSnap>>> gens_;
+};
+
+/// Per-rank checkpoint/restart driver.  Construct one per rank inside the
+/// rank program, register the state regions, then either call
+/// checkpoint() at chosen points or maybe_checkpoint() once per
+/// application iteration for interval-driven operation.
+class Checkpointer {
+ public:
+  /// `comm` is the communicator checkpoints run on (usually the world
+  /// communicator); `store` is the world-shared Store.
+  Checkpointer(mpi::Comm& comm, Store& store, const CkptConfig& cfg);
+
+  /// Register a named state region (captured by pointer; must outlive the
+  /// Checkpointer).  Registration order defines the region index used by
+  /// adopted_region().  Not collective, but every rank must register
+  /// byte-wise compatible regions in the same order.
+  void register_region(std::string name, void* data, std::size_t bytes);
+
+  /// Collective checkpoint epoch: barrier, priced local snapshot, priced
+  /// buddy exchange, commit.  Returns the committed generation.
+  int checkpoint();
+
+  /// Interval-driven trigger; call once per application iteration on
+  /// every rank.  Returns true when a checkpoint was taken.  See the
+  /// header comment for the calibration protocol.
+  [[nodiscard]] bool maybe_checkpoint();
+
+  struct RestoreResult {
+    int generation = -1;       ///< generation restored (-1: none complete)
+    std::vector<int> adopted;  ///< dead world ranks this rank adopted
+    usec_t rolled_back_us = 0.0;  ///< work discarded: entry - snapshot time
+  };
+
+  /// Collective over the survivors (call on the shrunken communicator
+  /// with the failed world ranks from get_failed()): agree on the last
+  /// complete generation, rewind own regions, fetch dead ranks' buddy
+  /// copies.  Throws SnapshotUnavailableError when a dead rank's buddy
+  /// also died.  generation == -1 means no complete checkpoint exists and
+  /// nothing was restored (cold restart is the caller's policy).
+  RestoreResult restore(mpi::Comm& alive, const std::vector<int>& failed);
+
+  /// After restore(): region `index` of an adopted dead rank (null when
+  /// this rank is not its adopter).
+  [[nodiscard]] const std::vector<std::byte>* adopted_region(
+      int dead_rank, std::size_t index) const;
+
+  [[nodiscard]] int buddy() const noexcept { return buddy_; }
+  [[nodiscard]] int generation() const noexcept { return gen_; }
+  [[nodiscard]] int checkpoints() const noexcept { return count_; }
+  [[nodiscard]] double last_cost_us() const noexcept { return last_cost_; }
+  [[nodiscard]] double mean_cost_us() const noexcept {
+    return count_ > 0 ? total_cost_ / count_ : 0.0;
+  }
+  /// Interval after calibration (daly resolves tau here); 0 before.
+  [[nodiscard]] double resolved_interval_us() const noexcept {
+    return resolved_interval_;
+  }
+  /// Iteration stride after calibration; 0 before.
+  [[nodiscard]] int stride() const noexcept { return stride_; }
+
+ private:
+  struct Region {
+    std::string name;
+    std::byte* data;
+    std::size_t bytes;
+  };
+
+  [[nodiscard]] double mtbf_us() const;
+  void bump_counters(std::uint64_t checkpoints, std::uint64_t bytes,
+                     std::uint64_t restores, std::uint64_t rolled_back_us);
+
+  mpi::Comm* comm_;
+  Store* store_;
+  CkptConfig cfg_;
+  std::vector<Region> regions_;
+  int buddy_ = -1;      ///< world rank my snapshot replicates to
+  int buddy_src_ = -1;  ///< world rank whose snapshot replicates to me
+  int next_gen_ = 0;
+  int gen_ = -1;  ///< last generation this rank committed
+  int count_ = 0;
+  double last_cost_ = 0.0;
+  double total_cost_ = 0.0;
+  // maybe_checkpoint calibration state.
+  int calls_since_ckpt_ = 0;
+  int stride_ = 0;
+  double resolved_interval_ = 0.0;
+  usec_t calib_t1_ = -1.0;
+  // Adopted snapshots, keyed by dead world rank.
+  std::map<int, const Store::RankSnap*> adopted_;
+};
+
+}  // namespace ombx::ckpt

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "buffers/buffer.hpp"
+#include "ckpt/ckpt.hpp"
 #include "fault/fault.hpp"
 #include "ft/ft.hpp"
 #include "mpi/engine.hpp"
@@ -110,6 +111,10 @@ struct SuiteConfig {
   /// ULFM-style fault tolerance (--ft): a kill dead-marks the rank and
   /// the benchmark recovers via revoke/shrink/agree instead of aborting.
   ft::FtConfig ft;
+  /// Coordinated checkpoint/restart (--ckpt-interval); layered on FT so
+  /// recovery becomes revoke/agree/shrink/restore/recompute.  Disabled by
+  /// default and fully absent from the run when disabled.
+  ckpt::CkptConfig ckpt;
   /// Metrics / trace exports (off unless paths are set).
   ObsOptions obs;
   /// MPI-usage verification (off by default).

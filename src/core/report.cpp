@@ -152,6 +152,7 @@ Table resilience_table(const fault::FaultPlan& plan) {
   row("eager drops", c.drops);
   row("retransmits", c.retransmits);
   row("payload corruptions", c.corruptions);
+  row("messages lost", c.messages_lost);
   row("degraded-window messages", c.degraded_messages);
   row("rank kills", c.kills);
   row("abort propagations", c.aborts);
@@ -185,6 +186,17 @@ Table ft_resilience_table(const FtReport& r) {
   t.add_row({"healthy collective latency (us)", us(r.healthy_latency_us)});
   t.add_row({"post-shrink collective latency (us)",
              us(r.recovered_latency_us)});
+  // Checkpoint/restart breakdown — gated so plain FT output is untouched
+  // by the ckpt subsystem merely being compiled in (zero perturbation).
+  if (r.ckpt_enabled) {
+    t.add_row({"checkpoints taken", std::to_string(r.ckpt_count)});
+    t.add_row({"checkpoint interval (us)", us(r.ckpt_interval_us)});
+    t.add_row({"checkpoint cost (us)", us(r.ckpt_cost_us)});
+    t.add_row({"restored generation", std::to_string(r.ckpt_generation)});
+    t.add_row({"restore cost (us)", us(r.restore_cost_us)});
+    t.add_row({"rolled-back iterations", std::to_string(r.rolled_back_iters)});
+    t.add_row({"recompute cost (us)", us(r.recompute_cost_us)});
+  }
   return t;
 }
 

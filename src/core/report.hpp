@@ -69,6 +69,18 @@ struct FtReport {
   double shrink_cost_us = 0.0;     ///< shrink completion - entry
   double healthy_latency_us = 0.0;    ///< per-iteration, before the kill
   double recovered_latency_us = 0.0;  ///< per-iteration, on the survivors
+
+  // Checkpoint/restart extension (--ckpt-interval; ckpt/ckpt.hpp).  The
+  // rows below only appear when ckpt_enabled, so plain FT output stays
+  // byte-identical with the ckpt subsystem compiled in but off.
+  bool ckpt_enabled = false;
+  int ckpt_count = 0;          ///< checkpoints taken before the failure
+  int ckpt_generation = -1;    ///< generation the world rolled back to
+  int rolled_back_iters = 0;   ///< iterations redone after restore
+  double ckpt_interval_us = 0.0;  ///< resolved interval (daly included)
+  double ckpt_cost_us = 0.0;      ///< mean per-checkpoint cost
+  double restore_cost_us = 0.0;   ///< restore barrier + fetch, max rank
+  double recompute_cost_us = 0.0; ///< re-running rolled-back iterations
 };
 
 /// Fixed-row table over an FtReport ("resilience_table extension" in the

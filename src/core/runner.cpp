@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "mpi/error.hpp"
+#include "sched/sched.hpp"
 
 namespace ombx::core {
 
@@ -66,6 +67,7 @@ void export_observability(mpi::World& world, const SuiteConfig& cfg,
           plan_row("drops", c.drops);
           plan_row("retransmits", c.retransmits);
           plan_row("corruptions", c.corruptions);
+          plan_row("messages_lost", c.messages_lost);
           plan_row("kills", c.kills);
           plan_row("retries", c.retries);
           plan_row("detections", c.detections);
@@ -117,8 +119,10 @@ RunOutcome run_with_retry(mpi::World& world,
        ++attempt) {
     if (attempt > 0) {
       if (backoff > 0.0) {
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(backoff));
+        // Fiber-aware: under the fiber backend a plain sleep_for would
+        // host-sleep a pool worker and starve concurrent worlds (e.g.
+        // parallel campaign cells); backoff_sleep parks/yields instead.
+        sched::backoff_sleep(backoff);
         backoff *= policy.backoff_multiplier;
       }
       if (fault::FaultPlan* plan = world.fault_plan()) {

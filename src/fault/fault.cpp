@@ -73,6 +73,15 @@ MessageFaults FaultPlan::draw_message(int src, int dst, std::size_t bytes,
       counters_.drops.fetch_add(n, std::memory_order_relaxed);
       counters_.retransmits.fetch_add(n, std::memory_order_relaxed);
     }
+    // The loop exits either because a transmission landed or because the
+    // cap was hit (short-circuit: no draw is consumed on the cap exit, so
+    // the stream is identical under both exhaustion policies).  Hitting
+    // the cap is a lost message when the config says exhaustion is real.
+    if (out.retransmits >= cfg_.drop.max_retries &&
+        cfg_.drop.fail_on_exhaustion) {
+      out.lost = true;
+      counters_.messages_lost.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   if (cfg_.corrupt.probability > 0.0 &&
       to_unit(sm.next()) < cfg_.corrupt.probability) {

@@ -32,7 +32,15 @@ using simtime::usec_t;
 struct DropSpec {
   double probability = 0.0;  ///< per-transmission-attempt drop chance
   usec_t retransmit_timeout_us = 50.0;
-  int max_retries = 16;  ///< attempts are capped so arrival always happens
+  int max_retries = 16;  ///< retransmission cap (see fail_on_exhaustion)
+  /// What retry exhaustion means.  Default false: the attempt after the
+  /// cap always lands (the historical "arrival always happens" model —
+  /// drops only cost virtual time).  True: exhausting the cap loses the
+  /// message for real and the sender unwinds with a rank-attributed
+  /// mpi::MessageLostError (--drop-lost).  The drawn random stream is
+  /// identical either way, so flipping this flag never perturbs the fault
+  /// schedule of messages that do arrive.
+  bool fail_on_exhaustion = false;
 };
 
 /// Randomly corrupt message payloads (single deterministic byte flip).
@@ -85,6 +93,9 @@ struct MessageFaults {
   int retransmits = 0;  ///< dropped attempts before the one that lands
   bool corrupt = false;
   std::size_t corrupt_offset = 0;  ///< byte to flip when corrupting
+  /// Retry cap exhausted under DropSpec::fail_on_exhaustion: the message
+  /// never arrives and the sender must raise MessageLostError.
+  bool lost = false;
 };
 
 class FaultPlan {
@@ -97,6 +108,8 @@ class FaultPlan {
     std::atomic<std::uint64_t> drops{0};         ///< dropped transmissions
     std::atomic<std::uint64_t> retransmits{0};   ///< == drops (re-sent)
     std::atomic<std::uint64_t> corruptions{0};
+    /// Messages lost to retry exhaustion (fail_on_exhaustion only).
+    std::atomic<std::uint64_t> messages_lost{0};
     std::atomic<std::uint64_t> degraded_messages{0};
     std::atomic<std::uint64_t> kills{0};
     std::atomic<std::uint64_t> aborts{0};          ///< abort propagations

@@ -29,6 +29,7 @@ inline constexpr int kTagAllgather = 0x7e000007;
 inline constexpr int kTagAlltoall = 0x7e000008;
 inline constexpr int kTagReduceScatter = 0x7e000009;
 inline constexpr int kTagVector = 0x7e00000a;
+inline constexpr int kTagCkpt = 0x7e00000b;  ///< ckpt buddy/restore traffic
 
 /// Largest power of two <= n (n >= 1).
 [[nodiscard]] constexpr int pow2_below(int n) noexcept {

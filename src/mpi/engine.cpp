@@ -133,6 +133,17 @@ std::shared_ptr<SyncCell> Engine::post_send(int src_world, int dst_world,
     injected = fault_->draw_message(src_world, dst_world, v.bytes, eager);
     msg.corrupt = injected.corrupt;
     msg.corrupt_offset = injected.corrupt_offset;
+    if (injected.lost) {
+      // Retry budget exhausted under DropSpec::fail_on_exhaustion: the
+      // sender burned the full retransmission window learning the link is
+      // dead, then unwinds.  The charge keeps the failure priced (and
+      // deterministic) in virtual time; nothing was enqueued, so no
+      // receiver-side state needs cleanup.
+      st.clock.advance(static_cast<usec_t>(injected.retransmits) *
+                       fault_->config().drop.retransmit_timeout_us);
+      throw MessageLostError(src_world, dst_world, injected.retransmits,
+                             tag);
+    }
   }
   const double straggle =
       fault_ ? fault_->straggler_factor(src_world) : 1.0;

@@ -94,6 +94,28 @@ class RankKilledError : public Error {
   double at_time_us_;
 };
 
+/// An eager message exhausted its retransmission budget on a lossy link
+/// (fault::DropSpec with fail_on_exhaustion set): the payload never
+/// arrives and the sender unwinds here.  `rank()` is the sending world
+/// rank; dst_rank()/attempts() identify the doomed transfer.
+class MessageLostError : public Error {
+ public:
+  MessageLostError(int src_rank, int dst_rank, int attempts, int tag)
+      : Error("message to rank " + std::to_string(dst_rank) + " (tag " +
+                  std::to_string(tag) + ") lost after " +
+                  std::to_string(attempts) + " retransmission attempts",
+              src_rank),
+        dst_rank_(dst_rank),
+        attempts_(attempts) {}
+
+  [[nodiscard]] int dst_rank() const noexcept { return dst_rank_; }
+  [[nodiscard]] int attempts() const noexcept { return attempts_; }
+
+ private:
+  int dst_rank_;
+  int attempts_;
+};
+
 /// Throw the error form matching an AbortInfo (DeadlockError for watchdog
 /// aborts, AbortedError otherwise).
 [[noreturn]] inline void throw_aborted(const fault::AbortInfo& info) {

@@ -37,6 +37,10 @@ constexpr Field kFields[] = {
     {"sched_forced_divergences", &RankCounters::sched_forced_divergences},
     {"sched_ft_wake_ties", &RankCounters::sched_ft_wake_ties},
     {"sched_rendezvous_claims", &RankCounters::sched_rendezvous_claims},
+    {"ckpt_checkpoints", &RankCounters::ckpt_checkpoints},
+    {"ckpt_bytes_replicated", &RankCounters::ckpt_bytes_replicated},
+    {"ckpt_restores", &RankCounters::ckpt_restores},
+    {"ckpt_rolled_back_us", &RankCounters::ckpt_rolled_back_us},
 };
 
 }  // namespace

@@ -102,6 +102,16 @@ struct alignas(64) RankCounters {
   std::atomic<std::uint64_t> sched_forced_divergences{0};
   std::atomic<std::uint64_t> sched_ft_wake_ties{0};
   std::atomic<std::uint64_t> sched_rendezvous_claims{0};
+
+  // Checkpoint/restart events (ckpt/ckpt.hpp; nonzero only when
+  // checkpointing is enabled).  ckpt_rolled_back_us is the whole
+  // microseconds of virtual-time work discarded by rollbacks this rank
+  // observed; all four are program-order quantities under the ckpt
+  // determinism contract.
+  std::atomic<std::uint64_t> ckpt_checkpoints{0};
+  std::atomic<std::uint64_t> ckpt_bytes_replicated{0};
+  std::atomic<std::uint64_t> ckpt_restores{0};
+  std::atomic<std::uint64_t> ckpt_rolled_back_us{0};
 };
 
 /// The per-rank counter table.  One block per world rank, fixed at

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
@@ -409,6 +410,23 @@ void maybe_yield() noexcept {
   if (f == nullptr) return;
   f->yield_ = true;
   f->switch_out();
+}
+
+void backoff_sleep(double ms) {
+  if (ms <= 0.0) return;
+  if (tls_fiber == nullptr) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+    return;
+  }
+  // On a fiber, host-sleeping would take the pool worker down with us and
+  // starve every other fiber queued on it.  Yield-loop instead: each pass
+  // requeues this fiber behind all runnable work, so the pool stays busy
+  // while we wait out the backoff.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(ms));
+  while (std::chrono::steady_clock::now() < deadline) maybe_yield();
 }
 
 // ---- WaitQueue --------------------------------------------------------------

@@ -90,6 +90,13 @@ class FiberPool;
 /// a poller has no "next virtual event" to sort by.
 void maybe_yield() noexcept;
 
+/// Backend-aware host-time sleep for retry backoff.  On a plain thread
+/// this is std::this_thread::sleep_for; on a fiber it yields in a loop
+/// until the deadline, so the worker keeps serving other fibers instead
+/// of being host-slept out from under them (which would starve every
+/// concurrent world sharing the pool — e.g. parallel campaign cells).
+void backoff_sleep(double ms);
+
 /// Process-wide fiber scheduler.  One instance serves every World in
 /// fiber mode, so concurrent campaign cells share the worker pool instead
 /// of multiplying host threads by np.

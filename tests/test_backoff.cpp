@@ -1,0 +1,126 @@
+// sched::backoff_sleep tests: the retry backoff must be fiber-aware.  On
+// a plain thread it is an ordinary host sleep; on a fiber it must yield
+// the worker so peer fibers keep making progress — a blocking sleep on a
+// one-worker pool would starve every other rank for the whole backoff.
+//
+// This is its own binary so OMBX_SCHED_WORKERS=1 can be pinned before the
+// process-wide FiberPool spins up its workers (the pool reads the
+// variable exactly once).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "mpi/world.hpp"
+#include "sched/sched.hpp"
+
+using namespace ombx;
+using mpi::Comm;
+
+namespace {
+
+#define OMBX_SKIP_IF_SANITIZED()                                        \
+  if (sched::sanitizers_active())                                       \
+  GTEST_SKIP() << "fibers degrade to threads on sanitized builds"
+
+/// Pin the shared pool to a single worker.  Must run before anything
+/// touches FiberPool::instance(); gtest_discover_tests runs each test in
+/// its own process, so calling this first thing in a test is sufficient.
+void pin_one_worker() { setenv("OMBX_SCHED_WORKERS", "1", 1); }
+
+}  // namespace
+
+TEST(BackoffSleep, OffFiberItIsAnOrdinaryHostSleep) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sched::backoff_sleep(20.0);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed_ms, 19.0);
+}
+
+TEST(BackoffSleep, ZeroAndNegativeAreFree) {
+  const auto t0 = std::chrono::steady_clock::now();
+  sched::backoff_sleep(0.0);
+  sched::backoff_sleep(-5.0);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed_ms, 10.0);
+}
+
+TEST(BackoffSleep, FiberBackoffYieldsTheOnlyWorkerToPeers) {
+  // Regression shape: rank 0 wakes rank 1 (eager send), then backs off
+  // for 150 ms on the pool's ONLY worker.  A fiber-aware backoff yields,
+  // so rank 1 runs during the window and sets `peer_ran`; the historical
+  // std::this_thread::sleep_for pinned the worker and rank 1 could not
+  // have run by the time rank 0 resumes.
+  OMBX_SKIP_IF_SANITIZED();
+  pin_one_worker();
+
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.nranks = 2;
+  wc.ppn = 2;
+  wc.sched = sched::Mode::kFibers;
+  mpi::World w(wc);
+  std::atomic<bool> peer_ran{false};
+
+  w.run([&](Comm& c) {
+    std::vector<std::byte> buf(16, std::byte{0x7});
+    if (c.rank() == 0) {
+      c.send(mpi::ConstView{buf.data(), buf.size(), net::MemSpace::kHost}, 1,
+             3);
+      sched::backoff_sleep(150.0);
+      EXPECT_TRUE(peer_ran.load())
+          << "backoff pinned the only worker; peer fiber starved";
+    } else {
+      (void)c.recv(mpi::MutView{buf.data(), buf.size(), net::MemSpace::kHost},
+                   0, 3);
+      peer_ran.store(true);
+    }
+  });
+}
+
+TEST(BackoffSleep, RetryWithBackoffCompletesOnTheOneWorkerPool) {
+  // End-to-end satellite check: run_with_retry's backoff path must not
+  // wedge a fiber world that shares the single worker.  The first attempt
+  // fails, the runner backs off, and the retry succeeds — all while both
+  // ranks multiplex on one OS thread.
+  OMBX_SKIP_IF_SANITIZED();
+  pin_one_worker();
+
+  mpi::WorldConfig wc;
+  wc.cluster = net::ClusterSpec::frontera();
+  wc.nranks = 2;
+  wc.ppn = 2;
+  wc.sched = sched::Mode::kFibers;
+  mpi::World w(wc);
+  std::atomic<int> attempt{0};
+
+  const core::RunOutcome out = core::run_with_retry(
+      w,
+      [&](Comm& c) {
+        if (c.rank() == 0 && attempt.fetch_add(1) == 0) {
+          throw std::runtime_error("transient");
+        }
+        std::vector<std::byte> buf(8, std::byte{1});
+        if (c.rank() == 0) {
+          c.send(mpi::ConstView{buf.data(), buf.size(), net::MemSpace::kHost},
+                 1, 1);
+        } else {
+          (void)c.recv(
+              mpi::MutView{buf.data(), buf.size(), net::MemSpace::kHost}, 0,
+              1);
+        }
+      },
+      core::RetryPolicy{.max_attempts = 3, .backoff_ms = 10.0});
+  EXPECT_TRUE(out.succeeded);
+  EXPECT_EQ(out.attempts, 2);
+}

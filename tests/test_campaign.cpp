@@ -310,3 +310,54 @@ TEST(CampaignTable, CarriesManifestColumns) {
   // The manifest seed is the cell's base seed from the spec.
   EXPECT_NE(csv.find(",42,"), std::string::npos);
 }
+
+TEST(CampaignCkptAxis, ParsesExpandsAndStampsTheManifest) {
+  const campaign::Spec spec = parse(
+      "bench = allreduce\n"
+      "np = 4\n"
+      "ckpt-interval = 0, 80\n"
+      "iters = 3\n"
+      "warmup = 1\n"
+      "min = 1\n"
+      "max = 16\n"
+      "reps-min = 2\n"
+      "reps-max = 2\n");
+  ASSERT_EQ(spec.ckpt_intervals.size(), 2u);
+
+  // ckpt-interval is the innermost axis and part of the cell key, so the
+  // two cells are distinct cache identities.
+  const auto cells = campaign::expand(spec);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(cells[0].ckpt_interval, 0.0);
+  EXPECT_DOUBLE_EQ(cells[1].ckpt_interval, 80.0);
+  EXPECT_NE(cells[0].key(), cells[1].key());
+  EXPECT_NE(cells[0].config_hash, cells[1].config_hash);
+
+  const campaign::Outcome out = campaign::run(spec);
+  std::ostringstream os;
+  campaign::to_table(out).write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find(",Ckpt,"), std::string::npos);
+  EXPECT_NE(csv.find(",80.0000,"), std::string::npos);
+  // The checkpointing cell pays the epochs in virtual time: its mean
+  // latency must differ from the ckpt-off cell's.
+  ASSERT_EQ(out.results.size(), 2u);
+  ASSERT_FALSE(out.results[0].rows.empty());
+  ASSERT_FALSE(out.results[1].rows.empty());
+  EXPECT_NE(out.results[0].rows.back().summary.mean,
+            out.results[1].rows.back().summary.mean);
+}
+
+TEST(CampaignCkptAxis, RejectsNonCollectiveBenchesAndBadValues) {
+  // A live ckpt axis on a point-to-point bench would silently measure
+  // nothing — expand() must refuse it up front.
+  EXPECT_THROW(
+      (void)campaign::expand(parse("bench = latency\nckpt-interval = 50\n")),
+      std::invalid_argument);
+  // ckpt-interval = 0 (off) combines with anything.
+  EXPECT_NO_THROW(
+      (void)campaign::expand(parse("bench = latency\nckpt-interval = 0\n")));
+  EXPECT_THROW((void)parse("ckpt-interval = -5\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("ckpt-interval = nan\n"), std::invalid_argument);
+  EXPECT_THROW((void)parse("ckpt-interval =\n"), std::invalid_argument);
+}

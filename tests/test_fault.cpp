@@ -587,3 +587,114 @@ TEST(Report, ResilienceTableListsInjectionCounters) {
   EXPECT_NE(text.find(std::to_string(re)), std::string::npos);
   EXPECT_NE(text.find("watchdog"), std::string::npos);
 }
+
+// ---- Retry exhaustion (--drop-lost) -----------------------------------------
+
+TEST(DropExhaustion, DefaultModelAlwaysDeliversAfterTheCap) {
+  // Historical semantics: the attempt after max_retries always lands, so
+  // p=1 drops only cost virtual time and nothing is ever lost.
+  mpi::WorldConfig wc = small_world(2, /*ppn=*/1);
+  wc.fault.seed = 5;
+  wc.fault.drop.probability = 1.0;
+  wc.fault.drop.max_retries = 3;
+  wc.fault.drop.retransmit_timeout_us = 50.0;
+  mpi::World w(wc);
+  std::atomic<bool> delivered{false};
+
+  w.run([&](Comm& c) {
+    std::vector<std::byte> buf(64, std::byte{0x2a});
+    if (c.rank() == 0) {
+      c.send(cv(buf), 1, 4);
+    } else {
+      std::vector<std::byte> got(64);
+      (void)c.recv(mv(got), 0, 4);
+      EXPECT_EQ(got, buf);
+      delivered = true;
+    }
+  });
+  EXPECT_TRUE(delivered.load());
+  ASSERT_NE(w.fault_plan(), nullptr);
+  EXPECT_EQ(w.fault_plan()->counters().retransmits.load(), 3U);
+  EXPECT_EQ(w.fault_plan()->counters().messages_lost.load(), 0U);
+}
+
+TEST(DropExhaustion, FailOnExhaustionRaisesRankAttributedLoss) {
+  // --drop-lost: exhausting the cap loses the message for real.  The
+  // sender unwinds with a MessageLostError naming both endpoints and the
+  // attempt count, the blocked receiver is woken by the abort (no hang),
+  // and the virtual clock still paid for every retransmission attempt.
+  mpi::WorldConfig wc = small_world(2, /*ppn=*/1);
+  wc.fault.seed = 5;
+  wc.fault.drop.probability = 1.0;
+  wc.fault.drop.max_retries = 3;
+  wc.fault.drop.retransmit_timeout_us = 50.0;
+  wc.fault.drop.fail_on_exhaustion = true;
+  mpi::World w(wc);
+  std::atomic<bool> raised{false};
+  std::atomic<bool> peer_woken{false};
+
+  EXPECT_THROW(
+      w.run([&](Comm& c) {
+        std::vector<std::byte> buf(64, std::byte{0x2a});
+        if (c.rank() == 0) {
+          try {
+            c.send(cv(buf), 1, 4);
+            ADD_FAILURE() << "exhausted send did not raise";
+          } catch (const mpi::MessageLostError& e) {
+            EXPECT_EQ(e.rank(), 0);
+            EXPECT_EQ(e.dst_rank(), 1);
+            EXPECT_EQ(e.attempts(), 3);
+            // The failed attempts are still priced: 3 timeouts elapsed.
+            EXPECT_GE(c.now(), 3 * 50.0);
+            raised = true;
+            throw;
+          }
+        } else {
+          try {
+            (void)c.recv(mv(buf), 0, 4);
+            ADD_FAILURE() << "receiver of a lost message did not unwind";
+          } catch (const mpi::AbortedError& e) {
+            EXPECT_EQ(e.origin_rank(), 0);
+            peer_woken = true;
+            throw;
+          }
+        }
+      }),
+      mpi::MessageLostError);
+
+  EXPECT_TRUE(raised.load());
+  EXPECT_TRUE(peer_woken.load());
+  ASSERT_NE(w.fault_plan(), nullptr);
+  EXPECT_EQ(w.fault_plan()->counters().messages_lost.load(), 1U);
+}
+
+TEST(DropExhaustion, FlagDoesNotPerturbTheSurvivingSchedule) {
+  // The drawn random stream must be identical with the flag on and off:
+  // flipping --drop-lost never changes the fault schedule of messages
+  // that do arrive.  With a cap deep enough that nothing exhausts, both
+  // runs are byte-identical.
+  mpi::WorldConfig off = small_world(2, /*ppn=*/1);
+  off.fault.seed = 42;
+  off.fault.drop.probability = 0.25;
+  off.fault.drop.max_retries = 16;
+  off.fault.drop.retransmit_timeout_us = 40.0;
+  mpi::WorldConfig on = off;
+  on.fault.drop.fail_on_exhaustion = true;
+
+  const PingpongResult a = pingpong(off, 512, 200);
+  const PingpongResult b = pingpong(on, 512, 200);
+  EXPECT_GT(a.retransmits, 0U);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.finish, b.finish);
+}
+
+TEST(DropExhaustion, ResilienceTableReportsMessagesLost) {
+  fault::FaultConfig spec;
+  spec.drop.probability = 1.0;
+  spec.drop.fail_on_exhaustion = true;
+  fault::FaultPlan plan(spec, 2);
+  plan.counters().messages_lost.store(7);
+  const std::string text = core::resilience_table(plan).to_string();
+  EXPECT_NE(text.find("messages lost"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+}

@@ -277,7 +277,15 @@ TEST(Obs, GoldenMetricsCsvForTwoRankPingpong) {
       "sched_ft_wake_ties,0,0\n"
       "sched_ft_wake_ties,1,0\n"
       "sched_rendezvous_claims,0,0\n"
-      "sched_rendezvous_claims,1,0\n";
+      "sched_rendezvous_claims,1,0\n"
+      "ckpt_checkpoints,0,0\n"
+      "ckpt_checkpoints,1,0\n"
+      "ckpt_bytes_replicated,0,0\n"
+      "ckpt_bytes_replicated,1,0\n"
+      "ckpt_restores,0,0\n"
+      "ckpt_restores,1,0\n"
+      "ckpt_rolled_back_us,0,0\n"
+      "ckpt_rolled_back_us,1,0\n";
   EXPECT_EQ(os.str(), golden);
 }
 
